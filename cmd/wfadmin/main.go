@@ -1,0 +1,253 @@
+// Command wfadmin is the administrative client of the workflow system —
+// the CLI analogue of the paper's Java-applet administration tools. It
+// talks to the repository and execution services over the orb.
+//
+// Usage:
+//
+//	wfadmin -repo ADDR deploy NAME FILE.wf        store a script
+//	wfadmin -repo ADDR schemas                    list stored schemas
+//	wfadmin -repo ADDR show NAME [VERSION]        print a stored script
+//	wfadmin -exec ADDR instantiate INST SCHEMA    create an instance
+//	wfadmin -exec ADDR start INST SET k=Class:v.. start with inputs
+//	wfadmin -exec ADDR status INST                status + task table
+//	wfadmin -exec ADDR events INST                event trace
+//	wfadmin -exec ADDR wait INST [TIMEOUT]        wait for settlement
+//	wfadmin -exec ADDR abort INST TASKPATH [OUT]  force-abort a task
+//	wfadmin -exec ADDR addtask INST SCOPE FILE    reconfigure: add task
+//	wfadmin -exec ADDR rmtask INST SCOPE NAME     reconfigure: remove task
+//	wfadmin -exec ADDR addsource INST TASK SET OBJ "SPEC"
+//	wfadmin -exec ADDR setimpl INST TASK KEY VAL  rebind implementation
+//	wfadmin -exec ADDR instances                  list live instances
+//	wfadmin -exec ADDR recover INST               recover an instance
+//	wfadmin -exec ADDR stop INST                  stop an instance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/execsvc"
+	"repro/internal/orb"
+	"repro/internal/registry"
+	"repro/internal/repository"
+)
+
+func main() {
+	repoAddr := flag.String("repo", "127.0.0.1:7001", "repository service address")
+	execAddr := flag.String("exec", "127.0.0.1:7002", "execution service address")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*repoAddr, *execAddr, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "wfadmin:", err)
+		os.Exit(1)
+	}
+}
+
+func run(repoAddr, execAddr string, args []string) error {
+	cmd, rest := args[0], args[1:]
+	repoC := repository.NewClient(orb.Dial(repoAddr, orb.ClientConfig{}))
+	execC := execsvc.NewClient(orb.Dial(execAddr, orb.ClientConfig{}))
+
+	need := func(n int, usage string) error {
+		if len(rest) < n {
+			return fmt.Errorf("usage: wfadmin %s %s", cmd, usage)
+		}
+		return nil
+	}
+
+	switch cmd {
+	case "deploy":
+		if err := need(2, "NAME FILE"); err != nil {
+			return err
+		}
+		src, err := os.ReadFile(rest[1])
+		if err != nil {
+			return err
+		}
+		v, err := repoC.Put(rest[0], string(src))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("deployed %s v%d\n", rest[0], v)
+	case "schemas":
+		names, err := repoC.List()
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			e, err := repoC.Get(n)
+			if err != nil {
+				return err
+			}
+			st, err := repoC.Stats(n)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-30s v%-3d tasks=%d compound=%d sources=%d\n", n, e.Version, st.Tasks, st.CompoundTasks, st.Sources)
+		}
+	case "show":
+		if err := need(1, "NAME [VERSION]"); err != nil {
+			return err
+		}
+		var e repository.Entry
+		var err error
+		if len(rest) >= 2 {
+			v, convErr := strconv.Atoi(rest[1])
+			if convErr != nil {
+				return convErr
+			}
+			e, err = repoC.GetVersion(rest[0], v)
+		} else {
+			e, err = repoC.Get(rest[0])
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Print(e.Source)
+	case "instantiate":
+		if err := need(2, "INST SCHEMA [ROOT]"); err != nil {
+			return err
+		}
+		root := ""
+		if len(rest) >= 3 {
+			root = rest[2]
+		}
+		return execC.Instantiate(rest[0], rest[1], root)
+	case "start":
+		if err := need(2, "INST SET [key=Class:value ...]"); err != nil {
+			return err
+		}
+		inputs := make(registry.Objects)
+		for _, kv := range rest[2:] {
+			name, rest2, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("bad input %q, want key=Class:value", kv)
+			}
+			class, val, ok := strings.Cut(rest2, ":")
+			if !ok {
+				return fmt.Errorf("bad input %q, want key=Class:value", kv)
+			}
+			inputs[name] = registry.Value{Class: class, Data: val}
+		}
+		return execC.Start(rest[0], rest[1], inputs)
+	case "status":
+		if err := need(1, "INST"); err != nil {
+			return err
+		}
+		status, tasks, err := execC.Status(rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("instance %s: %s\n", rest[0], status)
+		for _, row := range tasks {
+			extra := ""
+			if row.Iteration > 0 {
+				extra += fmt.Sprintf(" iter=%d", row.Iteration)
+			}
+			if row.Attempt > 0 {
+				extra += fmt.Sprintf(" attempt=%d", row.Attempt)
+			}
+			fmt.Printf("  %-55s %-10s set=%-8s outputs=%v%s\n", row.Path, row.State, row.ChosenSet, row.Outputs, extra)
+		}
+	case "events":
+		if err := need(1, "INST"); err != nil {
+			return err
+		}
+		events, err := execC.Events(rest[0], 0)
+		if err != nil {
+			return err
+		}
+		for _, e := range events {
+			fmt.Println(e)
+		}
+	case "wait":
+		if err := need(1, "INST [TIMEOUT]"); err != nil {
+			return err
+		}
+		timeout := time.Minute
+		if len(rest) >= 2 {
+			d, err := time.ParseDuration(rest[1])
+			if err != nil {
+				return err
+			}
+			timeout = d
+		}
+		status, res, err := execC.WaitSettled(rest[0], timeout)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("status: %s\n", status)
+		if res.Output != "" {
+			fmt.Printf("outcome: %s (%s)\n", res.Output, res.Kind)
+			for name, v := range res.Objects {
+				fmt.Printf("  %s (%s) = %v\n", name, v.Class, v.Data)
+			}
+		}
+	case "abort":
+		if err := need(2, "INST TASKPATH [OUTCOME]"); err != nil {
+			return err
+		}
+		outcome := ""
+		if len(rest) >= 3 {
+			outcome = rest[2]
+		}
+		return execC.AbortTask(rest[0], rest[1], outcome)
+	case "addtask":
+		if err := need(3, "INST SCOPE FILE"); err != nil {
+			return err
+		}
+		frag, err := os.ReadFile(rest[2])
+		if err != nil {
+			return err
+		}
+		return execC.Reconfigure(rest[0], &engine.AddTaskOp{ScopePath: rest[1], Fragment: string(frag)})
+	case "rmtask":
+		if err := need(3, "INST SCOPE NAME"); err != nil {
+			return err
+		}
+		return execC.Reconfigure(rest[0], &engine.RemoveTaskOp{ScopePath: rest[1], Name: rest[2]})
+	case "addsource":
+		if err := need(5, "INST TASK SET OBJ SPEC"); err != nil {
+			return err
+		}
+		return execC.Reconfigure(rest[0], &engine.AddObjectSourceOp{
+			TaskPath: rest[1], Set: rest[2], Object: rest[3], Source: rest[4],
+		})
+	case "setimpl":
+		if err := need(4, "INST TASK KEY VALUE"); err != nil {
+			return err
+		}
+		return execC.Reconfigure(rest[0], &engine.SetImplementationOp{
+			TaskPath: rest[1], Key: rest[2], Value: rest[3],
+		})
+	case "instances":
+		ids, err := execC.Instances()
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+	case "recover":
+		if err := need(1, "INST"); err != nil {
+			return err
+		}
+		return execC.Recover(rest[0])
+	case "stop":
+		if err := need(1, "INST"); err != nil {
+			return err
+		}
+		return execC.Stop(rest[0])
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}

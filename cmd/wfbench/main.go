@@ -1,0 +1,279 @@
+// Command wfbench regenerates the paper's evaluation: it runs every
+// figure's scenario and the system-level experiments, verifies the
+// behaviour the paper claims, and prints the measurement table recorded
+// in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	wfbench [-iters N] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/script/parser"
+	"repro/internal/script/sema"
+	"repro/internal/scripts"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// runner is one benchmarkable scenario.
+type runner interface {
+	Run() error
+	Close()
+}
+
+func main() {
+	iters := flag.Int("iters", 20, "iterations per measurement")
+	quick := flag.Bool("quick", false, "reduce sweep sizes for a fast pass")
+	flag.Parse()
+	if err := run(*iters, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "wfbench:", err)
+		os.Exit(1)
+	}
+}
+
+// measure runs r.Run() n times and returns the mean latency.
+func measure(r runner, n int) (time.Duration, error) {
+	defer r.Close()
+	// Warm-up iteration.
+	if err := r.Run(); err != nil {
+		return 0, err
+	}
+	begin := time.Now()
+	for i := 0; i < n; i++ {
+		if err := r.Run(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(begin) / time.Duration(n), nil
+}
+
+func row(id, scenario string, mean time.Duration, note string) {
+	fmt.Printf("%-6s %-42s %12s   %s\n", id, scenario, mean.Round(time.Microsecond), note)
+}
+
+func run(iters int, quick bool) error {
+	fmt.Println("reproduction harness — Ranno/Shrivastava/Wheater, ICDCS'98")
+	fmt.Printf("iterations per row: %d\n\n", iters)
+	fmt.Printf("%-6s %-42s %12s   %s\n", "exp", "scenario", "mean/run", "verified behaviour")
+	fmt.Println("------ ------------------------------------------ ------------   ------------------")
+
+	widths := []int{2, 8, 32, 128}
+	depths := []int{1, 2, 4, 8}
+	if quick {
+		widths = []int{2, 8}
+		depths = []int{1, 4}
+	}
+
+	// F1: the dependency diamond.
+	for _, w := range widths {
+		mean, err := measure(experiments.NewFig1(w), iters)
+		if err != nil {
+			return fmt.Errorf("F1 width %d: %w", w, err)
+		}
+		row("F1", fmt.Sprintf("Fig.1 diamond, width %d", w), mean, "t2,t3 after t1; t4 after both")
+	}
+
+	// F2: deterministic input-set and alternative selection.
+	mean, err := measure(experiments.NewFig2(), iters)
+	if err != nil {
+		return fmt.Errorf("F2: %w", err)
+	}
+	row("F2", "Fig.2 two input sets + alternatives", mean, "first set, first alternative, every run")
+
+	// F3: the state machine.
+	mean, err = measure(experiments.NewFig3(4), iters)
+	if err != nil {
+		return fmt.Errorf("F3: %w", err)
+	}
+	row("F3", "Fig.3 wait/execute/mark/repeat/retry", mean, "4 repeats, 1 retried failure, marks each pass")
+
+	// F4: the full distributed stack.
+	f4, err := experiments.NewFig4()
+	if err != nil {
+		return fmt.Errorf("F4: %w", err)
+	}
+	mean, err = measure(f4, iters)
+	if err != nil {
+		return fmt.Errorf("F4: %w", err)
+	}
+	row("F4", "Fig.4 remote deploy+run over orb", mean, "naming->repository->execution round trip")
+
+	// F5: nesting depth.
+	for _, d := range depths {
+		mean, err := measure(experiments.NewFig5(d), iters)
+		if err != nil {
+			return fmt.Errorf("F5 depth %d: %w", d, err)
+		}
+		row("F5", fmt.Sprintf("Fig.5 nested compounds, depth %d", d), mean, "outputs propagate through every level")
+	}
+
+	// F6, F7: the example applications.
+	mean, err = measure(experiments.NewFig6(), iters)
+	if err != nil {
+		return fmt.Errorf("F6: %w", err)
+	}
+	row("F6", "Fig.6 service impact application", mean, "resolved path; 3 outcome alternatives exist")
+	mean, err = measure(experiments.NewFig7(), iters)
+	if err != nil {
+		return fmt.Errorf("F7: %w", err)
+	}
+	row("F7", "Fig.7 process order application", mean, "concurrent auth+stock; atomic dispatch")
+
+	// F8/F9: business trip.
+	for _, rejects := range []int{0, 2} {
+		mean, err := measure(experiments.NewFig89(rejects), iters)
+		if err != nil {
+			return fmt.Errorf("F8/9 rejects %d: %w", rejects, err)
+		}
+		note := "mark toPay before completion"
+		if rejects > 0 {
+			note = fmt.Sprintf("%d compensations + repeats, then success", rejects)
+		}
+		row("F8/9", fmt.Sprintf("Fig.8-9 business trip, %d hotel failures", rejects), mean, note)
+	}
+
+	// X1: crash recovery.
+	x1Iters := iters
+	if x1Iters > 10 {
+		x1Iters = 10
+	}
+	var total time.Duration
+	for i := 0; i < x1Iters; i++ {
+		res, err := experiments.X1CrashRecovery(8)
+		if err != nil {
+			return fmt.Errorf("X1: %w", err)
+		}
+		if res.ReExecuted {
+			return fmt.Errorf("X1: completed task re-executed")
+		}
+		total += res.RecoveryTime
+	}
+	row("X1", "crash mid-workflow, recover, finish", total/time.Duration(x1Iters), "completed tasks not re-run")
+
+	// X2: dynamic reconfiguration.
+	x2, err := experiments.NewX2()
+	if err != nil {
+		return fmt.Errorf("X2: %w", err)
+	}
+	mean, err = measure(x2, iters)
+	if err != nil {
+		return fmt.Errorf("X2: %w", err)
+	}
+	row("X2", "add+remove task on a running instance", mean, "atomic, persisted, live tasks unaffected")
+
+	// X3: baselines.
+	for _, load := range []struct {
+		name string
+		src  string
+	}{{"chain32", workload.Chain(32)}, {"diamond16", workload.Diamond(16)}} {
+		w := experiments.NewX3(load.name, load.src)
+		begin := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := w.RunEngine(); err != nil {
+				return fmt.Errorf("X3 engine: %w", err)
+			}
+		}
+		engineMean := time.Since(begin) / time.Duration(iters)
+		begin = time.Now()
+		for i := 0; i < iters; i++ {
+			w.RunECA()
+		}
+		ecaMean := time.Since(begin) / time.Duration(iters)
+		begin = time.Now()
+		for i := 0; i < iters; i++ {
+			w.RunPetri()
+		}
+		petriMean := time.Since(begin) / time.Duration(iters)
+		script, rules, net := w.SpecSizes()
+		w.Close()
+		row("X3", fmt.Sprintf("%s: engine", load.name), engineMean, fmt.Sprintf("spec: %d script elems", script))
+		row("X3", fmt.Sprintf("%s: ECA rules", load.name), ecaMean, fmt.Sprintf("spec: %d rules", rules))
+		row("X3", fmt.Sprintf("%s: Petri net", load.name), petriMean, fmt.Sprintf("spec: %d net elems", net))
+	}
+
+	// X4: front-end throughput.
+	for _, n := range []int{10, 100} {
+		src := []byte(workload.Chain(n))
+		begin := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := parser.Parse("bench", src); err != nil {
+				return fmt.Errorf("X4: %w", err)
+			}
+		}
+		parseMean := time.Since(begin) / time.Duration(iters)
+		begin = time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := sema.CompileSource("bench", src); err != nil {
+				return fmt.Errorf("X4: %w", err)
+			}
+		}
+		compileMean := time.Since(begin) / time.Duration(iters)
+		row("X4", fmt.Sprintf("parse %d-task script", n), parseMean, fmt.Sprintf("%d bytes", len(src)))
+		row("X4", fmt.Sprintf("parse+check %d-task script", n), compileMean, "")
+	}
+
+	// X5: lossy network.
+	for _, p := range []float64{0.1, 0.3} {
+		x5, err := experiments.NewX5(p, 42)
+		if err != nil {
+			return fmt.Errorf("X5: %w", err)
+		}
+		mean, err := measure(x5, iters)
+		if err != nil {
+			return fmt.Errorf("X5 p=%.1f: %w", p, err)
+		}
+		row("X5", fmt.Sprintf("remote run, refuse prob %.1f", p), mean, "eventual completion via retries")
+	}
+
+	// Ablations.
+	for _, cfg := range []struct {
+		name      string
+		ephemeral bool
+		file      bool
+	}{{"ephemeral (no persistence)", true, false}, {"memory store", false, false}, {"file store", false, true}} {
+		var st store.Store = store.NewMemStore()
+		if cfg.file {
+			dir, err := os.MkdirTemp("", "wfbench-*")
+			if err != nil {
+				return err
+			}
+			defer func() { _ = os.RemoveAll(dir) }()
+			st, err = experiments.NewFileStoreEnv(dir)
+			if err != nil {
+				return err
+			}
+		}
+		f, err := experiments.AblationEnv(st, cfg.ephemeral)
+		if err != nil {
+			return err
+		}
+		ablIters := iters
+		if cfg.file && ablIters > 5 {
+			ablIters = 5
+		}
+		mean, err := measure(f, ablIters)
+		if err != nil {
+			return fmt.Errorf("ablation %s: %w", cfg.name, err)
+		}
+		row("ABL", "diamond(4) with "+cfg.name, mean, "persistence design-decision cost")
+	}
+
+	// Specification sizes of the paper's own applications.
+	fmt.Println()
+	fmt.Println("specification sizes (Section 6 comparison):")
+	fmt.Printf("%-20s %14s %10s %12s\n", "script", "script elems", "ECA rules", "petri elems")
+	for _, name := range []string{"fig1_diamond", "service_impact", "process_order", "business_trip"} {
+		w := experiments.NewX3Spec(name, scripts.All[name])
+		script, rules, net := w.SpecSizes()
+		w.Close()
+		fmt.Printf("%-20s %14d %10d %12d\n", name, script, rules, net)
+	}
+	return nil
+}

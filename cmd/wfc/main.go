@@ -1,0 +1,125 @@
+// Command wfc is the workflow script compiler: it parses and checks
+// scripts in the language of Ranno et al. (ICDCS'98) and can emit the
+// canonical formatted text, the Graphviz form of the compiled schema
+// (the paper's graphical representation), or schema statistics.
+//
+// Usage:
+//
+//	wfc check  file.wf...     parse and type-check
+//	wfc fmt    file.wf        print the canonical form
+//	wfc dot    file.wf        print Graphviz DOT of the schema
+//	wfc stats  file.wf        print schema statistics
+//	wfc paper  name           print an embedded paper script
+//	                          (fig1_diamond, service_impact,
+//	                          process_order, business_trip,
+//	                          payment_template)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/script/parser"
+	"repro/internal/script/printer"
+	"repro/internal/script/sema"
+	"repro/internal/scripts"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: wfc <check|fmt|dot|stats|paper> [args]")
+	os.Exit(2)
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		usage()
+	}
+	cmd, rest := args[0], args[1:]
+	if err := run(cmd, rest); err != nil {
+		fmt.Fprintln(os.Stderr, "wfc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string, args []string) error {
+	switch cmd {
+	case "check":
+		failed := false
+		for _, file := range args {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				return err
+			}
+			if _, err := sema.CompileSource(file, src); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed = true
+				continue
+			}
+			fmt.Printf("%s: ok\n", file)
+		}
+		if failed {
+			return fmt.Errorf("errors found")
+		}
+		return nil
+	case "fmt":
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		script, err := parser.Parse(args[0], src)
+		if err != nil {
+			return err
+		}
+		fmt.Print(printer.Fprint(script))
+		return nil
+	case "dot":
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		schema, err := sema.CompileSource(args[0], src)
+		if err != nil {
+			return err
+		}
+		fmt.Print(printer.DOT(schema))
+		return nil
+	case "stats":
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		schema, err := sema.CompileSource(args[0], src)
+		if err != nil {
+			return err
+		}
+		st := schema.Stats()
+		fmt.Printf("classes:        %d\n", st.Classes)
+		fmt.Printf("task classes:   %d\n", st.TaskClasses)
+		fmt.Printf("tasks:          %d (compound: %d, max depth %d)\n", st.Tasks, st.CompoundTasks, st.MaxDepth)
+		fmt.Printf("input sets:     %d\n", st.InputSets)
+		fmt.Printf("object deps:    %d\n", st.ObjectDeps)
+		fmt.Printf("notifications:  %d\n", st.Notifications)
+		fmt.Printf("sources:        %d\n", st.Sources)
+		fmt.Printf("outputs:        %d\n", st.Outputs)
+		return nil
+	case "paper":
+		src, ok := scripts.All[args[0]]
+		if !ok {
+			names := make([]string, 0, len(scripts.All))
+			for n := range scripts.All {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return fmt.Errorf("unknown paper script %q; have %v", args[0], names)
+		}
+		fmt.Print(src)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,117 @@
+// Command wfexec runs the Workflow Execution Service (Fig. 4) as a
+// standalone daemon: it coordinates workflow instances whose schemas come
+// from a repository service, with dependency state in a crash-atomic file
+// store so instances survive restarts (pass -recover to resume them).
+//
+// Task implementations resolve through the builtin pattern schemes
+// ("fixed:done", "sleep:50ms:done", "fail:2:done"); embedding
+// applications bind real Go functions instead (see the examples).
+//
+// Usage:
+//
+//	wfexec -addr 127.0.0.1:7002 -dir ./exec-state -repo 127.0.0.1:7001 [-naming host:port] [-recover]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/engine"
+	"repro/internal/execsvc"
+	"repro/internal/orb"
+	"repro/internal/persist"
+	"repro/internal/registry"
+	"repro/internal/repository"
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7002", "listen address")
+	dir := flag.String("dir", "wfexec-state", "state directory (file store)")
+	repoAddr := flag.String("repo", "127.0.0.1:7001", "repository service address")
+	naming := flag.String("naming", "", "naming service address to register with (optional)")
+	doRecover := flag.Bool("recover", false, "recover persisted instances at startup")
+	noSync := flag.Bool("nosync", false, "disable fsync on writes (faster, less durable)")
+	retries := flag.Int("retries", 3, "automatic retries for system-level task failures")
+	flag.Parse()
+
+	if err := run(*addr, *dir, *repoAddr, *naming, *doRecover, *noSync, *retries); err != nil {
+		fmt.Fprintln(os.Stderr, "wfexec:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dir, repoAddr, naming string, doRecover, noSync bool, retries int) error {
+	fs, err := store.NewFileStore(dir)
+	if err != nil {
+		return err
+	}
+	if noSync {
+		fs.SetSync(false)
+	}
+	reg := persist.NewRegistry(fs, txn.NewManager(fs), nil)
+	if n, err := reg.Recover(); err != nil {
+		return fmt.Errorf("recover transactions: %w", err)
+	} else if n > 0 {
+		fmt.Printf("rolled %d in-doubt transactions forward\n", n)
+	}
+
+	impls := registry.New()
+	impls.BindFallback(registry.Builtin)
+	eng := engine.New(reg, impls, engine.Config{MaxRetries: retries})
+	defer eng.Close()
+
+	repoClient := repository.NewClient(orb.Dial(repoAddr, orb.ClientConfig{}))
+	svc := execsvc.New(eng, execsvc.FromRepositoryClient(repoClient))
+
+	if doRecover {
+		ids, err := fs.List("inst/")
+		if err != nil {
+			return err
+		}
+		seen := map[string]bool{}
+		for _, id := range ids {
+			rest := string(id[len("inst/"):])
+			for i := 0; i < len(rest); i++ {
+				if rest[i] == '/' {
+					rest = rest[:i]
+					break
+				}
+			}
+			if seen[rest] {
+				continue
+			}
+			seen[rest] = true
+			if err := svc.Recover(rest); err != nil {
+				fmt.Fprintf(os.Stderr, "recover instance %s: %v\n", rest, err)
+				continue
+			}
+			fmt.Printf("recovered instance %s\n", rest)
+		}
+	}
+
+	server, err := orb.NewServer(addr)
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	server.Register(execsvc.ObjectName, svc.Servant())
+
+	if naming != "" {
+		nc := orb.NewNamingClient(orb.Dial(naming, orb.ClientConfig{}))
+		if err := nc.Bind(execsvc.ObjectName, server.Addr()); err != nil {
+			return fmt.Errorf("register with naming service: %w", err)
+		}
+	}
+	fmt.Printf("workflow execution service on %s (repository %s, state in %s)\n", server.Addr(), repoAddr, dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

@@ -1,0 +1,65 @@
+// Command wftask runs a remote task executor node: a host for task
+// implementations that the execution engine dispatches to when a task's
+// implementation clause carries a "location" property (Section 4.3).
+// The node registers its location name with the naming service so
+// engines can resolve it.
+//
+// Implementations resolve through the builtin pattern schemes
+// ("fixed:done", "sleep:50ms:done", "fail:2:done"); embedding
+// applications bind real Go functions (see internal/taskexec).
+//
+// Usage:
+//
+//	wftask -addr 127.0.0.1:7003 -location worker-1 [-naming host:port]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/orb"
+	"repro/internal/registry"
+	"repro/internal/taskexec"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7003", "listen address")
+	location := flag.String("location", "worker-1", "location name tasks use to target this node")
+	naming := flag.String("naming", "", "naming service address to register with (optional)")
+	flag.Parse()
+
+	if err := run(*addr, *location, *naming); err != nil {
+		fmt.Fprintln(os.Stderr, "wftask:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, location, naming string) error {
+	impls := registry.New()
+	impls.BindFallback(registry.Builtin)
+	exec := taskexec.NewExecutor(impls)
+
+	server, err := orb.NewServer(addr)
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	server.Register(taskexec.ObjectName, exec.Servant())
+
+	if naming != "" {
+		nc := orb.NewNamingClient(orb.Dial(naming, orb.ClientConfig{}))
+		if err := nc.Bind(location, server.Addr()); err != nil {
+			return fmt.Errorf("register location %q: %w", location, err)
+		}
+	}
+	fmt.Printf("task executor %q on %s\n", location, server.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

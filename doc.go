@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "A Language for
+// Specifying the Composition of Reliable Distributed Applications"
+// (F. Ranno, S. K. Shrivastava, S. M. Wheater, ICDCS 1998): the workflow
+// scripting language (lexer, parser, checker, printer), its transactional
+// execution environment (persistent atomic objects, nested transactions
+// with two-phase commit, the workflow repository and execution services
+// over an ORB substrate), the paper's three example applications, and the
+// related-work baselines (an ECA rule engine and a Petri-net engine).
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the figure-by-figure reproduction record. The
+// benchmarks in bench_test.go regenerate every figure's scenario.
+package repro

@@ -1,0 +1,170 @@
+// Command businesstrip runs the paper's Section 5.3 application
+// (Figs. 8 and 9): the tripReservation compound containing the looping
+// businessReservation compound. It exercises every advanced construct of
+// the language in one run:
+//
+//   - parallel alternative sources (three airline queries race inside the
+//     checkFlightReservation compound; the first offer wins),
+//
+//   - an atomic flight reservation (abort outcome),
+//
+//   - compensation (flightCancellation undoes the flight when the hotel
+//     cannot be booked),
+//
+//   - a repeat outcome feeding the compound's own input (the retry loop),
+//
+//   - a mark output (toPay releases the flight cost before the trip
+//     completes, so the accounting department is notified early).
+//
+//     go run ./examples/businesstrip
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/persist"
+	"repro/internal/registry"
+	"repro/internal/script/sema"
+	"repro/internal/scripts"
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+// world simulates the external booking systems.
+type world struct {
+	mu           sync.Mutex
+	hotelRejects int // hotel reservation fails this many times
+	cancels      int
+}
+
+func bind(impls *registry.Registry, w *world) {
+	impls.Bind("refDataAcquisition", func(ctx registry.Context) (registry.Result, error) {
+		user := ctx.Inputs()["user"].Data.(string)
+		return registry.Result{Output: "acquired", Objects: registry.Objects{
+			"tripSpec": {Class: "TripSpec", Data: user + ": AMS, 26-29 May 1998, max 500"},
+		}}, nil
+	})
+	// Three airlines with different latencies and availability; the
+	// compound's alternative-source list picks the first available offer.
+	airline := func(name string, delay time.Duration, hasOffer bool) registry.Func {
+		return func(ctx registry.Context) (registry.Result, error) {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return registry.Result{}, fmt.Errorf("cancelled")
+			}
+			if !hasOffer {
+				return registry.Result{Output: "noOffer"}, nil
+			}
+			return registry.Result{Output: "offer", Objects: registry.Objects{
+				"flightOffer": {Class: "FlightOffer", Data: name + "-447 (OK, 423)"},
+			}}, nil
+		}
+	}
+	impls.Bind("refQueryAirline1", airline("KL", 15*time.Millisecond, false))
+	impls.Bind("refQueryAirline2", airline("BA", 5*time.Millisecond, true))
+	impls.Bind("refQueryAirline3", airline("AF", 30*time.Millisecond, true))
+	impls.Bind("refFlightReservation", func(ctx registry.Context) (registry.Result, error) {
+		offer := ctx.Inputs()["flightOffer"].Data.(string)
+		return registry.Result{Output: "reserved", Objects: registry.Objects{
+			"plane": {Class: "Plane", Data: "seat 12A on " + offer},
+			"cost":  {Class: "Cost", Data: 423},
+		}}, nil
+	})
+	impls.Bind("refHotelReservation", func(ctx registry.Context) (registry.Result, error) {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if w.hotelRejects > 0 {
+			w.hotelRejects--
+			return registry.Result{Output: "failed"}, nil
+		}
+		return registry.Result{Output: "booked", Objects: registry.Objects{
+			"hotel": {Class: "Hotel", Data: "Hotel Krasnapolsky, 3 nights"},
+		}}, nil
+	})
+	impls.Bind("refFlightCancellation", func(ctx registry.Context) (registry.Result, error) {
+		w.mu.Lock()
+		w.cancels++
+		n := w.cancels
+		w.mu.Unlock()
+		fmt.Printf("  compensation: cancelled %v (cancellation #%d)\n", ctx.Inputs()["plane"].Data, n)
+		return registry.Result{Output: "cancelled"}, nil
+	})
+	impls.Bind("refPrintTickets", func(ctx registry.Context) (registry.Result, error) {
+		return registry.Result{Output: "printed", Objects: registry.Objects{
+			"tickets": {Class: "Tickets", Data: fmt.Sprintf("tickets[%v + %v]", ctx.Inputs()["plane"].Data, ctx.Inputs()["hotel"].Data)},
+		}}, nil
+	})
+}
+
+func run() error {
+	schema, err := sema.CompileSource("business-trip.wf", []byte(scripts.BusinessTrip))
+	if err != nil {
+		return err
+	}
+	st := store.NewMemStore()
+	preg := persist.NewRegistry(st, txn.NewManager(st), nil)
+	impls := registry.New()
+	eng := engine.New(preg, impls, engine.Config{})
+	defer eng.Close()
+
+	// The hotel rejects the first two attempts: the workflow compensates
+	// (cancels the flight) and retries through the repeat outcome.
+	w := &world{hotelRejects: 2}
+	bind(impls, w)
+
+	inst, err := eng.Instantiate("trip-fred", schema, "")
+	if err != nil {
+		return err
+	}
+	if err := inst.Start("main", registry.Objects{
+		"user": {Class: "User", Data: "fred"},
+	}); err != nil {
+		return err
+	}
+
+	// Watch for the early mark release while the workflow runs.
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		ev, err := inst.WaitEvent(ctx, func(e engine.Event) bool {
+			return e.Kind == engine.EventTaskMarked && e.Output == "toPay"
+		})
+		if err == nil {
+			fmt.Printf("  mark toPay released early: cost=%v (accounting notified before trip completion)\n", ev.Objects["cost"].Data)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := inst.Wait(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntrip outcome: %s\n", res.Output)
+	if tk, ok := res.Objects["tickets"]; ok {
+		fmt.Printf("tickets:      %v\n", tk.Data)
+	}
+
+	retries := 0
+	for _, e := range inst.Events() {
+		if e.Kind == engine.EventTaskRepeated && e.Task == "tripReservation/businessReservation" {
+			retries++
+		}
+	}
+	fmt.Printf("businessReservation iterations: %d (two compensated failures, then success)\n", retries+1)
+	fmt.Printf("flight cancellations: %d\n", w.cancels)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "businesstrip:", err)
+		os.Exit(1)
+	}
+}

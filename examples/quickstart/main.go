@@ -1,0 +1,146 @@
+// Command quickstart is the smallest end-to-end use of the workflow
+// system: write a two-task script, compile it, bind Go implementations to
+// the script's abstract implementation names, run an instance and print
+// its outcome and event trace.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/persist"
+	"repro/internal/registry"
+	"repro/internal/script/sema"
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+// script is a minimal pipeline: greet produces a Greeting consumed by
+// shout, whose result becomes the workflow outcome.
+const script = `
+class Text;
+
+taskclass Greet
+{
+    inputs { input main { name of class Text } };
+    outputs { outcome done { greeting of class Text } }
+};
+
+taskclass Shout
+{
+    inputs { input main { text of class Text } };
+    outputs { outcome done { loud of class Text } }
+};
+
+taskclass Hello
+{
+    inputs { input main { name of class Text } };
+    outputs { outcome done { loud of class Text } }
+};
+
+compoundtask hello of taskclass Hello
+{
+    task greet of taskclass Greet
+    {
+        implementation { "code" is "greet" };
+        inputs
+        {
+            input main
+            {
+                inputobject name from { name of task hello if input main }
+            }
+        }
+    };
+    task shout of taskclass Shout
+    {
+        implementation { "code" is "shout" };
+        inputs
+        {
+            input main
+            {
+                inputobject text from { greeting of task greet if output done }
+            }
+        }
+    };
+    outputs
+    {
+        outcome done
+        {
+            outputobject loud from { loud of task shout if output done }
+        }
+    }
+};
+`
+
+func run() error {
+	// 1. Compile the script.
+	schema, err := sema.CompileSource("hello.wf", []byte(script))
+	if err != nil {
+		return fmt.Errorf("compile: %w", err)
+	}
+
+	// 2. Assemble the execution environment: a store for persistent
+	// state, transactions over it, and the implementation registry.
+	st := store.NewMemStore()
+	preg := persist.NewRegistry(st, txn.NewManager(st), nil)
+	impls := registry.New()
+	impls.Bind("greet", func(ctx registry.Context) (registry.Result, error) {
+		name := ctx.Inputs()["name"].Data.(string)
+		return registry.Result{Output: "done", Objects: registry.Objects{
+			"greeting": {Class: "Text", Data: "hello, " + name},
+		}}, nil
+	})
+	impls.Bind("shout", func(ctx registry.Context) (registry.Result, error) {
+		text := ctx.Inputs()["text"].Data.(string)
+		loud := ""
+		for _, r := range text {
+			if r >= 'a' && r <= 'z' {
+				r = r - 'a' + 'A'
+			}
+			loud += string(r)
+		}
+		return registry.Result{Output: "done", Objects: registry.Objects{
+			"loud": {Class: "Text", Data: loud + "!"},
+		}}, nil
+	})
+	eng := engine.New(preg, impls, engine.Config{})
+	defer eng.Close()
+
+	// 3. Instantiate and start.
+	inst, err := eng.Instantiate("quickstart-1", schema, "")
+	if err != nil {
+		return err
+	}
+	if err := inst.Start("main", registry.Objects{
+		"name": {Class: "Text", Data: "icdcs"},
+	}); err != nil {
+		return err
+	}
+
+	// 4. Wait and report.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := inst.Wait(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("outcome: %s\n", res.Output)
+	fmt.Printf("loud:    %s\n", res.Objects["loud"].Data)
+	fmt.Println("trace:")
+	for _, ev := range inst.Events() {
+		fmt.Printf("  %s\n", ev)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,345 @@
+// Package eca implements an event-condition-action rule engine and a
+// compiler from workflow schemas to rule sets. It is the baseline for the
+// paper's related-work comparison (Section 6): "workflow scripts can be
+// rule based, specifying actions to be taken in the event of a given
+// condition becoming true. The METEOR project has developed such a
+// language."
+//
+// The engine is a classic forward-chaining interpreter: facts arrive,
+// rules whose conditions reference a new fact are re-evaluated, and
+// enabled rules fire actions that assert more facts or start tasks. The
+// comparison points against the structural language are (a) the number
+// of rules needed to express the same application (specification size)
+// and (b) rule-evaluation work per workflow run (scheduling overhead).
+package eca
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Fact is an atomic proposition in the working memory, e.g.
+// "out:diamond/t1:done" or "obj:diamond/t2:main:in".
+type Fact string
+
+// ActionKind discriminates rule actions.
+type ActionKind int
+
+// Action kinds.
+const (
+	// AssertFact adds a fact to working memory.
+	AssertFact ActionKind = iota + 1
+	// StartTask runs a task (the oracle chooses its outcome) and asserts
+	// its output facts.
+	StartTask
+)
+
+// Action is one consequence of a rule firing.
+type Action struct {
+	Kind ActionKind
+	Fact Fact   // for AssertFact
+	Task string // for StartTask: task path
+	Set  string // input set satisfied
+}
+
+// Rule is an event-condition-action rule: when all condition facts hold,
+// fire the actions (once).
+type Rule struct {
+	Name    string
+	When    []Fact
+	Actions []Action
+}
+
+// Oracle decides the outcome a task produces when started; it abstracts
+// the task implementations for scheduling benchmarks.
+type Oracle func(taskPath string) string
+
+// Stats reports the work a run performed, the baseline's comparison
+// metrics.
+type Stats struct {
+	// Rules is the specification size after compilation.
+	Rules int
+	// RuleEvaluations counts condition checks (one per rule visited per
+	// triggering fact).
+	RuleEvaluations int
+	// Fired counts rules that fired.
+	Fired int
+	// Facts is the working-memory size at quiescence.
+	Facts int
+	// TasksStarted counts StartTask actions executed.
+	TasksStarted int
+}
+
+// Engine executes a compiled rule set.
+type Engine struct {
+	rules   []Rule
+	trigger map[Fact][]int // fact -> indices of rules mentioning it
+	tasks   map[string]*core.Task
+	oracle  Oracle
+
+	facts map[Fact]bool
+	fired []bool
+	queue []Fact
+	stats Stats
+}
+
+// NewEngine prepares an engine over a compiled rule set.
+func NewEngine(rules []Rule, tasks map[string]*core.Task, oracle Oracle) *Engine {
+	e := &Engine{
+		rules:   rules,
+		trigger: make(map[Fact][]int),
+		tasks:   tasks,
+		oracle:  oracle,
+	}
+	for i, r := range rules {
+		for _, f := range r.When {
+			e.trigger[f] = append(e.trigger[f], i)
+		}
+	}
+	return e
+}
+
+// Run asserts the seed facts and forward-chains to quiescence, returning
+// the run statistics.
+func (e *Engine) Run(seed []Fact) Stats {
+	e.facts = make(map[Fact]bool)
+	e.fired = make([]bool, len(e.rules))
+	e.queue = e.queue[:0]
+	e.stats = Stats{Rules: len(e.rules)}
+	for _, f := range seed {
+		e.assert(f)
+	}
+	for len(e.queue) > 0 {
+		f := e.queue[0]
+		e.queue = e.queue[1:]
+		for _, ri := range e.trigger[f] {
+			if e.fired[ri] {
+				continue
+			}
+			e.stats.RuleEvaluations++
+			if e.satisfied(&e.rules[ri]) {
+				e.fired[ri] = true
+				e.stats.Fired++
+				e.fire(&e.rules[ri])
+			}
+		}
+	}
+	e.stats.Facts = len(e.facts)
+	return e.stats
+}
+
+func (e *Engine) satisfied(r *Rule) bool {
+	for _, f := range r.When {
+		if !e.facts[f] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) assert(f Fact) {
+	if e.facts[f] {
+		return
+	}
+	e.facts[f] = true
+	e.queue = append(e.queue, f)
+}
+
+func (e *Engine) fire(r *Rule) {
+	for _, a := range r.Actions {
+		switch a.Kind {
+		case AssertFact:
+			e.assert(a.Fact)
+		case StartTask:
+			e.stats.TasksStarted++
+			t := e.tasks[a.Task]
+			e.assert(Fact("started:" + a.Task + ":" + a.Set))
+			if t == nil {
+				continue
+			}
+			// The chosen set's objects become available for input sharing
+			// (`x of task t if input s`) and, for compounds, for
+			// constituents consuming the compound's inputs.
+			if set := t.Class.InputSet(a.Set); set != nil {
+				for _, fld := range set.Objects {
+					e.assert(Fact(fmt.Sprintf("inobj:%s:%s:%s", a.Task, a.Set, fld.Name)))
+				}
+			}
+			if t.Compound {
+				continue
+			}
+			outcome := e.oracle(a.Task)
+			out := t.Class.Output(outcome)
+			if out == nil {
+				continue
+			}
+			e.assert(Fact("out:" + a.Task + ":" + outcome))
+			e.assert(Fact("done:" + a.Task))
+			for _, fld := range out.Objects {
+				e.assert(Fact("objout:" + a.Task + ":" + outcome + ":" + fld.Name))
+			}
+		}
+	}
+}
+
+// Facts returns the asserted facts in order (diagnostics).
+func (e *Engine) Facts() []Fact {
+	out := make([]Fact, 0, len(e.facts))
+	for f := range e.facts {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Compile translates a schema into ECA rules. Every construct of the
+// structural language costs rules: one per alternative source (the
+// disjunction must be unrolled), one per input set, one per compound
+// output mapping — which is exactly the specification-size argument of
+// Section 6.
+func Compile(s *core.Schema, root *core.Task) ([]Rule, map[string]*core.Task) {
+	var rules []Rule
+	tasks := make(map[string]*core.Task)
+	var visit func(t *core.Task)
+	visit = func(t *core.Task) {
+		path := t.Path()
+		tasks[path] = t
+		// Alternative-source rules: each source asserts the dependency's
+		// satisfaction fact.
+		for _, set := range t.InputSets {
+			var need []Fact
+			for _, od := range set.Objects {
+				sat := Fact(fmt.Sprintf("obj:%s:%s:%s", path, set.Name, od.Name))
+				need = append(need, sat)
+				for si, src := range od.Sources {
+					rules = append(rules, Rule{
+						Name:    fmt.Sprintf("src:%s:%s:%s:%d", path, set.Name, od.Name, si),
+						When:    []Fact{sourceFact(src)},
+						Actions: []Action{{Kind: AssertFact, Fact: sat}},
+					})
+				}
+			}
+			for ni, nd := range set.Notifications {
+				sat := Fact(fmt.Sprintf("notif:%s:%s:%d", path, set.Name, ni))
+				need = append(need, sat)
+				for si, src := range nd.Sources {
+					rules = append(rules, Rule{
+						Name:    fmt.Sprintf("nsrc:%s:%s:%d:%d", path, set.Name, ni, si),
+						When:    []Fact{sourceFact(src)},
+						Actions: []Action{{Kind: AssertFact, Fact: sat}},
+					})
+				}
+			}
+			// Input-set rule: all dependencies satisfied -> start task.
+			rules = append(rules, Rule{
+				Name:    fmt.Sprintf("start:%s:%s", path, set.Name),
+				When:    need,
+				Actions: []Action{{Kind: StartTask, Task: path, Set: set.Name}},
+			})
+		}
+		if len(t.InputSets) == 0 {
+			// Auto-start with the enclosing compound.
+			when := []Fact{}
+			if t.Parent != nil {
+				when = append(when, Fact("started:"+t.Parent.Path()+":main"))
+			}
+			rules = append(rules, Rule{
+				Name:    "start:" + path,
+				When:    when,
+				Actions: []Action{{Kind: StartTask, Task: path, Set: ""}},
+			})
+		}
+		// Compound output mappings.
+		for _, ob := range t.Outputs {
+			var need []Fact
+			var acts []Action
+			for _, od := range ob.Objects {
+				sat := Fact(fmt.Sprintf("outobj:%s:%s:%s", path, ob.Output.Name, od.Name))
+				need = append(need, sat)
+				for si, src := range od.Sources {
+					rules = append(rules, Rule{
+						Name:    fmt.Sprintf("osrc:%s:%s:%s:%d", path, ob.Output.Name, od.Name, si),
+						When:    []Fact{sourceFact(src)},
+						Actions: []Action{{Kind: AssertFact, Fact: sat}},
+					})
+				}
+				acts = append(acts, Action{Kind: AssertFact, Fact: Fact(fmt.Sprintf("objout:%s:%s:%s", path, ob.Output.Name, od.Name))})
+			}
+			for ni, nd := range ob.Notifications {
+				sat := Fact(fmt.Sprintf("onotif:%s:%s:%d", path, ob.Output.Name, ni))
+				need = append(need, sat)
+				for si, src := range nd.Sources {
+					rules = append(rules, Rule{
+						Name:    fmt.Sprintf("onsrc:%s:%s:%d:%d", path, ob.Output.Name, ni, si),
+						When:    []Fact{sourceFact(src)},
+						Actions: []Action{{Kind: AssertFact, Fact: sat}},
+					})
+				}
+			}
+			acts = append(acts,
+				Action{Kind: AssertFact, Fact: Fact("out:" + path + ":" + ob.Output.Name)},
+				Action{Kind: AssertFact, Fact: Fact("done:" + path)},
+			)
+			rules = append(rules, Rule{
+				Name:    fmt.Sprintf("emit:%s:%s", path, ob.Output.Name),
+				When:    need,
+				Actions: acts,
+			})
+		}
+		for _, c := range t.Constituents {
+			visit(c)
+		}
+	}
+	visit(root)
+	return rules, tasks
+}
+
+// sourceFact maps a dependency source to the fact its availability
+// corresponds to.
+func sourceFact(src *core.Source) Fact {
+	path := src.Task.Path()
+	switch src.Cond {
+	case core.CondInput:
+		if src.Object == "" {
+			return Fact(fmt.Sprintf("started:%s:%s", path, src.CondName))
+		}
+		return Fact(fmt.Sprintf("inobj:%s:%s:%s", path, src.CondName, src.Object))
+	case core.CondOutput:
+		if src.Object == "" {
+			return Fact(fmt.Sprintf("out:%s:%s", path, src.CondName))
+		}
+		return Fact(fmt.Sprintf("objout:%s:%s:%s", path, src.CondName, src.Object))
+	default:
+		if src.Object == "" {
+			return Fact("done:" + path)
+		}
+		// Unconditioned object source: satisfied by any output carrying
+		// it; approximate with the first declaring output.
+		for _, o := range src.Task.Class.Outputs {
+			if _, ok := o.Field(src.Object); ok {
+				return Fact(fmt.Sprintf("objout:%s:%s:%s", path, o.Name, src.Object))
+			}
+		}
+		return Fact("done:" + path)
+	}
+}
+
+// SeedFacts returns the facts representing the root task's start with its
+// first input set: the compound is started and its input objects are
+// available to constituents.
+func SeedFacts(root *core.Task) []Fact {
+	var seeds []Fact
+	set := "main"
+	if len(root.Class.InputSets) > 0 {
+		set = root.Class.InputSets[0].Name
+	}
+	seeds = append(seeds, Fact(fmt.Sprintf("started:%s:%s", root.Path(), set)))
+	if is := root.Class.InputSet(set); is != nil {
+		for _, f := range is.Objects {
+			seeds = append(seeds, Fact(fmt.Sprintf("inobj:%s:%s:%s", root.Path(), set, f.Name)))
+		}
+	}
+	return seeds
+}

@@ -1,0 +1,123 @@
+package eca_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline/eca"
+	"repro/internal/script/sema"
+	"repro/internal/scripts"
+	"repro/internal/workload"
+)
+
+func compileRules(t *testing.T, name, src string) ([]eca.Rule, map[string]interface{ Path() string }, *eca.Engine) {
+	t.Helper()
+	schema := sema.MustCompileSource(name, []byte(src))
+	root, err := schema.Root("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, tasks := eca.Compile(schema, root)
+	eng := eca.NewEngine(rules, tasks, workload.Oracle())
+	_ = eng
+	return rules, nil, eng
+}
+
+func TestRuleCountGrowsWithAlternatives(t *testing.T) {
+	// Each alternative source costs one extra rule — the unrolled
+	// disjunction that the structural language expresses in place.
+	r0, _, _ := compileRules(t, "dag0", workload.RandomDAG(10, 0, 5))
+	r2, _, _ := compileRules(t, "dag2", workload.RandomDAG(10, 2, 5))
+	if len(r2) <= len(r0) {
+		t.Fatalf("rules with alternatives = %d, without = %d; want growth", len(r2), len(r0))
+	}
+}
+
+func TestChainRunVisitsEveryTask(t *testing.T) {
+	schema := sema.MustCompileSource("chain", []byte(workload.Chain(7)))
+	root, _ := schema.Root("")
+	rules, tasks := eca.Compile(schema, root)
+	eng := eca.NewEngine(rules, tasks, workload.Oracle())
+	stats := eng.Run(eca.SeedFacts(root))
+	if stats.TasksStarted != 7 {
+		t.Fatalf("started %d, want 7", stats.TasksStarted)
+	}
+	if stats.Fired == 0 || stats.RuleEvaluations < stats.Fired {
+		t.Fatalf("implausible stats: %+v", stats)
+	}
+	// The compound's outcome must have been emitted.
+	found := false
+	for _, f := range eng.Facts() {
+		if strings.HasPrefix(string(f), "out:app:done") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("compound outcome fact missing")
+	}
+}
+
+func TestOutcomeAlternativesOnPaperScript(t *testing.T) {
+	schema := sema.MustCompileSource("po", []byte(scripts.ProcessOrder))
+	root, _ := schema.Root("")
+	rules, tasks := eca.Compile(schema, root)
+
+	// Happy path: all four tasks run, orderCompleted emitted.
+	eng := eca.NewEngine(rules, tasks, func(path string) string {
+		switch {
+		case strings.HasSuffix(path, "paymentAuthorisation"):
+			return "authorised"
+		case strings.HasSuffix(path, "checkStock"):
+			return "stockAvailable"
+		case strings.HasSuffix(path, "dispatch"):
+			return "dispatchCompleted"
+		default:
+			return "done"
+		}
+	})
+	stats := eng.Run(eca.SeedFacts(root))
+	if stats.TasksStarted != 4 { // the 4 constituents (the root is seeded, not started)
+		t.Fatalf("started %d, want 4", stats.TasksStarted)
+	}
+	hasOutcome := func(e *eca.Engine, fact string) bool {
+		for _, f := range e.Facts() {
+			if string(f) == fact {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasOutcome(eng, "out:processOrderApplication:orderCompleted") {
+		t.Fatal("orderCompleted not emitted")
+	}
+
+	// Declined payment: dispatch and capture never run, orderCancelled.
+	eng2 := eca.NewEngine(rules, tasks, func(path string) string {
+		switch {
+		case strings.HasSuffix(path, "paymentAuthorisation"):
+			return "notAuthorised"
+		case strings.HasSuffix(path, "checkStock"):
+			return "stockAvailable"
+		default:
+			return "done"
+		}
+	})
+	stats2 := eng2.Run(eca.SeedFacts(root))
+	if stats2.TasksStarted != 2 { // auth + stock only
+		t.Fatalf("started %d, want 2", stats2.TasksStarted)
+	}
+	if !hasOutcome(eng2, "out:processOrderApplication:orderCancelled") {
+		t.Fatal("orderCancelled not emitted")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	schema := sema.MustCompileSource("dag", []byte(workload.RandomDAG(30, 2, 11)))
+	root, _ := schema.Root("")
+	rules, tasks := eca.Compile(schema, root)
+	a := eca.NewEngine(rules, tasks, workload.Oracle()).Run(eca.SeedFacts(root))
+	b := eca.NewEngine(rules, tasks, workload.Oracle()).Run(eca.SeedFacts(root))
+	if a != b {
+		t.Fatalf("non-deterministic runs: %+v vs %+v", a, b)
+	}
+}

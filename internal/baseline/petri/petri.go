@@ -1,0 +1,289 @@
+// Package petri implements a place/transition net engine and a compiler
+// from workflow schemas to nets. It is the second baseline of the
+// related-work comparison (Section 6): "some other projects have chosen
+// to base their languages on an extension of Petri nets which enable them
+// to model the control flow using tokens".
+//
+// Dependencies become places; dependency satisfaction and task starts
+// become transitions. Condition places are read through test arcs (a
+// token is required but not consumed), because one task's output may feed
+// any number of dependents — consuming tokens would mis-model the
+// language's persistent dependencies. The execution loop is the classic
+// round-based scan: every round inspects every transition, which is the
+// scheduling-overhead comparison point against the event-driven engine.
+package petri
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Place is a token holder, identified by index into the marking.
+type Place struct {
+	Name string
+}
+
+// Transition fires when every In place is marked; it marks the Out
+// places. In places are test arcs (tokens are not consumed). A
+// transition fires at most once per run (the language's dependencies are
+// monotone within one iteration).
+type Transition struct {
+	Name string
+	In   []int
+	Out  []int
+	// Task, when non-empty, is a task-start transition: the oracle picks
+	// the outcome and the corresponding outcome places are marked.
+	Task string
+	Set  string
+}
+
+// Net is a compiled place/transition net.
+type Net struct {
+	Places      []Place
+	Transitions []Transition
+	placeIdx    map[string]int
+	// outcomePlaces maps task path + outcome to the places marked when
+	// the oracle selects that outcome.
+	outcomePlaces map[string][]int
+	tasks         map[string]*core.Task
+}
+
+// Oracle decides the outcome a task produces when its start transition
+// fires.
+type Oracle func(taskPath string) string
+
+// Stats reports a run's work, the baseline's comparison metrics.
+type Stats struct {
+	// Places and Transitions measure specification size.
+	Places      int
+	Transitions int
+	// Scans counts transition inspections across all rounds.
+	Scans int
+	// Rounds counts fixed-point iterations.
+	Rounds int
+	// Fired counts transitions that fired.
+	Fired int
+	// TasksStarted counts task-start transitions fired.
+	TasksStarted int
+}
+
+func (n *Net) place(name string) int {
+	if i, ok := n.placeIdx[name]; ok {
+		return i
+	}
+	i := len(n.Places)
+	n.Places = append(n.Places, Place{Name: name})
+	n.placeIdx[name] = i
+	return i
+}
+
+// Run executes the net from the seed marking to quiescence.
+func (n *Net) Run(seed []string, oracle Oracle) Stats {
+	marking := make([]bool, len(n.Places))
+	for _, s := range seed {
+		if i, ok := n.placeIdx[s]; ok {
+			marking[i] = true
+		}
+	}
+	fired := make([]bool, len(n.Transitions))
+	stats := Stats{Places: len(n.Places), Transitions: len(n.Transitions)}
+	for {
+		stats.Rounds++
+		progress := false
+		for ti := range n.Transitions {
+			stats.Scans++
+			if fired[ti] {
+				continue
+			}
+			t := &n.Transitions[ti]
+			enabled := true
+			for _, p := range t.In {
+				if !marking[p] {
+					enabled = false
+					break
+				}
+			}
+			if !enabled {
+				continue
+			}
+			fired[ti] = true
+			stats.Fired++
+			progress = true
+			for _, p := range t.Out {
+				marking[p] = true
+			}
+			if t.Task != "" {
+				stats.TasksStarted++
+				task := n.tasks[t.Task]
+				if task != nil && !task.Compound {
+					outcome := oracle(t.Task)
+					for _, p := range n.outcomePlaces[t.Task+"!"+outcome] {
+						marking[p] = true
+					}
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return stats
+}
+
+// Compile translates a schema rooted at root into a net.
+func Compile(s *core.Schema, root *core.Task) *Net {
+	n := &Net{
+		placeIdx:      make(map[string]int),
+		outcomePlaces: make(map[string][]int),
+		tasks:         make(map[string]*core.Task),
+	}
+	var visit func(t *core.Task)
+	visit = func(t *core.Task) {
+		path := t.Path()
+		n.tasks[path] = t
+		// Outcome places for plain tasks: out:<path>:<outcome>,
+		// objout:<path>:<outcome>:<obj>, done:<path>.
+		if !t.Compound {
+			for _, o := range t.Class.Outputs {
+				key := path + "!" + o.Name
+				places := []int{n.place("out:" + path + ":" + o.Name)}
+				if o.Kind != core.RepeatOutcome && o.Kind != core.Mark {
+					places = append(places, n.place("done:"+path))
+				}
+				for _, fld := range o.Objects {
+					places = append(places, n.place(fmt.Sprintf("objout:%s:%s:%s", path, o.Name, fld.Name)))
+				}
+				n.outcomePlaces[key] = places
+			}
+		}
+		for _, set := range t.InputSets {
+			var need []int
+			for _, od := range set.Objects {
+				sat := n.place(fmt.Sprintf("obj:%s:%s:%s", path, set.Name, od.Name))
+				need = append(need, sat)
+				for si, src := range od.Sources {
+					n.Transitions = append(n.Transitions, Transition{
+						Name: fmt.Sprintf("src:%s:%s:%s:%d", path, set.Name, od.Name, si),
+						In:   []int{n.place(sourcePlace(src))},
+						Out:  []int{sat},
+					})
+				}
+			}
+			for ni, nd := range set.Notifications {
+				sat := n.place(fmt.Sprintf("notif:%s:%s:%d", path, set.Name, ni))
+				need = append(need, sat)
+				for si, src := range nd.Sources {
+					n.Transitions = append(n.Transitions, Transition{
+						Name: fmt.Sprintf("nsrc:%s:%s:%d:%d", path, set.Name, ni, si),
+						In:   []int{n.place(sourcePlace(src))},
+						Out:  []int{sat},
+					})
+				}
+			}
+			out := []int{n.place(fmt.Sprintf("started:%s:%s", path, set.Name))}
+			if decl := t.Class.InputSet(set.Name); decl != nil {
+				for _, fld := range decl.Objects {
+					out = append(out, n.place(fmt.Sprintf("inobj:%s:%s:%s", path, set.Name, fld.Name)))
+				}
+			}
+			n.Transitions = append(n.Transitions, Transition{
+				Name: fmt.Sprintf("start:%s:%s", path, set.Name),
+				In:   need,
+				Out:  out,
+				Task: path,
+				Set:  set.Name,
+			})
+		}
+		if len(t.InputSets) == 0 && t.Parent != nil {
+			n.Transitions = append(n.Transitions, Transition{
+				Name: "start:" + path,
+				In:   []int{n.place("started:" + t.Parent.Path() + ":main")},
+				Out:  []int{n.place("started:" + path + ":")},
+				Task: path,
+			})
+		}
+		for _, ob := range t.Outputs {
+			var need []int
+			out := []int{
+				n.place("out:" + path + ":" + ob.Output.Name),
+				n.place("done:" + path),
+			}
+			for _, od := range ob.Objects {
+				sat := n.place(fmt.Sprintf("outobj:%s:%s:%s", path, ob.Output.Name, od.Name))
+				need = append(need, sat)
+				out = append(out, n.place(fmt.Sprintf("objout:%s:%s:%s", path, ob.Output.Name, od.Name)))
+				for si, src := range od.Sources {
+					n.Transitions = append(n.Transitions, Transition{
+						Name: fmt.Sprintf("osrc:%s:%s:%s:%d", path, ob.Output.Name, od.Name, si),
+						In:   []int{n.place(sourcePlace(src))},
+						Out:  []int{sat},
+					})
+				}
+			}
+			for ni, nd := range ob.Notifications {
+				sat := n.place(fmt.Sprintf("onotif:%s:%s:%d", path, ob.Output.Name, ni))
+				need = append(need, sat)
+				for si, src := range nd.Sources {
+					n.Transitions = append(n.Transitions, Transition{
+						Name: fmt.Sprintf("onsrc:%s:%s:%d:%d", path, ob.Output.Name, ni, si),
+						In:   []int{n.place(sourcePlace(src))},
+						Out:  []int{sat},
+					})
+				}
+			}
+			n.Transitions = append(n.Transitions, Transition{
+				Name: fmt.Sprintf("emit:%s:%s", path, ob.Output.Name),
+				In:   need,
+				Out:  out,
+			})
+		}
+		for _, c := range t.Constituents {
+			visit(c)
+		}
+	}
+	visit(root)
+	return n
+}
+
+// sourcePlace mirrors eca.sourceFact for the net's place naming.
+func sourcePlace(src *core.Source) string {
+	path := src.Task.Path()
+	switch src.Cond {
+	case core.CondInput:
+		if src.Object == "" {
+			return fmt.Sprintf("started:%s:%s", path, src.CondName)
+		}
+		return fmt.Sprintf("inobj:%s:%s:%s", path, src.CondName, src.Object)
+	case core.CondOutput:
+		if src.Object == "" {
+			return fmt.Sprintf("out:%s:%s", path, src.CondName)
+		}
+		return fmt.Sprintf("objout:%s:%s:%s", path, src.CondName, src.Object)
+	default:
+		if src.Object == "" {
+			return "done:" + path
+		}
+		for _, o := range src.Task.Class.Outputs {
+			if _, ok := o.Field(src.Object); ok {
+				return fmt.Sprintf("objout:%s:%s:%s", path, o.Name, src.Object)
+			}
+		}
+		return "done:" + path
+	}
+}
+
+// Seed returns the seed marking for the root task's first input set.
+func Seed(root *core.Task) []string {
+	set := "main"
+	if len(root.Class.InputSets) > 0 {
+		set = root.Class.InputSets[0].Name
+	}
+	seeds := []string{fmt.Sprintf("started:%s:%s", root.Path(), set)}
+	if is := root.Class.InputSet(set); is != nil {
+		for _, f := range is.Objects {
+			seeds = append(seeds, fmt.Sprintf("inobj:%s:%s:%s", root.Path(), set, f.Name))
+		}
+	}
+	return seeds
+}

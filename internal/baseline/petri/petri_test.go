@@ -1,0 +1,117 @@
+package petri_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline/petri"
+	"repro/internal/script/sema"
+	"repro/internal/scripts"
+	"repro/internal/workload"
+)
+
+func compileNet(t *testing.T, name, src string) (*petri.Net, func(string) string) {
+	t.Helper()
+	schema := sema.MustCompileSource(name, []byte(src))
+	root, err := schema.Root("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return petri.Compile(schema, root), workload.Oracle()
+}
+
+func seedOf(t *testing.T, name, src string) []string {
+	t.Helper()
+	schema := sema.MustCompileSource(name, []byte(src))
+	root, _ := schema.Root("")
+	return petri.Seed(root)
+}
+
+func TestChainFiresInDepthRounds(t *testing.T) {
+	const n = 9
+	src := workload.Chain(n)
+	net, oracle := compileNet(t, "chain", src)
+	stats := net.Run(seedOf(t, "chain", src), oracle)
+	if stats.TasksStarted != n {
+		t.Fatalf("started %d, want %d", stats.TasksStarted, n)
+	}
+	// Transitions are scanned in compilation order, so a chain cascades
+	// within a round; the run still needs a terminating no-progress round
+	// and scans every transition per round (the cost of the token model).
+	if stats.Rounds < 2 {
+		t.Fatalf("rounds = %d, want >= 2", stats.Rounds)
+	}
+	if stats.Scans < stats.Transitions*stats.Rounds/2 {
+		t.Fatalf("scan count implausibly low: %+v", stats)
+	}
+}
+
+func TestDiamondParallelRounds(t *testing.T) {
+	// All branches of a diamond fire in the same round: rounds grow with
+	// depth, not width.
+	srcNarrow := workload.Diamond(2)
+	srcWide := workload.Diamond(16)
+	netN, oracle := compileNet(t, "narrow", srcNarrow)
+	netW, _ := compileNet(t, "wide", srcWide)
+	statsN := netN.Run(seedOf(t, "narrow", srcNarrow), oracle)
+	statsW := netW.Run(seedOf(t, "wide", srcWide), oracle)
+	if statsW.TasksStarted != 1+16+15 { // head + branches + join tree
+		t.Fatalf("wide started %d", statsW.TasksStarted)
+	}
+	// The join tree of the wide diamond is deeper (log2(16)=4 levels vs
+	// 1), so rounds grow a little, but nothing near 8x.
+	if statsW.Rounds > statsN.Rounds*4 {
+		t.Fatalf("rounds: wide=%d narrow=%d; width should not multiply rounds", statsW.Rounds, statsN.Rounds)
+	}
+}
+
+func TestOraclePathSelection(t *testing.T) {
+	net, _ := func() (*petri.Net, func(string) string) {
+		return compileNet(t, "po", scripts.ProcessOrder)
+	}()
+	schema := sema.MustCompileSource("po", []byte(scripts.ProcessOrder))
+	root, _ := schema.Root("")
+
+	run := func(authorised bool) petri.Stats {
+		return net.Run(petri.Seed(root), func(path string) string {
+			switch {
+			case strings.HasSuffix(path, "paymentAuthorisation"):
+				if authorised {
+					return "authorised"
+				}
+				return "notAuthorised"
+			case strings.HasSuffix(path, "checkStock"):
+				return "stockAvailable"
+			case strings.HasSuffix(path, "dispatch"):
+				return "dispatchCompleted"
+			default:
+				return "done"
+			}
+		})
+	}
+	happy := run(true)
+	declined := run(false)
+	if happy.TasksStarted != 4 { // the 4 constituents (root is seeded)
+		t.Fatalf("happy path started %d, want 4", happy.TasksStarted)
+	}
+	if declined.TasksStarted != 2 { // auth + stock only
+		t.Fatalf("declined path started %d, want 2 (dispatch/capture must not fire)", declined.TasksStarted)
+	}
+}
+
+func TestNetSizesGrowWithAlternatives(t *testing.T) {
+	netA, _ := compileNet(t, "dag0", workload.RandomDAG(12, 0, 3))
+	netB, _ := compileNet(t, "dag2", workload.RandomDAG(12, 2, 3))
+	if len(netB.Transitions) <= len(netA.Transitions) {
+		t.Fatalf("transitions: with alts %d, without %d; want growth", len(netB.Transitions), len(netA.Transitions))
+	}
+}
+
+func TestRunIsRepeatable(t *testing.T) {
+	src := workload.RandomDAG(25, 1, 99)
+	net, oracle := compileNet(t, "dag", src)
+	seed := seedOf(t, "dag", src)
+	if net.Run(seed, oracle) != net.Run(seed, oracle) {
+		t.Fatal("identical runs must produce identical stats")
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+// Clone returns a deep copy of the schema's task-instance graph. Task
+// classes are immutable after compilation and are shared, not copied.
+// The engine uses Clone to make dynamic reconfiguration atomic: a batch
+// of reconfiguration operations is applied to a clone and the clone is
+// swapped in only if every operation succeeds, mirroring the paper's use
+// of atomic transactions for structural change.
+func (s *Schema) Clone() *Schema {
+	out := &Schema{
+		Name:        s.Name,
+		Source:      s.Source,
+		Classes:     append([]string(nil), s.Classes...),
+		TaskClasses: append([]*TaskClass(nil), s.TaskClasses...),
+	}
+	if s.Superclasses != nil {
+		out.Superclasses = make(map[string]string, len(s.Superclasses))
+		for k, v := range s.Superclasses {
+			out.Superclasses[k] = v
+		}
+	}
+	// Pass 1: copy the task tree, recording old->new mapping.
+	mapping := make(map[*Task]*Task)
+	var copyTask func(t *Task, parent *Task) *Task
+	copyTask = func(t *Task, parent *Task) *Task {
+		nt := &Task{
+			Name:     t.Name,
+			Class:    t.Class,
+			Compound: t.Compound,
+			Parent:   parent,
+		}
+		if t.Implementation != nil {
+			nt.Implementation = make(map[string]string, len(t.Implementation))
+			for k, v := range t.Implementation {
+				nt.Implementation[k] = v
+			}
+		}
+		mapping[t] = nt
+		for _, c := range t.Constituents {
+			nt.Constituents = append(nt.Constituents, copyTask(c, nt))
+		}
+		return nt
+	}
+	for _, t := range s.Tasks {
+		out.Tasks = append(out.Tasks, copyTask(t, nil))
+	}
+	// Pass 2: copy bindings, rewriting source task pointers.
+	copySource := func(src *Source) *Source {
+		nt, ok := mapping[src.Task]
+		if !ok {
+			nt = src.Task // source outside the cloned forest (not expected)
+		}
+		return &Source{Object: src.Object, Task: nt, Cond: src.Cond, CondName: src.CondName}
+	}
+	copyObjDep := func(d *ObjectDep) *ObjectDep {
+		nd := &ObjectDep{Name: d.Name}
+		for _, src := range d.Sources {
+			nd.Sources = append(nd.Sources, copySource(src))
+		}
+		return nd
+	}
+	copyNotif := func(d *NotificationDep) *NotificationDep {
+		nd := &NotificationDep{}
+		for _, src := range d.Sources {
+			nd.Sources = append(nd.Sources, copySource(src))
+		}
+		return nd
+	}
+	var fill func(t *Task)
+	fill = func(t *Task) {
+		nt := mapping[t]
+		for _, b := range t.InputSets {
+			nb := &InputSetBinding{Name: b.Name, Decl: b.Decl}
+			for _, d := range b.Objects {
+				nb.Objects = append(nb.Objects, copyObjDep(d))
+			}
+			for _, d := range b.Notifications {
+				nb.Notifications = append(nb.Notifications, copyNotif(d))
+			}
+			nt.InputSets = append(nt.InputSets, nb)
+		}
+		for _, ob := range t.Outputs {
+			nob := &OutputBinding{Output: ob.Output}
+			for _, d := range ob.Objects {
+				nob.Objects = append(nob.Objects, copyObjDep(d))
+			}
+			for _, d := range ob.Notifications {
+				nob.Notifications = append(nob.Notifications, copyNotif(d))
+			}
+			nt.Outputs = append(nt.Outputs, nob)
+		}
+		for _, c := range t.Constituents {
+			fill(c)
+		}
+	}
+	for _, t := range s.Tasks {
+		fill(t)
+	}
+	return out
+}

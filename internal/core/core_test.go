@@ -1,0 +1,353 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/script/sema"
+	"repro/internal/scripts"
+	"repro/internal/workload"
+)
+
+func compile(t *testing.T, name, src string) *core.Schema {
+	t.Helper()
+	return sema.MustCompileSource(name, []byte(src))
+}
+
+func TestPathsAndLookup(t *testing.T) {
+	s := compile(t, "trip", scripts.BusinessTrip)
+	paths := []string{
+		"tripReservation",
+		"tripReservation/businessReservation",
+		"tripReservation/businessReservation/checkFlightReservation/queryAirline2",
+		"tripReservation/printTickets",
+	}
+	for _, p := range paths {
+		task := s.Lookup(p)
+		if task == nil {
+			t.Fatalf("Lookup(%q) = nil", p)
+		}
+		if task.Path() != p {
+			t.Errorf("Path() = %q, want %q", task.Path(), p)
+		}
+	}
+	if s.Lookup("tripReservation/nope") != nil {
+		t.Error("bogus lookup must return nil")
+	}
+	if len(s.AllTasks()) != 11 {
+		t.Errorf("AllTasks = %d, want 11", len(s.AllTasks()))
+	}
+}
+
+func TestRootSelection(t *testing.T) {
+	s := compile(t, "po", scripts.ProcessOrder)
+	root, err := s.Root("")
+	if err != nil || root.Name != "processOrderApplication" {
+		t.Fatalf("root = %v, %v", root, err)
+	}
+	if _, err := s.Root("ghost"); err == nil {
+		t.Error("unknown root must error")
+	}
+}
+
+func TestAtomicityDetection(t *testing.T) {
+	s := compile(t, "po", scripts.ProcessOrder)
+	if !s.TaskClass("Dispatch").Atomic() {
+		t.Error("Dispatch declares an abort outcome and must be atomic")
+	}
+	if s.TaskClass("CheckStock").Atomic() {
+		t.Error("CheckStock has no abort outcome and must not be atomic")
+	}
+}
+
+func TestEdgesAndDependents(t *testing.T) {
+	s := compile(t, "fig1", scripts.Fig1Diamond)
+	root := s.Task("diamond")
+	t1 := root.Constituent("t1")
+	deps := s.Dependents(t1)
+	// t2 (notification+dataflow) and t3 (dataflow).
+	if len(deps) != 2 {
+		names := make([]string, len(deps))
+		for i, d := range deps {
+			names[i] = d.Path()
+		}
+		t.Fatalf("dependents of t1 = %v, want t2 and t3", names)
+	}
+	edges := s.Edges()
+	var notif, data int
+	for _, e := range edges {
+		if e.Object == "" {
+			notif++
+		} else {
+			data++
+		}
+	}
+	if notif != 1 {
+		t.Errorf("notification edges = %d, want 1 (t1 -> t2)", notif)
+	}
+	if data < 5 {
+		t.Errorf("dataflow edges = %d, want >= 5", data)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	s := compile(t, "fig1", scripts.Fig1Diamond)
+	root := s.Task("diamond")
+	order, err := s.TopoOrder(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, task := range order {
+		pos[task.Name] = i
+	}
+	if !(pos["t1"] < pos["t2"] && pos["t1"] < pos["t3"] && pos["t2"] < pos["t4"] && pos["t3"] < pos["t4"]) {
+		t.Errorf("topo order violates dependencies: %v", pos)
+	}
+}
+
+func TestTopoOrderRepeatEdgesExempt(t *testing.T) {
+	// The business trip's repeat feedback must not count as a cycle.
+	s := compile(t, "trip", scripts.BusinessTrip)
+	if err := s.CheckCycles(); err != nil {
+		t.Fatalf("CheckCycles: %v", err)
+	}
+	br := s.Lookup("tripReservation/businessReservation")
+	if _, err := s.TopoOrder(br); err != nil {
+		t.Fatalf("TopoOrder(businessReservation): %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := compile(t, "po", scripts.ProcessOrder)
+	c := s.Clone()
+	// Same structure...
+	if s.Stats() != c.Stats() {
+		t.Fatalf("clone stats differ: %+v vs %+v", s.Stats(), c.Stats())
+	}
+	// ...but distinct task objects with remapped internal pointers.
+	orig := s.Lookup("processOrderApplication/dispatch")
+	dup := c.Lookup("processOrderApplication/dispatch")
+	if orig == dup {
+		t.Fatal("clone shares task objects")
+	}
+	for _, b := range dup.InputSets {
+		for _, od := range b.Objects {
+			for _, src := range od.Sources {
+				if src.Task.Path() != c.Lookup(src.Task.Path()).Path() {
+					t.Fatal("clone source points into the original schema")
+				}
+			}
+		}
+	}
+	// Mutating the clone must not affect the original.
+	cloneCapture := c.Lookup("processOrderApplication/paymentCapture")
+	nsrc, err := sema.ResolveSourceSpec(c, cloneCapture, "main", "", "task checkStock if output stockAvailable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddNotification(cloneCapture, "main", nsrc); err != nil {
+		t.Fatal(err)
+	}
+	origCapture := s.Lookup("processOrderApplication/paymentCapture")
+	if len(origCapture.InputSet("main").Notifications) != 1 {
+		t.Fatal("mutating clone affected original")
+	}
+	if len(cloneCapture.InputSet("main").Notifications) != 2 {
+		t.Fatal("clone mutation lost")
+	}
+}
+
+func TestReconfigOps(t *testing.T) {
+	s := compile(t, "fig1", scripts.Fig1Diamond)
+	root := s.Task("diamond")
+	t2 := root.Constituent("t2")
+	t4 := root.Constituent("t4")
+
+	// The paper's example: add t5 with dependencies from t2 and t4.
+	t5, err := sema.CompileTaskFragment(s, root, []byte(`
+task t5 of taskclass Join
+{
+    implementation { "code" is "join" };
+    inputs
+    {
+        input main
+        {
+            inputobject left from { d of task t2 if output done };
+            inputobject right from { d of task t4 if output done }
+        }
+    }
+};`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTask(root, t5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Lookup("diamond/t5") == nil {
+		t.Fatal("t5 not added")
+	}
+	// Locality: t2 and t4 are untouched by the addition (unidirectional
+	// dependencies).
+	if len(t2.InputSets[0].Objects[0].Sources) != 1 {
+		t.Error("adding t5 modified t2 (locality violated)")
+	}
+	_ = t4
+
+	// Duplicate name rejected.
+	if err := s.AddTask(root, t5); !errors.Is(err, core.ErrTaskExists) {
+		t.Errorf("duplicate add: %v, want ErrTaskExists", err)
+	}
+	// Removing a depended-upon task rejected; removing t5 (a sink) works.
+	if err := s.RemoveTask(root, "t1"); !errors.Is(err, core.ErrHasDependents) {
+		t.Errorf("remove t1: %v, want ErrHasDependents", err)
+	}
+	if err := s.RemoveTask(root, "t5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveTask(root, "t5"); !errors.Is(err, core.ErrTaskNotFound) {
+		t.Errorf("remove twice: %v, want ErrTaskNotFound", err)
+	}
+}
+
+func TestAddSourceAndNotification(t *testing.T) {
+	s := compile(t, "fig1", scripts.Fig1Diamond)
+	root := s.Task("diamond")
+	t4 := root.Constituent("t4")
+
+	// Redundant data source for t4's left input: also accept t3's output.
+	src, err := sema.ResolveSourceSpec(s, t4, "main", "left", "d of task t3 if output done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddObjectSource(t4, "main", "left", src); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(t4.InputSet("main").ObjectDep("left").Sources); got != 2 {
+		t.Fatalf("left sources = %d, want 2", got)
+	}
+	// Removing below one source is rejected.
+	if err := s.RemoveObjectSource(t4, "main", "left", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveObjectSource(t4, "main", "left", 0); err == nil {
+		t.Fatal("removing the only source must fail")
+	}
+
+	// Notification add/remove.
+	nsrc, err := sema.ResolveSourceSpec(s, t4, "main", "", "task t1 if output done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddNotification(t4, "main", nsrc); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(t4.InputSet("main").Notifications); got != 1 {
+		t.Fatalf("notifications = %d, want 1", got)
+	}
+	if err := s.RemoveNotification(t4, "main", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveNotification(t4, "main", 0); err == nil {
+		t.Fatal("removing a missing notification must fail")
+	}
+}
+
+func TestAddDependencyCycleRejected(t *testing.T) {
+	s := compile(t, "fig1", scripts.Fig1Diamond)
+	root := s.Task("diamond")
+	t1 := root.Constituent("t1")
+	// t1 <- t4 would close the diamond into a cycle. t1's input seed has
+	// class Data; t4's done output carries d of class Data, so the source
+	// type-checks but must be rejected by the cycle check.
+	src, err := sema.ResolveSourceSpec(s, t1, "main", "seed", "d of task t4 if output done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.AddObjectSource(t1, "main", "seed", src)
+	if err == nil {
+		t.Fatal("cycle-closing source must be rejected")
+	}
+	var cyc *core.CycleError
+	if !errors.As(err, &cyc) {
+		t.Fatalf("err = %v, want CycleError", err)
+	}
+	// Rollback: t1 unchanged.
+	if got := len(t1.InputSet("main").ObjectDep("seed").Sources); got != 1 {
+		t.Fatalf("t1 seed sources = %d after rejected add, want 1", got)
+	}
+}
+
+func TestStatsOnGeneratedWorkloads(t *testing.T) {
+	// Property: for a chain of n stages, tasks = n + 1 (root) and
+	// dataflow sources = n + 1 (each stage one source, plus the root
+	// output mapping).
+	f := func(raw uint8) bool {
+		n := int(raw%20) + 1
+		s := workload.MustCompile(fmt.Sprintf("chain%d", n), workload.Chain(n))
+		st := s.Stats()
+		return st.Tasks == n+1 && st.CompoundTasks == 1 && st.Sources == n+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneEquivalenceProperty(t *testing.T) {
+	// Property: for random DAGs, Clone preserves stats, edges and paths.
+	f := func(rawN uint8, rawAlts uint8, seed int64) bool {
+		n := int(rawN%15) + 2
+		alts := int(rawAlts % 3)
+		s := workload.MustCompile("dag", workload.RandomDAG(n, alts, seed))
+		c := s.Clone()
+		if s.Stats() != c.Stats() {
+			return false
+		}
+		if len(s.Edges()) != len(c.Edges()) {
+			return false
+		}
+		for _, task := range s.AllTasks() {
+			if c.Lookup(task.Path()) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopoOrderProperty(t *testing.T) {
+	// Property: TopoOrder of random DAG scopes respects every edge.
+	f := func(rawN uint8, seed int64) bool {
+		n := int(rawN%20) + 2
+		s := workload.MustCompile("dag", workload.RandomDAG(n, 1, seed))
+		root, err := s.Root("")
+		if err != nil {
+			return false
+		}
+		order, err := s.TopoOrder(root)
+		if err != nil {
+			return false
+		}
+		pos := make(map[*core.Task]int, len(order))
+		for i, task := range order {
+			pos[task] = i
+		}
+		for _, e := range s.Edges() {
+			pf, okF := pos[e.From]
+			pt, okT := pos[e.To]
+			if okF && okT && pf >= pt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

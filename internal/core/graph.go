@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is a resolved dependency edge between two task instances within
+// the same compound scope: To depends on From.
+type Edge struct {
+	From *Task
+	To   *Task
+	// Object is the flowing object name; empty for pure notifications.
+	Object string
+	// Cond/CondName record the conditioning of the source.
+	Cond     SourceCond
+	CondName string
+	// InputSet is the depending input set of To (or the output binding
+	// name when the edge feeds a compound output, prefixed "outputs/").
+	InputSet string
+	// AltIndex is the position of this source among its alternatives
+	// (0 = highest priority).
+	AltIndex int
+}
+
+// String renders the edge for diagnostics and DOT labels.
+func (e Edge) String() string {
+	kind := "notify"
+	if e.Object != "" {
+		kind = e.Object
+	}
+	return fmt.Sprintf("%s -> %s [%s]", e.From.Path(), e.To.Path(), kind)
+}
+
+// dependencyEdges enumerates the resolved edges implied by t's input-set
+// bindings and (for compounds) output mappings.
+func dependencyEdges(t *Task) []Edge {
+	var edges []Edge
+	add := func(setName string, deps []*ObjectDep, notifs []*NotificationDep) {
+		for _, d := range deps {
+			for i, s := range d.Sources {
+				edges = append(edges, Edge{
+					From: s.Task, To: t, Object: d.Name,
+					Cond: s.Cond, CondName: s.CondName,
+					InputSet: setName, AltIndex: i,
+				})
+			}
+		}
+		for _, n := range notifs {
+			for i, s := range n.Sources {
+				edges = append(edges, Edge{
+					From: s.Task, To: t,
+					Cond: s.Cond, CondName: s.CondName,
+					InputSet: setName, AltIndex: i,
+				})
+			}
+		}
+	}
+	for _, b := range t.InputSets {
+		add(b.Name, b.Objects, b.Notifications)
+	}
+	for _, ob := range t.Outputs {
+		add("outputs/"+ob.Output.Name, ob.Objects, ob.Notifications)
+	}
+	return edges
+}
+
+// Edges returns every resolved dependency edge in the schema, in
+// deterministic order.
+func (s *Schema) Edges() []Edge {
+	var edges []Edge
+	for _, t := range s.AllTasks() {
+		edges = append(edges, dependencyEdges(t)...)
+	}
+	return edges
+}
+
+// CycleError reports a dependency cycle among sibling tasks.
+type CycleError struct {
+	Scope *Task // enclosing compound, nil for top level
+	Cycle []*Task
+}
+
+// Error implements the error interface.
+func (e *CycleError) Error() string {
+	names := make([]string, len(e.Cycle))
+	for i, t := range e.Cycle {
+		names[i] = t.Name
+	}
+	scope := "top level"
+	if e.Scope != nil {
+		scope = "compound task " + e.Scope.Path()
+	}
+	return fmt.Sprintf("dependency cycle in %s: %s", scope, strings.Join(names, " -> "))
+}
+
+// CheckCycles verifies that within every compound scope the dependency
+// graph over sibling constituents is acyclic. Edges that realise repeat
+// feedback (a task consuming its own repeat outcome) and edges from the
+// enclosing compound are exempt, as the paper's loop idiom (Fig. 9)
+// depends on them.
+func (s *Schema) CheckCycles() error {
+	scopes := [][]*Task{s.Tasks}
+	scopeOwner := []*Task{nil}
+	for _, t := range s.AllTasks() {
+		if t.Compound {
+			scopes = append(scopes, t.Constituents)
+			scopeOwner = append(scopeOwner, t)
+		}
+	}
+	for i, sibs := range scopes {
+		if err := checkScopeCycles(scopeOwner[i], sibs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkScopeCycles(owner *Task, sibs []*Task) error {
+	index := make(map[*Task]int, len(sibs))
+	for i, t := range sibs {
+		index[t] = i
+	}
+	adj := make([][]int, len(sibs))
+	for i, t := range sibs {
+		seen := make(map[int]bool)
+		for _, e := range dependencyEdges(t) {
+			j, ok := index[e.From]
+			if !ok || e.From == t {
+				// Source outside this scope (enclosing compound or repeat
+				// self-feedback): not part of the sibling DAG.
+				continue
+			}
+			// A conditioned source on a repeat outcome is feedback, not
+			// ordering: skip it for acyclicity purposes.
+			if e.Cond == CondOutput {
+				if o := e.From.Class.Output(e.CondName); o != nil && o.Kind == RepeatOutcome {
+					continue
+				}
+			}
+			if !seen[j] {
+				seen[j] = true
+				adj[i] = append(adj[i], j)
+			}
+		}
+		sort.Ints(adj[i])
+	}
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(sibs))
+	parent := make([]int, len(sibs))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycleAt int = -1
+	var cycleTo int = -1
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = grey
+		for _, v := range adj[u] {
+			switch color[v] {
+			case grey:
+				cycleAt, cycleTo = u, v
+				return true
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for i := range sibs {
+		if color[i] == white && dfs(i) {
+			var cyc []*Task
+			for u := cycleAt; u != -1 && u != cycleTo; u = parent[u] {
+				cyc = append(cyc, sibs[u])
+			}
+			cyc = append(cyc, sibs[cycleTo])
+			// Reverse into dependency order.
+			for l, r := 0, len(cyc)-1; l < r; l, r = l+1, r-1 {
+				cyc[l], cyc[r] = cyc[r], cyc[l]
+			}
+			return &CycleError{Scope: owner, Cycle: cyc}
+		}
+	}
+	return nil
+}
+
+// TopoOrder returns the constituents of scope (or top-level tasks when
+// scope is nil) in a topological order consistent with their dependency
+// edges. It is used by the baseline compilers and by deterministic
+// schedulers; the workflow engine itself is event driven and does not
+// need it.
+func (s *Schema) TopoOrder(scope *Task) ([]*Task, error) {
+	sibs := s.Tasks
+	if scope != nil {
+		sibs = scope.Constituents
+	}
+	if err := checkScopeCycles(scope, sibs); err != nil {
+		return nil, err
+	}
+	index := make(map[*Task]int, len(sibs))
+	for i, t := range sibs {
+		index[t] = i
+	}
+	indeg := make([]int, len(sibs))
+	adj := make([][]int, len(sibs))
+	for i, t := range sibs {
+		for _, e := range dependencyEdges(t) {
+			j, ok := index[e.From]
+			if !ok || e.From == t {
+				continue
+			}
+			if e.Cond == CondOutput {
+				if o := e.From.Class.Output(e.CondName); o != nil && o.Kind == RepeatOutcome {
+					continue
+				}
+			}
+			adj[j] = append(adj[j], i)
+			indeg[i]++
+		}
+	}
+	var queue []int
+	for i := range sibs {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var order []*Task
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, sibs[u])
+		for _, v := range adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != len(sibs) {
+		return nil, fmt.Errorf("topological sort incomplete: %d of %d tasks ordered", len(order), len(sibs))
+	}
+	return order, nil
+}
+
+// Dependents returns the tasks within the schema that name t as a source
+// in any input set or output mapping, in deterministic order. The result
+// demonstrates the paper's locality property: it is computed by scanning
+// declared dependencies, because upstream tasks hold no knowledge of
+// downstream tasks.
+func (s *Schema) Dependents(t *Task) []*Task {
+	seen := make(map[*Task]bool)
+	var out []*Task
+	for _, x := range s.AllTasks() {
+		for _, e := range dependencyEdges(x) {
+			if e.From == t && !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+	}
+	return out
+}

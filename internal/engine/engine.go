@@ -1,0 +1,684 @@
+// Package engine implements the workflow execution service core: it
+// coordinates the execution of workflow instances compiled from scripts,
+// "recording inter-task dependencies in persistent atomic objects and
+// using atomic transactions for propagating coordination information to
+// ensure that tasks are scheduled to run respecting their dependencies"
+// (Section 3 of the paper).
+//
+// Semantics implemented here, all from the paper:
+//
+//   - A task starts when one of its input sets is fully satisfied; among
+//     simultaneously satisfiable sets the first in declaration order wins,
+//     and among alternative sources of one input the first available in
+//     declaration order wins (Section 2, Fig. 2).
+//   - Task runs follow the Fig. 3 state machine: Wait, Execute, named
+//     outcomes, abort outcomes (no side effects, transactional), repeat
+//     outcomes (re-enter execution), and mark outputs (early release;
+//     a task that has marked can no longer abort).
+//   - System-level failures of implementations are retried automatically
+//     a finite number of times, then mapped to an abort outcome.
+//   - Compound tasks activate their constituents when they start and
+//     terminate when one of their output mappings becomes satisfied.
+//   - The structure of a running instance can be changed transactionally
+//     (dynamic reconfiguration; see Reconfigure).
+//   - Instances survive crashes: run states live in persistent atomic
+//     objects and Engine.Recover rebuilds and resumes an instance.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/registry"
+	"repro/internal/store"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// MaxRetries bounds the automatic retries of a task whose
+	// implementation reports a system-level failure. Default 3.
+	MaxRetries int
+	// MaxRepeats bounds repeat-outcome iterations per task as a runaway
+	// protection. Default 1000.
+	MaxRepeats int
+	// DefaultDeadline bounds each implementation activation when the
+	// task declares no "deadline" implementation property. Zero means no
+	// bound.
+	DefaultDeadline time.Duration
+	// Ephemeral disables persistence of run states (no transactions on
+	// the store, no crash recovery). It exists as the ablation baseline
+	// for the paper's design decision to record dependencies in
+	// persistent atomic objects; see the ablation benchmarks.
+	Ephemeral bool
+	// RemoteInvoker, when set, executes activations of tasks that carry a
+	// "location" implementation property on a remote task executor
+	// (Section 4.3 lists "location" and "agent" among the implementation
+	// keywords). Remote failures are system-level failures: retried, then
+	// mapped to an abort outcome. See internal/taskexec.
+	RemoteInvoker RemoteInvoker
+}
+
+// RemoteRequest describes one task activation to be executed elsewhere.
+type RemoteRequest struct {
+	Location  string
+	Code      string
+	Instance  string
+	TaskPath  string
+	InputSet  string
+	Attempt   int
+	Iteration int
+	Inputs    registry.Objects
+}
+
+// RemoteInvoker executes a task activation at req.Location and returns
+// its result. Implementations must be safe for concurrent use.
+type RemoteInvoker func(req RemoteRequest) (registry.Result, error)
+
+func (c Config) withDefaults() Config {
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MaxRepeats == 0 {
+		c.MaxRepeats = 1000
+	}
+	return c
+}
+
+// Engine runs workflow instances over a persistent object registry and a
+// task-implementation registry.
+type Engine struct {
+	preg  *persist.Registry
+	impls *registry.Registry
+	cfg   Config
+
+	mu        sync.Mutex
+	instances map[string]*Instance
+	closed    bool
+}
+
+// New returns an engine. preg supplies the persistent atomic objects and
+// transactions; impls supplies late-bound task implementations.
+func New(preg *persist.Registry, impls *registry.Registry, cfg Config) *Engine {
+	return &Engine{
+		preg:      preg,
+		impls:     impls,
+		cfg:       cfg.withDefaults(),
+		instances: make(map[string]*Instance),
+	}
+}
+
+// Impls returns the implementation registry (for rebinding/upgrades).
+func (e *Engine) Impls() *registry.Registry { return e.impls }
+
+// ErrInstanceExists is returned when instantiating a duplicate ID.
+var ErrInstanceExists = errors.New("instance already exists")
+
+// ErrInstanceNotFound is returned when looking up an unknown instance.
+var ErrInstanceNotFound = errors.New("instance not found")
+
+// ErrStalled is returned by Wait when the instance can make no further
+// progress without intervention (the paper's failure exception surfaced
+// to the application level).
+var ErrStalled = errors.New("instance stalled: no task executing and none can start")
+
+// ErrStopped is returned by Wait when the instance was stopped.
+var ErrStopped = errors.New("instance stopped")
+
+// Instantiate creates a new instance of the schema rooted at rootName
+// (empty selects the single top-level task) and starts its controller.
+// The instance is persisted immediately so it can be recovered.
+func (e *Engine) Instantiate(id string, schema *core.Schema, rootName string) (*Instance, error) {
+	root, err := schema.Root(rootName)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, errors.New("engine is closed")
+	}
+	if _, dup := e.instances[id]; dup {
+		return nil, fmt.Errorf("instantiate %s: %w", id, ErrInstanceExists)
+	}
+	inst := e.newInstance(id, schema, root)
+	meta := instanceMeta{ID: id, SchemaName: schema.Name, SchemaSource: schema.Source, RootName: root.Name}
+	if err := inst.saveMeta(meta); err != nil {
+		return nil, err
+	}
+	inst.meta = meta
+	// The root run exists from the start, in Waiting.
+	rootRun := inst.newRun(root, runState{Path: root.Path(), State: RunWaiting})
+	inst.runs[root.Path()] = rootRun
+	if err := inst.persistRunDirect(rootRun); err != nil {
+		return nil, err
+	}
+	e.instances[id] = inst
+	go inst.loop()
+	return inst, nil
+}
+
+// SchemaCompiler turns persisted schema source back into a compiled
+// schema during recovery; callers pass sema.CompileSource (the engine
+// does not import the front end).
+type SchemaCompiler func(name string, src []byte) (*core.Schema, error)
+
+// Recover rebuilds an instance from its persisted state after a crash or
+// restart: the schema is recompiled from its stored source, persisted
+// reconfigurations are re-applied, run states are reloaded, and
+// implementations that were executing are re-activated (at-least-once
+// execution; atomic tasks get effective exactly-once because their
+// effects commit with their outcome).
+//
+// Call persist.Registry.Recover first to roll forward the write-ahead
+// log.
+func (e *Engine) Recover(id string, compile SchemaCompiler) (*Instance, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.instances[id]; dup {
+		return nil, fmt.Errorf("recover %s: %w", id, ErrInstanceExists)
+	}
+	var meta instanceMeta
+	if err := e.preg.Object(metaKey(id)).Peek(&meta); err != nil {
+		return nil, fmt.Errorf("recover %s: %w", id, err)
+	}
+	schema, err := compile(meta.SchemaName, []byte(meta.SchemaSource))
+	if err != nil {
+		return nil, fmt.Errorf("recover %s: recompile schema: %w", id, err)
+	}
+	root, err := schema.Root(meta.RootName)
+	if err != nil {
+		return nil, fmt.Errorf("recover %s: %w", id, err)
+	}
+	inst := e.newInstance(id, schema, root)
+	inst.meta = meta
+
+	// Re-apply persisted reconfigurations in order.
+	for seq := 0; seq < meta.ReconfigSeq; seq++ {
+		var rec reconfigRecord
+		if err := e.preg.Object(reconfigKey(id, seq)).Peek(&rec); err != nil {
+			return nil, fmt.Errorf("recover %s: reconfig %d: %w", id, seq, err)
+		}
+		for _, op := range rec.Ops {
+			if err := op.Apply(schema, root); err != nil {
+				return nil, fmt.Errorf("recover %s: re-apply reconfig %d: %w", id, seq, err)
+			}
+		}
+	}
+	inst.reconfigSeq = meta.ReconfigSeq
+
+	// Reload run states.
+	prefix := store.ID("inst/" + id + "/run/")
+	ids, err := e.preg.Store().List(prefix)
+	if err != nil {
+		return nil, fmt.Errorf("recover %s: %w", id, err)
+	}
+	for _, sid := range ids {
+		var st runState
+		if err := e.preg.Object(sid).Peek(&st); err != nil {
+			return nil, fmt.Errorf("recover %s: run %s: %w", id, sid, err)
+		}
+		task := schema.Lookup(st.Path)
+		if task == nil {
+			// The task was removed by reconfiguration after this state
+			// was written, or the path belongs to a reset subtree;
+			// ignore.
+			continue
+		}
+		inst.runs[st.Path] = inst.newRun(task, st)
+	}
+	if inst.runs[root.Path()] == nil {
+		inst.runs[root.Path()] = inst.newRun(root, runState{Path: root.Path(), State: RunWaiting})
+	}
+	e.instances[id] = inst
+	go inst.loop()
+	inst.resumeExecuting()
+	return inst, nil
+}
+
+// Instance returns a running instance by ID.
+func (e *Engine) Instance(id string) (*Instance, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	inst, ok := e.instances[id]
+	if !ok {
+		return nil, fmt.Errorf("instance %s: %w", id, ErrInstanceNotFound)
+	}
+	return inst, nil
+}
+
+// Instances lists the IDs of live instances.
+func (e *Engine) Instances() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.instances))
+	for id := range e.instances {
+		out = append(out, id)
+	}
+	return out
+}
+
+// drop removes a stopped instance from the table.
+func (e *Engine) drop(id string) {
+	e.mu.Lock()
+	delete(e.instances, id)
+	e.mu.Unlock()
+}
+
+// Close stops every instance controller and waits for their workers.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	insts := make([]*Instance, 0, len(e.instances))
+	for _, i := range e.instances {
+		insts = append(insts, i)
+	}
+	e.mu.Unlock()
+	for _, i := range insts {
+		i.Stop()
+	}
+}
+
+// InstanceStatus is the lifecycle state of a workflow instance.
+type InstanceStatus int
+
+// Instance states.
+const (
+	// StatusCreated: instantiated, root not yet started.
+	StatusCreated InstanceStatus = iota + 1
+	// StatusRunning: root started, work pending or executing.
+	StatusRunning
+	// StatusStalled: no progress possible without intervention.
+	StatusStalled
+	// StatusCompleted: root terminated in a non-abort outcome.
+	StatusCompleted
+	// StatusAborted: root terminated in an abort state.
+	StatusAborted
+	// StatusFailed: root failed (contract violation / retries exhausted).
+	StatusFailed
+	// StatusStopped: controller stopped by request.
+	StatusStopped
+)
+
+// String names the status.
+func (s InstanceStatus) String() string {
+	switch s {
+	case StatusCreated:
+		return "created"
+	case StatusRunning:
+		return "running"
+	case StatusStalled:
+		return "stalled"
+	case StatusCompleted:
+		return "completed"
+	case StatusAborted:
+		return "aborted"
+	case StatusFailed:
+		return "failed"
+	case StatusStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Result is the terminal outcome of an instance's root task.
+type Result struct {
+	Output  string
+	Kind    core.OutputKind
+	Objects registry.Objects
+	State   RunState
+}
+
+// TaskStatus is one row of a status snapshot.
+type TaskStatus struct {
+	Path      string
+	State     RunState
+	ChosenSet string
+	Attempt   int
+	Iteration int
+	Outputs   []string
+}
+
+// Instance is one running workflow: the unit the execution service
+// coordinates.
+type Instance struct {
+	eng    *Engine
+	id     string
+	schema *core.Schema
+	root   *core.Task
+	meta   instanceMeta
+
+	// Controller plumbing. runs is owned by the loop goroutine after
+	// construction; external access goes through reqCh.
+	runs     map[string]*run
+	order    []string // task paths in schema DFS order
+	evCh     chan completionMsg
+	markCh   chan markMsg
+	reqCh    chan func()
+	stopCh   chan struct{}
+	loopDone chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	inflight int
+
+	reconfigSeq int
+	// genSeq issues run generations; touched only by the goroutine that
+	// owns runs (the loop, or construction/recovery before the loop).
+	genSeq int
+
+	// Observable state, guarded by mu; changed is closed and replaced on
+	// every update so waiters can select against contexts.
+	mu      sync.Mutex
+	changed chan struct{}
+	events  []Event
+	seq     int
+	status  InstanceStatus
+	result  *Result
+}
+
+func (e *Engine) newInstance(id string, schema *core.Schema, root *core.Task) *Instance {
+	inst := &Instance{
+		eng:      e,
+		id:       id,
+		schema:   schema,
+		root:     root,
+		runs:     make(map[string]*run),
+		evCh:     make(chan completionMsg, 64),
+		markCh:   make(chan markMsg),
+		reqCh:    make(chan func()),
+		stopCh:   make(chan struct{}),
+		loopDone: make(chan struct{}),
+		changed:  make(chan struct{}),
+		status:   StatusCreated,
+	}
+	inst.rebuildOrder()
+	return inst
+}
+
+// ID returns the instance identifier.
+func (i *Instance) ID() string { return i.id }
+
+// newRun allocates a run with a fresh generation. Must be called from the
+// goroutine owning the run map.
+func (i *Instance) newRun(task *core.Task, st runState) *run {
+	i.genSeq++
+	return &run{task: task, st: st, gen: i.genSeq, cancel: make(chan struct{})}
+}
+
+// Schema returns the instance's (possibly reconfigured) schema.
+func (i *Instance) Schema() *core.Schema { return i.schema }
+
+// rebuildOrder recomputes the deterministic evaluation order (schema DFS
+// from the root). Called at construction and after reconfiguration, on
+// the loop goroutine.
+func (i *Instance) rebuildOrder() {
+	i.order = i.order[:0]
+	i.root.Walk(func(t *core.Task) { i.order = append(i.order, t.Path()) })
+}
+
+// notify closes the change channel (under mu) so waiters re-check.
+func (i *Instance) notifyLocked() {
+	close(i.changed)
+	i.changed = make(chan struct{})
+}
+
+// emit appends an event to the trace.
+func (i *Instance) emit(ev Event) {
+	i.mu.Lock()
+	i.seq++
+	ev.Seq = i.seq
+	ev.Time = time.Now()
+	ev.Instance = i.id
+	i.events = append(i.events, ev)
+	i.notifyLocked()
+	i.mu.Unlock()
+}
+
+// Events returns a snapshot of the event trace.
+func (i *Instance) Events() []Event {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]Event, len(i.events))
+	copy(out, i.events)
+	return out
+}
+
+// Status returns the instance status.
+func (i *Instance) Status() InstanceStatus {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.status
+}
+
+// setStatus transitions the observable status.
+func (i *Instance) setStatus(s InstanceStatus) {
+	i.mu.Lock()
+	if i.status != s {
+		i.status = s
+		i.notifyLocked()
+	}
+	i.mu.Unlock()
+}
+
+// Result returns the terminal result, if any.
+func (i *Instance) Result() (Result, bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.result == nil {
+		return Result{}, false
+	}
+	return *i.result, true
+}
+
+// Start begins execution of the root task with the given input set and
+// objects, validated against the root task class. Start persists the
+// request so recovery restarts an instance whose root had been started.
+func (i *Instance) Start(set string, inputs registry.Objects) error {
+	decl := i.root.Class.InputSet(set)
+	if decl == nil {
+		return fmt.Errorf("start %s: root taskclass %s has no input set %q", i.id, i.root.Class.Name, set)
+	}
+	for _, f := range decl.Objects {
+		v, ok := inputs[f.Name]
+		if !ok {
+			return fmt.Errorf("start %s: missing input object %q (class %s)", i.id, f.Name, f.Class)
+		}
+		if !i.schema.AssignableTo(v.Class, f.Class) {
+			return fmt.Errorf("start %s: input %q has class %s, want %s", i.id, f.Name, v.Class, f.Class)
+		}
+	}
+	errCh := make(chan error, 1)
+	select {
+	case i.reqCh <- func() { errCh <- i.startRoot(set, inputs) }:
+	case <-i.loopDone:
+		return ErrStopped
+	}
+	select {
+	case err := <-errCh:
+		return err
+	case <-i.loopDone:
+		return ErrStopped
+	}
+}
+
+// waitPred blocks until pred (evaluated under mu) is true or ctx ends.
+func (i *Instance) waitPred(ctx context.Context, pred func() bool) error {
+	i.mu.Lock()
+	for !pred() {
+		ch := i.changed
+		i.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		i.mu.Lock()
+	}
+	i.mu.Unlock()
+	return nil
+}
+
+// Wait blocks until the instance settles: terminal root (Result, nil),
+// stalled (ErrStalled), stopped (ErrStopped), or context end.
+func (i *Instance) Wait(ctx context.Context) (Result, error) {
+	var settled InstanceStatus
+	err := i.waitPred(ctx, func() bool {
+		switch i.status {
+		case StatusCompleted, StatusAborted, StatusFailed, StatusStalled, StatusStopped:
+			settled = i.status
+			return true
+		default:
+			return false
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	switch settled {
+	case StatusStalled:
+		return Result{}, ErrStalled
+	case StatusStopped:
+		return Result{}, ErrStopped
+	default:
+		i.mu.Lock()
+		defer i.mu.Unlock()
+		if i.result == nil {
+			return Result{}, fmt.Errorf("instance %s settled (%s) without result", i.id, settled)
+		}
+		return *i.result, nil
+	}
+}
+
+// WaitEvent blocks until an event satisfying pred has been emitted and
+// returns the first such event.
+func (i *Instance) WaitEvent(ctx context.Context, pred func(Event) bool) (Event, error) {
+	var found Event
+	scanned := 0
+	err := i.waitPred(ctx, func() bool {
+		for ; scanned < len(i.events); scanned++ {
+			if pred(i.events[scanned]) {
+				found = i.events[scanned]
+				return true
+			}
+		}
+		return false
+	})
+	return found, err
+}
+
+// Snapshot returns the status of every known task run, in schema order.
+func (i *Instance) Snapshot() ([]TaskStatus, error) {
+	type reply struct {
+		rows []TaskStatus
+	}
+	ch := make(chan reply, 1)
+	select {
+	case i.reqCh <- func() {
+		rows := make([]TaskStatus, 0, len(i.runs))
+		for _, path := range i.order {
+			r, ok := i.runs[path]
+			if !ok {
+				continue
+			}
+			row := TaskStatus{
+				Path: path, State: r.st.State, ChosenSet: r.st.ChosenSet,
+				Attempt: r.st.Attempt, Iteration: r.st.Iteration,
+			}
+			for _, rec := range r.st.Outputs {
+				row.Outputs = append(row.Outputs, rec.Output)
+			}
+			rows = append(rows, row)
+		}
+		ch <- reply{rows: rows}
+	}:
+	case <-i.loopDone:
+		return i.offlineSnapshot(), nil
+	}
+	select {
+	case rep := <-ch:
+		return rep.rows, nil
+	case <-i.loopDone:
+		return i.offlineSnapshot(), nil
+	}
+}
+
+// offlineSnapshot reads run state after the loop has exited (safe: no
+// more concurrent mutation).
+func (i *Instance) offlineSnapshot() []TaskStatus {
+	rows := make([]TaskStatus, 0, len(i.runs))
+	for _, path := range i.order {
+		r, ok := i.runs[path]
+		if !ok {
+			continue
+		}
+		row := TaskStatus{
+			Path: path, State: r.st.State, ChosenSet: r.st.ChosenSet,
+			Attempt: r.st.Attempt, Iteration: r.st.Iteration,
+		}
+		for _, rec := range r.st.Outputs {
+			row.Outputs = append(row.Outputs, rec.Output)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// AbortTask force-aborts a task run (user-initiated abort of Fig. 3).
+// outcome optionally names the abort outcome to terminate in; empty
+// selects the first declared abort outcome, if any.
+func (i *Instance) AbortTask(path, outcome string) error {
+	errCh := make(chan error, 1)
+	select {
+	case i.reqCh <- func() { errCh <- i.abortTask(path, outcome) }:
+	case <-i.loopDone:
+		return ErrStopped
+	}
+	select {
+	case err := <-errCh:
+		return err
+	case <-i.loopDone:
+		return ErrStopped
+	}
+}
+
+// Stop halts the controller, cancelling executing implementations. The
+// instance's persistent state remains recoverable.
+func (i *Instance) Stop() {
+	i.stopOnce.Do(func() { close(i.stopCh) })
+	<-i.loopDone
+	i.wg.Wait()
+	i.eng.drop(i.id)
+	i.setStatus(StatusStopped)
+}
+
+// saveMeta persists the instance header in a transaction.
+func (i *Instance) saveMeta(meta instanceMeta) error {
+	if i.eng.cfg.Ephemeral {
+		return nil
+	}
+	tx := i.eng.preg.Manager().Begin()
+	if err := i.eng.preg.Object(metaKey(i.id)).Set(tx, meta); err != nil {
+		_ = tx.Abort()
+		return fmt.Errorf("save meta %s: %w", i.id, err)
+	}
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("save meta %s: %w", i.id, err)
+	}
+	return nil
+}
+
+// persistRunDirect writes a run state in its own transaction (used at
+// instantiation, before the loop owns the run map).
+func (i *Instance) persistRunDirect(r *run) error {
+	tx := i.eng.preg.Manager().Begin()
+	if err := i.eng.preg.Object(runKey(i.id, r.st.Path)).Set(tx, r.st); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}

@@ -1,0 +1,474 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/registry"
+	"repro/internal/script/sema"
+	"repro/internal/scripts"
+)
+
+// --- The paper's timer pattern: an exceptional input set fed by a timer
+// task lets a task wait for normal inputs with a timeout (Section 4.2).
+
+const timerScript = `
+class D;
+class Tick;
+
+taskclass Slow
+{
+    inputs { input main { seed of class D } };
+    outputs { outcome done { out of class D } }
+};
+
+taskclass Timer
+{
+    inputs { input main { seed of class D } };
+    outputs { outcome expired { tick of class Tick } }
+};
+
+taskclass Consumer
+{
+    inputs
+    {
+        input normal { v of class D };
+        input timeout { tick of class Tick }
+    };
+    outputs { outcome gotValue { }; outcome timedOut { } }
+};
+
+taskclass App
+{
+    inputs { input main { seed of class D } };
+    outputs { outcome ok { }; outcome late { } }
+};
+
+compoundtask app of taskclass App
+{
+    task slow of taskclass Slow
+    {
+        implementation { "code" is "slow" };
+        inputs { input main { inputobject seed from { seed of task app if input main } } }
+    };
+    task timer of taskclass Timer
+    {
+        implementation { "code" is "timer" };
+        inputs { input main { inputobject seed from { seed of task app if input main } } }
+    };
+    task consumer of taskclass Consumer
+    {
+        implementation { "code" is "consume" };
+        inputs
+        {
+            input normal
+            {
+                inputobject v from { out of task slow if output done }
+            };
+            input timeout
+            {
+                inputobject tick from { tick of task timer if output expired }
+            }
+        }
+    };
+    outputs
+    {
+        outcome ok { notification from { task consumer if output gotValue } };
+        outcome late { notification from { task consumer if output timedOut } }
+    }
+};
+`
+
+func bindTimerScenario(impls *registry.Registry, slowDelay, timerDelay time.Duration) {
+	impls.Bind("slow", func(ctx registry.Context) (registry.Result, error) {
+		select {
+		case <-time.After(slowDelay):
+		case <-ctx.Done():
+			return registry.Result{}, errors.New("cancelled")
+		}
+		return registry.Result{Output: "done", Objects: registry.Objects{"out": val("D", "v")}}, nil
+	})
+	impls.Bind("timer", func(ctx registry.Context) (registry.Result, error) {
+		select {
+		case <-time.After(timerDelay):
+		case <-ctx.Done():
+			return registry.Result{}, errors.New("cancelled")
+		}
+		return registry.Result{Output: "expired", Objects: registry.Objects{"tick": val("Tick", 1)}}, nil
+	})
+	impls.Bind("consume", func(ctx registry.Context) (registry.Result, error) {
+		if ctx.InputSet() == "normal" {
+			return registry.Result{Output: "gotValue"}, nil
+		}
+		return registry.Result{Output: "timedOut"}, nil
+	})
+}
+
+func TestTimerPatternNormalWins(t *testing.T) {
+	r := newRig(t, engine.Config{})
+	bindTimerScenario(r.impls, 5*time.Millisecond, 500*time.Millisecond)
+	inst := r.run(t, timerScript, "timer-fast", "main", registry.Objects{"seed": val("D", 0)})
+	res := waitResult(t, inst)
+	if res.Output != "ok" {
+		t.Fatalf("outcome = %q, want ok (normal input arrived before the timer)", res.Output)
+	}
+}
+
+func TestTimerPatternTimeoutWins(t *testing.T) {
+	r := newRig(t, engine.Config{})
+	bindTimerScenario(r.impls, 2*time.Second, 5*time.Millisecond)
+	inst := r.run(t, timerScript, "timer-slow", "main", registry.Objects{"seed": val("D", 0)})
+	res := waitResult(t, inst)
+	if res.Output != "late" {
+		t.Fatalf("outcome = %q, want late (timer input set satisfied first)", res.Output)
+	}
+}
+
+// --- Input sharing: `x of task t if input s` reads another task's
+// consumed input (Section 4.3's i3-of-t2 example).
+
+const inputSharingScript = `
+class D;
+
+taskclass Stage
+{
+    inputs { input main { in of class D } };
+    outputs { outcome done { out of class D } }
+};
+
+taskclass App
+{
+    inputs { input main { seed of class D } };
+    outputs { outcome done { out of class D } }
+};
+
+compoundtask app of taskclass App
+{
+    task t2 of taskclass Stage
+    {
+        implementation { "code" is "hold" };
+        inputs { input main { inputobject in from { seed of task app if input main } } }
+    };
+    task t1 of taskclass Stage
+    {
+        implementation { "code" is "echo" };
+        inputs
+        {
+            input main
+            {
+                inputobject in from { in of task t2 if input main }
+            }
+        }
+    };
+    outputs { outcome done { outputobject out from { out of task t1 if output done } } }
+};
+`
+
+func TestInputSharing(t *testing.T) {
+	r := newRig(t, engine.Config{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	r.impls.Bind("hold", func(ctx registry.Context) (registry.Result, error) {
+		close(started)
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return registry.Result{}, errors.New("cancelled")
+		}
+		return registry.Result{Output: "done", Objects: registry.Objects{"out": ctx.Inputs()["in"]}}, nil
+	})
+	r.impls.Bind("echo", func(ctx registry.Context) (registry.Result, error) {
+		return registry.Result{Output: "done", Objects: registry.Objects{"out": ctx.Inputs()["in"]}}, nil
+	})
+	inst := r.run(t, inputSharingScript, "share-1", "main", registry.Objects{"seed": val("D", "shared")})
+	// t1 reads t2's *input*, so it must complete while t2 is still
+	// executing — input sharing does not wait for t2's output.
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("t2 never started")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := inst.WaitEvent(ctx, func(e engine.Event) bool {
+		return e.Kind == engine.EventTaskCompleted && e.Task == "app/t1"
+	}); err != nil {
+		t.Fatalf("t1 did not complete from t2's shared input: %v", err)
+	}
+	close(release)
+	res := waitResult(t, inst)
+	if res.Objects["out"].Data.(string) != "shared" {
+		t.Fatalf("value = %v, want the shared seed", res.Objects["out"].Data)
+	}
+}
+
+// --- Stall revival by reconfiguration: the paper's motivation for
+// dynamic change is exactly "services withdrawn / requirements changed".
+
+func TestStalledInstanceRevivedByReconfiguration(t *testing.T) {
+	r := newRig(t, engine.Config{MaxRetries: 0})
+	bindDiamond(r.impls)
+	// t1 fails permanently: its class has no abort outcome, so the
+	// instance stalls.
+	r.impls.Bind("produce", func(registry.Context) (registry.Result, error) {
+		return registry.Result{}, errors.New("service withdrawn")
+	})
+	inst := r.run(t, fig2StallScript, "revive-1", "main", registry.Objects{"seed": val("Data", "s")})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := inst.Wait(ctx); !errors.Is(err, engine.ErrStalled) {
+		t.Fatalf("expected stall, got %v", err)
+	}
+	// Reconfigure: give t2 an alternative source fed by a fresh task
+	// bound to a working implementation.
+	r.impls.Bind("produce2", registry.Fixed("done", registry.Objects{"d": val("Data", "alt")}))
+	err := inst.Reconfigure(
+		&engine.AddTaskOp{ScopePath: "diamond", Fragment: `
+task t1b of taskclass Producer
+{
+    implementation { "code" is "produce2" };
+    inputs
+    {
+        input main
+        {
+            inputobject seed from { seed of task diamond if input main }
+        }
+    }
+};`},
+		&engine.AddObjectSourceOp{TaskPath: "diamond/t2", Set: "main", Object: "in", Source: "d of task t1b if output done"},
+	)
+	if err != nil {
+		t.Fatalf("reconfigure: %v", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if _, err := inst.WaitEvent(ctx2, func(e engine.Event) bool {
+		return e.Kind == engine.EventTaskCompleted && e.Task == "diamond/t2"
+	}); err != nil {
+		t.Fatalf("t2 never ran after revival: %v", err)
+	}
+}
+
+// fig2StallScript is the Fig. 1 diamond where only t2's path matters;
+// it reuses the diamond classes but keeps t2 depending solely on a
+// producer, so one alternative source suffices to revive it.
+const fig2StallScript = `
+class Data;
+
+taskclass Producer
+{
+    inputs { input main { seed of class Data } };
+    outputs { outcome done { d of class Data } }
+};
+
+taskclass Stage
+{
+    inputs { input main { in of class Data } };
+    outputs { outcome done { d of class Data } }
+};
+
+taskclass Diamond
+{
+    inputs { input main { seed of class Data } };
+    outputs { outcome done { d of class Data } }
+};
+
+compoundtask diamond of taskclass Diamond
+{
+    task t1 of taskclass Producer
+    {
+        implementation { "code" is "produce" };
+        inputs { input main { inputobject seed from { seed of task diamond if input main } } }
+    };
+    task t2 of taskclass Stage
+    {
+        implementation { "code" is "stage" };
+        inputs { input main { inputobject in from { d of task t1 if output done } } }
+    };
+    outputs { outcome done { outputobject d from { d of task t2 if output done } } }
+};
+`
+
+// --- Misc edge cases ---------------------------------------------------
+
+func TestUnknownOutputFailsTask(t *testing.T) {
+	r := newRig(t, engine.Config{})
+	bindDiamond(r.impls)
+	r.impls.Bind("produce", registry.Fixed("no-such-outcome", nil))
+	inst := r.run(t, fig2StallScript, "unknown-out", "main", registry.Objects{"seed": val("Data", "s")})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ev, err := inst.WaitEvent(ctx, func(e engine.Event) bool { return e.Kind == engine.EventTaskFailed })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ev.Err, "unknown output") {
+		t.Fatalf("failure reason = %q", ev.Err)
+	}
+}
+
+func TestMissingDeclaredObjectFailsTask(t *testing.T) {
+	r := newRig(t, engine.Config{})
+	bindDiamond(r.impls)
+	// Producer's done outcome declares object d; produce nothing.
+	r.impls.Bind("produce", registry.Fixed("done", nil))
+	inst := r.run(t, fig2StallScript, "missing-obj", "main", registry.Objects{"seed": val("Data", "s")})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ev, err := inst.WaitEvent(ctx, func(e engine.Event) bool { return e.Kind == engine.EventTaskFailed })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ev.Err, "missing declared object") {
+		t.Fatalf("failure reason = %q", ev.Err)
+	}
+}
+
+func TestMaxRepeatsBound(t *testing.T) {
+	r := newRig(t, engine.Config{MaxRepeats: 5})
+	r.impls.Bind("cycler", func(ctx registry.Context) (registry.Result, error) {
+		n := ctx.Inputs()["seed"].Data.(int)
+		return registry.Result{Output: "again", Objects: registry.Objects{"counter": val("D", n+1)}}, nil
+	})
+	inst := r.run(t, fig3Script, "repeat-bound", "main", registry.Objects{"seed": val("D", 0)})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ev, err := inst.WaitEvent(ctx, func(e engine.Event) bool { return e.Kind == engine.EventTaskFailed })
+	if err != nil {
+		t.Fatalf("runaway repeat not stopped: %v", err)
+	}
+	if !strings.Contains(ev.Err, "repeat limit") {
+		t.Fatalf("failure reason = %q", ev.Err)
+	}
+}
+
+func TestSnapshotReflectsRunStates(t *testing.T) {
+	r := newRig(t, engine.Config{})
+	bindDiamond(r.impls)
+	gate := make(chan struct{})
+	r.impls.Bind("join", func(ctx registry.Context) (registry.Result, error) {
+		<-gate
+		return registry.Result{Output: "done", Objects: registry.Objects{"d": ctx.Inputs()["left"]}}, nil
+	})
+	inst := r.run(t, scripts.Fig1Diamond, "snap-1", "main", registry.Objects{"seed": val("Data", "s")})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := inst.WaitEvent(ctx, func(e engine.Event) bool {
+		return e.Kind == engine.EventTaskStarted && e.Task == "diamond/t4"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := inst.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := map[string]engine.RunState{}
+	for _, row := range rows {
+		states[row.Path] = row.State
+	}
+	if states["diamond/t1"] != engine.RunCompleted {
+		t.Errorf("t1 = %v, want completed", states["diamond/t1"])
+	}
+	if states["diamond/t4"] != engine.RunExecuting {
+		t.Errorf("t4 = %v, want executing", states["diamond/t4"])
+	}
+	close(gate)
+	waitResult(t, inst)
+}
+
+func TestInstantiateDuplicateAndUnknownLookups(t *testing.T) {
+	r := newRig(t, engine.Config{})
+	bindDiamond(r.impls)
+	inst := r.run(t, scripts.Fig1Diamond, "dup-1", "main", registry.Objects{"seed": val("Data", "s")})
+	waitResult(t, inst)
+	schema := inst.Schema()
+	if _, err := r.eng.Instantiate("dup-1", schema, ""); !errors.Is(err, engine.ErrInstanceExists) {
+		t.Fatalf("duplicate instantiate: %v", err)
+	}
+	if _, err := r.eng.Instance("ghost"); !errors.Is(err, engine.ErrInstanceNotFound) {
+		t.Fatalf("unknown instance: %v", err)
+	}
+	if err := inst.AbortTask("diamond/nope", ""); err == nil {
+		t.Fatal("abort of unknown task must fail")
+	}
+	if err := inst.Start("main", registry.Objects{"seed": val("Data", "s")}); err == nil {
+		t.Fatal("double start must fail")
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	r := newRig(t, engine.Config{})
+	bindDiamond(r.impls)
+	schema := mustSchema(t, scripts.Fig1Diamond)
+	inst, err := r.eng.Instantiate("val-1", schema, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start("nope", nil); err == nil || !strings.Contains(err.Error(), "no input set") {
+		t.Fatalf("unknown set: %v", err)
+	}
+	if err := inst.Start("main", nil); err == nil || !strings.Contains(err.Error(), "missing input object") {
+		t.Fatalf("missing object: %v", err)
+	}
+	if err := inst.Start("main", registry.Objects{"seed": val("Wrong", 1)}); err == nil || !strings.Contains(err.Error(), "class") {
+		t.Fatalf("wrong class: %v", err)
+	}
+	inst.Stop()
+}
+
+func TestEventsAreSequencedAndImmutable(t *testing.T) {
+	r := newRig(t, engine.Config{})
+	bindDiamond(r.impls)
+	inst := r.run(t, scripts.Fig1Diamond, "ev-1", "main", registry.Objects{"seed": val("Data", "s")})
+	waitResult(t, inst)
+	events := inst.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("gap in sequence at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+	// Mutating the returned slice must not affect the trace.
+	events[0].Task = "corrupted"
+	if inst.Events()[0].Task == "corrupted" {
+		t.Fatal("Events returned aliased storage")
+	}
+}
+
+func TestAbortExecutingTaskWithDeclaredOutcome(t *testing.T) {
+	r := newRig(t, engine.Config{})
+	gate := make(chan struct{})
+	r.impls.Bind("mutate", func(ctx registry.Context) (registry.Result, error) {
+		select {
+		case <-ctx.Done():
+			return registry.Result{}, errors.New("cancelled")
+		case <-gate:
+			return registry.Result{Output: "changed", Objects: registry.Objects{"out": val("D", 1)}}, nil
+		}
+	})
+	inst := r.run(t, atomicScript, "abort-exec", "main", registry.Objects{"seed": val("D", 0)})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := inst.WaitEvent(ctx, func(e engine.Event) bool {
+		return e.Kind == engine.EventTaskStarted && e.Task == "app/mutator"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.AbortTask("app/mutator", "unchanged"); err != nil {
+		t.Fatal(err)
+	}
+	res := waitResult(t, inst)
+	if res.Output != "undone" {
+		t.Fatalf("outcome = %q, want undone (forced abort mapped to declared abort outcome)", res.Output)
+	}
+	close(gate)
+}
+
+func mustSchema(t *testing.T, src string) *core.Schema {
+	t.Helper()
+	return sema.MustCompileSource("test.wf", []byte(src))
+}

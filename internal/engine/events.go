@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/registry"
+)
+
+// EventKind classifies instance events. The sequence of events for one
+// task mirrors the state-transition diagram of Fig. 3: waiting, executing
+// (started), mark, repeat, outcome / abort, with retries interleaved.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventTaskWaiting: a task run became active and awaits its inputs.
+	EventTaskWaiting EventKind = iota + 1
+	// EventTaskStarted: an input set was satisfied and execution began.
+	EventTaskStarted
+	// EventTaskMarked: a mark output was released mid-execution.
+	EventTaskMarked
+	// EventTaskRepeated: a repeat outcome re-entered the task into Wait.
+	EventTaskRepeated
+	// EventTaskRetried: a system-level failure triggered an automatic
+	// retry.
+	EventTaskRetried
+	// EventTaskCompleted: terminal non-abort outcome.
+	EventTaskCompleted
+	// EventTaskAborted: terminal abort outcome (no side effects).
+	EventTaskAborted
+	// EventTaskFailed: the implementation violated its contract or
+	// retries were exhausted with no abort outcome to map to.
+	EventTaskFailed
+	// EventInstanceCompleted: the root task terminated.
+	EventInstanceCompleted
+	// EventInstanceStalled: no task is executing, none can start, and the
+	// root is not terminal — the failure exception surfaced to the
+	// application (Section 2).
+	EventInstanceStalled
+	// EventReconfigured: a dynamic reconfiguration was applied.
+	EventReconfigured
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventTaskWaiting:
+		return "waiting"
+	case EventTaskStarted:
+		return "started"
+	case EventTaskMarked:
+		return "marked"
+	case EventTaskRepeated:
+		return "repeated"
+	case EventTaskRetried:
+		return "retried"
+	case EventTaskCompleted:
+		return "completed"
+	case EventTaskAborted:
+		return "aborted"
+	case EventTaskFailed:
+		return "failed"
+	case EventInstanceCompleted:
+		return "instance-completed"
+	case EventInstanceStalled:
+		return "instance-stalled"
+	case EventReconfigured:
+		return "reconfigured"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one entry of an instance's observable trace.
+type Event struct {
+	Seq      int
+	Time     time.Time
+	Instance string
+	// Task is the slash path of the task, empty for instance-level
+	// events.
+	Task string
+	Kind EventKind
+	// Output is the produced output name for mark/repeat/complete/abort
+	// events; InputSet the chosen set for started events.
+	Output   string
+	InputSet string
+	// Objects carries the produced objects for marks and terminal
+	// outputs.
+	Objects registry.Objects
+	// Attempt and Iteration snapshot the retry/repeat counters.
+	Attempt   int
+	Iteration int
+	// Err holds the failure message for retried/failed events.
+	Err string
+}
+
+// String renders a compact one-line form for logs and the admin tool.
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d %s %s", e.Seq, e.Kind, e.Task)
+	if e.Output != "" {
+		s += " output=" + e.Output
+	}
+	if e.InputSet != "" {
+		s += " set=" + e.InputSet
+	}
+	if e.Iteration > 0 {
+		s += fmt.Sprintf(" iter=%d", e.Iteration)
+	}
+	if e.Attempt > 0 {
+		s += fmt.Sprintf(" attempt=%d", e.Attempt)
+	}
+	if e.Err != "" {
+		s += " err=" + e.Err
+	}
+	return s
+}

@@ -1,0 +1,862 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+	"repro/internal/txn"
+)
+
+// completionMsg is sent by a worker when an implementation returns.
+type completionMsg struct {
+	path string
+	gen  int
+	res  registry.Result
+	err  error
+}
+
+// markMsg is sent by a worker when an implementation releases a mark.
+type markMsg struct {
+	path    string
+	gen     int
+	name    string
+	objects registry.Objects
+	reply   chan error
+}
+
+// errCancelled marks a worker interrupted by force-abort or shutdown.
+var errCancelled = errors.New("task execution cancelled")
+
+// loop is the instance controller: a single goroutine that owns the run
+// map, serialises all state transitions (which makes input-set and
+// alternative selection deterministic), and persists every transition
+// through transactions on the persistent run objects.
+func (i *Instance) loop() {
+	defer close(i.loopDone)
+	for {
+		select {
+		case <-i.stopCh:
+			i.cancelAllExecuting()
+			return
+		case msg := <-i.evCh:
+			i.handleCompletion(msg)
+		case msg := <-i.markCh:
+			msg.reply <- i.handleMark(msg)
+		case f := <-i.reqCh:
+			f()
+		}
+		i.evaluate()
+	}
+}
+
+// cancelAllExecuting interrupts running implementations at shutdown.
+func (i *Instance) cancelAllExecuting() {
+	for _, r := range i.runs {
+		if r.st.State == RunExecuting && !r.task.Compound {
+			select {
+			case <-r.cancel:
+			default:
+				close(r.cancel)
+			}
+		}
+	}
+}
+
+// startRoot starts the root task with externally supplied inputs.
+func (i *Instance) startRoot(set string, inputs registry.Objects) error {
+	r := i.runs[i.root.Path()]
+	if r.st.State != RunWaiting {
+		return fmt.Errorf("start %s: root is %s", i.id, r.st.State)
+	}
+	i.meta.Started, i.meta.StartSet, i.meta.StartInputs = true, set, inputs.Clone()
+	if err := i.saveMeta(i.meta); err != nil {
+		return err
+	}
+	i.setStatus(StatusRunning)
+	i.startRun(r, set, inputs.Clone())
+	i.evaluate()
+	return nil
+}
+
+// resumeExecuting re-activates implementations that were executing when
+// the instance crashed, then runs an evaluation pass. Called once after
+// Recover, off the loop goroutine.
+func (i *Instance) resumeExecuting() {
+	done := make(chan struct{})
+	select {
+	case i.reqCh <- func() {
+		if i.meta.Started {
+			i.setStatus(StatusRunning)
+		}
+		root := i.runs[i.root.Path()]
+		if i.meta.Started && root.st.State == RunWaiting && root.st.ChosenSet == "" {
+			// Crashed between Start persisting meta and the root run
+			// starting: redo the start.
+			i.startRun(root, i.meta.StartSet, i.meta.StartInputs.Clone())
+		}
+		for _, path := range i.order {
+			r, ok := i.runs[path]
+			if !ok {
+				continue
+			}
+			if r.st.State == RunExecuting && !r.task.Compound {
+				i.spawnWorker(r)
+			}
+			if r.st.State.Terminal() && r.task == i.root {
+				i.finishInstance(r)
+			}
+		}
+		close(done)
+	}:
+		<-done
+	case <-i.loopDone:
+	}
+}
+
+// evaluate runs satisfaction passes until a fixed point: waiting tasks
+// whose dependencies are met start, executing compound tasks whose output
+// mappings are met produce outputs. Declaration order (schema DFS) makes
+// the pass deterministic.
+func (i *Instance) evaluate() {
+	progress := true
+	for progress {
+		progress = false
+		for _, path := range i.order {
+			r, ok := i.runs[path]
+			if !ok || !i.active(r) {
+				continue
+			}
+			switch {
+			case r.st.State == RunWaiting:
+				if i.trySatisfy(r) {
+					progress = true
+				}
+			case r.st.State == RunExecuting && r.task.Compound:
+				if i.tryCompoundOutputs(r) {
+					progress = true
+				}
+			}
+		}
+	}
+	i.checkQuiescence()
+}
+
+// active reports whether a run's enclosing compounds are all executing
+// (constituents of a terminated or reset compound are dormant).
+func (i *Instance) active(r *run) bool {
+	for t := r.task.Parent; t != nil; t = t.Parent {
+		pr, ok := i.runs[t.Path()]
+		if !ok || pr.st.State != RunExecuting {
+			return false
+		}
+	}
+	return true
+}
+
+// trySatisfy checks a waiting task's input sets in declaration order and
+// starts the task on the first satisfiable one.
+func (i *Instance) trySatisfy(r *run) bool {
+	// A task binding no input sets (its class demands no inputs) starts
+	// as soon as its scope is active.
+	if len(r.task.InputSets) == 0 {
+		i.startRun(r, "", nil)
+		return true
+	}
+	for _, set := range r.task.InputSets {
+		vals, ok := i.satisfiedSet(r, set)
+		if ok {
+			i.startRun(r, set.Name, vals)
+			return true
+		}
+	}
+	return false
+}
+
+// satisfiedSet resolves every dependency of one input set, honouring
+// first-available alternative order.
+func (i *Instance) satisfiedSet(r *run, set *core.InputSetBinding) (registry.Objects, bool) {
+	vals := make(registry.Objects, len(set.Objects))
+	for _, od := range set.Objects {
+		v, ok := i.resolveObject(r, od)
+		if !ok {
+			return nil, false
+		}
+		vals[od.Name] = v
+	}
+	for _, nd := range set.Notifications {
+		if !i.resolveNotification(r, nd) {
+			return nil, false
+		}
+	}
+	return vals, true
+}
+
+// resolveObject finds the first available alternative source of an
+// object dependency.
+func (i *Instance) resolveObject(r *run, od *core.ObjectDep) (registry.Value, bool) {
+	for _, s := range od.Sources {
+		if v, ok := i.sourceValue(r, s); ok {
+			return v, true
+		}
+	}
+	return registry.Value{}, false
+}
+
+// resolveNotification reports whether any alternative source has fired.
+func (i *Instance) resolveNotification(r *run, nd *core.NotificationDep) bool {
+	for _, s := range nd.Sources {
+		if _, ok := i.sourceValue(r, s); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// sourceValue resolves one source against current run states. For
+// notification sources (s.Object == "") the value is ignored.
+func (i *Instance) sourceValue(r *run, s *core.Source) (registry.Value, bool) {
+	pr, ok := i.runs[s.Task.Path()]
+	if !ok {
+		return registry.Value{}, false
+	}
+	switch s.Cond {
+	case core.CondInput:
+		// Available once the producer consumed (started with) that set.
+		if pr.st.ChosenSet != s.CondName || pr.st.State == RunWaiting {
+			return registry.Value{}, false
+		}
+		if s.Object == "" {
+			return registry.Value{}, true
+		}
+		v, ok := pr.st.Inputs[s.Object]
+		return v, ok
+	case core.CondOutput:
+		out := s.Task.Class.Output(s.CondName)
+		if out != nil && out.Kind == core.RepeatOutcome {
+			// Repeat feedback: visible only to the producing task itself
+			// (sema guarantees s.Task == r.task here).
+			if pr.st.LastRepeat == nil || pr.st.LastRepeat.Output != s.CondName {
+				return registry.Value{}, false
+			}
+			if s.Object == "" {
+				return registry.Value{}, true
+			}
+			v, ok := pr.st.LastRepeat.Objects[s.Object]
+			return v, ok
+		}
+		rec := pr.findOutput(s.CondName)
+		if rec == nil {
+			return registry.Value{}, false
+		}
+		if s.Object == "" {
+			return registry.Value{}, true
+		}
+		v, ok := rec.Objects[s.Object]
+		return v, ok
+	default: // CondNone
+		if s.Object == "" {
+			// Bare notification: fires on any terminal state.
+			if pr.st.State.Terminal() {
+				return registry.Value{}, true
+			}
+			return registry.Value{}, false
+		}
+		// Any produced output (including marks) carrying the object.
+		for idx := range pr.st.Outputs {
+			rec := &pr.st.Outputs[idx]
+			if v, ok := rec.Objects[s.Object]; ok {
+				return v, true
+			}
+		}
+		return registry.Value{}, false
+	}
+}
+
+// startRun transitions a waiting run to executing: plain tasks get a
+// worker, compound tasks activate their constituents.
+func (i *Instance) startRun(r *run, set string, inputs registry.Objects) {
+	r.st.State = RunExecuting
+	r.st.ChosenSet = set
+	r.st.Inputs = inputs
+	if r.st.MarksEmitted == nil {
+		r.st.MarksEmitted = make(map[string]bool)
+	}
+	i.genSeq++
+	r.gen = i.genSeq
+	r.cancel = make(chan struct{})
+	i.persistRun(r)
+	i.emit(Event{Task: r.st.Path, Kind: EventTaskStarted, InputSet: set, Attempt: r.st.Attempt, Iteration: r.st.Iteration})
+	if r.task.Compound {
+		i.activateConstituents(r.task)
+		return
+	}
+	i.spawnWorker(r)
+}
+
+// activateConstituents creates waiting runs for a compound's members.
+func (i *Instance) activateConstituents(t *core.Task) {
+	for _, c := range t.Constituents {
+		path := c.Path()
+		if _, exists := i.runs[path]; exists {
+			continue
+		}
+		r := i.newRun(c, runState{Path: path, State: RunWaiting, MarksEmitted: make(map[string]bool)})
+		i.runs[path] = r
+		i.persistRun(r)
+		i.emit(Event{Task: path, Kind: EventTaskWaiting})
+	}
+}
+
+// tryCompoundOutputs checks an executing compound's output mappings in
+// declaration order; the first satisfied terminal mapping ends the
+// compound, satisfied mark mappings are released once each.
+func (i *Instance) tryCompoundOutputs(r *run) bool {
+	progress := false
+	for _, ob := range r.task.Outputs {
+		if ob.Output.Kind == core.Mark && r.st.MarksEmitted[ob.Output.Name] {
+			continue
+		}
+		vals, ok := i.satisfiedOutput(r, ob)
+		if !ok {
+			continue
+		}
+		rec := OutputRec{
+			Output: ob.Output.Name, Kind: ob.Output.Kind,
+			Objects: vals, Iteration: r.st.Iteration, At: time.Now(),
+		}
+		switch ob.Output.Kind {
+		case core.Mark:
+			r.st.MarksEmitted[ob.Output.Name] = true
+			r.st.Outputs = append(r.st.Outputs, rec)
+			i.persistRun(r)
+			i.emit(Event{Task: r.st.Path, Kind: EventTaskMarked, Output: rec.Output, Objects: vals, Iteration: r.st.Iteration})
+			progress = true
+			continue
+		case core.RepeatOutcome:
+			i.repeatRun(r, rec)
+			return true
+		default:
+			i.completeRun(r, rec)
+			return true
+		}
+	}
+	return progress
+}
+
+// satisfiedOutput resolves one output mapping of a compound.
+func (i *Instance) satisfiedOutput(r *run, ob *core.OutputBinding) (registry.Objects, bool) {
+	vals := make(registry.Objects, len(ob.Objects))
+	for _, od := range ob.Objects {
+		v, ok := i.resolveObject(r, od)
+		if !ok {
+			return nil, false
+		}
+		vals[od.Name] = v
+	}
+	for _, nd := range ob.Notifications {
+		if !i.resolveNotification(r, nd) {
+			return nil, false
+		}
+	}
+	return vals, true
+}
+
+// repeatRun re-enters a task into Wait after a repeat outcome: counters
+// advance, current-iteration outputs are discarded, and for compounds the
+// constituent subtree is reset (cancelling any stragglers).
+func (i *Instance) repeatRun(r *run, rec OutputRec) {
+	r.st.LastRepeat = &rec
+	r.st.Iteration++
+	r.st.Attempt = 0
+	r.st.State = RunWaiting
+	r.st.ChosenSet = ""
+	r.st.Inputs = nil
+	r.st.Outputs = nil
+	r.st.MarksEmitted = make(map[string]bool)
+	if r.task.Compound {
+		i.resetSubtree(r.task)
+	}
+	i.persistRun(r)
+	i.emit(Event{Task: r.st.Path, Kind: EventTaskRepeated, Output: rec.Output, Objects: rec.Objects, Iteration: r.st.Iteration})
+	if r.st.Iteration >= i.eng.cfg.MaxRepeats {
+		i.failRun(r, fmt.Errorf("repeat limit %d reached", i.eng.cfg.MaxRepeats))
+	}
+}
+
+// resetSubtree removes the runs of a compound's constituents (they are
+// recreated fresh when the compound restarts), cancelling any that were
+// executing; late completions are dropped by generation check.
+func (i *Instance) resetSubtree(t *core.Task) {
+	for _, c := range t.Constituents {
+		path := c.Path()
+		r, ok := i.runs[path]
+		if !ok {
+			continue
+		}
+		if r.st.State == RunExecuting && !c.Compound {
+			select {
+			case <-r.cancel:
+			default:
+				close(r.cancel)
+			}
+		}
+		if c.Compound {
+			i.resetSubtree(c)
+		}
+		delete(i.runs, path)
+		i.deleteRunState(path)
+	}
+}
+
+// completeRun finalises a run in a terminal outcome.
+func (i *Instance) completeRun(r *run, rec OutputRec) {
+	r.st.Outputs = append(r.st.Outputs, rec)
+	kind := EventTaskCompleted
+	if rec.Kind == core.AbortOutcome {
+		r.st.State = RunAborted
+		kind = EventTaskAborted
+	} else {
+		r.st.State = RunCompleted
+	}
+	i.persistRun(r)
+	i.emit(Event{Task: r.st.Path, Kind: kind, Output: rec.Output, Objects: rec.Objects, Iteration: r.st.Iteration, Attempt: r.st.Attempt})
+	if r.task == i.root {
+		i.finishInstance(r)
+	}
+}
+
+// failRun marks a run failed (contract violation or retries exhausted
+// with no abort outcome).
+func (i *Instance) failRun(r *run, cause error) {
+	r.st.State = RunFailed
+	i.persistRun(r)
+	i.emit(Event{Task: r.st.Path, Kind: EventTaskFailed, Err: cause.Error(), Attempt: r.st.Attempt, Iteration: r.st.Iteration})
+	if r.task == i.root {
+		i.finishInstance(r)
+	}
+}
+
+// finishInstance records the instance result from the root's terminal
+// record.
+func (i *Instance) finishInstance(r *run) {
+	var res Result
+	if rec := r.terminalRec(); rec != nil {
+		res = Result{Output: rec.Output, Kind: rec.Kind, Objects: rec.Objects, State: r.st.State}
+	} else {
+		res = Result{State: r.st.State}
+	}
+	i.mu.Lock()
+	i.result = &res
+	i.mu.Unlock()
+	switch r.st.State {
+	case RunCompleted:
+		i.setStatus(StatusCompleted)
+	case RunAborted:
+		i.setStatus(StatusAborted)
+	default:
+		i.setStatus(StatusFailed)
+	}
+	i.emit(Event{Kind: EventInstanceCompleted, Output: res.Output})
+}
+
+// checkQuiescence detects stalls: root not terminal, nothing executing,
+// nothing satisfiable. The status is surfaced as the paper's failure
+// exception; a reconfiguration or forced abort can revive the instance.
+func (i *Instance) checkQuiescence() {
+	if i.Status() != StatusRunning {
+		return
+	}
+	root := i.runs[i.root.Path()]
+	if root == nil || root.st.State.Terminal() || i.inflight > 0 {
+		return
+	}
+	i.setStatus(StatusStalled)
+	i.emit(Event{Kind: EventInstanceStalled})
+}
+
+// workerInfo is the immutable snapshot a worker needs.
+type workerInfo struct {
+	path      string
+	gen       int
+	code      string
+	location  string
+	atomic    bool
+	attempt   int
+	iteration int
+	set       string
+	inputs    registry.Objects
+	deadline  time.Duration
+	cancel    chan struct{}
+}
+
+// spawnWorker launches the implementation of a plain task run.
+func (i *Instance) spawnWorker(r *run) {
+	deadline := i.eng.cfg.DefaultDeadline
+	if d, ok := r.task.Implementation["deadline"]; ok {
+		if parsed, err := time.ParseDuration(d); err == nil {
+			deadline = parsed
+		}
+	}
+	w := workerInfo{
+		path: r.st.Path, gen: r.gen, code: r.task.Code(), atomic: r.task.Atomic(),
+		location: r.task.Implementation["location"],
+		attempt:  r.st.Attempt, iteration: r.st.Iteration, set: r.st.ChosenSet,
+		inputs: r.st.Inputs.Clone(), deadline: deadline, cancel: r.cancel,
+	}
+	i.inflight++
+	i.wg.Add(1)
+	go i.worker(w)
+}
+
+// worker executes one activation of a task implementation off the loop
+// goroutine. Atomic tasks run inside a transaction committed only for
+// non-abort outcomes, so an abort outcome truly has no effects.
+func (i *Instance) worker(w workerInfo) {
+	defer i.wg.Done()
+	send := func(res registry.Result, err error) {
+		select {
+		case i.evCh <- completionMsg{path: w.path, gen: w.gen, res: res, err: err}:
+		case <-i.stopCh:
+		}
+	}
+	var f registry.Func
+	if w.location != "" && i.eng.cfg.RemoteInvoker != nil {
+		// The "location" implementation property routes the activation to
+		// a remote task executor; marks are not available remotely (one
+		// request/reply per activation).
+		invoke := i.eng.cfg.RemoteInvoker
+		f = func(ctx registry.Context) (registry.Result, error) {
+			return invoke(RemoteRequest{
+				Location: w.location, Code: w.code,
+				Instance: i.id, TaskPath: w.path, InputSet: w.set,
+				Attempt: w.attempt, Iteration: w.iteration,
+				Inputs: w.inputs,
+			})
+		}
+	} else {
+		local, err := i.eng.impls.Lookup(w.code)
+		if err != nil {
+			send(registry.Result{}, err)
+			return
+		}
+		f = local
+	}
+	var tx *txn.Txn
+	if w.atomic {
+		tx = i.eng.preg.Manager().Begin()
+	}
+	ctx := &taskCtx{inst: i, w: w, tx: tx}
+	type wres struct {
+		res registry.Result
+		err error
+	}
+	resCh := make(chan wres, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				resCh <- wres{err: fmt.Errorf("implementation panic: %v", p)}
+			}
+		}()
+		res, err := f(ctx)
+		resCh <- wres{res: res, err: err}
+	}()
+	var timer <-chan time.Time
+	if w.deadline > 0 {
+		t := time.NewTimer(w.deadline)
+		defer t.Stop()
+		timer = t.C
+	}
+	var out wres
+	select {
+	case out = <-resCh:
+	case <-timer:
+		out = wres{err: fmt.Errorf("deadline %v exceeded", w.deadline)}
+	case <-w.cancel:
+		out = wres{err: errCancelled}
+	case <-i.stopCh:
+		if tx != nil {
+			_ = tx.Abort()
+		}
+		return
+	}
+	if tx != nil {
+		// Commit application effects only for non-abort terminations.
+		if out.err == nil && !isAbortOutput(i, w.path, out.res.Output) {
+			if err := tx.Commit(); err != nil {
+				out = wres{err: fmt.Errorf("commit task transaction: %w", err)}
+			}
+		} else {
+			_ = tx.Abort()
+		}
+	}
+	send(out.res, out.err)
+}
+
+// isAbortOutput reports whether the named output of the task at path is
+// an abort outcome (schema reads are safe: the schema's class data is
+// immutable during execution).
+func isAbortOutput(i *Instance, path, output string) bool {
+	t := i.schema.Lookup(path)
+	if t == nil {
+		return false
+	}
+	o := t.Class.Output(output)
+	return o != nil && o.Kind == core.AbortOutcome
+}
+
+// handleCompletion processes a worker result on the loop goroutine.
+func (i *Instance) handleCompletion(msg completionMsg) {
+	i.inflight--
+	r, ok := i.runs[msg.path]
+	if !ok || r.gen != msg.gen || r.st.State != RunExecuting {
+		return // stale: the run was reset, aborted or reconfigured away
+	}
+	if r.pendingAbort != "" || errors.Is(msg.err, errCancelled) {
+		i.forceAbortNow(r)
+		return
+	}
+	if msg.err != nil {
+		i.systemFailure(r, msg.err)
+		return
+	}
+	out := r.task.Class.Output(msg.res.Output)
+	if out == nil {
+		i.failRun(r, fmt.Errorf("implementation produced unknown output %q", msg.res.Output))
+		return
+	}
+	objects, err := i.conformObjects(out, msg.res.Objects)
+	if err != nil {
+		i.failRun(r, err)
+		return
+	}
+	rec := OutputRec{Output: out.Name, Kind: out.Kind, Objects: objects, Iteration: r.st.Iteration, At: time.Now()}
+	switch out.Kind {
+	case core.Mark:
+		i.failRun(r, fmt.Errorf("mark output %q returned as final result", out.Name))
+	case core.RepeatOutcome:
+		i.repeatRun(r, rec)
+	case core.AbortOutcome:
+		if len(r.st.MarksEmitted) > 0 {
+			// Section 4.2: a task which produced a mark cannot abort.
+			i.failRun(r, fmt.Errorf("abort outcome %q after mark output", out.Name))
+			return
+		}
+		i.completeRun(r, rec)
+	default:
+		i.completeRun(r, rec)
+	}
+}
+
+// conformObjects validates produced objects against the output's declared
+// fields and stamps their classes.
+func (i *Instance) conformObjects(out *core.Output, produced registry.Objects) (registry.Objects, error) {
+	objects := make(registry.Objects, len(out.Objects))
+	for _, f := range out.Objects {
+		v, ok := produced[f.Name]
+		if !ok {
+			return nil, fmt.Errorf("output %q missing declared object %q (class %s)", out.Name, f.Name, f.Class)
+		}
+		if v.Class == "" {
+			v.Class = f.Class
+		} else if !i.schema.AssignableTo(v.Class, f.Class) {
+			return nil, fmt.Errorf("output %q object %q has class %s, want %s", out.Name, f.Name, v.Class, f.Class)
+		}
+		objects[f.Name] = v
+	}
+	return objects, nil
+}
+
+// systemFailure applies the automatic retry policy to a failed
+// activation; exhausted retries map to the first declared abort outcome
+// (Fig. 3's system-restartable aborts), else the run fails.
+func (i *Instance) systemFailure(r *run, cause error) {
+	if r.st.Attempt < i.eng.cfg.MaxRetries {
+		r.st.Attempt++
+		i.persistRun(r)
+		i.emit(Event{Task: r.st.Path, Kind: EventTaskRetried, Err: cause.Error(), Attempt: r.st.Attempt, Iteration: r.st.Iteration})
+		i.spawnWorker(r)
+		return
+	}
+	if len(r.st.MarksEmitted) > 0 {
+		i.failRun(r, fmt.Errorf("retries exhausted after mark output: %w", cause))
+		return
+	}
+	aborts := r.task.Class.Outcomes(core.AbortOutcome)
+	if len(aborts) == 0 {
+		i.failRun(r, fmt.Errorf("retries exhausted: %w", cause))
+		return
+	}
+	rec := OutputRec{Output: aborts[0].Name, Kind: core.AbortOutcome, Iteration: r.st.Iteration, At: time.Now()}
+	i.completeRun(r, rec)
+}
+
+// forceAbortNow terminates a run in response to AbortTask.
+func (i *Instance) forceAbortNow(r *run) {
+	outcome := r.pendingAbort
+	r.pendingAbort = ""
+	if outcome == "forced" {
+		outcome = ""
+	}
+	if outcome == "" {
+		if aborts := r.task.Class.Outcomes(core.AbortOutcome); len(aborts) > 0 {
+			outcome = aborts[0].Name
+		}
+	}
+	if outcome != "" {
+		rec := OutputRec{Output: outcome, Kind: core.AbortOutcome, Iteration: r.st.Iteration, At: time.Now()}
+		i.completeRun(r, rec)
+		return
+	}
+	// No declared abort outcome: terminal abort state without an output.
+	r.st.State = RunAborted
+	i.persistRun(r)
+	i.emit(Event{Task: r.st.Path, Kind: EventTaskAborted, Iteration: r.st.Iteration})
+	if r.task == i.root {
+		i.finishInstance(r)
+	}
+}
+
+// handleMark records a mark released by a running implementation.
+func (i *Instance) handleMark(msg markMsg) error {
+	r, ok := i.runs[msg.path]
+	if !ok || r.gen != msg.gen || r.st.State != RunExecuting {
+		return fmt.Errorf("mark %s: task is not executing", msg.name)
+	}
+	out := r.task.Class.Output(msg.name)
+	if out == nil || out.Kind != core.Mark {
+		return fmt.Errorf("mark %s: taskclass %s declares no such mark", msg.name, r.task.Class.Name)
+	}
+	if r.st.MarksEmitted[msg.name] {
+		return fmt.Errorf("mark %s: already produced (marks may be produced once)", msg.name)
+	}
+	objects, err := i.conformObjects(out, msg.objects)
+	if err != nil {
+		return err
+	}
+	rec := OutputRec{Output: out.Name, Kind: core.Mark, Objects: objects, Iteration: r.st.Iteration, At: time.Now()}
+	r.st.MarksEmitted[msg.name] = true
+	r.st.Outputs = append(r.st.Outputs, rec)
+	i.persistRun(r)
+	i.emit(Event{Task: r.st.Path, Kind: EventTaskMarked, Output: out.Name, Objects: objects, Iteration: r.st.Iteration})
+	return nil
+}
+
+// abortTask implements AbortTask on the loop goroutine.
+func (i *Instance) abortTask(path, outcome string) error {
+	r, ok := i.runs[path]
+	if !ok {
+		return fmt.Errorf("abort task %s: no run", path)
+	}
+	if outcome != "" {
+		o := r.task.Class.Output(outcome)
+		if o == nil || o.Kind != core.AbortOutcome {
+			return fmt.Errorf("abort task %s: %q is not an abort outcome of taskclass %s", path, outcome, r.task.Class.Name)
+		}
+	}
+	switch r.st.State {
+	case RunWaiting:
+		if outcome == "" {
+			r.pendingAbort = "forced"
+		} else {
+			r.pendingAbort = outcome
+		}
+		i.forceAbortNow(r)
+		return nil
+	case RunExecuting:
+		if r.task.Compound {
+			return fmt.Errorf("abort task %s: aborting executing compound tasks is not supported; abort a constituent", path)
+		}
+		if len(r.st.MarksEmitted) > 0 {
+			return fmt.Errorf("abort task %s: task has produced a mark and can no longer abort", path)
+		}
+		if outcome == "" {
+			r.pendingAbort = "forced"
+		} else {
+			r.pendingAbort = outcome
+		}
+		select {
+		case <-r.cancel:
+		default:
+			close(r.cancel)
+		}
+		return nil
+	default:
+		return fmt.Errorf("abort task %s: task is %s", path, r.st.State)
+	}
+}
+
+// persistRun writes a run's state through a transaction on its persistent
+// object. Persistence failures are surfaced as events (the in-memory
+// state remains authoritative for the live controller; recovery replays
+// from the last successfully persisted state).
+func (i *Instance) persistRun(r *run) {
+	if i.eng.cfg.Ephemeral {
+		return
+	}
+	tx := i.eng.preg.Manager().Begin()
+	err := i.eng.preg.Object(runKey(i.id, r.st.Path)).Set(tx, r.st)
+	if err == nil {
+		err = tx.Commit()
+	} else {
+		_ = tx.Abort()
+	}
+	if err != nil {
+		i.emit(Event{Task: r.st.Path, Kind: EventTaskFailed, Err: fmt.Sprintf("persist run: %v", err)})
+	}
+}
+
+// deleteRunState removes a reset constituent's persisted state.
+func (i *Instance) deleteRunState(path string) {
+	if i.eng.cfg.Ephemeral {
+		return
+	}
+	tx := i.eng.preg.Manager().Begin()
+	err := i.eng.preg.Object(runKey(i.id, path)).Delete(tx)
+	if err == nil {
+		err = tx.Commit()
+	} else {
+		_ = tx.Abort()
+	}
+	if err != nil {
+		i.emit(Event{Task: path, Kind: EventTaskFailed, Err: fmt.Sprintf("delete run state: %v", err)})
+	}
+}
+
+// taskCtx implements registry.Context.
+type taskCtx struct {
+	inst *Instance
+	w    workerInfo
+	tx   *txn.Txn
+}
+
+var _ registry.Context = (*taskCtx)(nil)
+
+func (c *taskCtx) Instance() string         { return c.inst.id }
+func (c *taskCtx) TaskPath() string         { return c.w.path }
+func (c *taskCtx) InputSet() string         { return c.w.set }
+func (c *taskCtx) Inputs() registry.Objects { return c.w.inputs }
+func (c *taskCtx) Attempt() int             { return c.w.attempt }
+func (c *taskCtx) Iteration() int           { return c.w.iteration }
+func (c *taskCtx) Txn() *txn.Txn            { return c.tx }
+func (c *taskCtx) Done() <-chan struct{}    { return c.w.cancel }
+
+func (c *taskCtx) Mark(name string, objects registry.Objects) error {
+	if c.w.atomic {
+		return fmt.Errorf("mark %s: atomic tasks cannot produce marks", name)
+	}
+	reply := make(chan error, 1)
+	select {
+	case c.inst.markCh <- markMsg{path: c.w.path, gen: c.w.gen, name: name, objects: objects, reply: reply}:
+	case <-c.inst.stopCh:
+		return ErrStopped
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-c.inst.stopCh:
+		return ErrStopped
+	}
+}

@@ -1,0 +1,188 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/registry"
+	"repro/internal/scripts"
+)
+
+// TestSupplierDirectDispatchPolicyChange reproduces the Section 5.2
+// modification scenario verbatim: "the addition of a task which could
+// check the stock levels of the suppliers of the company, and arrange
+// direct dispatch from them" — applied to a RUNNING instance, without
+// touching the tasks that supply the compound with inputs or consume its
+// outputs.
+//
+// The warehouse has no stock, so the unmodified workflow would cancel the
+// order. While checkStock is still deciding, we add a supplierDispatch
+// task (fed by the order and gated on payment authorisation) and extend
+// the compound's orderCompleted mapping so the supplier's dispatch note
+// is an alternative source. The order then completes via the supplier.
+func TestSupplierDirectDispatchPolicyChange(t *testing.T) {
+	r := newRig(t, engine.Config{})
+	r.impls.Bind("refPaymentAuthorisation", registry.Fixed("authorised", registry.Objects{"paymentInfo": val("PaymentInfo", "visa")}))
+	stockGate := make(chan struct{})
+	r.impls.Bind("refCheckStock", func(ctx registry.Context) (registry.Result, error) {
+		select {
+		case <-stockGate:
+		case <-ctx.Done():
+			return registry.Result{}, errors.New("cancelled")
+		}
+		return registry.Result{Output: "stockNotAvailable"}, nil
+	})
+	r.impls.Bind("refDispatch", registry.Fixed("dispatchCompleted", registry.Objects{"dispatchNote": val("DispatchNote", "warehouse")}))
+	r.impls.Bind("refPaymentCapture", registry.Fixed("done", nil))
+	r.impls.Bind("refSupplierDispatch", registry.Fixed("dispatchCompleted", registry.Objects{"dispatchNote": val("DispatchNote", "supplier-direct")}))
+	r.impls.Bind("refSupplierStock", registry.Fixed("stockAvailable", registry.Objects{"stockInfo": val("StockInfo", "supplier-7")}))
+
+	inst := r.run(t, scripts.ProcessOrder, "policy-1", "main", registry.Objects{"order": val("Order", "o-77")})
+
+	// The policy change, expressed in the language itself: a new Dispatch
+	// task fed by the order, and the compound's orderCompleted outcome
+	// accepts the supplier's dispatch note (and its completion as the
+	// capture gate alternative is not needed: paymentCapture still runs
+	// off paymentAuthorisation's paymentInfo... but the orderCompleted
+	// notification needs paymentCapture, which needs dispatchCompleted
+	// from the original dispatch. So we also gate capture on the
+	// supplier's dispatch as an alternative notification).
+	err := inst.Reconfigure(
+		&engine.AddTaskOp{ScopePath: "processOrderApplication", Fragment: `
+task supplierDispatch of taskclass Dispatch
+{
+    implementation { "code" is "refSupplierDispatch" };
+    inputs
+    {
+        input main
+        {
+            notification from { task paymentAuthorisation if output authorised };
+            inputobject stockInfo from { stockInfo of task supplierStockCheck if output stockAvailable }
+        }
+    }
+};`},
+	)
+	// The fragment above references supplierStockCheck which does not
+	// exist: the batch must fail atomically.
+	if err == nil {
+		t.Fatal("fragment referencing an unknown task must fail")
+	}
+	if inst.Schema().Lookup("processOrderApplication/supplierDispatch") != nil {
+		t.Fatal("failed reconfiguration leaked the new task")
+	}
+
+	// The correct batch: supplier stock check + supplier dispatch + the
+	// two output-mapping extensions.
+	err = inst.Reconfigure(
+		&engine.AddTaskOp{ScopePath: "processOrderApplication", Fragment: `
+task supplierStockCheck of taskclass CheckStock
+{
+    implementation { "code" is "refSupplierStock" };
+    inputs
+    {
+        input main
+        {
+            inputobject order from { order of task processOrderApplication if input main }
+        }
+    }
+};`},
+		&engine.AddTaskOp{ScopePath: "processOrderApplication", Fragment: `
+task supplierDispatch of taskclass Dispatch
+{
+    implementation { "code" is "refSupplierDispatch" };
+    inputs
+    {
+        input main
+        {
+            notification from { task paymentAuthorisation if output authorised };
+            inputobject stockInfo from { stockInfo of task supplierStockCheck if output stockAvailable }
+        }
+    }
+};`},
+		// paymentCapture accepts the supplier dispatch as an alternative
+		// trigger of its existing dispatch gate (OR, not a new AND).
+		&engine.AddNotificationOp{TaskPath: "processOrderApplication/paymentCapture", Set: "main",
+			Sources: []string{"task supplierDispatch if output dispatchCompleted"}, Extend: 0},
+		// orderCompleted's dispatch note may now come from the supplier.
+		&engine.AddOutputSourceOp{TaskPath: "processOrderApplication", Output: "orderCompleted", Object: "dispatchNote",
+			Source: "dispatchNote of task supplierDispatch if output dispatchCompleted"},
+		// And "warehouse out of stock" is no longer a cancellation
+		// trigger (alternative 1 of orderCancelled's notification).
+		&engine.RemoveOutputNotificationSourceOp{TaskPath: "processOrderApplication", Output: "orderCancelled",
+			Notification: 0, Index: 1},
+	)
+	if err != nil {
+		t.Fatalf("policy-change batch: %v", err)
+	}
+
+	// Let the warehouse report no stock; the supplier path completes the
+	// order anyway.
+	close(stockGate)
+	res := waitResult(t, inst)
+	if res.Output != "orderCompleted" {
+		t.Fatalf("outcome = %q, want orderCompleted via the supplier (events: %v)", res.Output, inst.Events())
+	}
+	if res.Objects["dispatchNote"].Data.(string) != "supplier-direct" {
+		t.Fatalf("dispatch note = %v, want the supplier's", res.Objects["dispatchNote"].Data)
+	}
+	// Upstream tasks were untouched (locality): paymentAuthorisation
+	// still has exactly one notification consumer structure and the
+	// warehouse dispatch never ran.
+	for _, e := range inst.Events() {
+		if e.Kind == engine.EventTaskStarted && e.Task == "processOrderApplication/dispatch" {
+			t.Fatal("warehouse dispatch should not have started (no stock)")
+		}
+	}
+}
+
+// TestAddOutputNotificationExtend extends an existing output gate with an
+// alternative (AND-of-ORs preserved): orderCancelled can also be
+// triggered by a new fraud-check task.
+func TestAddOutputNotificationExtend(t *testing.T) {
+	r := newRig(t, engine.Config{})
+	r.impls.Bind("refPaymentAuthorisation", registry.Fixed("authorised", registry.Objects{"paymentInfo": val("PaymentInfo", "visa")}))
+	gate := make(chan struct{})
+	r.impls.Bind("refCheckStock", func(ctx registry.Context) (registry.Result, error) {
+		<-gate
+		return registry.Result{Output: "stockAvailable", Objects: registry.Objects{"stockInfo": val("StockInfo", "w")}}, nil
+	})
+	r.impls.Bind("refDispatch", registry.Fixed("dispatchCompleted", registry.Objects{"dispatchNote": val("DispatchNote", "n")}))
+	r.impls.Bind("refPaymentCapture", registry.Fixed("done", nil))
+	r.impls.Bind("refFraudCheck", registry.Fixed("notAuthorised", nil))
+
+	inst := r.run(t, scripts.ProcessOrder, "fraud-1", "main", registry.Objects{"order": val("Order", "o")})
+	err := inst.Reconfigure(
+		&engine.AddTaskOp{ScopePath: "processOrderApplication", Fragment: `
+task fraudCheck of taskclass PaymentAuthorisation
+{
+    implementation { "code" is "refFraudCheck" };
+    inputs
+    {
+        input main
+        {
+            inputobject order from { order of task processOrderApplication if input main }
+        }
+    }
+};`},
+		&engine.AddOutputNotificationOp{TaskPath: "processOrderApplication", Output: "orderCancelled",
+			Sources: []string{"task fraudCheck if output notAuthorised"}, Extend: 0},
+	)
+	if err != nil {
+		t.Fatalf("reconfigure: %v", err)
+	}
+	// The fraud check fires immediately and cancels the order before the
+	// (gated) stock check ever answers.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := inst.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "orderCancelled" {
+		t.Fatalf("outcome = %q, want orderCancelled via fraud check", res.Output)
+	}
+	close(gate)
+}

@@ -1,0 +1,159 @@
+package execsvc_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/execsvc"
+	"repro/internal/orb"
+	"repro/internal/registry"
+	"repro/internal/scripts"
+)
+
+// The paper (Section 3): "application control and management tools
+// required for functions such as instantiating workflow applications,
+// monitoring and dynamic reconfiguration etc. (collectively referred to
+// as administrative applications) themselves can be implemented as
+// workflow applications. Thus the administrative applications can be made
+// fault-tolerant without any extra effort."
+//
+// adminScript is such an administrative application: a supervisor
+// workflow whose tasks drive the execution service itself — instantiate a
+// target workflow, start it, supervise it to completion and report.
+const adminScript = `
+class Request;
+class Ticket;
+class Report;
+
+taskclass Launch
+{
+    inputs { input main { request of class Request } };
+    outputs
+    {
+        outcome launched { ticket of class Ticket };
+        outcome launchFailed { }
+    }
+};
+
+taskclass Supervise
+{
+    inputs { input main { ticket of class Ticket } };
+    outputs
+    {
+        outcome targetCompleted { report of class Report };
+        outcome targetFailed { report of class Report }
+    }
+};
+
+taskclass AdminApp
+{
+    inputs { input main { request of class Request } };
+    outputs
+    {
+        outcome done { report of class Report };
+        outcome failed { }
+    }
+};
+
+compoundtask adminApp of taskclass AdminApp
+{
+    task launch of taskclass Launch
+    {
+        implementation { "code" is "adminLaunch" };
+        inputs { input main { inputobject request from { request of task adminApp if input main } } }
+    };
+    task supervise of taskclass Supervise
+    {
+        implementation { "code" is "adminSupervise" };
+        inputs { input main { inputobject ticket from { ticket of task launch if output launched } } }
+    };
+    outputs
+    {
+        outcome done { outputobject report from { report of task supervise if output targetCompleted } };
+        outcome failed
+        {
+            notification from
+            {
+                task launch if output launchFailed;
+                task supervise if output targetFailed
+            }
+        }
+    }
+};
+`
+
+func TestAdminApplicationIsAWorkflow(t *testing.T) {
+	s := newStack(t)
+	bindOrderImpls(s.impls)
+
+	// Deploy both the target application and the administrative
+	// application into the same repository.
+	if _, err := s.repo.Put("process-order", scripts.ProcessOrder); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.repo.Put("admin-app", adminScript); err != nil {
+		t.Fatal(err)
+	}
+
+	// The admin tasks drive the execution service through their own
+	// client connection — the workflow manages workflows.
+	execC := execsvc.NewClient(orb.Dial(s.server.Addr(), orb.ClientConfig{}))
+	var launches int
+	s.impls.Bind("adminLaunch", func(ctx registry.Context) (registry.Result, error) {
+		launches++
+		target := fmt.Sprintf("managed-%d", launches)
+		if err := execC.Instantiate(target, "process-order", ""); err != nil {
+			return registry.Result{Output: "launchFailed"}, nil //nolint:nilerr // app-level failure outcome
+		}
+		if err := execC.Start(target, "main", registry.Objects{"order": {Class: "Order", Data: target}}); err != nil {
+			return registry.Result{Output: "launchFailed"}, nil //nolint:nilerr // app-level failure outcome
+		}
+		return registry.Result{Output: "launched", Objects: registry.Objects{
+			"ticket": {Class: "Ticket", Data: target},
+		}}, nil
+	})
+	s.impls.Bind("adminSupervise", func(ctx registry.Context) (registry.Result, error) {
+		target := ctx.Inputs()["ticket"].Data.(string)
+		status, res, err := execC.WaitSettled(target, 10*time.Second)
+		if err != nil || status != engine.StatusCompleted {
+			return registry.Result{Output: "targetFailed", Objects: registry.Objects{
+				"report": {Class: "Report", Data: fmt.Sprintf("target %s: status %v err %v", target, status, err)},
+			}}, nil
+		}
+		return registry.Result{Output: "targetCompleted", Objects: registry.Objects{
+			"report": {Class: "Report", Data: fmt.Sprintf("target %s -> %s", target, res.Output)},
+		}}, nil
+	})
+
+	// Run the administrative application itself through the service.
+	if err := s.execC.Instantiate("admin-1", "admin-app", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.execC.Start("admin-1", "main", registry.Objects{
+		"request": {Class: "Request", Data: "run one order"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	status, res, err := s.execC.WaitSettled("admin-1", 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != engine.StatusCompleted || res.Output != "done" {
+		t.Fatalf("admin workflow: status=%v res=%+v", status, res)
+	}
+	report := res.Objects["report"].Data.(string)
+	if report != "target managed-1 -> orderCompleted" {
+		t.Fatalf("report = %q", report)
+	}
+	// Both the admin instance and the managed instance ran on the same
+	// execution service.
+	ids, err := s.execC.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("instances = %v, want admin + managed", ids)
+	}
+}

@@ -1,0 +1,197 @@
+package execsvc
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/orb"
+	"repro/internal/registry"
+	"repro/internal/script/sema"
+)
+
+// ObjectName is the execution service's well-known servant name.
+const ObjectName = "workflow-execution"
+
+// compileSource is the schema compiler used for remote sources and
+// recovery (kept in one place so the servant does not import the front
+// end twice).
+func compileSource(name, src string) (*core.Schema, error) {
+	return sema.CompileSource(name, []byte(src))
+}
+
+// Wire types.
+type instantiateReq struct {
+	Instance string
+	Schema   string
+	Root     string
+}
+
+type startReq struct {
+	Instance string
+	Set      string
+	Inputs   registry.Objects
+}
+
+type instanceReq struct {
+	Instance string
+}
+
+type statusResp struct {
+	Status engine.InstanceStatus
+	Tasks  []engine.TaskStatus
+}
+
+type eventsReq struct {
+	Instance string
+	Since    int
+}
+
+type eventsResp struct {
+	Events []engine.Event
+}
+
+type waitReq struct {
+	Instance  string
+	TimeoutMS int
+}
+
+type waitResp struct {
+	Status engine.InstanceStatus
+	Result engine.Result
+}
+
+type abortReq struct {
+	Instance string
+	Path     string
+	Outcome  string
+}
+
+type reconfigReq struct {
+	Instance string
+	Ops      []engine.Op
+}
+
+type instancesResp struct {
+	Instances []string
+}
+
+// Servant exports the execution service over the orb.
+func (s *Service) Servant() *orb.Servant {
+	sv := orb.NewServant()
+	orb.Method(sv, "instantiate", func(req instantiateReq) (struct{}, error) {
+		return struct{}{}, s.Instantiate(req.Instance, req.Schema, req.Root)
+	})
+	orb.Method(sv, "start", func(req startReq) (struct{}, error) {
+		return struct{}{}, s.Start(req.Instance, req.Set, req.Inputs)
+	})
+	orb.Method(sv, "status", func(req instanceReq) (statusResp, error) {
+		status, tasks, err := s.Status(req.Instance)
+		return statusResp{Status: status, Tasks: tasks}, err
+	})
+	orb.Method(sv, "events", func(req eventsReq) (eventsResp, error) {
+		ev, err := s.Events(req.Instance, req.Since)
+		return eventsResp{Events: ev}, err
+	})
+	orb.Method(sv, "wait", func(req waitReq) (waitResp, error) {
+		status, res, err := s.WaitSettled(req.Instance, time.Duration(req.TimeoutMS)*time.Millisecond)
+		return waitResp{Status: status, Result: res}, err
+	})
+	orb.Method(sv, "abortTask", func(req abortReq) (struct{}, error) {
+		return struct{}{}, s.AbortTask(req.Instance, req.Path, req.Outcome)
+	})
+	orb.Method(sv, "reconfigure", func(req reconfigReq) (struct{}, error) {
+		return struct{}{}, s.Reconfigure(req.Instance, req.Ops...)
+	})
+	orb.Method(sv, "stop", func(req instanceReq) (struct{}, error) {
+		return struct{}{}, s.Stop(req.Instance)
+	})
+	orb.Method(sv, "recover", func(req instanceReq) (struct{}, error) {
+		return struct{}{}, s.Recover(req.Instance)
+	})
+	orb.Method(sv, "instances", func(struct{}) (instancesResp, error) {
+		return instancesResp{Instances: s.Instances()}, nil
+	})
+	return sv
+}
+
+// Client is the typed stub of the execution service.
+type Client struct {
+	c *orb.Client
+}
+
+// NewClient wraps an orb client connected to the execution endpoint.
+func NewClient(c *orb.Client) *Client { return &Client{c: c} }
+
+// Instantiate creates an instance of a stored schema.
+func (ec *Client) Instantiate(instance, schemaName, rootName string) error {
+	return ec.c.Invoke(ObjectName, "instantiate", instantiateReq{Instance: instance, Schema: schemaName, Root: rootName}, nil)
+}
+
+// Start begins execution of an instance.
+func (ec *Client) Start(instance, set string, inputs registry.Objects) error {
+	return ec.c.Invoke(ObjectName, "start", startReq{Instance: instance, Set: set, Inputs: inputs}, nil)
+}
+
+// Status reports status and per-task rows.
+func (ec *Client) Status(instance string) (engine.InstanceStatus, []engine.TaskStatus, error) {
+	resp, err := orb.Call[instanceReq, statusResp](ec.c, ObjectName, "status", instanceReq{Instance: instance})
+	return resp.Status, resp.Tasks, err
+}
+
+// Events fetches the trace after sequence number since.
+func (ec *Client) Events(instance string, since int) ([]engine.Event, error) {
+	resp, err := orb.Call[eventsReq, eventsResp](ec.c, ObjectName, "events", eventsReq{Instance: instance, Since: since})
+	return resp.Events, err
+}
+
+// WaitSettled polls until the instance settles or the timeout ends. The
+// wait is chunked into short server-side slices so it works under any
+// per-call transport deadline, and so concurrent users of one client are
+// not starved by a long-poll holding the connection.
+func (ec *Client) WaitSettled(instance string, timeout time.Duration) (engine.InstanceStatus, engine.Result, error) {
+	const slice = 500 * time.Millisecond
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			remaining = time.Millisecond
+		}
+		if remaining > slice {
+			remaining = slice
+		}
+		resp, err := orb.Call[waitReq, waitResp](ec.c, ObjectName, "wait", waitReq{Instance: instance, TimeoutMS: int(remaining / time.Millisecond)})
+		if err != nil {
+			return resp.Status, resp.Result, err
+		}
+		if Settled(resp.Status) || time.Now().After(deadline) {
+			return resp.Status, resp.Result, nil
+		}
+	}
+}
+
+// AbortTask force-aborts a task.
+func (ec *Client) AbortTask(instance, path, outcome string) error {
+	return ec.c.Invoke(ObjectName, "abortTask", abortReq{Instance: instance, Path: path, Outcome: outcome}, nil)
+}
+
+// Reconfigure applies reconfiguration operations.
+func (ec *Client) Reconfigure(instance string, ops ...engine.Op) error {
+	return ec.c.Invoke(ObjectName, "reconfigure", reconfigReq{Instance: instance, Ops: ops}, nil)
+}
+
+// Stop halts an instance.
+func (ec *Client) Stop(instance string) error {
+	return ec.c.Invoke(ObjectName, "stop", instanceReq{Instance: instance}, nil)
+}
+
+// Recover rebuilds a persisted instance.
+func (ec *Client) Recover(instance string) error {
+	return ec.c.Invoke(ObjectName, "recover", instanceReq{Instance: instance}, nil)
+}
+
+// Instances lists live instances.
+func (ec *Client) Instances() ([]string, error) {
+	resp, err := orb.Call[struct{}, instancesResp](ec.c, ObjectName, "instances", struct{}{})
+	return resp.Instances, err
+}

@@ -1,0 +1,460 @@
+// Package experiments contains the runnable scenarios that regenerate
+// every figure of the paper's evaluation (Figs. 1-9) plus the
+// system-level experiments implied by Sections 2-3 (crash recovery,
+// dynamic reconfiguration, baseline comparison, lossy networks). The
+// root-level benchmarks (bench_test.go) and the cmd/wfbench reporting
+// harness both drive these functions, so the numbers in EXPERIMENTS.md
+// and `go test -bench` come from the same code.
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/persist"
+	"repro/internal/registry"
+	"repro/internal/script/sema"
+	"repro/internal/scripts"
+	"repro/internal/store"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// Env is a self-contained execution environment over a memory store.
+type Env struct {
+	St    store.Store
+	Preg  *persist.Registry
+	Impls *registry.Registry
+	Eng   *engine.Engine
+
+	seq atomic.Int64
+}
+
+// NewEnv builds an environment with the given engine configuration over
+// st (nil selects a fresh MemStore).
+func NewEnv(st store.Store, cfg engine.Config) *Env {
+	if st == nil {
+		st = store.NewMemStore()
+	}
+	preg := persist.NewRegistry(st, txn.NewManager(st), nil)
+	impls := registry.New()
+	return &Env{
+		St:    st,
+		Preg:  preg,
+		Impls: impls,
+		Eng:   engine.New(preg, impls, cfg),
+	}
+}
+
+// Close stops the engine.
+func (e *Env) Close() { e.Eng.Close() }
+
+// nextID issues a unique instance id.
+func (e *Env) nextID(prefix string) string {
+	return fmt.Sprintf("%s-%d", prefix, e.seq.Add(1))
+}
+
+// Run instantiates the schema, starts it with the inputs and waits for a
+// terminal result. Each call is one complete workflow execution — the
+// unit all throughput benchmarks measure.
+func (e *Env) Run(schema *coreSchema, set string, inputs registry.Objects) (engine.Result, *engine.Instance, error) {
+	inst, err := e.Eng.Instantiate(e.nextID(schema.Name), schema, "")
+	if err != nil {
+		return engine.Result{}, nil, err
+	}
+	if err := inst.Start(set, inputs); err != nil {
+		return engine.Result{}, nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := inst.Wait(ctx)
+	if err != nil {
+		return engine.Result{}, inst, fmt.Errorf("instance %s: %w", inst.ID(), err)
+	}
+	inst.Stop()
+	return res, inst, nil
+}
+
+// coreSchema aliases the compiled schema type to keep signatures short.
+type coreSchema = schemaT
+
+// Compile compiles source once for reuse across iterations.
+func Compile(name, src string) *coreSchema {
+	return sema.MustCompileSource(name, []byte(src))
+}
+
+// --- Fig. 1: dependency diamond -------------------------------------
+
+// Fig1 runs one generalised diamond of the given width and returns the
+// number of task starts. width 2 is the paper's figure with an explicit
+// join; the sweep shows scheduling cost vs parallel breadth.
+type Fig1 struct {
+	env    *Env
+	schema *coreSchema
+}
+
+// NewFig1 prepares the diamond scenario.
+func NewFig1(width int) *Fig1 {
+	env := NewEnv(nil, engine.Config{})
+	workload.Bind(env.Impls)
+	return &Fig1{env: env, schema: Compile(fmt.Sprintf("diamond%d", width), workload.Diamond(width))}
+}
+
+// Run executes one diamond instance.
+func (f *Fig1) Run() error {
+	res, _, err := f.env.Run(f.schema, "main", workload.Seed())
+	if err != nil {
+		return err
+	}
+	if res.Output != "done" {
+		return fmt.Errorf("outcome %q", res.Output)
+	}
+	return nil
+}
+
+// Close releases the environment.
+func (f *Fig1) Close() { f.env.Close() }
+
+// --- Fig. 2: input sets and alternatives -----------------------------
+
+const fig2Script = `
+class A;
+
+taskclass Feeder
+{
+    inputs { input main { a of class A } };
+    outputs { outcome done { x of class A; y of class A } }
+};
+
+taskclass Chooser
+{
+    inputs
+    {
+        input first { p of class A };
+        input second { q of class A }
+    };
+    outputs { outcome done { } }
+};
+
+taskclass App
+{
+    inputs { input main { a of class A } };
+    outputs { outcome done { } }
+};
+
+compoundtask app of taskclass App
+{
+    task feeder of taskclass Feeder
+    {
+        implementation { "code" is "feeder" };
+        inputs { input main { inputobject a from { a of task app if input main } } }
+    };
+    task chooser of taskclass Chooser
+    {
+        implementation { "code" is "chooser" };
+        inputs
+        {
+            input first
+            {
+                inputobject p from { x of task feeder if output done; y of task feeder if output done }
+            };
+            input second
+            {
+                inputobject q from { y of task feeder if output done }
+            }
+        }
+    };
+    outputs { outcome done { notification from { task chooser if output done } } }
+};
+`
+
+// Fig2 races two satisfiable input sets and checks the deterministic
+// choice on every run.
+type Fig2 struct {
+	env    *Env
+	schema *coreSchema
+	chosen atomic.Value // string
+}
+
+// NewFig2 prepares the input-set scenario.
+func NewFig2() *Fig2 {
+	f := &Fig2{env: NewEnv(nil, engine.Config{})}
+	f.schema = Compile("fig2", fig2Script)
+	f.env.Impls.Bind("feeder", registry.Fixed("done", registry.Objects{
+		"x": {Class: "A", Data: "fromX"},
+		"y": {Class: "A", Data: "fromY"},
+	}))
+	f.env.Impls.Bind("chooser", func(ctx registry.Context) (registry.Result, error) {
+		f.chosen.Store(ctx.InputSet() + "/" + fmt.Sprint(ctx.Inputs()["p"].Data))
+		return registry.Result{Output: "done"}, nil
+	})
+	return f
+}
+
+// Run executes one instance and verifies determinism.
+func (f *Fig2) Run() error {
+	if _, _, err := f.env.Run(f.schema, "main", registry.Objects{"a": {Class: "A", Data: "s"}}); err != nil {
+		return err
+	}
+	if got := f.chosen.Load().(string); got != "first/fromX" {
+		return fmt.Errorf("non-deterministic selection: %s", got)
+	}
+	return nil
+}
+
+// Close releases the environment.
+func (f *Fig2) Close() { f.env.Close() }
+
+// --- Fig. 3: task state transitions ----------------------------------
+
+const fig3Script = `
+class D;
+
+taskclass Cycler
+{
+    inputs { input main { seed of class D } };
+    outputs
+    {
+        outcome finished { out of class D };
+        repeat outcome again { counter of class D };
+        mark progress { snapshot of class D }
+    }
+};
+
+taskclass App
+{
+    inputs { input main { seed of class D } };
+    outputs { outcome finished { out of class D } }
+};
+
+compoundtask app of taskclass App
+{
+    task cycler of taskclass Cycler
+    {
+        implementation { "code" is "cycler" };
+        inputs
+        {
+            input main
+            {
+                inputobject seed from
+                {
+                    counter of task cycler if output again;
+                    seed of task app if input main
+                }
+            }
+        }
+    };
+    outputs { outcome finished { outputobject out from { out of task cycler if output finished } } }
+};
+`
+
+// Fig3 drives one task through wait, execute, marks, repeats, a retried
+// system failure and the final outcome — the full Fig. 3 transition set.
+type Fig3 struct {
+	env     *Env
+	schema  *coreSchema
+	repeats int
+}
+
+// NewFig3 prepares the transition scenario with the given number of
+// repeat iterations per run.
+func NewFig3(repeats int) *Fig3 {
+	f := &Fig3{env: NewEnv(nil, engine.Config{MaxRetries: 1}), repeats: repeats}
+	f.schema = Compile("fig3", fig3Script)
+	f.env.Impls.Bind("cycler", func(ctx registry.Context) (registry.Result, error) {
+		n := ctx.Inputs()["seed"].Data.(int)
+		if n == 1 && ctx.Attempt() == 0 {
+			return registry.Result{}, errors.New("transient")
+		}
+		if err := ctx.Mark("progress", registry.Objects{"snapshot": {Class: "D", Data: n}}); err != nil {
+			return registry.Result{}, err
+		}
+		if n < repeats {
+			return registry.Result{Output: "again", Objects: registry.Objects{"counter": {Class: "D", Data: n + 1}}}, nil
+		}
+		return registry.Result{Output: "finished", Objects: registry.Objects{"out": {Class: "D", Data: n}}}, nil
+	})
+	return f
+}
+
+// Run executes one transition cycle.
+func (f *Fig3) Run() error {
+	res, _, err := f.env.Run(f.schema, "main", registry.Objects{"seed": {Class: "D", Data: 0}})
+	if err != nil {
+		return err
+	}
+	if res.Output != "finished" {
+		return fmt.Errorf("outcome %q", res.Output)
+	}
+	return nil
+}
+
+// Close releases the environment.
+func (f *Fig3) Close() { f.env.Close() }
+
+// --- Fig. 5: nested compound tasks -----------------------------------
+
+// Fig5 runs nested compounds of the given depth (each level two stages).
+type Fig5 struct {
+	env    *Env
+	schema *coreSchema
+}
+
+// NewFig5 prepares the nesting scenario.
+func NewFig5(depth int) *Fig5 {
+	env := NewEnv(nil, engine.Config{})
+	workload.Bind(env.Impls)
+	return &Fig5{env: env, schema: Compile(fmt.Sprintf("nested%d", depth), workload.Nested(depth, 2))}
+}
+
+// Run executes one nested instance.
+func (f *Fig5) Run() error {
+	res, _, err := f.env.Run(f.schema, "main", workload.Seed())
+	if err != nil {
+		return err
+	}
+	if res.Output != "done" {
+		return fmt.Errorf("outcome %q", res.Output)
+	}
+	return nil
+}
+
+// Close releases the environment.
+func (f *Fig5) Close() { f.env.Close() }
+
+// --- Fig. 6: service impact application ------------------------------
+
+// Fig6 runs the Section 5.1 application end to end (resolved path).
+type Fig6 struct {
+	env    *Env
+	schema *coreSchema
+}
+
+// NewFig6 prepares the network-management scenario.
+func NewFig6() *Fig6 {
+	env := NewEnv(nil, engine.Config{})
+	env.Impls.Bind("refAlarmCorrelator", registry.Fixed("foundFault", registry.Objects{"faultReport": {Class: "FaultReport", Data: "link-loss"}}))
+	env.Impls.Bind("refServiceImpactAnalysis", registry.Fixed("foundImpacts", registry.Objects{"serviceImpactReports": {Class: "ServiceImpactReports", Data: "impacts"}}))
+	env.Impls.Bind("refServiceImpactResolution", registry.Fixed("foundResolution", registry.Objects{"resolutionReport": {Class: "ResolutionReport", Data: "reroute"}}))
+	return &Fig6{env: env, schema: Compile("service_impact", scripts.ServiceImpact)}
+}
+
+// Run executes one alarm-to-resolution pass.
+func (f *Fig6) Run() error {
+	res, _, err := f.env.Run(f.schema, "main", registry.Objects{"alarmsSource": {Class: "AlarmsSource", Data: "bus"}})
+	if err != nil {
+		return err
+	}
+	if res.Output != "resolved" {
+		return fmt.Errorf("outcome %q", res.Output)
+	}
+	return nil
+}
+
+// Close releases the environment.
+func (f *Fig6) Close() { f.env.Close() }
+
+// --- Fig. 7: process order application -------------------------------
+
+// Fig7 runs the Section 5.2 application (orderCompleted path, including
+// the atomic dispatch task).
+type Fig7 struct {
+	env    *Env
+	schema *coreSchema
+}
+
+// NewFig7 prepares the order-processing scenario.
+func NewFig7() *Fig7 {
+	env := NewEnv(nil, engine.Config{})
+	env.Impls.Bind("refPaymentAuthorisation", registry.Fixed("authorised", registry.Objects{"paymentInfo": {Class: "PaymentInfo", Data: "p"}}))
+	env.Impls.Bind("refCheckStock", registry.Fixed("stockAvailable", registry.Objects{"stockInfo": {Class: "StockInfo", Data: "s"}}))
+	env.Impls.Bind("refDispatch", registry.Fixed("dispatchCompleted", registry.Objects{"dispatchNote": {Class: "DispatchNote", Data: "n"}}))
+	env.Impls.Bind("refPaymentCapture", registry.Fixed("done", nil))
+	return &Fig7{env: env, schema: Compile("process_order", scripts.ProcessOrder)}
+}
+
+// Run executes one order.
+func (f *Fig7) Run() error {
+	res, _, err := f.env.Run(f.schema, "main", registry.Objects{"order": {Class: "Order", Data: "o"}})
+	if err != nil {
+		return err
+	}
+	if res.Output != "orderCompleted" {
+		return fmt.Errorf("outcome %q", res.Output)
+	}
+	return nil
+}
+
+// Close releases the environment.
+func (f *Fig7) Close() { f.env.Close() }
+
+// --- Figs. 8 & 9: business trip --------------------------------------
+
+// Fig89 runs the Section 5.3 application with a configurable number of
+// hotel rejections (each triggering the compensation + repeat loop of
+// Fig. 9) and checks the early mark release of Fig. 8.
+type Fig89 struct {
+	env          *Env
+	schema       *coreSchema
+	hotelRejects int
+	rejects      atomic.Int64
+}
+
+// NewFig89 prepares the business-trip scenario.
+func NewFig89(hotelRejects int) *Fig89 {
+	f := &Fig89{env: NewEnv(nil, engine.Config{}), hotelRejects: hotelRejects}
+	f.schema = Compile("business_trip", scripts.BusinessTrip)
+	impls := f.env.Impls
+	impls.Bind("refDataAcquisition", registry.Fixed("acquired", registry.Objects{"tripSpec": {Class: "TripSpec", Data: "AMS"}}))
+	impls.Bind("refQueryAirline1", registry.Fixed("noOffer", nil))
+	impls.Bind("refQueryAirline2", registry.Fixed("offer", registry.Objects{"flightOffer": {Class: "FlightOffer", Data: "BA-447"}}))
+	impls.Bind("refQueryAirline3", registry.Fixed("offer", registry.Objects{"flightOffer": {Class: "FlightOffer", Data: "AF-1234"}}))
+	impls.Bind("refFlightReservation", registry.Fixed("reserved", registry.Objects{
+		"plane": {Class: "Plane", Data: "12A"},
+		"cost":  {Class: "Cost", Data: 423},
+	}))
+	impls.Bind("refHotelReservation", func(registry.Context) (registry.Result, error) {
+		if f.rejects.Add(-1) >= 0 {
+			return registry.Result{Output: "failed"}, nil
+		}
+		return registry.Result{Output: "booked", Objects: registry.Objects{"hotel": {Class: "Hotel", Data: "K"}}}, nil
+	})
+	impls.Bind("refFlightCancellation", registry.Fixed("cancelled", nil))
+	impls.Bind("refPrintTickets", registry.Fixed("printed", registry.Objects{"tickets": {Class: "Tickets", Data: "TK"}}))
+	return f
+}
+
+// Run executes one trip and validates the mark + repeat behaviour.
+func (f *Fig89) Run() error {
+	f.rejects.Store(int64(f.hotelRejects))
+	res, inst, err := f.env.Run(f.schema, "main", registry.Objects{"user": {Class: "User", Data: "fred"}})
+	if err != nil {
+		return err
+	}
+	if res.Output != "tripBooked" {
+		return fmt.Errorf("outcome %q", res.Output)
+	}
+	marks, repeats := 0, 0
+	for _, e := range inst.Events() {
+		switch {
+		case e.Kind == engine.EventTaskMarked && e.Output == "toPay":
+			marks++
+		case e.Kind == engine.EventTaskRepeated && e.Output == "retry":
+			repeats++
+		}
+	}
+	if marks != 1 {
+		return fmt.Errorf("toPay marks = %d, want 1", marks)
+	}
+	if repeats != f.hotelRejects {
+		return fmt.Errorf("repeats = %d, want %d", repeats, f.hotelRejects)
+	}
+	return nil
+}
+
+// Close releases the environment.
+func (f *Fig89) Close() { f.env.Close() }

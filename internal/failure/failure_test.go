@@ -1,0 +1,117 @@
+package failure_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/orb"
+)
+
+func TestLossyDialerDeterministic(t *testing.T) {
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	outcomes := func(seed int64) []bool {
+		d, _ := failure.Lossy(failure.NetConfig{RefuseProb: 0.5, Seed: seed})
+		var out []bool
+		for k := 0; k < 20; k++ {
+			conn, err := d(srv.Addr())
+			out = append(out, err == nil)
+			if conn != nil {
+				_ = conn.Close()
+			}
+		}
+		return out
+	}
+	a, b := outcomes(3), outcomes(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must produce the same fault sequence")
+		}
+	}
+	c := outcomes(4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sequences (suspicious)")
+	}
+}
+
+func TestLossyDialerInjectsMarkedErrors(t *testing.T) {
+	d, stats := failure.Lossy(failure.NetConfig{RefuseProb: 1.0, Seed: 1})
+	_, err := d("127.0.0.1:1")
+	if !errors.Is(err, failure.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if stats.Refused() != 1 {
+		t.Errorf("refused = %d, want 1", stats.Refused())
+	}
+}
+
+func TestDropAfterKillsConnections(t *testing.T) {
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	d, stats := failure.Lossy(failure.NetConfig{DropAfter: 2, Seed: 9})
+	conn, err := d(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	var sawDrop bool
+	for k := 0; k < 5; k++ {
+		if _, err := conn.Write([]byte("x")); err != nil {
+			if !errors.Is(err, failure.ErrInjected) {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			sawDrop = true
+			break
+		}
+	}
+	if !sawDrop {
+		t.Fatal("connection never dropped despite DropAfter=2")
+	}
+	if stats.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", stats.Dropped())
+	}
+}
+
+func TestPartitionBreakHeal(t *testing.T) {
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p := failure.NewPartition()
+	d := p.Dialer()
+
+	if conn, err := d(srv.Addr()); err != nil {
+		t.Fatalf("healed partition refused dial: %v", err)
+	} else {
+		_ = conn.Close()
+	}
+	p.Break()
+	if !p.Active() {
+		t.Error("partition should be active")
+	}
+	if _, err := d(srv.Addr()); !errors.Is(err, failure.ErrInjected) {
+		t.Fatalf("broken partition allowed dial: %v", err)
+	}
+	p.Heal()
+	if conn, err := d(srv.Addr()); err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	} else {
+		_ = conn.Close()
+	}
+}

@@ -1,0 +1,37 @@
+package orb_test
+
+import (
+	"testing"
+
+	"repro/internal/orb"
+)
+
+func BenchmarkInvokeRoundTrip(b *testing.B) {
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	sv := orb.NewServant()
+	orb.Method(sv, "echo", func(req echoReq) (echoResp, error) {
+		return echoResp{Msg: req.Msg, N: req.N + 1}, nil
+	})
+	srv.Register("echo-object", sv)
+	c := orb.Dial(srv.Addr(), orb.ClientConfig{})
+	defer c.Close()
+
+	// Warm the connection.
+	if _, err := orb.Call[echoReq, echoResp](c, "echo-object", "echo", echoReq{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := orb.Call[echoReq, echoResp](c, "echo-object", "echo", echoReq{Msg: "payload", N: i})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.N != i+1 {
+			b.Fatal("bad reply")
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package orb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NamingObject is the well-known object name of the naming service — the
+// analogue of the CORBA Naming Service through which the workflow toolkit
+// components find the repository and execution services.
+const NamingObject = "naming"
+
+// Naming maps service names to endpoint addresses. It is itself exported
+// as a servant, so any node can resolve services through the orb.
+type Naming struct {
+	mu      sync.RWMutex
+	entries map[string]string
+}
+
+// NewNaming returns an empty naming table.
+func NewNaming() *Naming {
+	return &Naming{entries: make(map[string]string)}
+}
+
+// BindEntry associates a service name with an address, replacing any
+// previous binding (services may move — dynamic reconfiguration at the
+// service level).
+func (n *Naming) BindEntry(name, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.entries[name] = addr
+}
+
+// UnbindEntry removes a binding (a withdrawn service).
+func (n *Naming) UnbindEntry(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.entries, name)
+}
+
+// Resolve returns the address bound to name.
+func (n *Naming) Resolve(name string) (string, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	addr, ok := n.entries[name]
+	if !ok {
+		return "", fmt.Errorf("naming: %q is not bound", name)
+	}
+	return addr, nil
+}
+
+// Names lists the bound names in order.
+func (n *Naming) Names() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.entries))
+	for name := range n.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// namingBind and friends are the wire types of the naming servant.
+type namingBind struct {
+	Name string
+	Addr string
+}
+
+type namingResolve struct {
+	Name string
+}
+
+type namingResolved struct {
+	Addr string
+}
+
+type namingList struct{}
+
+type namingNames struct {
+	Names []string
+}
+
+// Servant exports the naming table over the orb.
+func (n *Naming) Servant() *Servant {
+	s := NewServant()
+	Method(s, "bind", func(req namingBind) (struct{}, error) {
+		n.BindEntry(req.Name, req.Addr)
+		return struct{}{}, nil
+	})
+	Method(s, "unbind", func(req namingResolve) (struct{}, error) {
+		n.UnbindEntry(req.Name)
+		return struct{}{}, nil
+	})
+	Method(s, "resolve", func(req namingResolve) (namingResolved, error) {
+		addr, err := n.Resolve(req.Name)
+		return namingResolved{Addr: addr}, err
+	})
+	Method(s, "list", func(namingList) (namingNames, error) {
+		return namingNames{Names: n.Names()}, nil
+	})
+	return s
+}
+
+// NamingClient resolves names through a remote naming servant.
+type NamingClient struct {
+	c *Client
+}
+
+// NewNamingClient wraps a client connected to the naming endpoint.
+func NewNamingClient(c *Client) *NamingClient { return &NamingClient{c: c} }
+
+// Bind registers a service endpoint.
+func (nc *NamingClient) Bind(name, addr string) error {
+	return nc.c.Invoke(NamingObject, "bind", namingBind{Name: name, Addr: addr}, nil)
+}
+
+// Unbind removes a service endpoint.
+func (nc *NamingClient) Unbind(name string) error {
+	return nc.c.Invoke(NamingObject, "unbind", namingResolve{Name: name}, nil)
+}
+
+// Resolve looks a service up.
+func (nc *NamingClient) Resolve(name string) (string, error) {
+	resp, err := Call[namingResolve, namingResolved](nc.c, NamingObject, "resolve", namingResolve{Name: name})
+	if err != nil {
+		return "", err
+	}
+	return resp.Addr, nil
+}
+
+// Names lists bound services.
+func (nc *NamingClient) Names() ([]string, error) {
+	resp, err := Call[namingList, namingNames](nc.c, NamingObject, "list", namingList{})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}

@@ -1,0 +1,374 @@
+// Package orb is the distribution substrate of the workflow system: a
+// small object request broker that stands in for the paper's CORBA
+// ORB/IIOP layer (Fig. 4). Services (the workflow repository service and
+// workflow execution service) are exported as named servants on TCP
+// endpoints; clients invoke them location-transparently through typed
+// stubs, with automatic retry of idempotent invocations over temporary
+// network failures — the system-level behaviour Section 3 assumes.
+//
+// The wire protocol is deliberately simple: length-delimited gob frames
+// carrying (object, method, payload) requests and (error, payload)
+// replies. Fault injection wraps the dialer (see internal/failure).
+package orb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// request is one invocation frame.
+type request struct {
+	Object string
+	Method string
+	Arg    []byte
+}
+
+// response is one reply frame. AppErr distinguishes application errors
+// (returned by the servant, not retried) from transport errors.
+type response struct {
+	AppErr string
+	Reply  []byte
+}
+
+// ErrNoObject is returned for invocations on unregistered servants.
+var ErrNoObject = errors.New("no such object")
+
+// ErrNoMethod is returned for unknown methods of a servant.
+var ErrNoMethod = errors.New("no such method")
+
+// AppError wraps an error returned by a remote servant (as opposed to a
+// transport failure). AppErrors are never retried.
+type AppError struct{ Msg string }
+
+// Error implements the error interface.
+func (e *AppError) Error() string { return e.Msg }
+
+// Handler executes one method of a servant.
+type Handler func(arg []byte) ([]byte, error)
+
+// Servant is a dispatch table of methods.
+type Servant struct {
+	mu      sync.RWMutex
+	methods map[string]Handler
+}
+
+// NewServant returns an empty servant.
+func NewServant() *Servant {
+	return &Servant{methods: make(map[string]Handler)}
+}
+
+// Handle registers a raw method handler.
+func (s *Servant) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.methods[method] = h
+}
+
+// dispatch runs one method.
+func (s *Servant) dispatch(method string, arg []byte) ([]byte, error) {
+	s.mu.RLock()
+	h, ok := s.methods[method]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoMethod, method)
+	}
+	return h(arg)
+}
+
+// Method registers a typed method on a servant: the request and reply
+// types are gob-encoded across the wire.
+func Method[Req, Resp any](s *Servant, name string, f func(Req) (Resp, error)) {
+	s.Handle(name, func(arg []byte) ([]byte, error) {
+		var req Req
+		if err := gob.NewDecoder(bytes.NewReader(arg)).Decode(&req); err != nil {
+			return nil, fmt.Errorf("decode %s request: %w", name, err)
+		}
+		resp, err := f(req)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&resp); err != nil {
+			return nil, fmt.Errorf("encode %s reply: %w", name, err)
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+// Server exports servants on a TCP endpoint.
+type Server struct {
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu       sync.RWMutex
+	servants map[string]*Servant
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer listens on addr (use "127.0.0.1:0" for an ephemeral port)
+// and serves until Close.
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("orb listen: %w", err)
+	}
+	s := &Server{ln: ln, servants: make(map[string]*Servant), conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Register exports a servant under an object name.
+func (s *Server) Register(object string, servant *Servant) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.servants[object] = servant
+}
+
+// Close stops accepting, severs open connections and waits for their
+// handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	_ = s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles sequential requests on one connection.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken peer
+		}
+		s.mu.RLock()
+		servant, ok := s.servants[req.Object]
+		s.mu.RUnlock()
+		var resp response
+		if !ok {
+			resp.AppErr = fmt.Sprintf("%v: %s", ErrNoObject, req.Object)
+		} else {
+			reply, err := servant.dispatch(req.Method, req.Arg)
+			if err != nil {
+				resp.AppErr = err.Error()
+			} else {
+				resp.Reply = reply
+			}
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Dialer opens transport connections; fault injectors substitute their
+// own (see internal/failure).
+type Dialer func(addr string) (net.Conn, error)
+
+// ClientConfig tunes a client stub.
+type ClientConfig struct {
+	// Retries is the number of additional attempts after a transport
+	// failure. Application errors are never retried. Default 3.
+	Retries int
+	// RetryDelay separates attempts. Default 10ms.
+	RetryDelay time.Duration
+	// Dialer overrides the transport (fault injection). Default net.Dial
+	// with a 2s timeout.
+	Dialer Dialer
+	// CallTimeout bounds one attempt. Default 5s.
+	CallTimeout time.Duration
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	if c.RetryDelay == 0 {
+		c.RetryDelay = 10 * time.Millisecond
+	}
+	if c.Dialer == nil {
+		c.Dialer = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 2*time.Second)
+		}
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Client invokes servants on one endpoint. It keeps a single connection
+// and re-dials transparently after transport failures; a mutex serialises
+// invocations (the services' methods are coarse-grained, matching the
+// paper's CORBA service granularity).
+type Client struct {
+	addr string
+	cfg  ClientConfig
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+
+	// stats
+	retries int
+}
+
+// Dial returns a client for the endpoint. The connection is established
+// lazily.
+func Dial(addr string, cfg ClientConfig) *Client {
+	return &Client{addr: addr, cfg: cfg.withDefaults()}
+}
+
+// Retries reports how many transport retries the client has performed
+// (observability for the lossy-network experiments).
+func (c *Client) Retries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retries
+}
+
+// Close drops the connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reset()
+}
+
+func (c *Client) reset() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+		c.enc, c.dec = nil, nil
+	}
+}
+
+func (c *Client) ensureConn() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := c.cfg.Dialer(c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+// Invoke calls object.method with the gob-encoded arg, decoding the reply
+// into reply (a pointer, or nil to discard). Transport failures are
+// retried per the config; servant errors return as *AppError.
+func (c *Client) Invoke(object, method string, arg, reply any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(arg); err != nil {
+		return fmt.Errorf("encode %s.%s request: %w", object, method, err)
+	}
+	req := request{Object: object, Method: method, Arg: buf.Bytes()}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			c.retries++
+			time.Sleep(c.cfg.RetryDelay)
+		}
+		if err := c.ensureConn(); err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := c.attempt(&req)
+		if err != nil {
+			lastErr = err
+			c.reset()
+			continue
+		}
+		if resp.AppErr != "" {
+			return &AppError{Msg: resp.AppErr}
+		}
+		if reply == nil {
+			return nil
+		}
+		if err := gob.NewDecoder(bytes.NewReader(resp.Reply)).Decode(reply); err != nil {
+			return fmt.Errorf("decode %s.%s reply: %w", object, method, err)
+		}
+		return nil
+	}
+	return fmt.Errorf("invoke %s.%s after %d attempts: %w", object, method, c.cfg.Retries+1, lastErr)
+}
+
+// attempt performs one round-trip under the call timeout.
+func (c *Client) attempt(req *request) (*response, error) {
+	if c.cfg.CallTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("recv: connection closed: %w", err)
+		}
+		return nil, fmt.Errorf("recv: %w", err)
+	}
+	return &resp, nil
+}
+
+// Call is a typed convenience wrapper over Invoke.
+func Call[Req, Resp any](c *Client, object, method string, req Req) (Resp, error) {
+	var resp Resp
+	err := c.Invoke(object, method, req, &resp)
+	return resp, err
+}

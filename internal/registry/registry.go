@@ -1,0 +1,192 @@
+// Package registry implements the late binding of task implementations:
+// the mapping from the names used in a script's
+// `implementation { "code" is "..." }` clauses to executable Go
+// functions.
+//
+// The paper stresses that task implementations "are specified in an
+// abstract manner which allows the binding to specific implementations to
+// be done at run time; this opens up a way of introducing online upgrade
+// of an application without having to change the corresponding workflow
+// script" (Section 3). Accordingly, bindings here are looked up at every
+// task activation and may be replaced while workflows are running.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/txn"
+)
+
+// Value is an object reference flowing between tasks: an opaque payload
+// tagged with its script-level class. Payload types that cross a
+// persistence or RPC boundary must be gob-encodable (register concrete
+// types with encoding/gob).
+type Value struct {
+	Class string
+	Data  any
+}
+
+// Objects maps object reference names to values, as consumed and produced
+// by tasks.
+type Objects map[string]Value
+
+// Clone returns a shallow copy (values are immutable by convention).
+func (o Objects) Clone() Objects {
+	if o == nil {
+		return nil
+	}
+	out := make(Objects, len(o))
+	for k, v := range o {
+		out[k] = v
+	}
+	return out
+}
+
+// Result is what a task implementation returns: the name of the produced
+// output (an outcome, abort outcome or repeat outcome of its task class)
+// and the objects carried by it.
+type Result struct {
+	Output  string
+	Objects Objects
+}
+
+// Context is the execution context handed to a task implementation.
+type Context interface {
+	// Instance returns the workflow instance identifier.
+	Instance() string
+	// TaskPath returns the slash path of the executing task.
+	TaskPath() string
+	// InputSet returns the name of the input set that satisfied the task.
+	InputSet() string
+	// Inputs returns the resolved input objects.
+	Inputs() Objects
+	// Attempt returns the retry attempt number (0 for the first try).
+	Attempt() int
+	// Iteration returns the repeat iteration number (0 before any repeat).
+	Iteration() int
+	// Mark releases an intermediate mark output while the task keeps
+	// executing. It fails for atomic tasks and for unknown mark names.
+	Mark(name string, objects Objects) error
+	// Txn returns the surrounding transaction for atomic tasks (those
+	// whose class declares an abort outcome), or nil for non-atomic
+	// tasks. Implementations can hang their own persistent-object work
+	// off it so that an abort outcome truly has no effects.
+	Txn() *txn.Txn
+	// Done is closed when the engine is shutting down or the task has
+	// been force-aborted; long-running implementations should watch it.
+	Done() <-chan struct{}
+}
+
+// Func is a task implementation. Returning an error signals a
+// system-level failure: the engine retries the task a finite number of
+// times and then aborts it (Section 3, system-level fault tolerance).
+// Returning a Result naming an abort outcome is an application-level
+// abort.
+type Func func(ctx Context) (Result, error)
+
+// ErrUnbound is returned when a code name has no current binding.
+var ErrUnbound = errors.New("implementation not bound")
+
+// Registry is a concurrency-safe binding table. The zero value is ready
+// to use.
+type Registry struct {
+	mu    sync.RWMutex
+	funcs map[string]Func
+	// versions counts rebinds per code name, observable by the online
+	// upgrade tests.
+	versions map[string]int
+	// fallback resolves code names with no explicit binding (pattern
+	// schemes like "fixed:done"); see BindFallback.
+	fallback func(code string) (Func, bool)
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{} }
+
+// Bind associates code with f, replacing any previous binding (online
+// upgrade). Binding a nil Func removes the entry.
+func (r *Registry) Bind(code string, f Func) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.funcs == nil {
+		r.funcs = make(map[string]Func)
+		r.versions = make(map[string]int)
+	}
+	if f == nil {
+		delete(r.funcs, code)
+		return
+	}
+	r.funcs[code] = f
+	r.versions[code]++
+}
+
+// BindFallback installs a resolver consulted when a code name has no
+// explicit binding. Daemons use it to provide pattern-scheme
+// implementations (e.g. "fixed:done") without enumerating names.
+func (r *Registry) BindFallback(f func(code string) (Func, bool)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fallback = f
+}
+
+// Lookup resolves a code name at activation time.
+func (r *Registry) Lookup(code string) (Func, error) {
+	r.mu.RLock()
+	f, ok := r.funcs[code]
+	fb := r.fallback
+	r.mu.RUnlock()
+	if ok {
+		return f, nil
+	}
+	if fb != nil {
+		if f, ok := fb(code); ok {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("code %q: %w", code, ErrUnbound)
+}
+
+// Version returns how many times code has been (re)bound.
+func (r *Registry) Version(code string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.versions[code]
+}
+
+// Codes returns the currently bound code names (diagnostics).
+func (r *Registry) Codes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.funcs))
+	for c := range r.funcs {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Fixed returns a Func that always produces the given output and objects;
+// a convenience for tests, examples and workload generators.
+func Fixed(output string, objects Objects) Func {
+	return func(Context) (Result, error) {
+		return Result{Output: output, Objects: objects}, nil
+	}
+}
+
+// FailN returns a Func that fails with a system error the first n calls
+// (across all activations) and then behaves like Fixed; used to exercise
+// the automatic retry machinery.
+func FailN(n int, output string, objects Objects) Func {
+	var mu sync.Mutex
+	remaining := n
+	return func(Context) (Result, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if remaining > 0 {
+			remaining--
+			return Result{}, fmt.Errorf("injected system failure (%d more)", remaining)
+		}
+		return Result{Output: output, Objects: objects}, nil
+	}
+}

@@ -1,0 +1,152 @@
+package repository_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/persist"
+	"repro/internal/repository"
+	"repro/internal/scripts"
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+func newRepo(t *testing.T) (*repository.Service, *store.MemStore) {
+	t.Helper()
+	st := store.NewMemStore()
+	reg := persist.NewRegistry(st, txn.NewManager(st), nil)
+	return repository.New(reg), st
+}
+
+func TestPutGetVersioning(t *testing.T) {
+	repo, _ := newRepo(t)
+	v1, err := repo.Put("order", scripts.ProcessOrder)
+	if err != nil || v1 != 1 {
+		t.Fatalf("put: %d, %v", v1, err)
+	}
+	v2, err := repo.Put("order", scripts.ProcessOrder)
+	if err != nil || v2 != 2 {
+		t.Fatalf("put v2: %d, %v", v2, err)
+	}
+	e, err := repo.Get("order")
+	if err != nil || e.Version != 2 {
+		t.Fatalf("get = v%d, %v", e.Version, err)
+	}
+	e1, err := repo.GetVersion("order", 1)
+	if err != nil || e1.Version != 1 || e1.Source != scripts.ProcessOrder {
+		t.Fatalf("get v1: %+v, %v", e1.Version, err)
+	}
+	hist, err := repo.History("order")
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("history = %v, %v", hist, err)
+	}
+}
+
+func TestPutRejectsInvalidScripts(t *testing.T) {
+	repo, _ := newRepo(t)
+	cases := []string{
+		"task t of taskclass Nope { }",
+		"class A; class A;",
+		"garbage !!!",
+	}
+	for _, src := range cases {
+		if _, err := repo.Put("bad", src); err == nil {
+			t.Errorf("accepted invalid script %q", src)
+		}
+	}
+	if _, err := repo.Put("a/b", scripts.ProcessOrder); err == nil {
+		t.Error("accepted invalid schema name with slash")
+	}
+	// Nothing was stored.
+	names, _ := repo.List()
+	if len(names) != 0 {
+		t.Errorf("list = %v, want empty", names)
+	}
+}
+
+func TestCompileCached(t *testing.T) {
+	repo, _ := newRepo(t)
+	if _, err := repo.Put("svc", scripts.ServiceImpact); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := repo.Compile("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := repo.Compile("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("same version must compile once (cache)")
+	}
+	if _, err := repo.Put("svc", scripts.ServiceImpact); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := repo.Compile("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s1 {
+		t.Error("new version must recompile")
+	}
+}
+
+func TestDeleteAndMissing(t *testing.T) {
+	repo, _ := newRepo(t)
+	if _, err := repo.Get("ghost"); !errors.Is(err, repository.ErrNoSchema) {
+		t.Fatalf("get missing: %v", err)
+	}
+	if err := repo.Delete("ghost"); !errors.Is(err, repository.ErrNoSchema) {
+		t.Fatalf("delete missing: %v", err)
+	}
+	if _, err := repo.Put("x", scripts.Fig1Diamond); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Get("x"); !errors.Is(err, repository.ErrNoSchema) {
+		t.Fatalf("get after delete: %v", err)
+	}
+	names, _ := repo.List()
+	if len(names) != 0 {
+		t.Errorf("list after delete = %v", names)
+	}
+}
+
+func TestRepositorySurvivesRestart(t *testing.T) {
+	repo1, st := newRepo(t)
+	if _, err := repo1.Put("order", scripts.ProcessOrder); err != nil {
+		t.Fatal(err)
+	}
+	// New service over the same store (service restart).
+	reg2 := persist.NewRegistry(st, txn.NewManager(st), nil)
+	repo2 := repository.New(reg2)
+	e, err := repo2.Get("order")
+	if err != nil || e.Source != scripts.ProcessOrder {
+		t.Fatalf("after restart: %v", err)
+	}
+	schema, err := repo2.Compile("order")
+	if err != nil || schema.Task("processOrderApplication") == nil {
+		t.Fatalf("compile after restart: %v", err)
+	}
+	names, err := repo2.List()
+	if err != nil || len(names) != 1 {
+		t.Fatalf("list after restart = %v, %v", names, err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	repo, _ := newRepo(t)
+	if _, err := repo.Put("trip", scripts.BusinessTrip); err != nil {
+		t.Fatal(err)
+	}
+	st, err := repo.Stats("trip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tasks != 11 || st.CompoundTasks != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}

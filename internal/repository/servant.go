@@ -1,0 +1,127 @@
+package repository
+
+import (
+	"repro/internal/core"
+	"repro/internal/orb"
+)
+
+// ObjectName is the repository's well-known servant name on the orb —
+// the analogue of the repository service's CORBA IDL interface.
+const ObjectName = "workflow-repository"
+
+// Wire types.
+type putReq struct {
+	Name   string
+	Source string
+}
+
+type putResp struct {
+	Version int
+}
+
+type nameReq struct {
+	Name string
+}
+
+type versionReq struct {
+	Name    string
+	Version int
+}
+
+type entryResp struct {
+	Entry Entry
+}
+
+type listResp struct {
+	Names []string
+}
+
+type historyResp struct {
+	Versions []int
+}
+
+type statsResp struct {
+	Stats core.Stats
+}
+
+// Servant exports the repository over the orb.
+func (s *Service) Servant() *orb.Servant {
+	sv := orb.NewServant()
+	orb.Method(sv, "put", func(req putReq) (putResp, error) {
+		v, err := s.Put(req.Name, req.Source)
+		return putResp{Version: v}, err
+	})
+	orb.Method(sv, "get", func(req nameReq) (entryResp, error) {
+		e, err := s.Get(req.Name)
+		return entryResp{Entry: e}, err
+	})
+	orb.Method(sv, "getVersion", func(req versionReq) (entryResp, error) {
+		e, err := s.GetVersion(req.Name, req.Version)
+		return entryResp{Entry: e}, err
+	})
+	orb.Method(sv, "list", func(struct{}) (listResp, error) {
+		names, err := s.List()
+		return listResp{Names: names}, err
+	})
+	orb.Method(sv, "history", func(req nameReq) (historyResp, error) {
+		vs, err := s.History(req.Name)
+		return historyResp{Versions: vs}, err
+	})
+	orb.Method(sv, "delete", func(req nameReq) (struct{}, error) {
+		return struct{}{}, s.Delete(req.Name)
+	})
+	orb.Method(sv, "stats", func(req nameReq) (statsResp, error) {
+		st, err := s.Stats(req.Name)
+		return statsResp{Stats: st}, err
+	})
+	return sv
+}
+
+// Client is the typed stub of the repository service.
+type Client struct {
+	c *orb.Client
+}
+
+// NewClient wraps an orb client connected to the repository endpoint.
+func NewClient(c *orb.Client) *Client { return &Client{c: c} }
+
+// Put stores a new version of a schema.
+func (rc *Client) Put(name, source string) (int, error) {
+	resp, err := orb.Call[putReq, putResp](rc.c, ObjectName, "put", putReq{Name: name, Source: source})
+	return resp.Version, err
+}
+
+// Get fetches the current version.
+func (rc *Client) Get(name string) (Entry, error) {
+	resp, err := orb.Call[nameReq, entryResp](rc.c, ObjectName, "get", nameReq{Name: name})
+	return resp.Entry, err
+}
+
+// GetVersion fetches a specific version.
+func (rc *Client) GetVersion(name string, version int) (Entry, error) {
+	resp, err := orb.Call[versionReq, entryResp](rc.c, ObjectName, "getVersion", versionReq{Name: name, Version: version})
+	return resp.Entry, err
+}
+
+// List names the stored schemas.
+func (rc *Client) List() ([]string, error) {
+	resp, err := orb.Call[struct{}, listResp](rc.c, ObjectName, "list", struct{}{})
+	return resp.Names, err
+}
+
+// History returns a schema's version numbers.
+func (rc *Client) History(name string) ([]int, error) {
+	resp, err := orb.Call[nameReq, historyResp](rc.c, ObjectName, "history", nameReq{Name: name})
+	return resp.Versions, err
+}
+
+// Delete removes a schema.
+func (rc *Client) Delete(name string) error {
+	return rc.c.Invoke(ObjectName, "delete", nameReq{Name: name}, nil)
+}
+
+// Stats returns compiled statistics of the current version.
+func (rc *Client) Stats(name string) (core.Stats, error) {
+	resp, err := orb.Call[nameReq, statsResp](rc.c, ObjectName, "stats", nameReq{Name: name})
+	return resp.Stats, err
+}

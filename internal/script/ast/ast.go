@@ -1,0 +1,428 @@
+// Package ast defines the abstract syntax tree for the workflow scripting
+// language of Ranno et al. (ICDCS'98). Each construct of the paper's
+// grammar — class, taskclass, task, compoundtask, tasktemplate and their
+// dependency clauses — has a corresponding node type carrying source
+// positions for diagnostics.
+package ast
+
+import "repro/internal/script/token"
+
+// Node is implemented by every AST node.
+type Node interface {
+	// Pos returns the position of the first token of the node.
+	Pos() token.Position
+}
+
+// Decl is a top-level or constituent declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// InputDep is a dependency clause inside an input set or an output
+// binding: either an object (dataflow) dependency or a notification
+// (temporal) dependency.
+type InputDep interface {
+	Node
+	inputDepNode()
+}
+
+// Script is a parsed workflow script: an ordered list of declarations.
+type Script struct {
+	File  string
+	Decls []Decl
+}
+
+// Pos implements Node; it reports the start of the first declaration.
+func (s *Script) Pos() token.Position {
+	if len(s.Decls) == 0 {
+		return token.Position{File: s.File}
+	}
+	return s.Decls[0].Pos()
+}
+
+// ClassDecl introduces an opaque object class: `class Account;`.
+// Only the name is declared; member operations are external to the
+// script. The optional Super clause (`class EuroAccount of class
+// Account;`) declares a sub-type — the extension the paper's Section 7
+// names as future work, enabling "building block" tasks that operate on
+// standard super-types.
+type ClassDecl struct {
+	Start token.Position
+	Name  string
+	// Super names the immediate super-class, empty for a root class.
+	Super string
+}
+
+// TaskClassDecl declares a task signature: named input sets and named
+// outputs of the four kinds.
+type TaskClassDecl struct {
+	Start   token.Position
+	Name    string
+	Inputs  []*InputSetDecl
+	Outputs []*OutputDecl
+}
+
+// InputSetDecl is one alternative input requirement in a taskclass:
+// `input main { item of class Item; account of class Account }`.
+type InputSetDecl struct {
+	Start   token.Position
+	Name    string
+	Objects []*ObjectField
+}
+
+// ObjectField is a typed object reference declaration: `item of class Item`.
+type ObjectField struct {
+	Start token.Position
+	Name  string
+	Class string
+}
+
+// OutputKind distinguishes the four output types of Section 4.2.
+type OutputKind int
+
+// Output kinds. Outcome is a final result; AbortOutcome signals
+// side-effect-free termination (and marks the task as atomic);
+// RepeatOutcome restarts the task; Mark is an early intermediate release.
+const (
+	Outcome OutputKind = iota + 1
+	AbortOutcome
+	RepeatOutcome
+	Mark
+)
+
+// String returns the concrete-syntax spelling of the kind.
+func (k OutputKind) String() string {
+	switch k {
+	case Outcome:
+		return "outcome"
+	case AbortOutcome:
+		return "abort outcome"
+	case RepeatOutcome:
+		return "repeat outcome"
+	case Mark:
+		return "mark"
+	default:
+		return "outputkind(?)"
+	}
+}
+
+// OutputDecl is a named output in a taskclass together with the object
+// references it carries.
+type OutputDecl struct {
+	Start   token.Position
+	Kind    OutputKind
+	Name    string
+	Objects []*ObjectField
+}
+
+// ImplPair is one `"key" is "value"` entry of an implementation clause.
+// Recognised keys include "code", "location", "agent", "deadline" and
+// "priority"; the set is open-ended (Section 4.3).
+type ImplPair struct {
+	Start token.Position
+	Key   string
+	Value string
+}
+
+// TaskDecl declares a task or compound task instance of a task class.
+// For a plain task, Constituents and Outputs are empty; for a compound
+// task they describe the internal composition and the output mappings.
+type TaskDecl struct {
+	Start          token.Position
+	Compound       bool
+	Name           string
+	Class          string
+	Implementation []*ImplPair
+	Inputs         []*InputSetBinding
+	Constituents   []Decl
+	Outputs        []*OutputBinding
+}
+
+// InputSetBinding binds the dependencies of one input set of a task
+// instance: ordered object and notification dependencies.
+type InputSetBinding struct {
+	Start token.Position
+	Name  string
+	Deps  []InputDep
+}
+
+// ObjectDep is a dataflow dependency: `inputobject i1 from { ... }` inside
+// an input set, or `outputobject o1 from { ... }` inside a compound-task
+// output binding. The alternative sources are ordered; the first available
+// wins.
+type ObjectDep struct {
+	Start   token.Position
+	Name    string
+	Sources []*SourceRef
+}
+
+// NotificationDep is a temporal dependency: `notification from { ... }`
+// with ordered alternative sources.
+type NotificationDep struct {
+	Start   token.Position
+	Sources []*SourceRef
+}
+
+// SourceCond says how a source is conditioned: on another task's input
+// set, on one of its outputs, or unconditioned (any output carrying the
+// object).
+type SourceCond int
+
+// Source conditions.
+const (
+	CondNone   SourceCond = iota + 1 // `o of task t` — any producing output
+	CondInput                        // `o of task t if input main`
+	CondOutput                       // `o of task t if output oc1`
+)
+
+// SourceRef is one alternative source: an object (or bare notification,
+// when Object is empty) obtained from a task's input set or output.
+// Task may name a template parameter inside a tasktemplate body.
+type SourceRef struct {
+	Start    token.Position
+	Object   string // empty for notification sources
+	Task     string
+	Cond     SourceCond
+	CondName string // input-set or output name; empty iff Cond == CondNone
+}
+
+// OutputBinding maps one output of a compound task instance to sources
+// among its constituents: object mappings (`outputobject x from {...}`)
+// and notifications that gate the outcome.
+type OutputBinding struct {
+	Start token.Position
+	Kind  OutputKind
+	Name  string
+	Deps  []InputDep
+}
+
+// TaskTemplateDecl is a parametrised task or compoundtask definition
+// (Section 4.5). Body holds the template's implementation, inputs,
+// constituents and outputs; parameter names may appear as source task
+// names inside Body.
+type TaskTemplateDecl struct {
+	Start  token.Position
+	Name   string
+	Params []string
+	Body   *TaskDecl
+}
+
+// TemplateInstDecl instantiates a template:
+// `taskname of tasktemplate templatename(arg1, arg2)`.
+type TemplateInstDecl struct {
+	Start    token.Position
+	Name     string
+	Template string
+	Args     []string
+}
+
+// Pos implementations.
+
+// Pos returns the declaration's start position.
+func (d *ClassDecl) Pos() token.Position { return d.Start }
+
+// Pos returns the declaration's start position.
+func (d *TaskClassDecl) Pos() token.Position { return d.Start }
+
+// Pos returns the input set's start position.
+func (d *InputSetDecl) Pos() token.Position { return d.Start }
+
+// Pos returns the field's start position.
+func (d *ObjectField) Pos() token.Position { return d.Start }
+
+// Pos returns the output's start position.
+func (d *OutputDecl) Pos() token.Position { return d.Start }
+
+// Pos returns the pair's start position.
+func (d *ImplPair) Pos() token.Position { return d.Start }
+
+// Pos returns the declaration's start position.
+func (d *TaskDecl) Pos() token.Position { return d.Start }
+
+// Pos returns the binding's start position.
+func (d *InputSetBinding) Pos() token.Position { return d.Start }
+
+// Pos returns the dependency's start position.
+func (d *ObjectDep) Pos() token.Position { return d.Start }
+
+// Pos returns the dependency's start position.
+func (d *NotificationDep) Pos() token.Position { return d.Start }
+
+// Pos returns the source's start position.
+func (d *SourceRef) Pos() token.Position { return d.Start }
+
+// Pos returns the binding's start position.
+func (d *OutputBinding) Pos() token.Position { return d.Start }
+
+// Pos returns the declaration's start position.
+func (d *TaskTemplateDecl) Pos() token.Position { return d.Start }
+
+// Pos returns the declaration's start position.
+func (d *TemplateInstDecl) Pos() token.Position { return d.Start }
+
+func (*ClassDecl) declNode()        {}
+func (*TaskClassDecl) declNode()    {}
+func (*TaskDecl) declNode()         {}
+func (*TaskTemplateDecl) declNode() {}
+func (*TemplateInstDecl) declNode() {}
+
+func (*ObjectDep) inputDepNode()       {}
+func (*NotificationDep) inputDepNode() {}
+
+// Classes returns the class declarations of the script in order.
+func (s *Script) Classes() []*ClassDecl {
+	var out []*ClassDecl
+	for _, d := range s.Decls {
+		if c, ok := d.(*ClassDecl); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TaskClasses returns the taskclass declarations of the script in order.
+func (s *Script) TaskClasses() []*TaskClassDecl {
+	var out []*TaskClassDecl
+	for _, d := range s.Decls {
+		if c, ok := d.(*TaskClassDecl); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Tasks returns the top-level task and compoundtask declarations in order.
+func (s *Script) Tasks() []*TaskDecl {
+	var out []*TaskDecl
+	for _, d := range s.Decls {
+		if t, ok := d.(*TaskDecl); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Templates returns the tasktemplate declarations in order.
+func (s *Script) Templates() []*TaskTemplateDecl {
+	var out []*TaskTemplateDecl
+	for _, d := range s.Decls {
+		if t, ok := d.(*TaskTemplateDecl); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Impl returns the value bound to an implementation key ("code",
+// "deadline", ...) and whether the key is present.
+func (d *TaskDecl) Impl(key string) (string, bool) {
+	for _, p := range d.Implementation {
+		if p.Key == key {
+			return p.Value, true
+		}
+	}
+	return "", false
+}
+
+// InputSet returns the binding for the named input set, or nil.
+func (d *TaskDecl) InputSet(name string) *InputSetBinding {
+	for _, b := range d.Inputs {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Output returns the output binding with the given name, or nil.
+func (d *TaskDecl) Output(name string) *OutputBinding {
+	for _, b := range d.Outputs {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// ObjectDeps returns the object dependencies of the binding in order.
+func (b *InputSetBinding) ObjectDeps() []*ObjectDep {
+	var out []*ObjectDep
+	for _, d := range b.Deps {
+		if od, ok := d.(*ObjectDep); ok {
+			out = append(out, od)
+		}
+	}
+	return out
+}
+
+// Notifications returns the notification dependencies of the binding.
+func (b *InputSetBinding) Notifications() []*NotificationDep {
+	var out []*NotificationDep
+	for _, d := range b.Deps {
+		if nd, ok := d.(*NotificationDep); ok {
+			out = append(out, nd)
+		}
+	}
+	return out
+}
+
+// Inspect walks the tree rooted at n in depth-first order, calling f for
+// each node; if f returns false the children of that node are skipped.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *Script:
+		for _, d := range x.Decls {
+			Inspect(d, f)
+		}
+	case *TaskClassDecl:
+		for _, in := range x.Inputs {
+			Inspect(in, f)
+		}
+		for _, out := range x.Outputs {
+			Inspect(out, f)
+		}
+	case *InputSetDecl:
+		for _, o := range x.Objects {
+			Inspect(o, f)
+		}
+	case *OutputDecl:
+		for _, o := range x.Objects {
+			Inspect(o, f)
+		}
+	case *TaskDecl:
+		for _, p := range x.Implementation {
+			Inspect(p, f)
+		}
+		for _, in := range x.Inputs {
+			Inspect(in, f)
+		}
+		for _, c := range x.Constituents {
+			Inspect(c, f)
+		}
+		for _, out := range x.Outputs {
+			Inspect(out, f)
+		}
+	case *InputSetBinding:
+		for _, d := range x.Deps {
+			Inspect(d, f)
+		}
+	case *ObjectDep:
+		for _, s := range x.Sources {
+			Inspect(s, f)
+		}
+	case *NotificationDep:
+		for _, s := range x.Sources {
+			Inspect(s, f)
+		}
+	case *OutputBinding:
+		for _, d := range x.Deps {
+			Inspect(d, f)
+		}
+	case *TaskTemplateDecl:
+		Inspect(x.Body, f)
+	}
+}

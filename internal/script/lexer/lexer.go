@@ -1,0 +1,272 @@
+// Package lexer implements the scanner for the workflow scripting language.
+//
+// The scanner is hand rolled (no tooling dependencies) and deliberately
+// forgiving about the typography found in the paper's listings: curly
+// “smart quotes” are accepted as string delimiters in addition to plain
+// double quotes, and both // line comments and /* block comments */ are
+// recognised so scripts can be annotated.
+package lexer
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/script/token"
+)
+
+// Error is a lexical error with its source position.
+type Error struct {
+	Pos token.Position
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans a workflow script into tokens. The zero value is not usable;
+// construct with New.
+type Lexer struct {
+	file   string
+	src    []byte
+	offset int // byte offset of ch
+	next   int // byte offset after ch
+	ch     rune
+	line   int
+	col    int
+
+	errs []*Error
+}
+
+const eofRune = -1
+
+// Smart-quote rune pairs accepted as string delimiters, because the paper's
+// listings use typographic quotes (e.g. implementation { “code” is “...” }).
+const (
+	leftSmartQuote  = '“'
+	rightSmartQuote = '”'
+)
+
+// New returns a Lexer over src. The file name is used only for positions.
+func New(file string, src []byte) *Lexer {
+	l := &Lexer{file: file, src: src, line: 1, col: 0}
+	l.advance()
+	return l
+}
+
+// Errors returns the lexical errors encountered so far, in source order.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Position, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// advance consumes the current rune and loads the next one, maintaining
+// line/column bookkeeping.
+func (l *Lexer) advance() {
+	if l.ch == '\n' {
+		l.line++
+		l.col = 0
+	}
+	if l.next >= len(l.src) {
+		l.offset = len(l.src)
+		l.ch = eofRune
+		l.col++
+		return
+	}
+	r, size := rune(l.src[l.next]), 1
+	if r >= utf8.RuneSelf {
+		r, size = utf8.DecodeRune(l.src[l.next:])
+		if r == utf8.RuneError && size == 1 {
+			l.errorf(l.pos(), "invalid UTF-8 byte 0x%02x", l.src[l.next])
+		}
+	}
+	l.offset = l.next
+	l.next += size
+	l.ch = r
+	l.col++
+}
+
+func (l *Lexer) pos() token.Position {
+	return token.Position{File: l.file, Offset: l.offset, Line: l.line, Column: l.col}
+}
+
+func (l *Lexer) skipSpace() {
+	for l.ch != eofRune && unicode.IsSpace(l.ch) {
+		l.advance()
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Next returns the next token, emitting Comment tokens for comments and an
+// EOF token at end of input. Errors are recorded (see Errors) and an
+// Illegal token is produced so parsing can continue.
+func (l *Lexer) Next() token.Token {
+	l.skipSpace()
+	pos := l.pos()
+
+	switch {
+	case l.ch == eofRune:
+		return token.Token{Kind: token.EOF, Pos: pos}
+	case isIdentStart(l.ch):
+		lit := l.scanIdent()
+		return token.Token{Kind: token.Lookup(lit), Lit: lit, Pos: pos}
+	case unicode.IsDigit(l.ch):
+		return token.Token{Kind: token.Int, Lit: l.scanNumber(), Pos: pos}
+	case l.ch == '"' || l.ch == leftSmartQuote:
+		return l.scanString(pos)
+	case l.ch == '/':
+		return l.scanSlash(pos)
+	}
+
+	switch l.ch {
+	case '{':
+		l.advance()
+		return token.Token{Kind: token.LBrace, Lit: "{", Pos: pos}
+	case '}':
+		l.advance()
+		return token.Token{Kind: token.RBrace, Lit: "}", Pos: pos}
+	case '(':
+		l.advance()
+		return token.Token{Kind: token.LParen, Lit: "(", Pos: pos}
+	case ')':
+		l.advance()
+		return token.Token{Kind: token.RParen, Lit: ")", Pos: pos}
+	case ';':
+		l.advance()
+		return token.Token{Kind: token.Semicolon, Lit: ";", Pos: pos}
+	case ',':
+		l.advance()
+		return token.Token{Kind: token.Comma, Lit: ",", Pos: pos}
+	}
+
+	lit := string(l.ch)
+	l.errorf(pos, "unexpected character %q", l.ch)
+	l.advance()
+	return token.Token{Kind: token.Illegal, Lit: lit, Pos: pos}
+}
+
+func (l *Lexer) scanIdent() string {
+	start := l.offset
+	for isIdentPart(l.ch) {
+		l.advance()
+	}
+	return string(l.src[start:l.offset])
+}
+
+func (l *Lexer) scanNumber() string {
+	start := l.offset
+	for unicode.IsDigit(l.ch) {
+		l.advance()
+	}
+	return string(l.src[start:l.offset])
+}
+
+// scanString scans a double-quoted or smart-quoted string literal. The
+// literal value excludes the delimiters; backslash escapes \" and \\ are
+// honoured inside plain-quoted strings.
+func (l *Lexer) scanString(pos token.Position) token.Token {
+	open := l.ch
+	closing := '"'
+	if open == leftSmartQuote {
+		closing = rightSmartQuote
+	}
+	l.advance() // consume opening quote
+	var buf []rune
+	for {
+		switch {
+		case l.ch == eofRune || l.ch == '\n':
+			l.errorf(pos, "unterminated string literal")
+			return token.Token{Kind: token.Illegal, Lit: string(buf), Pos: pos}
+		case l.ch == '\\' && open == '"':
+			l.advance()
+			switch l.ch {
+			case '"', '\\':
+				buf = append(buf, l.ch)
+			case 'n':
+				buf = append(buf, '\n')
+			case 't':
+				buf = append(buf, '\t')
+			default:
+				l.errorf(l.pos(), "unknown escape sequence \\%c", l.ch)
+				buf = append(buf, l.ch)
+			}
+			l.advance()
+		case l.ch == closing || (closing == rightSmartQuote && l.ch == '"'):
+			// Accept a plain quote closing a smart-quoted string; the
+			// paper's listings mix both (e.g. “code “ is “ref...” ).
+			l.advance()
+			return token.Token{Kind: token.String, Lit: string(buf), Pos: pos}
+		default:
+			buf = append(buf, l.ch)
+			l.advance()
+		}
+	}
+}
+
+// scanSlash scans // line comments and /* block comments */; a lone slash
+// is illegal in this grammar.
+func (l *Lexer) scanSlash(pos token.Position) token.Token {
+	l.advance()
+	switch l.ch {
+	case '/':
+		start := l.next
+		for l.ch != eofRune && l.ch != '\n' {
+			l.advance()
+		}
+		return token.Token{Kind: token.Comment, Lit: trimComment(string(l.src[start:l.offset])), Pos: pos}
+	case '*':
+		l.advance()
+		start := l.offset
+		for {
+			if l.ch == eofRune {
+				l.errorf(pos, "unterminated block comment")
+				return token.Token{Kind: token.Illegal, Lit: "/*", Pos: pos}
+			}
+			if l.ch == '*' {
+				end := l.offset
+				l.advance()
+				if l.ch == '/' {
+					l.advance()
+					return token.Token{Kind: token.Comment, Lit: string(l.src[start:end]), Pos: pos}
+				}
+				continue
+			}
+			l.advance()
+		}
+	default:
+		l.errorf(pos, "unexpected character '/'")
+		return token.Token{Kind: token.Illegal, Lit: "/", Pos: pos}
+	}
+}
+
+func trimComment(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	return s
+}
+
+// ScanAll tokenises the whole input, excluding comments, and returns the
+// tokens (terminated by EOF) plus any lexical errors.
+func ScanAll(file string, src []byte) ([]token.Token, []*Error) {
+	l := New(file, src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		if t.Kind == token.Comment {
+			continue
+		}
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, l.Errors()
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package lexer_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/script/lexer"
+	"repro/internal/script/token"
+)
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func scan(t *testing.T, src string) []token.Token {
+	t.Helper()
+	toks, errs := lexer.ScanAll("test", []byte(src))
+	if len(errs) > 0 {
+		t.Fatalf("scan errors: %v", errs)
+	}
+	return toks
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	toks := scan(t, "task paymentCapture of taskclass PaymentCapture")
+	want := []token.Kind{token.KwTask, token.Ident, token.KwOf, token.KwTaskClass, token.Ident, token.EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v (all: %v)", i, got[i], want[i], toks)
+		}
+	}
+	if toks[1].Lit != "paymentCapture" || toks[4].Lit != "PaymentCapture" {
+		t.Errorf("literals: %q, %q", toks[1].Lit, toks[4].Lit)
+	}
+}
+
+func TestAllKeywords(t *testing.T) {
+	src := "class taskclass task compoundtask tasktemplate parameters implementation is " +
+		"inputs input inputobject outputs output outputobject outcome abort repeat mark notification from of if"
+	toks := scan(t, src)
+	for _, tok := range toks[:len(toks)-1] {
+		if !tok.Kind.IsKeyword() {
+			t.Errorf("%q lexed as %v, want keyword", tok.Lit, tok.Kind)
+		}
+	}
+}
+
+func TestStringsPlainAndSmartQuotes(t *testing.T) {
+	// The paper's listings use typographic quotes; both must work.
+	toks := scan(t, `implementation { "code" is "SETPaymentCapture" }`)
+	if toks[2].Kind != token.String || toks[2].Lit != "code" {
+		t.Fatalf("plain string: %v", toks[2])
+	}
+	toks = scan(t, "implementation { “code” is “SETPaymentCapture” }")
+	if toks[2].Kind != token.String || toks[2].Lit != "code" {
+		t.Fatalf("smart-quoted string: %v", toks[2])
+	}
+	// Mixed closing (the paper has “code “ with a trailing space).
+	toks = scan(t, "{ “code ” is “x” }")
+	if toks[1].Kind != token.String || strings.TrimSpace(toks[1].Lit) != "code" {
+		t.Fatalf("mixed: %v", toks[1])
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	toks := scan(t, `"a\"b\\c\nd"`)
+	if toks[0].Lit != "a\"b\\c\nd" {
+		t.Fatalf("escapes: %q", toks[0].Lit)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// a line comment
+task t1 /* inline */ of taskclass C
+/* multi
+   line */
+`
+	toks, errs := lexer.ScanAll("test", []byte(src))
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	// ScanAll filters comments.
+	got := kinds(toks)
+	want := []token.Kind{token.KwTask, token.Ident, token.KwOf, token.KwTaskClass, token.Ident, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("tokens: %v", toks)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := scan(t, "task t1\n  of x")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Column != 1 {
+		t.Errorf("task at %v", toks[0].Pos)
+	}
+	if toks[2].Pos.Line != 2 || toks[2].Pos.Column != 3 {
+		t.Errorf("of at %v, want 2:3", toks[2].Pos)
+	}
+	if s := toks[2].Pos.String(); s != "test:2:3" {
+		t.Errorf("pos string = %q", s)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`"unterminated`, "unterminated string"},
+		{"/* open", "unterminated block comment"},
+		{"@", "unexpected character"},
+		{"/x", "unexpected character '/'"},
+	}
+	for _, tc := range cases {
+		_, errs := lexer.ScanAll("test", []byte(tc.src))
+		if len(errs) == 0 {
+			t.Errorf("%q: expected error %q", tc.src, tc.want)
+			continue
+		}
+		if !strings.Contains(errs[0].Error(), tc.want) {
+			t.Errorf("%q: error = %v, want substring %q", tc.src, errs[0], tc.want)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks := scan(t, "42 007")
+	if toks[0].Kind != token.Int || toks[0].Lit != "42" {
+		t.Errorf("int: %v", toks[0])
+	}
+	if toks[1].Lit != "007" {
+		t.Errorf("int: %v", toks[1])
+	}
+}
+
+func TestUnicodeIdentifiers(t *testing.T) {
+	toks := scan(t, "task tâche of taskclass Tâche")
+	if toks[1].Lit != "tâche" {
+		t.Errorf("unicode ident: %v", toks[1])
+	}
+}

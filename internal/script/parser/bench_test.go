@@ -1,0 +1,50 @@
+package parser_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/script/lexer"
+	"repro/internal/script/parser"
+	"repro/internal/scripts"
+	"repro/internal/workload"
+)
+
+func BenchmarkLexPaperScripts(b *testing.B) {
+	src := []byte(scripts.BusinessTrip)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		toks, errs := lexer.ScanAll("bench", src)
+		if len(errs) > 0 || len(toks) == 0 {
+			b.Fatal("lex failed")
+		}
+	}
+}
+
+func BenchmarkParsePaperScripts(b *testing.B) {
+	for name, src := range scripts.All {
+		b.Run(name, func(b *testing.B) {
+			data := []byte(src)
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := parser.Parse(name, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParseGenerated(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		src := []byte(workload.Chain(n))
+		b.Run(fmt.Sprintf("chain%d", n), func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				if _, err := parser.Parse("bench", src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

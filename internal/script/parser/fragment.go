@@ -1,0 +1,64 @@
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/script/ast"
+	"repro/internal/script/lexer"
+	"repro/internal/script/token"
+)
+
+// ParseTaskFragment parses src as a single task or compoundtask
+// declaration — the unit of dynamic reconfiguration ("it should be
+// possible to change the structure of a running application by
+// adding/deleting tasks", Section 2). The fragment uses exactly the same
+// concrete syntax as in a full script.
+func ParseTaskFragment(src []byte) (*ast.TaskDecl, error) {
+	toks, lexErrs := lexer.ScanAll("fragment", src)
+	p := &parser{file: "fragment", toks: toks}
+	for _, e := range lexErrs {
+		p.errs = append(p.errs, &Error{Pos: e.Pos, Msg: e.Msg})
+	}
+	var d *ast.TaskDecl
+	switch p.cur().Kind {
+	case token.KwTask:
+		d = p.parseTaskDecl(false)
+	case token.KwCompoundTask:
+		d = p.parseTaskDecl(true)
+	default:
+		return nil, fmt.Errorf("task fragment must start with task or compoundtask, found %s", p.cur())
+	}
+	p.skipSemis()
+	if !p.at(token.EOF) {
+		p.errorf(p.cur().Pos, "unexpected %s after task declaration", p.cur())
+	}
+	if err := p.errs.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ParseSourceRef parses a dependency source specification in the concrete
+// syntax of Section 4.3, e.g. "o1 of task t4 if output oc1" (object
+// source) or "task t2 if output oc2" (notification source).
+func ParseSourceRef(src string) (*ast.SourceRef, error) {
+	toks, lexErrs := lexer.ScanAll("source", []byte(src))
+	p := &parser{file: "source", toks: toks}
+	for _, e := range lexErrs {
+		p.errs = append(p.errs, &Error{Pos: e.Pos, Msg: e.Msg})
+	}
+	var s *ast.SourceRef
+	if p.at(token.KwTask) {
+		s = p.parseNotifSource()
+	} else {
+		s = p.parseSourceRef()
+	}
+	p.skipSemis()
+	if !p.at(token.EOF) {
+		p.errorf(p.cur().Pos, "unexpected %s after source", p.cur())
+	}
+	if err := p.errs.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,592 @@
+// Package parser implements a hand-rolled recursive-descent parser for the
+// workflow scripting language. It accepts the concrete syntax used in the
+// paper's listings (Section 4 and Section 5), including the typographic
+// quote marks, optional trailing semicolons, and the shorthand source form
+// used inside tasktemplate bodies.
+//
+// The parser accumulates diagnostics and recovers at declaration
+// boundaries, so a single run reports as many errors as possible.
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/script/ast"
+	"repro/internal/script/lexer"
+	"repro/internal/script/token"
+)
+
+// Error is a syntax error with its source position.
+type Error struct {
+	Pos token.Position
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is an ordered collection of parse errors that itself
+// implements error.
+type ErrorList []*Error
+
+// Error renders up to ten errors, one per line.
+func (l ErrorList) Error() string {
+	const maxShown = 10
+	var b strings.Builder
+	for i, e := range l {
+		if i == maxShown {
+			fmt.Fprintf(&b, "... and %d more errors", len(l)-maxShown)
+			break
+		}
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Err returns the list as an error, or nil if it is empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+// maxErrors bounds diagnostic accumulation so pathological inputs cannot
+// allocate unboundedly.
+const maxErrors = 100
+
+// errTooMany aborts parsing once maxErrors diagnostics have accumulated.
+var errTooMany = errors.New("too many errors")
+
+type parser struct {
+	file string
+	toks []token.Token
+	i    int
+	errs ErrorList
+}
+
+// Parse parses src as a workflow script. On syntax errors it returns the
+// partial AST together with an ErrorList.
+func Parse(file string, src []byte) (*ast.Script, error) {
+	toks, lexErrs := lexer.ScanAll(file, src)
+	p := &parser{file: file, toks: toks}
+	for _, e := range lexErrs {
+		p.errs = append(p.errs, &Error{Pos: e.Pos, Msg: e.Msg})
+	}
+	script := p.parseScript()
+	return script, p.errs.Err()
+}
+
+// MustParse parses src and panics on error; intended for tests and for
+// embedding known-good scripts in examples.
+func MustParse(file string, src []byte) *ast.Script {
+	s, err := Parse(file, src)
+	if err != nil {
+		panic(fmt.Sprintf("parser.MustParse(%s): %v", file, err))
+	}
+	return s
+}
+
+func (p *parser) cur() token.Token { return p.toks[p.i] }
+func (p *parser) advance() token.Token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) errorf(pos token.Position, format string, args ...any) {
+	if len(p.errs) >= maxErrors {
+		panic(errTooMany)
+	}
+	p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// expect consumes a token of kind k or records an error and leaves the
+// cursor unmoved so the caller can attempt recovery.
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.advance()
+	}
+	p.errorf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	return token.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *parser) expectIdent(what string) string {
+	if p.at(token.Ident) {
+		return p.advance().Lit
+	}
+	p.errorf(p.cur().Pos, "expected %s name, found %s", what, p.cur())
+	return ""
+}
+
+// skipSemis consumes any run of semicolons. The paper's listings are
+// inconsistent about trailing semicolons, so they are treated as optional
+// separators throughout.
+func (p *parser) skipSemis() {
+	for p.accept(token.Semicolon) {
+	}
+}
+
+// syncDecl advances to the next plausible declaration start after an
+// error, balancing braces so recovery lands at top level.
+func (p *parser) syncDecl() {
+	depth := 0
+	for !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.LBrace:
+			depth++
+		case token.RBrace:
+			if depth == 0 {
+				p.advance()
+				p.skipSemis()
+				return
+			}
+			depth--
+		case token.KwClass, token.KwTaskClass, token.KwTask, token.KwCompoundTask, token.KwTaskTemplate:
+			if depth == 0 {
+				return
+			}
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) parseScript() *ast.Script {
+	script := &ast.Script{File: p.file}
+	defer func() {
+		if r := recover(); r != nil && r != errTooMany { //nolint:errorlint // sentinel identity
+			panic(r)
+		}
+	}()
+	for {
+		p.skipSemis()
+		if p.at(token.EOF) {
+			return script
+		}
+		before := p.i
+		d := p.parseDecl()
+		if d != nil {
+			script.Decls = append(script.Decls, d)
+		}
+		if p.i == before { // no progress: force resync
+			p.errorf(p.cur().Pos, "unexpected %s at top level", p.cur())
+			p.advance()
+			p.syncDecl()
+		}
+	}
+}
+
+func (p *parser) parseDecl() ast.Decl {
+	switch p.cur().Kind {
+	case token.KwClass:
+		return p.parseClassDecl()
+	case token.KwTaskClass:
+		return p.parseTaskClassDecl()
+	case token.KwTask:
+		return p.parseTaskDecl(false)
+	case token.KwCompoundTask:
+		return p.parseTaskDecl(true)
+	case token.KwTaskTemplate:
+		return p.parseTemplateDecl()
+	case token.Ident:
+		return p.parseTemplateInst()
+	default:
+		return nil
+	}
+}
+
+// class Account ;  |  class EuroAccount of class Account ;
+func (p *parser) parseClassDecl() ast.Decl {
+	start := p.expect(token.KwClass).Pos
+	name := p.expectIdent("class")
+	super := ""
+	if p.accept(token.KwOf) {
+		p.expect(token.KwClass)
+		super = p.expectIdent("superclass")
+	}
+	p.skipSemis()
+	return &ast.ClassDecl{Start: start, Name: name, Super: super}
+}
+
+// taskclass Name { inputs { ... } ; outputs { ... } }
+func (p *parser) parseTaskClassDecl() ast.Decl {
+	start := p.expect(token.KwTaskClass).Pos
+	d := &ast.TaskClassDecl{Start: start}
+	d.Name = p.expectIdent("taskclass")
+	p.expect(token.LBrace)
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.KwInputs:
+			p.advance()
+			p.expect(token.LBrace)
+			for p.at(token.KwInput) {
+				d.Inputs = append(d.Inputs, p.parseInputSetDecl())
+				p.skipSemis()
+			}
+			p.expect(token.RBrace)
+			p.skipSemis()
+		case token.KwOutputs:
+			p.advance()
+			p.expect(token.LBrace)
+			for p.at(token.KwOutcome) || p.at(token.KwAbort) || p.at(token.KwRepeat) || p.at(token.KwMark) {
+				d.Outputs = append(d.Outputs, p.parseOutputDecl())
+				p.skipSemis()
+			}
+			p.expect(token.RBrace)
+			p.skipSemis()
+		default:
+			p.errorf(p.cur().Pos, "expected inputs or outputs in taskclass %s, found %s", d.Name, p.cur())
+			p.syncDecl()
+			return d
+		}
+	}
+	p.expect(token.RBrace)
+	p.skipSemis()
+	return d
+}
+
+// input main { item of class Item; account of class Account }
+func (p *parser) parseInputSetDecl() *ast.InputSetDecl {
+	start := p.expect(token.KwInput).Pos
+	set := &ast.InputSetDecl{Start: start}
+	set.Name = p.expectIdent("input set")
+	p.expect(token.LBrace)
+	for p.at(token.Ident) {
+		set.Objects = append(set.Objects, p.parseObjectField())
+		p.skipSemis()
+	}
+	p.expect(token.RBrace)
+	return set
+}
+
+// item of class Item
+func (p *parser) parseObjectField() *ast.ObjectField {
+	start := p.cur().Pos
+	name := p.expectIdent("object")
+	p.expect(token.KwOf)
+	p.expect(token.KwClass)
+	class := p.expectIdent("class")
+	return &ast.ObjectField{Start: start, Name: name, Class: class}
+}
+
+func (p *parser) parseOutputKind() (ast.OutputKind, token.Position) {
+	start := p.cur().Pos
+	switch p.cur().Kind {
+	case token.KwOutcome:
+		p.advance()
+		return ast.Outcome, start
+	case token.KwAbort:
+		p.advance()
+		p.expect(token.KwOutcome)
+		return ast.AbortOutcome, start
+	case token.KwRepeat:
+		p.advance()
+		p.expect(token.KwOutcome)
+		return ast.RepeatOutcome, start
+	case token.KwMark:
+		p.advance()
+		return ast.Mark, start
+	default:
+		p.errorf(start, "expected output kind, found %s", p.cur())
+		p.advance()
+		return ast.Outcome, start
+	}
+}
+
+// outcome dispatchCompleted { dispatchNote of class DispatchNote }
+func (p *parser) parseOutputDecl() *ast.OutputDecl {
+	kind, start := p.parseOutputKind()
+	d := &ast.OutputDecl{Start: start, Kind: kind}
+	d.Name = p.expectIdent("output")
+	p.expect(token.LBrace)
+	for p.at(token.Ident) {
+		d.Objects = append(d.Objects, p.parseObjectField())
+		p.skipSemis()
+	}
+	p.expect(token.RBrace)
+	return d
+}
+
+// task Name of taskclass Class { implementation {...}; inputs {...};
+// [constituents...] [outputs {...}] }
+func (p *parser) parseTaskDecl(compound bool) *ast.TaskDecl {
+	var start token.Position
+	if compound {
+		start = p.expect(token.KwCompoundTask).Pos
+	} else {
+		start = p.expect(token.KwTask).Pos
+	}
+	d := &ast.TaskDecl{Start: start, Compound: compound}
+	d.Name = p.expectIdent("task")
+	p.expect(token.KwOf)
+	p.expect(token.KwTaskClass)
+	d.Class = p.expectIdent("taskclass")
+	p.expect(token.LBrace)
+	p.parseTaskBody(d, false)
+	p.expect(token.RBrace)
+	p.skipSemis()
+	return d
+}
+
+// parseTaskBody parses the members of a task or compoundtask (or template
+// body when inTemplate is true, which additionally allows parameters).
+// Returns the parameters clause if one was parsed.
+func (p *parser) parseTaskBody(d *ast.TaskDecl, inTemplate bool) []string {
+	var params []string
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.KwParameters:
+			pos := p.advance().Pos
+			if !inTemplate {
+				p.errorf(pos, "parameters clause is only allowed in tasktemplate")
+			}
+			p.expect(token.LBrace)
+			for p.at(token.Ident) {
+				params = append(params, p.advance().Lit)
+				p.skipSemis()
+			}
+			p.expect(token.RBrace)
+			p.skipSemis()
+		case token.KwImplementation:
+			p.advance()
+			p.expect(token.LBrace)
+			for p.at(token.String) {
+				pair := &ast.ImplPair{Start: p.cur().Pos}
+				pair.Key = strings.TrimSpace(p.advance().Lit)
+				p.expect(token.KwIs)
+				pair.Value = strings.TrimSpace(p.expect(token.String).Lit)
+				d.Implementation = append(d.Implementation, pair)
+				p.skipSemis()
+				if p.accept(token.Comma) {
+					p.skipSemis()
+				}
+			}
+			p.expect(token.RBrace)
+			p.skipSemis()
+		case token.KwInputs:
+			p.advance()
+			p.expect(token.LBrace)
+			for p.at(token.KwInput) {
+				d.Inputs = append(d.Inputs, p.parseInputSetBinding())
+				p.skipSemis()
+			}
+			p.expect(token.RBrace)
+			p.skipSemis()
+		case token.KwTask:
+			if !d.Compound && !inTemplate {
+				p.errorf(p.cur().Pos, "constituent task inside plain task %s (did you mean compoundtask?)", d.Name)
+			}
+			d.Constituents = append(d.Constituents, p.parseTaskDecl(false))
+		case token.KwCompoundTask:
+			if !d.Compound && !inTemplate {
+				p.errorf(p.cur().Pos, "constituent compoundtask inside plain task %s", d.Name)
+			}
+			d.Constituents = append(d.Constituents, p.parseTaskDecl(true))
+		case token.Ident:
+			// Template instantiation as a constituent.
+			d.Constituents = append(d.Constituents, p.parseTemplateInst())
+		case token.KwOutputs:
+			p.advance()
+			p.expect(token.LBrace)
+			for p.at(token.KwOutcome) || p.at(token.KwAbort) || p.at(token.KwRepeat) || p.at(token.KwMark) {
+				d.Outputs = append(d.Outputs, p.parseOutputBinding())
+				p.skipSemis()
+			}
+			p.expect(token.RBrace)
+			p.skipSemis()
+		default:
+			p.errorf(p.cur().Pos, "unexpected %s in task %s", p.cur(), d.Name)
+			p.advance()
+		}
+	}
+	return params
+}
+
+// input main { inputobject i1 from {...}; notification from {...}; ... }
+func (p *parser) parseInputSetBinding() *ast.InputSetBinding {
+	start := p.expect(token.KwInput).Pos
+	b := &ast.InputSetBinding{Start: start}
+	b.Name = p.expectIdent("input set")
+	p.expect(token.LBrace)
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.KwInputObject:
+			b.Deps = append(b.Deps, p.parseObjectDep(token.KwInputObject))
+		case token.KwNotification:
+			b.Deps = append(b.Deps, p.parseNotificationDep())
+		case token.Ident:
+			// Shorthand used inside template bodies:
+			//   i1 of task param1 if output success;
+			// equivalent to inputobject i1 from { i1 of task param1 ... }.
+			start := p.cur().Pos
+			src := p.parseSourceRef()
+			b.Deps = append(b.Deps, &ast.ObjectDep{
+				Start:   start,
+				Name:    src.Object,
+				Sources: []*ast.SourceRef{src},
+			})
+			p.skipSemis()
+		default:
+			p.errorf(p.cur().Pos, "unexpected %s in input set %s", p.cur(), b.Name)
+			p.advance()
+		}
+		p.skipSemis()
+	}
+	p.expect(token.RBrace)
+	return b
+}
+
+// inputobject i1 from { src; src; ... }   (or outputobject in outputs)
+func (p *parser) parseObjectDep(kw token.Kind) *ast.ObjectDep {
+	start := p.expect(kw).Pos
+	d := &ast.ObjectDep{Start: start}
+	d.Name = p.expectIdent("object")
+	p.expect(token.KwFrom)
+	p.expect(token.LBrace)
+	for p.at(token.Ident) {
+		d.Sources = append(d.Sources, p.parseSourceRef())
+		p.skipSemis()
+	}
+	p.expect(token.RBrace)
+	p.skipSemis()
+	return d
+}
+
+// notification from { task t2 if output oc1; ... }
+func (p *parser) parseNotificationDep() *ast.NotificationDep {
+	start := p.expect(token.KwNotification).Pos
+	d := &ast.NotificationDep{Start: start}
+	p.expect(token.KwFrom)
+	p.expect(token.LBrace)
+	for p.at(token.KwTask) {
+		d.Sources = append(d.Sources, p.parseNotifSource())
+		p.skipSemis()
+	}
+	p.expect(token.RBrace)
+	p.skipSemis()
+	return d
+}
+
+// obj of task t [if (input|output) name]
+func (p *parser) parseSourceRef() *ast.SourceRef {
+	start := p.cur().Pos
+	s := &ast.SourceRef{Start: start, Cond: ast.CondNone}
+	s.Object = p.expectIdent("source object")
+	p.expect(token.KwOf)
+	p.expect(token.KwTask)
+	s.Task = p.expectIdent("source task")
+	p.parseSourceCond(s)
+	return s
+}
+
+// task t [if (input|output) name]
+func (p *parser) parseNotifSource() *ast.SourceRef {
+	start := p.expect(token.KwTask).Pos
+	s := &ast.SourceRef{Start: start, Cond: ast.CondNone}
+	s.Task = p.expectIdent("source task")
+	p.parseSourceCond(s)
+	return s
+}
+
+func (p *parser) parseSourceCond(s *ast.SourceRef) {
+	if !p.accept(token.KwIf) {
+		return
+	}
+	switch p.cur().Kind {
+	case token.KwInput:
+		p.advance()
+		s.Cond = ast.CondInput
+	case token.KwOutput:
+		p.advance()
+		s.Cond = ast.CondOutput
+	default:
+		p.errorf(p.cur().Pos, "expected input or output after if, found %s", p.cur())
+		s.Cond = ast.CondOutput
+	}
+	s.CondName = p.expectIdent("condition")
+}
+
+// outcome name { outputobject x from {...}; notification from {...} }
+func (p *parser) parseOutputBinding() *ast.OutputBinding {
+	kind, start := p.parseOutputKind()
+	b := &ast.OutputBinding{Start: start, Kind: kind}
+	b.Name = p.expectIdent("output")
+	p.expect(token.LBrace)
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.KwOutputObject:
+			b.Deps = append(b.Deps, p.parseObjectDep(token.KwOutputObject))
+		case token.KwNotification:
+			b.Deps = append(b.Deps, p.parseNotificationDep())
+		default:
+			p.errorf(p.cur().Pos, "unexpected %s in output binding %s", p.cur(), b.Name)
+			p.advance()
+		}
+		p.skipSemis()
+	}
+	p.expect(token.RBrace)
+	return b
+}
+
+// tasktemplate [task|compoundtask] Name of taskclass Class { parameters {...}; body }
+func (p *parser) parseTemplateDecl() ast.Decl {
+	start := p.expect(token.KwTaskTemplate).Pos
+	compound := false
+	switch p.cur().Kind {
+	case token.KwTask:
+		p.advance()
+	case token.KwCompoundTask:
+		p.advance()
+		compound = true
+	}
+	d := &ast.TaskTemplateDecl{Start: start}
+	body := &ast.TaskDecl{Start: start, Compound: compound}
+	d.Name = p.expectIdent("tasktemplate")
+	body.Name = d.Name
+	p.expect(token.KwOf)
+	p.expect(token.KwTaskClass)
+	body.Class = p.expectIdent("taskclass")
+	p.expect(token.LBrace)
+	d.Params = p.parseTaskBody(body, true)
+	p.expect(token.RBrace)
+	p.skipSemis()
+	d.Body = body
+	return d
+}
+
+// name of tasktemplate tmpl(arg1, arg2) ;
+func (p *parser) parseTemplateInst() ast.Decl {
+	start := p.cur().Pos
+	d := &ast.TemplateInstDecl{Start: start}
+	d.Name = p.expectIdent("task")
+	p.expect(token.KwOf)
+	p.expect(token.KwTaskTemplate)
+	d.Template = p.expectIdent("tasktemplate")
+	p.expect(token.LParen)
+	for p.at(token.Ident) || p.at(token.String) {
+		d.Args = append(d.Args, p.advance().Lit)
+		if !p.accept(token.Comma) {
+			break
+		}
+	}
+	p.expect(token.RParen)
+	p.skipSemis()
+	return d
+}

@@ -1,0 +1,285 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/script/ast"
+	"repro/internal/script/parser"
+	"repro/internal/scripts"
+)
+
+func TestParsePaperScripts(t *testing.T) {
+	for name, src := range scripts.All {
+		t.Run(name, func(t *testing.T) {
+			s, err := parser.Parse(name, []byte(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if len(s.Decls) == 0 {
+				t.Fatal("no declarations")
+			}
+		})
+	}
+}
+
+// paperVerbatim is the Section 4.3 listing as printed in the paper,
+// including typographic quotes and trailing-semicolon quirks.
+const paperVerbatim = `
+class Item;
+class Account;
+
+taskclass PaymentCapture
+{
+    inputs
+    {
+        input main
+        {
+            item of class Item;
+            account of class Account
+        }
+    };
+    outputs
+    {
+        outcome done
+        {
+        }
+    }
+}
+
+task paymentCapture of taskclass PaymentCapture
+{
+    implementation { “code”  is “SETPaymentCapture”};
+    inputs
+    {
+        input main
+        {
+            inputobject item from
+            {
+                item of task paymentCapture if input main
+            };
+            inputobject account from
+            {
+                account of task paymentCapture if input main
+            }
+        }
+    }
+}
+`
+
+func TestParseVerbatimPaperSyntax(t *testing.T) {
+	s, err := parser.Parse("paper", []byte(paperVerbatim))
+	if err != nil {
+		t.Fatalf("parse verbatim paper listing: %v", err)
+	}
+	tasks := s.Tasks()
+	if len(tasks) != 1 || tasks[0].Name != "paymentCapture" {
+		t.Fatalf("tasks = %v", tasks)
+	}
+	if code, ok := tasks[0].Impl("code"); !ok || code != "SETPaymentCapture" {
+		t.Fatalf("code = %q, %v", code, ok)
+	}
+}
+
+func TestParseTaskClassShape(t *testing.T) {
+	src := `
+class A;
+taskclass T
+{
+    inputs
+    {
+        input main { a of class A };
+        input alt { }
+    };
+    outputs
+    {
+        outcome ok { a of class A };
+        abort outcome ab { };
+        repeat outcome again { a of class A };
+        mark m { a of class A }
+    }
+};`
+	s, err := parser.Parse("t", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcs := s.TaskClasses()
+	if len(tcs) != 1 {
+		t.Fatalf("taskclasses = %d", len(tcs))
+	}
+	tc := tcs[0]
+	if len(tc.Inputs) != 2 || tc.Inputs[0].Name != "main" || len(tc.Inputs[0].Objects) != 1 {
+		t.Fatalf("inputs = %+v", tc.Inputs)
+	}
+	wantKinds := []ast.OutputKind{ast.Outcome, ast.AbortOutcome, ast.RepeatOutcome, ast.Mark}
+	if len(tc.Outputs) != 4 {
+		t.Fatalf("outputs = %d", len(tc.Outputs))
+	}
+	for i, o := range tc.Outputs {
+		if o.Kind != wantKinds[i] {
+			t.Errorf("output %d kind = %v, want %v", i, o.Kind, wantKinds[i])
+		}
+	}
+}
+
+func TestParseNotificationAlternatives(t *testing.T) {
+	// The Section 4.3 example: two notification dependencies, each with
+	// alternatives (AND of ORs).
+	src := `
+task t1 of taskclass tc1
+{
+    inputs
+    {
+        input main
+        {
+            notification from
+            {
+                task t2 if output oc1;
+                task t3 if output oc1
+            };
+            notification from
+            {
+                task t2 if output oc2;
+                task t4 if output oc2
+            }
+        }
+    }
+}`
+	s, err := parser.Parse("n", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := s.Tasks()[0].Inputs[0]
+	notifs := in.Notifications()
+	if len(notifs) != 2 {
+		t.Fatalf("notifications = %d, want 2", len(notifs))
+	}
+	if len(notifs[0].Sources) != 2 || len(notifs[1].Sources) != 2 {
+		t.Fatal("each notification must keep its 2 alternatives")
+	}
+	if notifs[0].Sources[0].Task != "t2" || notifs[0].Sources[0].CondName != "oc1" {
+		t.Errorf("source = %+v", notifs[0].Sources[0])
+	}
+}
+
+func TestParseTemplateAndInstantiation(t *testing.T) {
+	s, err := parser.Parse("tmpl", []byte(scripts.PaymentTemplate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpls := s.Templates()
+	if len(tmpls) != 1 || tmpls[0].Name != "captureTemplate" {
+		t.Fatalf("templates = %v", tmpls)
+	}
+	if len(tmpls[0].Params) != 1 || tmpls[0].Params[0] != "upstream" {
+		t.Fatalf("params = %v", tmpls[0].Params)
+	}
+	// The shorthand source inside the template body becomes an ObjectDep.
+	deps := tmpls[0].Body.Inputs[0].ObjectDeps()
+	if len(deps) != 1 || deps[0].Name != "paymentInfo" {
+		t.Fatalf("shorthand dep = %+v", deps)
+	}
+}
+
+func TestParseErrorsRecoverAndReport(t *testing.T) {
+	src := `
+class A;
+task broken of taskclass { inputs { } }
+class B;
+`
+	s, err := parser.Parse("bad", []byte(src))
+	if err == nil {
+		t.Fatal("expected syntax errors")
+	}
+	// Recovery must still collect the surrounding class declarations.
+	if got := len(s.Classes()); got != 2 {
+		t.Errorf("recovered classes = %d, want 2", got)
+	}
+}
+
+func TestParseMultipleErrors(t *testing.T) {
+	src := "task x of taskclass { } task y of taskclass { }"
+	_, err := parser.Parse("bad", []byte(src))
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	var list parser.ErrorList
+	if !strings.Contains(err.Error(), "expected") {
+		t.Errorf("err = %v", err)
+	}
+	if el, ok := err.(parser.ErrorList); ok { //nolint:errorlint // direct type check intended
+		list = el
+	}
+	if len(list) < 2 {
+		t.Errorf("errors = %d, want >= 2 (multi-error reporting)", len(list))
+	}
+}
+
+func TestParseTaskFragment(t *testing.T) {
+	frag := `
+task t5 of taskclass tc5
+{
+    implementation { "code" is "x" };
+    inputs
+    {
+        input main
+        {
+            inputobject a from { b of task t2 if output oc1 }
+        }
+    }
+};`
+	d, err := parser.ParseTaskFragment([]byte(frag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "t5" || d.Class != "tc5" {
+		t.Fatalf("fragment = %+v", d)
+	}
+	if _, err := parser.ParseTaskFragment([]byte("class A;")); err == nil {
+		t.Fatal("non-task fragment must be rejected")
+	}
+	if _, err := parser.ParseTaskFragment([]byte(frag + " class A;")); err == nil {
+		t.Fatal("trailing declarations must be rejected")
+	}
+}
+
+func TestParseSourceRef(t *testing.T) {
+	s, err := parser.ParseSourceRef("o1 of task t4 if output oc1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Object != "o1" || s.Task != "t4" || s.Cond != ast.CondOutput || s.CondName != "oc1" {
+		t.Fatalf("source = %+v", s)
+	}
+	s, err = parser.ParseSourceRef("task t2 if input main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Object != "" || s.Task != "t2" || s.Cond != ast.CondInput {
+		t.Fatalf("notification source = %+v", s)
+	}
+	s, err = parser.ParseSourceRef("plane of task flightReservation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cond != ast.CondNone {
+		t.Fatalf("unconditioned source = %+v", s)
+	}
+	if _, err := parser.ParseSourceRef("of task x"); err == nil {
+		t.Fatal("malformed source must be rejected")
+	}
+}
+
+func TestInspectWalksEverything(t *testing.T) {
+	s := parser.MustParse("po", []byte(scripts.ProcessOrder))
+	var sources int
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.SourceRef); ok {
+			sources++
+		}
+		return true
+	})
+	if sources < 10 {
+		t.Errorf("Inspect found %d sources, want >= 10", sources)
+	}
+}

@@ -1,0 +1,102 @@
+package printer_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/script/parser"
+	"repro/internal/script/printer"
+	"repro/internal/script/sema"
+	"repro/internal/scripts"
+)
+
+// TestRoundTrip checks print(parse(s)) is a fixed point: parsing the
+// canonical output and printing again must be byte-identical, and the
+// reprinted script must compile to a schema with identical statistics.
+func TestRoundTrip(t *testing.T) {
+	for name, src := range scripts.All {
+		t.Run(name, func(t *testing.T) {
+			s1, err := parser.Parse(name, []byte(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out1 := printer.Fprint(s1)
+			s2, err := parser.Parse(name+"-reprint", []byte(out1))
+			if err != nil {
+				t.Fatalf("reparse canonical form: %v\n---\n%s", err, out1)
+			}
+			out2 := printer.Fprint(s2)
+			if out1 != out2 {
+				t.Fatalf("printer is not a fixed point for %s", name)
+			}
+			sch1, err := sema.Compile(s1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sch2, err := sema.Compile(s2)
+			if err != nil {
+				t.Fatalf("canonical form fails checking: %v", err)
+			}
+			if sch1.Stats() != sch2.Stats() {
+				t.Fatalf("schema stats changed across round trip:\n%+v\n%+v", sch1.Stats(), sch2.Stats())
+			}
+		})
+	}
+}
+
+func TestPrintContainsConstructs(t *testing.T) {
+	s := parser.MustParse("trip", []byte(scripts.BusinessTrip))
+	out := printer.Fprint(s)
+	for _, want := range []string{
+		"compoundtask tripReservation of taskclass TripReservation",
+		"repeat outcome retry",
+		"mark toPay",
+		"abort outcome reserveFailed",
+		"notification from",
+		"outputobject cost from",
+		`implementation { "code" is "refHotelReservation" };`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed script lacks %q", want)
+		}
+	}
+}
+
+func TestPrintTemplate(t *testing.T) {
+	s := parser.MustParse("tmpl", []byte(scripts.PaymentTemplate))
+	out := printer.Fprint(s)
+	for _, want := range []string{
+		"tasktemplate task captureTemplate of taskclass Capture",
+		"parameters { upstream };",
+		"captureA of tasktemplate captureTemplate(authA);",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed template lacks %q\n%s", want, out)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	schema := sema.MustCompileSource("po", []byte(scripts.ProcessOrder))
+	dot := printer.DOT(schema)
+	for _, want := range []string{
+		"digraph workflow",
+		`subgraph "cluster_processOrderApplication"`,
+		// Atomic task rendered with the double-border analogue.
+		"box3d",
+		// Dataflow edges are solid and labelled; notifications dotted.
+		"style=dotted",
+		`label="stockInfo"`,
+		`"processOrderApplication/paymentAuthorisation" -> "processOrderApplication/dispatch"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output lacks %q", want)
+		}
+	}
+	// Alternative priorities appear on multi-source dependencies.
+	trip := sema.MustCompileSource("trip", []byte(scripts.BusinessTrip))
+	dot = printer.DOT(trip)
+	if !strings.Contains(dot, "alt1") {
+		t.Error("DOT output lacks alternative-priority annotation")
+	}
+}

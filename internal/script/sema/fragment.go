@@ -1,0 +1,143 @@
+package sema
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/script/ast"
+	"repro/internal/script/parser"
+)
+
+// CompileTaskFragment compiles a task/compoundtask declaration against an
+// existing schema, for insertion into scope (nil for top level). The
+// fragment's dependency sources may name the scope's existing
+// constituents, the scope itself, or the new task (self feedback). The
+// returned task is fully resolved but NOT yet inserted — pass it to
+// Schema.AddTask (or engine.Instance.Reconfigure, which does both
+// transactionally).
+func CompileTaskFragment(schema *core.Schema, scope *core.Task, src []byte) (*core.Task, error) {
+	decl, err := parser.ParseTaskFragment(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse fragment: %w", err)
+	}
+	c := &checker{
+		script:    &ast.Script{File: "fragment"},
+		schema:    schema,
+		templates: make(map[string]*ast.TaskTemplateDecl),
+	}
+	siblings := make(map[string]*core.Task)
+	sibs := schema.Tasks
+	if scope != nil {
+		sibs = scope.Constituents
+	}
+	for _, t := range sibs {
+		siblings[t.Name] = t
+	}
+	if _, exists := siblings[decl.Name]; exists {
+		return nil, fmt.Errorf("compile fragment: task %s already exists in scope", decl.Name)
+	}
+
+	tasks := c.compileScopeSeeded(scope, []*ast.TaskDecl{decl}, siblings)
+	if err := c.errs.Err(); err != nil {
+		return nil, fmt.Errorf("check fragment: %w", err)
+	}
+	if len(tasks) != 1 {
+		return nil, fmt.Errorf("compile fragment: expected one task, got %d", len(tasks))
+	}
+	return tasks[0], nil
+}
+
+// ResolveSourceSpec compiles a source specification string (see
+// parser.ParseSourceRef) from the perspective of the consumer task.
+// When object is non-empty the source must be able to supply an object of
+// the consumer's declared field class for that input object; when empty
+// the source is a notification.
+func ResolveSourceSpec(schema *core.Schema, consumer *core.Task, setName, object, spec string) (*core.Source, error) {
+	ref, err := parser.ParseSourceRef(spec)
+	if err != nil {
+		return nil, fmt.Errorf("parse source %q: %w", spec, err)
+	}
+	c := &checker{
+		script:    &ast.Script{File: "source"},
+		schema:    schema,
+		templates: make(map[string]*ast.TaskTemplateDecl),
+	}
+	siblings := make(map[string]*core.Task)
+	sibs := schema.Tasks
+	if consumer.Parent != nil {
+		sibs = consumer.Parent.Constituents
+	}
+	for _, t := range sibs {
+		siblings[t.Name] = t
+	}
+	var field *core.Field
+	if object != "" {
+		b := consumer.InputSet(setName)
+		if b == nil {
+			return nil, fmt.Errorf("task %s: no input set %q", consumer.Path(), setName)
+		}
+		f, ok := b.Decl.Field(object)
+		if !ok {
+			return nil, fmt.Errorf("task %s input %s: no object %q", consumer.Path(), setName, object)
+		}
+		field = &f
+		if ref.Object == "" {
+			return nil, fmt.Errorf("source %q: object sources need an object name", spec)
+		}
+	} else if ref.Object != "" {
+		return nil, fmt.Errorf("source %q: notification sources cannot name an object", spec)
+	}
+	src := c.resolveSource(consumer, siblings, ref, field)
+	if err := c.errs.Err(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("source %q did not resolve", spec)
+	}
+	return src, nil
+}
+
+// ResolveOutputSourceSpec compiles a source specification for a compound
+// task's output mapping: sources must be constituents of the compound (or
+// the compound itself). When object is non-empty it names the mapped
+// output object of output outName (class-checked); empty means a
+// notification source.
+func ResolveOutputSourceSpec(schema *core.Schema, compound *core.Task, outName, object, spec string) (*core.Source, error) {
+	if !compound.Compound {
+		return nil, fmt.Errorf("task %s is not a compound task", compound.Path())
+	}
+	ref, err := parser.ParseSourceRef(spec)
+	if err != nil {
+		return nil, fmt.Errorf("parse source %q: %w", spec, err)
+	}
+	c := &checker{
+		script:    &ast.Script{File: "source"},
+		schema:    schema,
+		templates: make(map[string]*ast.TaskTemplateDecl),
+	}
+	var field *core.Field
+	if object != "" {
+		out := compound.Class.Output(outName)
+		if out == nil {
+			return nil, fmt.Errorf("task %s: taskclass %s has no output %q", compound.Path(), compound.Class.Name, outName)
+		}
+		f, ok := out.Field(object)
+		if !ok {
+			return nil, fmt.Errorf("task %s output %s: no object %q", compound.Path(), outName, object)
+		}
+		field = &f
+		if ref.Object == "" {
+			return nil, fmt.Errorf("source %q: object sources need an object name", spec)
+		}
+	} else if ref.Object != "" {
+		return nil, fmt.Errorf("source %q: notification sources cannot name an object", spec)
+	}
+	src := c.resolveOutputSource(compound, ref, field)
+	if err := c.errs.Err(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("source %q did not resolve", spec)
+	}
+	return src, nil
+}

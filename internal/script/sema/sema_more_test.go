@@ -1,0 +1,231 @@
+package sema_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/script/parser"
+	"repro/internal/script/printer"
+	"repro/internal/script/sema"
+	"repro/internal/workload"
+)
+
+func TestMoreDiagnostics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "duplicate input set binding",
+			src: semaPrelude + `
+compoundtask w of taskclass Wrap
+{
+    task s of taskclass Src
+    {
+        inputs
+        {
+            input main { inputobject a from { a of task w if input main } };
+            input main { inputobject a from { a of task w if input main } }
+        }
+    };
+    outputs { outcome ok { notification from { task s if output ok } } }
+};`,
+			want: "duplicate input set binding",
+		},
+		{
+			name: "unknown input set in instance",
+			src: semaPrelude + `
+compoundtask w of taskclass Wrap
+{
+    task s of taskclass Src
+    {
+        inputs { input ghost { inputobject a from { a of task w if input main } } }
+    };
+    outputs { outcome ok { notification from { task s if output ok } } }
+};`,
+			want: "has no input set ghost",
+		},
+		{
+			name: "constituent inside plain task",
+			src: semaPrelude + `
+task outer of taskclass Wrap
+{
+    task inner of taskclass Src
+    {
+        inputs { input main { inputobject a from { a of task outer if input main } } }
+    }
+};`,
+			want: "constituent task inside plain task",
+		},
+		{
+			name: "compound without output mappings",
+			src: semaPrelude + `
+compoundtask w of taskclass Wrap
+{
+    task s of taskclass Src
+    {
+        inputs { input main { inputobject a from { a of task w if input main } } }
+    }
+};`,
+			want: "could never terminate",
+		},
+		{
+			name: "output mapping on plain task",
+			src: semaPrelude + `
+task s of taskclass Src
+{
+    inputs { input main { inputobject a from { a of task s if input main } } };
+    outputs { outcome ok { outputobject a from { a of task s if input main } } }
+};`,
+			want: "only allowed on compound tasks",
+		},
+		{
+			name: "compound output references non-constituent",
+			src: semaPrelude + `
+compoundtask w of taskclass Wrap
+{
+    task s of taskclass Src
+    {
+        inputs { input main { inputobject a from { a of task w if input main } } }
+    };
+    outputs { outcome ok { notification from { task ghost if output ok } } }
+};`,
+			want: "not a constituent",
+		},
+		{
+			name: "compound output unmapped object",
+			src: `class A;
+taskclass Out
+{
+    inputs { input main { a of class A } };
+    outputs { outcome ok { x of class A; y of class A } }
+};
+taskclass Src
+{
+    inputs { input main { a of class A } };
+    outputs { outcome ok { a of class A } }
+};
+compoundtask w of taskclass Out
+{
+    task s of taskclass Src
+    {
+        inputs { input main { inputobject a from { a of task w if input main } } }
+    };
+    outputs
+    {
+        outcome ok { outputobject x from { a of task s if output ok } }
+    }
+};`,
+			want: "is not mapped",
+		},
+		{
+			name: "constituent binds no inputs but class requires them",
+			src: semaPrelude + `
+compoundtask w of taskclass Wrap
+{
+    task s of taskclass Src { };
+    outputs { outcome ok { notification from { task s if output ok } } }
+};`,
+			want: "binds no input set",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := mustParseErrFree(t, tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v\nwant substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestGeneratedScriptsRoundTripProperty: print(parse(w)) compiles to the
+// same statistics for arbitrary generated workloads.
+func TestGeneratedScriptsRoundTripProperty(t *testing.T) {
+	f := func(rawN uint8, rawAlts uint8, seed int64) bool {
+		n := int(rawN%12) + 2
+		alts := int(rawAlts % 3)
+		src := workload.RandomDAG(n, alts, seed)
+		s1, err := parser.Parse("gen", []byte(src))
+		if err != nil {
+			return false
+		}
+		printed := printer.Fprint(s1)
+		s2, err := parser.Parse("gen2", []byte(printed))
+		if err != nil {
+			return false
+		}
+		c1, err := sema.Compile(s1)
+		if err != nil {
+			return false
+		}
+		c2, err := sema.Compile(s2)
+		if err != nil {
+			return false
+		}
+		return c1.Stats() == c2.Stats()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileTaskFragmentErrors(t *testing.T) {
+	schema := sema.MustCompileSource("dag", []byte(workload.Chain(3)))
+	root, _ := schema.Root("")
+	// Duplicate name in scope.
+	_, err := sema.CompileTaskFragment(schema, root, []byte(`
+task t1 of taskclass Stage
+{
+    implementation { "code" is "stage" };
+    inputs { input main { inputobject in from { seed of task app if input main } } }
+};`))
+	if err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("duplicate fragment: %v", err)
+	}
+	// Unknown taskclass.
+	_, err = sema.CompileTaskFragment(schema, root, []byte(`
+task tx of taskclass Ghost { inputs { } };`))
+	if err == nil {
+		t.Fatal("unknown taskclass accepted")
+	}
+	// Valid fragment resolves against existing siblings.
+	frag, err := sema.CompileTaskFragment(schema, root, []byte(`
+task t4 of taskclass Stage
+{
+    implementation { "code" is "stage" };
+    inputs { input main { inputobject in from { out of task t3 if output done } } }
+};`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.Name != "t4" || frag.InputSets[0].Objects[0].Sources[0].Task.Name != "t3" {
+		t.Fatalf("fragment = %+v", frag)
+	}
+}
+
+func TestResolveSourceSpecErrors(t *testing.T) {
+	schema := sema.MustCompileSource("dag", []byte(workload.Chain(3)))
+	t2 := schema.Lookup("app/t2")
+	if _, err := sema.ResolveSourceSpec(schema, t2, "ghost", "in", "out of task t1 if output done"); err == nil {
+		t.Error("unknown set accepted")
+	}
+	if _, err := sema.ResolveSourceSpec(schema, t2, "main", "ghost", "out of task t1 if output done"); err == nil {
+		t.Error("unknown object accepted")
+	}
+	if _, err := sema.ResolveSourceSpec(schema, t2, "main", "in", "task t1 if output done"); err == nil {
+		t.Error("notification spec accepted for an object dependency")
+	}
+	if _, err := sema.ResolveSourceSpec(schema, t2, "main", "", "out of task t1 if output done"); err == nil {
+		t.Error("object spec accepted for a notification dependency")
+	}
+	src, err := sema.ResolveSourceSpec(schema, t2, "main", "in", "out of task t1 if output done")
+	if err != nil || src.Task.Name != "t1" {
+		t.Fatalf("valid spec: %v, %v", src, err)
+	}
+}

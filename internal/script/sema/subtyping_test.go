@@ -1,0 +1,168 @@
+package sema_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/persist"
+	"repro/internal/registry"
+	"repro/internal/script/sema"
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+// Section 7 extension: object sub-typing enables "building block" tasks
+// operating on standard super-types. subtypingScript declares a small
+// hierarchy (EuroAccount of class Account of class Resource) and feeds a
+// sub-class object into a super-typed slot.
+const subtypingScript = `
+class Resource;
+class Account of class Resource;
+class EuroAccount of class Account;
+class Report;
+
+taskclass OpenEuroAccount
+{
+    inputs { input main { seed of class Resource } };
+    outputs { outcome opened { account of class EuroAccount } }
+};
+
+taskclass AuditAccount
+{
+    inputs { input main { account of class Account } };
+    outputs { outcome audited { report of class Report } }
+};
+
+taskclass App
+{
+    inputs { input main { seed of class Resource } };
+    outputs { outcome done { report of class Report } }
+};
+
+compoundtask app of taskclass App
+{
+    task open of taskclass OpenEuroAccount
+    {
+        implementation { "code" is "open" };
+        inputs { input main { inputobject seed from { seed of task app if input main } } }
+    };
+    task audit of taskclass AuditAccount
+    {
+        implementation { "code" is "audit" };
+        inputs
+        {
+            input main
+            {
+                inputobject account from { account of task open if output opened }
+            }
+        }
+    };
+    outputs { outcome done { outputobject report from { report of task audit if output audited } } }
+};
+`
+
+func TestSubtypingCompilesAndFlowIsChecked(t *testing.T) {
+	schema := compile(t, "subtyping", subtypingScript)
+	if !schema.AssignableTo("EuroAccount", "Account") {
+		t.Error("EuroAccount must be assignable to Account")
+	}
+	if !schema.AssignableTo("EuroAccount", "Resource") {
+		t.Error("transitive assignability must hold")
+	}
+	if schema.AssignableTo("Account", "EuroAccount") {
+		t.Error("super-to-sub flow must be rejected")
+	}
+	if schema.AssignableTo("Report", "Resource") {
+		t.Error("unrelated classes must not be assignable")
+	}
+}
+
+func TestSubtypingRejectsDowncastFlow(t *testing.T) {
+	bad := strings.Replace(subtypingScript,
+		"outcome opened { account of class EuroAccount }",
+		"outcome opened { account of class Resource }", 1)
+	_, err := sema.CompileSource("bad", []byte(bad))
+	if err == nil || !strings.Contains(err.Error(), "class mismatch") {
+		t.Fatalf("downcast flow (Resource into Account slot) must fail: %v", err)
+	}
+}
+
+func TestSubtypingHierarchyErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown super", `class A of class Ghost;`, "undeclared superclass"},
+		{"self super", `class A of class A;`, "cannot be its own superclass"},
+		{"cycle", `class A of class B; class B of class A;`, "hierarchy cycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := sema.CompileSource("t", []byte(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSubtypingAtRuntime(t *testing.T) {
+	st := store.NewMemStore()
+	preg := persist.NewRegistry(st, txn.NewManager(st), nil)
+	impls := registry.New()
+	eng := engine.New(preg, impls, engine.Config{})
+	defer eng.Close()
+
+	impls.Bind("open", func(ctx registry.Context) (registry.Result, error) {
+		return registry.Result{Output: "opened", Objects: registry.Objects{
+			"account": {Class: "EuroAccount", Data: "DE-123"},
+		}}, nil
+	})
+	var auditedClass string
+	impls.Bind("audit", func(ctx registry.Context) (registry.Result, error) {
+		auditedClass = ctx.Inputs()["account"].Class
+		return registry.Result{Output: "audited", Objects: registry.Objects{
+			"report": {Class: "Report", Data: "ok"},
+		}}, nil
+	})
+
+	schema := sema.MustCompileSource("sub", []byte(subtypingScript))
+	inst, err := eng.Instantiate("sub-1", schema, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starting with a sub-class object in a super-typed slot is legal.
+	if err := inst.Start("main", registry.Objects{
+		"seed": {Class: "Account", Data: "seed"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := inst.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "done" {
+		t.Fatalf("outcome = %q", res.Output)
+	}
+	// The consumer saw the dynamic (sub) class, as reference semantics
+	// require.
+	if auditedClass != "EuroAccount" {
+		t.Fatalf("audited class = %q, want dynamic class EuroAccount", auditedClass)
+	}
+
+	// Wrong-direction start input is rejected.
+	inst2, err := eng.Instantiate("sub-2", schema, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst2.Start("main", registry.Objects{
+		"seed": {Class: "Report", Data: "x"},
+	}); err == nil {
+		t.Fatal("unrelated class accepted at start")
+	}
+	inst2.Stop()
+}

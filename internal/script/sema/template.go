@@ -1,0 +1,119 @@
+package sema
+
+import (
+	"repro/internal/script/ast"
+)
+
+// expandTemplate instantiates a tasktemplate (Section 4.5): the template
+// body is deep-cloned, the instance takes the declared name, and every
+// occurrence of a template parameter used as a source task name is
+// substituted by the corresponding argument. References to the template's
+// own name inside the body (self-feedback, constituents referring to the
+// enclosing compound) are renamed to the instance name.
+func (c *checker) expandTemplate(inst *ast.TemplateInstDecl) *ast.TaskDecl {
+	tmpl, ok := c.templates[inst.Template]
+	if !ok {
+		c.errorf(inst.Pos(), "task %s: unknown tasktemplate %s", inst.Name, inst.Template)
+		return nil
+	}
+	if len(inst.Args) != len(tmpl.Params) {
+		c.errorf(inst.Pos(), "task %s: tasktemplate %s expects %d arguments, got %d",
+			inst.Name, inst.Template, len(tmpl.Params), len(inst.Args))
+		return nil
+	}
+	subst := make(map[string]string, len(tmpl.Params)+1)
+	for i, p := range tmpl.Params {
+		subst[p] = inst.Args[i]
+	}
+	subst[tmpl.Name] = inst.Name
+
+	body := cloneTaskDecl(tmpl.Body, subst)
+	body.Name = inst.Name
+	body.Start = inst.Pos()
+	return body
+}
+
+func cloneTaskDecl(d *ast.TaskDecl, subst map[string]string) *ast.TaskDecl {
+	out := &ast.TaskDecl{
+		Start:    d.Start,
+		Compound: d.Compound,
+		Name:     rename(d.Name, subst),
+		Class:    d.Class,
+	}
+	for _, p := range d.Implementation {
+		out.Implementation = append(out.Implementation, &ast.ImplPair{Start: p.Start, Key: p.Key, Value: p.Value})
+	}
+	for _, in := range d.Inputs {
+		out.Inputs = append(out.Inputs, cloneInputSet(in, subst))
+	}
+	for _, c := range d.Constituents {
+		switch x := c.(type) {
+		case *ast.TaskDecl:
+			out.Constituents = append(out.Constituents, cloneTaskDecl(x, subst))
+		case *ast.TemplateInstDecl:
+			args := make([]string, len(x.Args))
+			for i, a := range x.Args {
+				args[i] = rename(a, subst)
+			}
+			out.Constituents = append(out.Constituents, &ast.TemplateInstDecl{
+				Start: x.Start, Name: x.Name, Template: x.Template, Args: args,
+			})
+		}
+	}
+	for _, ob := range d.Outputs {
+		out.Outputs = append(out.Outputs, cloneOutputBinding(ob, subst))
+	}
+	return out
+}
+
+func cloneInputSet(b *ast.InputSetBinding, subst map[string]string) *ast.InputSetBinding {
+	out := &ast.InputSetBinding{Start: b.Start, Name: b.Name}
+	for _, d := range b.Deps {
+		out.Deps = append(out.Deps, cloneDep(d, subst))
+	}
+	return out
+}
+
+func cloneOutputBinding(b *ast.OutputBinding, subst map[string]string) *ast.OutputBinding {
+	out := &ast.OutputBinding{Start: b.Start, Kind: b.Kind, Name: b.Name}
+	for _, d := range b.Deps {
+		out.Deps = append(out.Deps, cloneDep(d, subst))
+	}
+	return out
+}
+
+func cloneDep(d ast.InputDep, subst map[string]string) ast.InputDep {
+	switch x := d.(type) {
+	case *ast.ObjectDep:
+		out := &ast.ObjectDep{Start: x.Start, Name: x.Name}
+		for _, s := range x.Sources {
+			out.Sources = append(out.Sources, cloneSource(s, subst))
+		}
+		return out
+	case *ast.NotificationDep:
+		out := &ast.NotificationDep{Start: x.Start}
+		for _, s := range x.Sources {
+			out.Sources = append(out.Sources, cloneSource(s, subst))
+		}
+		return out
+	default:
+		return d
+	}
+}
+
+func cloneSource(s *ast.SourceRef, subst map[string]string) *ast.SourceRef {
+	return &ast.SourceRef{
+		Start:    s.Start,
+		Object:   s.Object,
+		Task:     rename(s.Task, subst),
+		Cond:     s.Cond,
+		CondName: s.CondName,
+	}
+}
+
+func rename(name string, subst map[string]string) string {
+	if to, ok := subst[name]; ok {
+		return to
+	}
+	return name
+}

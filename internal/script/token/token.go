@@ -1,0 +1,185 @@
+// Package token defines the lexical tokens of the workflow scripting
+// language described in Ranno, Shrivastava and Wheater (ICDCS'98), together
+// with source positions used for diagnostics throughout the toolchain.
+package token
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keyword kinds mirror the constructs of the paper's grammar
+// (class, taskclass, task, compoundtask, tasktemplate, ...).
+const (
+	// Special tokens.
+	Illegal Kind = iota + 1
+	EOF
+	Comment
+
+	// Literals and identifiers.
+	Ident  // alarmCorrelator
+	String // "SETPaymentCapture"
+	Int    // 42
+
+	// Punctuation.
+	LBrace    // {
+	RBrace    // }
+	LParen    // (
+	RParen    // )
+	Semicolon // ;
+	Comma     // ,
+
+	// Keywords.
+	KwClass
+	KwTaskClass
+	KwTask
+	KwCompoundTask
+	KwTaskTemplate
+	KwParameters
+	KwImplementation
+	KwIs
+	KwInputs
+	KwInput
+	KwInputObject
+	KwOutputs
+	KwOutput
+	KwOutputObject
+	KwOutcome
+	KwAbort
+	KwRepeat
+	KwMark
+	KwNotification
+	KwFrom
+	KwOf
+	KwIf
+)
+
+var kindNames = map[Kind]string{
+	Illegal:          "illegal",
+	EOF:              "eof",
+	Comment:          "comment",
+	Ident:            "identifier",
+	String:           "string",
+	Int:              "integer",
+	LBrace:           "{",
+	RBrace:           "}",
+	LParen:           "(",
+	RParen:           ")",
+	Semicolon:        ";",
+	Comma:            ",",
+	KwClass:          "class",
+	KwTaskClass:      "taskclass",
+	KwTask:           "task",
+	KwCompoundTask:   "compoundtask",
+	KwTaskTemplate:   "tasktemplate",
+	KwParameters:     "parameters",
+	KwImplementation: "implementation",
+	KwIs:             "is",
+	KwInputs:         "inputs",
+	KwInput:          "input",
+	KwInputObject:    "inputobject",
+	KwOutputs:        "outputs",
+	KwOutput:         "output",
+	KwOutputObject:   "outputobject",
+	KwOutcome:        "outcome",
+	KwAbort:          "abort",
+	KwRepeat:         "repeat",
+	KwMark:           "mark",
+	KwNotification:   "notification",
+	KwFrom:           "from",
+	KwOf:             "of",
+	KwIf:             "if",
+}
+
+// String returns the human-readable name of the kind, as used in parser
+// diagnostics ("expected '{', found identifier").
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+// IsKeyword reports whether the kind is a reserved word of the language.
+func (k Kind) IsKeyword() bool { return k >= KwClass && k <= KwIf }
+
+var keywords = map[string]Kind{
+	"class":          KwClass,
+	"taskclass":      KwTaskClass,
+	"task":           KwTask,
+	"compoundtask":   KwCompoundTask,
+	"tasktemplate":   KwTaskTemplate,
+	"parameters":     KwParameters,
+	"implementation": KwImplementation,
+	"is":             KwIs,
+	"inputs":         KwInputs,
+	"input":          KwInput,
+	"inputobject":    KwInputObject,
+	"outputs":        KwOutputs,
+	"output":         KwOutput,
+	"outputobject":   KwOutputObject,
+	"outcome":        KwOutcome,
+	"abort":          KwAbort,
+	"repeat":         KwRepeat,
+	"mark":           KwMark,
+	"notification":   KwNotification,
+	"from":           KwFrom,
+	"of":             KwOf,
+	"if":             KwIf,
+}
+
+// Lookup maps an identifier spelling to its keyword kind, or returns Ident
+// if the spelling is not reserved.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return Ident
+}
+
+// Position is a source location (1-based line and column, 0-based byte
+// offset) within a named script.
+type Position struct {
+	File   string
+	Offset int
+	Line   int
+	Column int
+}
+
+// IsValid reports whether the position carries real location information.
+func (p Position) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as file:line:column, omitting empty parts.
+func (p Position) String() string {
+	s := p.File
+	if p.IsValid() {
+		if s != "" {
+			s += ":"
+		}
+		s += fmt.Sprintf("%d:%d", p.Line, p.Column)
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// Token is a single lexeme with its kind, literal spelling and position.
+type Token struct {
+	Kind Kind
+	Lit  string
+	Pos  Position
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, String, Int, Illegal, Comment:
+		return fmt.Sprintf("%s %q", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

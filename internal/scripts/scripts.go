@@ -1,0 +1,773 @@
+// Package scripts holds the workflow scripts from the paper's Section 5
+// (and the Fig. 1 dependency diamond) in the concrete syntax accepted by
+// the parser. The paper lists only fragments of the task classes for the
+// examples; the missing signatures are completed here in the most direct
+// way consistent with the prose and the figures. These scripts are shared
+// by tests, examples, benches and the cmd tools.
+package scripts
+
+// Fig1Diamond is the inter-task dependency diamond of Fig. 1: t2 and t3
+// start once t1 finishes (t2 by notification only, t3 with dataflow from
+// t1), and t4 starts after both t2 and t3 have finished, taking data from
+// both. The four tasks are wrapped in a root compound so the structure is
+// deployable.
+const Fig1Diamond = `
+class Data;
+
+taskclass Producer
+{
+    inputs { input main { seed of class Data } };
+    outputs { outcome done { d of class Data } }
+};
+
+taskclass Stage
+{
+    inputs { input main { in of class Data } };
+    outputs { outcome done { d of class Data } }
+};
+
+taskclass Join
+{
+    inputs { input main { left of class Data; right of class Data } };
+    outputs { outcome done { d of class Data } }
+};
+
+taskclass Diamond
+{
+    inputs { input main { seed of class Data } };
+    outputs { outcome done { d of class Data } }
+};
+
+compoundtask diamond of taskclass Diamond
+{
+    task t1 of taskclass Producer
+    {
+        implementation { "code" is "produce" };
+        inputs
+        {
+            input main
+            {
+                inputobject seed from { seed of task diamond if input main }
+            }
+        }
+    };
+    task t2 of taskclass Stage
+    {
+        implementation { "code" is "stage" };
+        inputs
+        {
+            input main
+            {
+                notification from { task t1 if output done };
+                inputobject in from { d of task t1 if output done }
+            }
+        }
+    };
+    task t3 of taskclass Stage
+    {
+        implementation { "code" is "stage" };
+        inputs
+        {
+            input main
+            {
+                inputobject in from { d of task t1 if output done }
+            }
+        }
+    };
+    task t4 of taskclass Join
+    {
+        implementation { "code" is "join" };
+        inputs
+        {
+            input main
+            {
+                inputobject left from { d of task t2 if output done };
+                inputobject right from { d of task t3 if output done }
+            }
+        }
+    };
+    outputs
+    {
+        outcome done
+        {
+            outputobject d from { d of task t4 if output done }
+        }
+    }
+};
+`
+
+// ServiceImpact is the Section 5.1 network-management application
+// (Fig. 6): alarm correlation feeding service impact analysis feeding
+// service impact resolution, wrapped in the serviceImpactApplication
+// compound task. The taskclass bodies are completed per the prose: the
+// analysis task consumes the correlator's fault report, and the
+// resolution step either finds a resolution, finds none, or fails.
+const ServiceImpact = `
+class AlarmsSource;
+class FaultReport;
+class ServiceImpactReports;
+class ResolutionReport;
+
+taskclass AlarmCorrelator
+{
+    inputs { input main { alarmSource of class AlarmsSource } };
+    outputs
+    {
+        outcome foundFault { faultReport of class FaultReport };
+        outcome alarmCorrelatorFailure { }
+    }
+};
+
+taskclass ServiceImpactAnalysis
+{
+    inputs { input main { faultReport of class FaultReport } };
+    outputs
+    {
+        outcome foundImpacts { serviceImpactReports of class ServiceImpactReports };
+        outcome serviceImpactAnalysisFailure { }
+    }
+};
+
+taskclass ServiceImpactResolution
+{
+    inputs { input main { serviceImpactReports of class ServiceImpactReports } };
+    outputs
+    {
+        outcome foundResolution { resolutionReport of class ResolutionReport };
+        outcome foundNoResolution { };
+        outcome serviceImpactResolutionFailure { }
+    }
+};
+
+taskclass ServiceImpactApplication
+{
+    inputs
+    {
+        input main { alarmsSource of class AlarmsSource }
+    };
+    outputs
+    {
+        outcome resolved { resolutionReport of class ResolutionReport };
+        outcome notResolved { };
+        outcome serviceImpactApplicationFailure { }
+    }
+};
+
+compoundtask serviceImpactApplication of taskclass ServiceImpactApplication
+{
+    task alarmCorrelator of taskclass AlarmCorrelator
+    {
+        implementation { "code" is "refAlarmCorrelator" };
+        inputs
+        {
+            input main
+            {
+                inputobject alarmSource from
+                {
+                    alarmsSource of task serviceImpactApplication if input main
+                }
+            }
+        }
+    };
+    task serviceImpactAnalysis of taskclass ServiceImpactAnalysis
+    {
+        implementation { "code" is "refServiceImpactAnalysis" };
+        inputs
+        {
+            input main
+            {
+                inputobject faultReport from
+                {
+                    faultReport of task alarmCorrelator if output foundFault
+                }
+            }
+        }
+    };
+    task serviceImpactResolution of taskclass ServiceImpactResolution
+    {
+        implementation { "code" is "refServiceImpactResolution" };
+        inputs
+        {
+            input main
+            {
+                inputobject serviceImpactReports from
+                {
+                    serviceImpactReports of task serviceImpactAnalysis
+                }
+            }
+        }
+    };
+    outputs
+    {
+        outcome resolved
+        {
+            outputobject resolutionReport from
+            {
+                resolutionReport of task serviceImpactResolution if output foundResolution
+            }
+        };
+        outcome notResolved
+        {
+            notification from
+            {
+                task serviceImpactResolution if output foundNoResolution
+            }
+        };
+        outcome serviceImpactApplicationFailure
+        {
+            notification from
+            {
+                task alarmCorrelator if output alarmCorrelatorFailure;
+                task serviceImpactAnalysis if output serviceImpactAnalysisFailure;
+                task serviceImpactResolution if output serviceImpactResolutionFailure
+            }
+        }
+    }
+};
+`
+
+// ProcessOrder is the Section 5.2 electronic order processing application
+// (Fig. 7): paymentAuthorisation and checkStock run concurrently; if both
+// succeed, dispatch runs (an atomic task — it declares an abort outcome),
+// and on dispatch completion paymentCapture runs. The order can be
+// cancelled by any of the three failure alternatives.
+const ProcessOrder = `
+class Order;
+class PaymentInfo;
+class StockInfo;
+class DispatchNote;
+
+taskclass PaymentAuthorisation
+{
+    inputs { input main { order of class Order } };
+    outputs
+    {
+        outcome authorised { paymentInfo of class PaymentInfo };
+        outcome notAuthorised { }
+    }
+};
+
+taskclass CheckStock
+{
+    inputs { input main { order of class Order } };
+    outputs
+    {
+        outcome stockAvailable { stockInfo of class StockInfo };
+        outcome stockNotAvailable { }
+    }
+};
+
+taskclass Dispatch
+{
+    inputs { input main { stockInfo of class StockInfo } };
+    outputs
+    {
+        outcome dispatchCompleted { dispatchNote of class DispatchNote };
+        abort outcome dispatchFailed { }
+    }
+};
+
+taskclass PaymentCapture
+{
+    inputs { input main { paymentInfo of class PaymentInfo } };
+    outputs
+    {
+        outcome done { }
+    }
+};
+
+taskclass ProcessOrderApplication
+{
+    inputs { input main { order of class Order } };
+    outputs
+    {
+        outcome orderCompleted { dispatchNote of class DispatchNote };
+        outcome orderCancelled { }
+    }
+};
+
+compoundtask processOrderApplication of taskclass ProcessOrderApplication
+{
+    task paymentAuthorisation of taskclass PaymentAuthorisation
+    {
+        implementation { "code" is "refPaymentAuthorisation" };
+        inputs
+        {
+            input main
+            {
+                inputobject order from
+                {
+                    order of task processOrderApplication if input main
+                }
+            }
+        }
+    };
+    task checkStock of taskclass CheckStock
+    {
+        implementation { "code" is "refCheckStock" };
+        inputs
+        {
+            input main
+            {
+                inputobject order from
+                {
+                    order of task processOrderApplication if input main
+                }
+            }
+        }
+    };
+    task dispatch of taskclass Dispatch
+    {
+        implementation { "code" is "refDispatch" };
+        inputs
+        {
+            input main
+            {
+                notification from
+                {
+                    task paymentAuthorisation if output authorised
+                };
+                inputobject stockInfo from
+                {
+                    stockInfo of task checkStock if output stockAvailable
+                }
+            }
+        }
+    };
+    task paymentCapture of taskclass PaymentCapture
+    {
+        implementation { "code" is "refPaymentCapture" };
+        inputs
+        {
+            input main
+            {
+                notification from
+                {
+                    task dispatch if output dispatchCompleted
+                };
+                inputobject paymentInfo from
+                {
+                    paymentInfo of task paymentAuthorisation if output authorised
+                }
+            }
+        }
+    };
+    outputs
+    {
+        outcome orderCompleted
+        {
+            notification from
+            {
+                task paymentCapture if output done
+            };
+            outputobject dispatchNote from
+            {
+                dispatchNote of task dispatch if output dispatchCompleted
+            }
+        };
+        outcome orderCancelled
+        {
+            notification from
+            {
+                task paymentAuthorisation if output notAuthorised;
+                task checkStock if output stockNotAvailable;
+                task dispatch if output dispatchFailed
+            }
+        }
+    }
+};
+`
+
+// BusinessTrip is the Section 5.3 application (Figs. 8 and 9): the
+// tripReservation compound contains the looping businessReservation
+// compound (repeat outcome feeding its own input) and printTickets.
+// businessReservation acquires trip data, finds a flight via parallel
+// airline queries inside the checkFlightReservation compound, reserves
+// the flight (atomic), attempts a hotel reservation, and on hotel failure
+// compensates with flightCancellation and retries. The cost of the
+// reserved flight escapes early through the mark output toPay.
+const BusinessTrip = `
+class User;
+class TripSpec;
+class FlightOffer;
+class Plane;
+class Hotel;
+class Cost;
+class Tickets;
+
+taskclass DataAcquisition
+{
+    inputs { input main { user of class User } };
+    outputs
+    {
+        outcome acquired { tripSpec of class TripSpec };
+        outcome dataFailed { }
+    }
+};
+
+taskclass QueryAirline
+{
+    inputs { input main { tripSpec of class TripSpec } };
+    outputs
+    {
+        outcome offer { flightOffer of class FlightOffer };
+        outcome noOffer { }
+    }
+};
+
+taskclass CheckFlightReservation
+{
+    inputs { input main { tripSpec of class TripSpec } };
+    outputs
+    {
+        outcome flightFound { flightOffer of class FlightOffer };
+        outcome noFlight { }
+    }
+};
+
+taskclass FlightReservation
+{
+    inputs { input main { flightOffer of class FlightOffer } };
+    outputs
+    {
+        outcome reserved { plane of class Plane; cost of class Cost };
+        abort outcome reserveFailed { }
+    }
+};
+
+taskclass HotelReservation
+{
+    inputs { input main { plane of class Plane } };
+    outputs
+    {
+        outcome booked { hotel of class Hotel };
+        outcome failed { }
+    }
+};
+
+taskclass FlightCancellation
+{
+    inputs { input main { plane of class Plane } };
+    outputs
+    {
+        outcome cancelled { }
+    }
+};
+
+taskclass BusinessReservation
+{
+    inputs { input main { user of class User } };
+    outputs
+    {
+        outcome success { plane of class Plane; hotel of class Hotel; cost of class Cost };
+        repeat outcome retry { user of class User };
+        outcome failed { }
+    }
+};
+
+taskclass PrintTickets
+{
+    inputs { input main { plane of class Plane; hotel of class Hotel } };
+    outputs
+    {
+        outcome printed { tickets of class Tickets }
+    }
+};
+
+taskclass TripReservation
+{
+    inputs { input main { user of class User } };
+    outputs
+    {
+        outcome tripBooked { tickets of class Tickets };
+        outcome tripFailed { };
+        mark toPay { cost of class Cost }
+    }
+};
+
+compoundtask tripReservation of taskclass TripReservation
+{
+    compoundtask businessReservation of taskclass BusinessReservation
+    {
+        inputs
+        {
+            input main
+            {
+                inputobject user from
+                {
+                    user of task tripReservation if input main;
+                    user of task businessReservation if output retry
+                }
+            }
+        };
+        task dataAcquisition of taskclass DataAcquisition
+        {
+            implementation { "code" is "refDataAcquisition" };
+            inputs
+            {
+                input main
+                {
+                    inputobject user from
+                    {
+                        user of task businessReservation if input main
+                    }
+                }
+            }
+        };
+        compoundtask checkFlightReservation of taskclass CheckFlightReservation
+        {
+            inputs
+            {
+                input main
+                {
+                    inputobject tripSpec from
+                    {
+                        tripSpec of task dataAcquisition if output acquired
+                    }
+                }
+            };
+            task queryAirline1 of taskclass QueryAirline
+            {
+                implementation { "code" is "refQueryAirline1" };
+                inputs
+                {
+                    input main
+                    {
+                        inputobject tripSpec from
+                        {
+                            tripSpec of task checkFlightReservation if input main
+                        }
+                    }
+                }
+            };
+            task queryAirline2 of taskclass QueryAirline
+            {
+                implementation { "code" is "refQueryAirline2" };
+                inputs
+                {
+                    input main
+                    {
+                        inputobject tripSpec from
+                        {
+                            tripSpec of task checkFlightReservation if input main
+                        }
+                    }
+                }
+            };
+            task queryAirline3 of taskclass QueryAirline
+            {
+                implementation { "code" is "refQueryAirline3" };
+                inputs
+                {
+                    input main
+                    {
+                        inputobject tripSpec from
+                        {
+                            tripSpec of task checkFlightReservation if input main
+                        }
+                    }
+                }
+            };
+            outputs
+            {
+                outcome flightFound
+                {
+                    outputobject flightOffer from
+                    {
+                        flightOffer of task queryAirline1 if output offer;
+                        flightOffer of task queryAirline2 if output offer;
+                        flightOffer of task queryAirline3 if output offer
+                    }
+                };
+                outcome noFlight
+                {
+                    notification from { task queryAirline1 if output noOffer };
+                    notification from { task queryAirline2 if output noOffer };
+                    notification from { task queryAirline3 if output noOffer }
+                }
+            }
+        };
+        task flightReservation of taskclass FlightReservation
+        {
+            implementation { "code" is "refFlightReservation" };
+            inputs
+            {
+                input main
+                {
+                    inputobject flightOffer from
+                    {
+                        flightOffer of task checkFlightReservation if output flightFound
+                    }
+                }
+            }
+        };
+        task hotelReservation of taskclass HotelReservation
+        {
+            implementation { "code" is "refHotelReservation" };
+            inputs
+            {
+                input main
+                {
+                    inputobject plane from
+                    {
+                        plane of task flightReservation if output reserved
+                    }
+                }
+            }
+        };
+        task flightCancellation of taskclass FlightCancellation
+        {
+            implementation { "code" is "refFlightCancellation" };
+            inputs
+            {
+                input main
+                {
+                    notification from
+                    {
+                        task hotelReservation if output failed
+                    };
+                    inputobject plane from
+                    {
+                        plane of task flightReservation
+                    }
+                }
+            }
+        };
+        outputs
+        {
+            outcome success
+            {
+                outputobject plane from { plane of task flightReservation if output reserved };
+                outputobject hotel from { hotel of task hotelReservation if output booked };
+                outputobject cost from { cost of task flightReservation if output reserved }
+            };
+            repeat outcome retry
+            {
+                notification from { task flightCancellation if output cancelled };
+                outputobject user from { user of task businessReservation if input main }
+            };
+            outcome failed
+            {
+                notification from
+                {
+                    task dataAcquisition if output dataFailed;
+                    task checkFlightReservation if output noFlight;
+                    task flightReservation if output reserveFailed
+                }
+            }
+        }
+    };
+    task printTickets of taskclass PrintTickets
+    {
+        implementation { "code" is "refPrintTickets" };
+        inputs
+        {
+            input main
+            {
+                inputobject plane from { plane of task businessReservation if output success };
+                inputobject hotel from { hotel of task businessReservation if output success }
+            }
+        }
+    };
+    outputs
+    {
+        outcome tripBooked
+        {
+            outputobject tickets from { tickets of task printTickets if output printed }
+        };
+        outcome tripFailed
+        {
+            notification from { task businessReservation if output failed }
+        };
+        mark toPay
+        {
+            outputobject cost from { cost of task businessReservation if output success }
+        }
+    }
+};
+`
+
+// PaymentTemplate exercises the tasktemplate construct of Section 4.5:
+// a parametrised capture task instanced twice against different upstream
+// tasks.
+const PaymentTemplate = `
+class Order;
+class PaymentInfo;
+
+taskclass Authorise
+{
+    inputs { input main { order of class Order } };
+    outputs { outcome success { paymentInfo of class PaymentInfo } }
+};
+
+taskclass Capture
+{
+    inputs { input main { paymentInfo of class PaymentInfo } };
+    outputs { outcome done { } }
+};
+
+taskclass App
+{
+    inputs { input main { order of class Order } };
+    outputs { outcome finished { } }
+};
+
+tasktemplate task captureTemplate of taskclass Capture
+{
+    parameters { upstream };
+    implementation { "code" is "refCapture" };
+    inputs
+    {
+        input main
+        {
+            paymentInfo of task upstream if output success
+        }
+    }
+}
+
+compoundtask app of taskclass App
+{
+    task authA of taskclass Authorise
+    {
+        implementation { "code" is "refAuthorise" };
+        inputs
+        {
+            input main
+            {
+                inputobject order from { order of task app if input main }
+            }
+        }
+    };
+    task authB of taskclass Authorise
+    {
+        implementation { "code" is "refAuthorise" };
+        inputs
+        {
+            input main
+            {
+                inputobject order from { order of task app if input main }
+            }
+        }
+    };
+    captureA of tasktemplate captureTemplate(authA);
+    captureB of tasktemplate captureTemplate(authB);
+    outputs
+    {
+        outcome finished
+        {
+            notification from { task captureA if output done };
+            notification from { task captureB if output done }
+        }
+    }
+};
+`
+
+// All maps script names to sources, for tooling that iterates over the
+// paper corpus.
+var All = map[string]string{
+	"fig1_diamond":     Fig1Diamond,
+	"service_impact":   ServiceImpact,
+	"process_order":    ProcessOrder,
+	"business_trip":    BusinessTrip,
+	"payment_template": PaymentTemplate,
+}

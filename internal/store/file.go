@@ -1,0 +1,223 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FileStore is a crash-atomic file-backed Store. Each object is one file;
+// writes go to a shadow file which is renamed over the target, so a crash
+// at any point leaves either the old or the new state, never a torn one
+// (the same discipline as Arjuna's object store).
+//
+// Object IDs are arbitrary strings. Each path segment is percent-encoded
+// for the filesystem, and segments too long for a file name are truncated
+// and disambiguated with a digest; the authoritative ID is stored in the
+// file's header, so reads and listings are exact for any ID.
+type FileStore struct {
+	dir string
+
+	// mu serialises multi-step operations; the OS provides atomicity of
+	// each rename.
+	mu sync.Mutex
+
+	// sync, when true, fsyncs shadow files before rename. Durability
+	// against power loss costs latency; tests and benches can disable it.
+	sync bool
+}
+
+var _ Store = (*FileStore)(nil)
+
+// NewFileStore opens (creating if needed) a file store rooted at dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("open file store: %w", err)
+	}
+	return &FileStore{dir: dir, sync: true}, nil
+}
+
+// SetSync controls whether writes fsync before rename (default true).
+func (s *FileStore) SetSync(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sync = on
+}
+
+// Dir returns the root directory of the store.
+func (s *FileStore) Dir() string { return s.dir }
+
+// maxSegment bounds one encoded path component, comfortably under the
+// usual 255-byte file name limit.
+const maxSegment = 180
+
+// encodeSegment percent-encodes one ID segment for the filesystem,
+// neutralising ".", "..", the shadow prefix, and over-long names.
+func encodeSegment(seg string) string {
+	var enc string
+	switch seg {
+	case "":
+		enc = "%00"
+	case ".":
+		enc = "%2E"
+	case "..":
+		enc = "%2E%2E"
+	default:
+		enc = url.PathEscape(seg)
+		if strings.HasPrefix(enc, ".shadow-") {
+			enc = "%2E" + enc[1:]
+		}
+	}
+	if len(enc) > maxSegment {
+		sum := sha256.Sum256([]byte(seg))
+		enc = enc[:maxSegment] + "~" + hex.EncodeToString(sum[:8])
+	}
+	return enc
+}
+
+func (s *FileStore) path(id ID) string {
+	segs := strings.Split(string(id), "/")
+	enc := make([]string, len(segs))
+	for i, seg := range segs {
+		enc[i] = encodeSegment(seg)
+	}
+	return filepath.Join(append([]string{s.dir}, enc...)...)
+}
+
+// header layout: 4-byte big-endian ID length, the ID bytes, then payload.
+func encodeFile(id ID, data []byte) []byte {
+	idb := []byte(id)
+	out := make([]byte, 4+len(idb)+len(data))
+	binary.BigEndian.PutUint32(out, uint32(len(idb)))
+	copy(out[4:], idb)
+	copy(out[4+len(idb):], data)
+	return out
+}
+
+func decodeFile(raw []byte) (ID, []byte, error) {
+	if len(raw) < 4 {
+		return "", nil, fmt.Errorf("corrupt object file: %d bytes", len(raw))
+	}
+	n := binary.BigEndian.Uint32(raw)
+	if int(n) > len(raw)-4 {
+		return "", nil, fmt.Errorf("corrupt object file: id length %d exceeds file", n)
+	}
+	return ID(raw[4 : 4+n]), raw[4+n:], nil
+}
+
+// Read implements Store.
+func (s *FileStore) Read(id ID) ([]byte, error) {
+	raw, err := os.ReadFile(s.path(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("read %s: %w", id, ErrNotFound)
+		}
+		return nil, fmt.Errorf("read %s: %w", id, err)
+	}
+	gotID, data, err := decodeFile(raw)
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", id, err)
+	}
+	if gotID != id {
+		// Truncated-name collision between distinct IDs; astronomically
+		// unlikely with the digest suffix.
+		return nil, fmt.Errorf("read %s: %w (file holds %s)", id, ErrNotFound, gotID)
+	}
+	return data, nil
+}
+
+// Write implements Store. The state is written to a shadow file which is
+// atomically renamed over the object file.
+func (s *FileStore) Write(id ID, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.path(id)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("write %s: %w", id, err)
+	}
+	shadow, err := os.CreateTemp(filepath.Dir(p), ".shadow-*")
+	if err != nil {
+		return fmt.Errorf("write %s: %w", id, err)
+	}
+	shadowName := shadow.Name()
+	defer func() {
+		// Best-effort cleanup if we failed before the rename.
+		_ = os.Remove(shadowName)
+	}()
+	if _, err := shadow.Write(encodeFile(id, data)); err != nil {
+		_ = shadow.Close()
+		return fmt.Errorf("write %s: %w", id, err)
+	}
+	if s.sync {
+		if err := shadow.Sync(); err != nil {
+			_ = shadow.Close()
+			return fmt.Errorf("write %s: sync: %w", id, err)
+		}
+	}
+	if err := shadow.Close(); err != nil {
+		return fmt.Errorf("write %s: %w", id, err)
+	}
+	if err := os.Rename(shadowName, p); err != nil {
+		return fmt.Errorf("write %s: %w", id, err)
+	}
+	return nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(id ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := os.Remove(s.path(id))
+	if os.IsNotExist(err) {
+		return fmt.Errorf("delete %s: %w", id, ErrNotFound)
+	}
+	if err != nil {
+		return fmt.Errorf("delete %s: %w", id, err)
+	}
+	return nil
+}
+
+// List implements Store. IDs are read from file headers, so arbitrary IDs
+// (including ones whose file names were truncated) list exactly.
+func (s *FileStore) List(prefix ID) ([]ID, error) {
+	var out []ID
+	err := filepath.WalkDir(s.dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil // racing delete
+			}
+			return err
+		}
+		if d.IsDir() || strings.HasPrefix(d.Name(), ".shadow-") {
+			return nil
+		}
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		id, _, err := decodeFile(raw)
+		if err != nil {
+			return fmt.Errorf("list: %s: %w", p, err)
+		}
+		if strings.HasPrefix(string(id), string(prefix)) {
+			out = append(out, id)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("list %s: %w", prefix, err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

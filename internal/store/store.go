@@ -1,0 +1,130 @@
+// Package store provides the persistent object store underlying the
+// workflow system's "persistent shared objects" (Section 3): the place
+// where inter-task dependency state, transaction intentions and service
+// metadata are recorded so that they survive processor crashes.
+//
+// Two implementations are provided: a crash-atomic file store (shadow
+// write + rename, the same discipline as Arjuna's object store) and an
+// in-memory store used for tests and as the ablation baseline for the
+// persistence design decision.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ID identifies an object in a store. IDs are slash-separated paths; the
+// prefix conventions ("runs/<instance>/...", "txlog/<tx>/...") are chosen
+// by the packages above.
+type ID string
+
+// ErrNotFound is returned when reading or deleting a missing object.
+var ErrNotFound = errors.New("object not found")
+
+// Store is a durable map from IDs to opaque byte states. Implementations
+// must be safe for concurrent use. Write must be atomic: a crashed writer
+// leaves either the old or the new state, never a torn one.
+type Store interface {
+	// Read returns the current state of the object.
+	Read(id ID) ([]byte, error)
+	// Write atomically replaces (or creates) the object's state.
+	Write(id ID, data []byte) error
+	// Delete removes the object. Deleting a missing object returns
+	// ErrNotFound.
+	Delete(id ID) error
+	// List returns the IDs with the given prefix, in lexical order.
+	List(prefix ID) ([]ID, error)
+}
+
+// MemStore is an in-memory Store. The zero value is ready to use.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[ID][]byte
+
+	// failEvery, when positive, makes every failEvery-th Write fail; used
+	// by fault-injection tests.
+	failEvery int
+	writes    int
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// FailEvery makes every n-th Write return an error (n <= 0 disables);
+// it exists for fault-injection tests.
+func (s *MemStore) FailEvery(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failEvery = n
+	s.writes = 0
+}
+
+// Read implements Store.
+func (s *MemStore) Read(id ID) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.m[id]
+	if !ok {
+		return nil, fmt.Errorf("read %s: %w", id, ErrNotFound)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Write implements Store.
+func (s *MemStore) Write(id ID, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failEvery > 0 {
+		s.writes++
+		if s.writes%s.failEvery == 0 {
+			return fmt.Errorf("write %s: injected store failure", id)
+		}
+	}
+	if s.m == nil {
+		s.m = make(map[ID][]byte)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.m[id] = cp
+	return nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(id ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[id]; !ok {
+		return fmt.Errorf("delete %s: %w", id, ErrNotFound)
+	}
+	delete(s.m, id)
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List(prefix ID) ([]ID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ID
+	for id := range s.m {
+		if strings.HasPrefix(string(id), string(prefix)) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Len returns the number of stored objects (diagnostics and tests).
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}

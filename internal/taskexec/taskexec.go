@@ -1,0 +1,178 @@
+// Package taskexec implements remote task executors: orb servants that
+// host task implementations and run activations dispatched to them by
+// the workflow engine when a task carries a "location" implementation
+// property (Section 4.3 lists "location" and "agent" among the
+// implementation keywords; this realises them over the orb substrate).
+//
+// Deployment shape: each executor node registers its implementation
+// registry under the well-known "task-executor" object and binds its
+// location name in the naming service; the engine-side Invoker resolves
+// locations through naming and dispatches activations. Remote failures
+// surface as system-level failures, so the engine's automatic retry and
+// abort mapping apply unchanged.
+package taskexec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/orb"
+	"repro/internal/registry"
+	"repro/internal/txn"
+)
+
+// ObjectName is the executor's well-known servant name.
+const ObjectName = "task-executor"
+
+// executeReq is one remote activation.
+type executeReq struct {
+	Code      string
+	Instance  string
+	TaskPath  string
+	InputSet  string
+	Attempt   int
+	Iteration int
+	Inputs    registry.Objects
+}
+
+// executeResp carries the implementation's result. SysErr reports a
+// system-level failure (unbound code, panic) distinct from application
+// outcomes.
+type executeResp struct {
+	Output  string
+	Objects registry.Objects
+	SysErr  string
+}
+
+// remoteCtx adapts an executeReq to registry.Context on the executor
+// side. Marks are unavailable remotely (single request/reply), and
+// remote tasks run non-atomically from the executor's point of view —
+// atomicity is coordinated by the engine's side.
+type remoteCtx struct {
+	req  executeReq
+	done chan struct{}
+}
+
+var _ registry.Context = (*remoteCtx)(nil)
+
+func (c *remoteCtx) Instance() string         { return c.req.Instance }
+func (c *remoteCtx) TaskPath() string         { return c.req.TaskPath }
+func (c *remoteCtx) InputSet() string         { return c.req.InputSet }
+func (c *remoteCtx) Inputs() registry.Objects { return c.req.Inputs }
+func (c *remoteCtx) Attempt() int             { return c.req.Attempt }
+func (c *remoteCtx) Iteration() int           { return c.req.Iteration }
+func (c *remoteCtx) Txn() *txn.Txn            { return nil }
+func (c *remoteCtx) Done() <-chan struct{}    { return c.done }
+
+func (c *remoteCtx) Mark(name string, _ registry.Objects) error {
+	return fmt.Errorf("mark %s: remote activations cannot produce marks", name)
+}
+
+// Executor hosts implementations and serves remote activations.
+type Executor struct {
+	impls *registry.Registry
+}
+
+// NewExecutor returns an executor over the given implementation
+// registry.
+func NewExecutor(impls *registry.Registry) *Executor {
+	return &Executor{impls: impls}
+}
+
+// Impls exposes the executor's registry (for binding implementations).
+func (e *Executor) Impls() *registry.Registry { return e.impls }
+
+// Servant exports the executor over the orb.
+func (e *Executor) Servant() *orb.Servant {
+	sv := orb.NewServant()
+	orb.Method(sv, "execute", func(req executeReq) (executeResp, error) {
+		f, err := e.impls.Lookup(req.Code)
+		if err != nil {
+			return executeResp{SysErr: err.Error()}, nil
+		}
+		ctx := &remoteCtx{req: req, done: make(chan struct{})}
+		res, err := runSafely(f, ctx)
+		if err != nil {
+			return executeResp{SysErr: err.Error()}, nil
+		}
+		return executeResp{Output: res.Output, Objects: res.Objects}, nil
+	})
+	return sv
+}
+
+// runSafely converts implementation panics into errors so a bad remote
+// implementation cannot kill the executor.
+func runSafely(f registry.Func, ctx registry.Context) (res registry.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("implementation panic: %v", p)
+		}
+	}()
+	return f(ctx)
+}
+
+// Resolver maps a location name to an endpoint address; usually a naming
+// client's Resolve.
+type Resolver func(location string) (string, error)
+
+// Invoker dispatches engine activations to executors, caching one client
+// per resolved endpoint.
+type Invoker struct {
+	resolve Resolver
+	cfg     orb.ClientConfig
+
+	mu      sync.Mutex
+	clients map[string]*orb.Client
+}
+
+// NewInvoker builds an engine.RemoteInvoker-compatible dispatcher.
+func NewInvoker(resolve Resolver, cfg orb.ClientConfig) *Invoker {
+	return &Invoker{resolve: resolve, cfg: cfg, clients: make(map[string]*orb.Client)}
+}
+
+// Close drops all cached clients.
+func (inv *Invoker) Close() {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	for _, c := range inv.clients {
+		c.Close()
+	}
+	inv.clients = make(map[string]*orb.Client)
+}
+
+// client returns (creating if needed) the client for an endpoint.
+func (inv *Invoker) client(addr string) *orb.Client {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if c, ok := inv.clients[addr]; ok {
+		return c
+	}
+	c := orb.Dial(addr, inv.cfg)
+	inv.clients[addr] = c
+	return c
+}
+
+// Invoke implements engine.RemoteInvoker.
+func (inv *Invoker) Invoke(req engine.RemoteRequest) (registry.Result, error) {
+	addr, err := inv.resolve(req.Location)
+	if err != nil {
+		return registry.Result{}, fmt.Errorf("resolve location %q: %w", req.Location, err)
+	}
+	resp, err := orb.Call[executeReq, executeResp](inv.client(addr), ObjectName, "execute", executeReq{
+		Code: req.Code, Instance: req.Instance, TaskPath: req.TaskPath,
+		InputSet: req.InputSet, Attempt: req.Attempt, Iteration: req.Iteration,
+		Inputs: req.Inputs,
+	})
+	if err != nil {
+		return registry.Result{}, fmt.Errorf("remote execute at %q: %w", req.Location, err)
+	}
+	if resp.SysErr != "" {
+		return registry.Result{}, errors.New(resp.SysErr)
+	}
+	return registry.Result{Output: resp.Output, Objects: resp.Objects}, nil
+}
+
+// Ensure the adapter satisfies the engine's hook type.
+var _ engine.RemoteInvoker = (*Invoker)(nil).Invoke

@@ -1,0 +1,196 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// LockMode is a read or write lock request.
+type LockMode int
+
+// Lock modes.
+const (
+	// ReadLock is shared.
+	ReadLock LockMode = iota + 1
+	// WriteLock is exclusive.
+	WriteLock
+)
+
+// String returns "read" or "write".
+func (m LockMode) String() string {
+	if m == ReadLock {
+		return "read"
+	}
+	return "write"
+}
+
+// ErrLockTimeout is returned when a lock cannot be acquired within the
+// deadline; callers treat it as a deadlock signal and abort (the system's
+// timeout-based deadlock resolution).
+var ErrLockTimeout = errors.New("lock wait timed out (possible deadlock)")
+
+// entry is the lock state of one resource. Owners are top-level
+// transaction IDs, so nested transactions of one family share locks
+// (strict two-phase locking with lock inheritance).
+type entry struct {
+	readers map[ID]int // owner -> acquisition count
+	writer  ID
+	wcount  int
+}
+
+func (e *entry) free() bool { return len(e.readers) == 0 && e.writer == "" }
+
+// LockManager implements strict two-phase locking with timeout-based
+// deadlock resolution. The zero value is ready to use.
+type LockManager struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	entries map[string]*entry
+
+	// Timeout bounds each lock wait; zero means DefaultLockTimeout.
+	Timeout time.Duration
+}
+
+// DefaultLockTimeout is used when LockManager.Timeout is zero.
+const DefaultLockTimeout = 2 * time.Second
+
+// NewLockManager returns a lock manager with the given wait timeout
+// (zero selects DefaultLockTimeout).
+func NewLockManager(timeout time.Duration) *LockManager {
+	return &LockManager{Timeout: timeout}
+}
+
+func (lm *LockManager) init() {
+	if lm.entries == nil {
+		lm.entries = make(map[string]*entry)
+	}
+	if lm.cond == nil {
+		lm.cond = sync.NewCond(&lm.mu)
+	}
+}
+
+// Lock acquires the resource in the given mode on behalf of the
+// transaction family rooted at owner (a top-level transaction ID).
+// Re-entrant acquisition and read-to-write upgrade by the sole reader are
+// supported. Returns ErrLockTimeout when the wait exceeds the timeout.
+func (lm *LockManager) Lock(owner ID, resource string, mode LockMode) error {
+	if owner == "" {
+		return errors.New("lock: empty owner")
+	}
+	timeout := lm.Timeout
+	if timeout <= 0 {
+		timeout = DefaultLockTimeout
+	}
+	deadline := time.Now().Add(timeout)
+
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.init()
+
+	timedOut := false
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		// Re-fetch the entry on every pass: ReleaseAll removes free
+		// entries from the map, so an entry pointer captured before a
+		// wait can go stale while a fresh one is created for another
+		// owner — granting on the stale entry would break mutual
+		// exclusion.
+		e, ok := lm.entries[resource]
+		if !ok {
+			e = &entry{readers: make(map[ID]int)}
+			lm.entries[resource] = e
+		}
+		if lm.grantable(e, owner, mode) {
+			switch mode {
+			case ReadLock:
+				e.readers[owner]++
+			case WriteLock:
+				if e.writer == owner {
+					e.wcount++
+				} else {
+					// Possible upgrade: drop our read entries, take the
+					// write.
+					delete(e.readers, owner)
+					e.writer = owner
+					e.wcount = 1
+				}
+			}
+			return nil
+		}
+		if timedOut || time.Now().After(deadline) {
+			return fmt.Errorf("%s lock on %s for %s: %w", mode, resource, owner, ErrLockTimeout)
+		}
+		if timer == nil {
+			timer = time.AfterFunc(time.Until(deadline), func() {
+				lm.mu.Lock()
+				timedOut = true
+				lm.mu.Unlock()
+				lm.cond.Broadcast()
+			})
+		}
+		lm.cond.Wait()
+	}
+}
+
+// grantable is called with lm.mu held.
+func (lm *LockManager) grantable(e *entry, owner ID, mode LockMode) bool {
+	switch mode {
+	case ReadLock:
+		return e.writer == "" || e.writer == owner
+	case WriteLock:
+		if e.writer != "" {
+			return e.writer == owner
+		}
+		// No writer: need no other readers.
+		for r := range e.readers {
+			if r != owner {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// ReleaseAll releases every lock held by the transaction family rooted at
+// owner (called once at top-level commit or abort — strict 2PL).
+func (lm *LockManager) ReleaseAll(owner ID) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.init()
+	for res, e := range lm.entries {
+		delete(e.readers, owner)
+		if e.writer == owner {
+			e.writer = ""
+			e.wcount = 0
+		}
+		if e.free() {
+			delete(lm.entries, res)
+		}
+	}
+	lm.cond.Broadcast()
+}
+
+// Held reports whether owner currently holds the resource in at least the
+// given mode (diagnostics and tests).
+func (lm *LockManager) Held(owner ID, resource string, mode LockMode) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.init()
+	e, ok := lm.entries[resource]
+	if !ok {
+		return false
+	}
+	if mode == WriteLock {
+		return e.writer == owner
+	}
+	return e.readers[owner] > 0 || e.writer == owner
+}

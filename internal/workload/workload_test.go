@@ -1,0 +1,161 @@
+package workload_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/baseline/eca"
+	"repro/internal/baseline/petri"
+	"repro/internal/engine"
+	"repro/internal/persist"
+	"repro/internal/registry"
+	"repro/internal/store"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+func newEngine(t *testing.T) (*engine.Engine, *registry.Registry) {
+	t.Helper()
+	st := store.NewMemStore()
+	preg := persist.NewRegistry(st, txn.NewManager(st), nil)
+	impls := registry.New()
+	eng := engine.New(preg, impls, engine.Config{})
+	t.Cleanup(eng.Close)
+	return eng, impls
+}
+
+func runToCompletion(t *testing.T, name, src string) engine.Result {
+	t.Helper()
+	eng, impls := newEngine(t)
+	workload.Bind(impls)
+	schema := workload.MustCompile(name, src)
+	inst, err := eng.Instantiate(name, schema, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start("main", workload.Seed()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := inst.Wait(ctx)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	return res
+}
+
+func TestGeneratorsCompileAndRun(t *testing.T) {
+	cases := map[string]string{
+		"chain":  workload.Chain(10),
+		"diam":   workload.Diamond(8),
+		"fan":    workload.FanOut(5),
+		"dag":    workload.RandomDAG(20, 2, 42),
+		"nested": workload.Nested(3, 2),
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			res := runToCompletion(t, name, src)
+			if res.Output != "done" {
+				t.Fatalf("outcome = %q, want done", res.Output)
+			}
+			if res.Objects["out"].Data.(string) != "seed" {
+				t.Fatalf("payload = %v, want pass-through seed", res.Objects["out"].Data)
+			}
+		})
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	if workload.RandomDAG(15, 1, 7) != workload.RandomDAG(15, 1, 7) {
+		t.Error("RandomDAG must be deterministic for a fixed seed")
+	}
+	if workload.Chain(5) != workload.Chain(5) {
+		t.Error("Chain must be deterministic")
+	}
+}
+
+func TestBaselinesScheduleSameTasks(t *testing.T) {
+	// Both baselines must start every task of a workload exactly as the
+	// engine does (all-success oracle, acyclic workloads).
+	for _, n := range []int{3, 10, 25} {
+		src := workload.Chain(n)
+		schema := workload.MustCompile(fmt.Sprintf("chain%d", n), src)
+		root, err := schema.Root("")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rules, tasks := eca.Compile(schema, root)
+		ecaEng := eca.NewEngine(rules, tasks, workload.Oracle())
+		ecaStats := ecaEng.Run(eca.SeedFacts(root))
+		// The root compound is seeded as started, so constituents (n
+		// stages) are started by rules.
+		if ecaStats.TasksStarted != n {
+			t.Errorf("chain %d: ECA started %d tasks, want %d", n, ecaStats.TasksStarted, n)
+		}
+
+		net := petri.Compile(schema, root)
+		petriStats := net.Run(petri.Seed(root), workload.Oracle())
+		if petriStats.TasksStarted != n {
+			t.Errorf("chain %d: petri started %d tasks, want %d", n, petriStats.TasksStarted, n)
+		}
+		// Specification size comparison (Section 6): the rule and net
+		// encodings are strictly larger than the structural script's
+		// dependency count.
+		stats := schema.Stats()
+		if ecaStats.Rules <= stats.Sources {
+			t.Errorf("chain %d: ECA rules = %d, expected more than %d sources", n, ecaStats.Rules, stats.Sources)
+		}
+		if petriStats.Transitions <= stats.Sources {
+			t.Errorf("chain %d: petri transitions = %d, expected more than %d sources", n, petriStats.Transitions, stats.Sources)
+		}
+	}
+}
+
+func TestBaselinesOnPaperDiamond(t *testing.T) {
+	src := workload.Diamond(2)
+	schema := workload.MustCompile("diamond2", src)
+	root, _ := schema.Root("")
+
+	rules, tasks := eca.Compile(schema, root)
+	st := eca.NewEngine(rules, tasks, workload.Oracle()).Run(eca.SeedFacts(root))
+	// head + 2 branches + 1 join.
+	if st.TasksStarted != 4 {
+		t.Errorf("ECA started %d, want 4", st.TasksStarted)
+	}
+	net := petri.Compile(schema, root)
+	ps := net.Run(petri.Seed(root), workload.Oracle())
+	if ps.TasksStarted != 4 {
+		t.Errorf("petri started %d, want 4", ps.TasksStarted)
+	}
+	if ps.Rounds < 3 {
+		t.Errorf("petri rounds = %d, want >= 3 (dependency depth)", ps.Rounds)
+	}
+}
+
+func TestBaselineFailurePath(t *testing.T) {
+	// With an oracle that fails the head task, downstream tasks must not
+	// start in either baseline.
+	src := workload.Diamond(2)
+	schema := workload.MustCompile("diamond-fail", src)
+	root, _ := schema.Root("")
+	oracle := func(path string) string {
+		if path == "app/head" {
+			return "missing-outcome" // produces nothing
+		}
+		return "done"
+	}
+	rules, tasks := eca.Compile(schema, root)
+	st := eca.NewEngine(rules, tasks, oracle).Run(eca.SeedFacts(root))
+	if st.TasksStarted != 1 {
+		t.Errorf("ECA started %d, want only head", st.TasksStarted)
+	}
+	net := petri.Compile(schema, root)
+	ps := net.Run(petri.Seed(root), oracle)
+	if ps.TasksStarted != 1 {
+		t.Errorf("petri started %d, want only head", ps.TasksStarted)
+	}
+}
