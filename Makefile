@@ -1,0 +1,26 @@
+# Tier-1 verification: the build may never regress to unbuildable again.
+# `make check` is what CI (and any contributor) runs before merging.
+
+GO ?= go
+
+.PHONY: check fmt vet build test bench
+
+check: fmt vet build test bench
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# One iteration per benchmark: exercises every scenario end to end
+# without turning CI into a measurement run.
+bench:
+	$(GO) test -run=XXX -bench=. -benchtime=1x ./...

@@ -267,6 +267,60 @@ func BenchmarkX5LossyNetwork(b *testing.B) {
 	}
 }
 
+// schedulerModes pairs a display name with the engine's FullRescan flag
+// for the scheduler ablation benchmarks.
+var schedulerModes = []struct {
+	name       string
+	fullRescan bool
+}{
+	{"dirty-set", false},
+	{"full-rescan", true},
+}
+
+// BenchmarkSchedulerChain compares the dependency-indexed dirty-set
+// scheduler against the legacy full-rescan baseline on deep pipelines:
+// a completion event enqueues only the completed task's consumers, so
+// per-event work is O(consumers) instead of O(tasks) and the 1k-task
+// chain stops being quadratic.
+func BenchmarkSchedulerChain(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		src := workload.Chain(n)
+		for _, mode := range schedulerModes {
+			b.Run(fmt.Sprintf("tasks=%d/%s", n, mode.name), func(b *testing.B) {
+				s := experiments.NewSched(fmt.Sprintf("chain%d", n), src, mode.fullRescan)
+				defer s.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := s.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSchedulerFanIn compares the schedulers on the widest join:
+// n parallel stages notifying a single sink, so every completion event
+// hits the same consumer.
+func BenchmarkSchedulerFanIn(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		src := workload.FanIn(n)
+		for _, mode := range schedulerModes {
+			b.Run(fmt.Sprintf("tasks=%d/%s", n, mode.name), func(b *testing.B) {
+				s := experiments.NewSched(fmt.Sprintf("fanin%d", n), src, mode.fullRescan)
+				defer s.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := s.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationPersistence isolates the cost of the paper's central
 // design decision — recording dependency state in persistent objects
 // under transactions — by comparing ephemeral, memory-store and

@@ -265,6 +265,34 @@ func run(iters int, quick bool) error {
 		row("ABL", "diamond(4) with "+cfg.name, mean, "persistence design-decision cost")
 	}
 
+	// Scheduler ablation: dependency-indexed dirty set vs full rescan.
+	schedN := 1000
+	schedIters := iters
+	if quick {
+		schedN = 100
+	}
+	if schedIters > 5 {
+		schedIters = 5
+	}
+	for _, load := range []struct {
+		name string
+		src  string
+	}{
+		{fmt.Sprintf("chain(%d)", schedN), workload.Chain(schedN)},
+		{fmt.Sprintf("fanin(%d)", schedN), workload.FanIn(schedN)},
+	} {
+		for _, mode := range []struct {
+			name       string
+			fullRescan bool
+		}{{"dirty-set index", false}, {"full rescan", true}} {
+			mean, err := measure(experiments.NewSched(load.name, load.src, mode.fullRescan), schedIters)
+			if err != nil {
+				return fmt.Errorf("S1 %s/%s: %w", load.name, mode.name, err)
+			}
+			row("S1", load.name+" with "+mode.name, mean, "per-event scheduling cost ablation")
+		}
+	}
+
 	// Specification sizes of the paper's own applications.
 	fmt.Println()
 	fmt.Println("specification sizes (Section 6 comparison):")

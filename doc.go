@@ -7,7 +7,21 @@
 // over an ORB substrate), the paper's three example applications, and the
 // related-work baselines (an ECA rule engine and a Petri-net engine).
 //
-// See README.md for the tour, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the figure-by-figure reproduction record. The
-// benchmarks in bench_test.go regenerate every figure's scenario.
+// See README.md for the build/run tour of the commands and examples, the
+// package layout, and the scheduler architecture. The benchmarks in
+// bench_test.go regenerate every figure's scenario, and `go run
+// ./cmd/wfbench` prints the verified measurement table.
+//
+// # Scheduler
+//
+// The execution engine propagates state transitions through a
+// dependency-indexed dirty-set scheduler: a reverse-dependency index
+// (producer task -> consumer tasks) is computed per instance, events
+// enqueue only the affected consumers onto a worklist, and the worklist
+// is drained in schema-DFS declaration order so input-set and
+// alternative-source selection stay deterministic — bit-identical to the
+// legacy full-rescan strategy retained behind engine.Config.FullRescan
+// as the ablation baseline and differential-test oracle. See
+// internal/engine/depindex.go and the "Scheduler architecture" section
+// of README.md.
 package repro

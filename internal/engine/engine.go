@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -61,6 +62,17 @@ type Config struct {
 	// keywords). Remote failures are system-level failures: retried, then
 	// mapped to an abort outcome. See internal/taskexec.
 	RemoteInvoker RemoteInvoker
+	// FullRescan selects the legacy evaluation strategy that rescans
+	// every run in the instance to a fixed point after each event,
+	// instead of the dependency-indexed dirty-set scheduler. It exists as
+	// an ablation baseline and as the oracle of the scheduler's
+	// differential tests; see the Scheduler benchmarks.
+	FullRescan bool
+	// VerifyScheduler runs a read-only full-rescan satisfiability probe
+	// after every dirty-set drain and panics if the probe finds progress
+	// the worklist missed. Debug assertion for tests; ignored when
+	// FullRescan is set.
+	VerifyScheduler bool
 }
 
 // RemoteRequest describes one task activation to be executed elsewhere.
@@ -154,6 +166,7 @@ func (e *Engine) Instantiate(id string, schema *core.Schema, rootName string) (*
 	// The root run exists from the start, in Waiting.
 	rootRun := inst.newRun(root, runState{Path: root.Path(), State: RunWaiting})
 	inst.runs[root.Path()] = rootRun
+	inst.markDirty(root.Path())
 	if err := inst.persistRunDirect(rootRun); err != nil {
 		return nil, err
 	}
@@ -210,6 +223,11 @@ func (e *Engine) Recover(id string, compile SchemaCompiler) (*Instance, error) {
 		}
 	}
 	inst.reconfigSeq = meta.ReconfigSeq
+	// newInstance derived the evaluation order (and the dependency index)
+	// from the freshly recompiled schema, before the reconfigurations
+	// above mutated it; recompute so reconfiguration-added tasks are
+	// evaluated and listed again after recovery.
+	inst.rebuildOrder()
 
 	// Reload run states.
 	prefix := store.ID("inst/" + id + "/run/")
@@ -234,6 +252,18 @@ func (e *Engine) Recover(id string, compile SchemaCompiler) (*Instance, error) {
 	if inst.runs[root.Path()] == nil {
 		inst.runs[root.Path()] = inst.newRun(root, runState{Path: root.Path(), State: RunWaiting})
 	}
+	// A crash between a compound's start persisting and its constituents'
+	// first persists leaves the compound Executing with members missing;
+	// re-run activation (existing runs are kept) so recovery cannot stall
+	// there. Walk in schema order so outer compounds activate first.
+	for _, path := range inst.order {
+		if r, ok := inst.runs[path]; ok && r.st.State == RunExecuting && r.task.Compound {
+			inst.activateConstituents(r.task)
+		}
+	}
+	// Recovery cannot tell which dependencies became satisfiable while the
+	// instance was down: one full evaluation over every reloaded run.
+	inst.markAllDirty()
 	e.instances[id] = inst
 	go inst.loop()
 	inst.resumeExecuting()
@@ -356,7 +386,17 @@ type Instance struct {
 	// Controller plumbing. runs is owned by the loop goroutine after
 	// construction; external access goes through reqCh.
 	runs     map[string]*run
-	order    []string // task paths in schema DFS order
+	order    []string       // task paths in schema DFS order
+	orderIdx map[string]int // path -> position in order
+	// deps is the reverse-dependency index and dirty the worklist it
+	// feeds (dirtyHeap holds the same entries as schema-order indexes);
+	// all owned by the goroutine owning runs. See depindex.go.
+	deps      map[string]*consumers
+	dirty     map[string]struct{}
+	dirtyHeap []int
+	// scans counts run examinations by the evaluator; the scheduler
+	// regression tests read it through Scans.
+	scans    atomic.Int64
 	evCh     chan completionMsg
 	markCh   chan markMsg
 	reqCh    chan func()
@@ -388,6 +428,7 @@ func (e *Engine) newInstance(id string, schema *core.Schema, root *core.Task) *I
 		schema:   schema,
 		root:     root,
 		runs:     make(map[string]*run),
+		dirty:    make(map[string]struct{}),
 		evCh:     make(chan completionMsg, 64),
 		markCh:   make(chan markMsg),
 		reqCh:    make(chan func()),
@@ -414,12 +455,23 @@ func (i *Instance) newRun(task *core.Task, st runState) *run {
 func (i *Instance) Schema() *core.Schema { return i.schema }
 
 // rebuildOrder recomputes the deterministic evaluation order (schema DFS
-// from the root). Called at construction and after reconfiguration, on
-// the loop goroutine.
+// from the root) and the reverse-dependency index derived from it.
+// Called at construction and after reconfiguration, on the loop
+// goroutine.
 func (i *Instance) rebuildOrder() {
 	i.order = i.order[:0]
 	i.root.Walk(func(t *core.Task) { i.order = append(i.order, t.Path()) })
+	i.orderIdx = make(map[string]int, len(i.order))
+	for idx, path := range i.order {
+		i.orderIdx[path] = idx
+	}
+	i.rebuildDepIndex()
 }
+
+// Scans returns the cumulative number of run examinations performed by
+// the evaluator. The scheduler regression tests assert that a completion
+// event re-examines only the indexed consumers of the completed task.
+func (i *Instance) Scans() int64 { return i.scans.Load() }
 
 // notify closes the change channel (under mu) so waiters re-check.
 func (i *Instance) notifyLocked() {

@@ -29,6 +29,10 @@ type rig struct {
 
 func newRig(t *testing.T, cfg engine.Config) *rig {
 	t.Helper()
+	// Every engine test doubles as a differential scheduler test: after
+	// each dirty-set drain the full-rescan oracle asserts the same fixed
+	// point was reached.
+	cfg.VerifyScheduler = true
 	st := store.NewMemStore()
 	mgr := txn.NewManager(st)
 	preg := persist.NewRegistry(st, mgr, nil)

@@ -116,17 +116,44 @@ func (i *Instance) resumeExecuting() {
 	}
 }
 
-// evaluate runs satisfaction passes until a fixed point: waiting tasks
-// whose dependencies are met start, executing compound tasks whose output
-// mappings are met produce outputs. Declaration order (schema DFS) makes
-// the pass deterministic.
+// evaluate propagates the state transitions recorded since the last
+// call: waiting tasks whose dependencies are met start, executing
+// compound tasks whose output mappings are met produce outputs. The
+// dirty worklist holds exactly the runs whose dependencies may have
+// gained availability (see depindex.go); draining it in schema-DFS
+// declaration order keeps input-set and alternative selection
+// deterministic and identical to the full-rescan baseline.
 func (i *Instance) evaluate() {
+	if i.eng.cfg.FullRescan {
+		i.evaluateFullRescan()
+	} else {
+		i.drainDirty()
+		if i.eng.cfg.VerifyScheduler {
+			i.verifyFixedPoint()
+		}
+	}
+	i.checkQuiescence()
+}
+
+// evaluateFullRescan is the legacy strategy: satisfaction passes over
+// every run until a fixed point, O(tasks) per event. Kept as the
+// ablation baseline and the oracle the dirty-set scheduler is verified
+// against.
+func (i *Instance) evaluateFullRescan() {
+	// State transitions feed the worklist even when this strategy ignores
+	// it; drop the entries so the map stays bounded.
+	clear(i.dirty)
+	i.dirtyHeap = i.dirtyHeap[:0]
 	progress := true
 	for progress {
 		progress = false
 		for _, path := range i.order {
 			r, ok := i.runs[path]
-			if !ok || !i.active(r) {
+			if !ok {
+				continue
+			}
+			i.scans.Add(1)
+			if !i.active(r) {
 				continue
 			}
 			switch {
@@ -141,7 +168,6 @@ func (i *Instance) evaluate() {
 			}
 		}
 	}
-	i.checkQuiescence()
 }
 
 // active reports whether a run's enclosing compounds are all executing
@@ -289,7 +315,11 @@ func (i *Instance) startRun(r *run, set string, inputs registry.Objects) {
 	r.cancel = make(chan struct{})
 	i.persistRun(r)
 	i.emit(Event{Task: r.st.Path, Kind: EventTaskStarted, InputSet: set, Attempt: r.st.Attempt, Iteration: r.st.Iteration})
+	i.noteStarted(r.st.Path)
 	if r.task.Compound {
+		// The compound's own output mappings may already be satisfiable
+		// (e.g. sourced from its freshly consumed inputs).
+		i.markDirty(r.st.Path)
 		i.activateConstituents(r.task)
 		return
 	}
@@ -300,6 +330,9 @@ func (i *Instance) startRun(r *run, set string, inputs registry.Objects) {
 func (i *Instance) activateConstituents(t *core.Task) {
 	for _, c := range t.Constituents {
 		path := c.Path()
+		// Every constituent just became active (its scope is executing) and
+		// must be evaluated, whether its run is new or reloaded by recovery.
+		i.markDirty(path)
 		if _, exists := i.runs[path]; exists {
 			continue
 		}
@@ -333,6 +366,7 @@ func (i *Instance) tryCompoundOutputs(r *run) bool {
 			r.st.Outputs = append(r.st.Outputs, rec)
 			i.persistRun(r)
 			i.emit(Event{Task: r.st.Path, Kind: EventTaskMarked, Output: rec.Output, Objects: vals, Iteration: r.st.Iteration})
+			i.noteOutput(r.st.Path)
 			progress = true
 			continue
 		case core.RepeatOutcome:
@@ -381,6 +415,10 @@ func (i *Instance) repeatRun(r *run, rec OutputRec) {
 	}
 	i.persistRun(r)
 	i.emit(Event{Task: r.st.Path, Kind: EventTaskRepeated, Output: rec.Output, Objects: rec.Objects, Iteration: r.st.Iteration})
+	// The run is waiting again and its repeat feedback may satisfy its own
+	// input sets; consumers see the repeat record and discarded outputs.
+	i.markDirty(r.st.Path)
+	i.noteOutput(r.st.Path)
 	if r.st.Iteration >= i.eng.cfg.MaxRepeats {
 		i.failRun(r, fmt.Errorf("repeat limit %d reached", i.eng.cfg.MaxRepeats))
 	}
@@ -423,6 +461,7 @@ func (i *Instance) completeRun(r *run, rec OutputRec) {
 	}
 	i.persistRun(r)
 	i.emit(Event{Task: r.st.Path, Kind: kind, Output: rec.Output, Objects: rec.Objects, Iteration: r.st.Iteration, Attempt: r.st.Attempt})
+	i.noteOutput(r.st.Path)
 	if r.task == i.root {
 		i.finishInstance(r)
 	}
@@ -434,6 +473,7 @@ func (i *Instance) failRun(r *run, cause error) {
 	r.st.State = RunFailed
 	i.persistRun(r)
 	i.emit(Event{Task: r.st.Path, Kind: EventTaskFailed, Err: cause.Error(), Attempt: r.st.Attempt, Iteration: r.st.Iteration})
+	i.noteOutput(r.st.Path) // bare notifications fire on any terminal state
 	if r.task == i.root {
 		i.finishInstance(r)
 	}
@@ -714,6 +754,7 @@ func (i *Instance) forceAbortNow(r *run) {
 	r.st.State = RunAborted
 	i.persistRun(r)
 	i.emit(Event{Task: r.st.Path, Kind: EventTaskAborted, Iteration: r.st.Iteration})
+	i.noteOutput(r.st.Path) // bare notifications fire on any terminal state
 	if r.task == i.root {
 		i.finishInstance(r)
 	}
@@ -741,6 +782,7 @@ func (i *Instance) handleMark(msg markMsg) error {
 	r.st.Outputs = append(r.st.Outputs, rec)
 	i.persistRun(r)
 	i.emit(Event{Task: r.st.Path, Kind: EventTaskMarked, Output: out.Name, Objects: objects, Iteration: r.st.Iteration})
+	i.noteOutput(r.st.Path)
 	return nil
 }
 

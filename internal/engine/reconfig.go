@@ -430,6 +430,14 @@ func (i *Instance) reconfigure(ops []Op) error {
 			i.emit(Event{Task: path, Kind: EventTaskWaiting})
 		}
 	}
+	// rebuildOrder above recomputed the reverse-dependency index for the
+	// new schema; a changed dependency may be satisfiable by state that
+	// produced no fresh event, so every live run re-enters the worklist.
+	// Any entries enqueued before the swap hold stale schema-order
+	// indexes; reset the worklist first (markAllDirty re-covers them).
+	clear(i.dirty)
+	i.dirtyHeap = i.dirtyHeap[:0]
+	i.markAllDirty()
 	descs := make([]string, len(ops))
 	for idx, op := range ops {
 		descs[idx] = op.Describe()

@@ -1,0 +1,162 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/registry"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// TestRecoverAfterReconfigureKeepsAddedTask guards the recovery path
+// against losing reconfiguration-added tasks: Recover derives the
+// evaluation order and dependency index only after re-applying the
+// persisted reconfiguration records, so a task added to a running
+// instance is still evaluated and listed after a crash.
+func TestRecoverAfterReconfigureKeepsAddedTask(t *testing.T) {
+	r := newRig(t, engine.Config{})
+	gate := make(chan struct{})
+	r.impls.Bind("stage", func(ctx registry.Context) (registry.Result, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return registry.Result{}, errors.New("cancelled")
+		}
+		return registry.Result{Output: "done", Objects: registry.Objects{"out": ctx.Inputs()["in"]}}, nil
+	})
+	schema := workload.MustCompile("rc", workload.Chain(2))
+	inst, err := r.eng.Instantiate("rc", schema, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start("main", workload.Seed()); err != nil {
+		t.Fatal(err)
+	}
+	// app is executing, t1 blocked on the gate: reconfigure live.
+	if err := inst.Reconfigure(&engine.AddTaskOp{ScopePath: "app", Fragment: `
+task t9 of taskclass Stage
+{
+    implementation { "code" is "stage" };
+    inputs { input main { inputobject in from { in of task t1 if input main } } }
+}`}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() {
+		for {
+			select {
+			case gate <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	if _, err := inst.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := inst.Snapshot()
+	found := false
+	for _, row := range rows {
+		if row.Path == "app/t9" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("t9 missing from live snapshot")
+	}
+	inst.Stop()
+	r.eng.Close()
+
+	r2 := rigOver(t, r)
+	workload.Bind(r2.impls)
+	if _, err := r2.preg.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	inst2, err := r2.eng.Recover("rc", mustCompileSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows2, _ := inst2.Snapshot()
+	found2 := false
+	for _, row := range rows2 {
+		t.Logf("row: %+v", row)
+		if row.Path == "app/t9" {
+			found2 = true
+		}
+	}
+	if !found2 {
+		t.Fatal("t9 missing from post-recovery snapshot")
+	}
+}
+
+// TestRecoverActivatesMissingConstituents guards the other recovery
+// hole: a crash can land between a compound's start persisting and its
+// constituents' first persists, leaving an Executing compound with no
+// member runs on disk. Recovery must re-run constituent activation or
+// the instance stalls forever.
+func TestRecoverActivatesMissingConstituents(t *testing.T) {
+	r := newRig(t, engine.Config{})
+	gate := make(chan struct{})
+	r.impls.Bind("stage", func(ctx registry.Context) (registry.Result, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return registry.Result{}, errors.New("cancelled")
+		}
+		return registry.Result{Output: "done", Objects: registry.Objects{"out": ctx.Inputs()["in"]}}, nil
+	})
+	schema := workload.MustCompile("cc", workload.Chain(2))
+	inst, err := r.eng.Instantiate("cc", schema, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start("main", workload.Seed()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// "Crash" while the compound is executing: t1 is blocked on the gate.
+	if _, err := inst.WaitEvent(ctx, func(e engine.Event) bool {
+		return e.Kind == engine.EventTaskStarted && e.Task == "app/t1"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	inst.Stop()
+	r.eng.Close()
+
+	// Simulate the crash window: the compound started (and persisted) but
+	// no constituent state ever reached the store.
+	for _, path := range []string{"app%2Ft1", "app%2Ft2"} {
+		tx := r.preg.Manager().Begin()
+		if err := r.preg.Object(store.ID("inst/cc/run/" + path)).Delete(tx); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r2 := rigOver(t, r)
+	workload.Bind(r2.impls)
+	if _, err := r2.preg.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	inst2, err := r2.eng.Recover("cc", mustCompileSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	res, err := inst2.Wait(ctx2)
+	if err != nil {
+		t.Fatalf("recovered instance did not finish (stalled recovery hole): %v", err)
+	}
+	if res.Output != "done" || res.Objects["out"].Data.(string) != "seed" {
+		t.Fatalf("recovered result: %+v", res)
+	}
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"encoding/gob"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -126,9 +127,14 @@ func (r *run) terminalRec() *OutputRec {
 	return last
 }
 
-// runKey is the store ID of a run's persistent state.
+// runKey is the store ID of a run's persistent state. The task path is
+// collapsed into a single key segment ("/" becomes "%2F") because a
+// path-per-segment store (FileStore) would otherwise need the compound's
+// own run object ("inst/i/run/app", a file) to double as the directory
+// holding its constituents ("inst/i/run/app/t1") — constituent states
+// silently failed to persist.
 func runKey(instance, path string) store.ID {
-	return store.ID("inst/" + instance + "/run/" + path)
+	return store.ID("inst/" + instance + "/run/" + strings.ReplaceAll(path, "/", "%2F"))
 }
 
 // metaKey is the store ID of an instance's metadata.

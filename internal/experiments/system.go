@@ -390,6 +390,38 @@ func (x *X5Lossy) Close() {
 
 // --- Ablations ----------------------------------------------------------
 
+// Sched runs one synthetic workload through the engine under either the
+// dependency-indexed dirty-set scheduler or the legacy full-rescan
+// baseline (engine.Config.FullRescan). Persistence is ephemeral so the
+// measurement isolates scheduling cost; the Scheduler benchmarks and the
+// wfbench S1 rows drive it on deep chains and wide fan-ins.
+type Sched struct {
+	env    *Env
+	schema *coreSchema
+}
+
+// NewSched prepares the scheduler scenario for the named workload source.
+func NewSched(name, src string, fullRescan bool) *Sched {
+	env := NewEnv(nil, engine.Config{Ephemeral: true, FullRescan: fullRescan})
+	workload.Bind(env.Impls)
+	return &Sched{env: env, schema: Compile(name, src)}
+}
+
+// Run executes one workflow instance end to end.
+func (s *Sched) Run() error {
+	res, _, err := s.env.Run(s.schema, "main", workload.Seed())
+	if err != nil {
+		return err
+	}
+	if res.Output != "done" {
+		return fmt.Errorf("outcome %q", res.Output)
+	}
+	return nil
+}
+
+// Close releases the environment.
+func (s *Sched) Close() { s.env.Close() }
+
 // AblationEnv builds the diamond scenario over a chosen store and
 // persistence mode, for the design-decision benchmarks.
 func AblationEnv(st store.Store, ephemeral bool) (*Fig1, error) {

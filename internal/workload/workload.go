@@ -149,6 +149,33 @@ func FanOut(n int) string {
 	return Diamond(n)
 }
 
+// FanIn returns n parallel stages all fed by the root, gating a single
+// sink: the sink reads the root's seed and is notified by every stage
+// (an AND of n notification dependencies) — the widest possible join.
+func FanIn(n int) string {
+	var b strings.Builder
+	for i := 1; i <= n; i++ {
+		stage(&b, fmt.Sprintf("t%d", i), fromRoot)
+	}
+	fmt.Fprintf(&b, `
+    task sink of taskclass Stage
+    {
+        implementation { "code" is "stage" };
+        inputs
+        {
+            input main
+            {
+                inputobject in from { %s }`, fromRoot)
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, ";\n                notification from { task t%d if output done }", i)
+	}
+	b.WriteString(`
+            }
+        }
+    };`)
+	return wrap(b.String(), "sink")
+}
+
 // RandomDAG returns a random DAG of n stages where each stage reads from
 // a uniformly chosen earlier stage (or the root), with optional redundant
 // alternative sources. Deterministic for a given seed.

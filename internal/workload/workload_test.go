@@ -52,6 +52,7 @@ func TestGeneratorsCompileAndRun(t *testing.T) {
 		"chain":  workload.Chain(10),
 		"diam":   workload.Diamond(8),
 		"fan":    workload.FanOut(5),
+		"fanin":  workload.FanIn(6),
 		"dag":    workload.RandomDAG(20, 2, 42),
 		"nested": workload.Nested(3, 2),
 	}
