@@ -1,9 +1,11 @@
 # Tier-1 verification: the build may never regress to unbuildable again.
-# `make check` is what CI (and any contributor) runs before merging.
+# `make check` is what CI (.github/workflows/ci.yml) and any contributor
+# runs before merging; `make race` and `make cover` are the other two CI
+# entry points.
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test race cover bench
 
 check: fmt vet build test bench
 
@@ -19,6 +21,16 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Race-enabled pass over the whole module; the CI race job runs exactly
+# this, so local reproduction is one command.
+race:
+	$(GO) test -race ./...
+
+# Coverage profile plus a printed total (the last line of cover -func).
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
 
 # One iteration per benchmark: exercises every scenario end to end
 # without turning CI into a measurement run.

@@ -362,6 +362,42 @@ func BenchmarkAblationPersistence(b *testing.B) {
 	}
 }
 
+// BenchmarkPersistChain isolates durable-persistence cost on a deep
+// chain with fsync ENABLED (unlike BenchmarkAblationPersistence, which
+// disables it): the shadow-file FileStore vs the group-commit WALStore,
+// each under per-transition transactions (legacy) and batched-per-drain
+// persistence. The wal/batched configuration must beat file/per-transition
+// by well over 5x on the 1k chain — durability cost scales with commit
+// batches, not transitions.
+func BenchmarkPersistChain(b *testing.B) {
+	modes := []struct {
+		name          string
+		perTransition bool
+	}{
+		{"batched", false},
+		{"per-transition", true},
+	}
+	for _, n := range []int{100, 1000} {
+		for _, backend := range []string{"file", "wal"} {
+			for _, mode := range modes {
+				b.Run(fmt.Sprintf("tasks=%d/%s/%s", n, backend, mode.name), func(b *testing.B) {
+					p, err := experiments.NewPersistChain(backend, mode.perTransition, n, b.TempDir())
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer p.Close()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := p.Run(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkAblationTxn measures the raw transactional substrate: one
 // read-modify-write cycle on a persistent atomic object.
 func BenchmarkAblationTxn(b *testing.B) {

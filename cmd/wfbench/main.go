@@ -1,14 +1,17 @@
 // Command wfbench regenerates the paper's evaluation: it runs every
 // figure's scenario and the system-level experiments, verifies the
 // behaviour the paper claims, and prints the measurement table recorded
-// in EXPERIMENTS.md.
+// in EXPERIMENTS.md. With -json the table is also written as
+// machine-readable JSON (the format CI archives as BENCH_*.json); the
+// schema is documented on benchReport.
 //
 // Usage:
 //
-//	wfbench [-iters N] [-quick]
+//	wfbench [-iters N] [-quick] [-json path]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,13 +31,62 @@ type runner interface {
 	Close()
 }
 
+// benchRow is one measurement of the table, as emitted by -json.
+type benchRow struct {
+	// Exp is the experiment family ("F1".."F9", "X1".."X5", "ABL", "S1",
+	// "S2").
+	Exp string `json:"exp"`
+	// Scenario is the human-readable scenario label of the row.
+	Scenario string `json:"scenario"`
+	// MeanNs is the mean wall-clock time of one scenario run in
+	// nanoseconds.
+	MeanNs int64 `json:"mean_ns"`
+	// Note records the behaviour the run verified.
+	Note string `json:"note"`
+}
+
+// benchReport is the top-level -json document: schema_version guards
+// consumers against format drift, iterations is the -iters flag value
+// (individual rows may be measured with fewer iterations — the heavy
+// X1/ABL/S1/S2 scenarios cap themselves), generated_at is RFC 3339 UTC.
+type benchReport struct {
+	SchemaVersion int        `json:"schema_version"`
+	GeneratedAt   string     `json:"generated_at"`
+	Iterations    int        `json:"iterations"`
+	Quick         bool       `json:"quick"`
+	Rows          []benchRow `json:"rows"`
+}
+
+// rows accumulates the table for -json alongside the printed output.
+var rows []benchRow
+
 func main() {
 	iters := flag.Int("iters", 20, "iterations per measurement")
 	quick := flag.Bool("quick", false, "reduce sweep sizes for a fast pass")
+	jsonPath := flag.String("json", "", "also write the measurement table as JSON to this path")
 	flag.Parse()
 	if err := run(*iters, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "wfbench:", err)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		report := benchReport{
+			SchemaVersion: 1,
+			GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+			Iterations:    *iters,
+			Quick:         *quick,
+			Rows:          rows,
+		}
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfbench: encode json:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "wfbench: write json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d rows to %s\n", len(rows), *jsonPath)
 	}
 }
 
@@ -56,6 +108,7 @@ func measure(r runner, n int) (time.Duration, error) {
 
 func row(id, scenario string, mean time.Duration, note string) {
 	fmt.Printf("%-6s %-42s %12s   %s\n", id, scenario, mean.Round(time.Microsecond), note)
+	rows = append(rows, benchRow{Exp: id, Scenario: scenario, MeanNs: mean.Nanoseconds(), Note: note})
 }
 
 func run(iters int, quick bool) error {
@@ -290,6 +343,40 @@ func run(iters int, quick bool) error {
 				return fmt.Errorf("S1 %s/%s: %w", load.name, mode.name, err)
 			}
 			row("S1", load.name+" with "+mode.name, mean, "per-event scheduling cost ablation")
+		}
+	}
+
+	// S2 persistence ablation: durable (fsync-enabled) chain under the
+	// shadow-file store vs the group-commit WAL store, each with
+	// per-transition transactions (legacy) and batched-per-drain
+	// persistence. The wal+batched row is the production configuration.
+	persistN := 64
+	persistIters := iters
+	if quick {
+		persistN = 16
+	}
+	if persistIters > 3 {
+		persistIters = 3
+	}
+	for _, backend := range []string{"file", "wal"} {
+		for _, mode := range []struct {
+			name          string
+			perTransition bool
+		}{{"per-transition txns", true}, {"batched drains", false}} {
+			dir, err := os.MkdirTemp("", "wfbench-persist-*")
+			if err != nil {
+				return err
+			}
+			defer func() { _ = os.RemoveAll(dir) }()
+			p, err := experiments.NewPersistChain(backend, mode.perTransition, persistN, dir)
+			if err != nil {
+				return fmt.Errorf("S2 %s/%s: %w", backend, mode.name, err)
+			}
+			mean, err := measure(p, persistIters)
+			if err != nil {
+				return fmt.Errorf("S2 %s/%s: %w", backend, mode.name, err)
+			}
+			row("S2", fmt.Sprintf("chain(%d) durable, %s store, %s", persistN, backend, mode.name), mean, "group-commit + batch ablation (fsync on)")
 		}
 	}
 

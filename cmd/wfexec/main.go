@@ -1,7 +1,12 @@
 // Command wfexec runs the Workflow Execution Service (Fig. 4) as a
 // standalone daemon: it coordinates workflow instances whose schemas come
-// from a repository service, with dependency state in a crash-atomic file
-// store so instances survive restarts (pass -recover to resume them).
+// from a repository service, with dependency state in a durable store so
+// instances survive restarts (pass -recover to resume them).
+//
+// The -store flag selects the persistence backend: "wal" (default) is
+// the group-commit log-structured store, "file" the shadow-file-per-
+// object store, "mem" an in-memory store for throwaway runs (no state
+// survives the process).
 //
 // Task implementations resolve through the builtin pattern schemes
 // ("fixed:done", "sleep:50ms:done", "fail:2:done"); embedding
@@ -9,7 +14,7 @@
 //
 // Usage:
 //
-//	wfexec -addr 127.0.0.1:7002 -dir ./exec-state -repo 127.0.0.1:7001 [-naming host:port] [-recover]
+//	wfexec -addr 127.0.0.1:7002 -dir ./exec-state -repo 127.0.0.1:7001 [-store wal|file|mem] [-naming host:port] [-recover]
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"repro/internal/engine"
@@ -31,7 +37,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7002", "listen address")
-	dir := flag.String("dir", "wfexec-state", "state directory (file store)")
+	dir := flag.String("dir", "wfexec-state", "state directory (file and wal stores)")
+	storeKind := flag.String("store", "wal", "persistence backend: wal (group-commit log), file (shadow files), mem (volatile)")
 	repoAddr := flag.String("repo", "127.0.0.1:7001", "repository service address")
 	naming := flag.String("naming", "", "naming service address to register with (optional)")
 	doRecover := flag.Bool("recover", false, "recover persisted instances at startup")
@@ -39,20 +46,53 @@ func main() {
 	retries := flag.Int("retries", 3, "automatic retries for system-level task failures")
 	flag.Parse()
 
-	if err := run(*addr, *dir, *repoAddr, *naming, *doRecover, *noSync, *retries); err != nil {
+	if err := run(*addr, *dir, *storeKind, *repoAddr, *naming, *doRecover, *noSync, *retries); err != nil {
 		fmt.Fprintln(os.Stderr, "wfexec:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir, repoAddr, naming string, doRecover, noSync bool, retries int) error {
-	fs, err := store.NewFileStore(dir)
+// checkStoreLayout refuses to open a state directory written by a
+// different backend: a WALStore over a shadow-file directory (or vice
+// versa) would silently see an empty store and -recover would drop every
+// persisted instance.
+func checkStoreLayout(kind, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // fresh directory
+		}
+		return err
+	}
+	hasWAL, hasFile := false, false
+	for _, e := range entries {
+		switch {
+		case strings.HasPrefix(e.Name(), "wal-"), strings.HasPrefix(e.Name(), "snap-"):
+			hasWAL = true
+		case e.Name() == "inst" || e.Name() == "txlog" || e.Name() == "txdecision":
+			hasFile = true
+		}
+	}
+	if kind == "wal" && hasFile && !hasWAL {
+		return fmt.Errorf("state dir %s holds shadow-file store data; pass -store file (or a fresh -dir for wal)", dir)
+	}
+	if kind == "file" && hasWAL {
+		return fmt.Errorf("state dir %s holds wal store data; pass -store wal (or a fresh -dir for file)", dir)
+	}
+	return nil
+}
+
+func run(addr, dir, storeKind, repoAddr, naming string, doRecover, noSync bool, retries int) error {
+	if storeKind != "mem" {
+		if err := checkStoreLayout(storeKind, dir); err != nil {
+			return err
+		}
+	}
+	fs, closeStore, err := store.Open(storeKind, dir, !noSync)
 	if err != nil {
 		return err
 	}
-	if noSync {
-		fs.SetSync(false)
-	}
+	defer closeStore()
 	reg := persist.NewRegistry(fs, txn.NewManager(fs), nil)
 	if n, err := reg.Recover(); err != nil {
 		return fmt.Errorf("recover transactions: %w", err)

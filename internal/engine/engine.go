@@ -62,6 +62,13 @@ type Config struct {
 	// keywords). Remote failures are system-level failures: retried, then
 	// mapped to an abort outcome. See internal/taskexec.
 	RemoteInvoker RemoteInvoker
+	// PersistPerTransition selects the legacy persistence strategy that
+	// commits one transaction per run-state transition instead of
+	// coalescing every write of one evaluation drain into a single
+	// multi-object batch commit. It exists as the ablation baseline for
+	// the group-commit design decision; see the PersistChain benchmarks
+	// and the wfbench S2 rows.
+	PersistPerTransition bool
 	// FullRescan selects the legacy evaluation strategy that rescans
 	// every run in the instance to a fixed point after each event,
 	// instead of the dependency-indexed dirty-set scheduler. It exists as
@@ -394,6 +401,11 @@ type Instance struct {
 	deps      map[string]*consumers
 	dirty     map[string]struct{}
 	dirtyHeap []int
+	// pendingRuns buffers run-state writes (nil value = delete) between
+	// batch flushes, pendingOrder their first-buffered order; both owned
+	// by the loop goroutine. See persistRun/flushRuns in loop.go.
+	pendingRuns  map[string]*run
+	pendingOrder []string
 	// scans counts run examinations by the evaluator; the scheduler
 	// regression tests read it through Scans.
 	scans    atomic.Int64
@@ -423,19 +435,20 @@ type Instance struct {
 
 func (e *Engine) newInstance(id string, schema *core.Schema, root *core.Task) *Instance {
 	inst := &Instance{
-		eng:      e,
-		id:       id,
-		schema:   schema,
-		root:     root,
-		runs:     make(map[string]*run),
-		dirty:    make(map[string]struct{}),
-		evCh:     make(chan completionMsg, 64),
-		markCh:   make(chan markMsg),
-		reqCh:    make(chan func()),
-		stopCh:   make(chan struct{}),
-		loopDone: make(chan struct{}),
-		changed:  make(chan struct{}),
-		status:   StatusCreated,
+		eng:         e,
+		id:          id,
+		schema:      schema,
+		root:        root,
+		runs:        make(map[string]*run),
+		dirty:       make(map[string]struct{}),
+		pendingRuns: make(map[string]*run),
+		evCh:        make(chan completionMsg, 64),
+		markCh:      make(chan markMsg),
+		reqCh:       make(chan func()),
+		stopCh:      make(chan struct{}),
+		loopDone:    make(chan struct{}),
+		changed:     make(chan struct{}),
+		status:      StatusCreated,
 	}
 	inst.rebuildOrder()
 	return inst

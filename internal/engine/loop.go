@@ -133,6 +133,8 @@ func (i *Instance) evaluate() {
 		}
 	}
 	i.checkQuiescence()
+	// All run-state transitions of this pass become durable together.
+	i.flushRuns()
 }
 
 // evaluateFullRescan is the legacy strategy: satisfaction passes over
@@ -482,6 +484,10 @@ func (i *Instance) failRun(r *run, cause error) {
 // finishInstance records the instance result from the root's terminal
 // record.
 func (i *Instance) finishInstance(r *run) {
+	// Waiters observe the terminal status as soon as it is set: flush the
+	// buffered transitions (including the root's terminal state) so an
+	// acknowledged completion survives a crash.
+	i.flushRuns()
 	var res Result
 	if rec := r.terminalRec(); rec != nil {
 		res = Result{Output: rec.Output, Kind: rec.Kind, Objects: rec.Objects, State: r.st.State}
@@ -781,6 +787,9 @@ func (i *Instance) handleMark(msg markMsg) error {
 	r.st.MarksEmitted[msg.name] = true
 	r.st.Outputs = append(r.st.Outputs, rec)
 	i.persistRun(r)
+	// The reply acknowledges the mark to the implementation, which is
+	// then barred from aborting (Section 4.2): make it durable first.
+	i.flushRuns()
 	i.emit(Event{Task: r.st.Path, Kind: EventTaskMarked, Output: out.Name, Objects: objects, Iteration: r.st.Iteration})
 	i.noteOutput(r.st.Path)
 	return nil
@@ -830,12 +839,21 @@ func (i *Instance) abortTask(path, outcome string) error {
 	}
 }
 
-// persistRun writes a run's state through a transaction on its persistent
-// object. Persistence failures are surfaced as events (the in-memory
-// state remains authoritative for the live controller; recovery replays
-// from the last successfully persisted state).
+// persistRun records a run-state transition for persistence. In the
+// default batched mode the write is buffered and flushed together with
+// every other transition of the current evaluation drain as one
+// transaction batch (see flushRuns); with Config.PersistPerTransition it
+// commits immediately in its own transaction, the legacy discipline of
+// one atomic update per transition. Persistence failures are surfaced as
+// events (the in-memory state remains authoritative for the live
+// controller; recovery replays from the last successfully persisted
+// state).
 func (i *Instance) persistRun(r *run) {
 	if i.eng.cfg.Ephemeral {
+		return
+	}
+	if !i.eng.cfg.PersistPerTransition {
+		i.bufferRun(r.st.Path, r)
 		return
 	}
 	tx := i.eng.preg.Manager().Begin()
@@ -850,9 +868,14 @@ func (i *Instance) persistRun(r *run) {
 	}
 }
 
-// deleteRunState removes a reset constituent's persisted state.
+// deleteRunState removes a reset constituent's persisted state (same
+// batching discipline as persistRun).
 func (i *Instance) deleteRunState(path string) {
 	if i.eng.cfg.Ephemeral {
+		return
+	}
+	if !i.eng.cfg.PersistPerTransition {
+		i.bufferRun(path, nil)
 		return
 	}
 	tx := i.eng.preg.Manager().Begin()
@@ -864,6 +887,52 @@ func (i *Instance) deleteRunState(path string) {
 	}
 	if err != nil {
 		i.emit(Event{Task: path, Kind: EventTaskFailed, Err: fmt.Sprintf("delete run state: %v", err)})
+	}
+}
+
+// bufferRun stages one run-state write (r == nil: delete) for the next
+// flush. Later stagings of the same path supersede earlier ones — only
+// the state at flush time is durable, exactly the state recovery should
+// resume from. Owned by the loop goroutine.
+func (i *Instance) bufferRun(path string, r *run) {
+	if _, ok := i.pendingRuns[path]; !ok {
+		i.pendingOrder = append(i.pendingOrder, path)
+	}
+	i.pendingRuns[path] = r
+}
+
+// flushRuns commits every buffered run-state transition as one
+// multi-object transaction batch: one decision record — and, on a store
+// with batch support, one group-committed fsync for all intentions and
+// one for all states — per evaluation drain instead of per transition.
+// Crash-wise this moves the recovery point from "after any transition"
+// to "after any drain": an intermediate state a crash loses is
+// re-derived by recovery from the same inputs, which the crash-recovery
+// property tests pin. Called on the loop goroutine at the end of every
+// evaluation pass and before externally visible acknowledgements (mark
+// replies, instance completion).
+func (i *Instance) flushRuns() {
+	if len(i.pendingOrder) == 0 {
+		return
+	}
+	b := i.eng.preg.NewBatch()
+	paths := i.pendingOrder
+	for _, path := range paths {
+		r := i.pendingRuns[path]
+		if r == nil {
+			b.Delete(runKey(i.id, path))
+			continue
+		}
+		if err := b.Set(runKey(i.id, path), r.st); err != nil {
+			i.emit(Event{Task: path, Kind: EventTaskFailed, Err: fmt.Sprintf("persist run: %v", err)})
+		}
+	}
+	i.pendingOrder = nil
+	clear(i.pendingRuns)
+	if err := b.Commit(); err != nil {
+		for _, path := range paths {
+			i.emit(Event{Task: path, Kind: EventTaskFailed, Err: fmt.Sprintf("persist run: %v", err)})
+		}
 	}
 }
 

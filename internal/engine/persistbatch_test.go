@@ -1,0 +1,290 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/persist"
+	"repro/internal/registry"
+	"repro/internal/store"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// countingStore wraps a Store and counts committed transactions (by
+// decision-record writes) and total object writes. It deliberately does
+// NOT implement store.Batcher, so counts are exact per object.
+type countingStore struct {
+	store.Store
+	decisions atomic.Int64
+	writes    atomic.Int64
+}
+
+func (c *countingStore) Write(id store.ID, data []byte) error {
+	c.writes.Add(1)
+	if strings.HasPrefix(string(id), "txdecision/") {
+		c.decisions.Add(1)
+	}
+	return c.Store.Write(id, data)
+}
+
+// runChainCounting executes one n-task chain over a counting store and
+// returns the number of transaction decisions it cost.
+func runChainCounting(t *testing.T, n int, cfg engine.Config) int64 {
+	t.Helper()
+	cs := &countingStore{Store: store.NewMemStore()}
+	preg := persist.NewRegistry(cs, txn.NewManager(cs), nil)
+	impls := registry.New()
+	workload.Bind(impls)
+	cfg.VerifyScheduler = true
+	eng := engine.New(preg, impls, cfg)
+	t.Cleanup(eng.Close)
+
+	schema := workload.MustCompile("pc", workload.Chain(n))
+	inst, err := eng.Instantiate("pc", schema, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start("main", workload.Seed()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := inst.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "done" {
+		t.Fatalf("outcome %q", res.Output)
+	}
+	inst.Stop()
+	return cs.decisions.Load()
+}
+
+// TestBatchedPersistOneTxnPerDrain pins the tentpole invariant: batched
+// persistence coalesces all run-state writes of one dirty-set drain into
+// a single transaction, so a chain of n tasks costs O(n) decisions (one
+// per completion-event drain plus a constant) instead of the legacy
+// one-per-transition ~3n.
+func TestBatchedPersistOneTxnPerDrain(t *testing.T) {
+	const n = 16
+	batched := runChainCounting(t, n, engine.Config{})
+	legacy := runChainCounting(t, n, engine.Config{PersistPerTransition: true})
+
+	// Batched: instantiate + meta + one batch per drain. A chain drains
+	// once per completion event plus start and finish, so ~n+4 decisions.
+	if batched > int64(n+6) {
+		t.Fatalf("batched mode used %d transactions for a %d-chain, want <= %d (one per drain)", batched, n, n+6)
+	}
+	// Legacy pays one transaction per transition: waiting + started +
+	// completed per task, and must remain strictly more expensive.
+	if legacy < 3*int64(n) {
+		t.Fatalf("legacy mode used %d transactions, expected >= %d (one per transition)", legacy, 3*n)
+	}
+	if batched*2 >= legacy {
+		t.Fatalf("batched (%d txns) is not clearly cheaper than legacy (%d txns)", batched, legacy)
+	}
+}
+
+// TestPersistPerTransitionMatchesBatched is a differential check: both
+// persistence strategies must produce identical terminal results and
+// identical durable run states for the same workload.
+func TestPersistPerTransitionMatchesBatched(t *testing.T) {
+	durable := func(cfg engine.Config) ([]store.ID, engine.Result) {
+		st := store.NewMemStore()
+		preg := persist.NewRegistry(st, txn.NewManager(st), nil)
+		impls := registry.New()
+		workload.Bind(impls)
+		cfg.VerifyScheduler = true
+		eng := engine.New(preg, impls, cfg)
+		t.Cleanup(eng.Close)
+		schema := workload.MustCompile("diffp", workload.Diamond(4))
+		inst, err := eng.Instantiate("diffp", schema, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Start("main", workload.Seed()); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		res, err := inst.Wait(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Stop()
+		ids, err := st.List("inst/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ids, res
+	}
+	batchedIDs, batchedRes := durable(engine.Config{})
+	legacyIDs, legacyRes := durable(engine.Config{PersistPerTransition: true})
+	if batchedRes.Output != legacyRes.Output || batchedRes.State != legacyRes.State {
+		t.Fatalf("results diverged: batched %+v, legacy %+v", batchedRes, legacyRes)
+	}
+	if fmt.Sprint(batchedIDs) != fmt.Sprint(legacyIDs) {
+		t.Fatalf("durable object sets diverged:\nbatched: %v\nlegacy:  %v", batchedIDs, legacyIDs)
+	}
+}
+
+// walRig is an engine stack over a WALStore directory, reopenable to
+// simulate a full process crash (close the store, reopen from disk).
+type walRig struct {
+	ws    *store.WALStore
+	preg  *persist.Registry
+	impls *registry.Registry
+	eng   *engine.Engine
+}
+
+func newWalRig(t *testing.T, dir string) *walRig {
+	t.Helper()
+	ws, err := store.NewWALStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ws.Close() })
+	preg := persist.NewRegistry(ws, txn.NewManager(ws), nil)
+	impls := registry.New()
+	eng := engine.New(preg, impls, engine.Config{VerifyScheduler: true})
+	t.Cleanup(eng.Close)
+	return &walRig{ws: ws, preg: preg, impls: impls, eng: eng}
+}
+
+// TestWALBackendCrashRecovery runs the engine's crash-recovery scenario
+// against the WAL backend end to end: run a chain to its k-th
+// completion, stop everything, reopen the store from its directory (real
+// replay path), recover, finish — completed tasks must not re-run.
+func TestWALBackendCrashRecovery(t *testing.T) {
+	const n, k = 5, 2
+	dir := t.TempDir()
+	r := newWalRig(t, dir)
+	workload.Bind(r.impls)
+	schema := workload.MustCompile("walcrash", workload.Chain(n))
+	inst, err := r.eng.Instantiate("walcrash", schema, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start("main", workload.Seed()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := inst.WaitEvent(ctx, func(e engine.Event) bool {
+		return e.Kind == engine.EventTaskCompleted && e.Task == fmt.Sprintf("app/t%d", k)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	inst.Stop()
+	r.eng.Close()
+	if err := r.ws.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Process restart: everything rebuilt from the WAL directory.
+	r2 := newWalRig(t, dir)
+	workload.Bind(r2.impls)
+	if _, err := r2.preg.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	inst2, err := r2.eng.Recover("walcrash", mustCompileSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	res, err := inst2.Wait(ctx2)
+	if err != nil {
+		t.Fatalf("recovered instance did not finish: %v", err)
+	}
+	if res.Output != "done" || res.Objects["out"].Data.(string) != "seed" {
+		t.Fatalf("recovered result: %+v", res)
+	}
+	for _, e := range inst2.Events() {
+		if e.Kind == engine.EventTaskStarted {
+			var idx int
+			if _, err := fmt.Sscanf(e.Task, "app/t%d", &idx); err == nil && idx <= k {
+				t.Fatalf("t%d re-executed after WAL recovery", idx)
+			}
+		}
+	}
+}
+
+// TestWALBackendRecoverReconfigured mirrors the reconfiguration recovery
+// regression over the WAL backend: a task added to a running instance
+// must survive a crash+replay cycle through segment files.
+func TestWALBackendRecoverReconfigured(t *testing.T) {
+	dir := t.TempDir()
+	r := newWalRig(t, dir)
+	gate := make(chan struct{})
+	r.impls.Bind("stage", func(ctx registry.Context) (registry.Result, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return registry.Result{}, errors.New("cancelled")
+		}
+		return registry.Result{Output: "done", Objects: registry.Objects{"out": ctx.Inputs()["in"]}}, nil
+	})
+	schema := workload.MustCompile("walrc", workload.Chain(2))
+	inst, err := r.eng.Instantiate("walrc", schema, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start("main", workload.Seed()); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Reconfigure(&engine.AddTaskOp{ScopePath: "app", Fragment: `
+task t9 of taskclass Stage
+{
+    implementation { "code" is "stage" };
+    inputs { input main { inputobject in from { in of task t1 if input main } } }
+}`}); err != nil {
+		t.Fatal(err)
+	}
+	inst.Stop()
+	r.eng.Close()
+	if err := r.ws.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := newWalRig(t, dir)
+	workload.Bind(r2.impls)
+	if _, err := r2.preg.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	inst2, err := r2.eng.Recover("walrc", mustCompileSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() {
+		for {
+			select {
+			case gate <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	if _, err := inst2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := inst2.Snapshot()
+	found := false
+	for _, row := range rows {
+		if row.Path == "app/t9" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("reconfiguration-added t9 missing after WAL crash recovery")
+	}
+}

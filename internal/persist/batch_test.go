@@ -1,0 +1,185 @@
+package persist_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/persist"
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+func TestBatchCommitAppliesAll(t *testing.T) {
+	st := store.NewMemStore()
+	reg := newReg(st)
+
+	// Pre-existing object the batch deletes.
+	tx := reg.Manager().Begin()
+	if err := reg.Object("old").Set(tx, account{Balance: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	b := reg.NewBatch()
+	if err := b.Set("a", account{Owner: "ann", Balance: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set("b", account{Owner: "bob", Balance: 20}); err != nil {
+		t.Fatal(err)
+	}
+	b.Delete("old")
+	if err := b.Set("a", account{Owner: "ann", Balance: 11}); err != nil { // restage wins
+		t.Fatal(err)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("batch len = %d, want 3", b.Len())
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var a account
+	if err := reg.Object("a").Peek(&a); err != nil || a.Balance != 11 {
+		t.Fatalf("a = %+v, %v; want restaged balance 11", a, err)
+	}
+	if err := reg.Object("b").Peek(&a); err != nil || a.Balance != 20 {
+		t.Fatalf("b = %+v, %v", a, err)
+	}
+	if err := reg.Object("old").Peek(&a); !errors.Is(err, persist.ErrNoState) {
+		t.Fatalf("old survived batch delete: %v", err)
+	}
+	// No log residue.
+	ids, _ := st.List("tx")
+	if len(ids) != 0 {
+		t.Fatalf("log not cleaned: %v", ids)
+	}
+}
+
+func TestBatchEmptyCommitIsNoop(t *testing.T) {
+	reg := newReg(store.NewMemStore())
+	if err := reg.NewBatch().Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Manager().Active() != 0 {
+		t.Fatal("empty batch leaked a transaction")
+	}
+}
+
+// TestBatchCrashRecovery pins the recovery equivalence: a batch whose
+// phase 2 failed after the decision rolls forward through the same
+// Registry.Recover path as unbatched commits, applying puts and
+// tombstones alike.
+func TestBatchCrashRecovery(t *testing.T) {
+	st := store.NewMemStore()
+	fs := &failWrites{Store: st, failID: "batch/x"}
+	mgr := txn.NewManager(fs)
+	reg := persist.NewRegistry(fs, mgr, nil)
+
+	tx := mgr.Begin()
+	if err := reg.Object("batch/victim").Set(tx, account{Balance: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	b := reg.NewBatch()
+	if err := b.Set("batch/x", account{Owner: "x", Balance: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set("batch/y", account{Owner: "y", Balance: 2}); err != nil {
+		t.Fatal(err)
+	}
+	b.Delete("batch/victim")
+	if err := b.Commit(); err == nil {
+		t.Fatal("commit should report the injected phase-2 failure")
+	}
+
+	// Crash: recover over the same store with fresh handles.
+	reg2 := persist.NewRegistry(st, txn.NewManager(st), nil)
+	n, err := reg2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d transactions, want 1", n)
+	}
+	var a account
+	if err := reg2.Object("batch/x").Peek(&a); err != nil || a.Balance != 1 {
+		t.Fatalf("batch/x after recovery = %+v, %v", a, err)
+	}
+	if err := reg2.Object("batch/y").Peek(&a); err != nil || a.Balance != 2 {
+		t.Fatalf("batch/y after recovery = %+v, %v", a, err)
+	}
+	if err := reg2.Object("batch/victim").Peek(&a); !errors.Is(err, persist.ErrNoState) {
+		t.Fatalf("tombstone not replayed: %v", err)
+	}
+}
+
+// TestBatchTakesWriteLocks checks a batch serialises against Object
+// transactions: while another family holds a write lock on a staged ID,
+// the batch commit times out instead of racing it.
+func TestBatchTakesWriteLocks(t *testing.T) {
+	st := store.NewMemStore()
+	mgr := txn.NewManager(st)
+	lm := txn.NewLockManager(40 * 1e6) // 40ms
+	reg := persist.NewRegistry(st, mgr, lm)
+
+	holder := mgr.Begin()
+	if err := reg.Object("contested").Set(holder, account{Balance: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	b := reg.NewBatch()
+	if err := b.Set("contested", account{Balance: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); !errors.Is(err, txn.ErrLockTimeout) {
+		t.Fatalf("batch against held write lock: %v, want lock timeout", err)
+	}
+	if err := holder.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Lock released: a fresh batch goes through.
+	b2 := reg.NewBatch()
+	if err := b2.Set("contested", account{Balance: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var a account
+	if err := reg.Object("contested").Peek(&a); err != nil || a.Balance != 3 {
+		t.Fatalf("contested = %+v, %v", a, err)
+	}
+}
+
+// TestBatchSingleDecisionOnWAL pins the fsync economics the engine
+// relies on: committing N objects in one batch over a WALStore costs a
+// constant number of fsyncs (intentions+decision, states, cleanup), not
+// O(N).
+func TestBatchSingleDecisionOnWAL(t *testing.T) {
+	ws, err := store.NewWALStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	reg := persist.NewRegistry(ws, txn.NewManager(ws), nil)
+	b := reg.NewBatch()
+	for i := 0; i < 50; i++ {
+		if err := b.Set(store.ID(rune('a'+i%26))+"/obj", account{Balance: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := ws.Syncs()
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Intentions+decision is one synced append, the states another; the
+	// log cleanup is lazy (no fsync of its own).
+	if got := ws.Syncs() - before; got != 2 {
+		t.Fatalf("batch commit cost %d fsyncs, want 2 (intentions+decision, states)", got)
+	}
+}

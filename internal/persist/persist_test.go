@@ -172,24 +172,23 @@ func TestWriteLockIsolation(t *testing.T) {
 }
 
 func TestCrashRecoveryRollsForward(t *testing.T) {
-	// Simulate a crash between the commit decision and phase 2 by
-	// preparing + logging the decision manually, then recovering.
+	// Simulate a crash between the commit decision and phase 2: the
+	// object's durable write fails after the decision record reached the
+	// log, which must leave the log intact for recovery to roll forward.
 	st := store.NewMemStore()
-	mgr := txn.NewManager(st)
-	reg := persist.NewRegistry(st, mgr, nil)
+	fs := &failWrites{Store: st, failID: "acct"}
+	mgr := txn.NewManager(fs)
+	reg := persist.NewRegistry(fs, mgr, nil)
 	obj := reg.Object("acct")
 
 	tx := mgr.Begin()
 	if err := obj.Set(tx, account{Balance: 7}); err != nil {
 		t.Fatal(err)
 	}
-	if err := obj.Prepare(tx); err != nil {
-		t.Fatal(err)
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit should report the injected phase-2 failure")
 	}
-	if err := st.Write(store.ID("txdecision/"+string(tx.ID())), []byte("commit")); err != nil {
-		t.Fatal(err)
-	}
-	// Crash: nothing applied to the object's durable state yet.
+	// Crash window: decided, but nothing applied to the durable state.
 	var a account
 	if err := obj.Peek(&a); !errors.Is(err, persist.ErrNoState) {
 		t.Fatalf("pre-recovery peek: %v, want ErrNoState", err)
@@ -326,4 +325,19 @@ func TestRoundTripProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// failWrites injects a durable-write failure for one object ID; log
+// writes pass through, simulating a crash between the commit decision
+// and phase 2.
+type failWrites struct {
+	store.Store
+	failID store.ID
+}
+
+func (f *failWrites) Write(id store.ID, data []byte) error {
+	if id == f.failID {
+		return fmt.Errorf("write %s: injected failure", id)
+	}
+	return f.Store.Write(id, data)
 }

@@ -39,6 +39,9 @@ var _ Store = (*FileStore)(nil)
 
 // NewFileStore opens (creating if needed) a file store rooted at dir.
 func NewFileStore(dir string) (*FileStore, error) {
+	// Cleaned so ancestor walks (Write's directory syncs) terminate on an
+	// exact match with filepath.Dir results.
+	dir = filepath.Clean(dir)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("open file store: %w", err)
 	}
@@ -140,7 +143,15 @@ func (s *FileStore) Write(id ID, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := s.path(id)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	parent := filepath.Dir(p)
+	// Remember whether MkdirAll creates directories: their entries in the
+	// ancestors must then be fsynced too, or a crash can drop the whole
+	// fresh subtree including the committed object. The store never
+	// removes directories, so an existing parent means existing ancestors
+	// and the common case pays a single Stat.
+	_, statErr := os.Stat(parent)
+	freshDirs := os.IsNotExist(statErr)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
 		return fmt.Errorf("write %s: %w", id, err)
 	}
 	shadow, err := os.CreateTemp(filepath.Dir(p), ".shadow-*")
@@ -168,19 +179,50 @@ func (s *FileStore) Write(id ID, data []byte) error {
 	if err := os.Rename(shadowName, p); err != nil {
 		return fmt.Errorf("write %s: %w", id, err)
 	}
+	// The rename itself lives in the directory: without a directory sync
+	// a crash can lose a "successfully committed" write even though the
+	// shadow file's contents were fsynced. Newly created ancestors need
+	// the same treatment up to the store root.
+	if s.sync {
+		for dir := parent; ; dir = filepath.Dir(dir) {
+			if err := syncDir(dir); err != nil {
+				return fmt.Errorf("write %s: sync dir: %w", id, err)
+			}
+			if !freshDirs || dir == s.dir {
+				break
+			}
+		}
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so entry creations, renames and removals in
+// it survive power loss. Tests replace it to count invocations.
+var syncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Delete implements Store.
 func (s *FileStore) Delete(id ID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	err := os.Remove(s.path(id))
+	p := s.path(id)
+	err := os.Remove(p)
 	if os.IsNotExist(err) {
 		return fmt.Errorf("delete %s: %w", id, ErrNotFound)
 	}
 	if err != nil {
 		return fmt.Errorf("delete %s: %w", id, err)
+	}
+	if s.sync {
+		if err := syncDir(filepath.Dir(p)); err != nil {
+			return fmt.Errorf("delete %s: sync dir: %w", id, err)
+		}
 	}
 	return nil
 }

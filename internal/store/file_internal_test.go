@@ -1,0 +1,79 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestFileStoreSyncsParentDir is the regression test for the durability
+// gap where Write/Delete fsynced file contents but never the directory
+// holding the rename/remove: a crash after a "successful" commit could
+// lose the rename itself.
+func TestFileStoreSyncsParentDir(t *testing.T) {
+	orig := syncDir
+	defer func() { syncDir = orig }()
+	var synced []string
+	syncDir = func(dir string) error {
+		synced = append(synced, dir)
+		return orig(dir)
+	}
+
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	contains := func(dirs []string, want string) bool {
+		for _, d := range dirs {
+			if d == want {
+				return true
+			}
+		}
+		return false
+	}
+
+	synced = nil
+	if err := s.Write("sub/obj", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(dir, "sub")
+	if !contains(synced, want) {
+		t.Fatalf("Write did not sync parent dir %s (synced: %v)", want, synced)
+	}
+	// The parent was freshly created: its entry in the store root must be
+	// made durable too.
+	if !contains(synced, dir) {
+		t.Fatalf("Write did not sync ancestor %s of a fresh subtree (synced: %v)", dir, synced)
+	}
+
+	// A second write into the existing subtree syncs only the parent.
+	synced = nil
+	if err := s.Write("sub/obj", []byte("x2")); err != nil {
+		t.Fatal(err)
+	}
+	if !contains(synced, want) || contains(synced, dir) {
+		t.Fatalf("existing-subtree write synced %v, want just %s", synced, want)
+	}
+
+	synced = nil
+	if err := s.Delete("sub/obj"); err != nil {
+		t.Fatal(err)
+	}
+	if !contains(synced, want) {
+		t.Fatalf("Delete did not sync parent dir %s (synced: %v)", want, synced)
+	}
+
+	// SetSync(false) must skip the directory sync too.
+	s.SetSync(false)
+	synced = nil
+	if err := s.Write("sub/obj2", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("sub/obj2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 0 {
+		t.Fatalf("nosync mode still synced dirs: %v", synced)
+	}
+}

@@ -3,10 +3,12 @@
 // where inter-task dependency state, transaction intentions and service
 // metadata are recorded so that they survive processor crashes.
 //
-// Two implementations are provided: a crash-atomic file store (shadow
-// write + rename, the same discipline as Arjuna's object store) and an
-// in-memory store used for tests and as the ablation baseline for the
-// persistence design decision.
+// Three implementations are provided: a crash-atomic file store (shadow
+// write + rename, the same discipline as Arjuna's object store), a
+// log-structured store with group commit (WALStore: segment files,
+// coalesced fsyncs, snapshot compaction), and an in-memory store used
+// for tests and as the ablation baseline for the persistence design
+// decision.
 package store
 
 import (
@@ -38,6 +40,92 @@ type Store interface {
 	Delete(id ID) error
 	// List returns the IDs with the given prefix, in lexical order.
 	List(prefix ID) ([]ID, error)
+}
+
+// BatchOp is one element of a batch application: a put of Data under ID,
+// or (Delete true) a removal of ID.
+type BatchOp struct {
+	ID     ID
+	Data   []byte
+	Delete bool
+}
+
+// Batcher is an optional Store capability: applying many puts and
+// deletes with one durability round trip (WALStore appends the whole
+// batch and fsyncs once). Ops are applied in order; a crash may persist
+// only a prefix of the batch, never a reordering. Deleting a missing
+// object within a batch is not an error.
+type Batcher interface {
+	ApplyBatch(ops []BatchOp) error
+}
+
+// LazyBatcher is an optional Store capability for best-effort batch
+// application: the ops are applied and will become durable eventually
+// (on WALStore, with the next synced append), but no fsync is paid up
+// front. Callers must tolerate the batch being lost in a crash — the
+// transaction log cleanup is the intended user (leftover entries are
+// replayed idempotently by recovery).
+type LazyBatcher interface {
+	ApplyBatchLazy(ops []BatchOp) error
+}
+
+// ApplyBatchBestEffort applies ops with the cheapest available
+// discipline: LazyBatcher when present, else the regular ApplyBatch
+// path. For cleanup whose loss is harmless.
+func ApplyBatchBestEffort(st Store, ops []BatchOp) error {
+	if lb, ok := st.(LazyBatcher); ok {
+		return lb.ApplyBatchLazy(ops)
+	}
+	return ApplyBatch(st, ops)
+}
+
+// ApplyBatch applies ops through the store's Batcher fast path when it
+// has one, else sequentially with Write/Delete (missing deletes are
+// ignored, matching Batcher semantics).
+func ApplyBatch(st Store, ops []BatchOp) error {
+	if b, ok := st.(Batcher); ok {
+		return b.ApplyBatch(ops)
+	}
+	for _, op := range ops {
+		if op.Delete {
+			if err := st.Delete(op.ID); err != nil && !errors.Is(err, ErrNotFound) {
+				return err
+			}
+			continue
+		}
+		if err := st.Write(op.ID, op.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Open opens the named store backend: "mem" (volatile), "file" (shadow
+// files, FileStore) or "wal" (group-commit log, WALStore). dir hosts the
+// durable backends' state; sync controls fsync. The returned closer is
+// never nil. It backs cmd/wfexec's -store flag and the benchmark
+// harness, so both select backends identically.
+func Open(backend, dir string, sync bool) (Store, func(), error) {
+	switch backend {
+	case "mem":
+		return NewMemStore(), func() {}, nil
+	case "file":
+		fs, err := NewFileStore(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		fs.SetSync(sync)
+		return fs, func() {}, nil
+	case "wal":
+		ws, err := NewWALStore(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		ws.SetSync(sync)
+		return ws, func() { _ = ws.Close() }, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown store backend %q (want wal, file or mem)", backend)
+	}
 }
 
 // MemStore is an in-memory Store. The zero value is ready to use.

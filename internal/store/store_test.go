@@ -19,9 +19,16 @@ func stores(t *testing.T) map[string]store.Store {
 		t.Fatal(err)
 	}
 	fs.SetSync(false) // tests do not simulate power loss
+	ws, err := store.NewWALStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.SetSync(false)
+	t.Cleanup(func() { _ = ws.Close() })
 	return map[string]store.Store{
 		"mem":  store.NewMemStore(),
 		"file": fs,
+		"wal":  ws,
 	}
 }
 

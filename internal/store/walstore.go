@@ -1,0 +1,768 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// WALStore is a log-structured Store with group commit. Every put and
+// delete is appended as a length-prefixed, checksummed record to the
+// active segment file; the current state of every object is kept in an
+// in-memory read-through index rebuilt from the segments on open. All
+// writers that arrive while an fsync is in flight are coalesced into a
+// single group commit — one fsync amortised over all of them — which is
+// what makes durability cost scale with commit *batches* instead of
+// state transitions (the shadow-file FileStore pays a file create, an
+// fsync and a rename per object per write).
+//
+// Recovery tolerates a torn tail record (a crash mid-append) by
+// truncating the segment at the last fully checksummed record. Once the
+// garbage in segment files (superseded puts, deletes and their victims)
+// crosses a threshold, closed segments are compacted into a snapshot
+// file holding only live objects; a crash at any point of compaction
+// leaves either the old segments or the snapshot authoritative, never a
+// mix (snapshots are only honoured when their completion marker made it
+// to disk, and superseded segments are re-deleted on the next open).
+type WALStore struct {
+	dir string
+
+	// mu guards the index, the garbage accounting and the commit queue.
+	mu    sync.Mutex
+	index map[ID][]byte
+	// segIDs holds the IDs whose current record lives in a segment file
+	// (as opposed to the snapshot): only superseding those creates
+	// segment garbage, which is what the compaction trigger counts.
+	segIDs map[ID]struct{}
+	// records and garbage count the records held by segment files not
+	// covered by a snapshot, and how many of those are dead weight.
+	records int
+	garbage int
+	queue   []*walCommit
+	// inflight holds the ops a leader has dequeued but not yet applied to
+	// the index; Delete's existence check folds queue and inflight over
+	// the index so serialisation matches the other Store implementations.
+	inflight []*walCommit
+	closed   bool
+
+	// flushMu serialises segment appends and fsyncs; the holder is the
+	// group-commit leader and flushes everyone queued under mu.
+	flushMu    sync.Mutex
+	f          *os.File
+	activeSeq  uint64
+	activeSize int64
+	// wedged (flushMu held) is set when a failed append could not be
+	// rolled back, or an fsync failed: the segment may hold a torn record
+	// that replay would treat as the tail, silently dropping anything
+	// appended after it — so nothing may be appended after it. Commits
+	// fail until the store is reopened (replay truncates the tear).
+	wedged error
+
+	sync             bool
+	syncs            atomic.Int64
+	compactErr       atomic.Pointer[error]
+	maxSegmentBytes  int64
+	compactThreshold int
+}
+
+var (
+	_ Store   = (*WALStore)(nil)
+	_ Batcher = (*WALStore)(nil)
+)
+
+// walCommit is one queued batch waiting for the group-commit leader.
+type walCommit struct {
+	buf  []byte
+	ops  []BatchOp
+	done chan error
+	// lazy batches do not require their own fsync: their durability rides
+	// on the next synced append (appends are ordered, so any later fsync
+	// covers them). Used for best-effort cleanup whose loss is harmless.
+	lazy bool
+}
+
+// allLazy reports whether every queued batch waived its fsync.
+func allLazy(q []*walCommit) bool {
+	for _, c := range q {
+		if !c.lazy {
+			return false
+		}
+	}
+	return true
+}
+
+// Record ops. A record is [4B payload length][4B IEEE CRC32 of payload]
+// [payload]; the payload is the op byte followed by op-specific fields.
+const (
+	walOpPut      = 'p' // [4B id length][id][data]
+	walOpDelete   = 'd' // [4B id length][id]
+	walOpComplete = 'c' // snapshot completion marker, no fields
+)
+
+const (
+	walSegPrefix  = "wal-"
+	walSnapPrefix = "snap-"
+	walSuffix     = ".seg"
+
+	defaultMaxSegmentBytes  = 4 << 20
+	defaultCompactThreshold = 8192
+)
+
+// NewWALStore opens (creating if needed) a WAL store rooted at dir,
+// replaying the newest complete snapshot and every later segment.
+func NewWALStore(dir string) (*WALStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("open wal store: %w", err)
+	}
+	s := &WALStore{
+		dir:              dir,
+		index:            make(map[ID][]byte),
+		segIDs:           make(map[ID]struct{}),
+		sync:             true,
+		maxSegmentBytes:  defaultMaxSegmentBytes,
+		compactThreshold: defaultCompactThreshold,
+	}
+	if err := s.load(); err != nil {
+		return nil, fmt.Errorf("open wal store: %w", err)
+	}
+	return s, nil
+}
+
+// SetSync controls whether commits fsync the segment (default true).
+func (s *WALStore) SetSync(on bool) {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	s.sync = on
+}
+
+// SetCompactThreshold overrides the garbage-record count that triggers
+// compaction (n <= 0 restores the default); tests use small values.
+func (s *WALStore) SetCompactThreshold(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 {
+		n = defaultCompactThreshold
+	}
+	s.compactThreshold = n
+}
+
+// SetMaxSegmentBytes overrides the rotation size (n <= 0 restores the
+// default); tests use small values.
+func (s *WALStore) SetMaxSegmentBytes(n int64) {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	if n <= 0 {
+		n = defaultMaxSegmentBytes
+	}
+	s.maxSegmentBytes = n
+}
+
+// Dir returns the root directory of the store.
+func (s *WALStore) Dir() string { return s.dir }
+
+// Syncs reports the number of fsyncs issued so far: the group-commit
+// benchmarks assert it stays far below the number of commits.
+func (s *WALStore) Syncs() int64 { return s.syncs.Load() }
+
+// Len returns the number of live objects (diagnostics and tests).
+func (s *WALStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Close flushes queued commits and closes the active segment. Further
+// operations fail.
+func (s *WALStore) Close() error {
+	s.flushMu.Lock()
+	s.mu.Lock()
+	q := s.queue
+	s.queue = nil
+	s.closed = true
+	s.mu.Unlock()
+	err := s.appendLocked(q)
+	if cerr := s.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	s.flushMu.Unlock()
+	return err
+}
+
+// --- record encoding ---------------------------------------------------
+
+func appendRecord(buf []byte, payload []byte) []byte {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	return append(append(buf, hdr[:]...), payload...)
+}
+
+func encodeOp(buf []byte, op BatchOp) []byte {
+	var payload []byte
+	if op.Delete {
+		payload = make([]byte, 0, 5+len(op.ID))
+		payload = append(payload, walOpDelete)
+	} else {
+		payload = make([]byte, 0, 5+len(op.ID)+len(op.Data))
+		payload = append(payload, walOpPut)
+	}
+	var idlen [4]byte
+	binary.BigEndian.PutUint32(idlen[:], uint32(len(op.ID)))
+	payload = append(payload, idlen[:]...)
+	payload = append(payload, op.ID...)
+	if !op.Delete {
+		payload = append(payload, op.Data...)
+	}
+	return appendRecord(buf, payload)
+}
+
+// decodePayload parses one record payload into an op.
+func decodePayload(payload []byte) (BatchOp, byte, error) {
+	if len(payload) == 0 {
+		return BatchOp{}, 0, fmt.Errorf("empty record")
+	}
+	kind := payload[0]
+	switch kind {
+	case walOpComplete:
+		return BatchOp{}, kind, nil
+	case walOpPut, walOpDelete:
+		if len(payload) < 5 {
+			return BatchOp{}, 0, fmt.Errorf("short record")
+		}
+		n := binary.BigEndian.Uint32(payload[1:])
+		if int(n) > len(payload)-5 {
+			return BatchOp{}, 0, fmt.Errorf("id length %d exceeds record", n)
+		}
+		op := BatchOp{ID: ID(payload[5 : 5+n]), Delete: kind == walOpDelete}
+		if kind == walOpPut {
+			op.Data = append([]byte(nil), payload[5+n:]...)
+		}
+		return op, kind, nil
+	default:
+		return BatchOp{}, 0, fmt.Errorf("unknown record op %q", kind)
+	}
+}
+
+// scanRecords reads records from path, calling apply for each fully
+// checksummed one, and returns the offset after the last good record and
+// whether a snapshot completion marker ended the scan. Torn or corrupt
+// tails stop the scan without error: a crash mid-append loses only the
+// suffix that never fully reached the disk.
+func scanRecords(path string, apply func(BatchOp) error) (valid int64, complete bool, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false, err
+	}
+	off := 0
+	for {
+		if len(raw)-off < 8 {
+			return int64(off), false, nil
+		}
+		n := int(binary.BigEndian.Uint32(raw[off:]))
+		sum := binary.BigEndian.Uint32(raw[off+4:])
+		if len(raw)-off-8 < n {
+			return int64(off), false, nil // torn tail
+		}
+		payload := raw[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return int64(off), false, nil // corrupt tail
+		}
+		op, kind, err := decodePayload(payload)
+		if err != nil {
+			return int64(off), false, nil // corrupt tail
+		}
+		off += 8 + n
+		if kind == walOpComplete {
+			return int64(off), true, nil
+		}
+		if apply != nil {
+			if err := apply(op); err != nil {
+				return int64(off), false, err
+			}
+		}
+	}
+}
+
+// --- open / replay -----------------------------------------------------
+
+func walSegName(seq uint64) string  { return fmt.Sprintf("%s%012d%s", walSegPrefix, seq, walSuffix) }
+func walSnapName(seq uint64) string { return fmt.Sprintf("%s%012d%s", walSnapPrefix, seq, walSuffix) }
+
+func parseSeq(name, prefix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, walSuffix) {
+		return 0, false
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(name[len(prefix):len(name)-len(walSuffix)], "%d", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// load rebuilds the index: newest complete snapshot first, then every
+// segment with a higher sequence, oldest first. Segments at or below the
+// snapshot's sequence are already folded into it — a compaction crash
+// can leave them behind, and replaying them over the snapshot would
+// resurrect deleted objects — so they are skipped and re-deleted.
+func (s *WALStore) load() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	var segs, snaps []uint64
+	var stale []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSeq(e.Name(), walSegPrefix); ok {
+			segs = append(segs, seq)
+		}
+		if seq, ok := parseSeq(e.Name(), walSnapPrefix); ok {
+			snaps = append(snaps, seq)
+		}
+		// A compaction crash between writing and renaming the snapshot
+		// leaves its .tmp behind; nothing ever references it again.
+		if strings.HasPrefix(e.Name(), walSnapPrefix) && strings.HasSuffix(e.Name(), ".tmp") {
+			stale = append(stale, e.Name())
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+
+	apply := func(op BatchOp) error {
+		if op.Delete {
+			delete(s.index, op.ID)
+			return nil
+		}
+		s.index[op.ID] = op.Data
+		return nil
+	}
+
+	// Newest snapshot whose completion marker reached the disk wins;
+	// torn snapshots (compaction crash) are ignored and deleted.
+	var snapSeq uint64
+	for k := len(snaps) - 1; k >= 0; k-- {
+		if snapSeq != 0 {
+			stale = append(stale, walSnapName(snaps[k]))
+			continue
+		}
+		_, complete, err := scanRecords(filepath.Join(s.dir, walSnapName(snaps[k])), apply)
+		if err != nil {
+			return err
+		}
+		if complete {
+			snapSeq = snaps[k]
+		} else {
+			// Partial replay of a torn snapshot: clear and fall back.
+			clear(s.index)
+			stale = append(stale, walSnapName(snaps[k]))
+		}
+	}
+
+	// Replay segments above the snapshot, tracking which objects' current
+	// record lives in a segment so the garbage count is exact.
+	maxSeq := snapSeq
+	replayed := 0
+	segLive := make(map[ID]struct{})
+	segApply := func(op BatchOp) error {
+		replayed++
+		if op.Delete {
+			delete(segLive, op.ID)
+		} else {
+			segLive[op.ID] = struct{}{}
+		}
+		return apply(op)
+	}
+	for _, seq := range segs {
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if seq <= snapSeq {
+			stale = append(stale, walSegName(seq)) // compaction crash leftover
+			continue
+		}
+		if _, _, err := scanRecords(filepath.Join(s.dir, walSegName(seq)), segApply); err != nil {
+			return err
+		}
+	}
+	for _, name := range stale {
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+
+	// Open a fresh active segment after the newest existing sequence. The
+	// previous active segment (possibly with a torn tail) is left closed;
+	// replay already ignores its tail, and compaction will collect it.
+	s.activeSeq = maxSeq + 1
+	f, err := os.OpenFile(filepath.Join(s.dir, walSegName(s.activeSeq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	s.activeSize = 0
+	s.records = replayed
+	s.garbage = replayed - len(segLive)
+	s.segIDs = segLive
+	return s.syncDir()
+}
+
+// syncDir fsyncs the store directory so file creations, renames and
+// removals survive power loss (honouring SetSync).
+func (s *WALStore) syncDir() error {
+	if !s.sync {
+		return nil
+	}
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// --- Store implementation ---------------------------------------------
+
+// Read implements Store.
+func (s *WALStore) Read(id ID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.index[id]
+	if !ok {
+		return nil, fmt.Errorf("read %s: %w", id, ErrNotFound)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Write implements Store.
+func (s *WALStore) Write(id ID, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return s.commit([]BatchOp{{ID: id, Data: cp}})
+}
+
+// Delete implements Store.
+func (s *WALStore) Delete(id ID) error {
+	s.mu.Lock()
+	// Existence as of serialisation order: the index plus every op that
+	// is committed-but-unapplied (inflight) or queued ahead of us.
+	_, ok := s.index[id]
+	for _, batch := range [][]*walCommit{s.inflight, s.queue} {
+		for _, c := range batch {
+			for _, op := range c.ops {
+				if op.ID == id {
+					ok = !op.Delete
+				}
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("delete %s: %w", id, ErrNotFound)
+	}
+	return s.commit([]BatchOp{{ID: id, Delete: true}})
+}
+
+// ApplyBatch implements Batcher: the whole batch is appended in order
+// and made durable with a single fsync.
+func (s *WALStore) ApplyBatch(ops []BatchOp) error {
+	return s.applyBatch(ops, false)
+}
+
+// ApplyBatchLazy implements LazyBatcher: the batch is appended and
+// applied without its own fsync; durability rides on the next synced
+// append.
+func (s *WALStore) ApplyBatchLazy(ops []BatchOp) error {
+	return s.applyBatch(ops, true)
+}
+
+func (s *WALStore) applyBatch(ops []BatchOp, lazy bool) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	cps := make([]BatchOp, len(ops))
+	for i, op := range ops {
+		cps[i] = op
+		if !op.Delete {
+			cps[i].Data = append([]byte(nil), op.Data...)
+		}
+	}
+	return s.commitLazy(cps, lazy)
+}
+
+// List implements Store.
+func (s *WALStore) List(prefix ID) ([]ID, error) {
+	s.mu.Lock()
+	var out []ID
+	for id := range s.index {
+		if strings.HasPrefix(string(id), string(prefix)) {
+			out = append(out, id)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// commit queues the encoded batch and joins the group commit: whoever
+// gets flushMu first drains the whole queue with one write + one fsync;
+// everyone else finds their batch already durable (or becomes the next
+// leader for batches that arrived during the fsync).
+func (s *WALStore) commit(ops []BatchOp) error {
+	return s.commitLazy(ops, false)
+}
+
+func (s *WALStore) commitLazy(ops []BatchOp, lazy bool) error {
+	var buf []byte
+	for _, op := range ops {
+		buf = encodeOp(buf, op)
+	}
+	c := &walCommit{buf: buf, ops: ops, done: make(chan error, 1), lazy: lazy}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("wal store %s is closed", s.dir)
+	}
+	s.queue = append(s.queue, c)
+	s.mu.Unlock()
+
+	s.flushMu.Lock()
+	s.mu.Lock()
+	q := s.queue
+	s.queue = nil
+	s.inflight = q
+	s.mu.Unlock()
+	err := s.appendLocked(q)
+	if err == nil {
+		// A failed compaction must not fail the (already durable) commit:
+		// it costs disk space, not data. Kept for CompactErr and retried
+		// at the next threshold crossing.
+		if cerr := s.maybeCompactLocked(); cerr != nil {
+			s.compactErr.Store(&cerr)
+		}
+	}
+	s.flushMu.Unlock()
+	return <-c.done
+}
+
+// CompactErr returns the error of the most recent failed automatic
+// compaction, if any (diagnostics).
+func (s *WALStore) CompactErr() error {
+	if p := s.compactErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// appendLocked writes and fsyncs the queued batches (flushMu held), then
+// applies them to the index and signals the waiters. The index mutates
+// only after the records are durable, so a reader never observes state a
+// crash could take back. A failed write is truncated away so no torn
+// record ends up in the middle of the segment; if that rollback (or an
+// fsync) fails, the store wedges rather than append acknowledged records
+// after bytes replay would discard.
+func (s *WALStore) appendLocked(q []*walCommit) error {
+	if len(q) == 0 {
+		return nil
+	}
+	var err error
+	if s.wedged != nil {
+		err = fmt.Errorf("wal store wedged: %w", s.wedged)
+	}
+	start := s.activeSize
+	if err == nil {
+		for _, c := range q {
+			var n int
+			if n, err = s.f.Write(c.buf); err != nil {
+				err = fmt.Errorf("wal append: %w", err)
+				break
+			}
+			s.activeSize += int64(n)
+		}
+		if err != nil {
+			// Roll the whole flush back (every waiter in q fails together).
+			if terr := s.f.Truncate(start); terr != nil {
+				s.wedged = err
+			} else {
+				s.activeSize = start
+			}
+		}
+	}
+	if err == nil && s.sync && !allLazy(q) {
+		if serr := s.f.Sync(); serr != nil {
+			// Post-failure page-cache state is undefined; fail-stop.
+			err = fmt.Errorf("wal sync: %w", serr)
+			s.wedged = err
+		}
+		s.syncs.Add(1)
+	}
+	s.mu.Lock()
+	if err == nil {
+		for _, c := range q {
+			for _, op := range c.ops {
+				s.records++
+				if op.Delete {
+					if _, ok := s.segIDs[op.ID]; ok {
+						delete(s.segIDs, op.ID)
+						s.garbage++ // the segment-resident victim record
+					}
+					delete(s.index, op.ID)
+					s.garbage++ // the delete record itself
+				} else {
+					if _, ok := s.segIDs[op.ID]; ok {
+						s.garbage++ // the superseded segment record
+					}
+					s.segIDs[op.ID] = struct{}{}
+					s.index[op.ID] = op.Data
+				}
+			}
+		}
+	}
+	s.inflight = nil
+	s.mu.Unlock()
+	for _, c := range q {
+		c.done <- err
+	}
+	return err
+}
+
+// maybeCompactLocked rotates oversized active segments and compacts once
+// garbage crosses the threshold (flushMu held).
+func (s *WALStore) maybeCompactLocked() error {
+	s.mu.Lock()
+	garbage := s.garbage
+	threshold := s.compactThreshold
+	s.mu.Unlock()
+	if garbage >= threshold {
+		return s.compactLocked()
+	}
+	if s.activeSize >= s.maxSegmentBytes {
+		return s.rotateLocked()
+	}
+	return nil
+}
+
+// rotateLocked closes the active segment and starts the next one.
+func (s *WALStore) rotateLocked() error {
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	s.activeSeq++
+	f, err := os.OpenFile(filepath.Join(s.dir, walSegName(s.activeSeq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	s.activeSize = 0
+	return s.syncDir()
+}
+
+// Compact folds everything up to and including the current active
+// segment into a snapshot and deletes the superseded files. Called
+// automatically past the garbage threshold; exported for tests and
+// operational tooling.
+func (s *WALStore) Compact() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	return s.compactLocked()
+}
+
+// compactLocked (flushMu held) writes snap-<S> containing every live
+// object plus the completion marker, fsyncs it, then removes segments
+// <= S and older snapshots. Crash ordering: the snapshot is ignored
+// until its marker is durable; stale segments that outlive a crash are
+// skipped (not replayed) and deleted by the next open.
+func (s *WALStore) compactLocked() error {
+	// Seal the active segment; the snapshot covers sequences <= snapSeq.
+	snapSeq := s.activeSeq
+	if err := s.rotateLocked(); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	live := make([]BatchOp, 0, len(s.index))
+	ids := make([]ID, 0, len(s.index))
+	for id := range s.index {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		live = append(live, BatchOp{ID: id, Data: s.index[id]})
+	}
+	s.mu.Unlock()
+
+	tmp := filepath.Join(s.dir, walSnapName(snapSeq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	for _, op := range live {
+		buf = encodeOp(buf[:0], op)
+		if _, err := f.Write(buf); err != nil {
+			_ = f.Close()
+			_ = os.Remove(tmp)
+			return fmt.Errorf("write snapshot: %w", err)
+		}
+	}
+	buf = appendRecord(buf[:0], []byte{walOpComplete})
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("write snapshot: %w", err)
+	}
+	if s.sync {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			_ = os.Remove(tmp)
+			return fmt.Errorf("sync snapshot: %w", err)
+		}
+		s.syncs.Add(1)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, walSnapName(snapSeq))); err != nil {
+		return err
+	}
+	if err := s.syncDir(); err != nil {
+		return err
+	}
+
+	// The snapshot is authoritative: drop superseded files.
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), walSegPrefix); ok && seq <= snapSeq {
+			if err := os.Remove(filepath.Join(s.dir, e.Name())); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+		if seq, ok := parseSeq(e.Name(), walSnapPrefix); ok && seq < snapSeq {
+			if err := os.Remove(filepath.Join(s.dir, e.Name())); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	if err := s.syncDir(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.records = 0
+	s.garbage = 0
+	// Every live record now resides in the snapshot.
+	clear(s.segIDs)
+	s.mu.Unlock()
+	return nil
+}

@@ -96,8 +96,29 @@ type Manager struct {
 	log store.Store
 	seq atomic.Uint64
 
+	// wedged is set after a phase-2 failure left a decided transaction's
+	// intentions in the log. New decisions must then be refused: if a
+	// later transaction re-wrote one of those objects and committed, the
+	// next Recover would re-apply the stale retained intention over the
+	// newer committed state. Fail-stop until a restart replays the log.
+	wedged atomic.Pointer[error]
+
 	mu     sync.Mutex
 	active map[ID]*Txn
+}
+
+// ErrWedged is returned by Commit after an earlier transaction's
+// phase-2 failure: its intentions are retained for recovery, and
+// accepting new decisions over them would risk rolling committed state
+// back. Restart and Recover to clear it.
+var ErrWedged = errors.New("transaction manager wedged by an unfinished decided transaction; restart and recover")
+
+// Err returns the error that wedged the manager, if any (diagnostics).
+func (m *Manager) Err() error {
+	if p := m.wedged.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // NewManager returns a manager whose write-ahead decision log lives in
@@ -141,11 +162,22 @@ type Txn struct {
 	status    Status
 	resources []Resource
 	children  uint64
-	// intentions counts the WAL entries written during Prepare; used to
-	// clean up the log after completion.
+	// staged holds the intentions recorded during Prepare; they reach the
+	// log together with the decision record at the decision point, so a
+	// log store with batch support (store.Batcher) makes the whole
+	// prepare-and-decide durable with a single fsync.
+	staged []stagedIntention
+	// intentionKeys tracks the log entries written at the decision point;
+	// used to clean up the log after completion.
 	intentionKeys []store.ID
 	// completions run after top-level commit/abort (lock release etc.).
 	completions []func(committed bool)
+}
+
+// stagedIntention is one buffered write-ahead-log entry.
+type stagedIntention struct {
+	key  store.ID
+	data []byte
 }
 
 // ID returns the transaction's identifier.
@@ -218,20 +250,47 @@ func intentionKey(id ID, obj store.ID) store.ID {
 }
 
 // LogIntention records "object obj shall have state data" in the
-// write-ahead log. Resources call this from Prepare; after the commit
-// decision is logged the intentions are guaranteed to be applied even
-// across a crash (see Recover).
+// write-ahead log. Resources call this from Prepare. Intentions are
+// staged in memory and written at the decision point, strictly before
+// (or in the same durable batch as, but ahead of) the decision record:
+// once the decision is durable the intentions are guaranteed to be
+// applied even across a crash (see Recover), and a crash earlier leaves
+// at most orphan intentions with no decision, which recovery discards.
 func (t *Txn) LogIntention(obj store.ID, data []byte) error {
 	if t.parent != nil {
 		return errors.New("log intention: only top-level transactions prepare")
 	}
-	key := intentionKey(t.id, obj)
-	if err := t.mgr.log.Write(key, data); err != nil {
-		return fmt.Errorf("log intention for %s: %w", obj, err)
-	}
 	t.mu.Lock()
-	t.intentionKeys = append(t.intentionKeys, key)
+	t.staged = append(t.staged, stagedIntention{key: intentionKey(t.id, obj), data: data})
 	t.mu.Unlock()
+	return nil
+}
+
+// logDecision makes the staged intentions and the commit decision
+// durable. With a batching log store this is one append + one fsync for
+// the whole transaction; otherwise the intentions are written first and
+// the decision last, exactly the order recovery depends on (append order
+// is preserved, so a torn write can lose the decision but never an
+// intention the decision needs).
+func (t *Txn) logDecision() error {
+	t.mu.Lock()
+	staged := t.staged
+	t.staged = nil
+	keys := make([]store.ID, 0, len(staged))
+	for _, si := range staged {
+		keys = append(keys, si.key)
+	}
+	// Registered before the write so cleanupLog covers partial failures.
+	t.intentionKeys = keys
+	t.mu.Unlock()
+	ops := make([]store.BatchOp, 0, len(staged)+1)
+	for _, si := range staged {
+		ops = append(ops, store.BatchOp{ID: si.key, Data: si.data})
+	}
+	ops = append(ops, store.BatchOp{ID: decisionKey(t.id), Data: []byte("commit")})
+	if err := store.ApplyBatch(t.mgr.log, ops); err != nil {
+		return fmt.Errorf("log decision %s: %w", t.id, err)
+	}
 	return nil
 }
 
@@ -261,10 +320,15 @@ func (t *Txn) Commit() error {
 			return fmt.Errorf("prepare %s: %w", t.id, err)
 		}
 	}
-	// Decision point.
-	if err := t.mgr.log.Write(decisionKey(t.id), []byte("commit")); err != nil {
+	// Decision point. A wedged manager must not decide new transactions
+	// (see Manager.wedged).
+	if t.mgr.wedged.Load() != nil {
 		t.abortFrom(resources, len(resources), true)
-		return fmt.Errorf("log decision %s: %w", t.id, err)
+		return fmt.Errorf("commit %s: %w", t.id, ErrWedged)
+	}
+	if err := t.logDecision(); err != nil {
+		t.abortFrom(resources, len(resources), true)
+		return err
 	}
 	// Phase 2: commit. Failures here are reported but the transaction is
 	// decided; recovery will re-apply logged intentions.
@@ -274,7 +338,16 @@ func (t *Txn) Commit() error {
 			firstErr = fmt.Errorf("commit phase 2 of %s: %w", t.id, err)
 		}
 	}
-	t.cleanupLog()
+	// The log may only be cleaned once every effect is durable: after a
+	// phase-2 failure the decision and intentions must survive so the
+	// next Recover rolls the transaction forward — and the manager wedges
+	// so no later decision can commit state the retained intentions would
+	// roll back at recovery.
+	if firstErr == nil {
+		t.cleanupLog()
+	} else {
+		t.mgr.wedged.CompareAndSwap(nil, &firstErr)
+	}
 	t.setStatus(Committed)
 	t.mgr.finish(t)
 	t.runCompletions(true)
@@ -341,11 +414,19 @@ func (t *Txn) cleanupLog() {
 	t.mu.Lock()
 	keys := t.intentionKeys
 	t.intentionKeys = nil
+	t.staged = nil
 	t.mu.Unlock()
+	// Best effort, batched and without its own fsync where the log store
+	// allows it: leftovers are harmless (recovery re-applies decided
+	// intentions idempotently and discards undecided ones), so cleanup
+	// durability may ride on the next synced commit instead of adding an
+	// fsync to every transaction.
+	ops := make([]store.BatchOp, 0, len(keys)+1)
 	for _, k := range keys {
-		_ = t.mgr.log.Delete(k)
+		ops = append(ops, store.BatchOp{ID: k, Delete: true})
 	}
-	_ = t.mgr.log.Delete(decisionKey(t.id))
+	ops = append(ops, store.BatchOp{ID: decisionKey(t.id), Delete: true})
+	_ = store.ApplyBatchBestEffort(t.mgr.log, ops)
 }
 
 func (t *Txn) setStatus(s Status) {

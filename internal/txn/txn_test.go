@@ -3,6 +3,7 @@ package txn_test
 import (
 	"errors"
 	"fmt"
+	"net/url"
 	"sync"
 	"testing"
 	"time"
@@ -13,14 +14,15 @@ import (
 
 // fakeResource records 2PC calls and can vote no.
 type fakeResource struct {
-	mu       sync.Mutex
-	prepared int
-	commits  int
-	aborts   int
-	promoted int
-	voteNo   bool
-	intent   []byte // when non-nil, logged at prepare under obj
-	obj      store.ID
+	mu         sync.Mutex
+	prepared   int
+	commits    int
+	aborts     int
+	promoted   int
+	voteNo     bool
+	failCommit bool   // phase-2 Commit fails (crash-window simulation)
+	intent     []byte // when non-nil, logged at prepare under obj
+	obj        store.ID
 }
 
 func (r *fakeResource) Prepare(tx *txn.Txn) error {
@@ -40,6 +42,9 @@ func (r *fakeResource) Commit(*txn.Txn) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.commits++
+	if r.failCommit {
+		return errors.New("injected phase-2 failure")
+	}
 	return nil
 }
 
@@ -191,28 +196,24 @@ func TestRecoveryReplaysDecidedOnly(t *testing.T) {
 	logStore := store.NewMemStore()
 	m := txn.NewManager(logStore)
 
-	// Decided transaction: intentions logged and decision recorded, but
-	// phase 2 "crashed" (we simulate by writing the log records manually
-	// through a resource that does not complete phase 2).
+	// Decided transaction: intentions and decision durable, but phase 2
+	// failed — Commit surfaces the failure and must leave the log intact
+	// so recovery rolls the transaction forward.
 	committedObj := store.ID("data/committed")
-	r1 := &fakeResource{intent: []byte("v1"), obj: committedObj}
+	r1 := &fakeResource{intent: []byte("v1"), obj: committedObj, failCommit: true}
 	tx1 := m.Begin()
 	_ = tx1.Enlist(r1)
-	// Run prepare + decision by hand: Prepare logs the intention...
-	if err := r1.Prepare(tx1); err != nil {
-		t.Fatal(err)
-	}
-	// ...and we forge the decision record the way Commit would, then
-	// "crash" before phase 2 by abandoning tx1.
-	if err := logStore.Write("txdecision/"+store.ID(tx1.ID()), []byte("commit")); err != nil {
-		t.Fatal(err)
+	if err := tx1.Commit(); err == nil {
+		t.Fatal("commit must surface the injected phase-2 failure")
 	}
 
-	// Undecided transaction: intention logged, no decision.
-	r2 := &fakeResource{intent: []byte("v2"), obj: "data/undecided"}
+	// Undecided transaction: its intention reached the log (the
+	// sequential logging path writes intentions ahead of the decision)
+	// but the crash hit before the decision record — forge that state
+	// directly in the log.
 	tx2 := m.Begin()
-	_ = tx2.Enlist(r2)
-	if err := r2.Prepare(tx2); err != nil {
+	undecidedKey := store.ID("txlog/" + string(tx2.ID()) + "/" + url.QueryEscape("data/undecided"))
+	if err := logStore.Write(undecidedKey, []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -239,6 +240,45 @@ func TestRecoveryReplaysDecidedOnly(t *testing.T) {
 	ids, _ := logStore.List("tx")
 	if len(ids) != 0 {
 		t.Errorf("log not cleaned: %v", ids)
+	}
+}
+
+// TestWedgedManagerRefusesNewDecisions: a phase-2 failure leaves the
+// decided transaction's intentions in the log for recovery; the manager
+// must then refuse new decisions, or a later commit over the same
+// objects would be rolled back to the retained intentions at the next
+// Recover.
+func TestWedgedManagerRefusesNewDecisions(t *testing.T) {
+	logStore := store.NewMemStore()
+	m := txn.NewManager(logStore)
+	tx := m.Begin()
+	_ = tx.Enlist(&fakeResource{intent: []byte("v1"), obj: "data/x", failCommit: true})
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit must surface the injected phase-2 failure")
+	}
+	if m.Err() == nil {
+		t.Fatal("manager should be wedged after a phase-2 failure")
+	}
+	tx2 := m.Begin()
+	if err := tx2.Commit(); !errors.Is(err, txn.ErrWedged) {
+		t.Fatalf("commit on wedged manager: %v, want ErrWedged", err)
+	}
+	// A fresh manager over the same log recovers the retained intention
+	// and starts clean.
+	m2 := txn.NewManager(logStore)
+	applied := map[store.ID]string{}
+	if _, err := m2.Recover(func(obj store.ID, data []byte) error {
+		applied[obj] = string(data)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if applied["data/x"] != "v1" {
+		t.Fatalf("retained intention not replayed: %v", applied)
+	}
+	tx3 := m2.Begin()
+	if err := tx3.Commit(); err != nil {
+		t.Fatalf("fresh manager after recovery: %v", err)
 	}
 }
 

@@ -228,7 +228,7 @@ func Nested(depth, width int) string {
             {
                 inputobject seed from { %s }
             }
-        };`, name, seedSource(level))
+        };`, name, seedSource(level, width))
 		prev := ""
 		for i := 0; i < width; i++ {
 			sname := fmt.Sprintf("s%d_%d", level, i)
@@ -274,12 +274,18 @@ func buildTop(build func(int) string) string {
 	return build(1)
 }
 
-func seedSource(level int) string {
+func seedSource(level, width int) string {
 	if level == 1 {
 		return "seed of task app if input main"
 	}
-	// Nested compounds are declared inside c<level-1> and read its input.
-	return fmt.Sprintf("seed of task c%d if input main", level-1)
+	// Nested compounds are declared inside c<level-1> and consume its
+	// LAST stage's output, keeping each level strictly sequential:
+	// seeding from the enclosing compound's input instead would race the
+	// inner chain against the level's stages, and whichever finished
+	// first would decide whether the trailing stages ever start — a
+	// timing dependence the scheduler-differential trajectory tests (and
+	// the generator's own "sequential stages" contract) exclude.
+	return fmt.Sprintf("out of task s%d_%d if output done", level-1, width-1)
 }
 
 // MustCompile compiles generated source, panicking on generator bugs.
