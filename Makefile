@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race cover bench
+.PHONY: check fmt vet build test race cover bench bench-baseline bench-gate e2e
 
 check: fmt vet build test bench
 
@@ -36,3 +36,21 @@ cover:
 # without turning CI into a measurement run.
 bench:
 	$(GO) test -run=XXX -bench=. -benchtime=1x ./...
+
+# Refresh the committed benchmark baseline the CI bench-gate compares
+# against (same flags as the gate run, so scenario labels match).
+bench-baseline:
+	$(GO) run ./cmd/wfbench -iters 3 -quick -json BENCH_baseline.json
+
+# The CI bench-regression gate: fail if any S1/S2/S3 row is >30% slower
+# than the committed baseline. One automatic re-run absorbs machine
+# noise spikes; a real regression fails both passes.
+bench-gate:
+	$(GO) run ./cmd/wfbench -iters 3 -quick -json BENCH_ci.json -compare BENCH_baseline.json || \
+		{ echo "bench-gate: retrying once to rule out machine noise"; \
+		  $(GO) run ./cmd/wfbench -iters 3 -quick -json BENCH_ci.json -compare BENCH_baseline.json; }
+
+# Multi-node end-to-end smoke: naming + 2 executors + wfexec, SIGKILL
+# one executor mid-run, assert the instance completes via failover.
+e2e:
+	bash scripts/e2e_multinode.sh

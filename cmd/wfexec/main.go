@@ -12,9 +12,15 @@
 // ("fixed:done", "sleep:50ms:done", "fail:2:done"); embedding
 // applications bind real Go functions instead (see the examples).
 //
+// With -naming, tasks carrying a "location" implementation property are
+// dispatched to the executor pool registered under that location
+// (cmd/wftask members): balanced per -balance, failed over across
+// members, and optionally bounded by -max-remote backpressure.
+//
 // Usage:
 //
-//	wfexec -addr 127.0.0.1:7002 -dir ./exec-state -repo 127.0.0.1:7001 [-store wal|file|mem] [-naming host:port] [-recover]
+//	wfexec -addr 127.0.0.1:7002 -dir ./exec-state -repo 127.0.0.1:7001 [-store wal|file|mem]
+//	       [-naming host:port] [-balance roundrobin|leastinflight] [-max-remote N] [-recover]
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/execsvc"
@@ -32,6 +39,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/repository"
 	"repro/internal/store"
+	"repro/internal/taskexec"
 	"repro/internal/txn"
 )
 
@@ -40,13 +48,15 @@ func main() {
 	dir := flag.String("dir", "wfexec-state", "state directory (file and wal stores)")
 	storeKind := flag.String("store", "wal", "persistence backend: wal (group-commit log), file (shadow files), mem (volatile)")
 	repoAddr := flag.String("repo", "127.0.0.1:7001", "repository service address")
-	naming := flag.String("naming", "", "naming service address to register with (optional)")
+	naming := flag.String("naming", "", "naming service address to register with; also enables pooled remote dispatch of located tasks")
+	balance := flag.String("balance", taskexec.BalanceRoundRobin, "executor-pool balancing: roundrobin or leastinflight")
+	maxRemote := flag.Int("max-remote", 0, "max concurrent remote dispatches per instance (0 = unbounded)")
 	doRecover := flag.Bool("recover", false, "recover persisted instances at startup")
 	noSync := flag.Bool("nosync", false, "disable fsync on writes (faster, less durable)")
 	retries := flag.Int("retries", 3, "automatic retries for system-level task failures")
 	flag.Parse()
 
-	if err := run(*addr, *dir, *storeKind, *repoAddr, *naming, *doRecover, *noSync, *retries); err != nil {
+	if err := run(*addr, *dir, *storeKind, *repoAddr, *naming, *balance, *doRecover, *noSync, *retries, *maxRemote); err != nil {
 		fmt.Fprintln(os.Stderr, "wfexec:", err)
 		os.Exit(1)
 	}
@@ -82,7 +92,7 @@ func checkStoreLayout(kind, dir string) error {
 	return nil
 }
 
-func run(addr, dir, storeKind, repoAddr, naming string, doRecover, noSync bool, retries int) error {
+func run(addr, dir, storeKind, repoAddr, naming, balance string, doRecover, noSync bool, retries, maxRemote int) error {
 	if storeKind != "mem" {
 		if err := checkStoreLayout(storeKind, dir); err != nil {
 			return err
@@ -102,7 +112,29 @@ func run(addr, dir, storeKind, repoAddr, naming string, doRecover, noSync bool, 
 
 	impls := registry.New()
 	impls.BindFallback(registry.Builtin)
-	eng := engine.New(reg, impls, engine.Config{MaxRetries: retries})
+	cfg := engine.Config{MaxRetries: retries, MaxRemoteInflight: maxRemote}
+	var namingClient *orb.NamingClient
+	if naming != "" {
+		// One client serves both pool resolution and (below) the
+		// service's own registration. Located tasks dispatch to
+		// executor pools resolved through the naming service: every
+		// member set is re-resolved per dispatch, balanced per
+		// -balance, and failures fail over to surviving members before
+		// the engine's retry policy is consulted.
+		namingClient = orb.NewNamingClient(orb.Dial(naming, orb.ClientConfig{}))
+		invoker, err := taskexec.NewPoolInvoker(namingClient.ResolveAll, taskexec.PoolConfig{
+			Balance: balance,
+			// Don't pay one naming RPC per dispatch; stale-set fallback
+			// keeps dispatch running across naming-service restarts.
+			ResolveCache: time.Second,
+		})
+		if err != nil {
+			return err
+		}
+		defer invoker.Close()
+		cfg.RemoteInvoker = invoker.Invoke
+	}
+	eng := engine.New(reg, impls, cfg)
 	defer eng.Close()
 
 	repoClient := repository.NewClient(orb.Dial(repoAddr, orb.ClientConfig{}))
@@ -141,9 +173,8 @@ func run(addr, dir, storeKind, repoAddr, naming string, doRecover, noSync bool, 
 	defer server.Close()
 	server.Register(execsvc.ObjectName, svc.Servant())
 
-	if naming != "" {
-		nc := orb.NewNamingClient(orb.Dial(naming, orb.ClientConfig{}))
-		if err := nc.Bind(execsvc.ObjectName, server.Addr()); err != nil {
+	if namingClient != nil {
+		if err := namingClient.Bind(execsvc.ObjectName, server.Addr()); err != nil {
 			return fmt.Errorf("register with naming service: %w", err)
 		}
 	}

@@ -1,0 +1,144 @@
+// Command wfload is a closed-loop load generator for the distributed
+// executor fabric: N concurrent workers each run complete located
+// workflow instances (a chain of remote-dispatched stages) back to
+// back, and the tool reports instances/sec, remote-activation latency
+// percentiles, and the per-endpoint dispatch distribution.
+//
+// Two modes:
+//
+//   - Self-hosted (default): boots M in-process executor nodes and
+//     drives them — a one-command scaling probe.
+//
+//     wfload -execs 4 -workers 8 -total 200 -chain 4 -delay 2ms
+//
+//   - External: resolves an executor pool through a naming service
+//     (members registered by cmd/wftask) and drives those nodes over
+//     TCP. The chain stages use a builtin implementation code, so plain
+//     wftask executors can serve them.
+//
+//     wfload -naming 127.0.0.1:7000 -location workers -code sleep:2ms:done
+//
+// Flags -balance (roundrobin|leastinflight) and -gate (max concurrent
+// remote dispatches per instance) expose the pool balancing strategy
+// and the engine's backpressure gate. -kill N hard-stops the N-th
+// self-hosted executor halfway through the run to demonstrate failover.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/orb"
+	"repro/internal/script/sema"
+	"repro/internal/taskexec"
+	"repro/internal/workload"
+)
+
+func main() {
+	workers := flag.Int("workers", 8, "concurrent instances (closed loop)")
+	total := flag.Int("total", 200, "total instances to run")
+	chain := flag.Int("chain", 4, "located stages per instance")
+	delay := flag.Duration("delay", 2*time.Millisecond, "simulated work per activation (self-hosted executors)")
+	execs := flag.Int("execs", 2, "self-hosted executor pool size")
+	balance := flag.String("balance", taskexec.BalanceRoundRobin, "pool balancing: roundrobin or leastinflight")
+	gate := flag.Int("gate", 0, "max concurrent remote dispatches per instance (0 = unbounded)")
+	kill := flag.Int("kill", -1, "self-hosted executor index to hard-stop at the run's midpoint (-1 = none)")
+	naming := flag.String("naming", "", "naming service address (external mode)")
+	location := flag.String("location", "workers", "location name of the external executor pool")
+	code := flag.String("code", "sleep:2ms:done", "implementation code of chain stages in external mode")
+	flag.Parse()
+
+	var err error
+	if *naming != "" {
+		err = runExternal(*naming, *location, *code, *workers, *total, *chain, *balance, *gate)
+	} else {
+		err = runSelfHosted(*execs, *workers, *total, *chain, *delay, *balance, *gate, *kill)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfload:", err)
+		os.Exit(1)
+	}
+}
+
+func runSelfHosted(execs, workers, total, chain int, delay time.Duration, balance string, gate, kill int) error {
+	le, err := experiments.NewLoadEnv(experiments.LoadConfig{
+		Executors: execs, ChainLen: chain, TaskDelay: delay,
+		Balance: balance, MaxRemoteInflight: gate,
+	})
+	if err != nil {
+		return err
+	}
+	defer le.Close()
+
+	fmt.Printf("self-hosted pool: %d executors, chain(%d), %v per activation, balance=%s\n", execs, chain, delay, balance)
+	var midpoint func()
+	if kill >= 0 {
+		if kill >= execs {
+			return fmt.Errorf("-kill %d out of range (pool size %d)", kill, execs)
+		}
+		midpoint = func() {
+			fmt.Printf("-- hard-stopping executor %d at midpoint --\n", kill)
+			le.KillExecutor(kill)
+		}
+	}
+	rep, err := le.Run(workers, total, midpoint)
+	if err != nil {
+		return err
+	}
+	printReport(rep, le.Stats())
+	return nil
+}
+
+func runExternal(naming, location, code string, workers, total, chain int, balance string, gate int) error {
+	nc := orb.NewNamingClient(orb.Dial(naming, orb.ClientConfig{}))
+	members, err := nc.ResolveAll(location)
+	if err != nil {
+		return fmt.Errorf("resolve pool %q: %w", location, err)
+	}
+	fmt.Printf("external pool %q via %s: %d members, chain(%d) of %q, balance=%s\n",
+		location, naming, len(members), chain, code, balance)
+
+	inv, err := taskexec.NewPoolInvoker(nc.ResolveAll, taskexec.PoolConfig{
+		Balance:      balance,
+		ResolveCache: time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer inv.Close()
+
+	lat := experiments.NewLatencyRecorder()
+	env := experiments.NewEnv(nil, engine.Config{
+		Ephemeral:         true,
+		RemoteInvoker:     lat.Wrap(inv.Invoke),
+		MaxRemoteInflight: gate,
+	})
+	defer env.Close()
+	workload.Bind(env.Impls)
+	schema := sema.MustCompileSource("wfload", []byte(workload.LocatedChainCode(chain, location, code)))
+
+	rep, err := experiments.RunClosedLoop(env, schema, lat, workers, total)
+	if err != nil {
+		return err
+	}
+	printReport(rep, inv.Stats())
+	return nil
+}
+
+func printReport(rep experiments.LoadReport, stats []taskexec.EndpointStats) {
+	fmt.Println(rep)
+	fmt.Printf("%-22s %12s %9s %9s  %s\n", "endpoint", "dispatched", "failures", "inflight", "state")
+	for _, st := range stats {
+		state := "healthy"
+		if st.Blacklisted {
+			state = "blacklisted"
+		} else if !st.Connected {
+			state = "disconnected"
+		}
+		fmt.Printf("%-22s %12d %9d %9d  %s\n", st.Addr, st.Dispatched, st.Failures, st.Inflight, state)
+	}
+}

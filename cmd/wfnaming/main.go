@@ -1,0 +1,47 @@
+// Command wfnaming runs the naming service as a standalone daemon: the
+// registry through which the workflow toolkit components find each
+// other (the CORBA Naming Service analogue of Fig. 4), extended with
+// multi-binding member sets — a location name can be served by a pool
+// of executor nodes that register themselves with a heartbeat TTL and
+// expire when they stop renewing (see cmd/wftask -ttl).
+//
+// Usage:
+//
+//	wfnaming -addr 127.0.0.1:7000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/orb"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7000", "listen address")
+	flag.Parse()
+
+	if err := run(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "wfnaming:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string) error {
+	server, err := orb.NewServer(addr)
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	server.Register(orb.NamingObject, orb.NewNaming().Servant())
+	fmt.Printf("naming service on %s\n", server.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

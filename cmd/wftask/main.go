@@ -1,8 +1,11 @@
 // Command wftask runs a remote task executor node: a host for task
 // implementations that the execution engine dispatches to when a task's
 // implementation clause carries a "location" property (Section 4.3).
-// The node registers its location name with the naming service so
-// engines can resolve it.
+// The node registers its location name with the naming service as a
+// pool *member*, so any number of wftask nodes can serve one location;
+// with -ttl the registration is kept alive by a heartbeat and expires
+// if the node dies (the engine's pool dispatcher then stops routing to
+// it).
 //
 // Implementations resolve through the builtin pattern schemes
 // ("fixed:done", "sleep:50ms:done", "fail:2:done"); embedding
@@ -10,7 +13,7 @@
 //
 // Usage:
 //
-//	wftask -addr 127.0.0.1:7003 -location worker-1 [-naming host:port]
+//	wftask -addr 127.0.0.1:7003 -location worker-1 [-naming host:port] [-ttl 5s] [-heartbeat 1s]
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/orb"
 	"repro/internal/registry"
@@ -29,15 +33,17 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7003", "listen address")
 	location := flag.String("location", "worker-1", "location name tasks use to target this node")
 	naming := flag.String("naming", "", "naming service address to register with (optional)")
+	ttl := flag.Duration("ttl", 0, "registration liveness TTL (0 = permanent, no heartbeat)")
+	heartbeat := flag.Duration("heartbeat", 0, "re-registration interval (default ttl/3)")
 	flag.Parse()
 
-	if err := run(*addr, *location, *naming); err != nil {
+	if err := run(*addr, *location, *naming, *ttl, *heartbeat); err != nil {
 		fmt.Fprintln(os.Stderr, "wftask:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, location, naming string) error {
+func run(addr, location, naming string, ttl, heartbeat time.Duration) error {
 	impls := registry.New()
 	impls.BindFallback(registry.Builtin)
 	exec := taskexec.NewExecutor(impls)
@@ -51,8 +57,25 @@ func run(addr, location, naming string) error {
 
 	if naming != "" {
 		nc := orb.NewNamingClient(orb.Dial(naming, orb.ClientConfig{}))
-		if err := nc.Bind(location, server.Addr()); err != nil {
-			return fmt.Errorf("register location %q: %w", location, err)
+		if ttl > 0 {
+			if heartbeat <= 0 {
+				heartbeat = ttl / 3
+			}
+			if heartbeat >= ttl {
+				return fmt.Errorf("-heartbeat %v must be shorter than -ttl %v (or the registration flaps in and out of the pool)", heartbeat, ttl)
+			}
+			stop, err := nc.StartHeartbeat(location, server.Addr(), ttl, heartbeat)
+			if err != nil {
+				return fmt.Errorf("register location %q: %w", location, err)
+			}
+			defer stop()
+			fmt.Printf("registered as member of %q (ttl %v, heartbeat %v)\n", location, ttl, heartbeat)
+		} else {
+			if err := nc.BindMember(location, server.Addr(), 0); err != nil {
+				return fmt.Errorf("register location %q: %w", location, err)
+			}
+			defer func() { _ = nc.UnbindMember(location, server.Addr()) }()
+			fmt.Printf("registered as permanent member of %q\n", location)
 		}
 	}
 	fmt.Printf("task executor %q on %s\n", location, server.Addr())

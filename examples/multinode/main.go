@@ -1,0 +1,159 @@
+// Example multinode deploys the distributed executor fabric entirely
+// in-process: a naming service, THREE executor nodes registered as
+// heartbeat members of one location ("workers"), and an engine whose
+// located tasks are dispatched across the pool with least-inflight
+// balancing. Halfway through a batch of workflow instances one executor
+// is hard-stopped; the pool dispatcher fails its activations over to
+// the survivors and every instance still completes — the paper's
+// system-level failure masking, scaled out to a replicated worker pool.
+//
+// Run with: go run ./examples/multinode
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/orb"
+	"repro/internal/persist"
+	"repro/internal/registry"
+	"repro/internal/script/sema"
+	"repro/internal/store"
+	"repro/internal/taskexec"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+const location = "workers"
+
+// startExecutor boots one executor node and registers it as a heartbeat
+// member of the pool location.
+func startExecutor(naming *orb.NamingClient, name string) (*orb.Server, func(), error) {
+	impls := registry.New()
+	impls.Bind("stage", func(ctx registry.Context) (registry.Result, error) {
+		time.Sleep(5 * time.Millisecond) // simulated work
+		in := ctx.Inputs()["in"]
+		in.Data = fmt.Sprintf("%v+%s", in.Data, name)
+		return registry.Result{Output: "done", Objects: registry.Objects{"out": in}}, nil
+	})
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	srv.Register(taskexec.ObjectName, taskexec.NewExecutor(impls).Servant())
+	stop, err := naming.StartHeartbeat(location, srv.Addr(), 2*time.Second, 500*time.Millisecond)
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	fmt.Printf("executor %-8s on %s (heartbeat member of %q)\n", name, srv.Addr(), location)
+	return srv, stop, nil
+}
+
+func main() {
+	// Naming service on its own orb endpoint.
+	namingSrv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer namingSrv.Close()
+	namingSrv.Register(orb.NamingObject, orb.NewNaming().Servant())
+	nc := orb.NewNamingClient(orb.Dial(namingSrv.Addr(), orb.ClientConfig{}))
+	fmt.Printf("naming service on %s\n", namingSrv.Addr())
+
+	// Three executor nodes join the pool.
+	names := []string{"node-a", "node-b", "node-c"}
+	servers := make([]*orb.Server, len(names))
+	for i, name := range names {
+		srv, stopHB, err := startExecutor(nc, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		defer stopHB()
+		servers[i] = srv
+	}
+
+	// The engine dispatches located tasks through a least-inflight pool
+	// invoker resolving the member set via naming, with a backpressure
+	// gate of 8 concurrent remote dispatches per instance.
+	invoker, err := taskexec.NewPoolInvoker(nc.ResolveAll, taskexec.PoolConfig{
+		Balance: taskexec.BalanceLeastInflight,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer invoker.Close()
+
+	st := store.NewMemStore()
+	preg := persist.NewRegistry(st, txn.NewManager(st), nil)
+	impls := registry.New()
+	workload.Bind(impls)
+	eng := engine.New(preg, impls, engine.Config{
+		RemoteInvoker:     invoker.Invoke,
+		MaxRemoteInflight: 8,
+	})
+	defer eng.Close()
+
+	schema := sema.MustCompileSource("multinode", []byte(workload.LocatedChain(4, location)))
+
+	// Run a batch of instances concurrently; hard-stop node-a halfway.
+	const total = 24
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		finished int
+		killOnce sync.Once
+	)
+	fmt.Printf("\nrunning %d instances of a 4-stage located chain...\n", total)
+	for k := 0; k < total; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			id := fmt.Sprintf("mn-%d", k)
+			inst, err := eng.Instantiate(id, schema, "")
+			if err != nil {
+				log.Fatalf("%s: %v", id, err)
+			}
+			if err := inst.Start("main", workload.Seed()); err != nil {
+				log.Fatalf("%s: %v", id, err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			res, err := inst.Wait(ctx)
+			if err != nil {
+				log.Fatalf("%s: %v", id, err)
+			}
+			if res.Output != "done" {
+				log.Fatalf("%s: outcome %q", id, res.Output)
+			}
+			inst.Stop()
+			mu.Lock()
+			finished++
+			if finished == total/2 {
+				killOnce.Do(func() {
+					fmt.Println("-- hard-stopping node-a mid-batch (its heartbeat will lapse in <=2s) --")
+					servers[0].Close()
+				})
+			}
+			mu.Unlock()
+		}(k)
+	}
+	wg.Wait()
+
+	fmt.Printf("all %d instances completed despite the crash\n\n", total)
+	fmt.Printf("%-22s %12s %9s  %s\n", "endpoint", "dispatched", "failures", "state")
+	for _, s := range invoker.Stats() {
+		state := "healthy"
+		if s.Blacklisted {
+			state = "blacklisted"
+		} else if !s.Connected {
+			state = "disconnected"
+		}
+		fmt.Printf("%-22s %12d %9d  %s\n", s.Addr, s.Dispatched, s.Failures, state)
+	}
+}

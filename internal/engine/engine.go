@@ -62,6 +62,11 @@ type Config struct {
 	// keywords). Remote failures are system-level failures: retried, then
 	// mapped to an abort outcome. See internal/taskexec.
 	RemoteInvoker RemoteInvoker
+	// MaxRemoteInflight bounds how many remote activations of one
+	// instance may be dispatched concurrently: excess activations wait
+	// for a slot instead of piling unbounded concurrent calls onto the
+	// executor pool (backpressure for wide fan-outs). 0 means unbounded.
+	MaxRemoteInflight int
 	// PersistPerTransition selects the legacy persistence strategy that
 	// commits one transaction per run-state transition instead of
 	// coalescing every write of one evaluation drain into a single
@@ -408,15 +413,18 @@ type Instance struct {
 	pendingOrder []string
 	// scans counts run examinations by the evaluator; the scheduler
 	// regression tests read it through Scans.
-	scans    atomic.Int64
-	evCh     chan completionMsg
-	markCh   chan markMsg
-	reqCh    chan func()
-	stopCh   chan struct{}
-	loopDone chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
-	inflight int
+	scans atomic.Int64
+	// remoteGate is the bounded-concurrency semaphore for remote
+	// dispatches (Config.MaxRemoteInflight); nil when unbounded.
+	remoteGate chan struct{}
+	evCh       chan completionMsg
+	markCh     chan markMsg
+	reqCh      chan func()
+	stopCh     chan struct{}
+	loopDone   chan struct{}
+	stopOnce   sync.Once
+	wg         sync.WaitGroup
+	inflight   int
 
 	reconfigSeq int
 	// genSeq issues run generations; touched only by the goroutine that
@@ -449,6 +457,9 @@ func (e *Engine) newInstance(id string, schema *core.Schema, root *core.Task) *I
 		loopDone:    make(chan struct{}),
 		changed:     make(chan struct{}),
 		status:      StatusCreated,
+	}
+	if n := e.cfg.MaxRemoteInflight; n > 0 {
+		inst.remoteGate = make(chan struct{}, n)
 	}
 	inst.rebuildOrder()
 	return inst

@@ -574,7 +574,28 @@ func (i *Instance) worker(w workerInfo) {
 		// a remote task executor; marks are not available remotely (one
 		// request/reply per activation).
 		invoke := i.eng.cfg.RemoteInvoker
+		// abandoned is closed when this worker stops listening (deadline
+		// fired, cancel, shutdown): an activation still queued on the
+		// backpressure gate must give up its wait instead of later
+		// burning a slot on a zombie dispatch whose result nobody reads.
+		abandoned := make(chan struct{})
+		defer close(abandoned)
 		f = func(ctx registry.Context) (registry.Result, error) {
+			if gate := i.remoteGate; gate != nil {
+				// Backpressure: wide fan-outs queue here instead of
+				// flooding the executor pool with unbounded concurrent
+				// dispatches.
+				select {
+				case gate <- struct{}{}:
+					defer func() { <-gate }()
+				case <-w.cancel:
+					return registry.Result{}, errCancelled
+				case <-abandoned:
+					return registry.Result{}, errCancelled
+				case <-i.stopCh:
+					return registry.Result{}, ErrStopped
+				}
+			}
 			return invoke(RemoteRequest{
 				Location: w.location, Code: w.code,
 				Instance: i.id, TaskPath: w.path, InputSet: w.set,

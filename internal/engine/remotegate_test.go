@@ -1,0 +1,137 @@
+package engine_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/registry"
+	"repro/internal/script/sema"
+	"repro/internal/workload"
+)
+
+// gaugedInvoker counts concurrent invocations and records the peak.
+type gaugedInvoker struct {
+	cur, peak, total atomic.Int64
+	delay            time.Duration
+}
+
+func (g *gaugedInvoker) invoke(req engine.RemoteRequest) (registry.Result, error) {
+	c := g.cur.Add(1)
+	for {
+		p := g.peak.Load()
+		if c <= p || g.peak.CompareAndSwap(p, c) {
+			break
+		}
+	}
+	if g.delay > 0 {
+		time.Sleep(g.delay)
+	}
+	g.total.Add(1)
+	g.cur.Add(-1)
+	return registry.Result{Output: "done", Objects: registry.Objects{"out": req.Inputs["in"]}}, nil
+}
+
+// TestRemoteDispatchGateBoundsConcurrency starts a 32-wide located
+// fan-out with MaxRemoteInflight 4: every stage dispatches remotely, yet
+// at most 4 dispatches may be in flight at any instant.
+func TestRemoteDispatchGateBoundsConcurrency(t *testing.T) {
+	const width, gateCap = 32, 4
+	g := &gaugedInvoker{delay: 2 * time.Millisecond}
+	env := newRig(t, engine.Config{
+		Ephemeral:         true,
+		RemoteInvoker:     g.invoke,
+		MaxRemoteInflight: gateCap,
+	})
+	workload.Bind(env.impls)
+
+	schema := sema.MustCompileSource("gate", []byte(workload.LocatedFanOut(width, "pool")))
+	inst, err := env.eng.Instantiate("gate-1", schema, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start("main", workload.Seed()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := inst.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "done" {
+		t.Fatalf("outcome = %q", res.Output)
+	}
+	if got := g.total.Load(); got != width {
+		t.Fatalf("remote dispatches = %d, want %d", got, width)
+	}
+	if p := g.peak.Load(); p > gateCap {
+		t.Fatalf("peak concurrent remote dispatches = %d, exceeds MaxRemoteInflight %d", p, gateCap)
+	}
+	if p := g.peak.Load(); p < 2 {
+		t.Fatalf("peak concurrent remote dispatches = %d; the gate serialised everything", p)
+	}
+}
+
+// TestRemoteDispatchUnboundedByDefault pins the default: no gate, the
+// whole fan-out runs concurrently.
+func TestRemoteDispatchUnboundedByDefault(t *testing.T) {
+	const width = 16
+	g := &gaugedInvoker{delay: 20 * time.Millisecond}
+	env := newRig(t, engine.Config{Ephemeral: true, RemoteInvoker: g.invoke})
+	workload.Bind(env.impls)
+
+	schema := sema.MustCompileSource("nogate", []byte(workload.LocatedFanOut(width, "pool")))
+	inst, err := env.eng.Instantiate("nogate-1", schema, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start("main", workload.Seed()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := inst.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// All 16 stages start together and each sleeps 20ms: with no gate
+	// the peak should reach well past a handful. Conservative bound to
+	// stay robust on loaded CI machines.
+	if p := g.peak.Load(); p < 4 {
+		t.Fatalf("peak concurrent remote dispatches = %d without a gate; expected a wide burst", p)
+	}
+}
+
+// TestRemoteGateReleasedAcrossInstances runs two gated instances in
+// sequence: a leaked slot in the first would stall the second.
+func TestRemoteGateReleasedAcrossInstances(t *testing.T) {
+	g := &gaugedInvoker{}
+	env := newRig(t, engine.Config{
+		Ephemeral:         true,
+		RemoteInvoker:     g.invoke,
+		MaxRemoteInflight: 2,
+	})
+	workload.Bind(env.impls)
+	schema := sema.MustCompileSource("gate2", []byte(workload.LocatedFanOut(8, "pool")))
+	for k, id := range []string{"g-1", "g-2"} {
+		inst, err := env.eng.Instantiate(id, schema, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Start("main", workload.Seed()); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		res, err := inst.Wait(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("instance %d: %v", k, err)
+		}
+		if res.Output != "done" {
+			t.Fatalf("instance %d outcome = %q", k, res.Output)
+		}
+		inst.Stop()
+	}
+}

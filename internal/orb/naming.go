@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // NamingObject is the well-known object name of the naming service — the
@@ -11,52 +12,157 @@ import (
 // components find the repository and execution services.
 const NamingObject = "naming"
 
-// Naming maps service names to endpoint addresses. It is itself exported
-// as a servant, so any node can resolve services through the orb.
+// binding is one endpoint registered under a name. A name holds a *set*
+// of bindings so a location can be served by a pool of executor nodes;
+// expiry implements heartbeat-based liveness (members re-register
+// periodically, stale members disappear).
+type binding struct {
+	addr string
+	// expires is the liveness deadline; zero means the binding never
+	// expires (a statically configured service).
+	expires time.Time
+}
+
+// Naming maps service names to sets of endpoint addresses. It is itself
+// exported as a servant, so any node can resolve services through the
+// orb. A name's bindings are kept in registration order (the slice
+// order), which keeps resolve-set ordering deterministic: a heartbeat
+// refresh keeps a member's position, a member that expired and
+// re-registered is a new registration and goes to the back.
 type Naming struct {
 	mu      sync.RWMutex
-	entries map[string]string
+	entries map[string][]*binding
+	// now is the clock, replaceable for expiry tests.
+	now func() time.Time
 }
 
 // NewNaming returns an empty naming table.
 func NewNaming() *Naming {
-	return &Naming{entries: make(map[string]string)}
+	return &Naming{entries: make(map[string][]*binding), now: time.Now}
 }
 
-// BindEntry associates a service name with an address, replacing any
-// previous binding (services may move — dynamic reconfiguration at the
-// service level).
+// SetClock replaces the liveness clock (tests drive expiry without
+// sleeping).
+func (n *Naming) SetClock(now func() time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.now = now
+}
+
+// pruneLocked drops expired bindings of name. Callers hold mu.
+func (n *Naming) pruneLocked(name string) []*binding {
+	bs := n.entries[name]
+	if len(bs) == 0 {
+		return nil
+	}
+	now := n.now()
+	live := bs[:0]
+	for _, b := range bs {
+		if b.expires.IsZero() || b.expires.After(now) {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		delete(n.entries, name)
+		return nil
+	}
+	n.entries[name] = live
+	return live
+}
+
+// BindEntry associates a service name with a single address, replacing
+// every previous binding (services may move — dynamic reconfiguration at
+// the service level). The binding never expires.
 func (n *Naming) BindEntry(name, addr string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.entries[name] = addr
+	n.entries[name] = []*binding{{addr: addr}}
 }
 
-// UnbindEntry removes a binding (a withdrawn service).
+// BindMember adds addr to the set bound to name, or refreshes its
+// liveness deadline if already a member. ttl bounds the member's
+// liveness (heartbeats re-register within the ttl); ttl <= 0 registers a
+// permanent member. A refresh keeps the member's position in the resolve
+// set; a member that expired re-enters at the back.
+func (n *Naming) BindMember(name, addr string, ttl time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var expires time.Time
+	if ttl > 0 {
+		expires = n.now().Add(ttl)
+	}
+	for _, b := range n.pruneLocked(name) {
+		if b.addr == addr {
+			b.expires = expires
+			return
+		}
+	}
+	n.entries[name] = append(n.entries[name], &binding{addr: addr, expires: expires})
+}
+
+// UnbindMember removes one member of name's set (a cleanly withdrawn
+// executor).
+func (n *Naming) UnbindMember(name, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	bs := n.entries[name]
+	kept := bs[:0]
+	for _, b := range bs {
+		if b.addr != addr {
+			kept = append(kept, b)
+		}
+	}
+	if len(kept) == 0 {
+		delete(n.entries, name)
+		return
+	}
+	n.entries[name] = kept
+}
+
+// UnbindEntry removes every binding of name (a withdrawn service).
 func (n *Naming) UnbindEntry(name string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.entries, name)
 }
 
-// Resolve returns the address bound to name.
+// Resolve returns the first live address bound to name (the original
+// single-endpoint contract; pool-aware callers use ResolveAll).
 func (n *Naming) Resolve(name string) (string, error) {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	addr, ok := n.entries[name]
-	if !ok {
-		return "", fmt.Errorf("naming: %q is not bound", name)
+	addrs, err := n.ResolveAll(name)
+	if err != nil {
+		return "", err
 	}
-	return addr, nil
+	return addrs[0], nil
 }
 
-// Names lists the bound names in order.
+// ResolveAll returns every live address bound to name, in registration
+// order (deterministic: heartbeat refreshes keep positions, expired
+// members that re-register join at the back).
+func (n *Naming) ResolveAll(name string) ([]string, error) {
+	n.mu.Lock()
+	live := n.pruneLocked(name)
+	if len(live) == 0 {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("naming: %q is not bound", name)
+	}
+	out := make([]string, len(live))
+	for i, b := range live {
+		out[i] = b.addr
+	}
+	n.mu.Unlock()
+	return out, nil
+}
+
+// Names lists the names with at least one live binding, in order.
 func (n *Naming) Names() []string {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	out := make([]string, 0, len(n.entries))
 	for name := range n.entries {
-		out = append(out, name)
+		if len(n.pruneLocked(name)) > 0 {
+			out = append(out, name)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -66,6 +172,9 @@ func (n *Naming) Names() []string {
 type namingBind struct {
 	Name string
 	Addr string
+	// TTLMillis > 0 registers a member with a liveness deadline; 0 a
+	// permanent binding.
+	TTLMillis int64
 }
 
 type namingResolve struct {
@@ -74,6 +183,10 @@ type namingResolve struct {
 
 type namingResolved struct {
 	Addr string
+}
+
+type namingResolvedAll struct {
+	Addrs []string
 }
 
 type namingList struct{}
@@ -89,13 +202,25 @@ func (n *Naming) Servant() *Servant {
 		n.BindEntry(req.Name, req.Addr)
 		return struct{}{}, nil
 	})
+	Method(s, "bindMember", func(req namingBind) (struct{}, error) {
+		n.BindMember(req.Name, req.Addr, time.Duration(req.TTLMillis)*time.Millisecond)
+		return struct{}{}, nil
+	})
 	Method(s, "unbind", func(req namingResolve) (struct{}, error) {
 		n.UnbindEntry(req.Name)
+		return struct{}{}, nil
+	})
+	Method(s, "unbindMember", func(req namingBind) (struct{}, error) {
+		n.UnbindMember(req.Name, req.Addr)
 		return struct{}{}, nil
 	})
 	Method(s, "resolve", func(req namingResolve) (namingResolved, error) {
 		addr, err := n.Resolve(req.Name)
 		return namingResolved{Addr: addr}, err
+	})
+	Method(s, "resolveAll", func(req namingResolve) (namingResolvedAll, error) {
+		addrs, err := n.ResolveAll(req.Name)
+		return namingResolvedAll{Addrs: addrs}, err
 	})
 	Method(s, "list", func(namingList) (namingNames, error) {
 		return namingNames{Names: n.Names()}, nil
@@ -111,23 +236,42 @@ type NamingClient struct {
 // NewNamingClient wraps a client connected to the naming endpoint.
 func NewNamingClient(c *Client) *NamingClient { return &NamingClient{c: c} }
 
-// Bind registers a service endpoint.
+// Bind registers a service endpoint, replacing the whole set.
 func (nc *NamingClient) Bind(name, addr string) error {
 	return nc.c.Invoke(NamingObject, "bind", namingBind{Name: name, Addr: addr}, nil)
 }
 
-// Unbind removes a service endpoint.
+// BindMember adds (or refreshes) one member of a service's endpoint set.
+func (nc *NamingClient) BindMember(name, addr string, ttl time.Duration) error {
+	return nc.c.Invoke(NamingObject, "bindMember", namingBind{Name: name, Addr: addr, TTLMillis: ttl.Milliseconds()}, nil)
+}
+
+// Unbind removes every endpoint of a service.
 func (nc *NamingClient) Unbind(name string) error {
 	return nc.c.Invoke(NamingObject, "unbind", namingResolve{Name: name}, nil)
 }
 
-// Resolve looks a service up.
+// UnbindMember removes one member of a service's endpoint set.
+func (nc *NamingClient) UnbindMember(name, addr string) error {
+	return nc.c.Invoke(NamingObject, "unbindMember", namingBind{Name: name, Addr: addr}, nil)
+}
+
+// Resolve looks a service up (first live member).
 func (nc *NamingClient) Resolve(name string) (string, error) {
 	resp, err := Call[namingResolve, namingResolved](nc.c, NamingObject, "resolve", namingResolve{Name: name})
 	if err != nil {
 		return "", err
 	}
 	return resp.Addr, nil
+}
+
+// ResolveAll returns every live member bound to name.
+func (nc *NamingClient) ResolveAll(name string) ([]string, error) {
+	resp, err := Call[namingResolve, namingResolvedAll](nc.c, NamingObject, "resolveAll", namingResolve{Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Addrs, nil
 }
 
 // Names lists bound services.
@@ -137,4 +281,39 @@ func (nc *NamingClient) Names() ([]string, error) {
 		return nil, err
 	}
 	return resp.Names, nil
+}
+
+// StartHeartbeat registers (name, addr) as a member with the given ttl
+// and keeps the registration alive by re-binding every interval until
+// stop is called. The initial bind is synchronous so a dead naming
+// service fails fast; subsequent refresh failures are retried at the
+// next tick (the orb client already retries transport failures), so a
+// naming-service restart heals without intervention. stop blocks until
+// the final UnbindMember has been sent, so a process that calls stop on
+// shutdown withdraws cleanly instead of lingering until the ttl lapses.
+func (nc *NamingClient) StartHeartbeat(name, addr string, ttl, interval time.Duration) (stop func(), err error) {
+	if err := nc.BindMember(name, addr, ttl); err != nil {
+		return nil, err
+	}
+	done := make(chan struct{})
+	unbound := make(chan struct{})
+	var once sync.Once
+	go func() {
+		defer close(unbound)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				_ = nc.BindMember(name, addr, ttl)
+			case <-done:
+				_ = nc.UnbindMember(name, addr)
+				return
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() { close(done) })
+		<-unbound
+	}, nil
 }

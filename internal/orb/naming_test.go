@@ -1,0 +1,241 @@
+package orb_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/orb"
+)
+
+// fakeClock is a manually advanced time source for expiry tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestNamingMultiBindingResolveAll(t *testing.T) {
+	n := orb.NewNaming()
+	n.BindMember("workers", "10.0.0.1:1", 0)
+	n.BindMember("workers", "10.0.0.2:2", 0)
+	n.BindMember("workers", "10.0.0.3:3", 0)
+
+	addrs, err := n.ResolveAll("workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"10.0.0.1:1", "10.0.0.2:2", "10.0.0.3:3"}
+	if !reflect.DeepEqual(addrs, want) {
+		t.Fatalf("ResolveAll = %v, want registration order %v", addrs, want)
+	}
+	// Resolve keeps the single-endpoint contract: first live member.
+	addr, err := n.Resolve("workers")
+	if err != nil || addr != "10.0.0.1:1" {
+		t.Fatalf("Resolve = %q, %v", addr, err)
+	}
+
+	n.UnbindMember("workers", "10.0.0.2:2")
+	addrs, _ = n.ResolveAll("workers")
+	if !reflect.DeepEqual(addrs, []string{"10.0.0.1:1", "10.0.0.3:3"}) {
+		t.Fatalf("after UnbindMember = %v", addrs)
+	}
+}
+
+func TestNamingResolveSetOrderDeterministic(t *testing.T) {
+	// Heartbeat refreshes must not reshuffle the set: ten rounds of
+	// refreshes in arbitrary member order leave the resolve order as the
+	// original registration order.
+	n := orb.NewNaming()
+	members := []string{"c:3", "a:1", "b:2"}
+	for _, m := range members {
+		n.BindMember("pool", m, time.Minute)
+	}
+	for round := 0; round < 10; round++ {
+		for i := range members {
+			n.BindMember("pool", members[(i+round)%len(members)], time.Minute)
+		}
+		addrs, err := n.ResolveAll("pool")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(addrs, members) {
+			t.Fatalf("round %d: ResolveAll = %v, want stable %v", round, addrs, members)
+		}
+	}
+}
+
+func TestNamingHeartbeatExpiry(t *testing.T) {
+	clock := newFakeClock()
+	n := orb.NewNaming()
+	n.SetClock(clock.Now)
+
+	n.BindMember("pool", "a:1", 2*time.Second)
+	n.BindMember("pool", "b:2", 10*time.Second)
+	n.BindMember("pool", "c:3", 0) // permanent
+
+	// Within every ttl: all live.
+	addrs, _ := n.ResolveAll("pool")
+	if len(addrs) != 3 {
+		t.Fatalf("ResolveAll = %v", addrs)
+	}
+
+	// a's ttl lapses without a heartbeat; b refreshed in time.
+	clock.Advance(3 * time.Second)
+	n.BindMember("pool", "b:2", 10*time.Second)
+	addrs, _ = n.ResolveAll("pool")
+	if !reflect.DeepEqual(addrs, []string{"b:2", "c:3"}) {
+		t.Fatalf("after a expired: %v", addrs)
+	}
+
+	// Everything but the permanent member lapses.
+	clock.Advance(time.Hour)
+	addrs, _ = n.ResolveAll("pool")
+	if !reflect.DeepEqual(addrs, []string{"c:3"}) {
+		t.Fatalf("after all ttls lapsed: %v", addrs)
+	}
+}
+
+func TestNamingReRegisterAfterExpiryJoinsAtBack(t *testing.T) {
+	clock := newFakeClock()
+	n := orb.NewNaming()
+	n.SetClock(clock.Now)
+
+	n.BindMember("pool", "a:1", time.Second)
+	n.BindMember("pool", "b:2", time.Hour)
+
+	// a restarts after its registration lapsed: it re-enters as a new
+	// registration at the back of the set.
+	clock.Advance(2 * time.Second)
+	n.BindMember("pool", "a:1", time.Hour)
+	addrs, err := n.ResolveAll("pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(addrs, []string{"b:2", "a:1"}) {
+		t.Fatalf("after re-register = %v, want expired member at the back", addrs)
+	}
+}
+
+func TestNamingAllExpiredResolvesToError(t *testing.T) {
+	clock := newFakeClock()
+	n := orb.NewNaming()
+	n.SetClock(clock.Now)
+	n.BindMember("pool", "a:1", time.Second)
+	clock.Advance(2 * time.Second)
+	if _, err := n.ResolveAll("pool"); err == nil {
+		t.Fatal("ResolveAll over an all-expired set must fail")
+	}
+	if _, err := n.Resolve("pool"); err == nil {
+		t.Fatal("Resolve over an all-expired set must fail")
+	}
+	if names := n.Names(); len(names) != 0 {
+		t.Fatalf("Names = %v, want empty", names)
+	}
+}
+
+func TestNamingBindEntryReplacesWholeSet(t *testing.T) {
+	n := orb.NewNaming()
+	n.BindMember("svc", "a:1", 0)
+	n.BindMember("svc", "b:2", 0)
+	n.BindEntry("svc", "c:3")
+	addrs, err := n.ResolveAll("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(addrs, []string{"c:3"}) {
+		t.Fatalf("BindEntry must replace the set, got %v", addrs)
+	}
+}
+
+func TestNamingMemberMethodsOverOrb(t *testing.T) {
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	naming := orb.NewNaming()
+	srv.Register(orb.NamingObject, naming.Servant())
+
+	c := orb.Dial(srv.Addr(), orb.ClientConfig{})
+	defer c.Close()
+	nc := orb.NewNamingClient(c)
+
+	if err := nc.BindMember("workers", "10.0.0.1:1", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.BindMember("workers", "10.0.0.2:2", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	addrs, err := nc.ResolveAll("workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(addrs, []string{"10.0.0.1:1", "10.0.0.2:2"}) {
+		t.Fatalf("remote ResolveAll = %v", addrs)
+	}
+	if err := nc.UnbindMember("workers", "10.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	addrs, _ = nc.ResolveAll("workers")
+	if !reflect.DeepEqual(addrs, []string{"10.0.0.2:2"}) {
+		t.Fatalf("remote ResolveAll after unbindMember = %v", addrs)
+	}
+}
+
+func TestNamingHeartbeatKeepsMemberAlive(t *testing.T) {
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	naming := orb.NewNaming()
+	srv.Register(orb.NamingObject, naming.Servant())
+
+	c := orb.Dial(srv.Addr(), orb.ClientConfig{})
+	defer c.Close()
+	nc := orb.NewNamingClient(c)
+
+	// A short ttl with a much shorter refresh interval: the member must
+	// stay resolvable well past several ttls, and disappear after stop.
+	stop, err := nc.StartHeartbeat("workers", "10.0.0.7:7", 100*time.Millisecond, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(400 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if _, err := naming.ResolveAll("workers"); err != nil {
+			t.Fatalf("member lapsed despite heartbeat: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop()
+	// Stop unbinds synchronously-ish (goroutine does it); wait briefly.
+	gone := false
+	for k := 0; k < 100; k++ {
+		if _, err := naming.ResolveAll("workers"); err != nil {
+			gone = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !gone {
+		t.Fatal("member still bound after heartbeat stop")
+	}
+}

@@ -1,0 +1,477 @@
+package taskexec_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/orb"
+	"repro/internal/persist"
+	"repro/internal/registry"
+	"repro/internal/script/sema"
+	"repro/internal/store"
+	"repro/internal/taskexec"
+	"repro/internal/txn"
+)
+
+// newExecNode starts one executor server whose "work" implementation
+// records the node's identity and forwards its input.
+func newExecNode(t *testing.T, name string, hook func(registry.Context)) *orb.Server {
+	t.Helper()
+	impls := registry.New()
+	impls.Bind("work", func(ctx registry.Context) (registry.Result, error) {
+		if hook != nil {
+			hook(ctx)
+		}
+		return registry.Result{Output: "done", Objects: registry.Objects{
+			"out": {Class: "D", Data: name},
+		}}, nil
+	})
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	srv.Register(taskexec.ObjectName, taskexec.NewExecutor(impls).Servant())
+	return srv
+}
+
+// req builds a minimal remote activation for direct Invoke tests.
+func req() engine.RemoteRequest {
+	return engine.RemoteRequest{
+		Location: "pool", Code: "work", Instance: "i", TaskPath: "app/t",
+		InputSet: "main", Inputs: registry.Objects{"in": {Class: "D", Data: "x"}},
+	}
+}
+
+func fixedSet(addrs ...string) taskexec.SetResolver {
+	return func(string) ([]string, error) { return addrs, nil }
+}
+
+func TestRoundRobinSpreadsDispatches(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[string]int{}
+	hook := func(name string) func(registry.Context) {
+		return func(registry.Context) {
+			mu.Lock()
+			counts[name]++
+			mu.Unlock()
+		}
+	}
+	a := newExecNode(t, "a", hook("a"))
+	b := newExecNode(t, "b", hook("b"))
+	c := newExecNode(t, "c", hook("c"))
+
+	inv, err := taskexec.NewPoolInvoker(fixedSet(a.Addr(), b.Addr(), c.Addr()), taskexec.PoolConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inv.Close()
+	for k := 0; k < 30; k++ {
+		if _, err := inv.Invoke(req()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, name := range []string{"a", "b", "c"} {
+		if counts[name] != 10 {
+			t.Fatalf("counts = %v, want a perfect 10/10/10 rotation", counts)
+		}
+	}
+}
+
+func TestLeastInflightAvoidsBusyMember(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	slow := newExecNode(t, "slow", func(ctx registry.Context) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+		case <-time.After(10 * time.Second):
+		}
+	})
+	var mu sync.Mutex
+	idleCalls := 0
+	idle := newExecNode(t, "idle", func(registry.Context) {
+		mu.Lock()
+		idleCalls++
+		mu.Unlock()
+	})
+
+	inv, err := taskexec.NewPoolInvoker(fixedSet(slow.Addr(), idle.Addr()), taskexec.PoolConfig{
+		Balance: taskexec.BalanceLeastInflight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inv.Close()
+
+	// Park one dispatch on the slow member...
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := inv.Invoke(req()); err != nil {
+			t.Errorf("slow dispatch: %v", err)
+		}
+	}()
+	<-started
+	// ...then every further dispatch must pick the idle member.
+	for k := 0; k < 10; k++ {
+		res, err := inv.Invoke(req())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Objects["out"].Data.(string) != "idle" {
+			t.Fatalf("dispatch %d went to %q, want the idle member", k, res.Objects["out"].Data)
+		}
+	}
+	mu.Lock()
+	if idleCalls != 10 {
+		t.Fatalf("idle calls = %d, want 10", idleCalls)
+	}
+	mu.Unlock()
+	close(release)
+	wg.Wait()
+}
+
+func TestFailoverToSurvivingMember(t *testing.T) {
+	live := newExecNode(t, "live", nil)
+	dead, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr()
+	dead.Close() // nothing listens here any more
+
+	inv, err := taskexec.NewPoolInvoker(fixedSet(deadAddr, live.Addr()), taskexec.PoolConfig{
+		Client:       orb.ClientConfig{Retries: 1, RetryDelay: time.Millisecond},
+		BlacklistFor: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inv.Close()
+
+	// Every dispatch completes despite the dead member being first in
+	// the set; after the first failure the dead member is blacklisted so
+	// subsequent dispatches do not even try it.
+	for k := 0; k < 8; k++ {
+		res, err := inv.Invoke(req())
+		if err != nil {
+			t.Fatalf("dispatch %d: %v", k, err)
+		}
+		if res.Objects["out"].Data.(string) != "live" {
+			t.Fatalf("dispatch %d served by %q", k, res.Objects["out"].Data)
+		}
+	}
+	var deadDispatched, deadFailures int64
+	for _, st := range inv.Stats() {
+		if st.Addr == deadAddr {
+			deadDispatched, deadFailures = st.Dispatched, st.Failures
+			if st.Connected {
+				t.Error("dead member still holds a cached client")
+			}
+			if !st.Blacklisted {
+				t.Error("dead member not blacklisted")
+			}
+		}
+	}
+	if deadFailures == 0 {
+		t.Fatal("dead member never recorded a failure")
+	}
+	if deadDispatched > 2 {
+		t.Fatalf("dead member dispatched %d times; blacklist did not deprioritise it", deadDispatched)
+	}
+}
+
+func TestAllMembersBlacklistedStillTried(t *testing.T) {
+	srv := newExecNode(t, "only", nil)
+	inv, err := taskexec.NewPoolInvoker(fixedSet(srv.Addr()), taskexec.PoolConfig{
+		Client:       orb.ClientConfig{Retries: 0, RetryDelay: time.Millisecond},
+		BlacklistFor: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inv.Close()
+
+	// Blacklist the only member by failing a dispatch against a closed
+	// server... we cannot close and reopen the same port reliably, so
+	// instead force a failure through a resolver that points at a dead
+	// address once.
+	deadSrv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := deadSrv.Addr()
+	deadSrv.Close()
+	deadInv, err := taskexec.NewPoolInvoker(fixedSet(deadAddr), taskexec.PoolConfig{
+		Client:       orb.ClientConfig{Retries: 0, RetryDelay: time.Millisecond},
+		BlacklistFor: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer deadInv.Close()
+	if _, err := deadInv.Invoke(req()); err == nil {
+		t.Fatal("dispatch against a dead-only pool must fail")
+	}
+	// The member is blacklisted for an hour, yet the next dispatch still
+	// tries it (last resort) rather than failing without any attempt.
+	if _, err := deadInv.Invoke(req()); err == nil {
+		t.Fatal("still dead")
+	}
+	for _, st := range deadInv.Stats() {
+		if st.Addr == deadAddr && st.Dispatched < 2 {
+			t.Fatalf("blacklisted last-resort member not retried: %+v", st)
+		}
+	}
+
+	// And a healthy pool with a long blacklist keeps serving.
+	if _, err := inv.Invoke(req()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKilledAndReboundServantPickedUp is the regression test for the
+// cached-client eviction fix: an executor dies, its location is rebound
+// to a new address, and the invoker must pick up the new endpoint on
+// the next dispatch instead of clinging to the dead cached client.
+func TestKilledAndReboundServantPickedUp(t *testing.T) {
+	naming := orb.NewNaming()
+	first := newExecNode(t, "first", nil)
+	naming.BindEntry("pool", first.Addr())
+
+	inv, err := taskexec.NewPoolInvoker(naming.ResolveAll, taskexec.PoolConfig{
+		Client:       orb.ClientConfig{Retries: 1, RetryDelay: time.Millisecond},
+		BlacklistFor: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inv.Close()
+
+	res, err := inv.Invoke(req())
+	if err != nil || res.Objects["out"].Data.(string) != "first" {
+		t.Fatalf("warm-up dispatch: %v %v", res, err)
+	}
+
+	// Kill the executor. A dispatch while the location still names the
+	// dead address fails — and must evict the cached client.
+	firstAddr := first.Addr()
+	first.Close()
+	if _, err := inv.Invoke(req()); err == nil {
+		t.Fatal("dispatch against the killed executor must fail")
+	}
+	for _, st := range inv.Stats() {
+		if st.Addr == firstAddr && st.Connected {
+			t.Fatal("dead endpoint's client not evicted after call failure")
+		}
+	}
+
+	// The executor restarts at a NEW address and re-registers; the next
+	// dispatch must reach it through re-resolution.
+	second := newExecNode(t, "second", nil)
+	naming.BindEntry("pool", second.Addr())
+	res, err = inv.Invoke(req())
+	if err != nil {
+		t.Fatalf("dispatch after rebind: %v", err)
+	}
+	if res.Objects["out"].Data.(string) != "second" {
+		t.Fatalf("dispatch served by %q, want the rebound executor", res.Objects["out"].Data)
+	}
+}
+
+// locatedPoolScript pins one task to the pooled location.
+const locatedPoolScript = `
+class D;
+
+taskclass Crunch
+{
+    inputs { input main { in of class D } };
+    outputs { outcome done { out of class D } }
+};
+
+taskclass App
+{
+    inputs { input main { in of class D } };
+    outputs { outcome done { out of class D } }
+};
+
+compoundtask app of taskclass App
+{
+    task crunch of taskclass Crunch
+    {
+        implementation { "code" is "work"; "location" is "pool" };
+        inputs { input main { inputobject in from { in of task app if input main } } }
+    };
+    outputs { outcome done { outputobject out from { out of task crunch if output done } } }
+};
+`
+
+// TestEngineFailoverMasksDeadMember pins the paper-facing semantics: a
+// system-level failure of one pool member is masked by failover inside
+// ONE dispatch, so the engine sees no failure at all (MaxRetries
+// effectively untouched, no retry events).
+func TestEngineFailoverMasksDeadMember(t *testing.T) {
+	live := newExecNode(t, "live", nil)
+	deadSrv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := deadSrv.Addr()
+	deadSrv.Close()
+
+	inv, err := taskexec.NewPoolInvoker(fixedSet(deadAddr, live.Addr()), taskexec.PoolConfig{
+		Client: orb.ClientConfig{Retries: 0, RetryDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inv.Close()
+
+	st := store.NewMemStore()
+	preg := persist.NewRegistry(st, txn.NewManager(st), nil)
+	eng := engine.New(preg, registry.New(), engine.Config{
+		// MaxRetries 0 would be defaulted to 3; use a canary value and
+		// assert no retry events instead.
+		MaxRetries:    1,
+		RemoteInvoker: inv.Invoke,
+	})
+	defer eng.Close()
+
+	schema := sema.MustCompileSource("pool.wf", []byte(locatedPoolScript))
+	inst, err := eng.Instantiate("pool-1", schema, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start("main", registry.Objects{"in": {Class: "D", Data: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	res, err := inst.Wait(ctx)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if res.Output != "done" {
+		t.Fatalf("outcome = %q", res.Output)
+	}
+	for _, e := range inst.Events() {
+		if e.Kind == engine.EventTaskRetried {
+			t.Fatalf("engine retried despite pool failover: %+v", e)
+		}
+	}
+}
+
+// TestResolveCacheAndStaleFallback pins the ResolveCache contract: a
+// fresh set is served from cache without re-resolving, an expired cache
+// refreshes, and a failed refresh falls back to the last known set.
+func TestResolveCacheAndStaleFallback(t *testing.T) {
+	srv := newExecNode(t, "n1", nil)
+	var mu sync.Mutex
+	resolves, fail := 0, false
+	resolver := func(string) ([]string, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		resolves++
+		if fail {
+			return nil, fmt.Errorf("naming service down")
+		}
+		return []string{srv.Addr()}, nil
+	}
+	inv, err := taskexec.NewPoolInvoker(resolver, taskexec.PoolConfig{
+		ResolveCache: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inv.Close()
+
+	// A burst within the cache window costs exactly one resolve.
+	for k := 0; k < 10; k++ {
+		if _, err := inv.Invoke(req()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	if resolves != 1 {
+		t.Fatalf("resolves = %d during cache window, want 1", resolves)
+	}
+	// The naming service "goes down"; once the cache expires, dispatch
+	// must keep working off the stale set.
+	fail = true
+	mu.Unlock()
+	time.Sleep(250 * time.Millisecond)
+	if _, err := inv.Invoke(req()); err != nil {
+		t.Fatalf("dispatch must fall back to the stale set: %v", err)
+	}
+	mu.Lock()
+	if resolves < 2 {
+		t.Fatalf("resolves = %d, expected an (attempted) refresh after expiry", resolves)
+	}
+	mu.Unlock()
+}
+
+// TestPoolInvokerValidatesBalance pins the constructor contract.
+func TestPoolInvokerValidatesBalance(t *testing.T) {
+	if _, err := taskexec.NewPoolInvoker(fixedSet("x"), taskexec.PoolConfig{Balance: "fastest"}); err == nil {
+		t.Fatal("unknown balance strategy must be rejected")
+	}
+	for _, b := range []string{"", taskexec.BalanceRoundRobin, taskexec.BalanceLeastInflight} {
+		if _, err := taskexec.NewPoolInvoker(fixedSet("x"), taskexec.PoolConfig{Balance: b}); err != nil {
+			t.Fatalf("balance %q rejected: %v", b, err)
+		}
+	}
+}
+
+// TestConcurrentDispatches hammers one pool from many goroutines to give
+// the race detector surface over acquire/release/plan.
+func TestConcurrentDispatches(t *testing.T) {
+	a := newExecNode(t, "a", nil)
+	b := newExecNode(t, "b", nil)
+	inv, err := taskexec.NewPoolInvoker(fixedSet(a.Addr(), b.Addr()), taskexec.PoolConfig{
+		Balance: taskexec.BalanceLeastInflight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inv.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 8; k++ {
+				if _, err := inv.Invoke(req()); err != nil {
+					errs <- fmt.Errorf("dispatch: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, st := range inv.Stats() {
+		total += st.Dispatched
+		if st.Inflight != 0 {
+			t.Fatalf("inflight %d after quiesce: %+v", st.Inflight, st)
+		}
+	}
+	if total != 64 {
+		t.Fatalf("total dispatched = %d, want 64", total)
+	}
+}

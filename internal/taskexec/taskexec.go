@@ -113,65 +113,95 @@ func runSafely(f registry.Func, ctx registry.Context) (res registry.Result, err 
 	return f(ctx)
 }
 
-// Resolver maps a location name to an endpoint address; usually a naming
-// client's Resolve.
+// Resolver maps a location name to a single endpoint address; kept for
+// single-endpoint deployments (see SetResolver in pool.go for
+// pool-aware resolution).
 type Resolver func(location string) (string, error)
 
-// Invoker dispatches engine activations to executors, caching one client
-// per resolved endpoint.
+// Invoker is the engine-side dispatcher: it resolves a task's location
+// to the set of executor endpoints currently serving it, balances
+// activations across the set (round-robin or least-inflight), tracks
+// per-endpoint health (failed members are evicted and temporarily
+// blacklisted) and fails a dispatch over to surviving members before
+// surfacing a system-level failure to the engine's retry/abort mapping.
 type Invoker struct {
-	resolve Resolver
-	cfg     orb.ClientConfig
+	resolveSet SetResolver
+	cfg        PoolConfig
 
-	mu      sync.Mutex
-	clients map[string]*orb.Client
+	mu        sync.Mutex
+	endpoints map[string]*endpoint
+	resolved  map[string]*resolvedSet
+	rr        uint64
 }
 
-// NewInvoker builds an engine.RemoteInvoker-compatible dispatcher.
+// NewInvoker builds an engine.RemoteInvoker-compatible dispatcher over a
+// single-endpoint resolver (a pool of one per location).
 func NewInvoker(resolve Resolver, cfg orb.ClientConfig) *Invoker {
-	return &Invoker{resolve: resolve, cfg: cfg, clients: make(map[string]*orb.Client)}
+	inv, err := NewPoolInvoker(singleResolver(resolve), PoolConfig{Client: cfg})
+	if err != nil {
+		// Unreachable: the zero Balance is always valid.
+		panic(err)
+	}
+	return inv
 }
 
-// Close drops all cached clients.
+// Close drops every cached client.
 func (inv *Invoker) Close() {
 	inv.mu.Lock()
-	defer inv.mu.Unlock()
-	for _, c := range inv.clients {
+	clients := make([]*orb.Client, 0, len(inv.endpoints))
+	for _, ep := range inv.endpoints {
+		if ep.client != nil {
+			clients = append(clients, ep.client)
+			ep.client = nil
+		}
+	}
+	inv.endpoints = make(map[string]*endpoint)
+	inv.mu.Unlock()
+	for _, c := range clients {
 		c.Close()
 	}
-	inv.clients = make(map[string]*orb.Client)
 }
 
-// client returns (creating if needed) the client for an endpoint.
-func (inv *Invoker) client(addr string) *orb.Client {
-	inv.mu.Lock()
-	defer inv.mu.Unlock()
-	if c, ok := inv.clients[addr]; ok {
-		return c
-	}
-	c := orb.Dial(addr, inv.cfg)
-	inv.clients[addr] = c
-	return c
-}
-
-// Invoke implements engine.RemoteInvoker.
+// Invoke implements engine.RemoteInvoker. One call is one activation
+// dispatch: resolve the member set, try members in balance order, and
+// return the first member's verdict — failing over to the next member
+// only on transport-level failures (the activation never reached an
+// implementation), so the engine's at-least-once retry accounting is
+// preserved.
 func (inv *Invoker) Invoke(req engine.RemoteRequest) (registry.Result, error) {
-	addr, err := inv.resolve(req.Location)
+	addrs, err := inv.resolve(req.Location)
 	if err != nil {
 		return registry.Result{}, fmt.Errorf("resolve location %q: %w", req.Location, err)
 	}
-	resp, err := orb.Call[executeReq, executeResp](inv.client(addr), ObjectName, "execute", executeReq{
-		Code: req.Code, Instance: req.Instance, TaskPath: req.TaskPath,
-		InputSet: req.InputSet, Attempt: req.Attempt, Iteration: req.Iteration,
-		Inputs: req.Inputs,
-	})
-	if err != nil {
-		return registry.Result{}, fmt.Errorf("remote execute at %q: %w", req.Location, err)
+	if len(addrs) == 0 {
+		return registry.Result{}, fmt.Errorf("resolve location %q: empty member set", req.Location)
 	}
-	if resp.SysErr != "" {
-		return registry.Result{}, errors.New(resp.SysErr)
+	order := inv.plan(addrs)
+	if inv.cfg.MaxFailover > 0 && len(order) > inv.cfg.MaxFailover {
+		order = order[:inv.cfg.MaxFailover]
 	}
-	return registry.Result{Output: resp.Output, Objects: resp.Objects}, nil
+	var lastErr error
+	for _, addr := range order {
+		ep, client := inv.acquire(addr)
+		resp, err := orb.Call[executeReq, executeResp](client, ObjectName, "execute", executeReq{
+			Code: req.Code, Instance: req.Instance, TaskPath: req.TaskPath,
+			InputSet: req.InputSet, Attempt: req.Attempt, Iteration: req.Iteration,
+			Inputs: req.Inputs,
+		})
+		inv.release(ep, err != nil)
+		if err != nil {
+			lastErr = fmt.Errorf("member %s: %w", addr, err)
+			continue
+		}
+		if resp.SysErr != "" {
+			// The executor ran (or refused) the activation: an
+			// executor-level system failure, not a membership problem —
+			// surface it to the engine rather than re-running elsewhere.
+			return registry.Result{}, errors.New(resp.SysErr)
+		}
+		return registry.Result{Output: resp.Output, Objects: resp.Objects}, nil
+	}
+	return registry.Result{}, fmt.Errorf("remote execute at %q: all %d members failed: %w", req.Location, len(order), lastErr)
 }
 
 // Ensure the adapter satisfies the engine's hook type.

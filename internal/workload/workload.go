@@ -56,6 +56,29 @@ func stage(b *strings.Builder, name, sourceExpr string) {
     };`, name, sourceExpr)
 }
 
+// locStage renders one Stage task pinned to a location (dispatched to a
+// remote executor pool by the engine).
+func locStage(b *strings.Builder, name, sourceExpr, location string) {
+	locStageCode(b, name, sourceExpr, location, "stage")
+}
+
+// locStageCode renders one located Stage task with an explicit
+// implementation code.
+func locStageCode(b *strings.Builder, name, sourceExpr, location, code string) {
+	fmt.Fprintf(b, `
+    task %s of taskclass Stage
+    {
+        implementation { "code" is %q; "location" is %q };
+        inputs
+        {
+            input main
+            {
+                inputobject in from { %s }
+            }
+        }
+    };`, name, code, location, sourceExpr)
+}
+
 // pair renders one Pair join task.
 func pair(b *strings.Builder, name, leftExpr, rightExpr string) {
 	fmt.Fprintf(b, `
@@ -153,9 +176,18 @@ func FanOut(n int) string {
 // sink: the sink reads the root's seed and is notified by every stage
 // (an AND of n notification dependencies) — the widest possible join.
 func FanIn(n int) string {
+	return fanIn(n, func(b *strings.Builder, name, src string) {
+		stage(b, name, src)
+	})
+}
+
+// fanIn builds the fan-in shape with a pluggable renderer for the n
+// parallel stages (the local and located variants share everything
+// else: the root feed, the notification-gated sink, the wrapper).
+func fanIn(n int, renderStage func(b *strings.Builder, name, sourceExpr string)) string {
 	var b strings.Builder
 	for i := 1; i <= n; i++ {
-		stage(&b, fmt.Sprintf("t%d", i), fromRoot)
+		renderStage(&b, fmt.Sprintf("t%d", i), fromRoot)
 	}
 	fmt.Fprintf(&b, `
     task sink of taskclass Stage
@@ -174,6 +206,41 @@ func FanIn(n int) string {
         }
     };`)
 	return wrap(b.String(), "sink")
+}
+
+// LocatedChain returns a linear pipeline of n stages, every stage pinned
+// to the given location: the workload of the executor-pool load
+// generator (each instance costs n sequential remote dispatches).
+func LocatedChain(n int, location string) string {
+	return LocatedChainCode(n, location, "stage")
+}
+
+// LocatedChainCode is LocatedChain with an explicit implementation code,
+// so daemon-hosted executors can run the chain through the builtin
+// pattern schemes (e.g. "sleep:2ms:done").
+func LocatedChainCode(n int, location, code string) string {
+	var b strings.Builder
+	prev := ""
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("t%d", i)
+		src := fromRoot
+		if prev != "" {
+			src = fromTask(prev)
+		}
+		locStageCode(&b, name, src, location, code)
+		prev = name
+	}
+	return wrap(b.String(), prev)
+}
+
+// LocatedFanOut returns n parallel located stages all fed by the root,
+// gating a local sink via notifications: the widest possible burst of
+// simultaneous remote dispatches (exercises the engine's remote-dispatch
+// backpressure gate).
+func LocatedFanOut(n int, location string) string {
+	return fanIn(n, func(b *strings.Builder, name, src string) {
+		locStage(b, name, src, location)
+	})
 }
 
 // RandomDAG returns a random DAG of n stages where each stage reads from

@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Multi-node end-to-end smoke test of the distributed executor fabric:
+#
+#   1. boot wfnaming, wfrepo, TWO wftask executor nodes (both registered
+#      as heartbeat members of location "workers") and wfexec with
+#      pooled remote dispatch;
+#   2. deploy and start a located workflow whose middle stage sleeps
+#      long enough to straddle an executor crash;
+#   3. SIGKILL one executor while the instance is mid-run;
+#   4. assert the instance still completes — the pool dispatcher must
+#      fail the dead member's activations over to the survivor with no
+#      manual intervention.
+#
+# Run directly or as `make e2e`. Exits 0 on success.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d /tmp/wf-e2e.XXXXXX)"
+BIN="$WORK/bin"
+mkdir -p "$BIN"
+PIDS=()
+
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+say() { echo "e2e: $*"; }
+
+# wait_addr LOGFILE PATTERN -> echoes the host:port the daemon printed.
+wait_addr() {
+    local log="$1" pattern="$2" addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n "s/.*$pattern \(127\.0\.0\.1:[0-9]*\).*/\1/p" "$log" | head -n1)"
+        if [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "e2e: daemon never announced itself in $log:" >&2
+    cat "$log" >&2
+    return 1
+}
+
+say "building binaries"
+go build -o "$BIN" ./cmd/wfnaming ./cmd/wfrepo ./cmd/wfexec ./cmd/wftask ./cmd/wfadmin
+
+say "booting naming + repository"
+"$BIN/wfnaming" -addr 127.0.0.1:0 > "$WORK/naming.log" 2>&1 &
+PIDS+=($!); disown
+NAMING="$(wait_addr "$WORK/naming.log" "naming service on")"
+
+"$BIN/wfrepo" -addr 127.0.0.1:0 -dir "$WORK/repo-state" > "$WORK/repo.log" 2>&1 &
+PIDS+=($!); disown
+REPO="$(wait_addr "$WORK/repo.log" "workflow repository service on")"
+
+say "booting 2 executor members of location \"workers\" (ttl 2s heartbeats)"
+"$BIN/wftask" -addr 127.0.0.1:0 -location workers -naming "$NAMING" -ttl 2s > "$WORK/task1.log" 2>&1 &
+TASK1=$!
+PIDS+=($TASK1); disown
+"$BIN/wftask" -addr 127.0.0.1:0 -location workers -naming "$NAMING" -ttl 2s > "$WORK/task2.log" 2>&1 &
+PIDS+=($!); disown
+wait_addr "$WORK/task1.log" "on" > /dev/null
+wait_addr "$WORK/task2.log" "on" > /dev/null
+
+say "booting wfexec with pooled dispatch via naming"
+"$BIN/wfexec" -addr 127.0.0.1:0 -repo "$REPO" -naming "$NAMING" -store mem \
+    -dir "$WORK/exec-state" > "$WORK/exec.log" 2>&1 &
+PIDS+=($!); disown
+EXEC="$(wait_addr "$WORK/exec.log" "workflow execution service on")"
+
+cat > "$WORK/located.wf" <<'EOF'
+class Data;
+
+taskclass Stage
+{
+    inputs { input main { d of class Data } };
+    outputs { outcome done { d of class Data } }
+};
+
+taskclass App
+{
+    inputs { input main { d of class Data } };
+    outputs { outcome done { d of class Data } }
+};
+
+compoundtask app of taskclass App
+{
+    task t1 of taskclass Stage
+    {
+        implementation { "code" is "sleep:200ms:done"; "location" is "workers" };
+        inputs { input main { inputobject d from { d of task app if input main } } }
+    };
+    task t2 of taskclass Stage
+    {
+        implementation { "code" is "sleep:2s:done"; "location" is "workers" };
+        inputs { input main { inputobject d from { d of task t1 if output done } } }
+    };
+    task t3 of taskclass Stage
+    {
+        implementation { "code" is "sleep:200ms:done"; "location" is "workers" };
+        inputs { input main { inputobject d from { d of task t2 if output done } } }
+    };
+    outputs { outcome done { outputobject d from { d of task t3 if output done } } }
+};
+EOF
+
+say "deploying and starting the located workflow"
+"$BIN/wfadmin" -repo "$REPO" deploy located "$WORK/located.wf"
+"$BIN/wfadmin" -exec "$EXEC" instantiate run1 located
+"$BIN/wfadmin" -exec "$EXEC" start run1 main d=Data:hello
+
+# t1 (200ms) finishes, then t2 sleeps 2s: kill one executor while t2 is
+# (or is about to be) in flight. Whichever member held t2, the pool must
+# re-dispatch to the survivor.
+sleep 0.7
+say "SIGKILLing executor 1 (pid $TASK1) mid-run"
+kill -9 "$TASK1"
+
+say "waiting for completion across the failover"
+OUT="$("$BIN/wfadmin" -exec "$EXEC" wait run1 30s)"
+echo "$OUT"
+case "$OUT" in
+    *"status: completed"*) ;;
+    *)
+        echo "e2e: FAIL — instance did not complete after executor crash" >&2
+        "$BIN/wfadmin" -exec "$EXEC" events run1 >&2 || true
+        tail -n 20 "$WORK"/*.log >&2 || true
+        exit 1
+        ;;
+esac
+
+# Every stage must have completed exactly once at the workflow level.
+EVENTS="$("$BIN/wfadmin" -exec "$EXEC" events run1)"
+for task in t1 t2 t3; do
+    if ! grep -q "completed app/$task" <<< "$EVENTS"; then
+        echo "e2e: FAIL — no completion event for $task" >&2
+        echo "$EVENTS" >&2
+        exit 1
+    fi
+done
+
+say "PASS — instance completed via failover after SIGKILL of one executor"
