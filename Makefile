@@ -50,7 +50,12 @@ bench-gate:
 		{ echo "bench-gate: retrying once to rule out machine noise"; \
 		  $(GO) run ./cmd/wfbench -iters 3 -quick -json BENCH_ci.json -compare BENCH_baseline.json; }
 
-# Multi-node end-to-end smoke: naming + 2 executors + wfexec, SIGKILL
-# one executor mid-run, assert the instance completes via failover.
+# End-to-end smokes against real daemons:
+#  - multinode: naming + 2 executors + wfexec, SIGKILL one executor
+#    mid-run, assert the instance completes via failover;
+#  - timers: SIGKILL wfexec mid-delay, restart with -recover, assert the
+#    durable timer fires exactly once at its original absolute deadline,
+#    plus a `wfadmin schedule` recurring-instantiation smoke.
 e2e:
 	bash scripts/e2e_multinode.sh
+	bash scripts/e2e_timers.sh

@@ -11,6 +11,8 @@
 //	wfadmin -exec ADDR start INST SET k=Class:v.. start with inputs
 //	wfadmin -exec ADDR status INST                status + task table
 //	wfadmin -exec ADDR events INST                event trace
+//	wfadmin -exec ADDR watch INST [TIMEOUT]       stream events (incl. timer
+//	                                              arm/fire) until settled
 //	wfadmin -exec ADDR wait INST [TIMEOUT]        wait for settlement
 //	wfadmin -exec ADDR abort INST TASKPATH [OUT]  force-abort a task
 //	wfadmin -exec ADDR addtask INST SCOPE FILE    reconfigure: add task
@@ -20,6 +22,17 @@
 //	wfadmin -exec ADDR instances                  list live instances
 //	wfadmin -exec ADDR recover INST               recover an instance
 //	wfadmin -exec ADDR stop INST                  stop an instance
+//
+// Scheduled instantiation (the schedules persist on the execution
+// service and survive restarts via wfexec -recover):
+//
+//	wfadmin -exec ADDR schedule add NAME SCHEMA SET AFTER EVERY MAXRUNS [k=Class:v ...]
+//	        AFTER delays the first run ("0" = immediately / after one
+//	        EVERY); EVERY is the recurrence period ("0" = one-shot);
+//	        MAXRUNS bounds the total runs (0 = unlimited). Instances are
+//	        named NAME-1, NAME-2, ...
+//	wfadmin -exec ADDR schedule list              list schedules
+//	wfadmin -exec ADDR schedule rm NAME           remove a schedule
 package main
 
 import (
@@ -125,17 +138,9 @@ func run(repoAddr, execAddr string, args []string) error {
 		if err := need(2, "INST SET [key=Class:value ...]"); err != nil {
 			return err
 		}
-		inputs := make(registry.Objects)
-		for _, kv := range rest[2:] {
-			name, rest2, ok := strings.Cut(kv, "=")
-			if !ok {
-				return fmt.Errorf("bad input %q, want key=Class:value", kv)
-			}
-			class, val, ok := strings.Cut(rest2, ":")
-			if !ok {
-				return fmt.Errorf("bad input %q, want key=Class:value", kv)
-			}
-			inputs[name] = registry.Value{Class: class, Data: val}
+		inputs, err := parseInputs(rest[2:])
+		if err != nil {
+			return err
 		}
 		return execC.Start(rest[0], rest[1], inputs)
 	case "status":
@@ -167,6 +172,112 @@ func run(repoAddr, execAddr string, args []string) error {
 		}
 		for _, e := range events {
 			fmt.Println(e)
+		}
+	case "watch":
+		// Stream the trace (timer arms and fires included) until the
+		// instance settles or the timeout passes.
+		if err := need(1, "INST [TIMEOUT]"); err != nil {
+			return err
+		}
+		timeout := time.Minute
+		if len(rest) >= 2 {
+			d, err := time.ParseDuration(rest[1])
+			if err != nil {
+				return err
+			}
+			timeout = d
+		}
+		deadline := time.Now().Add(timeout)
+		since := 0
+		for {
+			events, err := execC.Events(rest[0], since)
+			if err != nil {
+				return err
+			}
+			for _, e := range events {
+				fmt.Println(e)
+				since = e.Seq
+			}
+			status, _, err := execC.Status(rest[0])
+			if err != nil {
+				return err
+			}
+			if execsvc.Settled(status) {
+				// Events emitted between the fetch above and the status
+				// check (the settling ones, typically) still need printing.
+				events, err := execC.Events(rest[0], since)
+				if err != nil {
+					return err
+				}
+				for _, e := range events {
+					fmt.Println(e)
+				}
+				fmt.Printf("instance %s settled: %s\n", rest[0], status)
+				return nil
+			}
+			if time.Now().After(deadline) {
+				fmt.Printf("instance %s still %s after %v\n", rest[0], status, timeout)
+				return nil
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	case "schedule":
+		if err := need(1, "add|list|rm ..."); err != nil {
+			return err
+		}
+		sub, srest := rest[0], rest[1:]
+		switch sub {
+		case "add":
+			if len(srest) < 6 {
+				return fmt.Errorf("usage: wfadmin schedule add NAME SCHEMA SET AFTER EVERY MAXRUNS [key=Class:value ...]")
+			}
+			after, err := time.ParseDuration(srest[3])
+			if err != nil {
+				return fmt.Errorf("bad AFTER %q: %w", srest[3], err)
+			}
+			every, err := time.ParseDuration(srest[4])
+			if err != nil {
+				return fmt.Errorf("bad EVERY %q: %w", srest[4], err)
+			}
+			maxRuns, err := strconv.Atoi(srest[5])
+			if err != nil {
+				return fmt.Errorf("bad MAXRUNS %q: %w", srest[5], err)
+			}
+			inputs, err := parseInputs(srest[6:])
+			if err != nil {
+				return err
+			}
+			return execC.ScheduleAdd(execsvc.Schedule{
+				Name: srest[0], Schema: srest[1], Set: srest[2],
+				Inputs: inputs, After: after, Every: every, MaxRuns: maxRuns,
+			})
+		case "list":
+			list, err := execC.Schedules()
+			if err != nil {
+				return err
+			}
+			for _, e := range list {
+				state := fmt.Sprintf("next %s", e.NextAt.Format(time.RFC3339))
+				if e.Done {
+					state = "done"
+				}
+				every := "one-shot"
+				if e.Every > 0 {
+					every = "every " + e.Every.String()
+				}
+				line := fmt.Sprintf("%-20s schema=%s set=%s %s fired=%d %s", e.Name, e.Schema, e.Set, every, e.Fired, state)
+				if e.LastErr != "" {
+					line += " lastErr=" + e.LastErr
+				}
+				fmt.Println(line)
+			}
+		case "rm":
+			if len(srest) < 1 {
+				return fmt.Errorf("usage: wfadmin schedule rm NAME")
+			}
+			return execC.ScheduleRemove(srest[0])
+		default:
+			return fmt.Errorf("unknown schedule subcommand %q (want add, list or rm)", sub)
 		}
 	case "wait":
 		if err := need(1, "INST [TIMEOUT]"); err != nil {
@@ -250,4 +361,21 @@ func run(repoAddr, execAddr string, args []string) error {
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 	return nil
+}
+
+// parseInputs turns key=Class:value arguments into start inputs.
+func parseInputs(args []string) (registry.Objects, error) {
+	inputs := make(registry.Objects)
+	for _, kv := range args {
+		name, rest, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad input %q, want key=Class:value", kv)
+		}
+		class, val, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad input %q, want key=Class:value", kv)
+		}
+		inputs[name] = registry.Value{Class: class, Data: val}
+	}
+	return inputs, nil
 }

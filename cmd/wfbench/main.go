@@ -35,7 +35,7 @@ type runner interface {
 // benchRow is one measurement of the table, as emitted by -json.
 type benchRow struct {
 	// Exp is the experiment family ("F1".."F9", "X1".."X5", "ABL", "S1",
-	// "S2", "S3").
+	// "S2", "S3", "S4").
 	Exp string `json:"exp"`
 	// Scenario is the human-readable scenario label of the row.
 	Scenario string `json:"scenario"`
@@ -51,9 +51,10 @@ type benchRow struct {
 
 // benchReport is the top-level -json document: schema_version guards
 // consumers against format drift (version 2 added the S3 executor-pool
-// rows), iterations is the -iters flag value (individual rows may be
-// measured with fewer iterations — the heavy X1/ABL/S1/S2/S3 scenarios
-// cap themselves), generated_at is RFC 3339 UTC.
+// rows, version 3 the S4 temporal rows), iterations is the -iters flag
+// value (individual rows may be measured with fewer iterations — the
+// heavy X1/ABL/S1/S2/S3/S4 scenarios cap themselves), generated_at is
+// RFC 3339 UTC.
 type benchReport struct {
 	SchemaVersion int    `json:"schema_version"`
 	GeneratedAt   string `json:"generated_at"`
@@ -77,7 +78,7 @@ func main() {
 	iters := flag.Int("iters", 20, "iterations per measurement")
 	quick := flag.Bool("quick", false, "reduce sweep sizes for a fast pass")
 	jsonPath := flag.String("json", "", "also write the measurement table as JSON to this path")
-	comparePath := flag.String("compare", "", "baseline JSON to gate against: fail if any S1/S2/S3 row regresses")
+	comparePath := flag.String("compare", "", "baseline JSON to gate against: fail if any S1/S2/S3/S4 row regresses")
 	threshold := flag.Float64("gate-threshold", 0.30, "relative slowdown vs baseline that fails the gate")
 	flag.Parse()
 	if err := run(*iters, *quick); err != nil {
@@ -86,7 +87,7 @@ func main() {
 	}
 	if *jsonPath != "" {
 		report := benchReport{
-			SchemaVersion: 2,
+			SchemaVersion: 3,
 			GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
 			Iterations:    *iters,
 			Quick:         *quick,
@@ -164,7 +165,7 @@ func calibrateFsync() error {
 // gatedExps are the experiment families the -compare regression gate
 // covers: the scheduler, persistence and executor-pool ablations, whose
 // scenarios are stable enough across machines for a relative threshold.
-var gatedExps = map[string]bool{"S1": true, "S2": true, "S3": true}
+var gatedExps = map[string]bool{"S1": true, "S2": true, "S3": true, "S4": true}
 
 // calibScale derives the machine-speed correction for one gated family:
 // fresh calibration over baseline calibration, clamped so a deranged
@@ -210,10 +211,11 @@ func compareBaseline(path string, fresh []benchRow, calibCPU, calibFsync time.Du
 		switch exp {
 		case "S2":
 			return fsyncScale
-		case "S3":
+		case "S3", "S4":
 			// S3 per-instance time is dominated by the simulated-work
-			// sleeps, which do not vary with machine speed: scaling
-			// them would invent (or hide) regressions.
+			// sleeps, and the S4 temporal rows by the delays and
+			// deadlines themselves; neither varies with machine speed,
+			// so scaling them would invent (or hide) regressions.
 			return 1
 		default:
 			return cpuScale
@@ -618,6 +620,64 @@ func run(iters int, quick bool) error {
 		row("S3", "loadgen chain(4), 2 executors, kill one mid-run",
 			time.Duration(float64(rep.Elapsed)/float64(rep.Instances)),
 			fmt.Sprintf("all %d instances completed via failover", rep.Instances))
+	}
+
+	// S4 temporal subsystem: timing-wheel churn (10k concurrent timers
+	// with fire-latency percentiles), engine-level timer chains and
+	// deadline fan-outs, and the crash-recovery scenario asserting a
+	// delay crashed over mid-flight fires exactly once at its original
+	// absolute deadline. Every row is sleep-dominated by design, so the
+	// -compare gate exempts S4 from CPU calibration scaling (as S3).
+	churnN := 10_000
+	if quick {
+		churnN = 2_000
+	}
+	churn, err := experiments.TimerChurn(churnN, 50*time.Millisecond)
+	if err != nil {
+		return fmt.Errorf("S4 churn: %w", err)
+	}
+	row("S4", fmt.Sprintf("wheel churn, %d timers (1/3 cancelled)", churnN), churn.Elapsed,
+		fmt.Sprintf("%d fired once each; fire lateness p50=%v p99=%v",
+			churn.Fired, churn.P50.Round(time.Microsecond), churn.P99.Round(time.Microsecond)))
+
+	s4Iters := iters
+	if s4Iters > 5 {
+		s4Iters = 5
+	}
+	timerChainN := 8
+	mean, err = measure(experiments.NewTimerChain(timerChainN, 2*time.Millisecond), s4Iters)
+	if err != nil {
+		return fmt.Errorf("S4 timer chain: %w", err)
+	}
+	row("S4", fmt.Sprintf("timer chain(%d), 2ms first-class delays", timerChainN), mean,
+		fmt.Sprintf("no implementation code; %dms delay floor", timerChainN*2))
+
+	fanN := 32
+	mean, err = measure(experiments.NewDeadlineFanOut(fanN, time.Millisecond), s4Iters)
+	if err != nil {
+		return fmt.Errorf("S4 deadline fan-out: %w", err)
+	}
+	row("S4", fmt.Sprintf("deadline fan-out(%d), none expire", fanN), mean,
+		fmt.Sprintf("%d wheel deadlines armed+disarmed per run", fanN))
+
+	{
+		dir, cleanup, err := experiments.NewS4Dir()
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		res, err := experiments.S4CrashDelay(250*time.Millisecond, 100*time.Millisecond, dir)
+		if err != nil {
+			return fmt.Errorf("S4 crash recovery: %w", err)
+		}
+		// A restarted-from-zero delay drifts by the pre-crash runtime
+		// (100ms) plus recovery; absolute-deadline re-arm keeps drift to
+		// wheel lateness plus recovery overhead.
+		if res.Drift > 80*time.Millisecond {
+			return fmt.Errorf("S4 crash recovery: deadline drift %v (delay restarted from zero?)", res.Drift)
+		}
+		row("S4", "crash mid-delay, recover, fire at deadline", res.Total,
+			fmt.Sprintf("fired once, %v past the original absolute deadline", res.Drift.Round(time.Microsecond)))
 	}
 
 	// Specification sizes of the paper's own applications.

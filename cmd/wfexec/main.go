@@ -17,6 +17,13 @@
 // (cmd/wftask members): balanced per -balance, failed over across
 // members, and optionally bounded by -max-remote backpressure.
 //
+// Temporal coordination is durable: tasks with a "delay" implementation
+// property fire on a crash-safe timing wheel (a delay pending when the
+// daemon is killed resumes at its original absolute deadline under
+// -recover, not from zero), and `wfadmin schedule` registers
+// delayed/periodic instantiation whose schedules persist in the same
+// store and are re-armed by -recover.
+//
 // Usage:
 //
 //	wfexec -addr 127.0.0.1:7002 -dir ./exec-state -repo 127.0.0.1:7001 [-store wal|file|mem]
@@ -140,6 +147,13 @@ func run(addr, dir, storeKind, repoAddr, naming, balance string, doRecover, noSy
 	repoClient := repository.NewClient(orb.Dial(repoAddr, orb.ClientConfig{}))
 	svc := execsvc.New(eng, execsvc.FromRepositoryClient(repoClient))
 
+	// Scheduled instantiation (wfadmin schedule ...): schedules persist
+	// in the same store as instance state and share the engine's timing
+	// wheel and clock.
+	sched := execsvc.NewScheduler(svc, fs)
+	svc.SetScheduler(sched)
+	defer sched.Close()
+
 	if doRecover {
 		ids, err := fs.List("inst/")
 		if err != nil {
@@ -163,6 +177,14 @@ func run(addr, dir, storeKind, repoAddr, naming, balance string, doRecover, noSy
 				continue
 			}
 			fmt.Printf("recovered instance %s\n", rest)
+		}
+		// Schedules re-arm only after every instance is recovered: a
+		// past-due schedule fires a catch-up run immediately, and that
+		// new instance must not race the recovery listing above.
+		if n, err := sched.Recover(); err != nil {
+			return fmt.Errorf("recover schedules: %w", err)
+		} else if n > 0 {
+			fmt.Printf("re-armed %d schedules\n", n)
 		}
 	}
 

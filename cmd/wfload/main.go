@@ -22,6 +22,14 @@
 // remote dispatches per instance) expose the pool balancing strategy
 // and the engine's backpressure gate. -kill N hard-stops the N-th
 // self-hosted executor halfway through the run to demonstrate failover.
+//
+// A third mode drives the temporal subsystem instead of executor pools:
+// -timer D replaces the located chain with a chain of first-class delay
+// tasks (the engine's durable timing wheel fires every stage; no
+// implementation code runs at all), so the closed loop measures S4-style
+// timer-heavy workloads:
+//
+//	wfload -timer 2ms -chain 8 -workers 64 -total 500
 package main
 
 import (
@@ -50,12 +58,16 @@ func main() {
 	naming := flag.String("naming", "", "naming service address (external mode)")
 	location := flag.String("location", "workers", "location name of the external executor pool")
 	code := flag.String("code", "sleep:2ms:done", "implementation code of chain stages in external mode")
+	timer := flag.Duration("timer", 0, "timer-heavy mode: per-stage first-class delay (replaces the located chain)")
 	flag.Parse()
 
 	var err error
-	if *naming != "" {
+	switch {
+	case *timer > 0:
+		err = runTimerLoad(*workers, *total, *chain, *timer)
+	case *naming != "":
 		err = runExternal(*naming, *location, *code, *workers, *total, *chain, *balance, *gate)
-	} else {
+	default:
 		err = runSelfHosted(*execs, *workers, *total, *chain, *delay, *balance, *gate, *kill)
 	}
 	if err != nil {
@@ -90,6 +102,28 @@ func runSelfHosted(execs, workers, total, chain int, delay time.Duration, balanc
 		return err
 	}
 	printReport(rep, le.Stats())
+	return nil
+}
+
+// runTimerLoad drives the closed loop over TimerChain instances: every
+// stage is a first-class delay on the engine's timing wheel, so the run
+// measures concurrent-timer churn (workers*chain pending timers at
+// steady state) rather than executor dispatch.
+func runTimerLoad(workers, total, chain int, delay time.Duration) error {
+	env := experiments.NewEnv(nil, engine.Config{Ephemeral: true})
+	defer env.Close()
+	schema := sema.MustCompileSource("wfload-timers", []byte(workload.TimerChain(chain, delay)))
+
+	fmt.Printf("timer-heavy load: chain of %d delays x %v, %d workers, %d instances (~%d concurrent timers)\n",
+		chain, delay, workers, total, workers)
+	lat := experiments.NewLatencyRecorder() // no remote activations; percentiles read 0
+	rep, err := experiments.RunClosedLoopSeed(env, schema, lat, workers, total, workload.TimerSeed())
+	if err != nil {
+		return err
+	}
+	floor := time.Duration(chain) * delay
+	fmt.Printf("%d instances in %v (%.1f inst/s); per-instance delay floor %v\n",
+		rep.Instances, rep.Elapsed.Round(time.Millisecond), rep.InstancesPerSec, floor)
 	return nil
 }
 

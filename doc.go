@@ -24,4 +24,15 @@
 // as the ablation baseline and differential-test oracle. See
 // internal/engine/depindex.go and the "Scheduler architecture" section
 // of README.md.
+//
+// # Temporal subsystem
+//
+// Time is first-class and crash-safe: internal/timers provides a
+// hierarchical timing wheel behind an injectable clock, shared by the
+// engine's "delay" tasks (durable timer records re-armed at their
+// original absolute deadlines by recovery), its per-activation
+// "deadline" bounds, and the execution service's scheduled
+// instantiation (execsvc.Scheduler, driven by `wfadmin schedule`). See
+// internal/engine/timers.go, internal/execsvc/schedule.go and the
+// "Temporal coordination" section of README.md.
 package repro

@@ -37,6 +37,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/registry"
 	"repro/internal/store"
+	"repro/internal/timers"
 )
 
 // Config tunes an Engine.
@@ -49,8 +50,17 @@ type Config struct {
 	MaxRepeats int
 	// DefaultDeadline bounds each implementation activation when the
 	// task declares no "deadline" implementation property. Zero means no
-	// bound.
+	// bound. Deadlines are tracked on the engine's shared timing wheel.
 	DefaultDeadline time.Duration
+	// Clock supplies time to the whole engine: event timestamps, output
+	// records, first-class delays, deadlines. Nil selects the wall
+	// clock; tests inject timers.FakeClock to drive temporal behaviour
+	// without sleeping.
+	Clock timers.Clock
+	// TimerTick is the timing-wheel granularity (worst-case fire
+	// lateness; timers never fire early). Zero selects the wheel's
+	// default (1ms).
+	TimerTick time.Duration
 	// Ephemeral disables persistence of run states (no transactions on
 	// the store, no crash recovery). It exists as the ablation baseline
 	// for the paper's design decision to record dependencies in
@@ -119,6 +129,10 @@ type Engine struct {
 	preg  *persist.Registry
 	impls *registry.Registry
 	cfg   Config
+	// clock and timers are the temporal substrate: every instance's
+	// delays and activation deadlines share one timing wheel.
+	clock  timers.Clock
+	timers *timers.Service
 
 	mu        sync.Mutex
 	instances map[string]*Instance
@@ -128,16 +142,30 @@ type Engine struct {
 // New returns an engine. preg supplies the persistent atomic objects and
 // transactions; impls supplies late-bound task implementations.
 func New(preg *persist.Registry, impls *registry.Registry, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	clock := cfg.Clock
+	if clock == nil {
+		clock = timers.WallClock{}
+	}
 	return &Engine{
 		preg:      preg,
 		impls:     impls,
-		cfg:       cfg.withDefaults(),
+		cfg:       cfg,
+		clock:     clock,
+		timers:    timers.New(clock, timers.Config{Tick: cfg.TimerTick}),
 		instances: make(map[string]*Instance),
 	}
 }
 
 // Impls returns the implementation registry (for rebinding/upgrades).
 func (e *Engine) Impls() *registry.Registry { return e.impls }
+
+// Clock returns the engine's clock (shared with embedding services, e.g.
+// the instantiation scheduler).
+func (e *Engine) Clock() timers.Clock { return e.clock }
+
+// Timers returns the engine's shared timing-wheel service.
+func (e *Engine) Timers() *timers.Service { return e.timers }
 
 // ErrInstanceExists is returned when instantiating a duplicate ID.
 var ErrInstanceExists = errors.New("instance already exists")
@@ -273,6 +301,13 @@ func (e *Engine) Recover(id string, compile SchemaCompiler) (*Instance, error) {
 			inst.activateConstituents(r.task)
 		}
 	}
+	// Re-arm pending delay timers from their persisted records at their
+	// original absolute deadlines — a delay survives the crash and fires
+	// once at the instant it was armed for, not a full duration after
+	// restart.
+	if err := inst.rearmTimers(); err != nil {
+		return nil, fmt.Errorf("recover %s: %w", id, err)
+	}
 	// Recovery cannot tell which dependencies became satisfiable while the
 	// instance was down: one full evaluation over every reloaded run.
 	inst.markAllDirty()
@@ -323,6 +358,7 @@ func (e *Engine) Close() {
 	for _, i := range insts {
 		i.Stop()
 	}
+	e.timers.Close()
 }
 
 // InstanceStatus is the lifecycle state of a workflow instance.
@@ -411,6 +447,14 @@ type Instance struct {
 	// by the loop goroutine. See persistRun/flushRuns in loop.go.
 	pendingRuns  map[string]*run
 	pendingOrder []string
+	// pendingTimers buffers delay-record writes (nil = delete), flushed
+	// in the same batch as the run states they belong to; owned by the
+	// loop goroutine. See timers.go.
+	pendingTimers     map[string]*delayRec
+	pendingTimerOrder []string
+	// armedTimers counts pending delay timers; a non-zero count means
+	// the instance is not quiescent even with nothing executing.
+	armedTimers int
 	// scans counts run examinations by the evaluator; the scheduler
 	// regression tests read it through Scans.
 	scans atomic.Int64
@@ -418,13 +462,21 @@ type Instance struct {
 	// dispatches (Config.MaxRemoteInflight); nil when unbounded.
 	remoteGate chan struct{}
 	evCh       chan completionMsg
-	markCh     chan markMsg
-	reqCh      chan func()
-	stopCh     chan struct{}
-	loopDone   chan struct{}
-	stopOnce   sync.Once
-	wg         sync.WaitGroup
-	inflight   int
+	// timerQ is the unbounded ordered queue of delay fires. The shared
+	// wheel goroutine must never block delivering into a busy instance
+	// (one slow instance would stall every other instance's timers and
+	// deadlines), so fire callbacks append under timerQMu and nudge
+	// timerSig instead of sending on a bounded channel.
+	timerQMu sync.Mutex
+	timerQ   []timerMsg
+	timerSig chan struct{}
+	markCh   chan markMsg
+	reqCh    chan func()
+	stopCh   chan struct{}
+	loopDone chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	inflight int
 
 	reconfigSeq int
 	// genSeq issues run generations; touched only by the goroutine that
@@ -443,20 +495,22 @@ type Instance struct {
 
 func (e *Engine) newInstance(id string, schema *core.Schema, root *core.Task) *Instance {
 	inst := &Instance{
-		eng:         e,
-		id:          id,
-		schema:      schema,
-		root:        root,
-		runs:        make(map[string]*run),
-		dirty:       make(map[string]struct{}),
-		pendingRuns: make(map[string]*run),
-		evCh:        make(chan completionMsg, 64),
-		markCh:      make(chan markMsg),
-		reqCh:       make(chan func()),
-		stopCh:      make(chan struct{}),
-		loopDone:    make(chan struct{}),
-		changed:     make(chan struct{}),
-		status:      StatusCreated,
+		eng:           e,
+		id:            id,
+		schema:        schema,
+		root:          root,
+		runs:          make(map[string]*run),
+		dirty:         make(map[string]struct{}),
+		pendingRuns:   make(map[string]*run),
+		pendingTimers: make(map[string]*delayRec),
+		evCh:          make(chan completionMsg, 64),
+		timerSig:      make(chan struct{}, 1),
+		markCh:        make(chan markMsg),
+		reqCh:         make(chan func()),
+		stopCh:        make(chan struct{}),
+		loopDone:      make(chan struct{}),
+		changed:       make(chan struct{}),
+		status:        StatusCreated,
 	}
 	if n := e.cfg.MaxRemoteInflight; n > 0 {
 		inst.remoteGate = make(chan struct{}, n)
@@ -503,12 +557,12 @@ func (i *Instance) notifyLocked() {
 	i.changed = make(chan struct{})
 }
 
-// emit appends an event to the trace.
+// emit appends an event to the trace, stamped by the engine clock.
 func (i *Instance) emit(ev Event) {
 	i.mu.Lock()
 	i.seq++
 	ev.Seq = i.seq
-	ev.Time = time.Now()
+	ev.Time = i.eng.clock.Now()
 	ev.Instance = i.id
 	i.events = append(i.events, ev)
 	i.notifyLocked()

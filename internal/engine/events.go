@@ -40,6 +40,14 @@ const (
 	EventInstanceStalled
 	// EventReconfigured: a dynamic reconfiguration was applied.
 	EventReconfigured
+	// EventTimerArmed: a first-class delay was armed on the durable
+	// timing wheel at an absolute deadline (also emitted when recovery
+	// re-arms a persisted timer record).
+	EventTimerArmed
+	// EventTimerFired: a delay reached its deadline and produced its
+	// outcome; the fire flows through the dirty-set scheduler like any
+	// other availability event.
+	EventTimerFired
 )
 
 // String names the kind.
@@ -67,6 +75,10 @@ func (k EventKind) String() string {
 		return "instance-stalled"
 	case EventReconfigured:
 		return "reconfigured"
+	case EventTimerArmed:
+		return "timer-armed"
+	case EventTimerFired:
+		return "timer-fired"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -91,6 +103,8 @@ type Event struct {
 	// Attempt and Iteration snapshot the retry/repeat counters.
 	Attempt   int
 	Iteration int
+	// Deadline is the absolute fire instant for timer-armed events.
+	Deadline time.Time
 	// Err holds the failure message for retried/failed events.
 	Err string
 }
@@ -109,6 +123,9 @@ func (e Event) String() string {
 	}
 	if e.Attempt > 0 {
 		s += fmt.Sprintf(" attempt=%d", e.Attempt)
+	}
+	if !e.Deadline.IsZero() {
+		s += " deadline=" + e.Deadline.Format("15:04:05.000")
 	}
 	if e.Err != "" {
 		s += " err=" + e.Err

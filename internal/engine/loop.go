@@ -43,6 +43,10 @@ func (i *Instance) loop() {
 			return
 		case msg := <-i.evCh:
 			i.handleCompletion(msg)
+		case <-i.timerSig:
+			for _, msg := range i.drainTimerQ() {
+				i.handleTimer(msg)
+			}
 		case msg := <-i.markCh:
 			msg.reply <- i.handleMark(msg)
 		case f := <-i.reqCh:
@@ -53,14 +57,24 @@ func (i *Instance) loop() {
 }
 
 // cancelAllExecuting interrupts running implementations at shutdown.
+// Pending delay timers are disarmed from the engine-wide wheel (which
+// outlives the instance); their durable records remain, so recovery
+// re-arms them at their original deadlines.
 func (i *Instance) cancelAllExecuting() {
 	for _, r := range i.runs {
-		if r.st.State == RunExecuting && !r.task.Compound {
-			select {
-			case <-r.cancel:
-			default:
-				close(r.cancel)
-			}
+		if r.st.State != RunExecuting || r.task.Compound {
+			continue
+		}
+		if r.delayArmed {
+			r.delayArmed = false
+			i.armedTimers--
+			i.eng.timers.Cancel(delayID(i.id, r.st.Path))
+			continue
+		}
+		select {
+		case <-r.cancel:
+		default:
+			close(r.cancel)
 		}
 	}
 }
@@ -103,7 +117,12 @@ func (i *Instance) resumeExecuting() {
 				continue
 			}
 			if r.st.State == RunExecuting && !r.task.Compound {
-				i.spawnWorker(r)
+				if _, isDelay, _ := delayOf(r.task); !isDelay {
+					i.spawnWorker(r)
+				}
+				// Delay runs were re-armed from their durable records by
+				// Recover; re-activating them here would restart the
+				// delay from zero.
 			}
 			if r.st.State.Terminal() && r.task == i.root {
 				i.finishInstance(r)
@@ -325,6 +344,16 @@ func (i *Instance) startRun(r *run, set string, inputs registry.Objects) {
 		i.activateConstituents(r.task)
 		return
 	}
+	if d, isDelay, err := delayOf(r.task); isDelay {
+		// First-class delay: no worker, just an absolute deadline on the
+		// durable timing wheel (see timers.go).
+		if err != nil {
+			i.failRun(r, err)
+			return
+		}
+		i.armDelay(r, i.eng.clock.Now().Add(d))
+		return
+	}
 	i.spawnWorker(r)
 }
 
@@ -360,7 +389,7 @@ func (i *Instance) tryCompoundOutputs(r *run) bool {
 		}
 		rec := OutputRec{
 			Output: ob.Output.Name, Kind: ob.Output.Kind,
-			Objects: vals, Iteration: r.st.Iteration, At: time.Now(),
+			Objects: vals, Iteration: r.st.Iteration, At: i.eng.clock.Now(),
 		}
 		switch ob.Output.Kind {
 		case core.Mark:
@@ -437,6 +466,7 @@ func (i *Instance) resetSubtree(t *core.Task) {
 			continue
 		}
 		if r.st.State == RunExecuting && !c.Compound {
+			i.cancelDelay(r)
 			select {
 			case <-r.cancel:
 			default:
@@ -516,7 +546,7 @@ func (i *Instance) checkQuiescence() {
 		return
 	}
 	root := i.runs[i.root.Path()]
-	if root == nil || root.st.State.Terminal() || i.inflight > 0 {
+	if root == nil || root.st.State.Terminal() || i.inflight > 0 || i.armedTimers > 0 {
 		return
 	}
 	i.setStatus(StatusStalled)
@@ -535,10 +565,18 @@ type workerInfo struct {
 	set       string
 	inputs    registry.Objects
 	deadline  time.Duration
-	cancel    chan struct{}
+	// deadlineCh is closed by the timing wheel when the activation
+	// deadline passes; deadlineID disarms it on completion.
+	deadlineCh <-chan struct{}
+	deadlineID string
+	cancel     chan struct{}
 }
 
-// spawnWorker launches the implementation of a plain task run.
+// spawnWorker launches the implementation of a plain task run. The
+// activation deadline, when one applies, is an entry on the engine's
+// shared timing wheel rather than a per-worker timer; it is volatile by
+// design — a recovered activation is a fresh attempt with a fresh
+// deadline.
 func (i *Instance) spawnWorker(r *run) {
 	deadline := i.eng.cfg.DefaultDeadline
 	if d, ok := r.task.Implementation["deadline"]; ok {
@@ -551,6 +589,15 @@ func (i *Instance) spawnWorker(r *run) {
 		location: r.task.Implementation["location"],
 		attempt:  r.st.Attempt, iteration: r.st.Iteration, set: r.st.ChosenSet,
 		inputs: r.st.Inputs.Clone(), deadline: deadline, cancel: r.cancel,
+	}
+	if deadline > 0 {
+		// The id carries gen AND attempt: retries of one generation must
+		// not let a finished attempt's disarm cancel its successor's
+		// deadline.
+		ch := make(chan struct{})
+		w.deadlineID = fmt.Sprintf("deadline|%s|%s|%d|%d", i.id, w.path, w.gen, w.attempt)
+		w.deadlineCh = ch
+		i.eng.timers.Arm(w.deadlineID, i.eng.clock.Now().Add(deadline), func() { close(ch) })
 	}
 	i.inflight++
 	i.wg.Add(1)
@@ -630,16 +677,13 @@ func (i *Instance) worker(w workerInfo) {
 		res, err := f(ctx)
 		resCh <- wres{res: res, err: err}
 	}()
-	var timer <-chan time.Time
-	if w.deadline > 0 {
-		t := time.NewTimer(w.deadline)
-		defer t.Stop()
-		timer = t.C
+	if w.deadlineID != "" {
+		defer i.eng.timers.Cancel(w.deadlineID)
 	}
 	var out wres
 	select {
 	case out = <-resCh:
-	case <-timer:
+	case <-w.deadlineCh:
 		out = wres{err: fmt.Errorf("deadline %v exceeded", w.deadline)}
 	case <-w.cancel:
 		out = wres{err: errCancelled}
@@ -699,7 +743,7 @@ func (i *Instance) handleCompletion(msg completionMsg) {
 		i.failRun(r, err)
 		return
 	}
-	rec := OutputRec{Output: out.Name, Kind: out.Kind, Objects: objects, Iteration: r.st.Iteration, At: time.Now()}
+	rec := OutputRec{Output: out.Name, Kind: out.Kind, Objects: objects, Iteration: r.st.Iteration, At: i.eng.clock.Now()}
 	switch out.Kind {
 	case core.Mark:
 		i.failRun(r, fmt.Errorf("mark output %q returned as final result", out.Name))
@@ -756,7 +800,7 @@ func (i *Instance) systemFailure(r *run, cause error) {
 		i.failRun(r, fmt.Errorf("retries exhausted: %w", cause))
 		return
 	}
-	rec := OutputRec{Output: aborts[0].Name, Kind: core.AbortOutcome, Iteration: r.st.Iteration, At: time.Now()}
+	rec := OutputRec{Output: aborts[0].Name, Kind: core.AbortOutcome, Iteration: r.st.Iteration, At: i.eng.clock.Now()}
 	i.completeRun(r, rec)
 }
 
@@ -773,7 +817,7 @@ func (i *Instance) forceAbortNow(r *run) {
 		}
 	}
 	if outcome != "" {
-		rec := OutputRec{Output: outcome, Kind: core.AbortOutcome, Iteration: r.st.Iteration, At: time.Now()}
+		rec := OutputRec{Output: outcome, Kind: core.AbortOutcome, Iteration: r.st.Iteration, At: i.eng.clock.Now()}
 		i.completeRun(r, rec)
 		return
 	}
@@ -804,7 +848,7 @@ func (i *Instance) handleMark(msg markMsg) error {
 	if err != nil {
 		return err
 	}
-	rec := OutputRec{Output: out.Name, Kind: core.Mark, Objects: objects, Iteration: r.st.Iteration, At: time.Now()}
+	rec := OutputRec{Output: out.Name, Kind: core.Mark, Objects: objects, Iteration: r.st.Iteration, At: i.eng.clock.Now()}
 	r.st.MarksEmitted[msg.name] = true
 	r.st.Outputs = append(r.st.Outputs, rec)
 	i.persistRun(r)
@@ -848,6 +892,13 @@ func (i *Instance) abortTask(path, outcome string) error {
 			r.pendingAbort = "forced"
 		} else {
 			r.pendingAbort = outcome
+		}
+		if r.delayArmed {
+			// Delay runs have no worker to interrupt: disarm the wheel
+			// and terminate immediately.
+			i.cancelDelay(r)
+			i.forceAbortNow(r)
+			return nil
 		}
 		select {
 		case <-r.cancel:
@@ -933,11 +984,12 @@ func (i *Instance) bufferRun(path string, r *run) {
 // evaluation pass and before externally visible acknowledgements (mark
 // replies, instance completion).
 func (i *Instance) flushRuns() {
-	if len(i.pendingOrder) == 0 {
+	if len(i.pendingOrder) == 0 && len(i.pendingTimerOrder) == 0 {
 		return
 	}
 	b := i.eng.preg.NewBatch()
 	paths := i.pendingOrder
+	timerPaths := i.pendingTimerOrder
 	for _, path := range paths {
 		r := i.pendingRuns[path]
 		if r == nil {
@@ -948,11 +1000,32 @@ func (i *Instance) flushRuns() {
 			i.emit(Event{Task: path, Kind: EventTaskFailed, Err: fmt.Sprintf("persist run: %v", err)})
 		}
 	}
+	// Timer records ride the same batch, AFTER the run states: a torn
+	// batch tail can lose an arm record (recovery restarts that delay
+	// from zero, conservatively) but can never persist a fire's record
+	// deletion without the terminal run state it acknowledges.
+	for _, path := range i.pendingTimerOrder {
+		rec := i.pendingTimers[path]
+		if rec == nil {
+			b.Delete(timerRecKey(i.id, path))
+			continue
+		}
+		if err := b.Set(timerRecKey(i.id, path), *rec); err != nil {
+			i.emit(Event{Task: path, Kind: EventTaskFailed, Err: fmt.Sprintf("persist timer: %v", err)})
+		}
+	}
 	i.pendingOrder = nil
 	clear(i.pendingRuns)
+	i.pendingTimerOrder = nil
+	clear(i.pendingTimers)
 	if err := b.Commit(); err != nil {
 		for _, path := range paths {
 			i.emit(Event{Task: path, Kind: EventTaskFailed, Err: fmt.Sprintf("persist run: %v", err)})
+		}
+		// A batch can carry only timer records (recovery re-arms stage
+		// no run states), so the failure must surface on those too.
+		for _, path := range timerPaths {
+			i.emit(Event{Task: path, Kind: EventTaskFailed, Err: fmt.Sprintf("persist timer: %v", err)})
 		}
 	}
 }

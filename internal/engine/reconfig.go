@@ -400,8 +400,10 @@ func (i *Instance) reconfigure(ops []Op) error {
 	for path, r := range i.runs {
 		nt := clone.Lookup(path)
 		if nt == nil {
-			// The task was removed: cancel and drop its run.
+			// The task was removed: cancel and drop its run (including
+			// any pending delay timer and its durable record).
 			if r.st.State == RunExecuting && !r.task.Compound {
+				i.cancelDelay(r)
 				select {
 				case <-r.cancel:
 				default:

@@ -99,6 +99,9 @@ type run struct {
 	// cancel is closed to interrupt an executing implementation (force
 	// abort, shutdown).
 	cancel chan struct{}
+	// delayArmed reports a pending first-class delay timer on the wheel
+	// (see timers.go); such runs execute without a worker.
+	delayArmed bool
 	// pendingAbort holds the abort outcome requested by AbortTask while
 	// the task was executing.
 	pendingAbort string

@@ -43,10 +43,12 @@ func (s clientSource) Compile(name string) (*core.Schema, error) {
 // FromRepositoryClient wraps a remote repository client as a SchemaSource.
 func FromRepositoryClient(c *repository.Client) SchemaSource { return clientSource{c: c} }
 
-// Service is the execution service: an engine plus schema resolution.
+// Service is the execution service: an engine plus schema resolution,
+// and optionally a Scheduler for timed instantiation.
 type Service struct {
 	eng     *engine.Engine
 	schemas SchemaSource
+	sched   *Scheduler
 }
 
 // New returns an execution service over the engine and schema source.
@@ -56,6 +58,41 @@ func New(eng *engine.Engine, schemas SchemaSource) *Service {
 
 // Engine exposes the underlying engine (local administration).
 func (s *Service) Engine() *engine.Engine { return s.eng }
+
+// SetScheduler attaches a scheduler (see NewScheduler); the schedule
+// servant methods fail until one is attached.
+func (s *Service) SetScheduler(sched *Scheduler) { s.sched = sched }
+
+// Scheduler returns the attached scheduler, or nil.
+func (s *Service) Scheduler() *Scheduler { return s.sched }
+
+// errNoScheduler is returned by schedule operations on a service without
+// an attached scheduler.
+var errNoScheduler = errors.New("scheduling is not enabled on this execution service")
+
+// ScheduleAdd registers a scheduled instantiation.
+func (s *Service) ScheduleAdd(spec Schedule) error {
+	if s.sched == nil {
+		return errNoScheduler
+	}
+	return s.sched.Add(spec)
+}
+
+// ScheduleRemove deletes a schedule.
+func (s *Service) ScheduleRemove(name string) error {
+	if s.sched == nil {
+		return errNoScheduler
+	}
+	return s.sched.Remove(name)
+}
+
+// Schedules lists the registered schedules.
+func (s *Service) Schedules() ([]Schedule, error) {
+	if s.sched == nil {
+		return nil, errNoScheduler
+	}
+	return s.sched.List(), nil
+}
 
 // Instantiate creates an instance of the named schema.
 func (s *Service) Instantiate(instance, schemaName, rootName string) error {

@@ -1,0 +1,235 @@
+package execsvc_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/execsvc"
+	"repro/internal/persist"
+	"repro/internal/registry"
+	"repro/internal/repository"
+	"repro/internal/store"
+	"repro/internal/timers"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+var schedEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// schedRig is a local (no orb) execution service with a fake clock and
+// an attached scheduler, over a shared store so it can be "restarted".
+type schedRig struct {
+	clock *timers.FakeClock
+	eng   *engine.Engine
+	sched *execsvc.Scheduler
+}
+
+func newSchedRig(t *testing.T, st *store.MemStore, clock *timers.FakeClock) *schedRig {
+	t.Helper()
+	preg := persist.NewRegistry(st, txn.NewManager(st), nil)
+	if _, err := preg.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	impls := registry.New()
+	workload.Bind(impls)
+	eng := engine.New(preg, impls, engine.Config{Clock: clock})
+	t.Cleanup(eng.Close)
+	repo := repository.New(preg)
+	svc := execsvc.New(eng, repo)
+	sched := execsvc.NewScheduler(svc, st)
+	svc.SetScheduler(sched)
+	t.Cleanup(sched.Close)
+	if _, err := repo.Put("chain", workload.Chain(3)); err != nil {
+		t.Fatal(err)
+	}
+	return &schedRig{clock: clock, eng: eng, sched: sched}
+}
+
+// waitFired polls until the named schedule reports n fires.
+func (r *schedRig) waitFired(t *testing.T, name string, n int) execsvc.Schedule {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, e := range r.sched.List() {
+			if e.Name == name && e.Fired >= n {
+				return e
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("schedule %s never reached %d fires: %+v", name, n, r.sched.List())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitCompleted polls until the instance exists and reports completed.
+func (r *schedRig) waitCompleted(t *testing.T, instance string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if inst, err := r.eng.Instance(instance); err == nil {
+			if inst.Status() == engine.StatusCompleted {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("instance %s never completed (instances: %v)", instance, r.eng.Instances())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestScheduleRecurring(t *testing.T) {
+	rig := newSchedRig(t, store.NewMemStore(), timers.NewFakeClock(schedEpoch))
+	err := rig.sched.Add(execsvc.Schedule{
+		Name: "nightly", Schema: "chain", Set: "main",
+		Inputs: workload.Seed(), Every: 10 * time.Second, MaxRuns: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		rig.clock.Advance(10 * time.Second)
+		e := rig.waitFired(t, "nightly", i)
+		rig.waitCompleted(t, fmt.Sprintf("%s-%d", e.Name, i))
+	}
+	e := rig.waitFired(t, "nightly", 3)
+	if !e.Done {
+		t.Fatalf("schedule not done after MaxRuns: %+v", e)
+	}
+	// Further advances must not spawn a fourth run.
+	rig.clock.Advance(time.Minute)
+	time.Sleep(20 * time.Millisecond)
+	if _, err := rig.eng.Instance("nightly-4"); err == nil {
+		t.Fatal("exhausted schedule fired again")
+	}
+}
+
+func TestScheduleOneShotDelayed(t *testing.T) {
+	rig := newSchedRig(t, store.NewMemStore(), timers.NewFakeClock(schedEpoch))
+	err := rig.sched.Add(execsvc.Schedule{
+		Name: "once", Schema: "chain", Set: "main",
+		Inputs: workload.Seed(), After: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if len(rig.eng.Instances()) != 0 {
+		t.Fatal("one-shot fired before its delay")
+	}
+	rig.clock.Advance(5 * time.Second)
+	rig.waitCompleted(t, "once-1")
+	if e := rig.waitFired(t, "once", 1); !e.Done {
+		t.Fatalf("one-shot not done after firing: %+v", e)
+	}
+}
+
+// TestScheduleSurvivesRestart is the crash-safety contract: the schedule
+// record (with its absolute NextAt) survives, a missed window fires once
+// at recovery, and the cadence stays on its original phase.
+func TestScheduleSurvivesRestart(t *testing.T) {
+	st := store.NewMemStore()
+	clock := timers.NewFakeClock(schedEpoch)
+	rig1 := newSchedRig(t, st, clock)
+	err := rig1.sched.Add(execsvc.Schedule{
+		Name: "daily", Schema: "chain", Set: "main",
+		Inputs: workload.Seed(), Every: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig1.clock.Advance(10 * time.Second)
+	rig1.waitFired(t, "daily", 1)
+	rig1.waitCompleted(t, "daily-1")
+	// "Crash": scheduler and engine go away; the store survives. 25s
+	// pass while down — the t=20s and t=30s windows are missed.
+	rig1.sched.Close()
+	rig1.eng.Close()
+	clock.Advance(25 * time.Second) // now t=35s
+
+	rig2 := newSchedRig(t, st, clock)
+	n, err := rig2.sched.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d schedules, want 1", n)
+	}
+	// The persisted NextAt (t=20s) is past: one catch-up run fires.
+	rig2.waitFired(t, "daily", 2)
+	rig2.waitCompleted(t, "daily-2")
+	// The cadence realigns to the original phase: next at t=40s, not
+	// t=35s+10s.
+	e := rig2.waitFired(t, "daily", 2)
+	if want := schedEpoch.Add(40 * time.Second); !e.NextAt.Equal(want) {
+		t.Fatalf("NextAt = %v, want the original phase %v", e.NextAt, want)
+	}
+	clock.Advance(5 * time.Second) // t=40s
+	rig2.waitFired(t, "daily", 3)
+	rig2.waitCompleted(t, "daily-3")
+}
+
+func TestScheduleValidationAndRemove(t *testing.T) {
+	rig := newSchedRig(t, store.NewMemStore(), timers.NewFakeClock(schedEpoch))
+	if err := rig.sched.Add(execsvc.Schedule{Name: "x", Schema: "no-such-schema", Set: "main"}); err == nil {
+		t.Fatal("Add accepted an unknown schema")
+	}
+	spec := execsvc.Schedule{Name: "x", Schema: "chain", Set: "main", Inputs: workload.Seed(), Every: time.Hour}
+	if err := rig.sched.Add(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.sched.Add(spec); !errors.Is(err, execsvc.ErrScheduleExists) {
+		t.Fatalf("duplicate Add: %v", err)
+	}
+	if err := rig.sched.Remove("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.sched.Remove("x"); !errors.Is(err, execsvc.ErrScheduleNotFound) {
+		t.Fatalf("second Remove: %v", err)
+	}
+	rig.clock.Advance(2 * time.Hour)
+	time.Sleep(20 * time.Millisecond)
+	if len(rig.eng.Instances()) != 0 {
+		t.Fatal("removed schedule fired")
+	}
+}
+
+// TestScheduleOverOrb drives the schedule verbs through the wire stubs.
+func TestScheduleOverOrb(t *testing.T) {
+	s := newStack(t)
+	sched := execsvc.NewScheduler(s.exec, s.st)
+	s.exec.SetScheduler(sched)
+	t.Cleanup(sched.Close)
+	workload.Bind(s.impls)
+	if _, err := s.repoC.Put("chain", workload.Chain(2)); err != nil {
+		t.Fatal(err)
+	}
+	err := s.execC.ScheduleAdd(execsvc.Schedule{
+		Name: "wire", Schema: "chain", Set: "main",
+		Inputs: workload.Seed(), After: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		list, err := s.execC.Schedules()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(list) == 1 && list[0].Done && list[0].LastErr == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("schedule never fired over the orb: %+v", list)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := s.execC.ScheduleRemove("wire"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -76,6 +76,18 @@ type instancesResp struct {
 	Instances []string
 }
 
+type scheduleAddReq struct {
+	Spec Schedule
+}
+
+type scheduleNameReq struct {
+	Name string
+}
+
+type schedulesResp struct {
+	Schedules []Schedule
+}
+
 // Servant exports the execution service over the orb.
 func (s *Service) Servant() *orb.Servant {
 	sv := orb.NewServant()
@@ -111,6 +123,16 @@ func (s *Service) Servant() *orb.Servant {
 	})
 	orb.Method(sv, "instances", func(struct{}) (instancesResp, error) {
 		return instancesResp{Instances: s.Instances()}, nil
+	})
+	orb.Method(sv, "scheduleAdd", func(req scheduleAddReq) (struct{}, error) {
+		return struct{}{}, s.ScheduleAdd(req.Spec)
+	})
+	orb.Method(sv, "scheduleRemove", func(req scheduleNameReq) (struct{}, error) {
+		return struct{}{}, s.ScheduleRemove(req.Name)
+	})
+	orb.Method(sv, "schedules", func(struct{}) (schedulesResp, error) {
+		list, err := s.Schedules()
+		return schedulesResp{Schedules: list}, err
 	})
 	return sv
 }
@@ -194,4 +216,20 @@ func (ec *Client) Recover(instance string) error {
 func (ec *Client) Instances() ([]string, error) {
 	resp, err := orb.Call[struct{}, instancesResp](ec.c, ObjectName, "instances", struct{}{})
 	return resp.Instances, err
+}
+
+// ScheduleAdd registers a scheduled instantiation on the service.
+func (ec *Client) ScheduleAdd(spec Schedule) error {
+	return ec.c.Invoke(ObjectName, "scheduleAdd", scheduleAddReq{Spec: spec}, nil)
+}
+
+// ScheduleRemove deletes a schedule.
+func (ec *Client) ScheduleRemove(name string) error {
+	return ec.c.Invoke(ObjectName, "scheduleRemove", scheduleNameReq{Name: name}, nil)
+}
+
+// Schedules lists the service's schedules.
+func (ec *Client) Schedules() ([]Schedule, error) {
+	resp, err := orb.Call[struct{}, schedulesResp](ec.c, ObjectName, "schedules", struct{}{})
+	return resp.Schedules, err
 }

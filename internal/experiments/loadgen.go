@@ -201,9 +201,20 @@ func RunClosedLoop(env *Env, schema *coreSchema, lat *LatencyRecorder, workers, 
 	return RunClosedLoopMid(env, schema, lat, workers, total, nil)
 }
 
+// RunClosedLoopSeed is RunClosedLoop with explicit root inputs — the
+// temporal workloads (workload.TimerChain) seed the object "d" instead
+// of "seed".
+func RunClosedLoopSeed(env *Env, schema *coreSchema, lat *LatencyRecorder, workers, total int, seed registry.Objects) (LoadReport, error) {
+	return runClosedLoop(env, schema, lat, workers, total, nil, seed)
+}
+
 // RunClosedLoopMid is RunClosedLoop with a midpoint hook, called exactly
 // once as soon as half the instances have completed.
 func RunClosedLoopMid(env *Env, schema *coreSchema, lat *LatencyRecorder, workers, total int, midpoint func()) (LoadReport, error) {
+	return runClosedLoop(env, schema, lat, workers, total, midpoint, workload.Seed())
+}
+
+func runClosedLoop(env *Env, schema *coreSchema, lat *LatencyRecorder, workers, total int, midpoint func(), seed registry.Objects) (LoadReport, error) {
 	if workers <= 0 || total <= 0 {
 		return LoadReport{}, errors.New("loadgen: workers and total must be positive")
 	}
@@ -218,7 +229,7 @@ func RunClosedLoopMid(env *Env, schema *coreSchema, lat *LatencyRecorder, worker
 		wg       sync.WaitGroup
 	)
 	runOne := func() error {
-		res, _, err := env.Run(schema, "main", workload.Seed())
+		res, _, err := env.Run(schema, "main", seed.Clone())
 		if err != nil {
 			return err
 		}

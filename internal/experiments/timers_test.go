@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimerChurnScenario(t *testing.T) {
+	rep, err := TimerChurn(600, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fired != 600-rep.Cancelled || rep.Cancelled == 0 {
+		t.Fatalf("report %+v: want every uncancelled timer fired exactly once", rep)
+	}
+	if rep.P99 < 0 {
+		t.Fatalf("negative fire lateness %v (early fire)", rep.P99)
+	}
+}
+
+func TestTimerChainScenario(t *testing.T) {
+	s := NewTimerChain(4, time.Millisecond)
+	defer s.Close()
+	begin := time.Now()
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(begin); elapsed < 4*time.Millisecond {
+		t.Fatalf("chain of 4x1ms delays finished in %v: delays not honoured", elapsed)
+	}
+}
+
+func TestDeadlineFanOutScenario(t *testing.T) {
+	s := NewDeadlineFanOut(8, 0)
+	defer s.Close()
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestS4CrashDelayScenario runs the crash-recovery drift scenario at
+// test-friendly durations: the delay must fire once, never early, and
+// not drift by anything approaching a restart-from-zero.
+func TestS4CrashDelayScenario(t *testing.T) {
+	dir, cleanup, err := NewS4Dir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	res, err := S4CrashDelay(250*time.Millisecond, 80*time.Millisecond, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A restarted-from-zero delay would drift by ~crashAfter (80ms) plus
+	// recovery time; absolute-deadline re-arm keeps drift to wheel
+	// lateness plus recovery overhead.
+	if res.Drift > 60*time.Millisecond {
+		t.Fatalf("drift %v after recovery (restart-from-zero regression?); total %v", res.Drift, res.Total)
+	}
+}

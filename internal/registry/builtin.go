@@ -17,6 +17,14 @@ import (
 //	fail:<n>:<outcome>           fail n activations, then fixed (retries)
 //
 // Install with r.BindFallback(registry.Builtin).
+//
+// The sleep/timer schemes hold a goroutine for the whole duration and
+// restart from zero when a crashed instance is recovered. For durable
+// timing prefer the engine's first-class "delay" implementation
+// property, which rides the crash-safe timing wheel and resumes at its
+// original absolute deadline (see internal/engine and the "Temporal
+// coordination" section of README.md); timer: remains for
+// compatibility with scripts that predate it.
 func Builtin(code string) (Func, bool) {
 	parts := strings.Split(code, ":")
 	switch parts[0] {

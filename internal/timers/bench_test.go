@@ -1,0 +1,42 @@
+package timers
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkArmCancel measures the wheel's O(1) arm+cancel churn (the
+// path every bounded activation pays twice).
+func BenchmarkArmCancel(b *testing.B) {
+	clock := NewFakeClock(t0)
+	s := New(clock, Config{})
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := idOf(i % 1024)
+		s.Arm(id, t0.Add(time.Duration(1+i%5000)*time.Millisecond), func() {})
+		s.Cancel(id)
+	}
+}
+
+// BenchmarkFire10k measures arming and firing 10k timers in one advance.
+func BenchmarkFire10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		clock := NewFakeClock(t0)
+		s := New(clock, Config{})
+		var fired atomic.Int64
+		b.StartTimer()
+		for j := 0; j < 10_000; j++ {
+			s.Arm(idOf(j), t0.Add(time.Duration(1+j%50)*time.Millisecond), func() { fired.Add(1) })
+		}
+		clock.Advance(time.Second)
+		for fired.Load() != 10_000 {
+			time.Sleep(50 * time.Microsecond)
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,89 @@
+package timers
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the temporal subsystem. The engine, the
+// timing wheel and the instantiation scheduler all read time through a
+// Clock, so tests drive delays, deadlines and schedules deterministically
+// with a FakeClock instead of sleeping (the same injectable-clock
+// discipline internal/orb's naming liveness uses).
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Wake returns a channel that delivers once when the clock reaches t.
+	// Wake takes an absolute instant (not a duration) so a fake clock
+	// advanced between computing the wakeup and registering it still
+	// delivers — a relative After would silently re-anchor.
+	Wake(t time.Time) <-chan time.Time
+}
+
+// WallClock is the production Clock over the real time package.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Wake implements Clock.
+func (WallClock) Wake(t time.Time) <-chan time.Time { return time.After(time.Until(t)) }
+
+// FakeClock is a manually advanced Clock for tests: Now returns the
+// instant set by construction and Advance, and Wake channels deliver as
+// Advance moves the clock past their instants. Safe for concurrent use.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock returns a clock frozen at start.
+func NewFakeClock(start time.Time) *FakeClock { return &FakeClock{now: start} }
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Wake implements Clock. An instant already reached delivers immediately.
+func (c *FakeClock) Wake(t time.Time) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if !t.After(c.now) {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, &fakeWaiter{at: t, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d and delivers every Wake channel
+// whose instant has been reached.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	keep := c.waiters[:0]
+	var fire []*fakeWaiter
+	for _, w := range c.waiters {
+		if w.at.After(now) {
+			keep = append(keep, w)
+		} else {
+			fire = append(fire, w)
+		}
+	}
+	c.waiters = keep
+	c.mu.Unlock()
+	for _, w := range fire {
+		w.ch <- now
+	}
+}

@@ -1,0 +1,56 @@
+package timers
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPartialSlotNotStranded is the regression test for a wheel bug
+// where a timer whose deadline fell LATER within the current tick (kept
+// by the partial filter) was stranded when curTick advanced past its
+// tick, firing a full level-0 rotation (64 ticks) late. The arm offset
+// here lands the deadline mid-tick with an earlier wake inside the same
+// tick, the exact stranding shape.
+func TestPartialSlotNotStranded(t *testing.T) {
+	s := New(WallClock{}, Config{})
+	defer s.Close()
+	time.Sleep(650 * time.Microsecond) // desync arm instant from the epoch tick grid
+	var late atomic.Int64
+	done := make(chan struct{})
+	deadline := time.Now().Add(167800 * time.Microsecond)
+	s.Arm("mid-tick", deadline, func() { late.Store(int64(time.Since(deadline))); close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	if d := time.Duration(late.Load()); d > 50*time.Millisecond {
+		t.Fatalf("fired %v late (stranded-slot regression: one rotation is 64ms)", d)
+	}
+}
+
+// TestWrappedHigherLevelSlotWakes is the regression test for a wheel
+// hang: a timer whose delta sits near the top of a level's span wraps
+// onto that level's CURRENT slot index (its window is one rotation
+// ahead), and nextDeadlineLocked used to skip higher-level current
+// slots entirely — no wake-up was scheduled and the timer never fired.
+func TestWrappedHigherLevelSlotWakes(t *testing.T) {
+	clock := NewFakeClock(t0)
+	s := New(clock, Config{})
+	defer s.Close()
+
+	// Advance curTick to 63 (fire a throwaway timer there first).
+	var warm atomic.Int64
+	s.Arm("warm", t0.Add(50*time.Millisecond), func() { warm.Add(1) })
+	clock.Advance(63 * time.Millisecond)
+	waitCount(t, &warm, 1)
+
+	// delta = 4095 from curTick 63: dt = 4158, level-1 slot (4158>>6)&63
+	// = 0 — exactly the current level-1 slot index (63>>6 = 0), wrapped.
+	var fired atomic.Int64
+	deadline := t0.Add((63 + 4095) * time.Millisecond)
+	s.Arm("wrapped", deadline, func() { fired.Add(1) })
+	clock.Advance(4095 * time.Millisecond)
+	waitCount(t, &fired, 1)
+}

@@ -1,0 +1,379 @@
+// Package timers is the durable temporal subsystem of the workflow
+// system: a hierarchical timing wheel (Varghese/Lauck) behind an
+// injectable clock, shared by the engine's first-class delays and
+// per-activation deadlines and by the execution service's scheduled
+// instantiation.
+//
+// The Service itself is runtime machinery — O(1) arm and cancel, one
+// goroutine firing callbacks in deterministic (deadline, then arm)
+// order. Crash safety is layered on top by the callers through their
+// existing durability paths: the engine persists a timer record for
+// every armed delay in the same WAL batch as the run state it belongs
+// to, and re-arms pending records at their original *absolute* deadlines
+// during recovery (see internal/engine), so a delay in flight when the
+// process crashes fires exactly once at the instant it was always going
+// to fire, not a full duration after restart. The instantiation
+// scheduler does the same with its schedule records (internal/execsvc).
+package timers
+
+import (
+	"sync"
+	"time"
+)
+
+// Wheel geometry: wheelLevels levels of wheelSlots slots each. With the
+// default 1ms tick the wheel spans 64^4 ms ≈ 4.7h; farther deadlines are
+// parked in the top level and re-sorted as it cascades.
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 4
+)
+
+// Config tunes a Service.
+type Config struct {
+	// Tick is the wheel granularity: the worst-case lateness of a fire.
+	// Timers never fire early. Default 1ms.
+	Tick time.Duration
+}
+
+// timer is one armed entry.
+type timer struct {
+	id        string
+	deadline  time.Time
+	seq       int64 // arm order, for deterministic same-instant firing
+	fire      func()
+	cancelled bool
+}
+
+// Service is a hierarchical timing-wheel timer service. Arm and Cancel
+// are O(1); a single goroutine advances the wheel and invokes fire
+// callbacks (outside the service lock, so callbacks may Arm and Cancel
+// freely, but must not block for long — hand heavy work to another
+// goroutine).
+type Service struct {
+	clock Clock
+	tick  time.Duration
+	epoch time.Time
+
+	mu      sync.Mutex
+	levels  [wheelLevels][wheelSlots][]*timer
+	curTick int64
+	byID    map[string]*timer
+	count   int
+	seq     int64
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// New returns a running service over the clock (nil selects the wall
+// clock). Close releases its goroutine.
+func New(clock Clock, cfg Config) *Service {
+	if clock == nil {
+		clock = WallClock{}
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Millisecond
+	}
+	s := &Service{
+		clock: clock,
+		tick:  cfg.Tick,
+		epoch: clock.Now(),
+		byID:  make(map[string]*timer),
+		kick:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// Arm schedules fire to be invoked once the clock reaches at. Arming an
+// id that is already armed replaces it (the previous timer is
+// cancelled). A deadline already in the past fires on the next wheel
+// pass. fire runs on the service goroutine.
+func (s *Service) Arm(id string, at time.Time, fire func()) {
+	s.mu.Lock()
+	if old, ok := s.byID[id]; ok {
+		old.cancelled = true
+		s.count--
+	}
+	if s.count == 0 {
+		// Empty wheel: snap to now so the insert is relative to the
+		// present, not to wherever the wheel last advanced. Without this
+		// the first Arm after a long idle makes collectDueLocked walk
+		// every elapsed tick under the lock (24h idle at a 1ms tick is
+		// ~86M iterations).
+		if nc := s.tickOf(s.clock.Now()); nc > s.curTick {
+			s.curTick = nc
+		}
+	}
+	s.seq++
+	t := &timer{id: id, deadline: at, seq: s.seq, fire: fire}
+	s.byID[id] = t
+	s.insertLocked(t)
+	s.count++
+	s.mu.Unlock()
+	s.kickNow()
+}
+
+// Cancel disarms id, reporting whether a pending timer was removed. A
+// timer whose fire is already in flight reports false.
+func (s *Service) Cancel(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.byID[id]
+	if !ok {
+		return false
+	}
+	t.cancelled = true
+	delete(s.byID, id)
+	s.count--
+	return true
+}
+
+// Pending returns the number of armed timers.
+func (s *Service) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Close stops the service goroutine. Pending timers never fire.
+func (s *Service) Close() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+func (s *Service) kickNow() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// tickOf maps an instant to its wheel tick.
+func (s *Service) tickOf(t time.Time) int64 {
+	d := t.Sub(s.epoch)
+	if d < 0 {
+		return 0
+	}
+	return int64(d / s.tick)
+}
+
+// insertLocked files a timer into the level whose span covers its
+// distance. Callers hold mu.
+func (s *Service) insertLocked(t *timer) {
+	dt := s.tickOf(t.deadline)
+	if dt < s.curTick {
+		dt = s.curTick // past due: current slot, filtered by deadline
+	}
+	delta := dt - s.curTick
+	level := 0
+	for level < wheelLevels-1 && delta >= int64(1)<<(wheelBits*(level+1)) {
+		level++
+	}
+	if level == wheelLevels-1 {
+		// Beyond the wheel span: park at the horizon; the cascade
+		// re-files it by its real deadline as the horizon approaches.
+		if max := int64(1)<<(wheelBits*wheelLevels) - 1; delta > max {
+			dt = s.curTick + max
+		}
+	}
+	slot := (dt >> (wheelBits * level)) & wheelMask
+	s.levels[level][slot] = append(s.levels[level][slot], t)
+}
+
+// cascadeLocked re-files the higher-level slots whose windows begin at
+// tick into the levels below. Callers hold mu.
+func (s *Service) cascadeLocked(tick int64) {
+	for l := 1; l < wheelLevels; l++ {
+		if tick&(int64(1)<<(wheelBits*l)-1) != 0 {
+			return // not a boundary of this level (nor of any above)
+		}
+		slot := (tick >> (wheelBits * l)) & wheelMask
+		batch := s.levels[l][slot]
+		s.levels[l][slot] = nil
+		for _, t := range batch {
+			if t.cancelled {
+				continue
+			}
+			s.insertLocked(t)
+		}
+	}
+}
+
+// collectDueLocked advances the wheel to now and returns the timers due,
+// ordered by (deadline, arm order). Timers never fire early: the current
+// partially-elapsed tick releases only entries whose deadline has
+// passed. Callers hold mu.
+func (s *Service) collectDueLocked(now time.Time) []*timer {
+	var due []*timer
+	target := s.tickOf(now)
+	if s.count == 0 {
+		// Nothing armed: nothing to fire or cascade, so the walk below
+		// would only burn CPU. Jump straight to the present. (Cancelled
+		// entries may still sit in jumped-past slots; they are filtered
+		// whenever their slot index is next visited.)
+		if target > s.curTick {
+			s.curTick = target
+		}
+		return nil
+	}
+	if target > s.curTick {
+		// Leaving the current tick: anything still in its slot (entries
+		// the partial filter kept because their deadline lay later
+		// within the tick) is now fully elapsed and due. Without this
+		// drain they would strand until the slot's next rotation.
+		slot := s.curTick & wheelMask
+		for _, t := range s.levels[0][slot] {
+			if !t.cancelled {
+				due = append(due, t)
+			}
+		}
+		s.levels[0][slot] = nil
+	}
+	for s.curTick < target {
+		s.curTick++
+		s.cascadeLocked(s.curTick)
+		if s.curTick == target {
+			break // current tick: partial filter below
+		}
+		slot := s.curTick & wheelMask
+		for _, t := range s.levels[0][slot] {
+			if !t.cancelled {
+				due = append(due, t)
+			}
+		}
+		s.levels[0][slot] = nil
+	}
+	slot := s.curTick & wheelMask
+	if batch := s.levels[0][slot]; len(batch) > 0 {
+		keep := batch[:0]
+		for _, t := range batch {
+			switch {
+			case t.cancelled:
+			case !t.deadline.After(now):
+				due = append(due, t)
+			default:
+				keep = append(keep, t)
+			}
+		}
+		s.levels[0][slot] = keep
+	}
+	for _, t := range due {
+		delete(s.byID, t.id)
+	}
+	s.count -= len(due)
+	sortDue(due)
+	return due
+}
+
+// sortDue orders fired timers by deadline, then arm order — so
+// same-instant timers fire in the order they were armed, which is what
+// makes timer-vs-timer races deterministic at the engine level.
+func sortDue(due []*timer) {
+	// Insertion sort: due batches are small and nearly ordered.
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0; j-- {
+			a, b := due[j-1], due[j]
+			if a.deadline.Before(b.deadline) || (a.deadline.Equal(b.deadline) && a.seq < b.seq) {
+				break
+			}
+			due[j-1], due[j] = b, a
+		}
+	}
+}
+
+// nextDeadlineLocked returns the next instant the wheel must wake at: an
+// exact deadline for entries in the current tick, a slot-window start
+// for everything farther out (waking there either fires or cascades and
+// reschedules). Callers hold mu.
+func (s *Service) nextDeadlineLocked() (time.Time, bool) {
+	if s.count == 0 {
+		return time.Time{}, false
+	}
+	var best time.Time
+	consider := func(t time.Time) {
+		if best.IsZero() || t.Before(best) {
+			best = t
+		}
+	}
+	for l := 0; l < wheelLevels; l++ {
+		shift := uint(wheelBits * l)
+		cur := s.curTick >> shift
+		from, to := int64(0), int64(wheelSlots)
+		if l > 0 {
+			// The current slot of a higher level was cascaded when its
+			// window began — but an insert whose delta is near the top
+			// of the level's span WRAPS onto the same slot index (its
+			// window is one full rotation ahead). Scan starts past the
+			// current slot and extends one position to j == wheelSlots,
+			// which is that wrapped slot at its true (next-rotation)
+			// cascade boundary; missing it would leave the wheel with
+			// no wake-up and the timer stranded.
+			from, to = 1, wheelSlots+1
+		}
+		for j := from; j < to; j++ {
+			slotTick := cur + j
+			bucket := s.levels[l][slotTick&wheelMask]
+			live := false
+			for _, t := range bucket {
+				if !t.cancelled {
+					live = true
+					break
+				}
+			}
+			if !live {
+				continue
+			}
+			if l == 0 && j == 0 {
+				// Current tick: exact deadlines.
+				for _, t := range bucket {
+					if !t.cancelled {
+						consider(t.deadline)
+					}
+				}
+			} else {
+				consider(s.epoch.Add(time.Duration(slotTick<<shift) * s.tick))
+			}
+			break // first live slot of a level is its earliest
+		}
+	}
+	return best, !best.IsZero()
+}
+
+// run is the wheel goroutine: advance, fire, sleep to the next deadline.
+func (s *Service) run() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		now := s.clock.Now()
+		due := s.collectDueLocked(now)
+		next, ok := s.nextDeadlineLocked()
+		s.mu.Unlock()
+		if len(due) > 0 {
+			// Fire outside the lock: callbacks may Arm/Cancel. Re-loop
+			// immediately so anything that became due meanwhile is not
+			// delayed by a stale sleep.
+			for _, t := range due {
+				t.fire()
+			}
+			continue
+		}
+		var wake <-chan time.Time
+		if ok {
+			wake = s.clock.Wake(next)
+		}
+		select {
+		case <-wake:
+		case <-s.kick:
+		case <-s.stop:
+			return
+		}
+	}
+}

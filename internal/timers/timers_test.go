@@ -1,0 +1,265 @@
+package timers
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// waitCount polls until n fires have been observed or the timeout ends.
+func waitCount(t *testing.T, c *atomic.Int64, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Load() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("fired = %d, want %d", c.Load(), n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestFireAtDeadlineFakeClock(t *testing.T) {
+	clock := NewFakeClock(t0)
+	s := New(clock, Config{})
+	defer s.Close()
+
+	var fired atomic.Int64
+	s.Arm("a", t0.Add(50*time.Millisecond), func() { fired.Add(1) })
+
+	clock.Advance(49 * time.Millisecond)
+	time.Sleep(20 * time.Millisecond) // let the wheel goroutine observe
+	if fired.Load() != 0 {
+		t.Fatalf("fired %v before the deadline", fired.Load())
+	}
+	clock.Advance(time.Millisecond) // now exactly at the deadline
+	waitCount(t, &fired, 1)
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after fire", s.Pending())
+	}
+}
+
+func TestCancelPreventsFire(t *testing.T) {
+	clock := NewFakeClock(t0)
+	s := New(clock, Config{})
+	defer s.Close()
+
+	var fired atomic.Int64
+	s.Arm("a", t0.Add(10*time.Millisecond), func() { fired.Add(1) })
+	if !s.Cancel("a") {
+		t.Fatal("Cancel reported no pending timer")
+	}
+	if s.Cancel("a") {
+		t.Fatal("second Cancel succeeded")
+	}
+	clock.Advance(time.Second)
+	time.Sleep(20 * time.Millisecond)
+	if fired.Load() != 0 {
+		t.Fatalf("cancelled timer fired %d times", fired.Load())
+	}
+}
+
+func TestRearmReplaces(t *testing.T) {
+	clock := NewFakeClock(t0)
+	s := New(clock, Config{})
+	defer s.Close()
+
+	var first, second atomic.Int64
+	s.Arm("a", t0.Add(10*time.Millisecond), func() { first.Add(1) })
+	s.Arm("a", t0.Add(30*time.Millisecond), func() { second.Add(1) })
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("pending = %d, want 1 (re-arm replaces)", got)
+	}
+	clock.Advance(time.Second)
+	waitCount(t, &second, 1)
+	if first.Load() != 0 {
+		t.Fatalf("replaced timer fired %d times", first.Load())
+	}
+}
+
+// TestSameInstantFiresInArmOrder pins the determinism the engine's
+// timer-vs-input race tests rely on: two timers with the same deadline
+// fire in the order they were armed.
+func TestSameInstantFiresInArmOrder(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		clock := NewFakeClock(t0)
+		s := New(clock, Config{})
+		var mu sync.Mutex
+		var order []string
+		var n atomic.Int64
+		at := t0.Add(25 * time.Millisecond)
+		for _, id := range []string{"first", "second", "third"} {
+			id := id
+			s.Arm(id, at, func() {
+				mu.Lock()
+				order = append(order, id)
+				mu.Unlock()
+				n.Add(1)
+			})
+		}
+		clock.Advance(25 * time.Millisecond)
+		waitCount(t, &n, 3)
+		s.Close()
+		mu.Lock()
+		got := append([]string(nil), order...)
+		mu.Unlock()
+		if got[0] != "first" || got[1] != "second" || got[2] != "third" {
+			t.Fatalf("trial %d: fire order %v, want arm order", trial, got)
+		}
+	}
+}
+
+// TestPropertyRandomTimers is the wheel's property test: N random
+// deadlines across every wheel level, random cancels, advances in random
+// steps — every surviving timer fires exactly once and never early,
+// every cancelled timer never fires, nothing is lost.
+func TestPropertyRandomTimers(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 500
+	clock := NewFakeClock(t0)
+	s := New(clock, Config{})
+	defer s.Close()
+
+	type probe struct {
+		deadline  time.Time
+		cancelled bool
+	}
+	var mu sync.Mutex
+	firedAt := make(map[int]time.Time)
+	var fired atomic.Int64
+	probes := make([]*probe, n)
+	for i := 0; i < n; i++ {
+		// Deadlines from sub-tick to far beyond one level-0 rotation
+		// (exercises cascades): 0..200000 ms.
+		d := time.Duration(rng.Int63n(int64(200_000))) * time.Millisecond
+		p := &probe{deadline: t0.Add(d)}
+		probes[i] = p
+		i := i
+		s.Arm(idOf(i), p.deadline, func() {
+			now := clock.Now()
+			mu.Lock()
+			if _, dup := firedAt[i]; dup {
+				t.Errorf("timer %d fired twice", i)
+			}
+			firedAt[i] = now
+			mu.Unlock()
+			fired.Add(1)
+		})
+	}
+	// Cancel a random third before any time passes.
+	expect := int64(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			if s.Cancel(idOf(i)) {
+				probes[i].cancelled = true
+				expect--
+			}
+		}
+	}
+	// Advance in random steps past the horizon.
+	for clock.Now().Before(t0.Add(210_000 * time.Millisecond)) {
+		step := time.Duration(rng.Int63n(int64(9000))+1) * time.Millisecond
+		clock.Advance(step)
+		// Let the wheel drain before the next jump, so "never early" is
+		// checked against intermediate instants too.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			mu.Lock()
+			allPastDue := true
+			now := clock.Now()
+			for i, p := range probes {
+				if p.cancelled || p.deadline.After(now) {
+					continue
+				}
+				if _, ok := firedAt[i]; !ok {
+					allPastDue = false
+					break
+				}
+			}
+			mu.Unlock()
+			if allPastDue {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("wheel never drained past-due timers")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	waitCount(t, &fired, expect)
+	mu.Lock()
+	defer mu.Unlock()
+	for i, p := range probes {
+		at, ok := firedAt[i]
+		switch {
+		case p.cancelled && ok:
+			t.Errorf("cancelled timer %d fired", i)
+		case !p.cancelled && !ok:
+			t.Errorf("timer %d lost", i)
+		case ok && at.Before(p.deadline):
+			t.Errorf("timer %d fired early: %v before deadline %v", i, at, p.deadline)
+		}
+	}
+}
+
+func idOf(i int) string { return fmt.Sprintf("t%d", i) }
+
+// TestWallClockSmoke arms real timers over the wall clock and checks
+// they all fire, reasonably close to their deadlines.
+func TestWallClockSmoke(t *testing.T) {
+	s := New(nil, Config{})
+	defer s.Close()
+	const n = 100
+	var fired atomic.Int64
+	var worst atomic.Int64
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		deadline := start.Add(time.Duration(1+i%20) * time.Millisecond)
+		s.Arm(idOf(i), deadline, func() {
+			if late := time.Since(deadline); late > time.Duration(worst.Load()) {
+				worst.Store(int64(late))
+			}
+			fired.Add(1)
+		})
+	}
+	waitCount(t, &fired, n)
+	if w := time.Duration(worst.Load()); w > 500*time.Millisecond {
+		t.Fatalf("worst fire lateness %v (suspiciously late even for a loaded machine)", w)
+	}
+}
+
+func TestArmInPastFiresImmediately(t *testing.T) {
+	clock := NewFakeClock(t0)
+	s := New(clock, Config{})
+	defer s.Close()
+	clock.Advance(time.Minute)
+	var fired atomic.Int64
+	s.Arm("past", t0.Add(time.Second), func() { fired.Add(1) })
+	waitCount(t, &fired, 1)
+}
+
+// TestArmFromCallback pins that fire callbacks may re-arm (the pattern
+// recurring schedules use) without deadlocking the wheel.
+func TestArmFromCallback(t *testing.T) {
+	clock := NewFakeClock(t0)
+	s := New(clock, Config{})
+	defer s.Close()
+	var fired atomic.Int64
+	var arm func(at time.Time)
+	arm = func(at time.Time) {
+		s.Arm("rec", at, func() {
+			if fired.Add(1) < 3 {
+				arm(at.Add(10 * time.Millisecond))
+			}
+		})
+	}
+	arm(t0.Add(10 * time.Millisecond))
+	for i := 0; i < 3; i++ {
+		clock.Advance(10 * time.Millisecond)
+		waitCount(t, &fired, int64(i+1))
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/registry"
@@ -241,6 +242,124 @@ func LocatedFanOut(n int, location string) string {
 	return fanIn(n, func(b *strings.Builder, name, src string) {
 		locStage(b, name, src, location)
 	})
+}
+
+// timerPrelude declares the classes of the temporal workloads. The
+// object flows through as "d" on both sides of every task, because
+// first-class delay tasks echo their inputs into same-named output
+// objects (the builtin echo semantics).
+const timerPrelude = `
+class Data;
+
+taskclass TStage
+{
+    inputs { input main { d of class Data } };
+    outputs { outcome done { d of class Data } }
+};
+
+taskclass TApp
+{
+    inputs { input main { d of class Data } };
+    outputs { outcome done { d of class Data } }
+};
+`
+
+// timerWrap surrounds constituents with the temporal root compound.
+func timerWrap(constituents, lastTask string) string {
+	return timerPrelude + fmt.Sprintf(`
+compoundtask app of taskclass TApp
+{%s
+    outputs
+    {
+        outcome done
+        {
+            outputobject d from { d of task %s if output done }
+        }
+    }
+};
+`, constituents, lastTask)
+}
+
+const timerFromRoot = "d of task app if input main"
+
+func timerFromTask(t string) string {
+	return fmt.Sprintf("d of task %s if output done", t)
+}
+
+// TimerChain returns a linear pipeline of n first-class delay tasks
+// (implementation property "delay"), each firing on the engine's
+// durable timing wheel: the S4 temporal workload. No implementation
+// code runs at all — every stage is pure time.
+func TimerChain(n int, delay time.Duration) string {
+	var b strings.Builder
+	prev := ""
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("t%d", i)
+		src := timerFromRoot
+		if prev != "" {
+			src = timerFromTask(prev)
+		}
+		fmt.Fprintf(&b, `
+    task %s of taskclass TStage
+    {
+        implementation { "delay" is %q };
+        inputs
+        {
+            input main
+            {
+                inputobject d from { %s }
+            }
+        }
+    };`, name, delay.String(), src)
+		prev = name
+	}
+	return timerWrap(b.String(), prev)
+}
+
+// DeadlineFanOut returns n parallel stages all fed by the root, each
+// bounded by a "deadline" implementation property and gating a sink via
+// notifications: every activation arms (and, on completion, disarms) a
+// wheel entry — the deadline-churn workload. code names the stage
+// implementation (bind something faster than the deadline).
+func DeadlineFanOut(n int, deadline time.Duration, code string) string {
+	var b strings.Builder
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, `
+    task t%d of taskclass TStage
+    {
+        implementation { "code" is %q; "deadline" is %q };
+        inputs
+        {
+            input main
+            {
+                inputobject d from { %s }
+            }
+        }
+    };`, i, code, deadline.String(), timerFromRoot)
+	}
+	fmt.Fprintf(&b, `
+    task sink of taskclass TStage
+    {
+        implementation { "code" is %q };
+        inputs
+        {
+            input main
+            {
+                inputobject d from { %s }`, code, timerFromRoot)
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, ";\n                notification from { task t%d if output done }", i)
+	}
+	b.WriteString(`
+            }
+        }
+    };`)
+	return timerWrap(b.String(), "sink")
+}
+
+// TimerSeed returns the root inputs of the temporal workloads (their
+// object is named "d" end to end, matching the delay echo).
+func TimerSeed() registry.Objects {
+	return registry.Objects{"d": {Class: "Data", Data: "seed"}}
 }
 
 // RandomDAG returns a random DAG of n stages where each stage reads from

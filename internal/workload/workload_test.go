@@ -69,6 +69,46 @@ func TestGeneratorsCompileAndRun(t *testing.T) {
 	}
 }
 
+// TestTemporalGeneratorsCompileAndRun runs the temporal workloads end
+// to end: TimerChain entirely on the timing wheel (no implementation
+// code at all), DeadlineFanOut arming and disarming one wheel entry per
+// activation.
+func TestTemporalGeneratorsCompileAndRun(t *testing.T) {
+	run := func(t *testing.T, name, src string) engine.Result {
+		eng, impls := newEngine(t)
+		impls.Bind("work", func(ctx registry.Context) (registry.Result, error) {
+			return registry.Result{Output: "done", Objects: registry.Objects{"d": ctx.Inputs()["d"]}}, nil
+		})
+		schema := workload.MustCompile(name, src)
+		inst, err := eng.Instantiate(name, schema, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Start("main", workload.TimerSeed()); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		res, err := inst.Wait(ctx)
+		if err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+		return res
+	}
+	t.Run("timerchain", func(t *testing.T) {
+		res := run(t, "timerchain", workload.TimerChain(5, time.Millisecond))
+		if res.Output != "done" || res.Objects["d"].Data.(string) != "seed" {
+			t.Fatalf("result = %+v, want done passing the seed through", res)
+		}
+	})
+	t.Run("deadlinefanout", func(t *testing.T) {
+		res := run(t, "deadlinefanout", workload.DeadlineFanOut(6, time.Second, "work"))
+		if res.Output != "done" {
+			t.Fatalf("outcome = %q, want done", res.Output)
+		}
+	})
+}
+
 func TestGeneratorsDeterministic(t *testing.T) {
 	if workload.RandomDAG(15, 1, 7) != workload.RandomDAG(15, 1, 7) {
 		t.Error("RandomDAG must be deterministic for a fixed seed")

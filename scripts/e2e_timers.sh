@@ -1,0 +1,180 @@
+#!/usr/bin/env bash
+# End-to-end test of the durable temporal subsystem against real daemons:
+#
+#   1. boot wfrepo + wfexec (WAL store);
+#   2. deploy a workflow whose single task is a first-class 5s delay
+#      ("delay" implementation property — no code, just the durable
+#      timing wheel) and start an instance;
+#   3. SIGKILL wfexec ~1.5s into the delay;
+#   4. restart wfexec with -recover over the same state directory and
+#      assert the delay fires EXACTLY ONCE at its ORIGINAL absolute
+#      deadline: completion lands ~5s after start, NOT ~restart+5s
+#      (which is what a delay restarted from zero would show);
+#   5. smoke-test `wfadmin schedule`: a recurring schedule spawns its
+#      runs and stops at MAXRUNS.
+#
+# Run directly or as `make e2e`. Exits 0 on success.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d /tmp/wf-e2e-timers.XXXXXX)"
+BIN="$WORK/bin"
+mkdir -p "$BIN"
+PIDS=()
+
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+say() { echo "e2e-timers: $*"; }
+
+wait_addr() {
+    local log="$1" pattern="$2" addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n "s/.*$pattern \(127\.0\.0\.1:[0-9]*\).*/\1/p" "$log" | head -n1)"
+        if [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "e2e-timers: daemon never announced itself in $log:" >&2
+    cat "$log" >&2
+    return 1
+}
+
+now_ms() { date +%s%3N; }
+
+say "building binaries"
+go build -o "$BIN" ./cmd/wfrepo ./cmd/wfexec ./cmd/wfadmin
+
+say "booting repository"
+"$BIN/wfrepo" -addr 127.0.0.1:0 -dir "$WORK/repo-state" > "$WORK/repo.log" 2>&1 &
+PIDS+=($!); disown
+REPO="$(wait_addr "$WORK/repo.log" "workflow repository service on")"
+
+say "booting wfexec (WAL store)"
+"$BIN/wfexec" -addr 127.0.0.1:7102 -repo "$REPO" -store wal \
+    -dir "$WORK/exec-state" > "$WORK/exec1.log" 2>&1 &
+EXEC_PID=$!
+PIDS+=($EXEC_PID); disown
+EXEC="$(wait_addr "$WORK/exec1.log" "workflow execution service on")"
+
+cat > "$WORK/delayed.wf" <<'EOF'
+class Data;
+
+taskclass TStage
+{
+    inputs { input main { d of class Data } };
+    outputs { outcome done { d of class Data } }
+};
+
+taskclass App
+{
+    inputs { input main { d of class Data } };
+    outputs { outcome done { d of class Data } }
+};
+
+compoundtask app of taskclass App
+{
+    task t1 of taskclass TStage
+    {
+        implementation { "delay" is "5s" };
+        inputs { input main { inputobject d from { d of task app if input main } } }
+    };
+    outputs { outcome done { outputobject d from { d of task t1 if output done } } }
+};
+EOF
+
+say "deploying and starting the delayed workflow (5s first-class delay)"
+"$BIN/wfadmin" -repo "$REPO" deploy delayed "$WORK/delayed.wf"
+"$BIN/wfadmin" -exec "$EXEC" instantiate run1 delayed
+T0="$(now_ms)"
+"$BIN/wfadmin" -exec "$EXEC" start run1 main d=Data:hello
+
+sleep 1.5
+say "SIGKILLing wfexec (pid $EXEC_PID) 1.5s into the 5s delay"
+kill -9 "$EXEC_PID"
+sleep 0.5
+
+say "restarting wfexec with -recover over the same state directory"
+"$BIN/wfexec" -addr 127.0.0.1:7102 -repo "$REPO" -store wal \
+    -dir "$WORK/exec-state" -recover > "$WORK/exec2.log" 2>&1 &
+PIDS+=($!); disown
+EXEC="$(wait_addr "$WORK/exec2.log" "workflow execution service on")"
+if ! grep -q "recovered instance run1" "$WORK/exec2.log"; then
+    echo "e2e-timers: FAIL — instance run1 not recovered" >&2
+    cat "$WORK/exec2.log" >&2
+    exit 1
+fi
+
+say "waiting for the delay to fire at its original absolute deadline"
+OUT="$("$BIN/wfadmin" -exec "$EXEC" wait run1 30s)"
+T1="$(now_ms)"
+echo "$OUT"
+case "$OUT" in
+    *"status: completed"*) ;;
+    *)
+        echo "e2e-timers: FAIL — instance did not complete after recovery" >&2
+        "$BIN/wfadmin" -exec "$EXEC" events run1 >&2 || true
+        tail -n 20 "$WORK"/*.log >&2 || true
+        exit 1
+        ;;
+esac
+
+ELAPSED=$((T1 - T0))
+say "start-to-completion across the crash: ${ELAPSED}ms (deadline was 5000ms after start)"
+# Fired at the original absolute deadline: elapsed ~5000ms (+ wait-poll
+# and restart slack). A delay restarted from zero would complete at
+# ~1.5s (kill) + 0.5s (pause) + restart + 5000ms >= 7000ms.
+if [ "$ELAPSED" -lt 4900 ]; then
+    echo "e2e-timers: FAIL — completed ${ELAPSED}ms after start: the delay fired EARLY" >&2
+    exit 1
+fi
+if [ "$ELAPSED" -gt 6500 ]; then
+    echo "e2e-timers: FAIL — completed ${ELAPSED}ms after start: the delay was restarted from zero" >&2
+    "$BIN/wfadmin" -exec "$EXEC" events run1 >&2 || true
+    exit 1
+fi
+
+# The post-recovery trace must show exactly one fire, and the re-arm.
+EVENTS="$("$BIN/wfadmin" -exec "$EXEC" events run1)"
+FIRES="$(grep -c "timer-fired app/t1" <<< "$EVENTS" || true)"
+if [ "$FIRES" != "1" ]; then
+    echo "e2e-timers: FAIL — expected exactly 1 timer-fired event, got $FIRES" >&2
+    echo "$EVENTS" >&2
+    exit 1
+fi
+if ! grep -q "timer-armed app/t1" <<< "$EVENTS"; then
+    echo "e2e-timers: FAIL — no timer-armed event after recovery" >&2
+    echo "$EVENTS" >&2
+    exit 1
+fi
+
+say "schedule smoke: recurring instantiation, 2 runs 1s apart"
+"$BIN/wfadmin" -exec "$EXEC" schedule add pulse delayed main 0 1s 2 d=Data:tick
+sleep 2.6
+SCHED="$("$BIN/wfadmin" -exec "$EXEC" schedule list)"
+echo "$SCHED"
+case "$SCHED" in
+    *"fired=2 done"*) ;;
+    *)
+        echo "e2e-timers: FAIL — schedule did not fire twice and stop" >&2
+        exit 1
+        ;;
+esac
+INSTANCES="$("$BIN/wfadmin" -exec "$EXEC" instances)"
+for inst in pulse-1 pulse-2; do
+    if ! grep -q "^$inst\$" <<< "$INSTANCES"; then
+        echo "e2e-timers: FAIL — scheduled instance $inst missing (have: $INSTANCES)" >&2
+        exit 1
+    fi
+done
+"$BIN/wfadmin" -exec "$EXEC" schedule rm pulse
+
+say "PASS — delay fired once at its original deadline across SIGKILL + recover; schedule spawned its runs"
