@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race cover bench bench-baseline bench-gate e2e
+.PHONY: check fmt vet build test lint wflint race cover bench bench-baseline bench-gate e2e
 
-check: fmt vet build test bench
+check: lint build test bench
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -15,6 +15,18 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Full static-analysis gate: format, vet, staticcheck (when installed;
+# CI pins and installs it), and the repository's own invariant checkers.
+lint: fmt vet wflint
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; 	else echo "lint: staticcheck not installed; skipping"; fi
+
+# Build cmd/wflint and run the invariant suite (clockinject,
+# persistorder, locksafe, goroutinestop — see docs/INVARIANTS.md) over
+# the whole module. Exits non-zero on any violation.
+wflint:
+	$(GO) build -o bin/wflint ./cmd/wflint
+	./bin/wflint ./...
 
 build:
 	$(GO) build ./...

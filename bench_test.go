@@ -151,7 +151,7 @@ func BenchmarkX1CrashRecovery(b *testing.B) {
 	for _, width := range []int{2, 8, 32} {
 		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := experiments.X1CrashRecovery(width)
+				res, err := experiments.X1CrashRecovery(width, experiments.X1Opts{})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -48,7 +48,11 @@ import (
 	"repro/internal/orb"
 	"repro/internal/registry"
 	"repro/internal/repository"
+	"repro/internal/timers"
 )
+
+// wall is the CLI clock: wfadmin polls live systems in wall time.
+var wall = timers.WallClock{}
 
 func main() {
 	repoAddr := flag.String("repo", "127.0.0.1:7001", "repository service address")
@@ -187,7 +191,7 @@ func run(repoAddr, execAddr string, args []string) error {
 			}
 			timeout = d
 		}
-		deadline := time.Now().Add(timeout)
+		deadline := wall.Now().Add(timeout)
 		since := 0
 		for {
 			events, err := execC.Events(rest[0], since)
@@ -215,11 +219,11 @@ func run(repoAddr, execAddr string, args []string) error {
 				fmt.Printf("instance %s settled: %s\n", rest[0], status)
 				return nil
 			}
-			if time.Now().After(deadline) {
+			if wall.Now().After(deadline) {
 				fmt.Printf("instance %s still %s after %v\n", rest[0], status, timeout)
 				return nil
 			}
-			time.Sleep(200 * time.Millisecond)
+			<-wall.Wake(wall.Now().Add(200 * time.Millisecond))
 		}
 	case "schedule":
 		if err := need(1, "add|list|rm ..."); err != nil {

@@ -1,0 +1,119 @@
+// Command wflint runs the repository's invariant checkers (internal/lint)
+// over Go packages. Two modes:
+//
+//   - standalone multichecker: `wflint ./...` loads packages via the go
+//     tool and prints findings as file:line:col: analyzer: message,
+//     exiting 1 if any invariant is violated;
+//   - vet tool: `go vet -vettool=$(pwd)/bin/wflint ./...` — wflint speaks
+//     cmd/go's single-package vet protocol (-V=full handshake, JSON
+//     config file argument), so CI can surface findings through go vet's
+//     caching and diagnostics plumbing.
+//
+// Flags (standalone mode):
+//
+//	-dir DIR     load packages relative to DIR (default ".")
+//	-github      additionally emit GitHub Actions ::error annotations
+//	-list        print the analyzer suite and exit
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	// cmd/go's tool-ID handshake: must answer `-V=full` with
+	// "<progname> version <non-devel-version>" before anything else.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		printVersion()
+		return
+	}
+	// cmd/go's other vettool probe: `wflint -flags` must answer with a
+	// JSON inventory of tool flags so go vet can map its command line.
+	// wflint exposes none to the vet driver.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+
+	dir := flag.String("dir", ".", "directory to resolve package patterns in")
+	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations as well")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, an := range lint.Analyzers() {
+			fmt.Printf("%s: %s\n", an.Name, an.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	// Vet-tool mode: cmd/go invokes the tool with a single *.cfg JSON
+	// file describing one package.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetTool(args[0]))
+	}
+
+	findings, err := runStandalone(*dir, args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wflint:", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Println(rel(*dir, f))
+		if *github {
+			fmt.Printf("::error file=%s,line=%d,col=%d::%s: %s\n",
+				relPath(*dir, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "wflint: %d invariant violation(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func runStandalone(dir string, patterns []string) ([]lint.Finding, error) {
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return lint.Run(pkgs, lint.Analyzers())
+}
+
+// rel renders a finding with a path relative to dir (stable, clickable
+// output for humans and CI problem matchers).
+func rel(dir string, f lint.Finding) string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", relPath(dir, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+func relPath(dir, path string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return path
+	}
+	if r, err := filepath.Rel(abs, path); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return path
+}
+
+// printVersion answers cmd/go's -V=full handshake. The version string
+// embeds a content hash of the binary so the go command's vet cache
+// invalidates whenever wflint is rebuilt.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	sum := [sha256.Size]byte{}
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum = sha256.Sum256(data)
+		}
+	}
+	fmt.Printf("%s version 1.0.0-%x\n", name, sum[:12])
+}

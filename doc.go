@@ -35,4 +35,15 @@
 // instantiation (execsvc.Scheduler, driven by `wfadmin schedule`). See
 // internal/engine/timers.go, internal/execsvc/schedule.go and the
 // "Temporal coordination" section of README.md.
+//
+// # Enforced invariants
+//
+// The system-wide contracts behind these subsystems — all time flows
+// through timers.Clock, engine run state commits only via the drain's
+// group-commit batch, lock holders never block, goroutines carry a
+// visible stop mechanism — are enforced mechanically by the wflint
+// multichecker (cmd/wflint, analyzers in internal/lint), which runs in
+// `make lint`, in CI, and as a `go vet -vettool`. The invariant
+// registry with rationale and the //wflint:allow escape-hatch
+// convention is docs/INVARIANTS.md.
 package repro

@@ -32,8 +32,13 @@ import (
 	"repro/internal/script/sema"
 	"repro/internal/scripts"
 	"repro/internal/store"
+	"repro/internal/timers"
 	"repro/internal/txn"
 )
+
+// clk paces the simulated booking-system latencies; the example runs in
+// real time, so it is explicitly the wall clock.
+var clk = timers.WallClock{}
 
 // world simulates the external booking systems.
 type world struct {
@@ -54,7 +59,7 @@ func bind(impls *registry.Registry, w *world) {
 	airline := func(name string, delay time.Duration, hasOffer bool) registry.Func {
 		return func(ctx registry.Context) (registry.Result, error) {
 			select {
-			case <-time.After(delay):
+			case <-clk.Wake(clk.Now().Add(delay)):
 			case <-ctx.Done():
 				return registry.Result{}, fmt.Errorf("cancelled")
 			}

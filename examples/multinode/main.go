@@ -24,9 +24,13 @@ import (
 	"repro/internal/script/sema"
 	"repro/internal/store"
 	"repro/internal/taskexec"
+	"repro/internal/timers"
 	"repro/internal/txn"
 	"repro/internal/workload"
 )
+
+// clk paces the simulated per-task work; the example runs in real time.
+var clk = timers.WallClock{}
 
 const location = "workers"
 
@@ -35,7 +39,7 @@ const location = "workers"
 func startExecutor(naming *orb.NamingClient, name string) (*orb.Server, func(), error) {
 	impls := registry.New()
 	impls.Bind("stage", func(ctx registry.Context) (registry.Result, error) {
-		time.Sleep(5 * time.Millisecond) // simulated work
+		<-clk.Wake(clk.Now().Add(5 * time.Millisecond)) // simulated work
 		in := ctx.Inputs()["in"]
 		in.Data = fmt.Sprintf("%v+%s", in.Data, name)
 		return registry.Result{Output: "done", Objects: registry.Objects{"out": in}}, nil

@@ -806,6 +806,9 @@ func (i *Instance) saveMeta(meta instanceMeta) error {
 // instantiation, before the loop owns the run map).
 func (i *Instance) persistRunDirect(r *run) error {
 	tx := i.eng.preg.Manager().Begin()
+	// The drain batch does not exist yet at instantiation: the loop that
+	// owns runBuf starts only after the initial run map is durable.
+	//wflint:allow persistorder pre-loop instantiation write; the drain batch is not running yet
 	if err := i.eng.preg.Object(runKey(i.id, r.st.Path)).Set(tx, r.st); err != nil {
 		_ = tx.Abort()
 		return err

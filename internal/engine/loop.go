@@ -668,6 +668,9 @@ func (i *Instance) worker(w workerInfo) {
 		err error
 	}
 	resCh := make(chan wres, 1)
+	// Bounded by f returning: implementations observe taskCtx.Done, and
+	// the 1-buffered resCh means the send never blocks after abandonment.
+	//wflint:allow goroutinestop bounded by f's return; taskCtx cancellation reaches f and resCh is buffered
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {
@@ -929,6 +932,7 @@ func (i *Instance) persistRun(r *run) {
 		return
 	}
 	tx := i.eng.preg.Manager().Begin()
+	//wflint:allow persistorder gated legacy path: Config.PersistPerTransition ablation writes one txn per transition by design
 	err := i.eng.preg.Object(runKey(i.id, r.st.Path)).Set(tx, r.st)
 	if err == nil {
 		err = tx.Commit()
@@ -951,6 +955,7 @@ func (i *Instance) deleteRunState(path string) {
 		return
 	}
 	tx := i.eng.preg.Manager().Begin()
+	//wflint:allow persistorder gated legacy path: Config.PersistPerTransition ablation writes one txn per transition by design
 	err := i.eng.preg.Object(runKey(i.id, path)).Delete(tx)
 	if err == nil {
 		err = tx.Commit()

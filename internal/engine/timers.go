@@ -239,6 +239,7 @@ func (i *Instance) persistTimerRec(path string, rec *delayRec) {
 		return
 	}
 	tx := i.eng.preg.Manager().Begin()
+	//wflint:allow persistorder gated legacy path: Config.PersistPerTransition ablation writes one txn per transition by design
 	err := i.eng.preg.Object(timerRecKey(i.id, path)).Set(tx, *rec)
 	if err == nil {
 		err = tx.Commit()
@@ -261,6 +262,7 @@ func (i *Instance) deleteTimerRec(path string) {
 		return
 	}
 	tx := i.eng.preg.Manager().Begin()
+	//wflint:allow persistorder gated legacy path: Config.PersistPerTransition ablation writes one txn per transition by design
 	err := i.eng.preg.Object(timerRecKey(i.id, path)).Delete(tx)
 	if err == nil {
 		err = tx.Commit()

@@ -213,7 +213,9 @@ func (s *Scheduler) armLocked(e *Schedule) {
 	name := e.Name
 	s.tm.Arm("sched|"+name, e.NextAt, func() {
 		// Instantiating compiles schemas and commits store transactions;
-		// keep that off the wheel goroutine.
+		// keep that off the wheel goroutine. One-shot and self-limiting:
+		// fire re-checks s.closed under the mutex before doing anything.
+		//wflint:allow goroutinestop one-shot; fire() checks s.closed and returns, so it cannot outlive Close by more than one call
 		go s.fire(name)
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/orb"
 	"repro/internal/registry"
 	"repro/internal/script/sema"
+	"repro/internal/timers"
 )
 
 // ObjectName is the execution service's well-known servant name.
@@ -140,10 +141,16 @@ func (s *Service) Servant() *orb.Servant {
 // Client is the typed stub of the execution service.
 type Client struct {
 	c *orb.Client
+	// clock anchors WaitSettled's client-side deadline; replaceable so
+	// tests drive the poll loop on a fake clock.
+	clock timers.Clock
 }
 
 // NewClient wraps an orb client connected to the execution endpoint.
-func NewClient(c *orb.Client) *Client { return &Client{c: c} }
+func NewClient(c *orb.Client) *Client { return &Client{c: c, clock: timers.WallClock{}} }
+
+// SetClock replaces the deadline clock (tests).
+func (ec *Client) SetClock(clk timers.Clock) { ec.clock = clk }
 
 // Instantiate creates an instance of a stored schema.
 func (ec *Client) Instantiate(instance, schemaName, rootName string) error {
@@ -173,9 +180,9 @@ func (ec *Client) Events(instance string, since int) ([]engine.Event, error) {
 // not starved by a long-poll holding the connection.
 func (ec *Client) WaitSettled(instance string, timeout time.Duration) (engine.InstanceStatus, engine.Result, error) {
 	const slice = 500 * time.Millisecond
-	deadline := time.Now().Add(timeout)
+	deadline := ec.clock.Now().Add(timeout)
 	for {
-		remaining := time.Until(deadline)
+		remaining := deadline.Sub(ec.clock.Now())
 		if remaining <= 0 {
 			remaining = time.Millisecond
 		}
@@ -186,7 +193,7 @@ func (ec *Client) WaitSettled(instance string, timeout time.Duration) (engine.In
 		if err != nil {
 			return resp.Status, resp.Result, err
 		}
-		if Settled(resp.Status) || time.Now().After(deadline) {
+		if Settled(resp.Status) || ec.clock.Now().After(deadline) {
 			return resp.Status, resp.Result, nil
 		}
 	}

@@ -80,7 +80,7 @@ func TestFig4FullStackScenario(t *testing.T) {
 }
 
 func TestX1Scenario(t *testing.T) {
-	res, err := experiments.X1CrashRecovery(4)
+	res, err := experiments.X1CrashRecovery(4, experiments.X1Opts{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -79,9 +79,9 @@ func NewLatencyRecorder() *LatencyRecorder { return &LatencyRecorder{} }
 // Wrap times every dispatch through inv.
 func (l *LatencyRecorder) Wrap(inv engine.RemoteInvoker) engine.RemoteInvoker {
 	return func(req engine.RemoteRequest) (registry.Result, error) {
-		begin := time.Now()
+		begin := wall.Now()
 		res, err := inv(req)
-		l.add(time.Since(begin))
+		l.add(wall.Now().Sub(begin))
 		return res, err
 	}
 }
@@ -137,7 +137,7 @@ func NewLoadEnv(cfg LoadConfig) (*LoadEnv, error) {
 		impls := registry.New()
 		impls.Bind("stage", func(ctx registry.Context) (registry.Result, error) {
 			if cfg.TaskDelay > 0 {
-				time.Sleep(cfg.TaskDelay)
+				<-wall.Wake(wall.Now().Add(cfg.TaskDelay))
 			}
 			return registry.Result{Output: "done", Objects: registry.Objects{"out": ctx.Inputs()["in"]}}, nil
 		})
@@ -238,7 +238,7 @@ func runClosedLoop(env *Env, schema *coreSchema, lat *LatencyRecorder, workers, 
 		}
 		return nil
 	}
-	begin := time.Now()
+	begin := wall.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -262,7 +262,7 @@ func runClosedLoop(env *Env, schema *coreSchema, lat *LatencyRecorder, workers, 
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(begin)
+	elapsed := wall.Now().Sub(begin)
 	if firstErr != nil {
 		return LoadReport{}, firstErr
 	}

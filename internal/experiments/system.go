@@ -18,6 +18,7 @@ import (
 	"repro/internal/script/sema"
 	"repro/internal/scripts"
 	"repro/internal/store"
+	"repro/internal/timers"
 	"repro/internal/txn"
 	"repro/internal/workload"
 )
@@ -105,17 +106,42 @@ type X1Result struct {
 	ReExecuted   bool
 }
 
+// X1Opts parameterises the crash/recovery experiment. The zero value
+// reproduces the historical behaviour (wall clock, 30s settle budget).
+type X1Opts struct {
+	// Settle bounds both waits: the pre-crash wait for the join task to
+	// start, and the post-recovery wait for the instance to settle.
+	// Zero means 30s.
+	Settle time.Duration
+	// Clock paces the waits and timestamps the recovery measurement; it
+	// is also handed to both engine phases, so the whole cycle can run
+	// on a timers.FakeClock. Nil means timers.WallClock.
+	Clock timers.Clock
+}
+
+func (o X1Opts) withDefaults() X1Opts {
+	if o.Settle <= 0 {
+		o.Settle = 30 * time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = timers.WallClock{}
+	}
+	return o
+}
+
 // X1CrashRecovery runs a diamond workflow to the join task, "crashes"
 // (stops the engine mid-execution), rebuilds everything from the store,
 // and measures the time from recovery start to workflow completion. The
 // store survives; the processes do not — the paper's processor-crash
 // model.
-func X1CrashRecovery(width int) (X1Result, error) {
+func X1CrashRecovery(width int, opts X1Opts) (X1Result, error) {
+	opts = opts.withDefaults()
+	clk := opts.Clock
 	st := store.NewMemStore()
 	src := workload.Diamond(width)
 
 	// Phase 1: run to the blocking join.
-	env1 := NewEnv(st, engine.Config{})
+	env1 := NewEnv(st, engine.Config{Clock: opts.Clock})
 	workload.Bind(env1.Impls)
 	// Buffered: the signal must not be lost if the join starts before the
 	// main goroutine reaches the receive.
@@ -138,15 +164,15 @@ func X1CrashRecovery(width int) (X1Result, error) {
 	}
 	select {
 	case <-blocked:
-	case <-time.After(10 * time.Second):
+	case <-clk.Wake(clk.Now().Add(opts.Settle)):
 		return X1Result{}, errors.New("join never started")
 	}
 	inst.Stop()
 	env1.Close()
 
 	// Phase 2: recover on a fresh environment over the same store.
-	begin := time.Now()
-	env2 := NewEnv(st, engine.Config{})
+	begin := clk.Now()
+	env2 := NewEnv(st, engine.Config{Clock: opts.Clock})
 	defer env2.Close()
 	workload.Bind(env2.Impls)
 	if _, err := env2.Preg.Recover(); err != nil {
@@ -156,11 +182,11 @@ func X1CrashRecovery(width int) (X1Result, error) {
 	if err != nil {
 		return X1Result{}, err
 	}
-	status, res, err := waitSettled(inst2, 30*time.Second)
+	status, res, err := waitSettled(clk, inst2, opts.Settle)
 	if err != nil {
 		return X1Result{}, err
 	}
-	elapsed := time.Since(begin)
+	elapsed := clk.Now().Sub(begin)
 	if status != engine.StatusCompleted || res.Output != "done" {
 		return X1Result{}, fmt.Errorf("recovered status=%v outcome=%q", status, res.Output)
 	}
@@ -174,8 +200,8 @@ func X1CrashRecovery(width int) (X1Result, error) {
 	return X1Result{RecoveryTime: elapsed, ReExecuted: reExecuted}, nil
 }
 
-func waitSettled(inst *engine.Instance, timeout time.Duration) (engine.InstanceStatus, engine.Result, error) {
-	deadline := time.Now().Add(timeout)
+func waitSettled(clk timers.Clock, inst *engine.Instance, timeout time.Duration) (engine.InstanceStatus, engine.Result, error) {
+	deadline := clk.Now().Add(timeout)
 	for {
 		switch inst.Status() {
 		case engine.StatusCompleted, engine.StatusAborted, engine.StatusFailed:
@@ -184,10 +210,10 @@ func waitSettled(inst *engine.Instance, timeout time.Duration) (engine.InstanceS
 		case engine.StatusStalled:
 			return inst.Status(), engine.Result{}, errors.New("stalled")
 		}
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			return inst.Status(), engine.Result{}, errors.New("timeout")
 		}
-		time.Sleep(time.Millisecond)
+		<-clk.Wake(clk.Now().Add(time.Millisecond))
 	}
 }
 

@@ -49,14 +49,14 @@ func TimerChurn(n int, spread time.Duration) (ChurnReport, error) {
 		wg    sync.WaitGroup
 	)
 	fired := make([]int, n)
-	begin := time.Now()
+	begin := wall.Now()
 	rep := ChurnReport{Armed: n}
 	for i := 0; i < n; i++ {
 		i := i
 		deadline := begin.Add(time.Millisecond + time.Duration(i)*spread/time.Duration(n))
 		wg.Add(1)
 		svc.Arm(fmt.Sprintf("churn-%d", i), deadline, func() {
-			late := time.Since(deadline)
+			late := wall.Now().Sub(deadline)
 			mu.Lock()
 			fired[i]++
 			lates = append(lates, late)
@@ -77,7 +77,7 @@ func TimerChurn(n int, spread time.Duration) (ChurnReport, error) {
 		}
 	}
 	wg.Wait()
-	rep.Elapsed = time.Since(begin)
+	rep.Elapsed = wall.Now().Sub(begin)
 	mu.Lock()
 	defer mu.Unlock()
 	for i, count := range fired {
@@ -141,7 +141,7 @@ func NewDeadlineFanOut(n int, work time.Duration) *DeadlineFanOutRun {
 	env := NewEnv(nil, engine.Config{Ephemeral: true})
 	env.Impls.Bind("work", func(ctx registry.Context) (registry.Result, error) {
 		if work > 0 {
-			time.Sleep(work)
+			<-wall.Wake(wall.Now().Add(work))
 		}
 		return registry.Result{Output: "done", Objects: registry.Objects{"d": ctx.Inputs()["d"]}}, nil
 	})
@@ -211,7 +211,7 @@ func S4CrashDelay(delay, crashAfter time.Duration, dir string) (S4DelayResult, e
 		close1()
 		return S4DelayResult{}, err
 	}
-	begin := time.Now()
+	begin := wall.Now()
 	if err := inst1.Start("main", workload.TimerSeed()); err != nil {
 		close1()
 		return S4DelayResult{}, err
@@ -226,7 +226,7 @@ func S4CrashDelay(delay, crashAfter time.Duration, dir string) (S4DelayResult, e
 		return S4DelayResult{}, fmt.Errorf("delay never armed: %w", err)
 	}
 	deadline := armed.Deadline
-	time.Sleep(crashAfter)
+	<-wall.Wake(wall.Now().Add(crashAfter))
 	eng1.Close()
 	close1()
 
@@ -241,11 +241,11 @@ func S4CrashDelay(delay, crashAfter time.Duration, dir string) (S4DelayResult, e
 	if err != nil {
 		return S4DelayResult{}, err
 	}
-	status, res, err := waitSettled(inst2, delay+30*time.Second)
+	status, res, err := waitSettled(wall, inst2, delay+30*time.Second)
 	if err != nil {
 		return S4DelayResult{}, err
 	}
-	total := time.Since(begin)
+	total := wall.Now().Sub(begin)
 	if status != engine.StatusCompleted || res.Output != "done" {
 		return S4DelayResult{}, fmt.Errorf("recovered status=%v outcome=%q", status, res.Output)
 	}

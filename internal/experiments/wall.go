@@ -1,0 +1,9 @@
+package experiments
+
+import "repro/internal/timers"
+
+// wall is the package's measurement clock. Experiments time real work
+// (benchmark latencies, recovery elapsed), so they read wall time — but
+// through the Clock interface, making the wall-time dependency explicit
+// and grep-able (and keeping wflint's clockinject analyzer happy).
+var wall = timers.WallClock{}

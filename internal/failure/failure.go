@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/orb"
+	"repro/internal/timers"
 )
 
 // ErrInjected marks failures produced by an injector, so tests can
@@ -42,6 +43,9 @@ type NetConfig struct {
 	Delay time.Duration
 	// Seed makes the fault sequence reproducible.
 	Seed int64
+	// Clock paces the injected Delay; nil selects timers.WallClock, a
+	// timers.FakeClock drives delay faults without real latency.
+	Clock timers.Clock
 }
 
 // Lossy returns an orb dialer that injects the configured faults.
@@ -50,6 +54,10 @@ func Lossy(cfg NetConfig) (orb.Dialer, *Stats) {
 	var mu sync.Mutex
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	stats := &Stats{}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = timers.Clock(timers.WallClock{})
+	}
 	return func(addr string) (net.Conn, error) {
 		mu.Lock()
 		refuse := rng.Float64() < cfg.RefuseProb
@@ -59,7 +67,7 @@ func Lossy(cfg NetConfig) (orb.Dialer, *Stats) {
 		}
 		mu.Unlock()
 		if cfg.Delay > 0 {
-			time.Sleep(cfg.Delay)
+			<-clk.Wake(clk.Now().Add(cfg.Delay))
 		}
 		if refuse {
 			stats.addRefused()

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// allowPrefix opens an escape-hatch directive. The full form is
+//
+//	//wflint:allow <analyzer> <reason>
+//
+// A reason is mandatory: the directive exists to carry the justification
+// into the tree, not to silence the tool. A directive at the end of a code
+// line suppresses that line's findings; a directive alone on its line
+// suppresses the next line's.
+const allowPrefix = "//wflint:allow"
+
+// allowDirective is one parsed escape hatch.
+type allowDirective struct {
+	analyzer string
+	// line the directive suppresses (its own, or the next for a
+	// standalone comment line).
+	line int
+}
+
+// allowIndex lazily scans source files for directives, caching per file.
+type allowIndex struct {
+	byFile map[string][]allowDirective
+	errs   map[string]error
+}
+
+func newAllowIndex() *allowIndex {
+	return &allowIndex{byFile: make(map[string][]allowDirective), errs: make(map[string]error)}
+}
+
+// allowed reports whether a finding is suppressed by a directive.
+func (ai *allowIndex) allowed(f Finding) (bool, error) {
+	ds, err := ai.scan(f.Pos.Filename)
+	if err != nil {
+		return false, err
+	}
+	for _, d := range ds {
+		if d.line == f.Pos.Line && (d.analyzer == f.Analyzer || d.analyzer == "*") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// scan extracts the directives of one file. Malformed directives (no
+// analyzer, or no reason) are themselves errors: a silent no-op escape
+// hatch would be worse than none.
+func (ai *allowIndex) scan(filename string) ([]allowDirective, error) {
+	if ds, ok := ai.byFile[filename]; ok {
+		return ds, ai.errs[filename]
+	}
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		ai.errs[filename] = err
+		return nil, err
+	}
+	var ds []allowDirective
+	for i, line := range strings.Split(string(data), "\n") {
+		idx := strings.Index(line, allowPrefix)
+		if idx < 0 {
+			continue
+		}
+		lineNo := i + 1
+		fields := strings.Fields(line[idx+len(allowPrefix):])
+		if len(fields) < 2 {
+			err := fmt.Errorf("%s:%d: malformed %s directive: need \"%s <analyzer> <reason>\"",
+				filename, lineNo, allowPrefix, allowPrefix)
+			ai.errs[filename] = err
+			ai.byFile[filename] = nil
+			return nil, err
+		}
+		target := lineNo
+		if strings.TrimSpace(line[:idx]) == "" {
+			// Standalone comment line: suppresses the next line.
+			target = lineNo + 1
+		}
+		ds = append(ds, allowDirective{analyzer: fields[0], line: target})
+	}
+	ai.byFile[filename] = ds
+	return ds, nil
+}

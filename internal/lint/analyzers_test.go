@@ -1,0 +1,24 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestClockInject(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ClockInject, "./clockinject", "./internal/timers")
+}
+
+func TestPersistOrder(t *testing.T) {
+	linttest.Run(t, "testdata", lint.PersistOrder, "./internal/engine")
+}
+
+func TestLockSafe(t *testing.T) {
+	linttest.Run(t, "testdata", lint.LockSafe, "./locksafe")
+}
+
+func TestGoroutineStop(t *testing.T) {
+	linttest.Run(t, "testdata", lint.GoroutineStop, "./goroutinestop")
+}

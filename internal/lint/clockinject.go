@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// bannedTimeFuncs are the wall-clock entry points of package time. Since
+// and Until are included because they read time.Now internally — a
+// deadline computed with time.Until silently re-anchors under a fake
+// clock, the exact bug class Clock.Wake's absolute-instant contract
+// exists to prevent.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// ClockInject enforces the PR-4 invariant that all time flows through the
+// injectable timers.Clock: any use (call or function value) of the
+// wall-clock functions of package time outside internal/timers is a
+// violation. Wall-time domains (CLIs, benchmarks, load generators) say so
+// explicitly by going through timers.WallClock; everything below the
+// engine stays fake-clock drivable, which is what the ROADMAP's
+// deterministic-simulation harness needs.
+var ClockInject = &Analyzer{
+	Name: "clockinject",
+	Doc: "forbids time.Now/Sleep/After/AfterFunc/NewTimer/NewTicker/Tick/Since/Until " +
+		"outside internal/timers: all time must flow through the injectable timers.Clock " +
+		"(use timers.WallClock explicitly in wall-time domains)",
+	Run: runClockInject,
+}
+
+func runClockInject(pass *Pass) error {
+	if pathMatches(pass.Path, "internal/timers") {
+		return nil
+	}
+	for id, obj := range pass.Info.Uses {
+		f, ok := obj.(*types.Func)
+		if !ok || f.Pkg() == nil || f.Pkg().Path() != "time" {
+			continue
+		}
+		if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue // methods like Time.Add are pure arithmetic
+		}
+		if !bannedTimeFuncs[f.Name()] {
+			continue
+		}
+		pass.Reportf(id.Pos(),
+			"time.%s reads the wall clock directly; thread a timers.Clock (or use timers.WallClock explicitly in wall-time-only code)",
+			f.Name())
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineStop enforces the liveness contract behind past leak bugs
+// (the never-evicted dead client, the sleeping-goroutine timer tasks):
+// every goroutine launched by non-test library code must carry a visible
+// stop mechanism. Accepted evidence, in the goroutine body (or the body
+// of the same-package function it runs): a select statement, a channel
+// receive or range (stop channels, clock wakeups), a context.Context
+// reference, or sync.WaitGroup/sync.Cond accounting; in the launching
+// function: a WaitGroup.Add call (the `wg.Add(1); go ...` idiom). A
+// goroutine with none of these can outlive its owner silently.
+var GoroutineStop = &Analyzer{
+	Name: "goroutinestop",
+	Doc: "flags `go` statements in library code whose goroutine has no visible stop " +
+		"mechanism (no context, stop-channel receive/select, or WaitGroup accounting)",
+	Run: runGoroutineStop,
+}
+
+func runGoroutineStop(pass *Pass) error {
+	// Index same-package function declarations so `go s.loop()` can be
+	// followed one level into loop's body.
+	declOf := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if f, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					declOf[f] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			enclosingHasAdd := hasWaitGroupAdd(pass.Info, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if enclosingHasAdd {
+					return true
+				}
+				var body *ast.BlockStmt
+				if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+					body = lit.Body
+				} else if f := calleeFunc(pass.Info, g.Call); f != nil {
+					if fd2, ok := declOf[f]; ok {
+						body = fd2.Body
+					}
+				}
+				if body != nil && hasStopEvidence(pass.Info, body) {
+					return true
+				}
+				pass.Reportf(g.Pos(),
+					"goroutine has no visible stop mechanism (no context, stop-channel receive/select, or WaitGroup accounting): it can outlive its owner")
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// hasWaitGroupAdd reports a (*sync.WaitGroup).Add call anywhere in body.
+func hasWaitGroupAdd(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isMethod(info, call, "sync", "WaitGroup", "Add") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasStopEvidence reports whether a goroutine body shows any accepted
+// stop mechanism (nested literals included: the evidence often lives in
+// a deferred closure).
+func hasStopEvidence(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t, ok := info.Types[e.X]; ok && isChanType(t.Type) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isMethod(info, e, "sync", "WaitGroup", "Done", "Wait", "Add") ||
+				isMethod(info, e, "sync", "Cond", "Wait") {
+				found = true
+			}
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil && types.TypeString(obj.Type(), nil) == "context.Context" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,142 @@
+// Package lint is the engine's invariant checker: a small, dependency-free
+// analogue of golang.org/x/tools/go/analysis that mechanically enforces
+// contracts no generic linter knows about. The repo vendors nothing, so the
+// framework is built directly on go/ast and go/types, with type information
+// loaded from the build cache's export data (see load.go); the Analyzer/Pass
+// shapes mirror go/analysis so the checkers port verbatim if the real
+// framework ever becomes available.
+//
+// The enforced invariants (one analyzer each, see docs/INVARIANTS.md):
+//
+//   - clockinject: all time flows through the injectable timers.Clock;
+//     time.Now/Sleep/After/&c are forbidden outside internal/timers.
+//   - persistorder: engine run/timer state commits only through the drain's
+//     persist.Batch (flushRuns), never via per-transition Object writes.
+//   - locksafe: no blocking operation while a sync.Mutex/RWMutex is held,
+//     and every Lock has a same-function Unlock.
+//   - goroutinestop: every goroutine launched by library code has a visible
+//     stop mechanism (context, stop channel, or WaitGroup).
+//
+// A finding is suppressed by an escape-hatch directive with a mandatory
+// reason (see allow.go):
+//
+//	//wflint:allow <analyzer> <reason>
+//
+// on the offending line, or alone on the line above it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and allow directives.
+	Name string
+	// Doc is the one-paragraph description shown by `wflint -help`.
+	Doc string
+	// Run reports findings on one package through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and types to one analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Path is the package's import path ("repro/internal/engine").
+	Path string
+
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported invariant violation.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the file:line:col form tooling expects.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzers returns the full wflint suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{ClockInject, PersistOrder, LockSafe, GoroutineStop}
+}
+
+// Run applies every analyzer to every package, drops findings in _test.go
+// files (tests may sleep, poll and leak at will) and findings carrying a
+// valid allow directive, and returns the remainder sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	allows := newAllowIndex()
+	for _, pkg := range pkgs {
+		for _, an := range analyzers {
+			pass := &Pass{
+				Analyzer: an,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Path:     pkg.Path,
+			}
+			if err := an.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", an.Name, pkg.Path, err)
+			}
+			for _, f := range pass.findings {
+				if strings.HasSuffix(f.Pos.Filename, "_test.go") {
+					continue
+				}
+				ok, err := allows.allowed(f)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// pathMatches reports whether a package import path is, or ends with, the
+// given repo-relative fragment ("internal/engine" matches both
+// "repro/internal/engine" and the lint corpus's "lintdata/internal/engine").
+func pathMatches(pkgPath, fragment string) bool {
+	return pkgPath == fragment || strings.HasSuffix(pkgPath, "/"+fragment)
+}

@@ -1,0 +1,94 @@
+// Package linttest checks an analyzer against golden packages,
+// analysistest-style: every diagnostic the analyzer reports must be
+// announced by a `// want `+"`regex`"+` comment on the same source line,
+// and every want comment must be satisfied by a diagnostic.
+//
+// The golden packages live in their own module (internal/lint/testdata,
+// module lintdata) so the go tool never builds them as part of the
+// repository; the analyzers match package paths by suffix and receiver
+// types by package name, so lintdata stand-ins exercise the real logic.
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe extracts the expectation regex from a `// want` comment.
+var wantRe = regexp.MustCompile("//\\s*want\\s+`([^`]+)`")
+
+type site struct {
+	file string // base name
+	line int
+}
+
+// Run loads patterns from the module rooted at dir, runs the one
+// analyzer, and diffs its findings against the want comments.
+func Run(t *testing.T, dir string, an *lint.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("load %s %v: %v", dir, patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("load %s %v: no packages", dir, patterns)
+	}
+	findings, err := lint.Run(pkgs, []*lint.Analyzer{an})
+	if err != nil {
+		t.Fatalf("run %s: %v", an.Name, err)
+	}
+
+	wants := make(map[site][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					s := site{filepath.Base(pos.Filename), pos.Line}
+					wants[s] = append(wants[s], re)
+				}
+			}
+		}
+	}
+
+	matched := make(map[*regexp.Regexp]bool)
+	for _, f := range findings {
+		s := site{filepath.Base(f.Pos.Filename), f.Pos.Line}
+		ok := false
+		for _, re := range wants[s] {
+			if re.MatchString(f.Message) {
+				matched[re] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding at %s:%d: %s: %s", s.file, s.line, f.Analyzer, f.Message)
+		}
+	}
+	var unmet []string
+	for s, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				unmet = append(unmet, fmt.Sprintf("%s:%d: want %q unmatched", s.file, s.line, re.String()))
+			}
+		}
+	}
+	sort.Strings(unmet)
+	for _, u := range unmet {
+		t.Error(u)
+	}
+}

@@ -1,0 +1,31 @@
+// Package clockinject is the golden package for the clockinject
+// analyzer: direct time.* wall-clock reads outside internal/timers are
+// violations; the //wflint:allow escape hatch (with a mandatory reason)
+// suppresses them; duration arithmetic is clean.
+package clockinject
+
+import "time"
+
+func reads() {
+	_ = time.Now()                 // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)   // want `time\.Sleep reads the wall clock`
+	<-time.After(time.Millisecond) // want `time\.After reads the wall clock`
+	_ = time.Since(time.Time{})    // want `time\.Since reads the wall clock`
+	_ = time.Until(time.Time{})    // want `time\.Until reads the wall clock`
+	_ = time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+	_ = time.NewTicker(time.Hour)  // want `time\.NewTicker reads the wall clock`
+	time.AfterFunc(0, func() {})   // want `time\.AfterFunc reads the wall clock`
+}
+
+func suppressed() time.Time {
+	//wflint:allow clockinject golden test of the standalone-comment form
+	start := time.Now()
+	end := time.Now() //wflint:allow clockinject golden test of the trailing form
+	return start.Add(end.Sub(start))
+}
+
+// clean: durations, formatting and parsing never read the clock.
+func clean() (time.Duration, string) {
+	d := 3 * time.Second
+	return d, time.Unix(0, 0).Format(time.RFC3339)
+}

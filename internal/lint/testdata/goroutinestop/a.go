@@ -1,0 +1,75 @@
+// Package goroutinestop is the golden package for the goroutinestop
+// analyzer: goroutines with no visible stop mechanism are violations;
+// context, stop-channel, WaitGroup and followed same-package bodies are
+// clean.
+package goroutinestop
+
+import (
+	"context"
+	"sync"
+)
+
+type svc struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func work() {}
+
+func (s *svc) leak() {
+	go func() { // want `goroutine has no visible stop mechanism`
+		for {
+			work()
+		}
+	}()
+}
+
+func (s *svc) leakNamed() {
+	go work() // want `goroutine has no visible stop mechanism`
+}
+
+func (s *svc) stoppable() {
+	go func() {
+		for {
+			select {
+			case <-s.stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func (s *svc) tracked() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+}
+
+func (s *svc) ctxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+// drain's stop evidence (range over a channel) lives in the named
+// function the goroutine runs; the analyzer follows one level into
+// same-package declarations.
+func (s *svc) drain() {
+	for range s.stop {
+		work()
+	}
+}
+
+func (s *svc) followed() {
+	go s.drain()
+}
+
+func (s *svc) suppressed() {
+	//wflint:allow goroutinestop golden test: bounded one-shot helper
+	go work()
+}

@@ -1,0 +1,55 @@
+// Package engine is the golden package for the persistorder analyzer
+// (its import path ends in internal/engine, which is the analyzer's
+// scope): run/timer-state writes through persist.Object and any direct
+// store write are violations; batch writes and non-run-state objects
+// are clean.
+package engine
+
+import (
+	"lintdata/persist"
+	"lintdata/store"
+)
+
+func runKey(id, path string) string      { return "run|" + id + "|" + path }
+func timerRecKey(id, path string) string { return "timer|" + id + "|" + path }
+
+type instance struct {
+	obj func(key string) *persist.Object
+	st  *store.Store
+}
+
+func (i *instance) perTransitionSet(tx any, id, path string, v any) error {
+	return i.obj(runKey(id, path)).Set(tx, v) // want `run/timer state persisted via persist\.Object\.Set outside the drain batch`
+}
+
+func (i *instance) perTransitionDelete(tx any, id, path string) error {
+	return i.obj(runKey(id, path)).Delete(tx) // want `run/timer state persisted via persist\.Object\.Delete outside the drain batch`
+}
+
+func (i *instance) timerRecSet(tx any, id, path string, v any) error {
+	return i.obj(timerRecKey(id, path)).Set(tx, v) // want `run/timer state persisted via persist\.Object\.Set outside the drain batch`
+}
+
+func (i *instance) rawWrite(id string, b []byte) error {
+	return i.st.Write(id, b) // want `direct store\.Store\.Write from the engine bypasses the transactional persist layer`
+}
+
+func (i *instance) rawDelete(id string) error {
+	return i.st.Delete(id) // want `direct store\.Store\.Delete from the engine bypasses the transactional persist layer`
+}
+
+func (i *instance) allowedLegacy(tx any, id, path string, v any) error {
+	//wflint:allow persistorder golden test of the gated legacy path
+	return i.obj(runKey(id, path)).Set(tx, v)
+}
+
+// flushRuns is the compliant path: run state rides the drain's batch.
+func (i *instance) flushRuns(b *persist.Batch, id, path string, v any) error {
+	return b.Set(runKey(id, path), v)
+}
+
+// otherObject is clean: a persist.Object write whose key is not run or
+// timer state is outside the invariant.
+func (i *instance) otherObject(tx any, v any) error {
+	return i.obj("schema|x").Set(tx, v)
+}

@@ -1,0 +1,15 @@
+// Package timers is the lintdata stand-in for the real clock package —
+// the one place clockinject permits direct time.* wall-clock reads, so
+// this whole file must produce zero findings.
+package timers
+
+import "time"
+
+// Now reads the wall clock; allowed here and only here.
+func Now() time.Time { return time.Now() }
+
+// Sleep blocks in wall time; allowed here and only here.
+func Sleep(d time.Duration) { time.Sleep(d) }
+
+// After wraps time.After; allowed here and only here.
+func After(d time.Duration) <-chan time.Time { return time.After(d) }

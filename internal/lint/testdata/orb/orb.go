@@ -1,0 +1,15 @@
+// Package orb is the lintdata stand-in for the repository's request
+// broker (locksafe golden tests: remote calls are blocking operations).
+package orb
+
+// Client is a connection to one remote servant.
+type Client struct{}
+
+// Invoke performs one remote call.
+func (*Client) Invoke(object, method string, arg, reply any) error { return nil }
+
+// Close tears the connection down.
+func (*Client) Close() error { return nil }
+
+// Call is the one-shot dial-invoke-close helper.
+func Call(addr, object, method string, arg, reply any) error { return nil }

@@ -1,0 +1,12 @@
+// Package store is the lintdata stand-in for the repository's raw
+// store layer (persistorder golden tests).
+package store
+
+// Store is the raw durable key/value surface.
+type Store struct{}
+
+// Write stores raw bytes under id.
+func (*Store) Write(id string, b []byte) error { return nil }
+
+// Delete removes id.
+func (*Store) Delete(id string) error { return nil }

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil
+// (calls through function-typed variables, type conversions, builtins).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// recvNamed returns the defining package name and type name of a method's
+// receiver ("sync", "Mutex"), dereferencing a pointer receiver; empty
+// strings for plain functions.
+func recvNamed(f *types.Func) (pkgName, typeName string) {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Name(), obj.Name()
+}
+
+// isMethod reports whether a call invokes pkgName.typeName's method with
+// one of the given names (matching by the receiver type's defining
+// package *name*, so the lint corpus's stand-in packages match too).
+func isMethod(info *types.Info, call *ast.CallExpr, pkgName, typeName string, methods ...string) bool {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return false
+	}
+	pn, tn := recvNamed(f)
+	if pn != pkgName || tn != typeName {
+		return false
+	}
+	for _, m := range methods {
+		if f.Name() == m {
+			return true
+		}
+	}
+	return false
+}
+
+// isPkgFunc reports whether a call invokes a package-level function of the
+// package with the given *path* (exact), e.g. time.Sleep.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isChanType reports whether t is (or aliases) a channel type.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// mentionsIdent reports whether the subtree names an identifier from the
+// given set (syntactic; used to spot runKey/timerRecKey arguments).
+func mentionsIdent(n ast.Node, names map[string]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && names[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

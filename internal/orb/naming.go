@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/timers"
 )
 
 // NamingObject is the well-known object name of the naming service — the
@@ -38,7 +40,7 @@ type Naming struct {
 
 // NewNaming returns an empty naming table.
 func NewNaming() *Naming {
-	return &Naming{entries: make(map[string][]*binding), now: time.Now}
+	return &Naming{entries: make(map[string][]*binding), now: timers.WallClock{}.Now}
 }
 
 // SetClock replaces the liveness clock (tests drive expiry without
@@ -231,10 +233,18 @@ func (n *Naming) Servant() *Servant {
 // NamingClient resolves names through a remote naming servant.
 type NamingClient struct {
 	c *Client
+	// clock paces the heartbeat loop; replaceable for tests.
+	clock timers.Clock
 }
 
 // NewNamingClient wraps a client connected to the naming endpoint.
-func NewNamingClient(c *Client) *NamingClient { return &NamingClient{c: c} }
+func NewNamingClient(c *Client) *NamingClient {
+	return &NamingClient{c: c, clock: timers.WallClock{}}
+}
+
+// SetHeartbeatClock replaces the clock pacing StartHeartbeat (tests
+// drive refresh ticks without sleeping).
+func (nc *NamingClient) SetHeartbeatClock(clk timers.Clock) { nc.clock = clk }
 
 // Bind registers a service endpoint, replacing the whole set.
 func (nc *NamingClient) Bind(name, addr string) error {
@@ -300,12 +310,12 @@ func (nc *NamingClient) StartHeartbeat(name, addr string, ttl, interval time.Dur
 	var once sync.Once
 	go func() {
 		defer close(unbound)
-		t := time.NewTicker(interval)
-		defer t.Stop()
+		tick := nc.clock.Wake(nc.clock.Now().Add(interval))
 		for {
 			select {
-			case <-t.C:
+			case <-tick:
 				_ = nc.BindMember(name, addr, ttl)
+				tick = nc.clock.Wake(nc.clock.Now().Add(interval))
 			case <-done:
 				_ = nc.UnbindMember(name, addr)
 				return

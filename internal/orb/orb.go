@@ -20,6 +20,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/timers"
 )
 
 // request is one invocation frame.
@@ -226,6 +228,9 @@ type ClientConfig struct {
 	Dialer Dialer
 	// CallTimeout bounds one attempt. Default 5s.
 	CallTimeout time.Duration
+	// Clock paces the retry backoff. Default timers.WallClock; tests
+	// inject timers.FakeClock to drive retries without real sleeping.
+	Clock timers.Clock
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -242,6 +247,9 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	}
 	if c.CallTimeout == 0 {
 		c.CallTimeout = 5 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = timers.WallClock{}
 	}
 	return c
 }
@@ -322,7 +330,11 @@ func (c *Client) Invoke(object, method string, arg, reply any) error {
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			c.retries++
-			time.Sleep(c.cfg.RetryDelay)
+			// The backoff deliberately holds the client mutex: the mutex
+			// serialises invocations, and a retrying call is the
+			// client's one in-flight invocation.
+			//wflint:allow locksafe client mutex serialises invocations; backoff is part of the one in-flight call
+			<-c.cfg.Clock.Wake(c.cfg.Clock.Now().Add(c.cfg.RetryDelay))
 		}
 		if err := c.ensureConn(); err != nil {
 			lastErr = err
@@ -351,7 +363,9 @@ func (c *Client) Invoke(object, method string, arg, reply any) error {
 // attempt performs one round-trip under the call timeout.
 func (c *Client) attempt(req *request) (*response, error) {
 	if c.cfg.CallTimeout > 0 {
-		_ = c.conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
+		// Transport deadlines are kernel wall time: a live TCP
+		// connection's I/O budget stays real even under a fake clock.
+		_ = c.conn.SetDeadline(timers.WallClock{}.Now().Add(c.cfg.CallTimeout))
 	}
 	if err := c.enc.Encode(req); err != nil {
 		return nil, fmt.Errorf("send: %w", err)

@@ -1,0 +1,59 @@
+package orb
+
+import (
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/timers"
+)
+
+// TestRetryBackoffFakeClock drives the client's retry backoff on a
+// FakeClock: with an hour-long RetryDelay against an address nothing
+// listens on, the call only makes progress when virtual time advances —
+// and the test finishes without any real sleeping.
+func TestRetryBackoffFakeClock(t *testing.T) {
+	// Grab a port that is guaranteed free, then close it so every dial
+	// is refused.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+
+	clk := timers.NewFakeClock(time.Unix(0, 0))
+	c := Dial(addr, ClientConfig{Retries: 2, RetryDelay: time.Hour, Clock: clk})
+	defer c.Close()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Invoke("obj", "method", struct{}{}, nil) }()
+
+	// Two backoffs separate the three attempts; release each as its
+	// wakeup registers.
+	for i := 0; i < 2; i++ {
+		waitWaiters(t, clk, 1)
+		clk.Advance(2 * time.Hour)
+	}
+
+	if err := <-errCh; err == nil {
+		t.Fatal("Invoke against a closed port succeeded")
+	}
+	if got := c.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2", got)
+	}
+}
+
+// waitWaiters spins (yielding, not sleeping) until the fake clock has at
+// least n armed wakeups.
+func waitWaiters(t *testing.T, clk *timers.FakeClock, n int) {
+	t.Helper()
+	for i := 0; i < 1_000_000; i++ {
+		if clk.Waiters() >= n {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Fatalf("fake clock never reached %d waiter(s)", n)
+}

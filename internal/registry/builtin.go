@@ -1,6 +1,8 @@
 package registry
 
 import (
+	"repro/internal/timers"
+
 	"fmt"
 	"strings"
 	"time"
@@ -63,11 +65,15 @@ func Builtin(code string) (Func, bool) {
 }
 
 // echoFunc returns a Func producing the outcome after an optional sleep.
+// The legacy timer: builtin sleeps in wall time by definition (it is the
+// documented restart-from-zero baseline; first-class delays ride the
+// durable wheel and the engine clock instead).
 func echoFunc(outcome string, d time.Duration) Func {
 	return func(ctx Context) (Result, error) {
 		if d > 0 {
+			clk := timers.WallClock{}
 			select {
-			case <-time.After(d):
+			case <-clk.Wake(clk.Now().Add(d)):
 			case <-ctx.Done():
 				return Result{}, fmt.Errorf("builtin: cancelled")
 			}

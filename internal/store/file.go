@@ -168,6 +168,9 @@ func (s *FileStore) Write(id ID, data []byte) error {
 		return fmt.Errorf("write %s: %w", id, err)
 	}
 	if s.sync {
+		// FileStore serialises writers by design (simplest durable
+		// baseline); the group-commit WAL store is the concurrent path.
+		//wflint:allow locksafe FileStore is the serial baseline store; holding s.mu across fsync is its documented cost
 		if err := shadow.Sync(); err != nil {
 			_ = shadow.Close()
 			return fmt.Errorf("write %s: sync: %w", id, err)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/orb"
+	"repro/internal/timers"
 )
 
 // SetResolver maps a location name to the set of endpoint addresses
@@ -61,7 +62,7 @@ func (c PoolConfig) withDefaults() PoolConfig {
 		c.BlacklistFor = 2 * time.Second
 	}
 	if c.now == nil {
-		c.now = time.Now
+		c.now = timers.WallClock{}.Now
 	}
 	return c
 }
@@ -174,6 +175,9 @@ func (inv *Invoker) pruneStale(now time.Time) {
 	for addr, ep := range inv.endpoints {
 		if ep.inflight == 0 && !ep.lastSeen.IsZero() && now.Sub(ep.lastSeen) > endpointEvictAfter {
 			if ep.client != nil {
+				// Bounded: Close only waits out the client's current
+				// invocation. Detaching keeps the pool lock free.
+				//wflint:allow goroutinestop bounded detached Close; waits at most one in-flight invocation
 				go ep.client.Close()
 				ep.client = nil
 			}
@@ -226,6 +230,7 @@ func (inv *Invoker) release(ep *endpoint, failed bool) {
 	if evicted != nil {
 		// Close outside the pool lock: Close waits for the client's
 		// in-flight invocation (if any) to finish.
+		//wflint:allow goroutinestop bounded detached Close; waits at most one in-flight invocation
 		go evicted.Close()
 	}
 }

@@ -59,11 +59,23 @@ func (c *FakeClock) Wake(t time.Time) <-chan time.Time {
 	defer c.mu.Unlock()
 	ch := make(chan time.Time, 1)
 	if !t.After(c.now) {
+		// Fresh 1-buffered channel: this send cannot block.
+		//wflint:allow locksafe send on a fresh 1-buffered channel never blocks
 		ch <- c.now
 		return ch
 	}
 	c.waiters = append(c.waiters, &fakeWaiter{at: t, ch: ch})
 	return ch
+}
+
+// Waiters reports how many Wake channels are armed and undelivered.
+// Tests use it to synchronise with a goroutine that is about to park on
+// a wakeup: poll until Waiters reaches the expected count, then Advance
+// — no real sleeping, no lost-wakeup race.
+func (c *FakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
 }
 
 // Advance moves the clock forward by d and delivers every Wake channel

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/timers"
 )
 
 // LockMode is a read or write lock request.
@@ -51,6 +53,11 @@ type LockManager struct {
 
 	// Timeout bounds each lock wait; zero means DefaultLockTimeout.
 	Timeout time.Duration
+
+	// Clock supplies the wait deadline and its watcher; nil selects
+	// timers.WallClock. Tests inject timers.FakeClock to drive lock
+	// timeouts (the deadlock-resolution path) without real waiting.
+	Clock timers.Clock
 }
 
 // DefaultLockTimeout is used when LockManager.Timeout is zero.
@@ -60,6 +67,13 @@ const DefaultLockTimeout = 2 * time.Second
 // (zero selects DefaultLockTimeout).
 func NewLockManager(timeout time.Duration) *LockManager {
 	return &LockManager{Timeout: timeout}
+}
+
+func (lm *LockManager) clock() timers.Clock {
+	if lm.Clock != nil {
+		return lm.Clock
+	}
+	return timers.WallClock{}
 }
 
 func (lm *LockManager) init() {
@@ -83,17 +97,18 @@ func (lm *LockManager) Lock(owner ID, resource string, mode LockMode) error {
 	if timeout <= 0 {
 		timeout = DefaultLockTimeout
 	}
-	deadline := time.Now().Add(timeout)
+	clk := lm.clock()
+	deadline := clk.Now().Add(timeout)
 
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 	lm.init()
 
 	timedOut := false
-	var timer *time.Timer
+	var stopWatch chan struct{}
 	defer func() {
-		if timer != nil {
-			timer.Stop()
+		if stopWatch != nil {
+			close(stopWatch)
 		}
 	}()
 	for {
@@ -124,16 +139,27 @@ func (lm *LockManager) Lock(owner ID, resource string, mode LockMode) error {
 			}
 			return nil
 		}
-		if timedOut || time.Now().After(deadline) {
+		if timedOut || clk.Now().After(deadline) {
 			return fmt.Errorf("%s lock on %s for %s: %w", mode, resource, owner, ErrLockTimeout)
 		}
-		if timer == nil {
-			timer = time.AfterFunc(time.Until(deadline), func() {
-				lm.mu.Lock()
-				timedOut = true
-				lm.mu.Unlock()
-				lm.cond.Broadcast()
-			})
+		if stopWatch == nil {
+			// The wakeup is registered synchronously (Wake takes the
+			// absolute deadline), so a fake clock advanced right after
+			// this still fires it; the watcher goroutine only relays
+			// the wakeup to the condition variable and dies with the
+			// wait either way.
+			stopWatch = make(chan struct{})
+			wake := clk.Wake(deadline)
+			go func(stop <-chan struct{}) {
+				select {
+				case <-wake:
+					lm.mu.Lock()
+					timedOut = true
+					lm.mu.Unlock()
+					lm.cond.Broadcast()
+				case <-stop:
+				}
+			}(stopWatch)
 		}
 		lm.cond.Wait()
 	}

@@ -1,0 +1,76 @@
+package txn
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/timers"
+)
+
+// TestLockTimeoutFakeClock drives the deadlock-resolution path — a lock
+// wait exceeding LockManager.Timeout — entirely on a FakeClock: the
+// timeout is an hour of virtual time and the test never sleeps for real.
+func TestLockTimeoutFakeClock(t *testing.T) {
+	clk := timers.NewFakeClock(time.Unix(0, 0))
+	lm := &LockManager{Timeout: time.Hour, Clock: clk}
+
+	if err := lm.Lock("A", "res", WriteLock); err != nil {
+		t.Fatalf("A write lock: %v", err)
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- lm.Lock("B", "res", WriteLock) }()
+
+	// B registers its deadline wakeup synchronously under lm.mu before
+	// parking on the condition variable, so once the waiter is visible
+	// the advance below cannot be lost.
+	waitWaiters(t, clk, 1)
+	clk.Advance(2 * time.Hour)
+
+	if err := <-errCh; !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("B lock error = %v, want ErrLockTimeout", err)
+	}
+
+	// A still owns the lock; releasing it must leave the manager usable.
+	lm.ReleaseAll("A")
+	if err := lm.Lock("C", "res", WriteLock); err != nil {
+		t.Fatalf("C write lock after release: %v", err)
+	}
+	lm.ReleaseAll("C")
+}
+
+// TestLockHandoffBeatsFakeDeadline verifies the happy path under the same
+// fake clock: a waiter whose holder releases in time acquires the lock
+// and its armed deadline wakeup is torn down.
+func TestLockHandoffBeatsFakeDeadline(t *testing.T) {
+	clk := timers.NewFakeClock(time.Unix(0, 0))
+	lm := &LockManager{Timeout: time.Hour, Clock: clk}
+
+	if err := lm.Lock("A", "res", WriteLock); err != nil {
+		t.Fatalf("A write lock: %v", err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- lm.Lock("B", "res", WriteLock) }()
+
+	waitWaiters(t, clk, 1)
+	lm.ReleaseAll("A")
+	if err := <-errCh; err != nil {
+		t.Fatalf("B lock after release: %v", err)
+	}
+	lm.ReleaseAll("B")
+}
+
+// waitWaiters spins (yielding, not sleeping) until the fake clock has at
+// least n armed wakeups.
+func waitWaiters(t *testing.T, clk *timers.FakeClock, n int) {
+	t.Helper()
+	for i := 0; i < 1_000_000; i++ {
+		if clk.Waiters() >= n {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Fatalf("fake clock never reached %d waiter(s)", n)
+}
