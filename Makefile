@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test lint wflint race cover bench bench-baseline bench-gate e2e
+.PHONY: check fmt vet build test lint wflint race cover bench bench-baseline bench-gate e2e sim golden
 
 check: lint build test bench
 
@@ -71,3 +71,16 @@ bench-gate:
 e2e:
 	bash scripts/e2e_multinode.sh
 	bash scripts/e2e_timers.sh
+
+# Deterministic simulation: run the golden-trace scenario catalog
+# through wfsim, then the harness's own test suite (scenario replay
+# determinism, crash-mid-delay on virtual time, 200-seed fuzz). All on
+# a fake clock — the whole target takes seconds. See docs/SCENARIOS.md.
+sim:
+	$(GO) run ./cmd/wfsim run scenarios/*.scn
+	$(GO) test ./internal/sim
+
+# Refresh the checked-in golden traces after an intended behavior
+# change; the resulting diff is the review artifact.
+golden:
+	$(GO) run ./cmd/wfsim golden -update scenarios/*.scn

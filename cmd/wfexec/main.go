@@ -27,7 +27,7 @@
 // Usage:
 //
 //	wfexec -addr 127.0.0.1:7002 -dir ./exec-state -repo 127.0.0.1:7001 [-store wal|file|mem]
-//	       [-naming host:port] [-balance roundrobin|leastinflight] [-max-remote N] [-recover]
+//	       [-naming host:port] [-balance roundrobin|leastinflight|hash] [-max-remote N] [-recover]
 package main
 
 import (
@@ -56,7 +56,7 @@ func main() {
 	storeKind := flag.String("store", "wal", "persistence backend: wal (group-commit log), file (shadow files), mem (volatile)")
 	repoAddr := flag.String("repo", "127.0.0.1:7001", "repository service address")
 	naming := flag.String("naming", "", "naming service address to register with; also enables pooled remote dispatch of located tasks")
-	balance := flag.String("balance", taskexec.BalanceRoundRobin, "executor-pool balancing: roundrobin or leastinflight")
+	balance := flag.String("balance", taskexec.BalanceRoundRobin, "executor-pool balancing: roundrobin, leastinflight or hash (dispatch-order independent)")
 	maxRemote := flag.Int("max-remote", 0, "max concurrent remote dispatches per instance (0 = unbounded)")
 	doRecover := flag.Bool("recover", false, "recover persisted instances at startup")
 	noSync := flag.Bool("nosync", false, "disable fsync on writes (faster, less durable)")

@@ -1,0 +1,192 @@
+// Command wfsim drives the deterministic simulation harness
+// (internal/sim): it runs scenario files, maintains their golden
+// traces, and fuzzes random deployments with kill-anywhere fault
+// injection — all on virtual time, replayable bit-for-bit from a seed.
+//
+// Usage:
+//
+//	wfsim run [-v] FILE...            run scenarios (golden traces compared)
+//	wfsim golden -update FILE...      rewrite the scenarios' golden traces
+//	wfsim fuzz [-runs N] [-seed S] [-out FILE]
+//	                                  run N seeded fuzz worlds from S; on a
+//	                                  failure, write the seed + trace to FILE
+//	wfsim replay -seed S              re-run one fuzz seed and print its trace
+//
+// Scenario format and assertion grammar: docs/SCENARIOS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "golden":
+		err = cmdGolden(os.Args[2:])
+	case "fuzz":
+		err = cmdFuzz(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfsim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  wfsim run [-v] FILE...
+  wfsim golden -update FILE...
+  wfsim fuzz [-runs N] [-seed S] [-out FILE]
+  wfsim replay -seed S`)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "print each scenario's trace")
+	_ = fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no scenario files given")
+	}
+	failed := 0
+	for _, path := range fs.Args() {
+		scn, err := sim.LoadScenario(path)
+		if err != nil {
+			return err
+		}
+		res, err := scn.Run(false)
+		if err != nil {
+			failed++
+			fmt.Printf("FAIL %s: %v\n", scn.Name, err)
+			if res != nil && *verbose {
+				fmt.Println(strings.Join(res.Trace, "\n"))
+			}
+			continue
+		}
+		fmt.Printf("ok   %s (%d trace lines, hash %x)\n", scn.Name, len(res.Trace), res.Hash)
+		if *verbose {
+			fmt.Println(strings.Join(res.Trace, "\n"))
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d scenario(s) failed", failed)
+	}
+	return nil
+}
+
+func cmdGolden(args []string) error {
+	fs := flag.NewFlagSet("golden", flag.ExitOnError)
+	update := fs.Bool("update", false, "rewrite golden traces")
+	_ = fs.Parse(args)
+	if !*update {
+		return fmt.Errorf("golden requires -update (plain comparison is `wfsim run`)")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no scenario files given")
+	}
+	for _, path := range fs.Args() {
+		scn, err := sim.LoadScenario(path)
+		if err != nil {
+			return err
+		}
+		res, err := scn.Run(true)
+		if err != nil {
+			return fmt.Errorf("%s: %w", scn.Name, err)
+		}
+		if res.GoldenUpdated {
+			fmt.Printf("wrote %s (%d lines)\n", res.GoldenPath, len(res.Trace))
+		} else {
+			fmt.Printf("ok    %s (no golden declared)\n", scn.Name)
+		}
+	}
+	return nil
+}
+
+func cmdFuzz(args []string) error {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	runs := fs.Int("runs", 200, "number of seeds to run")
+	seed := fs.Int64("seed", 1, "first seed")
+	out := fs.String("out", "", "write failing seed + trace to FILE")
+	_ = fs.Parse(args)
+	for s := *seed; s < *seed+int64(*runs); s++ {
+		rep, err := sim.RunFuzz(s)
+		if err != nil {
+			return fuzzFailure(*out, s, nil, err)
+		}
+		if rep.Failed() {
+			return fuzzFailure(*out, s, rep, nil)
+		}
+	}
+	fmt.Printf("ok: %d fuzz worlds (seeds %d..%d), no invariant violations\n", *runs, *seed, *seed+int64(*runs)-1)
+	return nil
+}
+
+// fuzzFailure reports a failing seed, optionally writing a replayable
+// artifact for CI to upload.
+func fuzzFailure(out string, seed int64, rep *sim.FuzzReport, runErr error) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fuzz seed %d failed (replay: wfsim replay -seed %d)\n", seed, seed)
+	if runErr != nil {
+		fmt.Fprintf(&b, "error: %v\n", runErr)
+	}
+	if rep != nil {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(&b, "violation: %s\n", v)
+		}
+		b.WriteString("trace:\n")
+		b.WriteString(strings.Join(rep.Trace, "\n"))
+		b.WriteString("\n")
+	}
+	if out != "" {
+		if err := os.WriteFile(out, []byte(b.String()), 0o644); err != nil {
+			return fmt.Errorf("seed %d failed and artifact write failed too: %v", seed, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote failure artifact to %s\n", out)
+	}
+	fmt.Fprint(os.Stderr, b.String())
+	return fmt.Errorf("fuzz seed %d failed", seed)
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	seed := fs.Int64("seed", 0, "seed to replay")
+	_ = fs.Parse(args)
+	rep, err := sim.RunFuzz(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("seed %d: %d steps, hash %x\n", rep.Seed, rep.Steps, rep.Hash)
+	ids := make([]string, 0, len(rep.Insts))
+	for id := range rep.Insts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Printf("  %s: %s\n", id, rep.Insts[id])
+	}
+	fmt.Println(strings.Join(rep.Trace, "\n"))
+	for _, v := range rep.Violations {
+		fmt.Println("violation:", v)
+	}
+	if rep.Failed() {
+		return fmt.Errorf("seed %d violated invariants", rep.Seed)
+	}
+	return nil
+}

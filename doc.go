@@ -8,9 +8,11 @@
 // related-work baselines (an ECA rule engine and a Petri-net engine).
 //
 // See README.md for the build/run tour of the commands and examples, the
-// package layout, and the scheduler architecture. The benchmarks in
-// bench_test.go regenerate every figure's scenario, and `go run
-// ./cmd/wfbench` prints the verified measurement table.
+// package layout, and the scheduler architecture; docs/ARCHITECTURE.md
+// is the layer map with file pointers and the end-to-end event-flow
+// diagram. The benchmarks in bench_test.go regenerate every figure's
+// scenario, and `go run ./cmd/wfbench` prints the verified measurement
+// table.
 //
 // # Scheduler
 //
@@ -35,6 +37,17 @@
 // instantiation (execsvc.Scheduler, driven by `wfadmin schedule`). See
 // internal/engine/timers.go, internal/execsvc/schedule.go and the
 // "Temporal coordination" section of README.md.
+//
+// # Deterministic simulation
+//
+// internal/sim composes the real stack — engine, WAL persistence, orb
+// transport, executor pool, naming — in one process on one
+// timers.FakeClock, gating every task activation so interleavings are
+// chosen by the test. Scenario files (scenarios/*.scn, run by
+// cmd/wfsim and `go test ./internal/sim`) assert against checked-in
+// golden traces; kill-anywhere fault injection drives the real Recover
+// paths; seeded fuzz runs replay bit-identically from the seed alone.
+// The scenario format and assertion grammar are docs/SCENARIOS.md.
 //
 // # Enforced invariants
 //

@@ -95,6 +95,30 @@ type Config struct {
 	// the worklist missed. Debug assertion for tests; ignored when
 	// FullRescan is set.
 	VerifyScheduler bool
+	// Probe, when set, receives park/wake notifications from every
+	// instance controller: Park fires just before a controller blocks
+	// with no queued input, Wake as soon as it unblocks. The
+	// deterministic simulation harness (internal/sim) combines the pair
+	// with QueuedWork to detect global quiescence; leave nil otherwise.
+	Probe Probe
+	// EventTap, when set, receives a copy of every event immediately
+	// after it is recorded, on the emitting goroutine (per-instance
+	// event order is preserved). The simulation harness streams its
+	// cross-instance trace through it; leave nil otherwise.
+	EventTap func(Event)
+}
+
+// Probe observes instance-controller quiescence (see Config.Probe).
+// Both methods are called from controller goroutines and must not
+// block on engine state.
+type Probe interface {
+	// Park reports that the controller for instance id is about to
+	// block waiting for input: no buffered completions, no queued timer
+	// fires, inflight implementation workers still executing and armed
+	// pending delay timers.
+	Park(id string, inflight, armed int)
+	// Wake reports that the controller resumed after a Park.
+	Wake(id string)
 }
 
 // RemoteRequest describes one task activation to be executed elsewhere.
@@ -567,6 +591,20 @@ func (i *Instance) emit(ev Event) {
 	i.events = append(i.events, ev)
 	i.notifyLocked()
 	i.mu.Unlock()
+	if tap := i.eng.cfg.EventTap; tap != nil {
+		tap(ev)
+	}
+}
+
+// QueuedWork reports how much input is queued for the controller but
+// not yet consumed: buffered worker completions plus queued timer
+// fires. Safe from any goroutine; the simulation harness polls it
+// (together with Config.Probe) to detect quiescence.
+func (i *Instance) QueuedWork() int {
+	i.timerQMu.Lock()
+	n := len(i.timerQ)
+	i.timerQMu.Unlock()
+	return n + len(i.evCh)
 }
 
 // Events returns a snapshot of the event trace.

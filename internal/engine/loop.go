@@ -36,20 +36,40 @@ var errCancelled = errors.New("task execution cancelled")
 // through transactions on the persistent run objects.
 func (i *Instance) loop() {
 	defer close(i.loopDone)
+	probe := i.eng.cfg.Probe
+	wake := func() {
+		if probe != nil {
+			probe.Wake(i.id)
+		}
+	}
 	for {
+		// Park/Wake bracket the blocking select for the simulation
+		// harness's quiescence barrier: Park fires only when no queued
+		// input remains, so "every controller parked with empty queues
+		// and every inflight worker accounted for" means the system
+		// cannot progress without an external action. inflight and
+		// armedTimers are loop-owned, so reading them here is safe.
+		if probe != nil && i.QueuedWork() == 0 {
+			probe.Park(i.id, i.inflight, i.armedTimers)
+		}
 		select {
 		case <-i.stopCh:
+			wake()
 			i.cancelAllExecuting()
 			return
 		case msg := <-i.evCh:
+			wake()
 			i.handleCompletion(msg)
 		case <-i.timerSig:
+			wake()
 			for _, msg := range i.drainTimerQ() {
 				i.handleTimer(msg)
 			}
 		case msg := <-i.markCh:
+			wake()
 			msg.reply <- i.handleMark(msg)
 		case f := <-i.reqCh:
+			wake()
 			f()
 		}
 		i.evaluate()

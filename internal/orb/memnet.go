@@ -1,0 +1,116 @@
+package orb
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// MemNetwork is an in-process transport: a registry of named listeners
+// whose connections are synchronous in-memory pipes (net.Pipe). It is
+// the transport seam the deterministic simulation harness
+// (internal/sim) plugs into the orb — a whole coordinator + executors +
+// naming deployment runs in one process with no sockets, no ports and
+// no kernel timing, so a full-stack run is deterministic and completes
+// in microseconds. Addresses are arbitrary strings ("mem:exec0");
+// closing a listener refuses further dials to its address, and the
+// address can be re-listened later (a "restarted" component comes back
+// at the same place, like a daemon restarting on its port).
+type MemNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+}
+
+// NewMemNetwork returns an empty in-process network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{listeners: make(map[string]*memListener)}
+}
+
+// Listen claims addr and returns the listener serving it. Listening on
+// an address already in use fails, like a busy port.
+func (n *MemNetwork) Listen(addr string) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, busy := n.listeners[addr]; busy {
+		return nil, fmt.Errorf("memnet listen %s: address in use", addr)
+	}
+	l := &memListener{net: n, addr: addr, accept: make(chan net.Conn, 64), closed: make(chan struct{})}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to the listener serving addr; assign it as a client
+// Dialer. Dialing an address nobody is listening on fails immediately
+// (connection refused), which is what lets a simulated dispatcher fail
+// over from a killed executor without any timeout.
+func (n *MemNetwork) Dial(addr string) (net.Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("memnet dial %s: connection refused", addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.closed:
+		_ = client.Close()
+		_ = server.Close()
+		return nil, fmt.Errorf("memnet dial %s: connection refused", addr)
+	}
+}
+
+// memListener implements net.Listener over the accept queue.
+type memListener struct {
+	net    *MemNetwork
+	addr   string
+	accept chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+// Accept implements net.Listener.
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("memnet accept %s: listener closed", l.addr)
+	}
+}
+
+// Close implements net.Listener: it releases the address for re-listen
+// and closes queued, never-accepted connections so their dialers see an
+// immediate error instead of blocking on a pipe nobody will read.
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		l.net.mu.Lock()
+		if l.net.listeners[l.addr] == l {
+			delete(l.net.listeners, l.addr)
+		}
+		l.net.mu.Unlock()
+		close(l.closed)
+		for {
+			select {
+			case c := <-l.accept:
+				_ = c.Close()
+			default:
+				return
+			}
+		}
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *memListener) Addr() net.Addr { return memAddr(l.addr) }
+
+// memAddr is the net.Addr of an in-process endpoint.
+type memAddr string
+
+// Network implements net.Addr.
+func (memAddr) Network() string { return "mem" }
+
+// String implements net.Addr.
+func (a memAddr) String() string { return string(a) }

@@ -121,10 +121,17 @@ func NewServer(addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("orb listen: %w", err)
 	}
+	return NewServerOn(ln), nil
+}
+
+// NewServerOn serves on an already-created listener — the seam for
+// non-TCP transports (a MemNetwork listener puts a whole deployment in
+// one process for the simulation harness). Close closes the listener.
+func NewServerOn(ln net.Listener) *Server {
 	s := &Server{ln: ln, servants: make(map[string]*Servant), conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the server's listen address.
@@ -140,6 +147,19 @@ func (s *Server) Register(object string, servant *Servant) {
 // Close stops accepting, severs open connections and waits for their
 // handlers.
 func (s *Server) Close() {
+	s.Sever()
+	s.wg.Wait()
+}
+
+// Sever stops accepting and severs every open connection without
+// waiting for in-flight handlers. It exists for two-phase shutdown: a
+// caller whose handlers are blocked on an external event (the
+// simulation harness gates implementations on injected releases) must
+// first cut the connections — so every peer observes a transport
+// failure, never a late reply — then unblock the handlers, then Close
+// to reap them. Calling Close alone in that situation would deadlock
+// on its handler wait.
+func (s *Server) Sever() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -151,7 +171,6 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	_ = s.ln.Close()
-	s.wg.Wait()
 }
 
 func (s *Server) acceptLoop() {
@@ -219,23 +238,38 @@ type Dialer func(addr string) (net.Conn, error)
 // ClientConfig tunes a client stub.
 type ClientConfig struct {
 	// Retries is the number of additional attempts after a transport
-	// failure. Application errors are never retried. Default 3.
+	// failure. Application errors are never retried. Default 3; any
+	// negative value means no retries (a single attempt) — zero cannot
+	// express that, it selects the default.
 	Retries int
 	// RetryDelay separates attempts. Default 10ms.
 	RetryDelay time.Duration
 	// Dialer overrides the transport (fault injection). Default net.Dial
 	// with a 2s timeout.
 	Dialer Dialer
-	// CallTimeout bounds one attempt. Default 5s.
+	// CallTimeout bounds one attempt. Default 5s; any negative value
+	// disables the per-attempt deadline — zero cannot express that, it
+	// selects the default.
 	CallTimeout time.Duration
 	// Clock paces the retry backoff. Default timers.WallClock; tests
 	// inject timers.FakeClock to drive retries without real sleeping.
 	Clock timers.Clock
+	// PerCallConn makes every invocation dial its own connection and
+	// run concurrently with other invocations on the same client,
+	// instead of pipelining over one cached connection under a mutex.
+	// Required when servant handlers can block server-side for long,
+	// caller-controlled periods (the simulation harness gates remote
+	// activations until the driver releases them): with a shared
+	// connection, a second concurrent invocation would queue behind the
+	// blocked one instead of reaching the server.
+	PerCallConn bool
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
 	if c.Retries == 0 {
 		c.Retries = 3
+	} else if c.Retries < 0 {
+		c.Retries = 0
 	}
 	if c.RetryDelay == 0 {
 		c.RetryDelay = 10 * time.Millisecond
@@ -247,6 +281,8 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	}
 	if c.CallTimeout == 0 {
 		c.CallTimeout = 5 * time.Second
+	} else if c.CallTimeout < 0 {
+		c.CallTimeout = 0
 	}
 	if c.Clock == nil {
 		c.Clock = timers.WallClock{}
@@ -323,6 +359,9 @@ func (c *Client) Invoke(object, method string, arg, reply any) error {
 		return fmt.Errorf("encode %s.%s request: %w", object, method, err)
 	}
 	req := request{Object: object, Method: method, Arg: buf.Bytes()}
+	if c.cfg.PerCallConn {
+		return c.invokePerCall(&req, object, method, reply)
+	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -346,18 +385,73 @@ func (c *Client) Invoke(object, method string, arg, reply any) error {
 			c.reset()
 			continue
 		}
-		if resp.AppErr != "" {
-			return &AppError{Msg: resp.AppErr}
-		}
-		if reply == nil {
-			return nil
-		}
-		if err := gob.NewDecoder(bytes.NewReader(resp.Reply)).Decode(reply); err != nil {
-			return fmt.Errorf("decode %s.%s reply: %w", object, method, err)
-		}
-		return nil
+		return decodeReply(object, method, resp, reply)
 	}
 	return fmt.Errorf("invoke %s.%s after %d attempts: %w", object, method, c.cfg.Retries+1, lastErr)
+}
+
+// invokePerCall runs one invocation over its own freshly dialed
+// connection, without holding the client mutex across the round-trip:
+// concurrent invocations on the same client proceed independently (see
+// ClientConfig.PerCallConn).
+func (c *Client) invokePerCall(req *request, object, method string, reply any) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			c.mu.Lock()
+			c.retries++
+			c.mu.Unlock()
+			<-c.cfg.Clock.Wake(c.cfg.Clock.Now().Add(c.cfg.RetryDelay))
+		}
+		conn, err := c.cfg.Dialer(c.addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := attemptOn(conn, req, c.cfg.CallTimeout)
+		_ = conn.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return decodeReply(object, method, resp, reply)
+	}
+	return fmt.Errorf("invoke %s.%s after %d attempts: %w", object, method, c.cfg.Retries+1, lastErr)
+}
+
+// decodeReply unpacks a transport-successful response into the caller's
+// reply value (servant errors surface as *AppError).
+func decodeReply(object, method string, resp *response, reply any) error {
+	if resp.AppErr != "" {
+		return &AppError{Msg: resp.AppErr}
+	}
+	if reply == nil {
+		return nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(resp.Reply)).Decode(reply); err != nil {
+		return fmt.Errorf("decode %s.%s reply: %w", object, method, err)
+	}
+	return nil
+}
+
+// attemptOn performs one round-trip over a dedicated connection.
+func attemptOn(conn net.Conn, req *request, timeout time.Duration) (*response, error) {
+	if timeout > 0 {
+		// Transport deadlines are kernel wall time: a live connection's
+		// I/O budget stays real even under a fake clock.
+		_ = conn.SetDeadline(timers.WallClock{}.Now().Add(timeout))
+	}
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		return nil, fmt.Errorf("send: %w", err)
+	}
+	var resp response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("recv: connection closed: %w", err)
+		}
+		return nil, fmt.Errorf("recv: %w", err)
+	}
+	return &resp, nil
 }
 
 // attempt performs one round-trip under the call timeout.

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// The fuzzer drives a random deployment through a random action walk —
+// kill-anywhere fault injection included — and checks global invariants
+// over the resulting trace. Everything derives from one seed: the
+// topology, the workloads, every action choice. Running the same seed
+// again replays the identical world bit-for-bit (that is itself one of
+// the checked properties), so a failure report is just a seed.
+
+// FuzzReport is the outcome of one seeded run.
+type FuzzReport struct {
+	Seed  int64
+	Steps int
+	// Insts maps instance IDs to their final status.
+	Insts map[string]string
+	Trace []string
+	Hash  uint64
+	// Violations lists invariant breaches (empty on success).
+	Violations []string
+}
+
+// Failed reports whether the run breached an invariant.
+func (r *FuzzReport) Failed() bool { return len(r.Violations) > 0 }
+
+// fuzzWorkloads are the generator choices open to the fuzzer. All are
+// repeat-free and deadline-free: the started-after-terminal invariant
+// assumes iterations never recur, and activation deadlines are not
+// simulable (see Compile).
+func fuzzWorkload(rng *rand.Rand) (name, src string, timed bool) {
+	switch rng.Intn(6) {
+	case 0:
+		n := 2 + rng.Intn(3)
+		return fmt.Sprintf("chain%d", n), workload.Chain(n), false
+	case 1:
+		n := 2 + rng.Intn(2)
+		return fmt.Sprintf("diamond%d", n), workload.Diamond(n), false
+	case 2:
+		n := 2 + rng.Intn(2)
+		return fmt.Sprintf("fanout%d", n), workload.FanOut(n), false
+	case 3:
+		n := 1 + rng.Intn(3)
+		return fmt.Sprintf("lchain%d", n), workload.LocatedChain(n, "pool"), false
+	case 4:
+		n := 2 + rng.Intn(2)
+		return fmt.Sprintf("lfan%d", n), workload.LocatedFanOut(n, "pool"), false
+	default:
+		n := 1 + rng.Intn(2)
+		d := time.Duration(1+rng.Intn(9)) * time.Second
+		return fmt.Sprintf("timer%d_%s", n, d), workload.TimerChain(n, d), true
+	}
+}
+
+// maxFuzzSteps bounds one run's action walk.
+const maxFuzzSteps = 200
+
+// RunFuzz builds a random world from seed, walks it with random
+// actions and faults until every instance is terminal (or the step
+// budget runs out), and checks the trace invariants.
+func RunFuzz(seed int64) (*FuzzReport, error) {
+	rng := rand.New(rand.NewSource(seed))
+	execs := 2 + rng.Intn(2)
+	w, err := New(Config{Executors: execs})
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+
+	rep := &FuzzReport{Seed: seed, Insts: make(map[string]string)}
+	nInsts := 1 + rng.Intn(2)
+	for i := 0; i < nInsts; i++ {
+		name, src, timed := fuzzWorkload(rng)
+		schema := fmt.Sprintf("s%d_%s", i, name)
+		if err := w.Compile(schema, src); err != nil {
+			return nil, fmt.Errorf("seed %d: compile %s: %w", seed, schema, err)
+		}
+		id := fmt.Sprintf("i%d", i)
+		if err := w.Instantiate(id, schema, ""); err != nil {
+			return nil, fmt.Errorf("seed %d: instantiate %s: %w", seed, id, err)
+		}
+		inputs := workload.Seed()
+		if timed {
+			inputs = workload.TimerSeed()
+		}
+		if err := w.Start(id, "main", inputs); err != nil {
+			return nil, fmt.Errorf("seed %d: start %s: %w", seed, id, err)
+		}
+		rep.Insts[id] = ""
+	}
+
+	coordCrashes := 0
+	for rep.Steps = 0; rep.Steps < maxFuzzSteps; rep.Steps++ {
+		if w.eng != nil && allTerminal(w, rep.Insts) {
+			break
+		}
+		// Rare faults first, so they can hit any frontier shape.
+		roll := rng.Float64()
+		switch {
+		case roll < 0.04 && coordCrashes < 2 && w.eng != nil:
+			coordCrashes++
+			if err := w.CrashCoordinator(); err != nil {
+				return nil, fmt.Errorf("seed %d step %d: crash: %w", seed, rep.Steps, err)
+			}
+			continue
+		case roll < 0.10:
+			if err := toggleExecutor(w, rng, execs); err != nil {
+				return nil, fmt.Errorf("seed %d step %d: executor toggle: %w", seed, rep.Steps, err)
+			}
+			continue
+		case roll < 0.12:
+			var err error
+			if w.NamingUp() {
+				err = w.KillNaming()
+			} else {
+				err = w.RecoverNaming()
+			}
+			if err != nil {
+				return nil, fmt.Errorf("seed %d step %d: naming toggle: %w", seed, rep.Steps, err)
+			}
+			continue
+		}
+		if w.eng == nil {
+			if err := w.RecoverCoordinator(); err != nil {
+				return nil, fmt.Errorf("seed %d step %d: recover coordinator: %w", seed, rep.Steps, err)
+			}
+			continue
+		}
+		if rs := w.Ready(); len(rs) > 0 {
+			r := rs[rng.Intn(len(rs))]
+			fail := rng.Float64() < 0.10
+			if err := w.Release(r, "", fail); err != nil {
+				return nil, fmt.Errorf("seed %d step %d: release %s/%s: %w", seed, rep.Steps, r.Instance, r.Path, err)
+			}
+			continue
+		}
+		if w.ArmedDelays() > 0 {
+			if _, err := w.AdvanceToNext(); err != nil {
+				return nil, fmt.Errorf("seed %d step %d: advance: %w", seed, rep.Steps, err)
+			}
+			continue
+		}
+		// Nothing ready, nothing armed: only recovery can change things.
+		if !w.NamingUp() {
+			if err := w.RecoverNaming(); err != nil {
+				return nil, fmt.Errorf("seed %d step %d: recover naming: %w", seed, rep.Steps, err)
+			}
+			continue
+		}
+		if i := deadExecutor(w, execs); i >= 0 {
+			if err := w.RecoverExecutor(i); err != nil {
+				return nil, fmt.Errorf("seed %d step %d: recover executor: %w", seed, rep.Steps, err)
+			}
+			continue
+		}
+		break // genuinely stuck (e.g. everything stalled): end the walk
+	}
+
+	if w.eng == nil {
+		if err := w.RecoverCoordinator(); err != nil {
+			return nil, fmt.Errorf("seed %d: final recover: %w", seed, err)
+		}
+	}
+	for id := range rep.Insts {
+		st, err := w.Status(id)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: status %s: %w", seed, id, err)
+		}
+		rep.Insts[id] = st
+	}
+	rep.Trace = w.Trace()
+	rep.Hash = w.TraceHash()
+	rep.Violations = checkInvariants(rep.Trace)
+	return rep, nil
+}
+
+// allTerminal reports whether every fuzzed instance reached a terminal
+// status (completed, or stalled/failed under injected faults).
+func allTerminal(w *World, insts map[string]string) bool {
+	for id := range insts {
+		st, err := w.Status(id)
+		if err != nil {
+			return false
+		}
+		if st == "running" {
+			return false
+		}
+	}
+	return true
+}
+
+// toggleExecutor kills a random live executor or recovers a random dead
+// one.
+func toggleExecutor(w *World, rng *rand.Rand, execs int) error {
+	i := rng.Intn(execs)
+	if w.ExecutorAlive(i) {
+		return w.KillExecutor(i)
+	}
+	return w.RecoverExecutor(i)
+}
+
+// deadExecutor returns the lowest dead executor slot, or -1.
+func deadExecutor(w *World, execs int) int {
+	for i := 0; i < execs; i++ {
+		if !w.ExecutorAlive(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkInvariants scans a rendered trace for global safety violations:
+//
+//	I1 — a delay fires at most once per (instance, task, iteration),
+//	     even across coordinator crash/recovery (the wheel re-arms from
+//	     its durable records; a fire must never be replayed).
+//	I2 — no task run starts again after its terminal event for the same
+//	     (instance, task, iteration). Valid because fuzz workloads are
+//	     repeat-free: an iteration never legitimately recurs.
+func checkInvariants(trace []string) []string {
+	var violations []string
+	fired := make(map[string]int)
+	terminal := make(map[string]bool)
+	for _, line := range trace {
+		if strings.HasPrefix(line, "> ") || strings.HasPrefix(line, "  ~ ") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 5 {
+			continue
+		}
+		inst, kind, task := f[0], f[3], f[4]
+		iter := "0"
+		for _, tok := range f[5:] {
+			if strings.HasPrefix(tok, "iter=") {
+				iter = tok[len("iter="):]
+			}
+		}
+		key := inst + "|" + task + "|" + iter
+		switch kind {
+		case "timer-fired":
+			fired[key]++
+			if fired[key] > 1 {
+				violations = append(violations, fmt.Sprintf("I1: delay %s fired %d times: %s", key, fired[key], line))
+			}
+		case "started":
+			if terminal[key] {
+				violations = append(violations, fmt.Sprintf("I2: %s started after its terminal event: %s", key, line))
+			}
+		case "completed", "aborted":
+			terminal[key] = true
+		}
+	}
+	return violations
+}

@@ -1,0 +1,563 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/scripts"
+)
+
+// Scenario is a parsed simulation script: topology directives, driver
+// actions, trace assertions and an optional golden-trace reference. The
+// file format is documented in docs/SCENARIOS.md; one line is one
+// directive, '#' starts a comment, schema sources inline as heredocs.
+type Scenario struct {
+	Name string
+	// Dir anchors relative golden paths (the scenario file's directory).
+	Dir   string
+	steps []scnStep
+}
+
+// scnStep is one parsed directive.
+type scnStep struct {
+	line    int
+	words   []string
+	heredoc string
+}
+
+// ScenarioResult reports one scenario run.
+type ScenarioResult struct {
+	Trace []string
+	Hash  uint64
+	// GoldenPath is the resolved golden-trace file, empty if the
+	// scenario declares none; GoldenUpdated reports whether this run
+	// rewrote it.
+	GoldenPath    string
+	GoldenUpdated bool
+}
+
+// LoadScenario parses a scenario file.
+func LoadScenario(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return ParseScenario(name, string(data), filepath.Dir(path))
+}
+
+// ParseScenario parses scenario source. dir anchors relative golden
+// paths.
+func ParseScenario(name, src, dir string) (*Scenario, error) {
+	s := &Scenario{Name: name, Dir: dir}
+	lines := strings.Split(src, "\n")
+	for i := 0; i < len(lines); i++ {
+		lineNo := i + 1
+		text := strings.TrimSpace(lines[i])
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		words, err := splitQuoted(text)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
+		}
+		step := scnStep{line: lineNo, words: words}
+		// schema NAME <<DELIM starts a heredoc running to DELIM.
+		if len(words) == 3 && words[0] == "schema" && strings.HasPrefix(words[2], "<<") {
+			delim := strings.TrimPrefix(words[2], "<<")
+			if delim == "" {
+				return nil, fmt.Errorf("%s:%d: empty heredoc delimiter", name, lineNo)
+			}
+			var body []string
+			closed := false
+			for i++; i < len(lines); i++ {
+				if strings.TrimSpace(lines[i]) == delim {
+					closed = true
+					break
+				}
+				body = append(body, lines[i])
+			}
+			if !closed {
+				return nil, fmt.Errorf("%s:%d: unterminated heredoc (missing %s)", name, lineNo, delim)
+			}
+			step.heredoc = strings.Join(body, "\n")
+		}
+		s.steps = append(s.steps, step)
+	}
+	return s, nil
+}
+
+// splitQuoted splits on whitespace, keeping double-quoted substrings
+// (which may contain spaces) as single words.
+func splitQuoted(text string) ([]string, error) {
+	var words []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case r == '"':
+			if inQuote {
+				words = append(words, cur.String())
+				cur.Reset()
+				inQuote = false
+			} else {
+				flush()
+				inQuote = true
+			}
+		case !inQuote && (r == ' ' || r == '\t'):
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if inQuote {
+		return nil, errors.New("unterminated quote")
+	}
+	flush()
+	return words, nil
+}
+
+// scnRun is the execution state of one scenario run.
+type scnRun struct {
+	scn    *Scenario
+	cfg    Config
+	world  *World
+	golden string
+	update bool
+}
+
+// Run executes the scenario against a fresh world. With update, the
+// golden trace (if declared) is rewritten instead of compared.
+func (s *Scenario) Run(update bool) (*ScenarioResult, error) {
+	r := &scnRun{scn: s, update: update}
+	defer func() {
+		if r.world != nil {
+			r.world.Close()
+		}
+	}()
+	for _, step := range s.steps {
+		if err := r.exec(step); err != nil {
+			return nil, fmt.Errorf("%s:%d (%s): %w", s.Name, step.line, strings.Join(step.words, " "), err)
+		}
+	}
+	res := &ScenarioResult{GoldenPath: r.golden}
+	if r.world != nil {
+		res.Trace = r.world.Trace()
+		res.Hash = r.world.TraceHash()
+	}
+	if r.golden != "" {
+		if update {
+			if err := os.MkdirAll(filepath.Dir(r.golden), 0o755); err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(r.golden, []byte(strings.Join(res.Trace, "\n")+"\n"), 0o644); err != nil {
+				return nil, err
+			}
+			res.GoldenUpdated = true
+		} else if err := compareGolden(r.golden, res.Trace); err != nil {
+			return res, fmt.Errorf("%s: %w", s.Name, err)
+		}
+	}
+	return res, nil
+}
+
+// compareGolden diffs the run's trace against the checked-in golden.
+func compareGolden(path string, trace []string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("golden trace unreadable (run `wfsim golden -update`?): %w", err)
+	}
+	want := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	for i := 0; i < len(want) || i < len(trace); i++ {
+		w, g := "<missing>", "<missing>"
+		if i < len(want) {
+			w = want[i]
+		}
+		if i < len(trace) {
+			g = trace[i]
+		}
+		if w != g {
+			return fmt.Errorf("golden mismatch at %s line %d:\n  golden: %s\n  got:    %s", path, i+1, w, g)
+		}
+	}
+	return nil
+}
+
+// world returns the lazily built world; topology directives are frozen
+// at the first action.
+func (r *scnRun) worldRef() (*World, error) {
+	if r.world == nil {
+		w, err := New(r.cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.world = w
+	}
+	return r.world, nil
+}
+
+func (r *scnRun) exec(step scnStep) error {
+	words := step.words
+	switch words[0] {
+	case "executors", "location", "epoch":
+		if r.world != nil {
+			return fmt.Errorf("topology directive %q after the world was built (move it above the first action)", words[0])
+		}
+		if len(words) != 2 {
+			return fmt.Errorf("usage: %s VALUE", words[0])
+		}
+		switch words[0] {
+		case "executors":
+			n, err := strconv.Atoi(words[1])
+			if err != nil || n < 0 {
+				return fmt.Errorf("bad executor count %q", words[1])
+			}
+			r.cfg.Executors = n
+		case "location":
+			r.cfg.Location = words[1]
+		case "epoch":
+			t, err := time.Parse(time.RFC3339, words[1])
+			if err != nil {
+				return fmt.Errorf("bad epoch (want RFC3339): %v", err)
+			}
+			r.cfg.Epoch = t
+		}
+		return nil
+
+	case "schema":
+		if len(words) != 3 {
+			return errors.New("usage: schema NAME paper:KEY | schema NAME <<DELIM")
+		}
+		w, err := r.worldRef()
+		if err != nil {
+			return err
+		}
+		src := step.heredoc
+		if key, ok := strings.CutPrefix(words[2], "paper:"); ok {
+			src, ok = scripts.All[key]
+			if !ok {
+				return fmt.Errorf("unknown paper script %q (have: %s)", key, strings.Join(paperKeys(), ", "))
+			}
+		} else if src == "" {
+			return fmt.Errorf("schema source must be paper:KEY or a <<DELIM heredoc, got %q", words[2])
+		}
+		return w.Compile(words[1], src)
+
+	case "bind":
+		if len(words) != 3 {
+			return errors.New("usage: bind CODE outcome1,outcome2,...")
+		}
+		w, err := r.worldRef()
+		if err != nil {
+			return err
+		}
+		w.Bind(words[1], strings.Split(words[2], ",")...)
+		return nil
+
+	case "instantiate":
+		if len(words) != 3 && len(words) != 4 {
+			return errors.New("usage: instantiate INST SCHEMA [ROOT]")
+		}
+		w, err := r.worldRef()
+		if err != nil {
+			return err
+		}
+		root := ""
+		if len(words) == 4 {
+			root = words[3]
+		}
+		return w.Instantiate(words[1], words[2], root)
+
+	case "start":
+		if len(words) < 3 {
+			return errors.New("usage: start INST SET [name=Class:value ...]")
+		}
+		w, err := r.worldRef()
+		if err != nil {
+			return err
+		}
+		inputs := make(registry.Objects)
+		for _, arg := range words[3:] {
+			name, rest, ok := strings.Cut(arg, "=")
+			if !ok {
+				return fmt.Errorf("bad input %q (want name=Class:value)", arg)
+			}
+			class, val, ok := strings.Cut(rest, ":")
+			if !ok {
+				return fmt.Errorf("bad input %q (want name=Class:value)", arg)
+			}
+			inputs[name] = registry.Value{Class: class, Data: val}
+		}
+		return w.Start(words[1], words[2], inputs)
+
+	case "release":
+		if len(words) < 2 {
+			return errors.New("usage: release PATTERN [outcome=X] [fail]")
+		}
+		w, err := r.worldRef()
+		if err != nil {
+			return err
+		}
+		outcome, fail := "", false
+		for _, arg := range words[2:] {
+			switch {
+			case arg == "fail":
+				fail = true
+			case strings.HasPrefix(arg, "outcome="):
+				outcome = strings.TrimPrefix(arg, "outcome=")
+			default:
+				return fmt.Errorf("bad release option %q", arg)
+			}
+		}
+		for _, rd := range w.Ready() {
+			id := fmt.Sprintf("%s %s/%s", rd.Where, rd.Instance, rd.Path)
+			if strings.Contains(id, words[1]) {
+				return w.Release(rd, outcome, fail)
+			}
+		}
+		return fmt.Errorf("no gated activation matches %q (ready: %s)", words[1], readyList(w))
+
+	case "drain":
+		w, err := r.worldRef()
+		if err != nil {
+			return err
+		}
+		return w.Drain()
+
+	case "advance":
+		if len(words) != 2 {
+			return errors.New("usage: advance DURATION|next")
+		}
+		w, err := r.worldRef()
+		if err != nil {
+			return err
+		}
+		if words[1] == "next" {
+			_, err := w.AdvanceToNext()
+			return err
+		}
+		d, err := time.ParseDuration(words[1])
+		if err != nil {
+			return fmt.Errorf("bad duration %q: %v", words[1], err)
+		}
+		return w.Advance(d)
+
+	case "kill", "recover":
+		if len(words) < 2 {
+			return fmt.Errorf("usage: %s coordinator|naming|executor N", words[0])
+		}
+		w, err := r.worldRef()
+		if err != nil {
+			return err
+		}
+		kill := words[0] == "kill"
+		switch words[1] {
+		case "coordinator":
+			if kill {
+				return w.CrashCoordinator()
+			}
+			return w.RecoverCoordinator()
+		case "naming":
+			if kill {
+				return w.KillNaming()
+			}
+			return w.RecoverNaming()
+		case "executor":
+			if len(words) != 3 {
+				return fmt.Errorf("usage: %s executor N", words[0])
+			}
+			n, err := strconv.Atoi(words[2])
+			if err != nil {
+				return fmt.Errorf("bad executor index %q", words[2])
+			}
+			if kill {
+				return w.KillExecutor(n)
+			}
+			return w.RecoverExecutor(n)
+		default:
+			return fmt.Errorf("unknown component %q", words[1])
+		}
+
+	case "abort":
+		if len(words) != 3 && len(words) != 4 {
+			return errors.New("usage: abort INST PATH [OUTCOME]")
+		}
+		w, err := r.worldRef()
+		if err != nil {
+			return err
+		}
+		outcome := ""
+		if len(words) == 4 {
+			outcome = words[3]
+		}
+		return w.Abort(words[1], words[2], outcome)
+
+	case "expect":
+		return r.expect(words[1:])
+
+	case "golden":
+		if len(words) != 2 {
+			return errors.New("usage: golden FILE")
+		}
+		path := words[1]
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(r.scn.Dir, path)
+		}
+		r.golden = path
+		return nil
+
+	default:
+		return fmt.Errorf("unknown directive %q", words[0])
+	}
+}
+
+// expect evaluates one assertion against the current world state.
+func (r *scnRun) expect(words []string) error {
+	w, err := r.worldRef()
+	if err != nil {
+		return err
+	}
+	if len(words) == 0 {
+		return errors.New("usage: expect status|result|trace ...")
+	}
+	switch words[0] {
+	case "status":
+		if len(words) != 3 {
+			return errors.New("usage: expect status INST STATUS")
+		}
+		st, err := w.Status(words[1])
+		if err != nil {
+			return err
+		}
+		if st != words[2] {
+			return fmt.Errorf("instance %s status = %q, want %q", words[1], st, words[2])
+		}
+		return nil
+
+	case "result":
+		if len(words) != 3 {
+			return errors.New("usage: expect result INST OUTCOME")
+		}
+		res, ok, err := w.ResultOf(words[1])
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("instance %s has no result yet", words[1])
+		}
+		if res.Output != words[2] {
+			return fmt.Errorf("instance %s result = %q, want %q", words[1], res.Output, words[2])
+		}
+		return nil
+
+	case "trace":
+		if len(words) < 2 {
+			return errors.New("usage: expect trace ~|!|count ...")
+		}
+		trace := w.Trace()
+		switch words[1] {
+		case "~":
+			if len(words) != 3 {
+				return errors.New(`usage: expect trace ~ "p1 ; p2 ; ..."`)
+			}
+			return traceSubsequence(trace, words[2])
+		case "!":
+			if len(words) != 3 {
+				return errors.New(`usage: expect trace ! "pattern"`)
+			}
+			for _, line := range trace {
+				if strings.Contains(line, words[2]) {
+					return fmt.Errorf("trace line matches forbidden pattern %q: %s", words[2], line)
+				}
+			}
+			return nil
+		case "count":
+			if len(words) != 5 || words[3] != "==" {
+				return errors.New(`usage: expect trace count "pattern" == N`)
+			}
+			want, err := strconv.Atoi(words[4])
+			if err != nil {
+				return fmt.Errorf("bad count %q", words[4])
+			}
+			got := 0
+			for _, line := range trace {
+				if strings.Contains(line, words[2]) {
+					got++
+				}
+			}
+			if got != want {
+				return fmt.Errorf("trace matches %q %d times, want %d", words[2], got, want)
+			}
+			return nil
+		default:
+			return fmt.Errorf("unknown trace assertion %q", words[1])
+		}
+
+	default:
+		return fmt.Errorf("unknown expectation %q", words[0])
+	}
+}
+
+// traceSubsequence checks the ';'-separated patterns appear as an
+// ordered subsequence of trace lines (substring match each).
+func traceSubsequence(trace []string, pattern string) error {
+	pats := strings.Split(pattern, ";")
+	i := 0
+	for _, p := range pats {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		found := false
+		for ; i < len(trace); i++ {
+			if strings.Contains(trace[i], p) {
+				found = true
+				i++
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("pattern %q not found (in order) in trace", p)
+		}
+	}
+	return nil
+}
+
+// readyList renders the gated frontier for error messages.
+func readyList(w *World) string {
+	rs := w.Ready()
+	if len(rs) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = fmt.Sprintf("%s %s/%s", r.Where, r.Instance, r.Path)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// paperKeys lists the embedded paper scripts, sorted.
+func paperKeys() []string {
+	keys := make([]string, 0, len(scripts.All))
+	for k := range scripts.All {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestScenarioCatalog runs every checked-in scenario, golden traces
+// included — the whole catalog executes on virtual time in
+// milliseconds. This is the tier-1 home of the scenario suite; CI also
+// runs it through `wfsim run` (make sim).
+func TestScenarioCatalog(t *testing.T) {
+	files, err := filepath.Glob("../../scenarios/*.scn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("scenario catalog too small: %d files (want at least the 4 golden-asserted ones)", len(files))
+	}
+	for _, path := range files {
+		path := path
+		name := strings.TrimSuffix(filepath.Base(path), ".scn")
+		t.Run(name, func(t *testing.T) {
+			scn, err := LoadScenario(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := scn.Run(false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.GoldenPath == "" {
+				t.Logf("note: %s declares no golden trace", name)
+			}
+			// Same scenario, same trace: the replay-determinism check at
+			// the scenario level.
+			res2, err := scn.Run(false)
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if res.Hash != res2.Hash {
+				t.Fatalf("scenario replay diverged: %x vs %x", res.Hash, res2.Hash)
+			}
+		})
+	}
+}
+
+// TestScenarioParseErrors pins the parser's error surface.
+func TestScenarioParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown-directive", "frobnicate x\n", "unknown directive"},
+		{"unterminated-heredoc", "schema s <<END\nclass Data;\n", "unterminated heredoc"},
+		{"unterminated-quote", "expect trace ~ \"oops\n", "unterminated quote"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := ParseScenario(tc.name, tc.src, ".")
+			if err == nil {
+				_, err = s.Run(false)
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestScenarioLateTopology rejects topology directives after the world
+// is built.
+func TestScenarioLateTopology(t *testing.T) {
+	s, err := ParseScenario("late", "schema d paper:fig1_diamond\nexecutors 2\n", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(false); err == nil || !strings.Contains(err.Error(), "topology directive") {
+		t.Fatalf("error = %v, want topology-directive rejection", err)
+	}
+}

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// runChain drives a 3-stage local chain to completion and returns the
+// world's trace hash.
+func runChain(t *testing.T) uint64 {
+	t.Helper()
+	w, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer w.Close()
+	if err := w.Compile("chain", workload.Chain(3)); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := w.Instantiate("i1", "chain", ""); err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	if err := w.Start("i1", "main", workload.Seed()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	for step := 0; ; step++ {
+		if step > 10 {
+			t.Fatalf("chain did not finish; trace:\n%s", strings.Join(w.Trace(), "\n"))
+		}
+		rs := w.Ready()
+		if len(rs) == 0 {
+			break
+		}
+		if rs[0].Where != "local" || rs[0].Code != "stage" {
+			t.Fatalf("unexpected ready entry %+v", rs[0])
+		}
+		if err := w.Release(rs[0], "", false); err != nil {
+			t.Fatalf("Release: %v", err)
+		}
+	}
+	st, err := w.Status("i1")
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st != "completed" {
+		t.Fatalf("status = %s, want completed; trace:\n%s", st, strings.Join(w.Trace(), "\n"))
+	}
+	res, ok, err := w.ResultOf("i1")
+	if err != nil || !ok {
+		t.Fatalf("ResultOf: ok=%v err=%v", ok, err)
+	}
+	if res.Output != "done" {
+		t.Fatalf("result output = %q, want done", res.Output)
+	}
+	return w.TraceHash()
+}
+
+func TestChainLocal(t *testing.T) {
+	h1 := runChain(t)
+	h2 := runChain(t)
+	if h1 != h2 {
+		t.Fatalf("trace hash differs across identical runs: %x vs %x", h1, h2)
+	}
+}
+
+func TestRemoteDispatchAndFailover(t *testing.T) {
+	w, err := New(Config{Executors: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer w.Close()
+	if err := w.Compile("lchain", workload.LocatedChain(2, "pool")); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := w.Instantiate("i1", "lchain", ""); err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	if err := w.Start("i1", "main", workload.Seed()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	rs := w.Ready()
+	if len(rs) != 1 || rs[0].Where == "local" {
+		t.Fatalf("want one remote-gated activation, got %+v", rs)
+	}
+	// Kill the executor hosting t1 mid-activation: the dispatch must
+	// fail over to the survivor and re-gate there.
+	victim := 0
+	if rs[0].Where == "exec1" {
+		victim = 1
+	}
+	if err := w.KillExecutor(victim); err != nil {
+		t.Fatalf("KillExecutor: %v", err)
+	}
+	rs = w.Ready()
+	if len(rs) != 1 {
+		t.Fatalf("want activation re-gated after failover, got %+v; trace:\n%s", rs, strings.Join(w.Trace(), "\n"))
+	}
+	survivor := "exec1"
+	if victim == 1 {
+		survivor = "exec0"
+	}
+	if rs[0].Where != survivor {
+		t.Fatalf("failover landed on %s, want %s", rs[0].Where, survivor)
+	}
+	if err := w.Release(rs[0], "", false); err != nil {
+		t.Fatalf("Release t1: %v", err)
+	}
+	if err := w.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	st, _ := w.Status("i1")
+	if st != "completed" {
+		t.Fatalf("status = %s, want completed; trace:\n%s", st, strings.Join(w.Trace(), "\n"))
+	}
+	// Failover is transport-level: the engine must not have counted a
+	// retry attempt.
+	for _, line := range w.Trace() {
+		if strings.Contains(line, "retried") {
+			t.Fatalf("engine-level retry leaked into failover: %s", line)
+		}
+	}
+}
+
+// TestCrashMidDelay is the in-process port of scripts/e2e_timers.sh:
+// crash the coordinator while a first-class 5s delay is pending, recover,
+// and check the delay fires at its original absolute deadline — with
+// zero real sleeping.
+func TestCrashMidDelay(t *testing.T) {
+	w, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer w.Close()
+	if err := w.Compile("timer", workload.TimerChain(1, 5*time.Second)); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := w.Instantiate("i1", "timer", ""); err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	if err := w.Start("i1", "main", workload.TimerSeed()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if n := w.ArmedDelays(); n != 1 {
+		t.Fatalf("armed delays = %d, want 1", n)
+	}
+	if err := w.Advance(1500 * time.Millisecond); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if err := w.CrashCoordinator(); err != nil {
+		t.Fatalf("CrashCoordinator: %v", err)
+	}
+	if err := w.RecoverCoordinator(); err != nil {
+		t.Fatalf("RecoverCoordinator: %v", err)
+	}
+	if n := w.ArmedDelays(); n != 1 {
+		t.Fatalf("armed delays after recovery = %d, want 1; trace:\n%s", n, strings.Join(w.Trace(), "\n"))
+	}
+	d, err := w.AdvanceToNext()
+	if err != nil {
+		t.Fatalf("AdvanceToNext: %v", err)
+	}
+	if d != 3500*time.Millisecond {
+		t.Fatalf("advance to fire = %s, want 3.5s (original absolute deadline)", d)
+	}
+	st, _ := w.Status("i1")
+	if st != "completed" {
+		t.Fatalf("status = %s, want completed; trace:\n%s", st, strings.Join(w.Trace(), "\n"))
+	}
+	fired := 0
+	for _, line := range w.Trace() {
+		if strings.Contains(line, "timer-fired") {
+			fired++
+			if !strings.Contains(line, "+5s") {
+				t.Fatalf("timer fired off its original deadline: %s", line)
+			}
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("timer-fired count = %d, want exactly 1 across the crash", fired)
+	}
+}
+
+func TestCoordinatorCrashMidActivation(t *testing.T) {
+	w, err := New(Config{Executors: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer w.Close()
+	if err := w.Compile("lchain", workload.LocatedChain(2, "pool")); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := w.Instantiate("i1", "lchain", ""); err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	if err := w.Start("i1", "main", workload.Seed()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if rs := w.Ready(); len(rs) != 1 {
+		t.Fatalf("want t1 gated, got %+v", rs)
+	}
+	if err := w.CrashCoordinator(); err != nil {
+		t.Fatalf("CrashCoordinator: %v", err)
+	}
+	if err := w.RecoverCoordinator(); err != nil {
+		t.Fatalf("RecoverCoordinator: %v", err)
+	}
+	// Recovery must re-dispatch the interrupted activation.
+	if err := w.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	st, _ := w.Status("i1")
+	if st != "completed" {
+		t.Fatalf("status = %s, want completed; trace:\n%s", st, strings.Join(w.Trace(), "\n"))
+	}
+}
+
+func TestNamingOutage(t *testing.T) {
+	w, err := New(Config{Executors: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer w.Close()
+	if err := w.Compile("lchain", workload.LocatedChain(1, "pool")); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := w.KillNaming(); err != nil {
+		t.Fatalf("KillNaming: %v", err)
+	}
+	if err := w.Instantiate("i1", "lchain", ""); err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	if err := w.Start("i1", "main", workload.Seed()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Resolution fails; the engine's retry/abort mapping runs the task
+	// out of retries with no abort outcome -> task failed.
+	if rs := w.Ready(); len(rs) != 0 {
+		t.Fatalf("nothing should gate during a naming outage, got %+v", rs)
+	}
+	found := false
+	for _, line := range w.Trace() {
+		if strings.Contains(line, "failed") && strings.Contains(line, "t1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want t1 failed during naming outage; trace:\n%s", strings.Join(w.Trace(), "\n"))
+	}
+}

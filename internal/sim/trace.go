@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/registry"
+)
+
+// The trace is the harness's observable output: one line per driver
+// action ("> ..."), per engine event ("  inst #seq +offset kind ...")
+// and per newly gated activation ("  ~ ready ..."). Because the world
+// settles between actions and events are ordered by (instance, seq),
+// the rendered trace is a pure function of the action sequence — the
+// property golden traces and replay assert.
+
+// action appends a driver-action line.
+func (w *World) action(format string, args ...any) {
+	w.mu.Lock()
+	w.trace = append(w.trace, "> "+fmt.Sprintf(format, args...))
+	w.mu.Unlock()
+}
+
+// settleAndRecord settles the world, then folds everything that
+// happened — tapped events, the new gated frontier — into the trace.
+// The trace is drained even when settle fails, so a wedge report shows
+// how far the world got.
+func (w *World) settleAndRecord() error {
+	err := w.settle()
+	w.drainTrace()
+	return err
+}
+
+// drainTrace renders the buffered events (ordered by instance, then
+// engine sequence number — within one drain all events belong to one
+// coordinator generation, so seq order is causal order) and the diff of
+// the gated frontier since the last drain.
+func (w *World) drainTrace() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	evs := w.events
+	w.events = nil
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Instance != evs[j].Instance {
+			return evs[i].Instance < evs[j].Instance
+		}
+		return evs[i].Seq < evs[j].Seq
+	})
+	for _, ev := range evs {
+		w.trace = append(w.trace, w.renderEvent(ev))
+	}
+	ready := w.readyLocked()
+	now := make(map[gateKey]bool, len(ready))
+	for _, r := range ready {
+		k := gateKey{inst: r.Instance, path: r.Path, attempt: r.Attempt, iteration: r.Iteration, where: r.Where}
+		now[k] = true
+		if w.lastReady[k] {
+			continue
+		}
+		line := fmt.Sprintf("  ~ ready %s %s/%s code=%s", r.Where, r.Instance, r.Path, r.Code)
+		if r.Attempt > 0 {
+			line += fmt.Sprintf(" attempt=%d", r.Attempt)
+		}
+		if r.Iteration > 0 {
+			line += fmt.Sprintf(" iter=%d", r.Iteration)
+		}
+		w.trace = append(w.trace, line)
+	}
+	w.lastReady = now
+}
+
+// renderEvent formats one engine event with virtual-time offsets from
+// the epoch and scrubbed error text.
+func (w *World) renderEvent(ev engine.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %s #%d +%s %s", ev.Instance, ev.Seq, ev.Time.Sub(w.epoch), ev.Kind)
+	if ev.Task != "" {
+		b.WriteString(" " + ev.Task)
+	}
+	if ev.Output != "" {
+		b.WriteString(" output=" + ev.Output)
+	}
+	if ev.InputSet != "" {
+		b.WriteString(" set=" + ev.InputSet)
+	}
+	if ev.Iteration > 0 {
+		fmt.Fprintf(&b, " iter=%d", ev.Iteration)
+	}
+	if ev.Attempt > 0 {
+		fmt.Fprintf(&b, " attempt=%d", ev.Attempt)
+	}
+	if !ev.Deadline.IsZero() {
+		fmt.Fprintf(&b, " deadline=+%s", ev.Deadline.Sub(w.epoch))
+	}
+	if len(ev.Objects) > 0 {
+		b.WriteString(" " + renderObjects(ev.Objects))
+	}
+	if ev.Err != "" {
+		b.WriteString(" err=" + scrubErr(ev.Err))
+	}
+	return b.String()
+}
+
+// renderObjects formats an object map with sorted keys.
+func renderObjects(objs registry.Objects) string {
+	if len(objs) == 0 {
+		return "objs={}"
+	}
+	keys := make([]string, 0, len(objs))
+	for k := range objs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		v := objs[k]
+		parts = append(parts, fmt.Sprintf("%s:%s=%v", k, v.Class, v.Data))
+	}
+	return "objs={" + strings.Join(parts, ",") + "}"
+}
+
+// transportMarkers are substrings of transport-level error text. Which
+// exact syscall surfaces a severed in-memory connection (read vs write,
+// EOF vs closed-pipe) depends on goroutine interleaving, so any error
+// that smells of transport collapses to one canonical token; everything
+// else (injected failures, resolver errors) is already deterministic.
+var transportMarkers = []string{
+	"connection", "EOF", "recv:", "send:", "dial", "closed", "refused", "broken", "pipe",
+}
+
+// scrubErr canonicalises nondeterministic transport error text.
+func scrubErr(msg string) string {
+	for _, m := range transportMarkers {
+		if strings.Contains(msg, m) {
+			return "<transport-failure>"
+		}
+	}
+	return msg
+}
+
+// Trace returns a copy of the rendered trace so far.
+func (w *World) Trace() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.trace...)
+}
+
+// TraceHash is an FNV-64a digest of the trace, the compact
+// bit-identical-replay check the fuzzer and CI use.
+func (w *World) TraceHash() uint64 {
+	h := fnv.New64a()
+	w.mu.Lock()
+	for _, line := range w.trace {
+		_, _ = h.Write([]byte(line))
+		_, _ = h.Write([]byte{'\n'})
+	}
+	w.mu.Unlock()
+	return h.Sum64()
+}
+
+// Settle waits for quiescence and records the trace; exposed for tests
+// that poke engine handles directly.
+func (w *World) Settle() error {
+	return w.settleAndRecord()
+}

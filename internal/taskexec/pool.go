@@ -2,6 +2,7 @@ package taskexec
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"time"
 
@@ -22,6 +23,14 @@ const (
 	// BalanceLeastInflight picks the member with the fewest dispatches
 	// currently in flight (ties broken by resolve-set order).
 	BalanceLeastInflight = "leastinflight"
+	// BalanceHash starts the rotation at a member chosen by hashing the
+	// activation's identity (instance, task path, attempt, iteration):
+	// the same activation always lands on the same member regardless of
+	// how concurrent dispatches interleave. Round-robin and
+	// least-inflight both depend on dispatch arrival order, so they are
+	// unusable where replay must be bit-identical — the deterministic
+	// simulation harness (internal/sim) requires this strategy.
+	BalanceHash = "hash"
 )
 
 // PoolConfig tunes the pool-aware dispatcher.
@@ -49,8 +58,12 @@ type PoolConfig struct {
 	// in-process resolvers). Keep it at or below the executors'
 	// heartbeat interval so membership changes are still seen promptly.
 	ResolveCache time.Duration
+	// Clock paces blacklist expiry and the resolve cache. Default
+	// timers.WallClock; the simulation harness injects its shared
+	// timers.FakeClock so endpoint health moves with virtual time.
+	Clock timers.Clock
 
-	// now is the blacklist clock, replaceable for tests.
+	// now is the blacklist clock, derived from Clock.
 	now func() time.Time
 }
 
@@ -61,8 +74,11 @@ func (c PoolConfig) withDefaults() PoolConfig {
 	if c.BlacklistFor == 0 {
 		c.BlacklistFor = 2 * time.Second
 	}
+	if c.Clock == nil {
+		c.Clock = timers.WallClock{}
+	}
 	if c.now == nil {
-		c.now = timers.WallClock{}.Now
+		c.now = c.Clock.Now
 	}
 	return c
 }
@@ -128,8 +144,9 @@ func (inv *Invoker) Stats() []EndpointStats {
 // plan orders the resolved members for one dispatch: the balancing
 // strategy ranks them, then currently blacklisted members are moved to
 // the back (kept as last resort, so an all-blacklisted pool still gets
-// tried rather than failing outright).
-func (inv *Invoker) plan(addrs []string) []string {
+// tried rather than failing outright). key is the activation identity
+// BalanceHash seeds its rotation with; the other strategies ignore it.
+func (inv *Invoker) plan(addrs []string, key string) []string {
 	inv.mu.Lock()
 	defer inv.mu.Unlock()
 	now := inv.cfg.now()
@@ -148,6 +165,14 @@ func (inv *Invoker) plan(addrs []string) []string {
 		sort.SliceStable(ordered, func(i, j int) bool {
 			return inv.inflightOf(ordered[i]) < inv.inflightOf(ordered[j])
 		})
+	case BalanceHash:
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(key))
+		start := int(h.Sum64() % uint64(len(ordered)))
+		rotated := make([]string, 0, len(ordered))
+		rotated = append(rotated, ordered[start:]...)
+		rotated = append(rotated, ordered[:start]...)
+		ordered = rotated
 	default: // BalanceRoundRobin
 		start := int(inv.rr % uint64(len(ordered)))
 		inv.rr++
@@ -249,7 +274,7 @@ func singleResolver(resolve Resolver) SetResolver {
 // validBalance reports whether s names a balancing strategy.
 func validBalance(s string) bool {
 	switch s {
-	case "", BalanceRoundRobin, BalanceLeastInflight:
+	case "", BalanceRoundRobin, BalanceLeastInflight, BalanceHash:
 		return true
 	default:
 		return false
@@ -260,7 +285,7 @@ func validBalance(s string) bool {
 // dispatcher over a set resolver.
 func NewPoolInvoker(resolve SetResolver, cfg PoolConfig) (*Invoker, error) {
 	if !validBalance(cfg.Balance) {
-		return nil, fmt.Errorf("taskexec: unknown balance strategy %q (want %s or %s)", cfg.Balance, BalanceRoundRobin, BalanceLeastInflight)
+		return nil, fmt.Errorf("taskexec: unknown balance strategy %q (want %s, %s or %s)", cfg.Balance, BalanceRoundRobin, BalanceLeastInflight, BalanceHash)
 	}
 	return &Invoker{
 		resolveSet: resolve,

@@ -132,6 +132,7 @@ type Invoker struct {
 	endpoints map[string]*endpoint
 	resolved  map[string]*resolvedSet
 	rr        uint64
+	closed    bool
 }
 
 // NewInvoker builds an engine.RemoteInvoker-compatible dispatcher over a
@@ -145,9 +146,14 @@ func NewInvoker(resolve Resolver, cfg orb.ClientConfig) *Invoker {
 	return inv
 }
 
-// Close drops every cached client.
+// Close drops every cached client and retires the invoker: dispatches
+// that wake after Close — including one mid-failover whose current
+// member just died — stop instead of re-running the activation on the
+// next member. Without this, a dispatch abandoned by its (shut down)
+// owner could keep re-dispatching on someone else's executors.
 func (inv *Invoker) Close() {
 	inv.mu.Lock()
+	inv.closed = true
 	clients := make([]*orb.Client, 0, len(inv.endpoints))
 	for _, ep := range inv.endpoints {
 		if ep.client != nil {
@@ -176,12 +182,21 @@ func (inv *Invoker) Invoke(req engine.RemoteRequest) (registry.Result, error) {
 	if len(addrs) == 0 {
 		return registry.Result{}, fmt.Errorf("resolve location %q: empty member set", req.Location)
 	}
-	order := inv.plan(addrs)
+	order := inv.plan(addrs, fmt.Sprintf("%s|%s|%s|%d|%d", req.Location, req.Instance, req.TaskPath, req.Attempt, req.Iteration))
 	if inv.cfg.MaxFailover > 0 && len(order) > inv.cfg.MaxFailover {
 		order = order[:inv.cfg.MaxFailover]
 	}
 	var lastErr error
 	for _, addr := range order {
+		inv.mu.Lock()
+		closed := inv.closed
+		inv.mu.Unlock()
+		if closed {
+			if lastErr == nil {
+				lastErr = errors.New("invoker closed")
+			}
+			return registry.Result{}, fmt.Errorf("remote execute at %q: invoker closed: %w", req.Location, lastErr)
+		}
 		ep, client := inv.acquire(addr)
 		resp, err := orb.Call[executeReq, executeResp](client, ObjectName, "execute", executeReq{
 			Code: req.Code, Instance: req.Instance, TaskPath: req.TaskPath,

@@ -64,10 +64,11 @@ type Service struct {
 	count   int
 	seq     int64
 
-	kick chan struct{}
-	stop chan struct{}
-	done chan struct{}
-	once sync.Once
+	kick   chan struct{}
+	syncCh chan chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
+	once   sync.Once
 }
 
 // New returns a running service over the clock (nil selects the wall
@@ -80,13 +81,14 @@ func New(clock Clock, cfg Config) *Service {
 		cfg.Tick = time.Millisecond
 	}
 	s := &Service{
-		clock: clock,
-		tick:  cfg.Tick,
-		epoch: clock.Now(),
-		byID:  make(map[string]*timer),
-		kick:  make(chan struct{}, 1),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		clock:  clock,
+		tick:   cfg.Tick,
+		epoch:  clock.Now(),
+		byID:   make(map[string]*timer),
+		kick:   make(chan struct{}, 1),
+		syncCh: make(chan chan struct{}),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
 	go s.run()
 	return s
@@ -347,9 +349,30 @@ func (s *Service) nextDeadlineLocked() (time.Time, bool) {
 	return best, !best.IsZero()
 }
 
+// Sync blocks until the wheel goroutine has completed a full pass that
+// found nothing due at the current clock reading and no pending arm
+// notification — i.e. every fire callback implied by the clock's
+// current position has already run. The deterministic simulation
+// harness calls Sync after FakeClock.Advance to get a happens-before
+// edge from "the clock moved" to "all consequent fires delivered".
+// Returns immediately once the service is closed.
+func (s *Service) Sync() {
+	ack := make(chan struct{})
+	select {
+	case s.syncCh <- ack:
+	case <-s.done:
+		return
+	}
+	select {
+	case <-ack:
+	case <-s.done:
+	}
+}
+
 // run is the wheel goroutine: advance, fire, sleep to the next deadline.
 func (s *Service) run() {
 	defer close(s.done)
+	var acks []chan struct{}
 	for {
 		s.mu.Lock()
 		now := s.clock.Now()
@@ -365,6 +388,20 @@ func (s *Service) run() {
 			}
 			continue
 		}
+		// Consume any pending arm notification before acknowledging Sync
+		// callers: a kick means an Arm may have landed after the scan
+		// above, so the wheel is not provably idle until another pass
+		// confirms it.
+		select {
+		case <-s.kick:
+			continue
+		default:
+		}
+		// Idle at the current clock reading: everything due has fired.
+		for _, ack := range acks {
+			close(ack)
+		}
+		acks = acks[:0]
 		var wake <-chan time.Time
 		if ok {
 			wake = s.clock.Wake(next)
@@ -372,6 +409,8 @@ func (s *Service) run() {
 		select {
 		case <-wake:
 		case <-s.kick:
+		case ack := <-s.syncCh:
+			acks = append(acks, ack)
 		case <-s.stop:
 			return
 		}
