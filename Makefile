@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test lint wflint race cover bench bench-baseline bench-gate e2e sim golden
+.PHONY: check fmt vet build test lint wflint race cover bench bench-baseline bench-gate e2e e2e-shard sim golden
 
 check: lint build test bench
 
@@ -71,6 +71,18 @@ bench-gate:
 e2e:
 	bash scripts/e2e_multinode.sh
 	bash scripts/e2e_timers.sh
+
+# The kill-a-coordinator gauntlet: naming + executors + 2 sharded
+# coordinators (wfexec -shard), a load generator spread across both,
+# SIGKILL one coordinator mid-run, assert the survivor takes over its
+# partitions' leases, re-materializes the orphaned instances from the
+# shared store, and every instance still completes. Real daemons and
+# real timing, so (like bench-gate) one automatic re-run absorbs
+# machine-noise flakes; a real regression fails both passes.
+e2e-shard:
+	bash scripts/e2e_shardkill.sh || \
+		{ echo "e2e-shard: retrying once to rule out machine noise"; \
+		  bash scripts/e2e_shardkill.sh; }
 
 # Deterministic simulation: run the golden-trace scenario catalog
 # through wfsim, then the harness's own test suite (scenario replay

@@ -33,6 +33,15 @@
 //	        named NAME-1, NAME-2, ...
 //	wfadmin -exec ADDR schedule list              list schedules
 //	wfadmin -exec ADDR schedule rm NAME           remove a schedule
+//
+// -exec addresses one coordinator, which is the whole execution service
+// only in a single-coordinator deployment. Against a sharded tier
+// (wfexec -shard) instance-scoped commands — status, events, watch,
+// wait, and the rest — must address the coordinator holding the lease
+// for the instance's partition: any other tier member refuses with
+// "execsvc: not-owner ... owner=ADDR", naming the endpoint to rerun
+// the command against (ownership moves when a coordinator dies and its
+// partitions fail over).
 package main
 
 import (
@@ -56,7 +65,7 @@ var wall = timers.WallClock{}
 
 func main() {
 	repoAddr := flag.String("repo", "127.0.0.1:7001", "repository service address")
-	execAddr := flag.String("exec", "127.0.0.1:7002", "execution service address")
+	execAddr := flag.String("exec", "127.0.0.1:7002", "execution service address (in a sharded tier: the coordinator owning the instance; non-owners refuse and name the owner)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		flag.Usage()

@@ -40,7 +40,7 @@ type runner interface {
 // benchRow is one measurement of the table, as emitted by -json.
 type benchRow struct {
 	// Exp is the experiment family ("F1".."F9", "X1".."X5", "ABL", "S1",
-	// "S2", "S3", "S4").
+	// "S2", "S3", "S4", "S5").
 	Exp string `json:"exp"`
 	// Scenario is the human-readable scenario label of the row.
 	Scenario string `json:"scenario"`
@@ -56,10 +56,11 @@ type benchRow struct {
 
 // benchReport is the top-level -json document: schema_version guards
 // consumers against format drift (version 2 added the S3 executor-pool
-// rows, version 3 the S4 temporal rows), iterations is the -iters flag
-// value (individual rows may be measured with fewer iterations — the
-// heavy X1/ABL/S1/S2/S3/S4 scenarios cap themselves), generated_at is
-// RFC 3339 UTC.
+// rows, version 3 the S4 temporal rows, version 4 the S5
+// sharded-coordinator rows), iterations is the -iters flag value
+// (individual rows may be measured with fewer iterations — the heavy
+// X1/ABL/S1..S5 scenarios cap themselves), generated_at is RFC 3339
+// UTC.
 type benchReport struct {
 	SchemaVersion int    `json:"schema_version"`
 	GeneratedAt   string `json:"generated_at"`
@@ -83,7 +84,7 @@ func main() {
 	iters := flag.Int("iters", 20, "iterations per measurement")
 	quick := flag.Bool("quick", false, "reduce sweep sizes for a fast pass")
 	jsonPath := flag.String("json", "", "also write the measurement table as JSON to this path")
-	comparePath := flag.String("compare", "", "baseline JSON to gate against: fail if any S1/S2/S3/S4 row regresses")
+	comparePath := flag.String("compare", "", "baseline JSON to gate against: fail if any S1/S2/S3/S4/S5 row regresses")
 	threshold := flag.Float64("gate-threshold", 0.30, "relative slowdown vs baseline that fails the gate")
 	flag.Parse()
 	if err := run(*iters, *quick); err != nil {
@@ -92,7 +93,7 @@ func main() {
 	}
 	if *jsonPath != "" {
 		report := benchReport{
-			SchemaVersion: 3,
+			SchemaVersion: 4,
 			GeneratedAt:   wall.Now().UTC().Format(time.RFC3339),
 			Iterations:    *iters,
 			Quick:         *quick,
@@ -168,9 +169,10 @@ func calibrateFsync() error {
 }
 
 // gatedExps are the experiment families the -compare regression gate
-// covers: the scheduler, persistence and executor-pool ablations, whose
-// scenarios are stable enough across machines for a relative threshold.
-var gatedExps = map[string]bool{"S1": true, "S2": true, "S3": true, "S4": true}
+// covers: the scheduler, persistence, executor-pool, temporal and
+// sharded-coordinator ablations, whose scenarios are stable enough
+// across machines for a relative threshold.
+var gatedExps = map[string]bool{"S1": true, "S2": true, "S3": true, "S4": true, "S5": true}
 
 // calibScale derives the machine-speed correction for one gated family:
 // fresh calibration over baseline calibration, clamped so a deranged
@@ -216,11 +218,12 @@ func compareBaseline(path string, fresh []benchRow, calibCPU, calibFsync time.Du
 		switch exp {
 		case "S2":
 			return fsyncScale
-		case "S3", "S4":
-			// S3 per-instance time is dominated by the simulated-work
-			// sleeps, and the S4 temporal rows by the delays and
-			// deadlines themselves; neither varies with machine speed,
-			// so scaling them would invent (or hide) regressions.
+		case "S3", "S4", "S5":
+			// S3 and S5 per-instance times are dominated by the
+			// simulated-work sleeps (and, for the S5 kill row, the
+			// lease-TTL failover wait), and the S4 temporal rows by the
+			// delays and deadlines themselves; none varies with machine
+			// speed, so scaling them would invent (or hide) regressions.
 			return 1
 		default:
 			return cpuScale
@@ -683,6 +686,75 @@ func run(iters int, quick bool) error {
 		}
 		row("S4", "crash mid-delay, recover, fire at deadline", res.Total,
 			fmt.Sprintf("fired once, %v past the original absolute deadline", res.Drift.Round(time.Microsecond)))
+	}
+
+	// S5 sharded coordinator tier: the closed-loop generator drives
+	// instances through the routing client against tiers of 1/2/4
+	// coordinators sharing one set of partition stores. Stages are
+	// engine-internal sleeps that run concurrently, so a lone
+	// coordinator is nowhere near compute-bound at this load — the
+	// 2/4-coordinator rows price the sharding tax (partition routing,
+	// lease checks, smaller per-engine batches) against the
+	// 1-coordinator baseline rather than demonstrating scale-up. The
+	// last row is the kill-a-coordinator gauntlet: SIGKILL semantics on
+	// one of two coordinators mid-run, lease-lapse failover, every
+	// instance still completes on the survivor. All rows are
+	// sleep-dominated (and the kill row waits out the lease TTL), so
+	// the -compare gate exempts S5 from CPU calibration scaling.
+	shardWorkers, shardTotal := 8, 96
+	if quick {
+		shardTotal = 48
+	}
+	shardTTL := 500 * time.Millisecond
+	var oneCoordRate float64
+	for _, coords := range []int{1, 2, 4} {
+		se, err := experiments.NewShardEnv(experiments.ShardConfig{
+			Coordinators: coords, ChainLen: 4, StageDelay: 2 * time.Millisecond, LeaseTTL: shardTTL,
+		})
+		if err != nil {
+			return fmt.Errorf("S5 %d coordinators: %w", coords, err)
+		}
+		rep, err := se.Run(shardWorkers, shardTotal, nil)
+		se.Close()
+		if err != nil {
+			return fmt.Errorf("S5 %d coordinators: %w", coords, err)
+		}
+		if coords == 1 {
+			oneCoordRate = rep.InstancesPerSec
+		}
+		note := fmt.Sprintf("%.0f inst/s", rep.InstancesPerSec)
+		if coords > 1 && oneCoordRate > 0 {
+			note += fmt.Sprintf(" (%.1fx vs 1 coordinator)", rep.InstancesPerSec/oneCoordRate)
+		}
+		row("S5", fmt.Sprintf("sharded loadgen chain(4), %d coordinator(s)", coords),
+			time.Duration(float64(rep.Elapsed)/float64(rep.Instances)), note)
+	}
+	{
+		se, err := experiments.NewShardEnv(experiments.ShardConfig{
+			Coordinators: 2, ChainLen: 4, StageDelay: 2 * time.Millisecond, LeaseTTL: shardTTL,
+		})
+		if err != nil {
+			return fmt.Errorf("S5 kill-one: %w", err)
+		}
+		var failover time.Duration
+		var failoverErr error
+		rep, err := se.Run(shardWorkers, shardTotal, func() {
+			se.KillCoordinator(0)
+			failover, failoverErr = se.AwaitFailover(30 * time.Second)
+		})
+		se.Close()
+		if err != nil {
+			return fmt.Errorf("S5 kill-one: %w", err)
+		}
+		if failoverErr != nil {
+			return fmt.Errorf("S5 kill-one failover: %w", failoverErr)
+		}
+		if rep.Instances != shardTotal {
+			return fmt.Errorf("S5 kill-one: %d/%d instances completed", rep.Instances, shardTotal)
+		}
+		row("S5", "sharded loadgen chain(4), 2 coordinators, kill one",
+			time.Duration(float64(rep.Elapsed)/float64(rep.Instances)),
+			fmt.Sprintf("all %d completed; lease failover %v", rep.Instances, failover.Round(time.Millisecond)))
 	}
 
 	// Specification sizes of the paper's own applications.

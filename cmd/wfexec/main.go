@@ -24,10 +24,22 @@
 // delayed/periodic instantiation whose schedules persist in the same
 // store and are re-armed by -recover.
 //
+// With -shard the daemon joins the sharded coordinator tier instead of
+// running standalone: instances hash to one of -partitions partitions,
+// partition ownership is arbitrated by leases in the naming service, and
+// this coordinator serves exactly the partitions it currently holds.
+// -dir then names the shared state root (each partition persists in its
+// own part-NNN subdirectory); a lease won triggers scoped recovery of
+// that partition's instances, a lease lost stops them so the next owner
+// can take over. Requests for foreign instances are refused with a
+// redirect to the owner (see execsvc.ShardedClient).
+//
 // Usage:
 //
 //	wfexec -addr 127.0.0.1:7002 -dir ./exec-state -repo 127.0.0.1:7001 [-store wal|file|mem]
 //	       [-naming host:port] [-balance roundrobin|leastinflight|hash] [-max-remote N] [-recover]
+//	wfexec -shard -naming 127.0.0.1:7000 -addr 127.0.0.1:7002 -dir ./shared-state \
+//	       -repo 127.0.0.1:7001 [-partitions N] [-lease-ttl 2s] [-lease-renew 500ms]
 package main
 
 import (
@@ -35,16 +47,21 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/execsvc"
 	"repro/internal/orb"
 	"repro/internal/persist"
 	"repro/internal/registry"
 	"repro/internal/repository"
+	"repro/internal/script/sema"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/taskexec"
 	"repro/internal/txn"
@@ -52,18 +69,30 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7002", "listen address")
-	dir := flag.String("dir", "wfexec-state", "state directory (file and wal stores)")
+	dir := flag.String("dir", "wfexec-state", "state directory (file and wal stores); with -shard, the tier's shared state root")
 	storeKind := flag.String("store", "wal", "persistence backend: wal (group-commit log), file (shadow files), mem (volatile)")
 	repoAddr := flag.String("repo", "127.0.0.1:7001", "repository service address")
 	naming := flag.String("naming", "", "naming service address to register with; also enables pooled remote dispatch of located tasks")
 	balance := flag.String("balance", taskexec.BalanceRoundRobin, "executor-pool balancing: roundrobin, leastinflight or hash (dispatch-order independent)")
 	maxRemote := flag.Int("max-remote", 0, "max concurrent remote dispatches per instance (0 = unbounded)")
-	doRecover := flag.Bool("recover", false, "recover persisted instances at startup")
+	doRecover := flag.Bool("recover", false, "recover persisted instances at startup (single-coordinator mode; sharded recovery is per-partition and automatic)")
 	noSync := flag.Bool("nosync", false, "disable fsync on writes (faster, less durable)")
 	retries := flag.Int("retries", 3, "automatic retries for system-level task failures")
+	doShard := flag.Bool("shard", false, "join the sharded coordinator tier (requires -naming)")
+	partitions := flag.Int("partitions", shard.DefaultPartitions, "partition count of the sharded tier (must match every coordinator and client)")
+	coordID := flag.String("coord-id", "", "stable coordinator identity for lease holding (default: the listen address)")
+	leaseTTL := flag.Duration("lease-ttl", 2*time.Second, "partition lease TTL; a coordinator that misses renewal this long loses its partitions")
+	leaseRenew := flag.Duration("lease-renew", 0, "lease renewal interval (default TTL/3)")
 	flag.Parse()
 
-	if err := run(*addr, *dir, *storeKind, *repoAddr, *naming, *balance, *doRecover, *noSync, *retries, *maxRemote); err != nil {
+	var err error
+	if *doShard {
+		err = runShard(*addr, *dir, *storeKind, *repoAddr, *naming, *balance, *noSync,
+			*retries, *maxRemote, *partitions, *coordID, *leaseTTL, *leaseRenew, *doRecover)
+	} else {
+		err = run(*addr, *dir, *storeKind, *repoAddr, *naming, *balance, *doRecover, *noSync, *retries, *maxRemote)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "wfexec:", err)
 		os.Exit(1)
 	}
@@ -155,28 +184,16 @@ func run(addr, dir, storeKind, repoAddr, naming, balance string, doRecover, noSy
 	defer sched.Close()
 
 	if doRecover {
-		ids, err := fs.List("inst/")
+		ids, err := engine.ListPersisted(fs)
 		if err != nil {
 			return err
 		}
-		seen := map[string]bool{}
 		for _, id := range ids {
-			rest := string(id[len("inst/"):])
-			for i := 0; i < len(rest); i++ {
-				if rest[i] == '/' {
-					rest = rest[:i]
-					break
-				}
-			}
-			if seen[rest] {
+			if err := svc.Recover(id); err != nil {
+				fmt.Fprintf(os.Stderr, "recover instance %s: %v\n", id, err)
 				continue
 			}
-			seen[rest] = true
-			if err := svc.Recover(rest); err != nil {
-				fmt.Fprintf(os.Stderr, "recover instance %s: %v\n", rest, err)
-				continue
-			}
-			fmt.Printf("recovered instance %s\n", rest)
+			fmt.Printf("recovered instance %s\n", id)
 		}
 		// Schedules re-arm only after every instance is recovered: a
 		// past-due schedule fires a catch-up run immediately, and that
@@ -207,4 +224,176 @@ func run(addr, dir, storeKind, repoAddr, naming, balance string, doRecover, noSy
 	<-sig
 	fmt.Println("shutting down")
 	return nil
+}
+
+// runShard boots one coordinator of the sharded tier. The engine runs
+// over a PartitionedStore: each partition's state lives in its own
+// part-NNN subdirectory of the shared root, mounts when this coordinator
+// wins the partition's lease (after a scoped write-ahead-log roll-forward
+// and re-materialization of its instances) and unmounts when the lease is
+// lost. The instantiation scheduler is disabled — its "sched/" records
+// are tier-global, not partitioned, so scheduling stays on the
+// single-coordinator topology.
+func runShard(addr, dir, storeKind, repoAddr, naming, balance string, noSync bool,
+	retries, maxRemote, partitions int, coordID string, ttl, renew time.Duration, doRecover bool) error {
+	if naming == "" {
+		return fmt.Errorf("-shard requires -naming (the naming service arbitrates partition leases)")
+	}
+	if storeKind == "mem" {
+		return fmt.Errorf("-shard requires a durable store shared through -dir; -store mem cannot fail over")
+	}
+	if partitions < 1 {
+		return fmt.Errorf("-partitions %d < 1", partitions)
+	}
+	if doRecover {
+		fmt.Fprintln(os.Stderr, "wfexec: -recover is ignored with -shard (each partition recovers when its lease is won)")
+	}
+
+	ps := shard.NewPartitionedStore(partitions)
+	// No registry-wide Recover here: roll-forward happens per partition,
+	// on the partition's own store, before it is mounted.
+	reg := persist.NewRegistry(ps, txn.NewManager(ps), nil)
+
+	impls := registry.New()
+	impls.BindFallback(registry.Builtin)
+	cfg := engine.Config{MaxRetries: retries, MaxRemoteInflight: maxRemote}
+	namingClient := orb.NewNamingClient(orb.Dial(naming, orb.ClientConfig{}))
+	invoker, err := taskexec.NewPoolInvoker(namingClient.ResolveAll, taskexec.PoolConfig{
+		Balance:      balance,
+		ResolveCache: time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer invoker.Close()
+	cfg.RemoteInvoker = invoker.Invoke
+
+	eng := engine.New(reg, impls, cfg)
+	defer eng.Close()
+
+	repoClient := repository.NewClient(orb.Dial(repoAddr, orb.ClientConfig{}))
+	svc := execsvc.New(eng, execsvc.FromRepositoryClient(repoClient))
+
+	server, err := orb.NewServer(addr)
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	server.Register(execsvc.ObjectName, svc.Servant())
+	if coordID == "" {
+		coordID = server.Addr()
+	}
+
+	compile := func(name string, src []byte) (*core.Schema, error) {
+		return sema.CompileSource(name, src)
+	}
+	inPartition := func(p int) func(string) bool {
+		return func(id string) bool { return shard.PartitionOf(id, partitions) == p }
+	}
+
+	// closers tracks each mounted partition store's close function.
+	var closersMu sync.Mutex
+	closers := make(map[int]func())
+
+	mgr, err := shard.NewManager(shard.ManagerConfig{
+		ID:         coordID,
+		Addr:       server.Addr(),
+		Partitions: partitions,
+		TTL:        ttl,
+		Renew:      renew,
+		Leases:     namingClient,
+		Peers:      func() ([]string, error) { return namingClient.ResolveAll(shard.CoordTier) },
+		OnAcquire: func(p int) error {
+			pdir := filepath.Join(dir, shard.PartitionDir(p))
+			if err := checkStoreLayout(storeKind, pdir); err != nil {
+				return err
+			}
+			st, closeStore, err := store.Open(storeKind, pdir, !noSync)
+			if err != nil {
+				return fmt.Errorf("partition %d: open store: %w", p, err)
+			}
+			// Scoped roll-forward on the partition's own store, before the
+			// engine can see it: in-doubt transactions the previous owner
+			// left behind are decided first.
+			preg := persist.NewRegistry(st, txn.NewManager(st), nil)
+			if n, err := preg.Recover(); err != nil {
+				closeStore()
+				return fmt.Errorf("partition %d: recover transactions: %w", p, err)
+			} else if n > 0 {
+				fmt.Printf("partition %d: rolled %d in-doubt transactions forward\n", p, n)
+			}
+			ps.Mount(p, st)
+			closersMu.Lock()
+			closers[p] = closeStore
+			closersMu.Unlock()
+			ids, err := eng.RecoverMatching(compile, inPartition(p))
+			if err != nil {
+				// A corrupt instance must not bounce the partition between
+				// owners forever: keep the lease, serve what recovered.
+				fmt.Fprintf(os.Stderr, "partition %d: recover instances: %v\n", p, err)
+			}
+			fmt.Printf("partition %d: lease acquired, %d instances re-materialized\n", p, len(ids))
+			return nil
+		},
+		OnLose: func(p int) {
+			stopped := eng.StopMatching(inPartition(p))
+			ps.Unmount(p)
+			closersMu.Lock()
+			closeStore := closers[p]
+			delete(closers, p)
+			closersMu.Unlock()
+			if closeStore != nil {
+				closeStore()
+			}
+			fmt.Printf("partition %d: lease lost, %d instances stopped\n", p, len(stopped))
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Instance-scoped requests are served only for held partitions; for
+	// the rest the guard refuses with a redirect to the current lease
+	// holder so routing clients chase the ownership, not this daemon.
+	svc.SetOwnership(func(instance string) (bool, string) {
+		p := shard.PartitionOf(instance, partitions)
+		if mgr.Holds(p) {
+			return true, ""
+		}
+		_, ownerAddr, held, err := namingClient.LeaseHolder(shard.LeaseName(p))
+		if err != nil || !held {
+			return false, ""
+		}
+		return false, ownerAddr
+	})
+
+	// Tier membership: rendezvous preference splits the partitions over
+	// the live CoordTier member set, so membership must outlive a missed
+	// beat no longer than a lease does.
+	stopHB, err := namingClient.StartHeartbeat(shard.CoordTier, server.Addr(), ttl, renewInterval(ttl, renew))
+	if err != nil {
+		return fmt.Errorf("join coordinator tier: %w", err)
+	}
+	defer stopHB()
+
+	mgr.Start()
+	defer mgr.Close()
+
+	fmt.Printf("sharded workflow coordinator %s on %s (%d partitions, lease ttl %v, state root %s)\n",
+		coordID, server.Addr(), partitions, ttl, dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down: releasing partitions")
+	return nil
+}
+
+// renewInterval mirrors the manager's default so the membership
+// heartbeat and the lease renewals beat at the same rate.
+func renewInterval(ttl, renew time.Duration) time.Duration {
+	if renew <= 0 || renew >= ttl {
+		return ttl / 3
+	}
+	return renew
 }

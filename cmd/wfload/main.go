@@ -30,18 +30,43 @@
 // timer-heavy workloads:
 //
 //	wfload -timer 2ms -chain 8 -workers 64 -total 500
+//
+// Two further modes drive the sharded coordinator tier instead of a
+// single engine:
+//
+//   - -coordinators N boots N in-process sharded coordinators (lease-
+//     arbitrated partition ownership over shared partition stores) and
+//     drives them through the routing client; -kill-coordinator I
+//     crashes coordinator I at the run's midpoint and reports the
+//     failover latency. A one-command shard-failover probe:
+//
+//     wfload -coordinators 2 -kill-coordinator 0 -workers 8 -total 200
+//
+//   - -sharded (with -naming) drives an external wfexec -shard tier:
+//     the workload schema is deployed to the repository resolved
+//     through the naming service and every instance is routed to its
+//     partition's current lease holder. This is the driver of the
+//     scripts/e2e_shardkill.sh CI gauntlet; the tool exits non-zero
+//     unless every instance completes, however many coordinators die
+//     mid-run.
+//
+//     wfload -sharded -naming 127.0.0.1:7000 -workers 8 -total 200
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/execsvc"
 	"repro/internal/experiments"
 	"repro/internal/orb"
+	"repro/internal/repository"
 	"repro/internal/script/sema"
+	"repro/internal/shard"
 	"repro/internal/taskexec"
 	"repro/internal/workload"
 )
@@ -55,16 +80,24 @@ func main() {
 	balance := flag.String("balance", taskexec.BalanceRoundRobin, "pool balancing: roundrobin or leastinflight")
 	gate := flag.Int("gate", 0, "max concurrent remote dispatches per instance (0 = unbounded)")
 	kill := flag.Int("kill", -1, "self-hosted executor index to hard-stop at the run's midpoint (-1 = none)")
-	naming := flag.String("naming", "", "naming service address (external mode)")
+	naming := flag.String("naming", "", "naming service address (external executor-pool mode, or the lease arbiter of an external sharded tier with -sharded)")
 	location := flag.String("location", "workers", "location name of the external executor pool")
-	code := flag.String("code", "sleep:2ms:done", "implementation code of chain stages in external mode")
+	code := flag.String("code", "sleep:2ms:done", "implementation code of chain stages (external and sharded modes)")
 	timer := flag.Duration("timer", 0, "timer-heavy mode: per-stage first-class delay (replaces the located chain)")
+	sharded := flag.Bool("sharded", false, "drive an external sharded coordinator tier through -naming (instances route to partition lease holders)")
+	partitions := flag.Int("partitions", shard.DefaultPartitions, "partition count of the sharded tier (must match the coordinators)")
+	coordinators := flag.Int("coordinators", 0, "self-hosted sharded mode: boot N in-process coordinators and drive them through the routing client")
+	killCoord := flag.Int("kill-coordinator", -1, "self-hosted sharded mode: coordinator index to crash at the run's midpoint (-1 = none)")
 	flag.Parse()
 
 	var err error
 	switch {
 	case *timer > 0:
 		err = runTimerLoad(*workers, *total, *chain, *timer)
+	case *coordinators > 0:
+		err = runShardSelfHosted(*coordinators, *partitions, *workers, *total, *chain, *delay, *killCoord)
+	case *sharded:
+		err = runShardExternal(*naming, *code, *partitions, *workers, *total, *chain)
 	case *naming != "":
 		err = runExternal(*naming, *location, *code, *workers, *total, *chain, *balance, *gate)
 	default:
@@ -74,6 +107,101 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wfload:", err)
 		os.Exit(1)
 	}
+}
+
+// runShardSelfHosted boots an in-process sharded coordinator tier and
+// drives it closed-loop; optionally crashing one coordinator at the
+// midpoint, in which case the failover latency (kill to every partition
+// re-leased by a live coordinator, dead partitions re-materialized) is
+// reported.
+func runShardSelfHosted(coordinators, partitions, workers, total, chain int, delay time.Duration, killCoord int) error {
+	if killCoord >= coordinators {
+		return fmt.Errorf("-kill-coordinator %d out of range (tier size %d)", killCoord, coordinators)
+	}
+	se, err := experiments.NewShardEnv(experiments.ShardConfig{
+		Coordinators: coordinators,
+		Partitions:   partitions,
+		ChainLen:     chain,
+		StageDelay:   delay,
+	})
+	if err != nil {
+		return err
+	}
+	defer se.Close()
+
+	fmt.Printf("sharded tier: %d coordinators, %d partitions, chain(%d) x %v per stage\n",
+		coordinators, partitions, chain, delay)
+	fmt.Printf("initial partition split: %v\n", se.Owners())
+
+	var midpoint func()
+	var failover time.Duration
+	var failoverErr error
+	if killCoord >= 0 {
+		midpoint = func() {
+			fmt.Printf("-- crashing coordinator %d at midpoint --\n", killCoord)
+			se.KillCoordinator(killCoord)
+			failover, failoverErr = se.AwaitFailover(60 * time.Second)
+		}
+	}
+	rep, err := se.Run(workers, total, midpoint)
+	if err != nil {
+		return err
+	}
+	if failoverErr != nil {
+		return fmt.Errorf("failover did not complete: %w", failoverErr)
+	}
+	fmt.Println(rep)
+	if killCoord >= 0 {
+		fmt.Printf("failover latency (kill -> every partition re-leased and re-materialized): %v\n",
+			failover.Round(time.Millisecond))
+		fmt.Printf("post-failover partition split: %v\n", se.Owners())
+	}
+	if rep.Instances != total {
+		return fmt.Errorf("only %d of %d instances completed", rep.Instances, total)
+	}
+	return nil
+}
+
+// runShardExternal drives an external wfexec -shard coordinator tier:
+// the chain schema is deployed to the repository resolved through the
+// naming service, then every instance is routed to its partition's
+// lease holder. Coordinators may die mid-run (the e2e gauntlet SIGKILLs
+// one); completion of every single instance is the success criterion.
+func runShardExternal(naming, code string, partitions, workers, total, chain int) error {
+	if naming == "" {
+		return fmt.Errorf("-sharded requires -naming (the naming service that arbitrates the tier's leases)")
+	}
+	nc := orb.NewNamingClient(orb.Dial(naming, orb.ClientConfig{}))
+	repoAddr, err := nc.Resolve(repository.ObjectName)
+	if err != nil {
+		return fmt.Errorf("resolve repository through naming: %w", err)
+	}
+	repoC := repository.NewClient(orb.Dial(repoAddr, orb.ClientConfig{}))
+	const schemaName = "wfload-shard"
+	if _, err := repoC.Put(schemaName, workload.ChainCode(chain, code)); err != nil {
+		return fmt.Errorf("deploy %s: %w", schemaName, err)
+	}
+
+	sc := execsvc.NewShardedClient(nc, execsvc.ShardedConfig{Partitions: partitions})
+	defer sc.Close()
+	fmt.Printf("external sharded tier via %s: %d partitions, chain(%d) of %q, %d workers, %d instances\n",
+		naming, partitions, chain, code, workers, total)
+
+	run := os.Getpid()
+	var seq atomic.Int64
+	completed, elapsed, err := experiments.RunClosedLoopFn(workers, total, nil, func() error {
+		name := fmt.Sprintf("ld-%d-%d", run, seq.Add(1))
+		return experiments.RunOneSharded(sc, name, schemaName, 2*time.Minute)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d/%d instances completed in %v (%.1f inst/s)\n",
+		completed, total, elapsed.Round(time.Millisecond), float64(completed)/elapsed.Seconds())
+	if completed != total {
+		return fmt.Errorf("only %d of %d instances completed", completed, total)
+	}
+	return nil
 }
 
 func runSelfHosted(execs, workers, total, chain int, delay time.Duration, balance string, gate, kill int) error {

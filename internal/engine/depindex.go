@@ -227,6 +227,11 @@ func (i *Instance) verifyFixedPoint() {
 		}
 		switch {
 		case r.st.State == RunWaiting:
+			if r.task == i.root && !i.meta.Started {
+				// A not-yet-started root waits for the client's Start,
+				// not for dependency satisfaction (see trySatisfy).
+				continue
+			}
 			if len(r.task.InputSets) == 0 {
 				panic(fmt.Sprintf("scheduler divergence: %s has no input sets and should have started", path))
 			}

@@ -36,7 +36,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/persist"
 	"repro/internal/registry"
-	"repro/internal/store"
 	"repro/internal/timers"
 )
 
@@ -243,103 +242,6 @@ func (e *Engine) Instantiate(id string, schema *core.Schema, rootName string) (*
 // schema during recovery; callers pass sema.CompileSource (the engine
 // does not import the front end).
 type SchemaCompiler func(name string, src []byte) (*core.Schema, error)
-
-// Recover rebuilds an instance from its persisted state after a crash or
-// restart: the schema is recompiled from its stored source, persisted
-// reconfigurations are re-applied, run states are reloaded, and
-// implementations that were executing are re-activated (at-least-once
-// execution; atomic tasks get effective exactly-once because their
-// effects commit with their outcome).
-//
-// Call persist.Registry.Recover first to roll forward the write-ahead
-// log.
-func (e *Engine) Recover(id string, compile SchemaCompiler) (*Instance, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, dup := e.instances[id]; dup {
-		return nil, fmt.Errorf("recover %s: %w", id, ErrInstanceExists)
-	}
-	var meta instanceMeta
-	if err := e.preg.Object(metaKey(id)).Peek(&meta); err != nil {
-		return nil, fmt.Errorf("recover %s: %w", id, err)
-	}
-	schema, err := compile(meta.SchemaName, []byte(meta.SchemaSource))
-	if err != nil {
-		return nil, fmt.Errorf("recover %s: recompile schema: %w", id, err)
-	}
-	root, err := schema.Root(meta.RootName)
-	if err != nil {
-		return nil, fmt.Errorf("recover %s: %w", id, err)
-	}
-	inst := e.newInstance(id, schema, root)
-	inst.meta = meta
-
-	// Re-apply persisted reconfigurations in order.
-	for seq := 0; seq < meta.ReconfigSeq; seq++ {
-		var rec reconfigRecord
-		if err := e.preg.Object(reconfigKey(id, seq)).Peek(&rec); err != nil {
-			return nil, fmt.Errorf("recover %s: reconfig %d: %w", id, seq, err)
-		}
-		for _, op := range rec.Ops {
-			if err := op.Apply(schema, root); err != nil {
-				return nil, fmt.Errorf("recover %s: re-apply reconfig %d: %w", id, seq, err)
-			}
-		}
-	}
-	inst.reconfigSeq = meta.ReconfigSeq
-	// newInstance derived the evaluation order (and the dependency index)
-	// from the freshly recompiled schema, before the reconfigurations
-	// above mutated it; recompute so reconfiguration-added tasks are
-	// evaluated and listed again after recovery.
-	inst.rebuildOrder()
-
-	// Reload run states.
-	prefix := store.ID("inst/" + id + "/run/")
-	ids, err := e.preg.Store().List(prefix)
-	if err != nil {
-		return nil, fmt.Errorf("recover %s: %w", id, err)
-	}
-	for _, sid := range ids {
-		var st runState
-		if err := e.preg.Object(sid).Peek(&st); err != nil {
-			return nil, fmt.Errorf("recover %s: run %s: %w", id, sid, err)
-		}
-		task := schema.Lookup(st.Path)
-		if task == nil {
-			// The task was removed by reconfiguration after this state
-			// was written, or the path belongs to a reset subtree;
-			// ignore.
-			continue
-		}
-		inst.runs[st.Path] = inst.newRun(task, st)
-	}
-	if inst.runs[root.Path()] == nil {
-		inst.runs[root.Path()] = inst.newRun(root, runState{Path: root.Path(), State: RunWaiting})
-	}
-	// A crash between a compound's start persisting and its constituents'
-	// first persists leaves the compound Executing with members missing;
-	// re-run activation (existing runs are kept) so recovery cannot stall
-	// there. Walk in schema order so outer compounds activate first.
-	for _, path := range inst.order {
-		if r, ok := inst.runs[path]; ok && r.st.State == RunExecuting && r.task.Compound {
-			inst.activateConstituents(r.task)
-		}
-	}
-	// Re-arm pending delay timers from their persisted records at their
-	// original absolute deadlines — a delay survives the crash and fires
-	// once at the instant it was armed for, not a full duration after
-	// restart.
-	if err := inst.rearmTimers(); err != nil {
-		return nil, fmt.Errorf("recover %s: %w", id, err)
-	}
-	// Recovery cannot tell which dependencies became satisfiable while the
-	// instance was down: one full evaluation over every reloaded run.
-	inst.markAllDirty()
-	e.instances[id] = inst
-	go inst.loop()
-	inst.resumeExecuting()
-	return inst, nil
-}
 
 // Instance returns a running instance by ID.
 func (e *Engine) Instance(id string) (*Instance, error) {

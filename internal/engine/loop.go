@@ -226,6 +226,17 @@ func (i *Instance) active(r *run) bool {
 // trySatisfy checks a waiting task's input sets in declaration order and
 // starts the task on the first satisfiable one.
 func (i *Instance) trySatisfy(r *run) bool {
+	// The root starts only through the client's Start (recorded in meta
+	// and redone by recovery) — its inputs come from the caller, not
+	// from dependency satisfaction. Roots bind no input sources, so
+	// without this guard a recovered instance whose Start had not been
+	// applied yet would fall into the no-input-sets branch below and
+	// start with no chosen set, leaving constituents that read
+	// "if input <set>" unsatisfiable forever while the retried Start is
+	// rejected as a duplicate.
+	if r.task == i.root && !i.meta.Started {
+		return false
+	}
 	// A task binding no input sets (its class demands no inputs) starts
 	// as soon as its scope is active.
 	if len(r.task.InputSets) == 0 {

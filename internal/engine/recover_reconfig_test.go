@@ -160,3 +160,56 @@ func TestRecoverActivatesMissingConstituents(t *testing.T) {
 		t.Fatalf("recovered result: %+v", res)
 	}
 }
+
+// TestRecoverUnstartedInstanceAwaitsStart guards the takeover window:
+// an instance persisted by Instantiate whose Start had not yet been
+// applied must come back Waiting. The post-recovery evaluation pass
+// must not auto-start the root — roots bind no input sets, so without
+// the guard in trySatisfy the root would start with an empty chosen
+// set, its constituents (which read "if input main") would never
+// become satisfiable, and the client's retried Start would be refused
+// as a duplicate. The instance would sit at StatusCreated forever.
+func TestRecoverUnstartedInstanceAwaitsStart(t *testing.T) {
+	r := newRig(t, engine.Config{})
+	workload.Bind(r.impls)
+	schema := workload.MustCompile("us", workload.Chain(2))
+	if _, err := r.eng.Instantiate("us", schema, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before Start: only meta (Started=false) and the Waiting
+	// root run are durable.
+	r.eng.Close()
+
+	r2 := rigOver(t, r)
+	workload.Bind(r2.impls)
+	if _, err := r2.preg.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := r2.eng.Recover("us", mustCompileSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot goes through the controller, so by the time it returns
+	// the post-recovery evaluation has drained: the root must still be
+	// Waiting with no chosen set.
+	rows, err := inst.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.Path == "app" && (row.State != engine.RunWaiting || row.ChosenSet != "") {
+			t.Fatalf("recovered unstarted root auto-started: %+v", row)
+		}
+	}
+	if got := inst.Status(); got != engine.StatusCreated {
+		t.Fatalf("status = %v, want created", got)
+	}
+	// The redelivered Start lands normally and the chain completes.
+	if err := inst.Start("main", workload.Seed()); err != nil {
+		t.Fatal(err)
+	}
+	res := waitResult(t, inst)
+	if res.Output != "done" || res.Objects["out"].Data.(string) != "seed" {
+		t.Fatalf("result after recovered start: %+v", res)
+	}
+}

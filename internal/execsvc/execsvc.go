@@ -49,6 +49,9 @@ type Service struct {
 	eng     *engine.Engine
 	schemas SchemaSource
 	sched   *Scheduler
+	// own gates instance-scoped operations in the sharded topology; nil
+	// (single-coordinator) owns everything. See SetOwnership.
+	own Ownership
 }
 
 // New returns an execution service over the engine and schema source.
@@ -96,6 +99,9 @@ func (s *Service) Schedules() ([]Schedule, error) {
 
 // Instantiate creates an instance of the named schema.
 func (s *Service) Instantiate(instance, schemaName, rootName string) error {
+	if err := s.guard(instance); err != nil {
+		return err
+	}
 	schema, err := s.schemas.Compile(schemaName)
 	if err != nil {
 		return fmt.Errorf("instantiate %s: %w", instance, err)
@@ -106,6 +112,9 @@ func (s *Service) Instantiate(instance, schemaName, rootName string) error {
 
 // Start begins execution of an instance's root task.
 func (s *Service) Start(instance, set string, inputs registry.Objects) error {
+	if err := s.guard(instance); err != nil {
+		return err
+	}
 	inst, err := s.eng.Instance(instance)
 	if err != nil {
 		return err
@@ -115,6 +124,9 @@ func (s *Service) Start(instance, set string, inputs registry.Objects) error {
 
 // Status reports the instance status and per-task snapshot.
 func (s *Service) Status(instance string) (engine.InstanceStatus, []engine.TaskStatus, error) {
+	if err := s.guard(instance); err != nil {
+		return 0, nil, err
+	}
 	inst, err := s.eng.Instance(instance)
 	if err != nil {
 		return 0, nil, err
@@ -126,6 +138,9 @@ func (s *Service) Status(instance string) (engine.InstanceStatus, []engine.TaskS
 // Events returns the instance's event trace from sequence number since
 // (exclusive).
 func (s *Service) Events(instance string, since int) ([]engine.Event, error) {
+	if err := s.guard(instance); err != nil {
+		return nil, err
+	}
 	inst, err := s.eng.Instance(instance)
 	if err != nil {
 		return nil, err
@@ -144,6 +159,9 @@ func (s *Service) Events(instance string, since int) ([]engine.Event, error) {
 // unsettled status after the timeout is not an error, so remote callers
 // can poll in bounded slices (see Client.WaitSettled).
 func (s *Service) WaitSettled(instance string, timeout time.Duration) (engine.InstanceStatus, engine.Result, error) {
+	if err := s.guard(instance); err != nil {
+		return 0, engine.Result{}, err
+	}
 	inst, err := s.eng.Instance(instance)
 	if err != nil {
 		return 0, engine.Result{}, err
@@ -152,6 +170,16 @@ func (s *Service) WaitSettled(instance string, timeout time.Duration) (engine.In
 	defer cancel()
 	res, err := inst.Wait(ctx)
 	status := inst.Status()
+	if status == engine.StatusStopped {
+		// Stopped is final after an administrative Stop, but a partition
+		// handoff also stops its instances — and the manager drops
+		// ownership before tearing the partition down, so a waiter that
+		// was already in flight must be redirected to the new owner
+		// rather than told the handoff was a terminal outcome.
+		if gerr := s.guard(instance); gerr != nil {
+			return 0, engine.Result{}, gerr
+		}
+	}
 	switch {
 	case err == nil:
 		return status, res, nil
@@ -174,6 +202,9 @@ func Settled(s engine.InstanceStatus) bool {
 
 // AbortTask force-aborts a task of a running instance.
 func (s *Service) AbortTask(instance, path, outcome string) error {
+	if err := s.guard(instance); err != nil {
+		return err
+	}
 	inst, err := s.eng.Instance(instance)
 	if err != nil {
 		return err
@@ -183,6 +214,9 @@ func (s *Service) AbortTask(instance, path, outcome string) error {
 
 // Reconfigure applies a batch of reconfiguration operations atomically.
 func (s *Service) Reconfigure(instance string, ops ...engine.Op) error {
+	if err := s.guard(instance); err != nil {
+		return err
+	}
 	inst, err := s.eng.Instance(instance)
 	if err != nil {
 		return err
@@ -192,6 +226,9 @@ func (s *Service) Reconfigure(instance string, ops ...engine.Op) error {
 
 // Stop halts an instance's controller (state remains recoverable).
 func (s *Service) Stop(instance string) error {
+	if err := s.guard(instance); err != nil {
+		return err
+	}
 	inst, err := s.eng.Instance(instance)
 	if err != nil {
 		return err
@@ -205,6 +242,9 @@ func (s *Service) Instances() []string { return s.eng.Instances() }
 
 // Recover rebuilds a persisted instance after a restart.
 func (s *Service) Recover(instance string) error {
+	if err := s.guard(instance); err != nil {
+		return err
+	}
 	_, err := s.eng.Recover(instance, func(name string, src []byte) (*core.Schema, error) {
 		return compileSource(name, string(src))
 	})

@@ -1,0 +1,99 @@
+package execsvc_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/execsvc"
+	"repro/internal/persist"
+	"repro/internal/registry"
+	"repro/internal/repository"
+	"repro/internal/store"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// TestWaitSettledHandoffRedirects guards the graceful-handoff window: a
+// WaitSettled already past the ownership guard and blocked on a running
+// instance observes StatusStopped when the partition is handed off
+// (the manager drops ownership, then stops the partition's instances).
+// That stop is a relocation, not an outcome — the servant must answer
+// with the ownership refusal so the routing client re-resolves the new
+// owner, rather than reporting the instance as terminally stopped.
+func TestWaitSettledHandoffRedirects(t *testing.T) {
+	st := store.NewMemStore()
+	mgr := txn.NewManager(st)
+	preg := persist.NewRegistry(st, mgr, nil)
+	impls := registry.New()
+	eng := engine.New(preg, impls, engine.Config{})
+	t.Cleanup(eng.Close)
+	svc := execsvc.New(eng, repository.New(preg))
+
+	var owned atomic.Bool
+	owned.Store(true)
+	svc.SetOwnership(func(string) (bool, string) { return owned.Load(), "10.0.0.9:7" })
+
+	gate := make(chan struct{})
+	impls.Bind("stage", func(ctx registry.Context) (registry.Result, error) {
+		select {
+		case <-gate:
+			return registry.Result{Output: "done", Objects: registry.Objects{"out": ctx.Inputs()["in"]}}, nil
+		case <-ctx.Done():
+			return registry.Result{}, errors.New("cancelled")
+		}
+	})
+	schema := workload.MustCompile("ho", workload.Chain(1))
+	inst, err := eng.Instantiate("ho", schema, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start("main", workload.Seed()); err != nil {
+		t.Fatal(err)
+	}
+
+	type settled struct {
+		status engine.InstanceStatus
+		err    error
+	}
+	ch := make(chan settled, 1)
+	go func() {
+		status, _, werr := svc.WaitSettled("ho", 10*time.Second)
+		ch <- settled{status, werr}
+	}()
+	// Let the wait block on the gated stage, then hand the partition
+	// off in the manager's order: ownership first, teardown second.
+	time.Sleep(50 * time.Millisecond)
+	owned.Store(false)
+	eng.StopMatching(nil)
+	got := <-ch
+	if addr, ok := execsvc.NotOwnerAddr(got.err); !ok || addr != "10.0.0.9:7" {
+		t.Fatalf("want not-owner redirect, got status %v err %v", got.status, got.err)
+	}
+
+	// An administrative Stop with ownership retained still reports
+	// StatusStopped as a settled outcome.
+	owned.Store(true)
+	inst2, err := eng.Instantiate("ho2", schema, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst2.Start("main", workload.Seed()); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		status, _, werr := svc.WaitSettled("ho2", 10*time.Second)
+		ch <- settled{status, werr}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := svc.Stop("ho2"); err != nil {
+		t.Fatal(err)
+	}
+	got = <-ch
+	if got.err != nil || got.status != engine.StatusStopped {
+		t.Fatalf("administrative stop: status %v err %v, want stopped/nil", got.status, got.err)
+	}
+	close(gate)
+}

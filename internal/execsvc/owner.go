@@ -1,0 +1,68 @@
+package execsvc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Ownership tells the service which instances this coordinator owns.
+// In the sharded topology the shard manager supplies it (instance →
+// partition → lease held?); a single-coordinator deployment leaves it
+// unset and owns everything. ownerAddr, when known, names the endpoint
+// of the actual owner so refused callers can be redirected.
+type Ownership func(instance string) (owned bool, ownerAddr string)
+
+// SetOwnership installs the ownership check. Set once at boot, before
+// the servant starts serving.
+func (s *Service) SetOwnership(own Ownership) { s.own = own }
+
+// notOwnerMarker is the wire-greppable prefix of ownership refusals.
+// The orb transports servant errors as bare strings (AppError), so the
+// routing client recognises a refusal — and extracts the redirect
+// address — by parsing this marker rather than by error type.
+const notOwnerMarker = "execsvc: not-owner"
+
+// NotOwnerError is the ownership guard's refusal: this coordinator does
+// not hold the lease for the instance's partition.
+type NotOwnerError struct {
+	Instance  string
+	OwnerAddr string // "" when the owner is unknown (lease in flux)
+}
+
+// Error implements error; the format is parsed by NotOwnerAddr.
+func (e *NotOwnerError) Error() string {
+	return fmt.Sprintf("%s instance=%s owner=%s", notOwnerMarker, e.Instance, e.OwnerAddr)
+}
+
+// NotOwnerAddr reports whether err (possibly a string-transported
+// remote error) is an ownership refusal, and the owner endpoint it
+// redirects to ("" when unknown).
+func NotOwnerAddr(err error) (addr string, ok bool) {
+	if err == nil {
+		return "", false
+	}
+	msg := err.Error()
+	i := strings.Index(msg, notOwnerMarker)
+	if i < 0 {
+		return "", false
+	}
+	j := strings.LastIndex(msg[i:], "owner=")
+	if j < 0 {
+		return "", true
+	}
+	addr = strings.TrimSpace(msg[i+j+len("owner="):])
+	return addr, true
+}
+
+// guard refuses instance-scoped operations on instances this
+// coordinator does not own.
+func (s *Service) guard(instance string) error {
+	if s.own == nil {
+		return nil
+	}
+	owned, ownerAddr := s.own(instance)
+	if owned {
+		return nil
+	}
+	return &NotOwnerError{Instance: instance, OwnerAddr: ownerAddr}
+}

@@ -189,15 +189,26 @@ func (ec *Client) WaitSettled(instance string, timeout time.Duration) (engine.In
 		if remaining > slice {
 			remaining = slice
 		}
-		resp, err := orb.Call[waitReq, waitResp](ec.c, ObjectName, "wait", waitReq{Instance: instance, TimeoutMS: int(remaining / time.Millisecond)})
+		status, res, err := ec.waitSlice(instance, remaining)
 		if err != nil {
-			return resp.Status, resp.Result, err
+			return status, res, err
 		}
-		if Settled(resp.Status) || ec.clock.Now().After(deadline) {
-			return resp.Status, resp.Result, nil
+		if Settled(status) || ec.clock.Now().After(deadline) {
+			return status, res, nil
 		}
 	}
 }
+
+// waitSlice issues one bounded server-side wait (the building block of
+// WaitSettled's poll loop, also used by ShardedClient so it can
+// re-resolve the owning coordinator between slices).
+func (ec *Client) waitSlice(instance string, timeout time.Duration) (engine.InstanceStatus, engine.Result, error) {
+	resp, err := orb.Call[waitReq, waitResp](ec.c, ObjectName, "wait", waitReq{Instance: instance, TimeoutMS: int(timeout / time.Millisecond)})
+	return resp.Status, resp.Result, err
+}
+
+// Close drops the client's transport connection.
+func (ec *Client) Close() { ec.c.Close() }
 
 // AbortTask force-aborts a task.
 func (ec *Client) AbortTask(instance, path, outcome string) error {

@@ -215,19 +215,7 @@ func RunClosedLoopMid(env *Env, schema *coreSchema, lat *LatencyRecorder, worker
 }
 
 func runClosedLoop(env *Env, schema *coreSchema, lat *LatencyRecorder, workers, total int, midpoint func(), seed registry.Objects) (LoadReport, error) {
-	if workers <= 0 || total <= 0 {
-		return LoadReport{}, errors.New("loadgen: workers and total must be positive")
-	}
 	lat.take() // reset samples
-
-	var (
-		next     atomic.Int64
-		done     atomic.Int64
-		midOnce  sync.Once
-		errMu    sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
-	)
 	runOne := func() error {
 		res, _, err := env.Run(schema, "main", seed.Clone())
 		if err != nil {
@@ -238,6 +226,42 @@ func runClosedLoop(env *Env, schema *coreSchema, lat *LatencyRecorder, workers, 
 		}
 		return nil
 	}
+	completed, elapsed, err := RunClosedLoopFn(workers, total, midpoint, runOne)
+	if err != nil {
+		return LoadReport{}, err
+	}
+
+	durs := lat.take()
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	return LoadReport{
+		Instances:       completed,
+		Elapsed:         elapsed,
+		InstancesPerSec: float64(completed) / elapsed.Seconds(),
+		Activations:     len(durs),
+		ActP50:          percentile(durs, 0.50),
+		ActP90:          percentile(durs, 0.90),
+		ActP99:          percentile(durs, 0.99),
+	}, nil
+}
+
+// RunClosedLoopFn is the worker-pool core every closed loop shares:
+// workers goroutines each call runOne back to back until total runs
+// have been claimed; midpoint, when non-nil, runs exactly once as soon
+// as half the runs have completed. The first runOne error stops that
+// worker and fails the loop after the others drain. Returns how many
+// runs completed and the wall-clock elapsed.
+func RunClosedLoopFn(workers, total int, midpoint func(), runOne func() error) (int, time.Duration, error) {
+	if workers <= 0 || total <= 0 {
+		return 0, 0, errors.New("loadgen: workers and total must be positive")
+	}
+	var (
+		next     atomic.Int64
+		done     atomic.Int64
+		midOnce  sync.Once
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
 	begin := wall.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -264,21 +288,9 @@ func runClosedLoop(env *Env, schema *coreSchema, lat *LatencyRecorder, workers, 
 	wg.Wait()
 	elapsed := wall.Now().Sub(begin)
 	if firstErr != nil {
-		return LoadReport{}, firstErr
+		return int(done.Load()), elapsed, firstErr
 	}
-
-	durs := lat.take()
-	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
-	completed := int(done.Load())
-	return LoadReport{
-		Instances:       completed,
-		Elapsed:         elapsed,
-		InstancesPerSec: float64(completed) / elapsed.Seconds(),
-		Activations:     len(durs),
-		ActP50:          percentile(durs, 0.50),
-		ActP90:          percentile(durs, 0.90),
-		ActP99:          percentile(durs, 0.99),
-	}, nil
+	return int(done.Load()), elapsed, nil
 }
 
 // Close tears the scenario down.

@@ -1,0 +1,385 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/execsvc"
+	"repro/internal/orb"
+	"repro/internal/persist"
+	"repro/internal/registry"
+	"repro/internal/repository"
+	"repro/internal/script/sema"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// ShardConfig shapes a self-hosted sharded-coordinator scenario.
+type ShardConfig struct {
+	// Coordinators is the tier size K. Default 2.
+	Coordinators int
+	// Partitions is the partition count. Default shard.DefaultPartitions.
+	Partitions int
+	// ChainLen is the number of stages per workflow instance. Default 4.
+	ChainLen int
+	// StageDelay is the simulated work per stage, executed in-coordinator
+	// through the builtin sleep scheme. Default 2ms.
+	StageDelay time.Duration
+	// LeaseTTL bounds partition leases (and so failover detection time);
+	// LeaseRenew is the renewal interval. Defaults 1s and TTL/4.
+	LeaseTTL   time.Duration
+	LeaseRenew time.Duration
+}
+
+func (c ShardConfig) withDefaults() ShardConfig {
+	if c.Coordinators == 0 {
+		c.Coordinators = 2
+	}
+	if c.Partitions == 0 {
+		c.Partitions = shard.DefaultPartitions
+	}
+	if c.ChainLen == 0 {
+		c.ChainLen = 4
+	}
+	if c.StageDelay == 0 {
+		c.StageDelay = 2 * time.Millisecond
+	}
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = time.Second
+	}
+	if c.LeaseRenew <= 0 || c.LeaseRenew >= c.LeaseTTL {
+		c.LeaseRenew = c.LeaseTTL / 4
+	}
+	return c
+}
+
+// shardSchemaName is the schema the tier's repository serves.
+const shardSchemaName = "shard-chain"
+
+// shardNode is one in-process coordinator of the tier: engine over a
+// PartitionedStore view of the shared partition stores, orb server,
+// lease manager, membership heartbeat.
+type shardNode struct {
+	id     string
+	eng    *engine.Engine
+	svc    *execsvc.Service
+	server *orb.Server
+	ps     *shard.PartitionedStore
+	mgr    *shard.Manager
+	stopHB func()
+	dead   bool
+}
+
+// ShardEnv is a self-contained sharded coordinator tier: K in-process
+// coordinators over one naming service and one shared set of partition
+// stores, driven through the routing ShardedClient. It is the substrate
+// of cmd/wfload's -coordinators mode and the wfbench S5 rows, and the
+// in-process twin of the scripts/e2e_shardkill.sh deployment.
+type ShardEnv struct {
+	cfg        ShardConfig
+	naming     *orb.Naming
+	namingSrv  *orb.Server
+	partStores []*store.MemStore
+	nodes      []*shardNode
+	client     *execsvc.ShardedClient
+	seq        atomic.Int64
+}
+
+// NewShardEnv boots the tier and waits until every partition has a
+// lease holder.
+func NewShardEnv(cfg ShardConfig) (*ShardEnv, error) {
+	cfg = cfg.withDefaults()
+	se := &ShardEnv{cfg: cfg, naming: orb.NewNaming()}
+
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	se.namingSrv = srv
+	srv.Register(orb.NamingObject, se.naming.Servant())
+
+	// One shared repository: schemas are tier-global, not partitioned.
+	repoStore := store.NewMemStore()
+	repo := repository.New(persist.NewRegistry(repoStore, txn.NewManager(repoStore), nil))
+	srv.Register(repository.ObjectName, repo.Servant())
+	code := fmt.Sprintf("sleep:%s:done", cfg.StageDelay)
+	if _, err := repo.Put(shardSchemaName, workload.ChainCode(cfg.ChainLen, code)); err != nil {
+		se.Close()
+		return nil, err
+	}
+
+	se.partStores = make([]*store.MemStore, cfg.Partitions)
+	for p := range se.partStores {
+		se.partStores[p] = store.NewMemStore()
+	}
+	for i := 0; i < cfg.Coordinators; i++ {
+		node, err := se.newNode(fmt.Sprintf("coord-%d", i))
+		if err != nil {
+			se.Close()
+			return nil, err
+		}
+		se.nodes = append(se.nodes, node)
+	}
+	for _, node := range se.nodes {
+		node.mgr.Start()
+	}
+
+	nc := orb.NewNamingClient(orb.Dial(srv.Addr(), orb.ClientConfig{}))
+	se.client = execsvc.NewShardedClient(nc, execsvc.ShardedConfig{
+		Partitions:   cfg.Partitions,
+		RouteTimeout: 10*cfg.LeaseTTL + 10*time.Second,
+		RetryDelay:   cfg.LeaseRenew / 2,
+	})
+	if err := se.awaitAllHeld(10 * time.Second); err != nil {
+		se.Close()
+		return nil, err
+	}
+	return se, nil
+}
+
+// newNode builds and wires one coordinator (manager not yet running).
+func (se *ShardEnv) newNode(id string) (*shardNode, error) {
+	cfg := se.cfg
+	node := &shardNode{id: id, ps: shard.NewPartitionedStore(cfg.Partitions)}
+	preg := persist.NewRegistry(node.ps, txn.NewManager(node.ps), nil)
+	impls := registry.New()
+	impls.BindFallback(registry.Builtin)
+	node.eng = engine.New(preg, impls, engine.Config{})
+
+	repoC := repository.NewClient(orb.Dial(se.namingSrv.Addr(), orb.ClientConfig{}))
+	node.svc = execsvc.New(node.eng, execsvc.FromRepositoryClient(repoC))
+
+	server, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		node.eng.Close()
+		return nil, err
+	}
+	node.server = server
+	server.Register(execsvc.ObjectName, node.svc.Servant())
+
+	compile := func(name string, src []byte) (*core.Schema, error) {
+		return sema.CompileSource(name, src)
+	}
+	inPartition := func(p int) func(string) bool {
+		return func(inst string) bool { return shard.PartitionOf(inst, cfg.Partitions) == p }
+	}
+	mgr, err := shard.NewManager(shard.ManagerConfig{
+		ID:         id,
+		Addr:       server.Addr(),
+		Partitions: cfg.Partitions,
+		TTL:        cfg.LeaseTTL,
+		Renew:      cfg.LeaseRenew,
+		Leases:     shard.LocalLeases{N: se.naming},
+		Peers:      func() ([]string, error) { return se.naming.ResolveAll(shard.CoordTier) },
+		OnAcquire: func(p int) error {
+			st := se.partStores[p]
+			// Scoped roll-forward of in-doubt transactions the previous
+			// owner left behind, before the engine can see the partition.
+			if _, err := persist.NewRegistry(st, txn.NewManager(st), nil).Recover(); err != nil {
+				return err
+			}
+			node.ps.Mount(p, st)
+			_, err := node.eng.RecoverMatching(compile, inPartition(p))
+			return err
+		},
+		OnLose: func(p int) {
+			node.eng.StopMatching(inPartition(p))
+			node.ps.Unmount(p)
+		},
+	})
+	if err != nil {
+		node.eng.Close()
+		server.Close()
+		return nil, err
+	}
+	node.mgr = mgr
+	node.svc.SetOwnership(func(instance string) (bool, string) {
+		p := shard.PartitionOf(instance, cfg.Partitions)
+		if mgr.Holds(p) {
+			return true, ""
+		}
+		_, addr, held := se.naming.LeaseHolder(shard.LeaseName(p))
+		if !held {
+			return false, ""
+		}
+		return false, addr
+	})
+
+	nc := orb.NewNamingClient(orb.Dial(se.namingSrv.Addr(), orb.ClientConfig{}))
+	stopHB, err := nc.StartHeartbeat(shard.CoordTier, server.Addr(), cfg.LeaseTTL, cfg.LeaseRenew)
+	if err != nil {
+		node.eng.Close()
+		server.Close()
+		return nil, err
+	}
+	node.stopHB = stopHB
+	return node, nil
+}
+
+// Client exposes the routing client driving the tier.
+func (se *ShardEnv) Client() *execsvc.ShardedClient { return se.client }
+
+// liveHolders reports whether every partition's lease is held by a
+// coordinator that has not been killed.
+func (se *ShardEnv) liveHolders() bool {
+	deadIDs := make(map[string]bool)
+	for _, n := range se.nodes {
+		if n.dead {
+			deadIDs[n.id] = true
+		}
+	}
+	for p := 0; p < se.cfg.Partitions; p++ {
+		holder, _, held := se.naming.LeaseHolder(shard.LeaseName(p))
+		if !held || deadIDs[holder] {
+			return false
+		}
+	}
+	return true
+}
+
+// awaitAllHeld waits until every partition's lease is held by a live
+// coordinator (initial split, or re-split after a kill).
+func (se *ShardEnv) awaitAllHeld(timeout time.Duration) error {
+	deadline := wall.Now().Add(timeout)
+	for !se.liveHolders() {
+		if !wall.Now().Before(deadline) {
+			return errors.New("shardenv: partitions not fully leased within timeout")
+		}
+		<-wall.Wake(wall.Now().Add(5 * time.Millisecond))
+	}
+	return nil
+}
+
+// KillCoordinator crashes coordinator i: its server drops every
+// connection, its engine halts, its partition mounts are torn out, and
+// only then does its lease manager abandon every held partition without
+// releasing (the leases lapse at TTL, as after SIGKILL). The order
+// matters — a real SIGKILL stops all processing and all store writes at
+// the same instant, so no request already past the ownership guard may
+// still apply (and ack) after a survivor has re-materialized the
+// instance from the shared store. Engine close joins the instances it
+// knows about, but a Start racing with the close can slip an instance
+// past that snapshot and keep running; unmounting every partition is
+// the write fence that makes such stragglers fail (ErrNotMounted)
+// instead of mutating state the survivor already recovered — and since
+// every apply path persists before acking, a fenced straggler can
+// never ack success. The shared partition stores retain the instances'
+// persisted state for the survivor to re-materialize.
+func (se *ShardEnv) KillCoordinator(i int) {
+	node := se.nodes[i]
+	if node.dead {
+		return
+	}
+	node.dead = true
+	node.server.Close()
+	node.eng.Close()
+	for p := 0; p < se.cfg.Partitions; p++ {
+		node.ps.Unmount(p)
+	}
+	node.mgr.Abandon()
+	node.stopHB()
+}
+
+// AwaitFailover blocks until every partition is again held by a live
+// coordinator — at which point the dead coordinator's instances have
+// been re-materialized (recovery completes before a lease is won) — and
+// returns how long that took.
+func (se *ShardEnv) AwaitFailover(timeout time.Duration) (time.Duration, error) {
+	begin := wall.Now()
+	if err := se.awaitAllHeld(timeout); err != nil {
+		return 0, err
+	}
+	return wall.Now().Sub(begin), nil
+}
+
+// Owners returns, per coordinator, how many partitions it holds.
+func (se *ShardEnv) Owners() map[string]int {
+	out := make(map[string]int)
+	for p := 0; p < se.cfg.Partitions; p++ {
+		if holder, _, held := se.naming.LeaseHolder(shard.LeaseName(p)); held {
+			out[holder]++
+		}
+	}
+	return out
+}
+
+// Run drives the closed loop through the routing client: workers
+// concurrent instances, total overall, each worker running complete
+// instances back to back. midpoint, when non-nil, runs exactly once as
+// soon as half the instances have completed — the hook the
+// kill-a-coordinator scenarios use. Every instance must complete; a
+// failover mid-run shows up as latency, not as errors.
+func (se *ShardEnv) Run(workers, total int, midpoint func()) (LoadReport, error) {
+	waitFor := 10*se.cfg.LeaseTTL + time.Minute
+	runOne := func() error {
+		name := fmt.Sprintf("ld-%d", se.seq.Add(1))
+		return RunOneSharded(se.client, name, shardSchemaName, waitFor)
+	}
+	completed, elapsed, err := RunClosedLoopFn(workers, total, midpoint, runOne)
+	if err != nil {
+		return LoadReport{}, err
+	}
+	return LoadReport{
+		Instances:       completed,
+		Elapsed:         elapsed,
+		InstancesPerSec: float64(completed) / elapsed.Seconds(),
+	}, nil
+}
+
+// RunOneSharded runs one complete instance of schemaName through a
+// routing client: instantiate, start, wait, assert completion. Shared
+// by ShardEnv and cmd/wfload's external sharded mode (the e2e gauntlet
+// driver).
+func RunOneSharded(sc *execsvc.ShardedClient, name, schemaName string, waitFor time.Duration) error {
+	if err := sc.Instantiate(name, schemaName, ""); err != nil {
+		return fmt.Errorf("instantiate %s: %w", name, err)
+	}
+	if err := sc.Start(name, "main", workload.Seed()); err != nil {
+		return fmt.Errorf("start %s: %w", name, err)
+	}
+	status, res, err := sc.WaitSettled(name, waitFor)
+	if err != nil {
+		return fmt.Errorf("wait %s: %w", name, err)
+	}
+	if status != engine.StatusCompleted || res.Output != "done" {
+		return fmt.Errorf("instance %s: status %v outcome %q", name, status, res.Output)
+	}
+	return nil
+}
+
+// Instances returns the tier-wide live instance list, sorted.
+func (se *ShardEnv) Instances() ([]string, error) {
+	ids, err := se.client.Instances()
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Close tears the tier down: managers release their leases, engines and
+// servers stop.
+func (se *ShardEnv) Close() {
+	if se.client != nil {
+		se.client.Close()
+	}
+	for _, node := range se.nodes {
+		if node.dead {
+			continue
+		}
+		node.mgr.Close()
+		node.stopHB()
+		node.eng.Close()
+		node.server.Close()
+	}
+	if se.namingSrv != nil {
+		se.namingSrv.Close()
+	}
+}

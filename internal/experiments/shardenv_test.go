@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestShardEnvClosedLoop(t *testing.T) {
+	se, err := NewShardEnv(ShardConfig{
+		Coordinators: 2,
+		ChainLen:     2,
+		StageDelay:   time.Millisecond,
+		LeaseTTL:     500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+
+	owners := se.Owners()
+	if len(owners) != 2 {
+		t.Fatalf("initial split: %v", owners)
+	}
+	rep, err := se.Run(4, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Instances != 16 {
+		t.Fatalf("completed %d of 16", rep.Instances)
+	}
+}
+
+func TestShardEnvKillCoordinatorMidRun(t *testing.T) {
+	se, err := NewShardEnv(ShardConfig{
+		Coordinators: 2,
+		ChainLen:     2,
+		StageDelay:   time.Millisecond,
+		LeaseTTL:     500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+
+	var failover time.Duration
+	rep, err := se.Run(4, 24, func() {
+		se.KillCoordinator(0)
+		d, err := se.AwaitFailover(30 * time.Second)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		failover = d
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hard assertion of the gauntlet: every instance completes even
+	// though a coordinator died mid-run.
+	if rep.Instances != 24 {
+		t.Fatalf("completed %d of 24", rep.Instances)
+	}
+	if failover <= 0 {
+		t.Fatalf("failover latency not measured")
+	}
+	if owners := se.Owners(); len(owners) != 1 || owners["coord-1"] != se.cfg.Partitions {
+		t.Fatalf("survivor does not own the tier: %v", owners)
+	}
+}

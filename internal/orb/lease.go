@@ -1,0 +1,214 @@
+package orb
+
+import (
+	"sort"
+	"time"
+)
+
+// Leases extend the naming service's heartbeat/TTL liveness machinery
+// from "who is alive" to "who owns what". A lease is an exclusive,
+// time-bounded claim on a name: at most one holder is recorded per
+// lease name at any instant, and the claim lapses unless the holder
+// renews it within the TTL — exactly the binding-expiry rule, applied
+// to ownership instead of membership.
+//
+// The three lifecycle verbs share one operation, AcquireLease:
+//
+//   - grant: no live lease exists → the caller becomes holder;
+//   - renew: the caller already holds the lease → the deadline extends;
+//   - steal: the recorded holder's lease has expired → the caller takes
+//     over. A live lease is never stolen: acquisition by a non-holder
+//     fails until the TTL lapses, which is what makes ownership safe to
+//     act on between renewals.
+//
+// The naming service is the sole arbiter (its clock decides expiry);
+// holders self-fence on their *local* clock by refusing to act past the
+// last renewal's validity window, so a partitioned holder stops before
+// the arbiter hands the lease to a peer.
+
+// lease records the current claim on a lease name.
+type lease struct {
+	holder  string
+	addr    string
+	expires time.Time
+}
+
+// LeaseInfo is one live lease, as reported by Leases / the leaseList
+// verb.
+type LeaseInfo struct {
+	Name   string
+	Holder string
+	Addr   string
+}
+
+// leaseLiveLocked returns the live lease for name, dropping it if
+// expired. Callers hold mu.
+func (n *Naming) leaseLiveLocked(name string) *lease {
+	l := n.leases[name]
+	if l == nil {
+		return nil
+	}
+	if !l.expires.After(n.now()) {
+		delete(n.leases, name)
+		return nil
+	}
+	return l
+}
+
+// AcquireLease claims name for holder (reachable at addr) for ttl. It
+// grants when no live lease exists, renews when holder already owns the
+// lease, and steals when the recorded holder let its lease expire. It
+// returns whether the claim succeeded plus the authoritative current
+// holder and address (the caller itself on success, the live owner on
+// refusal) so a refused caller learns where to route.
+func (n *Naming) AcquireLease(name, holder, addr string, ttl time.Duration) (granted bool, curHolder, curAddr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ttl <= 0 {
+		ttl = time.Second
+	}
+	if l := n.leaseLiveLocked(name); l != nil && l.holder != holder {
+		return false, l.holder, l.addr
+	}
+	n.leases[name] = &lease{holder: holder, addr: addr, expires: n.now().Add(ttl)}
+	return true, holder, addr
+}
+
+// ReleaseLease withdraws holder's claim on name (a graceful handoff —
+// e.g. rebalancing toward a preferred peer). It reports whether the
+// lease was actually released; a release by a non-holder is a no-op, so
+// a stale ex-owner cannot evict the current one.
+func (n *Naming) ReleaseLease(name, holder string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := n.leaseLiveLocked(name)
+	if l == nil || l.holder != holder {
+		return false
+	}
+	delete(n.leases, name)
+	return true
+}
+
+// LeaseHolder reports the live holder of name, if any.
+func (n *Naming) LeaseHolder(name string) (holder, addr string, held bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := n.leaseLiveLocked(name)
+	if l == nil {
+		return "", "", false
+	}
+	return l.holder, l.addr, true
+}
+
+// Leases lists every live lease, sorted by name.
+func (n *Naming) Leases() []LeaseInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]LeaseInfo, 0, len(n.leases))
+	for name := range n.leases {
+		if l := n.leaseLiveLocked(name); l != nil {
+			out = append(out, LeaseInfo{Name: name, Holder: l.holder, Addr: l.addr})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// leaseAcquireReq and friends are the wire types of the lease verbs.
+type leaseAcquireReq struct {
+	Name   string
+	Holder string
+	Addr   string
+	// TTLMillis bounds the claim; the holder must renew within it.
+	TTLMillis int64
+}
+
+type leaseAcquireResp struct {
+	Granted bool
+	// Holder/Addr are the authoritative current owner — the caller on
+	// success, the live holder on refusal.
+	Holder string
+	Addr   string
+}
+
+type leaseReleaseReq struct {
+	Name   string
+	Holder string
+}
+
+type leaseReleaseResp struct {
+	Released bool
+}
+
+type leaseHolderReq struct {
+	Name string
+}
+
+type leaseHolderResp struct {
+	Holder string
+	Addr   string
+	Held   bool
+}
+
+type leaseListReq struct{}
+
+type leaseListResp struct {
+	Leases []LeaseInfo
+}
+
+// leaseVerbs registers the lease operations on the naming servant.
+func (n *Naming) leaseVerbs(s *Servant) {
+	Method(s, "leaseAcquire", func(req leaseAcquireReq) (leaseAcquireResp, error) {
+		granted, holder, addr := n.AcquireLease(req.Name, req.Holder, req.Addr, time.Duration(req.TTLMillis)*time.Millisecond)
+		return leaseAcquireResp{Granted: granted, Holder: holder, Addr: addr}, nil
+	})
+	Method(s, "leaseRelease", func(req leaseReleaseReq) (leaseReleaseResp, error) {
+		return leaseReleaseResp{Released: n.ReleaseLease(req.Name, req.Holder)}, nil
+	})
+	Method(s, "leaseHolder", func(req leaseHolderReq) (leaseHolderResp, error) {
+		holder, addr, held := n.LeaseHolder(req.Name)
+		return leaseHolderResp{Holder: holder, Addr: addr, Held: held}, nil
+	})
+	Method(s, "leaseList", func(leaseListReq) (leaseListResp, error) {
+		return leaseListResp{Leases: n.Leases()}, nil
+	})
+}
+
+// AcquireLease claims a lease through a remote naming servant.
+func (nc *NamingClient) AcquireLease(name, holder, addr string, ttl time.Duration) (granted bool, curHolder, curAddr string, err error) {
+	resp, err := Call[leaseAcquireReq, leaseAcquireResp](nc.c, NamingObject, "leaseAcquire", leaseAcquireReq{
+		Name: name, Holder: holder, Addr: addr, TTLMillis: ttl.Milliseconds(),
+	})
+	if err != nil {
+		return false, "", "", err
+	}
+	return resp.Granted, resp.Holder, resp.Addr, nil
+}
+
+// ReleaseLease withdraws a claim through a remote naming servant.
+func (nc *NamingClient) ReleaseLease(name, holder string) (bool, error) {
+	resp, err := Call[leaseReleaseReq, leaseReleaseResp](nc.c, NamingObject, "leaseRelease", leaseReleaseReq{Name: name, Holder: holder})
+	if err != nil {
+		return false, err
+	}
+	return resp.Released, nil
+}
+
+// LeaseHolder reports a lease's live holder through a remote naming
+// servant.
+func (nc *NamingClient) LeaseHolder(name string) (holder, addr string, held bool, err error) {
+	resp, err := Call[leaseHolderReq, leaseHolderResp](nc.c, NamingObject, "leaseHolder", leaseHolderReq{Name: name})
+	if err != nil {
+		return "", "", false, err
+	}
+	return resp.Holder, resp.Addr, resp.Held, nil
+}
+
+// Leases lists live leases through a remote naming servant.
+func (nc *NamingClient) Leases() ([]LeaseInfo, error) {
+	resp, err := Call[leaseListReq, leaseListResp](nc.c, NamingObject, "leaseList", leaseListReq{})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Leases, nil
+}

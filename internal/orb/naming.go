@@ -34,13 +34,19 @@ type binding struct {
 type Naming struct {
 	mu      sync.RWMutex
 	entries map[string][]*binding
+	// leases maps lease names to their current holder; see lease.go.
+	leases map[string]*lease
 	// now is the clock, replaceable for expiry tests.
 	now func() time.Time
 }
 
 // NewNaming returns an empty naming table.
 func NewNaming() *Naming {
-	return &Naming{entries: make(map[string][]*binding), now: timers.WallClock{}.Now}
+	return &Naming{
+		entries: make(map[string][]*binding),
+		leases:  make(map[string]*lease),
+		now:     timers.WallClock{}.Now,
+	}
 }
 
 // SetClock replaces the liveness clock (tests drive expiry without
@@ -227,6 +233,7 @@ func (n *Naming) Servant() *Servant {
 	Method(s, "list", func(namingList) (namingNames, error) {
 		return namingNames{Names: n.Names()}, nil
 	})
+	n.leaseVerbs(s)
 	return s
 }
 

@@ -1,0 +1,273 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/orb"
+	"repro/internal/timers"
+)
+
+// LeaseAPI is the slice of the naming service's lease verbs the manager
+// needs. orb.NamingClient implements it remotely; LocalLeases adapts an
+// in-process orb.Naming for the simulator and self-hosted topologies.
+type LeaseAPI interface {
+	AcquireLease(name, holder, addr string, ttl time.Duration) (granted bool, curHolder, curAddr string, err error)
+	ReleaseLease(name, holder string) (released bool, err error)
+}
+
+// LocalLeases adapts an in-process naming table to LeaseAPI.
+type LocalLeases struct{ N *orb.Naming }
+
+// AcquireLease implements LeaseAPI.
+func (l LocalLeases) AcquireLease(name, holder, addr string, ttl time.Duration) (bool, string, string, error) {
+	granted, h, a := l.N.AcquireLease(name, holder, addr, ttl)
+	return granted, h, a, nil
+}
+
+// ReleaseLease implements LeaseAPI.
+func (l LocalLeases) ReleaseLease(name, holder string) (bool, error) {
+	return l.N.ReleaseLease(name, holder), nil
+}
+
+// ManagerConfig configures one coordinator's lease manager.
+type ManagerConfig struct {
+	// ID names this coordinator as a lease holder; Addr is the dialable
+	// endpoint recorded with each lease (clients route requests to it)
+	// and the identity used for rendezvous preference, so it must match
+	// the address announced in the CoordTier member set.
+	ID   string
+	Addr string
+	// Partitions is the topology's partition count.
+	Partitions int
+	// TTL bounds each lease; Renew is the tick interval (must be well
+	// under TTL — the renewal has to land before the lease lapses).
+	TTL   time.Duration
+	Renew time.Duration
+	// Clock paces Run and anchors the self-fencing deadlines.
+	Clock timers.Clock
+	// Leases is the arbiter; Peers returns the live coordinator
+	// addresses (the CoordTier resolve set, self included).
+	Leases LeaseAPI
+	Peers  func() ([]string, error)
+	// OnAcquire mounts a freshly won partition (open its store, run
+	// scoped recovery, re-materialize its instances). An error abandons
+	// the acquisition: the lease is released so a healthy peer can take
+	// the partition. OnLose tears a partition down (stop its instances,
+	// unmount its store); it runs before any release, so the coordinator
+	// has stopped acting as owner by the time a peer can win the lease.
+	OnAcquire func(p int) error
+	OnLose    func(p int)
+}
+
+// Manager runs one coordinator's side of the partition-lease protocol.
+// Each Tick it renews the partitions it holds, self-fences any it can
+// no longer prove it holds, releases those whose preferred owner is a
+// different live peer (graceful rebalancing), and tries to acquire the
+// partitions it is the preferred owner of. All ownership transitions
+// funnel through OnAcquire/OnLose, so the engine above mounts and
+// unmounts partitions in lockstep with the leases.
+type Manager struct {
+	cfg ManagerConfig
+
+	mu sync.Mutex
+	// held maps held partitions to their self-fencing deadline: the
+	// local-clock instant after which, absent a successful renewal, this
+	// coordinator must stop acting as owner even without hearing the
+	// arbiter say so.
+	held   map[int]time.Time
+	closed bool
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+}
+
+// NewManager validates cfg and returns an idle manager (no leases held;
+// call Tick or Run).
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.ID == "" || cfg.Addr == "" {
+		return nil, fmt.Errorf("shard: manager needs an ID and an Addr")
+	}
+	if cfg.Partitions < 1 {
+		return nil, fmt.Errorf("shard: partition count %d < 1", cfg.Partitions)
+	}
+	if cfg.Leases == nil || cfg.Peers == nil {
+		return nil, fmt.Errorf("shard: manager needs Leases and Peers")
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 2 * time.Second
+	}
+	if cfg.Renew <= 0 || cfg.Renew >= cfg.TTL {
+		cfg.Renew = cfg.TTL / 3
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = timers.WallClock{}
+	}
+	return &Manager{
+		cfg:    cfg,
+		held:   make(map[int]time.Time),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}, nil
+}
+
+// Held returns the partitions currently held, ascending.
+func (m *Manager) Held() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, 0, len(m.held))
+	for p := range m.held {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Holds reports whether partition p is currently held and un-fenced.
+func (m *Manager) Holds(p int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	deadline, ok := m.held[p]
+	return ok && m.cfg.Clock.Now().Before(deadline)
+}
+
+// Tick runs one round of the protocol. It is synchronous and
+// serialized; Run calls it on every renew interval, and deterministic
+// harnesses (sim, experiments) call it directly under a FakeClock.
+func (m *Manager) Tick() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	peers, err := m.cfg.Peers()
+	if err != nil {
+		// Membership unreadable (naming unreachable): renew what we
+		// hold — the renewals will fail the same way and the fencing
+		// deadlines decide — but claim nothing new.
+		peers = nil
+	}
+	for p := 0; p < m.cfg.Partitions; p++ {
+		pref := Preferred(peers, p)
+		if deadline, ok := m.held[p]; ok {
+			m.tickHeldLocked(p, deadline, pref)
+		} else if pref == m.cfg.Addr {
+			m.tryAcquireLocked(p)
+		}
+	}
+}
+
+// tickHeldLocked renews, hands off, or fences one held partition.
+func (m *Manager) tickHeldLocked(p int, deadline time.Time, pref string) {
+	if pref != "" && pref != m.cfg.Addr {
+		// A different live peer is preferred: hand the partition off
+		// gracefully. Teardown first — only after this coordinator has
+		// stopped acting as owner may the lease go back to the pool.
+		m.loseLocked(p)
+		_, _ = m.cfg.Leases.ReleaseLease(LeaseName(p), m.cfg.ID)
+		return
+	}
+	// The fencing deadline is computed from the clock reading taken
+	// before the renewal request: however long the round trip takes, the
+	// local validity window can only be shorter than the arbiter's.
+	next := m.cfg.Clock.Now().Add(m.cfg.TTL)
+	granted, _, _, err := m.cfg.Leases.AcquireLease(LeaseName(p), m.cfg.ID, m.cfg.Addr, m.cfg.TTL)
+	switch {
+	case err == nil && granted:
+		m.held[p] = next
+	case err == nil && !granted:
+		// The arbiter says someone else holds it: we already lost.
+		m.loseLocked(p)
+	default:
+		// Renewal unreachable: keep acting as owner only inside the
+		// window the last successful renewal bought.
+		if !m.cfg.Clock.Now().Before(deadline) {
+			m.loseLocked(p)
+		}
+	}
+}
+
+// tryAcquireLocked claims one unheld partition this coordinator is the
+// preferred owner of.
+func (m *Manager) tryAcquireLocked(p int) {
+	deadline := m.cfg.Clock.Now().Add(m.cfg.TTL)
+	granted, _, _, err := m.cfg.Leases.AcquireLease(LeaseName(p), m.cfg.ID, m.cfg.Addr, m.cfg.TTL)
+	if err != nil || !granted {
+		return
+	}
+	if m.cfg.OnAcquire != nil {
+		if err := m.cfg.OnAcquire(p); err != nil {
+			// Mounting failed; don't sit on a partition we can't serve.
+			_, _ = m.cfg.Leases.ReleaseLease(LeaseName(p), m.cfg.ID)
+			return
+		}
+	}
+	m.held[p] = deadline
+}
+
+// loseLocked drops partition p and runs the teardown hook.
+func (m *Manager) loseLocked(p int) {
+	delete(m.held, p)
+	if m.cfg.OnLose != nil {
+		m.cfg.OnLose(p)
+	}
+}
+
+// Start launches Run on its own goroutine; Close (or Abandon) stops
+// it.
+func (m *Manager) Start() { go m.Run() }
+
+// Run ticks the protocol every Renew interval until Close. The first
+// tick is immediate, so a booting coordinator claims its partitions
+// without waiting out an interval.
+func (m *Manager) Run() {
+	defer close(m.doneCh)
+	m.Tick()
+	for {
+		wake := m.cfg.Clock.Wake(m.cfg.Clock.Now().Add(m.cfg.Renew))
+		select {
+		case <-wake:
+			m.Tick()
+		case <-m.stopCh:
+			return
+		}
+	}
+}
+
+// Abandon stops the manager the way a crash would: the run loop halts
+// and every held partition is forgotten without teardown or release.
+// The leases lapse at their TTL and a peer steals them — exactly the
+// sequence a SIGKILLed coordinator goes through. Harnesses (experiments,
+// load tools) use it to emulate coordinator death in-process.
+func (m *Manager) Abandon() {
+	m.stopOnce.Do(func() { close(m.stopCh) })
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.held = make(map[int]time.Time)
+}
+
+// Close stops Run (if running), tears down every held partition and
+// releases its lease. Safe to call whether or not Run was started.
+func (m *Manager) Close() {
+	m.stopOnce.Do(func() { close(m.stopCh) })
+	select {
+	case <-m.doneCh:
+	default:
+		// Run may never have been started; don't wait on it, just make
+		// sure no tick is in flight by taking the lock below.
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for p := range m.held {
+		m.loseLocked(p)
+		_, _ = m.cfg.Leases.ReleaseLease(LeaseName(p), m.cfg.ID)
+	}
+}

@@ -1,0 +1,117 @@
+// Package shard partitions workflow instances across a tier of
+// coordinator engines. Instances map to a fixed set of partitions by
+// consistent hash of the instance name; partitions map to live
+// coordinators by rendezvous hashing over the coordinator membership
+// set; and a coordinator's right to evaluate a partition's instances is
+// a lease handed out by the naming service (internal/orb/lease.go).
+// The three layers keep their jobs separate: the hash layer is pure and
+// stable, the preference layer is a deterministic function of who is
+// alive, and the lease layer is the only mutable arbiter.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/url"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// CoordTier is the naming-service member set through which coordinator
+// engines announce themselves (heartbeat-kept, like an executor pool
+// location). The live resolve set of this name is the input to
+// Preferred.
+const CoordTier = "coordinators"
+
+// DefaultPartitions is the partition count used when a topology does
+// not choose one. Partition count is a deployment constant: it must be
+// identical across every coordinator sharing a state root (keys route
+// by hash mod partitions), so it is set once at boot, not negotiated.
+const DefaultPartitions = 8
+
+// PartitionOf maps an instance name to its partition by FNV-1a hash.
+// Every layer of the system — key routing, lease naming, request
+// routing — derives ownership from this one function, so an instance
+// belongs to exactly one partition everywhere.
+func PartitionOf(instance string, partitions int) int {
+	if partitions <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(instance))
+	return int(h.Sum32() % uint32(partitions))
+}
+
+// LeaseName is the naming-service lease name guarding partition p.
+func LeaseName(p int) string { return fmt.Sprintf("wf-partition/%d", p) }
+
+// PartitionDir is the subdirectory holding partition p's durable state
+// under a shared state root. Each partition gets its own store (WAL
+// segment files are single-writer), and the lease is what ensures at
+// most one coordinator has a partition's store open.
+func PartitionDir(p int) string { return fmt.Sprintf("part-%03d", p) }
+
+// Preferred picks the preferred owner of partition p among the live
+// coordinator addresses by rendezvous (highest-random-weight) hashing:
+// each (peer, partition) pair gets a hash weight, the max wins. Any two
+// nodes that agree on the live set agree on the assignment, no
+// coordination needed; when a peer dies only its partitions move, and
+// when it returns exactly those move back. Returns "" for an empty
+// peer set.
+func Preferred(peers []string, p int) string {
+	best, bestW := "", uint64(0)
+	for _, peer := range peers {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(peer))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(fmt.Sprintf("%d", p)))
+		w := mix64(h.Sum64())
+		if best == "" || w > bestW || (w == bestW && peer < best) {
+			best, bestW = peer, w
+		}
+	}
+	return best
+}
+
+// mix64 is a finalizing avalanche (splitmix64's) over the FNV weight:
+// raw FNV of near-identical short strings ("a:1" vs "b:2") does not mix
+// enough for fair rendezvous comparisons, and an unfair weight would
+// concentrate partitions on one coordinator.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// InstanceOf extracts the owning instance from a store key, reporting
+// whether the key is instance-scoped. Two namespaces route: engine
+// state ("inst/<instance>/...") and transaction intentions
+// ("txlog/<tx>/<url-escaped object id>", whose object ids are
+// themselves engine keys). Decision records ("txdecision/<tx>") and
+// service metadata ("sched/...") are not instance-scoped.
+func InstanceOf(id store.ID) (string, bool) {
+	s := string(id)
+	if rest, ok := strings.CutPrefix(s, "inst/"); ok {
+		inst, _, _ := strings.Cut(rest, "/")
+		if inst != "" {
+			return inst, true
+		}
+		return "", false
+	}
+	if rest, ok := strings.CutPrefix(s, "txlog/"); ok {
+		_, obj, found := strings.Cut(rest, "/")
+		if !found {
+			return "", false
+		}
+		unescaped, err := url.QueryUnescape(obj)
+		if err != nil {
+			return "", false
+		}
+		return InstanceOf(store.ID(unescaped))
+	}
+	return "", false
+}

@@ -1,0 +1,297 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// ErrNotMounted is returned when an operation routes to a partition
+// this coordinator does not currently own. Callers above the store
+// (execsvc's ownership guard) normally reject foreign instances before
+// any store traffic; this error is the backstop that keeps a routing
+// bug from silently writing into another owner's partition.
+var ErrNotMounted = errors.New("partition not mounted")
+
+// PartitionedStore multiplexes one store.Store view over the per-
+// partition stores a coordinator currently holds leases for. Keys route
+// by the instance they belong to (InstanceOf → PartitionOf); partitions
+// mount when a lease is acquired (after scoped recovery) and unmount
+// when it is lost. Every store capability the engine stack relies on —
+// Batcher group commit, LazyBatcher cleanup — is preserved per
+// partition.
+//
+// Routing rules:
+//   - instance-scoped keys ("inst/...", "txlog/...") go to their
+//     partition's store;
+//   - a batch's non-routable ops (the "txdecision/<tx>" record of a
+//     commit) inherit the partition of the batch's routable ops, so a
+//     transaction's intentions and decision always land in the same
+//     store and its recovery sees them together;
+//   - a decision-only batch (a transaction with no logged intentions)
+//     lands in the lowest mounted partition — see unroutedBatch;
+//   - a non-routable single Delete broadcasts to every mounted
+//     partition (transaction-log cleanup of a decision record);
+//   - a non-routable Read tries every mounted partition; List merges
+//     across them.
+//
+// Non-routable single-key writes are refused: nothing in the sharded
+// deployment writes unpartitioned state (the instantiation scheduler,
+// whose "sched/" records are global, stays on the single-coordinator
+// topology).
+type PartitionedStore struct {
+	parts   int
+	mu      sync.RWMutex
+	mounted map[int]store.Store
+}
+
+var (
+	_ store.Store       = (*PartitionedStore)(nil)
+	_ store.Batcher     = (*PartitionedStore)(nil)
+	_ store.LazyBatcher = (*PartitionedStore)(nil)
+)
+
+// NewPartitionedStore returns a store view over partitions partitions,
+// none mounted.
+func NewPartitionedStore(partitions int) *PartitionedStore {
+	if partitions < 1 {
+		partitions = 1
+	}
+	return &PartitionedStore{parts: partitions, mounted: make(map[int]store.Store)}
+}
+
+// Partitions returns the topology's partition count.
+func (ps *PartitionedStore) Partitions() int { return ps.parts }
+
+// Mount attaches partition p's store (called after the lease is won and
+// the partition's state has been recovered onto st).
+func (ps *PartitionedStore) Mount(p int, st store.Store) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.mounted[p] = st
+}
+
+// Unmount detaches partition p, returning its store so the caller can
+// close it (lease lost or released).
+func (ps *PartitionedStore) Unmount(p int) store.Store {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	st := ps.mounted[p]
+	delete(ps.mounted, p)
+	return st
+}
+
+// Mounted lists the currently mounted partitions in ascending order.
+func (ps *PartitionedStore) Mounted() []int {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	out := make([]int, 0, len(ps.mounted))
+	for p := range ps.mounted {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// route resolves id to its partition, reporting whether the key is
+// instance-scoped at all.
+func (ps *PartitionedStore) route(id store.ID) (int, bool) {
+	inst, ok := InstanceOf(id)
+	if !ok {
+		return 0, false
+	}
+	return PartitionOf(inst, ps.parts), true
+}
+
+// partFor returns the mounted store for a routable key.
+func (ps *PartitionedStore) partFor(id store.ID) (store.Store, int, bool, error) {
+	p, routable := ps.route(id)
+	if !routable {
+		return nil, 0, false, nil
+	}
+	ps.mu.RLock()
+	st := ps.mounted[p]
+	ps.mu.RUnlock()
+	if st == nil {
+		return nil, p, true, fmt.Errorf("shard: key %s routes to partition %d: %w", id, p, ErrNotMounted)
+	}
+	return st, p, true, nil
+}
+
+// snapshot returns the mounted stores in partition order.
+func (ps *PartitionedStore) snapshot() []store.Store {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	parts := make([]int, 0, len(ps.mounted))
+	for p := range ps.mounted {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	out := make([]store.Store, len(parts))
+	for i, p := range parts {
+		out[i] = ps.mounted[p]
+	}
+	return out
+}
+
+// Read implements store.Store.
+func (ps *PartitionedStore) Read(id store.ID) ([]byte, error) {
+	st, _, routable, err := ps.partFor(id)
+	if err != nil {
+		return nil, err
+	}
+	if routable {
+		return st.Read(id)
+	}
+	for _, st := range ps.snapshot() {
+		data, err := st.Read(id)
+		if err == nil {
+			return data, nil
+		}
+		if !errors.Is(err, store.ErrNotFound) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("read %s: %w", id, store.ErrNotFound)
+}
+
+// Write implements store.Store.
+func (ps *PartitionedStore) Write(id store.ID, data []byte) error {
+	st, _, routable, err := ps.partFor(id)
+	if err != nil {
+		return err
+	}
+	if !routable {
+		return fmt.Errorf("shard: write of non-partitioned key %s refused", id)
+	}
+	return st.Write(id, data)
+}
+
+// Delete implements store.Store. A non-routable delete (a transaction
+// decision record) broadcasts across the mounted partitions: the record
+// lives wherever its transaction committed, and deleting it from stores
+// that never had it is a no-op.
+func (ps *PartitionedStore) Delete(id store.ID) error {
+	st, _, routable, err := ps.partFor(id)
+	if err != nil {
+		return err
+	}
+	if routable {
+		return st.Delete(id)
+	}
+	found := false
+	for _, st := range ps.snapshot() {
+		switch err := st.Delete(id); {
+		case err == nil:
+			found = true
+		case !errors.Is(err, store.ErrNotFound):
+			return err
+		}
+	}
+	if !found {
+		return fmt.Errorf("delete %s: %w", id, store.ErrNotFound)
+	}
+	return nil
+}
+
+// List implements store.Store, merging the mounted partitions' listings
+// in lexical order.
+func (ps *PartitionedStore) List(prefix store.ID) ([]store.ID, error) {
+	var out []store.ID
+	for _, st := range ps.snapshot() {
+		ids, err := st.List(prefix)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ids...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// batchTarget resolves the single partition a batch belongs to: every
+// routable op must agree (batches are per-instance by construction —
+// one flush, one transaction), and non-routable ops (decision records)
+// inherit that partition. A batch with no routable ops at all has no
+// home and is refused, except the all-deletes case which broadcasts.
+func (ps *PartitionedStore) batchTarget(ops []store.BatchOp) (store.Store, bool, error) {
+	target, have := -1, false
+	for _, op := range ops {
+		p, routable := ps.route(op.ID)
+		if !routable {
+			continue
+		}
+		if have && p != target {
+			return nil, false, fmt.Errorf("shard: batch spans partitions %d and %d (key %s)", target, p, op.ID)
+		}
+		target, have = p, true
+	}
+	if !have {
+		return nil, false, nil
+	}
+	ps.mu.RLock()
+	st := ps.mounted[target]
+	ps.mu.RUnlock()
+	if st == nil {
+		return nil, false, fmt.Errorf("shard: batch routes to partition %d: %w", target, ErrNotMounted)
+	}
+	return st, true, nil
+}
+
+// ApplyBatch implements store.Batcher.
+func (ps *PartitionedStore) ApplyBatch(ops []store.BatchOp) error {
+	st, routed, err := ps.batchTarget(ops)
+	if err != nil {
+		return err
+	}
+	if routed {
+		return store.ApplyBatch(st, ops)
+	}
+	return ps.unroutedBatch(ops, store.ApplyBatch)
+}
+
+// ApplyBatchLazy implements store.LazyBatcher.
+func (ps *PartitionedStore) ApplyBatchLazy(ops []store.BatchOp) error {
+	st, routed, err := ps.batchTarget(ops)
+	if err != nil {
+		return err
+	}
+	if routed {
+		return store.ApplyBatchBestEffort(st, ops)
+	}
+	return ps.unroutedBatch(ops, store.ApplyBatchBestEffort)
+}
+
+// unroutedBatch handles a batch with no routable op. Pure cleanup
+// (deletes of decision records) broadcasts to every mounted partition.
+// A batch that writes — the decision record of a transaction with no
+// logged intentions, i.e. a transaction whose effects were all
+// in-memory — lands in the lowest mounted partition: such a record is
+// recovery-inert (there are no intentions for a decision to roll
+// forward), it only needs to exist somewhere until its cleanup delete
+// broadcasts.
+func (ps *PartitionedStore) unroutedBatch(ops []store.BatchOp, apply func(store.Store, []store.BatchOp) error) error {
+	allDeletes := true
+	for _, op := range ops {
+		if !op.Delete {
+			allDeletes = false
+			break
+		}
+	}
+	stores := ps.snapshot()
+	if allDeletes {
+		for _, st := range stores {
+			if err := apply(st, ops); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if len(stores) == 0 {
+		return fmt.Errorf("shard: batch of non-partitioned keys with no partition mounted: %w", ErrNotMounted)
+	}
+	return apply(stores[0], ops)
+}

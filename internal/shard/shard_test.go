@@ -1,0 +1,363 @@
+package shard_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/orb"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/timers"
+)
+
+func TestPartitionOfStableAndInRange(t *testing.T) {
+	for _, name := range []string{"order-1", "order-2", "cc", "trip", "a/b"} {
+		p := shard.PartitionOf(name, 8)
+		if p < 0 || p >= 8 {
+			t.Fatalf("PartitionOf(%q, 8) = %d out of range", name, p)
+		}
+		if q := shard.PartitionOf(name, 8); q != p {
+			t.Fatalf("PartitionOf(%q) unstable: %d then %d", name, p, q)
+		}
+	}
+	if shard.PartitionOf("anything", 1) != 0 {
+		t.Fatal("single-partition topology must map everything to 0")
+	}
+	// Sanity: 256 instances over 8 partitions leave no partition empty.
+	seen := make(map[int]int)
+	for i := 0; i < 256; i++ {
+		seen[shard.PartitionOf(string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune('A'+i%13)), 8)]++
+	}
+	for p := 0; p < 8; p++ {
+		if seen[p] == 0 {
+			t.Fatalf("partition %d got no instances out of 256 (skewed hash?): %v", p, seen)
+		}
+	}
+}
+
+func TestPreferredRendezvousMinimalDisruption(t *testing.T) {
+	peers := []string{"addr-a", "addr-b", "addr-c"}
+	const parts = 32
+	owner := make([]string, parts)
+	byPeer := make(map[string]int)
+	for p := 0; p < parts; p++ {
+		owner[p] = shard.Preferred(peers, p)
+		byPeer[owner[p]]++
+	}
+	for _, peer := range peers {
+		if byPeer[peer] == 0 {
+			t.Fatalf("peer %s owns nothing across %d partitions: %v", peer, parts, byPeer)
+		}
+	}
+	// Removing one peer moves ONLY that peer's partitions.
+	survivors := []string{"addr-a", "addr-c"}
+	for p := 0; p < parts; p++ {
+		after := shard.Preferred(survivors, p)
+		if owner[p] != "addr-b" && after != owner[p] {
+			t.Fatalf("partition %d moved from %s to %s though its owner survived", p, owner[p], after)
+		}
+		if owner[p] == "addr-b" && (after != "addr-a" && after != "addr-c") {
+			t.Fatalf("orphaned partition %d went to %q", p, after)
+		}
+	}
+	if shard.Preferred(nil, 0) != "" {
+		t.Fatal("empty peer set must prefer nobody")
+	}
+}
+
+func TestInstanceOfRouting(t *testing.T) {
+	cases := []struct {
+		id   store.ID
+		inst string
+		ok   bool
+	}{
+		{"inst/cc/run/app", "cc", true},
+		{"inst/cc/meta", "cc", true},
+		{"inst/order-7/timer/a%2Fb", "order-7", true},
+		{"txlog/tx12/inst%2Fcc%2Frun%2Fapp", "cc", true},
+		{"txdecision/tx12", "", false},
+		{"sched/nightly", "", false},
+		{"inst/", "", false},
+	}
+	for _, c := range cases {
+		inst, ok := shard.InstanceOf(c.id)
+		if inst != c.inst || ok != c.ok {
+			t.Fatalf("InstanceOf(%s) = (%q, %v), want (%q, %v)", c.id, inst, ok, c.inst, c.ok)
+		}
+	}
+}
+
+func TestPartitionedStoreRoutingAndBatches(t *testing.T) {
+	const parts = 4
+	ps := shard.NewPartitionedStore(parts)
+	backing := make([]*store.MemStore, parts)
+	for p := 0; p < parts; p++ {
+		backing[p] = store.NewMemStore()
+		ps.Mount(p, backing[p])
+	}
+	instA, instB := "cc", "trip"
+	pa, pb := shard.PartitionOf(instA, parts), shard.PartitionOf(instB, parts)
+	if pa == pb {
+		t.Fatalf("test instances hash to the same partition (%d); pick different names", pa)
+	}
+
+	// Writes land in the owning partition's store.
+	keyA := store.ID("inst/" + instA + "/meta")
+	keyB := store.ID("inst/" + instB + "/meta")
+	if err := ps.Write(keyA, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Write(keyB, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := backing[pa].Read(keyA); err != nil {
+		t.Fatalf("keyA not in partition %d: %v", pa, err)
+	}
+	if _, err := backing[pb].Read(keyB); err != nil {
+		t.Fatalf("keyB not in partition %d: %v", pb, err)
+	}
+
+	// A commit batch: intentions (routable through the escaping) and the
+	// decision record (not routable) must land in the SAME store.
+	batch := []store.BatchOp{
+		{ID: store.ID("txlog/tx1/inst%2F" + instA + "%2Frun%2Fapp"), Data: []byte("intent")},
+		{ID: store.ID("txdecision/tx1"), Data: []byte("committed")},
+	}
+	if err := ps.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := backing[pa].Read("txdecision/tx1"); err != nil {
+		t.Fatal("decision record did not inherit its intentions' partition")
+	}
+
+	// The decision's later single-key delete has no route: it broadcasts.
+	if err := ps.Delete("txdecision/tx1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := backing[pa].Read("txdecision/tx1"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatal("broadcast delete missed the decision record")
+	}
+
+	// List merges across partitions in lexical order.
+	ids, err := ps.List("inst/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []store.ID{keyA, keyB}) && !reflect.DeepEqual(ids, []store.ID{keyB, keyA}) {
+		if len(ids) != 2 {
+			t.Fatalf("merged List = %v", ids)
+		}
+	}
+	if ids[0] > ids[1] {
+		t.Fatalf("merged List not sorted: %v", ids)
+	}
+
+	// Cross-partition batches cannot happen in this engine (batches are
+	// per-instance); the store refuses rather than splitting silently.
+	if err := ps.ApplyBatch([]store.BatchOp{
+		{ID: keyA, Data: []byte("x")},
+		{ID: keyB, Data: []byte("y")},
+	}); err == nil {
+		t.Fatal("cross-partition batch accepted")
+	}
+
+	// An unmounted partition is a hard error, not a silent drop.
+	ps.Unmount(pa)
+	if err := ps.Write(keyA, []byte("z")); !errors.Is(err, shard.ErrNotMounted) {
+		t.Fatalf("write to unmounted partition: %v", err)
+	}
+	if _, err := ps.Read(keyA); !errors.Is(err, shard.ErrNotMounted) {
+		t.Fatalf("read of unmounted partition: %v", err)
+	}
+}
+
+// managerPair wires two managers to one in-process naming table on one
+// FakeClock, recording mount/unmount transitions.
+type mountLog struct {
+	ps *shard.PartitionedStore
+}
+
+func (ml *mountLog) onAcquire(p int) error {
+	ml.ps.Mount(p, store.NewMemStore())
+	return nil
+}
+
+func (ml *mountLog) onLose(p int) { ml.ps.Unmount(p) }
+
+func newManager(t *testing.T, id, addr string, naming *orb.Naming, clk timers.Clock, peers func() ([]string, error)) (*shard.Manager, *shard.PartitionedStore) {
+	t.Helper()
+	ps := shard.NewPartitionedStore(8)
+	ml := &mountLog{ps: ps}
+	m, err := shard.NewManager(shard.ManagerConfig{
+		ID: id, Addr: addr, Partitions: 8,
+		TTL: 4 * time.Second, Renew: time.Second,
+		Clock: clk, Leases: shard.LocalLeases{N: naming}, Peers: peers,
+		OnAcquire: ml.onAcquire, OnLose: ml.onLose,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ps
+}
+
+func TestManagerSplitsPartitionsByPreference(t *testing.T) {
+	clk := timers.NewFakeClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	naming := orb.NewNaming()
+	naming.SetClock(clk.Now)
+	live := func() ([]string, error) { return []string{"a:1", "b:2"}, nil }
+	ma, psa := newManager(t, "coord-a", "a:1", naming, clk, live)
+	mb, psb := newManager(t, "coord-b", "b:2", naming, clk, live)
+	ma.Tick()
+	mb.Tick()
+
+	helds := map[int]int{}
+	for _, p := range ma.Held() {
+		helds[p]++
+	}
+	for _, p := range mb.Held() {
+		helds[p]++
+	}
+	if len(helds) != 8 {
+		t.Fatalf("only %d of 8 partitions owned: a=%v b=%v", len(helds), ma.Held(), mb.Held())
+	}
+	for p, n := range helds {
+		if n != 1 {
+			t.Fatalf("partition %d held by %d coordinators", p, n)
+		}
+		want := shard.Preferred([]string{"a:1", "b:2"}, p)
+		holder, _, held := naming.LeaseHolder(shard.LeaseName(p))
+		if !held {
+			t.Fatalf("no lease recorded for partition %d", p)
+		}
+		if (want == "a:1") != (holder == "coord-a") {
+			t.Fatalf("partition %d: preferred %s but lease held by %s", p, want, holder)
+		}
+	}
+	if !reflect.DeepEqual(psa.Mounted(), ma.Held()) || !reflect.DeepEqual(psb.Mounted(), mb.Held()) {
+		t.Fatalf("mounts out of sync with leases: a %v/%v b %v/%v",
+			psa.Mounted(), ma.Held(), psb.Mounted(), mb.Held())
+	}
+}
+
+func TestManagerFailoverAfterMissedRenewals(t *testing.T) {
+	clk := timers.NewFakeClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	naming := orb.NewNaming()
+	naming.SetClock(clk.Now)
+	// Membership tracks who is "alive" in the test's eyes.
+	alive := map[string]bool{"a:1": true, "b:2": true}
+	live := func() ([]string, error) {
+		var out []string
+		for _, a := range []string{"a:1", "b:2"} {
+			if alive[a] {
+				out = append(out, a)
+			}
+		}
+		return out, nil
+	}
+	ma, _ := newManager(t, "coord-a", "a:1", naming, clk, live)
+	mb, psb := newManager(t, "coord-b", "b:2", naming, clk, live)
+	ma.Tick()
+	mb.Tick()
+	lost := ma.Held()
+	if len(lost) == 0 {
+		t.Fatal("coordinator a owns nothing; test needs both to own partitions")
+	}
+
+	// a dies: no more ticks from it, membership drops it. Its leases
+	// must lapse before b may take over — immediately after death, b
+	// still owns only its own partitions.
+	alive["a:1"] = false
+	mb.Tick()
+	for _, p := range lost {
+		if psb.Mounted() != nil {
+			for _, q := range psb.Mounted() {
+				if q == p {
+					t.Fatalf("partition %d taken over before the lease lapsed", p)
+				}
+			}
+		}
+	}
+	// Past the TTL, b's next tick steals everything.
+	clk.Advance(5 * time.Second)
+	mb.Tick()
+	if got := mb.Held(); len(got) != 8 {
+		t.Fatalf("survivor holds %v, want all 8 partitions", got)
+	}
+	if got := psb.Mounted(); len(got) != 8 {
+		t.Fatalf("survivor mounted %v, want all 8 partitions", got)
+	}
+	// The dead coordinator self-fences: its local validity windows have
+	// lapsed even though nobody told it anything.
+	for _, p := range lost {
+		if ma.Holds(p) {
+			t.Fatalf("dead coordinator still believes it holds partition %d", p)
+		}
+	}
+}
+
+func TestManagerGracefulRebalanceOnRejoin(t *testing.T) {
+	clk := timers.NewFakeClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	naming := orb.NewNaming()
+	naming.SetClock(clk.Now)
+	alive := map[string]bool{"a:1": true}
+	live := func() ([]string, error) {
+		var out []string
+		for _, a := range []string{"a:1", "b:2"} {
+			if alive[a] {
+				out = append(out, a)
+			}
+		}
+		return out, nil
+	}
+	ma, _ := newManager(t, "coord-a", "a:1", naming, clk, live)
+	mb, _ := newManager(t, "coord-b", "b:2", naming, clk, live)
+	ma.Tick()
+	if got := ma.Held(); len(got) != 8 {
+		t.Fatalf("sole coordinator holds %v, want all 8", got)
+	}
+
+	// b joins. a's next tick releases b's preferred partitions
+	// (teardown before release), and b's tick claims them.
+	alive["b:2"] = true
+	clk.Advance(time.Second)
+	ma.Tick()
+	mb.Tick()
+	wantB := 0
+	for p := 0; p < 8; p++ {
+		if shard.Preferred([]string{"a:1", "b:2"}, p) == "b:2" {
+			wantB++
+		}
+	}
+	if len(mb.Held()) != wantB || len(ma.Held()) != 8-wantB {
+		t.Fatalf("after rejoin: a=%v b=%v, want split %d/%d", ma.Held(), mb.Held(), 8-wantB, wantB)
+	}
+	// No partition is double-held.
+	for _, p := range ma.Held() {
+		for _, q := range mb.Held() {
+			if p == q {
+				t.Fatalf("partition %d double-held after rebalance", p)
+			}
+		}
+	}
+}
+
+func TestManagerCloseReleasesEverything(t *testing.T) {
+	clk := timers.NewFakeClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	naming := orb.NewNaming()
+	naming.SetClock(clk.Now)
+	live := func() ([]string, error) { return []string{"a:1"}, nil }
+	ma, psa := newManager(t, "coord-a", "a:1", naming, clk, live)
+	ma.Tick()
+	if len(ma.Held()) != 8 {
+		t.Fatalf("holds %v", ma.Held())
+	}
+	ma.Close()
+	if len(ma.Held()) != 0 || len(psa.Mounted()) != 0 {
+		t.Fatalf("after Close: held=%v mounted=%v", ma.Held(), psa.Mounted())
+	}
+	if got := naming.Leases(); len(got) != 0 {
+		t.Fatalf("leases survive Close: %v", got)
+	}
+}

@@ -4,17 +4,40 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/persist"
 	"repro/internal/registry"
 	"repro/internal/script/sema"
+	"repro/internal/shard"
+	"repro/internal/txn"
 )
+
+// hostFor resolves the coordinator slot that must run instance id: slot
+// 0 in single-coordinator worlds, the live owner of the instance's
+// partition in sharded ones.
+func (w *World) hostFor(id string) (int, error) {
+	if !w.multi {
+		if !w.CoordinatorAlive(0) {
+			return 0, errors.New("sim: coordinator is down")
+		}
+		return 0, nil
+	}
+	p := shard.PartitionOf(id, w.parts)
+	o := w.owner[p]
+	if o < 0 || !w.CoordinatorAlive(o) {
+		return 0, fmt.Errorf("sim: partition %d (instance %q) has no live coordinator", p, id)
+	}
+	return o, nil
+}
 
 // Instantiate creates an engine instance of a schema previously
 // registered with Compile. root optionally names the top-level task
-// (empty selects the schema's single root).
+// (empty selects the schema's single root). In sharded worlds the
+// instance lands on its partition's owning coordinator.
 func (w *World) Instantiate(id, schemaName, root string) error {
 	w.mu.Lock()
 	sch := w.compiled[schemaName]
@@ -26,18 +49,19 @@ func (w *World) Instantiate(id, schemaName, root string) error {
 	if dup {
 		return fmt.Errorf("sim: instantiate %s: duplicate instance id", id)
 	}
-	if w.eng == nil {
-		return errors.New("sim: coordinator is down")
+	host, err := w.hostFor(id)
+	if err != nil {
+		return err
 	}
 	w.action("instantiate %s schema=%s", id, schemaName)
 	// Track before the engine starts the controller: Park/Wake
 	// callbacks must find the entry from the first iteration.
 	w.mu.Lock()
-	w.insts[id] = &instTrack{}
+	w.insts[id] = &instTrack{host: host}
 	w.schemas[id] = sch
 	w.order = append(w.order, id)
 	w.mu.Unlock()
-	inst, err := w.eng.Instantiate(id, sch, root)
+	inst, err := w.coords[host].eng.Instantiate(id, sch, root)
 	if err != nil {
 		w.mu.Lock()
 		delete(w.insts, id)
@@ -364,24 +388,36 @@ func (w *World) RecoverNaming() error {
 	return w.settleAndRecord()
 }
 
-// stopCoordinator stops every instance controller, closes the engine
-// (and its timing wheel), unblocks orphaned executor-side handlers and
-// drops the coordinator stack. The store survives.
-func (w *World) stopCoordinator() {
+// stopCoordinator stops coordinator slot i: every instance controller
+// it hosts, the engine (and its timing wheel), its pool invoker, and
+// the gated activations it owned. The store survives.
+func (w *World) stopCoordinator(i int) {
+	c := w.coords[i]
 	w.mu.Lock()
 	var tracked []*engine.Instance
-	for _, t := range w.insts {
+	hosted := make(map[string]bool)
+	for id, t := range w.insts {
+		if t.host != i {
+			continue
+		}
+		hosted[id] = true
 		if t.inst != nil {
 			tracked = append(tracked, t.inst)
 		}
 	}
-	w.insts = make(map[string]*instTrack)
-	w.armed = make(map[string]time.Time)
+	for id := range hosted {
+		delete(w.insts, id)
+		for key := range w.armed {
+			if strings.HasPrefix(key, id+"|") {
+				delete(w.armed, key)
+			}
+		}
+	}
 	w.mu.Unlock()
 	for _, inst := range tracked {
 		inst.Stop()
 	}
-	w.eng.Close()
+	c.eng.Close()
 	// Retire the invoker BEFORE unblocking executor-side handlers: the
 	// old generation's dispatch workers are still parked inside Invoke,
 	// and their wakeup (the release reply, or a transport error if a
@@ -389,11 +425,13 @@ func (w *World) stopCoordinator() {
 	// over onto another executor — a zombie re-dispatch would gate an
 	// activation nobody tracks, colliding with the recovered
 	// coordinator's own dispatch of the same activation.
-	if w.inv != nil {
-		w.inv.Close()
+	if c.inv != nil {
+		c.inv.Close()
 	}
-	// Purge the whole gated frontier synchronously. Local handlers do
-	// wake through their cancelled run contexts, but that wakeup is
+	// Purge the dead coordinator's slice of the gated frontier
+	// synchronously: its own local handlers (where == its name) and the
+	// executor-side handlers of the instances it hosted. Local handlers
+	// do wake through their cancelled run contexts, but that wakeup is
 	// asynchronous — the engine worker does not wait for the
 	// implementation goroutine — so leaving their entries to self-clean
 	// would race the kill-time frontier snapshot and make the trace's
@@ -402,12 +440,15 @@ func (w *World) stopCoordinator() {
 	// below unblocks them; their replies land on clients nobody is
 	// waiting for. Every pre-kill dispatch has already gated (the settle
 	// barrier equates in-flight and gated counts before each action), so
-	// nothing re-publishes after this purge.
+	// nothing re-publishes after this purge. Surviving coordinators'
+	// entries are untouched.
 	w.mu.Lock()
 	var victims []*gateEntry
 	for k, e := range w.gate {
-		delete(w.gate, k)
-		victims = append(victims, e)
+		if k.where == c.name || hosted[k.inst] {
+			delete(w.gate, k)
+			victims = append(victims, e)
+		}
 	}
 	w.activity++
 	w.cond.Broadcast()
@@ -415,33 +456,136 @@ func (w *World) stopCoordinator() {
 	for _, e := range victims {
 		e.release <- releaseCmd{err: errors.New("sim: coordinator crashed")}
 	}
-	w.inv = nil
-	w.eng = nil
-	w.preg = nil
+	c.alive = false
+	c.inv = nil
+	c.eng = nil
+	c.preg = nil
+	c.ps = nil
 }
 
-// CrashCoordinator kills the coordinator process: controllers stop,
+// takeoverPartition moves partition p onto coordinator slot idx,
+// driving the production takeover sequence: per-partition WAL
+// roll-forward with a throwaway registry, mount into the owner's
+// partitioned store, then re-materialization of every persisted
+// instance of the partition through the real engine recovery path.
+// Returns how many instances were re-materialized.
+func (w *World) takeoverPartition(idx, p int) (int, error) {
+	preg := persist.NewRegistry(w.pstores[p], txn.NewManager(w.pstores[p]), nil)
+	if _, err := preg.Recover(); err != nil {
+		return 0, fmt.Errorf("sim: recover partition %d: %w", p, err)
+	}
+	c := w.coords[idx]
+	c.ps.Mount(p, w.pstores[p])
+	w.mu.Lock()
+	ids := append([]string(nil), w.order...)
+	w.mu.Unlock()
+	n := 0
+	for _, id := range ids {
+		if shard.PartitionOf(id, w.parts) != p {
+			continue
+		}
+		w.mu.Lock()
+		_, live := w.insts[id]
+		if !live {
+			w.insts[id] = &instTrack{host: idx}
+		}
+		w.mu.Unlock()
+		if live {
+			continue
+		}
+		inst, err := c.eng.Recover(id, sema.CompileSource)
+		if err != nil {
+			return n, fmt.Errorf("sim: recover %s on %s: %w", id, c.name, err)
+		}
+		w.setInstance(id, inst)
+		n++
+	}
+	return n, nil
+}
+
+// failover reassigns every partition the dead coordinator slot owned to
+// the rendezvous-preferred survivor, in ascending partition order — the
+// deterministic outcome of the production lease race. With no survivor
+// the partition is orphaned until a coordinator rejoins.
+func (w *World) failover(dead int) error {
+	for p := 0; p < w.parts; p++ {
+		if w.owner[p] != dead {
+			continue
+		}
+		next := w.preferredOwner(p, nil)
+		w.owner[p] = next
+		if next < 0 {
+			w.action("partition %d orphaned (no live coordinator)", p)
+			continue
+		}
+		n, err := w.takeoverPartition(next, p)
+		if err != nil {
+			return err
+		}
+		w.action("takeover partition %d -> %s (%d instances re-materialized)", p, w.coordName(next), n)
+	}
+	return nil
+}
+
+// CrashCoordinator kills coordinator slot i: controllers stop,
 // in-flight activations are abandoned (durable state — run states,
-// timer records — survives in the store), executors keep running.
-func (w *World) CrashCoordinator() error {
-	if w.eng == nil {
+// timer records — survives in the store), executors keep running. In
+// sharded worlds the survivors immediately take the dead slot's
+// partitions over and re-materialize its instances.
+func (w *World) CrashCoordinator(i int) error {
+	if i < 0 || i >= len(w.coords) {
+		return fmt.Errorf("sim: no coordinator %d", i)
+	}
+	if !w.coords[i].alive {
 		return errors.New("sim: coordinator is already down")
 	}
-	w.action("kill coordinator")
-	w.stopCoordinator()
+	if w.multi {
+		w.action("kill coordinator %d (%s)", i, w.coordName(i))
+	} else {
+		w.action("kill coordinator")
+	}
+	w.stopCoordinator(i)
+	if w.multi {
+		if err := w.failover(i); err != nil {
+			return err
+		}
+	}
 	return w.settleAndRecord()
 }
 
-// RecoverCoordinator boots a fresh coordinator over the surviving
+// RecoverCoordinator reboots coordinator slot i over the surviving
 // store and drives the real recovery paths: WAL roll-forward, schema
 // recompilation, run-state reload, delay re-arming at original absolute
 // deadlines, and re-activation of implementations that were executing.
-func (w *World) RecoverCoordinator() error {
-	if w.eng != nil {
+// In sharded worlds the rejoined coordinator claims only orphaned
+// partitions (live owners keep theirs, as with production leases).
+func (w *World) RecoverCoordinator(i int) error {
+	if i < 0 || i >= len(w.coords) {
+		return fmt.Errorf("sim: no coordinator %d", i)
+	}
+	if w.coords[i].alive {
 		return errors.New("sim: coordinator is already up")
 	}
+	if w.multi {
+		w.action("recover coordinator %d (%s)", i, w.coordName(i))
+		if err := w.bootCoordinator(i, false); err != nil {
+			return err
+		}
+		for p := 0; p < w.parts; p++ {
+			if w.owner[p] != -1 {
+				continue
+			}
+			w.owner[p] = i
+			n, err := w.takeoverPartition(i, p)
+			if err != nil {
+				return err
+			}
+			w.action("takeover partition %d -> %s (%d instances re-materialized)", p, w.coordName(i), n)
+		}
+		return w.settleAndRecord()
+	}
 	w.action("recover coordinator")
-	if err := w.bootCoordinator(true); err != nil {
+	if err := w.bootCoordinator(i, true); err != nil {
 		return err
 	}
 	w.mu.Lock()
@@ -451,7 +595,7 @@ func (w *World) RecoverCoordinator() error {
 		w.mu.Lock()
 		w.insts[id] = &instTrack{}
 		w.mu.Unlock()
-		inst, err := w.eng.Recover(id, sema.CompileSource)
+		inst, err := w.coords[i].eng.Recover(id, sema.CompileSource)
 		if err != nil {
 			return fmt.Errorf("sim: recover %s: %w", id, err)
 		}
@@ -478,9 +622,13 @@ func (w *World) Abort(id, path, outcome string) error {
 		return err
 	}
 	w.mu.Lock()
+	hostName := ""
+	if t, ok := w.insts[id]; ok {
+		hostName = w.coordName(t.host)
+	}
 	var victims []*gateEntry
 	for k, e := range w.gate {
-		if k.inst == id && k.path == path && k.where != "local" {
+		if k.inst == id && k.path == path && k.where != hostName {
 			delete(w.gate, k)
 			victims = append(victims, e)
 		}
@@ -516,6 +664,32 @@ func (w *World) ResultOf(id string) (engine.Result, bool, error) {
 // ExecutorAlive reports whether executor slot i is up.
 func (w *World) ExecutorAlive(i int) bool {
 	return i >= 0 && i < len(w.execs) && w.execs[i].alive
+}
+
+// CoordinatorAlive reports whether coordinator slot i is up.
+func (w *World) CoordinatorAlive(i int) bool {
+	return i >= 0 && i < len(w.coords) && w.coords[i] != nil && w.coords[i].alive
+}
+
+// Coordinators returns the number of coordinator slots.
+func (w *World) Coordinators() int { return len(w.coords) }
+
+// PartitionOwners renders the partition→owner assignment of a sharded
+// world ("c0" etc., "-" for orphaned); nil for single-coordinator
+// worlds.
+func (w *World) PartitionOwners() []string {
+	if !w.multi {
+		return nil
+	}
+	out := make([]string, w.parts)
+	for p, o := range w.owner {
+		if o < 0 {
+			out[p] = "-"
+		} else {
+			out[p] = w.coordName(o)
+		}
+	}
+	return out
 }
 
 // NamingUp reports whether the naming service is up.

@@ -64,11 +64,18 @@ const maxFuzzSteps = 200
 
 // RunFuzz builds a random world from seed, walks it with random
 // actions and faults until every instance is terminal (or the step
-// budget runs out), and checks the trace invariants.
+// budget runs out), and checks the trace invariants. Half the worlds
+// are sharded multi-coordinator tiers (2-3 engines over partitioned
+// stores), so coordinator kills also exercise the deterministic
+// partition-failover and re-materialization paths.
 func RunFuzz(seed int64) (*FuzzReport, error) {
 	rng := rand.New(rand.NewSource(seed))
 	execs := 2 + rng.Intn(2)
-	w, err := New(Config{Executors: execs})
+	coords := 1
+	if rng.Float64() < 0.5 {
+		coords = 2 + rng.Intn(2)
+	}
+	w, err := New(Config{Executors: execs, Coordinators: coords, Partitions: 4})
 	if err != nil {
 		return nil, err
 	}
@@ -98,15 +105,15 @@ func RunFuzz(seed int64) (*FuzzReport, error) {
 
 	coordCrashes := 0
 	for rep.Steps = 0; rep.Steps < maxFuzzSteps; rep.Steps++ {
-		if w.eng != nil && allTerminal(w, rep.Insts) {
+		if liveCoordinators(w) > 0 && allTerminal(w, rep.Insts) {
 			break
 		}
 		// Rare faults first, so they can hit any frontier shape.
 		roll := rng.Float64()
 		switch {
-		case roll < 0.04 && coordCrashes < 2 && w.eng != nil:
+		case roll < 0.04 && coordCrashes < 2 && liveCoordinators(w) > 0:
 			coordCrashes++
-			if err := w.CrashCoordinator(); err != nil {
+			if err := w.CrashCoordinator(pickLiveCoordinator(w, rng)); err != nil {
 				return nil, fmt.Errorf("seed %d step %d: crash: %w", seed, rep.Steps, err)
 			}
 			continue
@@ -127,8 +134,8 @@ func RunFuzz(seed int64) (*FuzzReport, error) {
 			}
 			continue
 		}
-		if w.eng == nil {
-			if err := w.RecoverCoordinator(); err != nil {
+		if liveCoordinators(w) == 0 {
+			if err := w.RecoverCoordinator(deadCoordinator(w)); err != nil {
 				return nil, fmt.Errorf("seed %d step %d: recover coordinator: %w", seed, rep.Steps, err)
 			}
 			continue
@@ -163,8 +170,8 @@ func RunFuzz(seed int64) (*FuzzReport, error) {
 		break // genuinely stuck (e.g. everything stalled): end the walk
 	}
 
-	if w.eng == nil {
-		if err := w.RecoverCoordinator(); err != nil {
+	for j := deadCoordinator(w); j >= 0; j = deadCoordinator(w) {
+		if err := w.RecoverCoordinator(j); err != nil {
 			return nil, fmt.Errorf("seed %d: final recover: %w", seed, err)
 		}
 	}
@@ -194,6 +201,42 @@ func allTerminal(w *World, insts map[string]string) bool {
 		}
 	}
 	return true
+}
+
+// liveCoordinators counts the coordinator slots that are up.
+func liveCoordinators(w *World) int {
+	n := 0
+	for i := 0; i < w.Coordinators(); i++ {
+		if w.CoordinatorAlive(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// pickLiveCoordinator picks a uniformly random live coordinator slot,
+// or -1 if none is up.
+func pickLiveCoordinator(w *World, rng *rand.Rand) int {
+	var live []int
+	for i := 0; i < w.Coordinators(); i++ {
+		if w.CoordinatorAlive(i) {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return -1
+	}
+	return live[rng.Intn(len(live))]
+}
+
+// deadCoordinator returns the lowest dead coordinator slot, or -1.
+func deadCoordinator(w *World) int {
+	for i := 0; i < w.Coordinators(); i++ {
+		if !w.CoordinatorAlive(i) {
+			return i
+		}
+	}
+	return -1
 }
 
 // toggleExecutor kills a random live executor or recovers a random dead

@@ -211,7 +211,7 @@ func (r *scnRun) worldRef() (*World, error) {
 func (r *scnRun) exec(step scnStep) error {
 	words := step.words
 	switch words[0] {
-	case "executors", "location", "epoch":
+	case "executors", "coordinators", "partitions", "location", "epoch":
 		if r.world != nil {
 			return fmt.Errorf("topology directive %q after the world was built (move it above the first action)", words[0])
 		}
@@ -225,6 +225,18 @@ func (r *scnRun) exec(step scnStep) error {
 				return fmt.Errorf("bad executor count %q", words[1])
 			}
 			r.cfg.Executors = n
+		case "coordinators":
+			n, err := strconv.Atoi(words[1])
+			if err != nil || n < 0 {
+				return fmt.Errorf("bad coordinator count %q", words[1])
+			}
+			r.cfg.Coordinators = n
+		case "partitions":
+			n, err := strconv.Atoi(words[1])
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad partition count %q", words[1])
+			}
+			r.cfg.Partitions = n
 		case "location":
 			r.cfg.Location = words[1]
 		case "epoch":
@@ -356,7 +368,7 @@ func (r *scnRun) exec(step scnStep) error {
 
 	case "kill", "recover":
 		if len(words) < 2 {
-			return fmt.Errorf("usage: %s coordinator|naming|executor N", words[0])
+			return fmt.Errorf("usage: %s coordinator|naming|executor [N]", words[0])
 		}
 		w, err := r.worldRef()
 		if err != nil {
@@ -365,10 +377,18 @@ func (r *scnRun) exec(step scnStep) error {
 		kill := words[0] == "kill"
 		switch words[1] {
 		case "coordinator":
-			if kill {
-				return w.CrashCoordinator()
+			// Index optional: single-coordinator scenarios omit it.
+			idx := 0
+			if len(words) == 3 {
+				idx, err = strconv.Atoi(words[2])
+				if err != nil {
+					return fmt.Errorf("bad coordinator index %q", words[2])
+				}
 			}
-			return w.RecoverCoordinator()
+			if kill {
+				return w.CrashCoordinator(idx)
+			}
+			return w.RecoverCoordinator(idx)
 		case "naming":
 			if kill {
 				return w.KillNaming()

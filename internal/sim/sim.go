@@ -53,6 +53,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/registry"
 	"repro/internal/script/sema"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/taskexec"
 	"repro/internal/timers"
@@ -75,11 +76,26 @@ type Config struct {
 	// Executors is the number of remote task executors in the pool.
 	// Zero means a purely local deployment (no remote dispatch).
 	Executors int
+	// Coordinators is the number of coordinator engines. Zero or one is
+	// the classic single-coordinator world (where=local, unchanged
+	// traces). More builds a sharded tier: instances hash to partitions
+	// (shard.PartitionOf), each partition is owned by the rendezvous-
+	// preferred coordinator (shard.Preferred over the live set, the
+	// deterministic outcome of the production lease protocol), and
+	// CrashCoordinator fails the dead coordinator's partitions over to
+	// the survivors, which re-materialize the in-flight instances from
+	// the shared per-partition stores.
+	Coordinators int
+	// Partitions is the sharded tier's partition count. Zero selects
+	// shard.DefaultPartitions. Single-coordinator worlds ignore it.
+	Partitions int
 	// Location is the pool's location name, resolved through the
 	// simulated naming service. Default "pool".
 	Location string
 	// Store is the coordinator's persistent store, shared across
 	// coordinator crashes. Nil selects a fresh store.NewMemStore.
+	// Multi-coordinator worlds own their per-partition stores; leave it
+	// nil there.
 	Store store.Store
 	// Epoch is the virtual start instant. Zero selects DefaultEpoch.
 	Epoch time.Time
@@ -135,9 +151,12 @@ type gateEntry struct {
 // instTrack is the barrier's view of one live engine instance. parked,
 // inflight and armed are written by the Probe callbacks (on the
 // controller goroutine); inst is set by the driver right after
-// Instantiate/Recover returns.
+// Instantiate/Recover returns. host is the coordinator slot the
+// instance lives on (always 0 in single-coordinator worlds; updated on
+// failover in sharded ones).
 type instTrack struct {
 	inst     *engine.Instance
+	host     int
 	parked   bool
 	inflight int
 	armed    int
@@ -148,6 +167,19 @@ type executor struct {
 	name  string
 	addr  string
 	srv   *orb.Server
+	alive bool
+}
+
+// simCoord is one coordinator slot: a persistent registry and engine
+// over its view of the store, plus (with executors) its own pool
+// invoker. Replaced wholesale by CrashCoordinator/RecoverCoordinator.
+// Touched only by the driver goroutine.
+type simCoord struct {
+	name  string
+	preg  *persist.Registry
+	eng   *engine.Engine
+	inv   *taskexec.Invoker
+	ps    *shard.PartitionedStore // nil in single-coordinator worlds
 	alive bool
 }
 
@@ -163,11 +195,15 @@ type World struct {
 	net   *orb.MemNetwork
 	nam   *orb.Naming
 
-	// Coordinator side; replaced wholesale by CrashCoordinator /
-	// RecoverCoordinator. Touched only by the driver goroutine.
-	preg *persist.Registry
-	eng  *engine.Engine
-	inv  *taskexec.Invoker
+	// Coordinator tier. Single-coordinator worlds have exactly one slot
+	// (named "local", backed by w.st directly); sharded worlds have
+	// cfg.Coordinators slots ("c0", "c1", ...) over per-partition
+	// stores. Touched only by the driver goroutine.
+	coords  []*simCoord
+	multi   bool
+	parts   int
+	pstores []store.Store // per-partition stores; survive crashes
+	owner   []int         // partition -> coordinator slot, -1 unowned
 
 	execs []*executor
 
@@ -217,6 +253,21 @@ func New(cfg Config) (*World, error) {
 	if cfg.Epoch.IsZero() {
 		cfg.Epoch = DefaultEpoch
 	}
+	nCoords := cfg.Coordinators
+	if nCoords <= 0 {
+		nCoords = 1
+	}
+	multi := nCoords > 1
+	if multi && cfg.Store != nil {
+		return nil, errors.New("sim: multi-coordinator worlds own their per-partition stores; leave Store nil")
+	}
+	if cfg.Partitions < 0 {
+		return nil, fmt.Errorf("sim: bad partition count %d", cfg.Partitions)
+	}
+	parts := cfg.Partitions
+	if parts == 0 {
+		parts = shard.DefaultPartitions
+	}
 	st := cfg.Store
 	if st == nil {
 		st = store.NewMemStore()
@@ -228,6 +279,9 @@ func New(cfg Config) (*World, error) {
 		st:        st,
 		net:       orb.NewMemNetwork(),
 		nam:       orb.NewNaming(),
+		coords:    make([]*simCoord, nCoords),
+		multi:     multi,
+		parts:     parts,
 		execs:     make([]*executor, cfg.Executors),
 		namingUp:  true,
 		insts:     make(map[string]*instTrack),
@@ -249,10 +303,56 @@ func New(cfg Config) (*World, error) {
 		// blacklisting mask it, not naming.
 		w.nam.BindMember(cfg.Location, w.execs[i].addr, 0)
 	}
-	if err := w.bootCoordinator(false); err != nil {
-		return nil, err
+	if multi {
+		// Shared per-partition stores, rendezvous-preferred initial
+		// ownership — the steady state the production lease protocol
+		// converges to with every coordinator up.
+		w.pstores = make([]store.Store, parts)
+		w.owner = make([]int, parts)
+		for p := range w.pstores {
+			w.pstores[p] = store.NewMemStore()
+			w.owner[p] = w.preferredOwner(p, nil)
+		}
+	}
+	for i := range w.coords {
+		if err := w.bootCoordinator(i, false); err != nil {
+			return nil, err
+		}
 	}
 	return w, nil
+}
+
+// coordName is the where-label of coordinator slot i: "local" in
+// single-coordinator worlds (keeping classic traces byte-identical),
+// "cI" in sharded ones.
+func (w *World) coordName(i int) string {
+	if !w.multi {
+		return "local"
+	}
+	return fmt.Sprintf("c%d", i)
+}
+
+// preferredOwner returns the rendezvous-preferred live coordinator slot
+// for partition p, excluding any slot for which skip returns true. -1
+// if no candidate is live.
+func (w *World) preferredOwner(p int, skip func(int) bool) int {
+	var names []string
+	for i := range w.coords {
+		if skip != nil && skip(i) {
+			continue
+		}
+		if w.coords[i] != nil && !w.coords[i].alive {
+			continue
+		}
+		names = append(names, w.coordName(i))
+	}
+	best := shard.Preferred(names, p)
+	for i := range w.coords {
+		if w.coordName(i) == best {
+			return i
+		}
+	}
+	return -1
 }
 
 // startExecutor (re)starts executor slot i: a fresh orb server on the
@@ -285,19 +385,36 @@ func (w *World) resolver(location string) ([]string, error) {
 	return w.nam.ResolveAll(location)
 }
 
-// bootCoordinator builds the coordinator stack: persistent registry
-// over the (surviving) store, gated local implementations, the
-// hash-balanced pool invoker, and the engine wired to the harness's
-// clock, probe and event tap.
-func (w *World) bootCoordinator(recovering bool) error {
-	preg := persist.NewRegistry(w.st, txn.NewManager(w.st), nil)
+// bootCoordinator builds coordinator slot i's stack: persistent
+// registry over its store view (the shared store in single mode, a
+// PartitionedStore mounting its owned partitions in sharded mode),
+// gated local implementations, the hash-balanced pool invoker, and the
+// engine wired to the harness's clock, probe and event tap.
+func (w *World) bootCoordinator(i int, recovering bool) error {
+	c := &simCoord{name: w.coordName(i), alive: true}
+	var st store.Store
+	if w.multi {
+		// Mount only the slot's owned partitions, exactly like a
+		// production coordinator holding those partitions' leases. A
+		// rejoining coordinator may own nothing; it mounts nothing.
+		c.ps = shard.NewPartitionedStore(w.parts)
+		for p := 0; p < w.parts; p++ {
+			if w.owner[p] == i {
+				c.ps.Mount(p, w.pstores[p])
+			}
+		}
+		st = c.ps
+	} else {
+		st = w.st
+	}
+	preg := persist.NewRegistry(st, txn.NewManager(st), nil)
 	if recovering {
 		if _, err := preg.Recover(); err != nil {
 			return fmt.Errorf("sim: recover store: %w", err)
 		}
 	}
 	reg := registry.New()
-	reg.BindFallback(w.gatedFallback("local"))
+	reg.BindFallback(w.gatedFallback(c.name))
 	ecfg := w.cfg.Engine
 	ecfg.Clock = w.clock
 	ecfg.Probe = (*worldProbe)(w)
@@ -324,11 +441,12 @@ func (w *World) bootCoordinator(recovering bool) error {
 		if err != nil {
 			return err
 		}
-		w.inv = inv
+		c.inv = inv
 		ecfg.RemoteInvoker = inv.Invoke
 	}
-	w.preg = preg
-	w.eng = engine.New(preg, reg, ecfg)
+	c.preg = preg
+	c.eng = engine.New(preg, reg, ecfg)
+	w.coords[i] = c
 	return nil
 }
 
@@ -449,12 +567,14 @@ func (w *World) takeGate(key gateKey) (*gateEntry, bool) {
 	return e, true
 }
 
-// syncWheel flushes the timing wheel: after it returns, every fire due
-// at the current clock reading has been delivered into its instance's
-// timer queue (where QueuedWork sees it).
+// syncWheel flushes every live coordinator's timing wheel: after it
+// returns, every fire due at the current clock reading has been
+// delivered into its instance's timer queue (where QueuedWork sees it).
 func (w *World) syncWheel() {
-	if w.eng != nil {
-		w.eng.Timers().Sync()
+	for _, c := range w.coords {
+		if c != nil && c.alive {
+			c.eng.Timers().Sync()
+		}
 	}
 }
 
@@ -563,12 +683,14 @@ func (w *World) Bind(code string, outcomes ...string) {
 	w.mu.Unlock()
 }
 
-// Close tears the world down: coordinator first (so no dispatches are
+// Close tears the world down: coordinators first (so no dispatches are
 // in flight), then the executors. Safe to call once at the end of a
 // run; not concurrent with driver actions.
 func (w *World) Close() {
-	if w.eng != nil {
-		w.stopCoordinator()
+	for i, c := range w.coords {
+		if c != nil && c.alive {
+			w.stopCoordinator(i)
+		}
 	}
 	for _, ex := range w.execs {
 		if ex != nil && ex.alive {

@@ -149,10 +149,10 @@ func TestCrashMidDelay(t *testing.T) {
 	if err := w.Advance(1500 * time.Millisecond); err != nil {
 		t.Fatalf("Advance: %v", err)
 	}
-	if err := w.CrashCoordinator(); err != nil {
+	if err := w.CrashCoordinator(0); err != nil {
 		t.Fatalf("CrashCoordinator: %v", err)
 	}
-	if err := w.RecoverCoordinator(); err != nil {
+	if err := w.RecoverCoordinator(0); err != nil {
 		t.Fatalf("RecoverCoordinator: %v", err)
 	}
 	if n := w.ArmedDelays(); n != 1 {
@@ -201,10 +201,10 @@ func TestCoordinatorCrashMidActivation(t *testing.T) {
 	if rs := w.Ready(); len(rs) != 1 {
 		t.Fatalf("want t1 gated, got %+v", rs)
 	}
-	if err := w.CrashCoordinator(); err != nil {
+	if err := w.CrashCoordinator(0); err != nil {
 		t.Fatalf("CrashCoordinator: %v", err)
 	}
-	if err := w.RecoverCoordinator(); err != nil {
+	if err := w.RecoverCoordinator(0); err != nil {
 		t.Fatalf("RecoverCoordinator: %v", err)
 	}
 	// Recovery must re-dispatch the interrupted activation.
@@ -248,5 +248,120 @@ func TestNamingOutage(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("want t1 failed during naming outage; trace:\n%s", strings.Join(w.Trace(), "\n"))
+	}
+}
+
+// runShardedWorld drives a 2-coordinator sharded world (wf1 on c1, wf2
+// on c0 at 4 partitions) through a mid-run coordinator kill and returns
+// the trace hash.
+func runShardedWorld(t *testing.T) uint64 {
+	t.Helper()
+	w, err := New(Config{Coordinators: 2, Partitions: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer w.Close()
+	if err := w.Compile("chain", workload.Chain(2)); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	for _, id := range []string{"wf1", "wf2"} {
+		if err := w.Instantiate(id, "chain", ""); err != nil {
+			t.Fatalf("Instantiate %s: %v", id, err)
+		}
+		if err := w.Start(id, "main", workload.Seed()); err != nil {
+			t.Fatalf("Start %s: %v", id, err)
+		}
+	}
+	hosts := map[string]string{}
+	for _, r := range w.Ready() {
+		hosts[r.Instance] = r.Where
+	}
+	if hosts["wf1"] != "c1" || hosts["wf2"] != "c0" {
+		t.Fatalf("unexpected placement %v (want wf1 on c1, wf2 on c0)", hosts)
+	}
+	// Complete wf1's first stage on c1, then kill c1 with its second
+	// stage gated: the survivor must re-materialize wf1 mid-flight.
+	for _, r := range w.Ready() {
+		if r.Instance == "wf1" {
+			if err := w.Release(r, "", false); err != nil {
+				t.Fatalf("Release: %v", err)
+			}
+			break
+		}
+	}
+	if err := w.CrashCoordinator(1); err != nil {
+		t.Fatalf("CrashCoordinator: %v", err)
+	}
+	if owners := w.PartitionOwners(); owners[3] != "c0" {
+		t.Fatalf("partition 3 owner = %q after failover, want c0 (%v)", owners[3], owners)
+	}
+	if err := w.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for _, id := range []string{"wf1", "wf2"} {
+		st, err := w.Status(id)
+		if err != nil {
+			t.Fatalf("Status %s: %v", id, err)
+		}
+		if st != "completed" {
+			t.Fatalf("%s status = %s, want completed; trace:\n%s", id, st, strings.Join(w.Trace(), "\n"))
+		}
+	}
+	return w.TraceHash()
+}
+
+func TestShardedFailoverMidRun(t *testing.T) {
+	h1 := runShardedWorld(t)
+	h2 := runShardedWorld(t)
+	if h1 != h2 {
+		t.Fatalf("sharded trace hash differs across identical runs: %x vs %x", h1, h2)
+	}
+}
+
+func TestShardedTotalOutageAndRejoin(t *testing.T) {
+	w, err := New(Config{Coordinators: 2, Partitions: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer w.Close()
+	if err := w.Compile("chain", workload.Chain(2)); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := w.Instantiate("wf1", "chain", ""); err != nil {
+		t.Fatalf("Instantiate: %v", err)
+	}
+	if err := w.Start("wf1", "main", workload.Seed()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Kill the whole tier: wf1's host first (fails over to c0), then
+	// the survivor (its partitions orphan — nobody left to take them).
+	if err := w.CrashCoordinator(1); err != nil {
+		t.Fatalf("CrashCoordinator(1): %v", err)
+	}
+	if err := w.CrashCoordinator(0); err != nil {
+		t.Fatalf("CrashCoordinator(0): %v", err)
+	}
+	for _, o := range w.PartitionOwners() {
+		if o != "-" {
+			t.Fatalf("expected every partition orphaned, got %v", w.PartitionOwners())
+		}
+	}
+	if err := w.Instantiate("wf2", "chain", ""); err == nil {
+		t.Fatal("Instantiate succeeded with no live coordinator")
+	}
+	// A rejoining coordinator claims the orphaned partitions and
+	// re-materializes the in-flight instance from the partition stores.
+	if err := w.RecoverCoordinator(0); err != nil {
+		t.Fatalf("RecoverCoordinator: %v", err)
+	}
+	if err := w.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	st, err := w.Status("wf1")
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st != "completed" {
+		t.Fatalf("wf1 status = %s, want completed; trace:\n%s", st, strings.Join(w.Trace(), "\n"))
 	}
 }

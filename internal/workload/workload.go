@@ -138,6 +138,54 @@ func Chain(n int) string {
 	return wrap(b.String(), prev)
 }
 
+// ChainCode is Chain with an explicit implementation code and no
+// location: every stage runs in-process on the coordinating engine
+// through the builtin pattern schemes (e.g. "sleep:2ms:done"), so the
+// chain exercises a coordinator tier without needing executor pools.
+// Unlike the shared Stage taskclass, its stages carry the object "d"
+// through both input and output, matching the builtins' echo semantics
+// (inputs copy into same-named outputs).
+func ChainCode(n int, code string) string {
+	var b strings.Builder
+	b.WriteString(`
+class Data;
+
+taskclass EchoStage
+{
+    inputs { input main { d of class Data } };
+    outputs { outcome done { d of class Data } }
+};
+
+taskclass App
+{
+    inputs { input main { seed of class Data } };
+    outputs { outcome done { out of class Data } }
+};
+
+compoundtask app of taskclass App
+{`)
+	prev := ""
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("t%d", i)
+		src := fromRoot
+		if prev != "" {
+			src = fmt.Sprintf("d of task %s if output done", prev)
+		}
+		fmt.Fprintf(&b, `
+    task %s of taskclass EchoStage
+    {
+        implementation { "code" is %q };
+        inputs { input main { inputobject d from { %s } } }
+    };`, name, code, src)
+		prev = name
+	}
+	fmt.Fprintf(&b, `
+    outputs { outcome done { outputobject out from { d of task %s if output done } } }
+};
+`, prev)
+	return b.String()
+}
+
 // Diamond returns a generalised Fig. 1 diamond: one producer, width
 // parallel stages, and a join tree combining all branches.
 func Diamond(width int) string {

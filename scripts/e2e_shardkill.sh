@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Shard-failover end-to-end gauntlet for the sharded coordinator tier:
+#
+#   1. boot wfnaming, wfrepo and TWO wfexec -shard coordinators sharing
+#      one state root, partition ownership arbitrated by 1s leases in
+#      the naming service;
+#   2. drive a closed-loop workload through wfload -sharded (every
+#      instance routes to its partition's current lease holder);
+#   3. SIGKILL one coordinator while instances are in flight;
+#   4. assert every single instance still completes — the survivor must
+#      steal the dead coordinator's lapsed leases, re-materialize its
+#      in-flight instances from the shared WAL store, and serve them.
+#
+# Run directly or as `make e2e-shard`. Exits 0 on success.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d /tmp/wf-e2e-shard.XXXXXX)"
+BIN="$WORK/bin"
+mkdir -p "$BIN"
+PIDS=()
+
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+say() { echo "e2e-shard: $*"; }
+
+# wait_addr LOGFILE PATTERN -> echoes the host:port the daemon printed.
+wait_addr() {
+    local log="$1" pattern="$2" addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n "s/.*$pattern \(127\.0\.0\.1:[0-9]*\).*/\1/p" "$log" 2>/dev/null | head -n1 || true)"
+        if [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "e2e-shard: daemon never announced itself in $log:" >&2
+    cat "$log" >&2
+    return 1
+}
+
+say "building binaries"
+go build -o "$BIN" ./cmd/wfnaming ./cmd/wfrepo ./cmd/wfexec ./cmd/wfload
+
+say "booting naming + repository"
+"$BIN/wfnaming" -addr 127.0.0.1:0 > "$WORK/naming.log" 2>&1 &
+PIDS+=($!); disown
+NAMING="$(wait_addr "$WORK/naming.log" "naming service on")"
+
+"$BIN/wfrepo" -addr 127.0.0.1:0 -dir "$WORK/repo-state" -naming "$NAMING" > "$WORK/repo.log" 2>&1 &
+PIDS+=($!); disown
+REPO="$(wait_addr "$WORK/repo.log" "workflow repository service on")"
+
+STATE="$WORK/shard-state"
+
+say "booting 2 sharded coordinators over shared state root (1s leases)"
+"$BIN/wfexec" -shard -addr 127.0.0.1:0 -coord-id c1 -dir "$STATE" \
+    -repo "$REPO" -naming "$NAMING" -lease-ttl 1s > "$WORK/coord1.log" 2>&1 &
+COORD1=$!
+PIDS+=($COORD1); disown
+"$BIN/wfexec" -shard -addr 127.0.0.1:0 -coord-id c2 -dir "$STATE" \
+    -repo "$REPO" -naming "$NAMING" -lease-ttl 1s > "$WORK/coord2.log" 2>&1 &
+COORD2=$!
+PIDS+=($COORD2); disown
+wait_addr "$WORK/coord1.log" "on" > /dev/null
+wait_addr "$WORK/coord2.log" "on" > /dev/null
+
+say "driving 200 instances through the routing client (8 workers)"
+# Not disowned: the script waits on this pid for the verdict.
+"$BIN/wfload" -sharded -naming "$NAMING" -workers 8 -total 200 \
+    -chain 2 -code sleep:50ms:done > "$WORK/load.log" 2>&1 &
+LOAD=$!
+PIDS+=($LOAD)
+
+# Let the run ramp up so instances are spread over both coordinators,
+# then kill one while plenty are in flight.
+sleep 2
+if ! kill -0 "$LOAD" 2>/dev/null; then
+    echo "e2e-shard: FAIL — load finished before the kill; nothing was in flight" >&2
+    cat "$WORK/load.log" >&2
+    exit 1
+fi
+say "SIGKILLing coordinator c2 (pid $COORD2) mid-run"
+kill -9 "$COORD2"
+
+say "waiting for the load to finish across the failover"
+if ! wait "$LOAD"; then
+    echo "e2e-shard: FAIL — not every instance completed after the coordinator crash" >&2
+    echo "--- load log ---" >&2;   tail -n 30 "$WORK/load.log" >&2 || true
+    echo "--- coord1 log ---" >&2; tail -n 30 "$WORK/coord1.log" >&2 || true
+    echo "--- coord2 log ---" >&2; tail -n 30 "$WORK/coord2.log" >&2 || true
+    exit 1
+fi
+grep "200/200 instances completed" "$WORK/load.log"
+
+# The survivor must actually have taken partitions over (not just have
+# owned everything from the start).
+if ! grep -q "lease acquired" "$WORK/coord1.log"; then
+    echo "e2e-shard: FAIL — survivor never acquired a partition" >&2
+    exit 1
+fi
+say "survivor takeover trace:"
+grep "lease acquired\|re-materialized" "$WORK/coord1.log" | tail -n 5 || true
+
+say "PASS — coordinator killed mid-run, every instance completed on the survivor"
