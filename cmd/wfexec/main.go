@@ -351,6 +351,12 @@ func runShard(addr, dir, storeKind, repoAddr, naming, balance string, noSync boo
 	if err != nil {
 		return err
 	}
+	// Write fence below the lease: every partition write re-checks the
+	// manager's fence window at apply time, so a coordinator partitioned
+	// away from the naming service stops mutating its partitions the
+	// instant its window lapses — not a tick later. (The per-partition
+	// store.Open directory lock is the third line of defense.)
+	ps.SetFence(mgr.Holds)
 
 	// Instance-scoped requests are served only for held partitions; for
 	// the rest the guard refuses with a redirect to the current lease

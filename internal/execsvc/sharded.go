@@ -105,6 +105,30 @@ func (sc *ShardedClient) client(addr string) *Client {
 	return c
 }
 
+// evict closes and drops the cached client for addr after a transport
+// failure, so a long-lived router does not accumulate connections to
+// every coordinator address that ever held a lease. Identity-checked:
+// a concurrent re-dial under the same address is left alone.
+func (sc *ShardedClient) evict(addr string, c *Client) {
+	sc.mu.Lock()
+	cached := sc.clients[addr] == c
+	if cached {
+		delete(sc.clients, addr)
+	}
+	sc.mu.Unlock()
+	if cached {
+		c.Close()
+	}
+}
+
+// transportFailure reports an error from a coordinator call that
+// indicates the transport (not the application) failed: the remote
+// returned no AppError.
+func transportFailure(err error) bool {
+	var ae *orb.AppError
+	return err != nil && !errors.As(err, &ae)
+}
+
 // retryable classifies errors the router keeps retrying (within
 // RouteTimeout): transport failures (coordinator dead or dying),
 // missing lease holders, and not-yet-recovered instances on a fresh
@@ -160,9 +184,15 @@ func (sc *ShardedClient) doDedup(instance string, fn func(*Client) error, applie
 			}
 		}
 		if addr != "" {
-			err := fn(sc.client(addr))
+			c := sc.client(addr)
+			err := fn(c)
 			if err == nil {
 				return nil
+			}
+			if transportFailure(err) {
+				// The coordinator is dead or dying; drop its connection so
+				// the cache tracks live lease holders, not history.
+				sc.evict(addr, c)
 			}
 			if applied != nil && applied(err) {
 				return nil
@@ -311,8 +341,12 @@ func (sc *ShardedClient) Instances() ([]string, error) {
 	seen := make(map[string]bool)
 	var out []string
 	for addr := range addrs {
-		ids, err := sc.client(addr).Instances()
+		c := sc.client(addr)
+		ids, err := c.Instances()
 		if err != nil {
+			if transportFailure(err) {
+				sc.evict(addr, c)
+			}
 			continue
 		}
 		for _, id := range ids {

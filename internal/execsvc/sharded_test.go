@@ -257,3 +257,50 @@ func TestShardedClientFollowsFailover(t *testing.T) {
 		}
 	}
 }
+
+func TestShardedClientEvictsDeadConnections(t *testing.T) {
+	w := newShardWorld(t)
+	w.preferredSplit(t)
+
+	// Count dials per address: with eviction on transport failure, every
+	// retry against a dead coordinator re-dials instead of reusing (and
+	// leaking) the first broken connection forever.
+	dials := make(map[string]int)
+	nc := orb.NewNamingClient(orb.Dial(w.namingSrv.Addr(), orb.ClientConfig{}))
+	sc := execsvc.NewShardedClient(nc, execsvc.ShardedConfig{
+		Partitions:   testParts,
+		RouteTimeout: 300 * time.Millisecond,
+		RetryDelay:   20 * time.Millisecond,
+		Dial: func(addr string) *execsvc.Client {
+			dials[addr]++
+			return execsvc.NewClient(orb.Dial(addr, orb.ClientConfig{Retries: -1}))
+		},
+	})
+	t.Cleanup(sc.Close)
+
+	const inst = "o-evict"
+	p := shard.PartitionOf(inst, testParts)
+	holder, deadAddr, held := w.naming.LeaseHolder(shard.LeaseName(p))
+	if !held {
+		t.Fatalf("partition %d has no holder", p)
+	}
+	for _, c := range w.coords {
+		if c.id == holder {
+			c.server.Close()
+		}
+	}
+
+	if _, _, err := sc.Status(inst); err == nil {
+		t.Fatal("status against a dead holder succeeded")
+	}
+	if n := dials[deadAddr]; n < 2 {
+		t.Fatalf("dead coordinator dialed %d time(s); eviction should force a re-dial per retry", n)
+	}
+	// The broken client is not left cached: the next routing attempt
+	// dials fresh rather than reusing it.
+	before := dials[deadAddr]
+	_, _, _ = sc.Status(inst)
+	if dials[deadAddr] == before {
+		t.Fatal("evicted address was served from the cache")
+	}
+}

@@ -200,6 +200,9 @@ func (se *ShardEnv) newNode(id string) (*shardNode, error) {
 		return nil, err
 	}
 	node.mgr = mgr
+	// Same write fence as the real daemon: partition writes re-check the
+	// lease window at apply time, not just at tick granularity.
+	node.ps.SetFence(mgr.Holds)
 	node.svc.SetOwnership(func(instance string) (bool, string) {
 		p := shard.PartitionOf(instance, cfg.Partitions)
 		if mgr.Holds(p) {

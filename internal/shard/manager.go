@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -32,6 +33,11 @@ func (l LocalLeases) ReleaseLease(name, holder string) (bool, error) {
 	return l.N.ReleaseLease(name, holder), nil
 }
 
+// errLeaseRPCTimeout marks a lease RPC that outlived its local bound;
+// the manager treats it like any other unreachable-arbiter error (keep
+// acting as owner only inside the fence window).
+var errLeaseRPCTimeout = errors.New("shard: lease RPC exceeded its local time bound")
+
 // ManagerConfig configures one coordinator's lease manager.
 type ManagerConfig struct {
 	// ID names this coordinator as a lease holder; Addr is the dialable
@@ -46,6 +52,20 @@ type ManagerConfig struct {
 	// under TTL — the renewal has to land before the lease lapses).
 	TTL   time.Duration
 	Renew time.Duration
+	// FenceMargin shortens the local validity window relative to the
+	// arbiter's: a renewal stamped at t fences at t+TTL-FenceMargin,
+	// while the arbiter holds the lease until at least t+TTL. The margin
+	// absorbs tick jitter, the lease-RPC bound and the teardown drain, so
+	// a partitioned-but-alive coordinator has provably stopped acting as
+	// owner (Holds false, partition writes fenced) before a peer can win
+	// the lease. Default TTL/4; must stay under TTL-Renew so a renewal
+	// still fits inside the window.
+	FenceMargin time.Duration
+	// RPCTimeout bounds each lease RPC on the manager's own clock. It
+	// must sit well under Renew: a renewal blocking on a partitioned
+	// naming service must not stall the tick past the fence deadline.
+	// Default Renew/2.
+	RPCTimeout time.Duration
 	// Clock paces Run and anchors the self-fencing deadlines.
 	Clock timers.Clock
 	// Leases is the arbiter; Peers returns the live coordinator
@@ -53,11 +73,16 @@ type ManagerConfig struct {
 	Leases LeaseAPI
 	Peers  func() ([]string, error)
 	// OnAcquire mounts a freshly won partition (open its store, run
-	// scoped recovery, re-materialize its instances). An error abandons
-	// the acquisition: the lease is released so a healthy peer can take
-	// the partition. OnLose tears a partition down (stop its instances,
-	// unmount its store); it runs before any release, so the coordinator
-	// has stopped acting as owner by the time a peer can win the lease.
+	// scoped recovery, re-materialize its instances). It runs with the
+	// partition already published as held, so the recovery's own writes
+	// pass the store fence; requests arriving mid-mount fail with
+	// "instance not found", which the routing client retries. An error
+	// abandons the acquisition: the lease is released so a healthy peer
+	// can take the partition. OnLose tears a partition down (stop its
+	// instances, unmount its store); it runs after every successful
+	// OnAcquire — and before any release, so the coordinator has stopped
+	// acting as owner by the time a peer can win the lease. Both hooks
+	// run outside the manager's locks: a slow mount never blocks Holds.
 	OnAcquire func(p int) error
 	OnLose    func(p int)
 }
@@ -69,9 +94,26 @@ type ManagerConfig struct {
 // partitions it is the preferred owner of. All ownership transitions
 // funnel through OnAcquire/OnLose, so the engine above mounts and
 // unmounts partitions in lockstep with the leases.
+//
+// Fencing is enforced at three independent points, not just at tick
+// granularity: Holds compares the fence deadline against the clock on
+// every call (the execsvc ownership guard consults it per request, and
+// PartitionedStore.SetFence consults it per write), each lease RPC is
+// bounded by RPCTimeout so a hung renewal cannot pin a stale tick, and
+// the deadline itself is stamped FenceMargin short of the arbiter's
+// TTL. A partitioned-but-alive coordinator therefore stops admitting
+// partition writes the instant its window lapses, strictly before the
+// arbiter can re-grant the lease.
 type Manager struct {
 	cfg ManagerConfig
 
+	// tickMu serializes protocol rounds (Tick, Close): at most one round
+	// mutates ownership at a time. Holds/Held never take it, so a round
+	// blocked on the network cannot stall the request path.
+	tickMu sync.Mutex
+
+	// mu guards the ownership table only; it is held for map operations,
+	// never across an RPC or a hook.
 	mu sync.Mutex
 	// held maps held partitions to their self-fencing deadline: the
 	// local-clock instant after which, absent a successful renewal, this
@@ -82,7 +124,6 @@ type Manager struct {
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
-	doneCh   chan struct{}
 }
 
 // NewManager validates cfg and returns an idle manager (no leases held;
@@ -103,6 +144,16 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if cfg.Renew <= 0 || cfg.Renew >= cfg.TTL {
 		cfg.Renew = cfg.TTL / 3
 	}
+	if cfg.FenceMargin <= 0 {
+		cfg.FenceMargin = cfg.TTL / 4
+	}
+	if cfg.FenceMargin >= cfg.TTL-cfg.Renew {
+		return nil, fmt.Errorf("shard: fence margin %v leaves no renewal window inside ttl %v with renew %v",
+			cfg.FenceMargin, cfg.TTL, cfg.Renew)
+	}
+	if cfg.RPCTimeout <= 0 || cfg.RPCTimeout > cfg.Renew {
+		cfg.RPCTimeout = cfg.Renew / 2
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = timers.WallClock{}
 	}
@@ -110,7 +161,6 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		cfg:    cfg,
 		held:   make(map[int]time.Time),
 		stopCh: make(chan struct{}),
-		doneCh: make(chan struct{}),
 	}, nil
 }
 
@@ -126,7 +176,11 @@ func (m *Manager) Held() []int {
 	return out
 }
 
-// Holds reports whether partition p is currently held and un-fenced.
+// Holds reports whether partition p is currently held and un-fenced. It
+// never blocks on a protocol round in flight: the ownership table is
+// only ever locked for map operations, so the per-request guard and the
+// per-write store fence read it contention-free even while a tick is
+// waiting on the network.
 func (m *Manager) Holds(p int) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -134,16 +188,123 @@ func (m *Manager) Holds(p int) bool {
 	return ok && m.cfg.Clock.Now().Before(deadline)
 }
 
-// Tick runs one round of the protocol. It is synchronous and
-// serialized; Run calls it on every renew interval, and deterministic
-// harnesses (sim, experiments) call it directly under a FakeClock.
-func (m *Manager) Tick() {
+// isClosed reports whether the manager has been closed or abandoned.
+func (m *Manager) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// deadlineOf returns partition p's recorded fence deadline, if held.
+func (m *Manager) deadlineOf(p int) (time.Time, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	deadline, ok := m.held[p]
+	return deadline, ok
+}
+
+// claim publishes p as held with the given fence deadline; it refuses
+// after Close/Abandon so a grant racing a shutdown is not kept.
+func (m *Manager) claim(p int, deadline time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.held[p] = deadline
+	return true
+}
+
+// extend records a successful renewal's new fence deadline; a partition
+// dropped while the renewal was in flight stays dropped.
+func (m *Manager) extend(p int, deadline time.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return
 	}
-	peers, err := m.cfg.Peers()
+	if _, ok := m.held[p]; ok {
+		m.held[p] = deadline
+	}
+}
+
+// drop forgets p without running OnLose (a failed mount: there is
+// nothing to tear down).
+func (m *Manager) drop(p int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.held, p)
+}
+
+// lose drops p and, if it was held, runs the teardown hook — outside
+// the ownership lock, so a slow drain never blocks Holds.
+func (m *Manager) lose(p int) {
+	m.mu.Lock()
+	_, was := m.held[p]
+	delete(m.held, p)
+	m.mu.Unlock()
+	if was && m.cfg.OnLose != nil {
+		m.cfg.OnLose(p)
+	}
+}
+
+// bounded runs fn on its own goroutine and waits at most RPCTimeout on
+// the manager's clock for it to finish. On timeout the call's eventual
+// result is discarded and errLeaseRPCTimeout returned; the goroutine
+// itself ends when the RPC does (its send can never block: the channel
+// is buffered and it is the sole sender).
+func (m *Manager) bounded(fn func() error) error {
+	ch := make(chan error, 1)
+	go func() {
+		err := fn()
+		select {
+		case ch <- err:
+		default:
+		}
+	}()
+	select {
+	case err := <-ch:
+		return err
+	case <-m.cfg.Clock.Wake(m.cfg.Clock.Now().Add(m.cfg.RPCTimeout)):
+		return errLeaseRPCTimeout
+	}
+}
+
+// acquireLease claims/renews partition p's lease within the RPC bound.
+func (m *Manager) acquireLease(p int) (bool, error) {
+	var granted bool
+	err := m.bounded(func() error {
+		g, _, _, err := m.cfg.Leases.AcquireLease(LeaseName(p), m.cfg.ID, m.cfg.Addr, m.cfg.TTL)
+		granted = g
+		return err
+	})
+	return granted, err
+}
+
+// releaseLease withdraws partition p's lease within the RPC bound;
+// failures are ignored (an unreleased lease simply lapses at TTL).
+func (m *Manager) releaseLease(p int) {
+	_ = m.bounded(func() error {
+		_, err := m.cfg.Leases.ReleaseLease(LeaseName(p), m.cfg.ID)
+		return err
+	})
+}
+
+// Tick runs one round of the protocol. Rounds are serialized; Run calls
+// it on every renew interval, and deterministic harnesses (sim,
+// experiments) call it directly under a FakeClock.
+func (m *Manager) Tick() {
+	m.tickMu.Lock()
+	defer m.tickMu.Unlock()
+	if m.isClosed() {
+		return
+	}
+	var peers []string
+	err := m.bounded(func() error {
+		p, err := m.cfg.Peers()
+		peers = p
+		return err
+	})
 	if err != nil {
 		// Membership unreadable (naming unreachable): renew what we
 		// hold — the renewals will fail the same way and the fencing
@@ -151,68 +312,83 @@ func (m *Manager) Tick() {
 		peers = nil
 	}
 	for p := 0; p < m.cfg.Partitions; p++ {
+		if m.isClosed() {
+			return
+		}
 		pref := Preferred(peers, p)
-		if deadline, ok := m.held[p]; ok {
-			m.tickHeldLocked(p, deadline, pref)
+		if deadline, ok := m.deadlineOf(p); ok {
+			m.tickHeld(p, deadline, pref)
 		} else if pref == m.cfg.Addr {
-			m.tryAcquireLocked(p)
+			m.tryAcquire(p)
 		}
 	}
 }
 
-// tickHeldLocked renews, hands off, or fences one held partition.
-func (m *Manager) tickHeldLocked(p int, deadline time.Time, pref string) {
+// tickHeld renews, hands off, or fences one held partition.
+func (m *Manager) tickHeld(p int, deadline time.Time, pref string) {
 	if pref != "" && pref != m.cfg.Addr {
 		// A different live peer is preferred: hand the partition off
 		// gracefully. Teardown first — only after this coordinator has
 		// stopped acting as owner may the lease go back to the pool.
-		m.loseLocked(p)
-		_, _ = m.cfg.Leases.ReleaseLease(LeaseName(p), m.cfg.ID)
+		m.lose(p)
+		m.releaseLease(p)
 		return
 	}
 	// The fencing deadline is computed from the clock reading taken
-	// before the renewal request: however long the round trip takes, the
-	// local validity window can only be shorter than the arbiter's.
-	next := m.cfg.Clock.Now().Add(m.cfg.TTL)
-	granted, _, _, err := m.cfg.Leases.AcquireLease(LeaseName(p), m.cfg.ID, m.cfg.Addr, m.cfg.TTL)
+	// before the renewal request, and FenceMargin short of the arbiter's
+	// TTL: however long the round trip takes, the local validity window
+	// ends strictly before the arbiter can re-grant. If the old deadline
+	// passes while the RPC is in flight, Holds and the store fence have
+	// already stopped admitting work — the tick merely catches up.
+	next := m.cfg.Clock.Now().Add(m.cfg.TTL - m.cfg.FenceMargin)
+	granted, err := m.acquireLease(p)
 	switch {
 	case err == nil && granted:
-		m.held[p] = next
+		m.extend(p, next)
 	case err == nil && !granted:
 		// The arbiter says someone else holds it: we already lost.
-		m.loseLocked(p)
+		m.lose(p)
 	default:
-		// Renewal unreachable: keep acting as owner only inside the
-		// window the last successful renewal bought.
+		// Renewal unreachable (or over its bound): keep acting as owner
+		// only inside the window the last successful renewal bought.
 		if !m.cfg.Clock.Now().Before(deadline) {
-			m.loseLocked(p)
+			m.lose(p)
 		}
 	}
 }
 
-// tryAcquireLocked claims one unheld partition this coordinator is the
+// tryAcquire claims one unheld partition this coordinator is the
 // preferred owner of.
-func (m *Manager) tryAcquireLocked(p int) {
-	deadline := m.cfg.Clock.Now().Add(m.cfg.TTL)
-	granted, _, _, err := m.cfg.Leases.AcquireLease(LeaseName(p), m.cfg.ID, m.cfg.Addr, m.cfg.TTL)
+func (m *Manager) tryAcquire(p int) {
+	deadline := m.cfg.Clock.Now().Add(m.cfg.TTL - m.cfg.FenceMargin)
+	granted, err := m.acquireLease(p)
 	if err != nil || !granted {
+		return
+	}
+	// Publish the claim before mounting: the partition's recovery writes
+	// must pass the store fence, and requests that arrive mid-mount get
+	// "instance not found" (retried by the routing client) instead of a
+	// stale not-owner redirect.
+	if !m.claim(p, deadline) {
+		// Closed/abandoned while the grant was in flight.
+		m.releaseLease(p)
 		return
 	}
 	if m.cfg.OnAcquire != nil {
 		if err := m.cfg.OnAcquire(p); err != nil {
 			// Mounting failed; don't sit on a partition we can't serve.
-			_, _ = m.cfg.Leases.ReleaseLease(LeaseName(p), m.cfg.ID)
+			m.drop(p)
+			m.releaseLease(p)
 			return
 		}
 	}
-	m.held[p] = deadline
-}
-
-// loseLocked drops partition p and runs the teardown hook.
-func (m *Manager) loseLocked(p int) {
-	delete(m.held, p)
-	if m.cfg.OnLose != nil {
-		m.cfg.OnLose(p)
+	if _, still := m.deadlineOf(p); !still {
+		// Abandon raced with the mount: unwind it so a crash-emulating
+		// harness is not left with a zombie mount. No release — abandon
+		// means crash, the lease lapses at TTL.
+		if m.cfg.OnLose != nil {
+			m.cfg.OnLose(p)
+		}
 	}
 }
 
@@ -224,7 +400,6 @@ func (m *Manager) Start() { go m.Run() }
 // tick is immediate, so a booting coordinator claims its partitions
 // without waiting out an interval.
 func (m *Manager) Run() {
-	defer close(m.doneCh)
 	m.Tick()
 	for {
 		wake := m.cfg.Clock.Wake(m.cfg.Clock.Now().Add(m.cfg.Renew))
@@ -239,6 +414,8 @@ func (m *Manager) Run() {
 
 // Abandon stops the manager the way a crash would: the run loop halts
 // and every held partition is forgotten without teardown or release.
+// It does not wait for a round in flight — like a SIGKILL, it takes
+// effect immediately (the round observes the abandonment and unwinds).
 // The leases lapse at their TTL and a peer steals them — exactly the
 // sequence a SIGKILLed coordinator goes through. Harnesses (experiments,
 // load tools) use it to emulate coordinator death in-process.
@@ -250,24 +427,30 @@ func (m *Manager) Abandon() {
 	m.held = make(map[int]time.Time)
 }
 
-// Close stops Run (if running), tears down every held partition and
+// Close stops Run (if running), waits out any round in flight (bounded,
+// since every lease RPC is), then tears down every held partition and
 // releases its lease. Safe to call whether or not Run was started.
 func (m *Manager) Close() {
 	m.stopOnce.Do(func() { close(m.stopCh) })
-	select {
-	case <-m.doneCh:
-	default:
-		// Run may never have been started; don't wait on it, just make
-		// sure no tick is in flight by taking the lock below.
-	}
+	m.tickMu.Lock()
+	defer m.tickMu.Unlock()
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return
 	}
 	m.closed = true
+	held := make([]int, 0, len(m.held))
 	for p := range m.held {
-		m.loseLocked(p)
-		_, _ = m.cfg.Leases.ReleaseLease(LeaseName(p), m.cfg.ID)
+		held = append(held, p)
+	}
+	m.held = make(map[int]time.Time)
+	m.mu.Unlock()
+	sort.Ints(held)
+	for _, p := range held {
+		if m.cfg.OnLose != nil {
+			m.cfg.OnLose(p)
+		}
+		m.releaseLease(p)
 	}
 }

@@ -16,6 +16,13 @@ import (
 // bug from silently writing into another owner's partition.
 var ErrNotMounted = errors.New("partition not mounted")
 
+// ErrFenced is returned when a write reaches a partition that is still
+// mounted but whose lease can no longer be proven held: the local fence
+// window has lapsed. It is the store-layer half of self-fencing — even
+// if the lease manager has not yet run its teardown tick, no write
+// lands in a partition a peer may already own.
+var ErrFenced = errors.New("partition lease fence expired")
+
 // PartitionedStore multiplexes one store.Store view over the per-
 // partition stores a coordinator currently holds leases for. Keys route
 // by the instance they belong to (InstanceOf → PartitionOf); partitions
@@ -34,7 +41,11 @@ var ErrNotMounted = errors.New("partition not mounted")
 //   - a decision-only batch (a transaction with no logged intentions)
 //     lands in the lowest mounted partition — see unroutedBatch;
 //   - a non-routable single Delete broadcasts to every mounted
-//     partition (transaction-log cleanup of a decision record);
+//     partition (transaction-log cleanup of a decision record); the
+//     record being absent everywhere is success, not ErrNotFound — its
+//     partition may have been handed off since the decision was logged,
+//     and the new owner's recovery garbage-collects inert decision
+//     records;
 //   - a non-routable Read tries every mounted partition; List merges
 //     across them.
 //
@@ -42,10 +53,16 @@ var ErrNotMounted = errors.New("partition not mounted")
 // deployment writes unpartitioned state (the instantiation scheduler,
 // whose "sched/" records are global, stays on the single-coordinator
 // topology).
+//
+// SetFence installs a per-partition write fence (the lease manager's
+// Holds): every write-path operation re-checks it at apply time, so a
+// coordinator whose fence window lapsed mid-flight stops mutating the
+// partition even before its manager's next tick unmounts it.
 type PartitionedStore struct {
 	parts   int
 	mu      sync.RWMutex
 	mounted map[int]store.Store
+	fence   func(p int) bool
 }
 
 var (
@@ -65,6 +82,27 @@ func NewPartitionedStore(partitions int) *PartitionedStore {
 
 // Partitions returns the topology's partition count.
 func (ps *PartitionedStore) Partitions() int { return ps.parts }
+
+// SetFence installs the write fence: fence(p) must report whether this
+// coordinator still provably owns partition p (the lease manager's
+// Holds). Install once at boot, before traffic; a nil fence (the
+// default, and the simulator's configuration) admits every write to a
+// mounted partition. Reads are not fenced — the ownership guard refuses
+// foreign requests at the service layer, and a stale read cannot
+// corrupt durable state the new owner recovers from.
+func (ps *PartitionedStore) SetFence(fence func(p int) bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.fence = fence
+}
+
+// writable reports whether partition p may be written right now.
+func (ps *PartitionedStore) writable(p int) bool {
+	ps.mu.RLock()
+	fence := ps.fence
+	ps.mu.RUnlock()
+	return fence == nil || fence(p)
+}
 
 // Mount attaches partition p's store (called after the lease is won and
 // the partition's state has been recovered onto st).
@@ -121,8 +159,14 @@ func (ps *PartitionedStore) partFor(id store.ID) (store.Store, int, bool, error)
 	return st, p, true, nil
 }
 
-// snapshot returns the mounted stores in partition order.
-func (ps *PartitionedStore) snapshot() []store.Store {
+// mountedPart pairs a mounted partition with its store.
+type mountedPart struct {
+	p  int
+	st store.Store
+}
+
+// snapshot returns the mounted partitions and stores in partition order.
+func (ps *PartitionedStore) snapshot() []mountedPart {
 	ps.mu.RLock()
 	defer ps.mu.RUnlock()
 	parts := make([]int, 0, len(ps.mounted))
@@ -130,9 +174,9 @@ func (ps *PartitionedStore) snapshot() []store.Store {
 		parts = append(parts, p)
 	}
 	sort.Ints(parts)
-	out := make([]store.Store, len(parts))
+	out := make([]mountedPart, len(parts))
 	for i, p := range parts {
-		out[i] = ps.mounted[p]
+		out[i] = mountedPart{p: p, st: ps.mounted[p]}
 	}
 	return out
 }
@@ -146,8 +190,8 @@ func (ps *PartitionedStore) Read(id store.ID) ([]byte, error) {
 	if routable {
 		return st.Read(id)
 	}
-	for _, st := range ps.snapshot() {
-		data, err := st.Read(id)
+	for _, m := range ps.snapshot() {
+		data, err := m.st.Read(id)
 		if err == nil {
 			return data, nil
 		}
@@ -160,39 +204,44 @@ func (ps *PartitionedStore) Read(id store.ID) ([]byte, error) {
 
 // Write implements store.Store.
 func (ps *PartitionedStore) Write(id store.ID, data []byte) error {
-	st, _, routable, err := ps.partFor(id)
+	st, p, routable, err := ps.partFor(id)
 	if err != nil {
 		return err
 	}
 	if !routable {
 		return fmt.Errorf("shard: write of non-partitioned key %s refused", id)
 	}
+	if !ps.writable(p) {
+		return fmt.Errorf("shard: write %s to partition %d: %w", id, p, ErrFenced)
+	}
 	return st.Write(id, data)
 }
 
 // Delete implements store.Store. A non-routable delete (a transaction
-// decision record) broadcasts across the mounted partitions: the record
-// lives wherever its transaction committed, and deleting it from stores
-// that never had it is a no-op.
+// decision record) broadcasts across the mounted, un-fenced partitions:
+// the record lives wherever its transaction committed, and deleting it
+// from stores that never had it is a no-op. Nowhere-found is success —
+// the record's partition may have been handed off to another owner
+// since the decision was logged, and decision records without
+// intentions are recovery-inert, so the new owner's cleanup covers it.
 func (ps *PartitionedStore) Delete(id store.ID) error {
-	st, _, routable, err := ps.partFor(id)
+	st, p, routable, err := ps.partFor(id)
 	if err != nil {
 		return err
 	}
 	if routable {
+		if !ps.writable(p) {
+			return fmt.Errorf("shard: delete %s from partition %d: %w", id, p, ErrFenced)
+		}
 		return st.Delete(id)
 	}
-	found := false
-	for _, st := range ps.snapshot() {
-		switch err := st.Delete(id); {
-		case err == nil:
-			found = true
-		case !errors.Is(err, store.ErrNotFound):
+	for _, m := range ps.snapshot() {
+		if !ps.writable(m.p) {
+			continue
+		}
+		if err := m.st.Delete(id); err != nil && !errors.Is(err, store.ErrNotFound) {
 			return err
 		}
-	}
-	if !found {
-		return fmt.Errorf("delete %s: %w", id, store.ErrNotFound)
 	}
 	return nil
 }
@@ -201,8 +250,8 @@ func (ps *PartitionedStore) Delete(id store.ID) error {
 // in lexical order.
 func (ps *PartitionedStore) List(prefix store.ID) ([]store.ID, error) {
 	var out []store.ID
-	for _, st := range ps.snapshot() {
-		ids, err := st.List(prefix)
+	for _, m := range ps.snapshot() {
+		ids, err := m.st.List(prefix)
 		if err != nil {
 			return nil, err
 		}
@@ -238,6 +287,9 @@ func (ps *PartitionedStore) batchTarget(ops []store.BatchOp) (store.Store, bool,
 	if st == nil {
 		return nil, false, fmt.Errorf("shard: batch routes to partition %d: %w", target, ErrNotMounted)
 	}
+	if !ps.writable(target) {
+		return nil, false, fmt.Errorf("shard: batch routes to partition %d: %w", target, ErrFenced)
+	}
 	return st, true, nil
 }
 
@@ -266,13 +318,13 @@ func (ps *PartitionedStore) ApplyBatchLazy(ops []store.BatchOp) error {
 }
 
 // unroutedBatch handles a batch with no routable op. Pure cleanup
-// (deletes of decision records) broadcasts to every mounted partition.
-// A batch that writes — the decision record of a transaction with no
-// logged intentions, i.e. a transaction whose effects were all
-// in-memory — lands in the lowest mounted partition: such a record is
-// recovery-inert (there are no intentions for a decision to roll
-// forward), it only needs to exist somewhere until its cleanup delete
-// broadcasts.
+// (deletes of decision records) broadcasts to every mounted, un-fenced
+// partition. A batch that writes — the decision record of a transaction
+// with no logged intentions, i.e. a transaction whose effects were all
+// in-memory — lands in the lowest mounted partition still inside its
+// fence window: such a record is recovery-inert (there are no
+// intentions for a decision to roll forward), it only needs to exist
+// somewhere until its cleanup delete broadcasts.
 func (ps *PartitionedStore) unroutedBatch(ops []store.BatchOp, apply func(store.Store, []store.BatchOp) error) error {
 	allDeletes := true
 	for _, op := range ops {
@@ -281,17 +333,22 @@ func (ps *PartitionedStore) unroutedBatch(ops []store.BatchOp, apply func(store.
 			break
 		}
 	}
-	stores := ps.snapshot()
+	var writableParts []mountedPart
+	for _, m := range ps.snapshot() {
+		if ps.writable(m.p) {
+			writableParts = append(writableParts, m)
+		}
+	}
 	if allDeletes {
-		for _, st := range stores {
-			if err := apply(st, ops); err != nil {
+		for _, m := range writableParts {
+			if err := apply(m.st, ops); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if len(stores) == 0 {
-		return fmt.Errorf("shard: batch of non-partitioned keys with no partition mounted: %w", ErrNotMounted)
+	if len(writableParts) == 0 {
+		return fmt.Errorf("shard: batch of non-partitioned keys with no writable partition mounted: %w", ErrNotMounted)
 	}
-	return apply(stores[0], ops)
+	return apply(writableParts[0].st, ops)
 }

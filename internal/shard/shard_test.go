@@ -3,6 +3,7 @@ package shard_test
 import (
 	"errors"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -359,5 +360,259 @@ func TestManagerCloseReleasesEverything(t *testing.T) {
 	}
 	if got := naming.Leases(); len(got) != 0 {
 		t.Fatalf("leases survive Close: %v", got)
+	}
+}
+
+func TestManagerFenceMarginBeforeArbiterExpiry(t *testing.T) {
+	clk := timers.NewFakeClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	naming := orb.NewNaming()
+	naming.SetClock(clk.Now)
+	live := func() ([]string, error) { return []string{"a:1"}, nil }
+	ma, _ := newManager(t, "coord-a", "a:1", naming, clk, live)
+	defer ma.Close()
+	ma.Tick()
+	if len(ma.Held()) != 8 {
+		t.Fatalf("holds %v", ma.Held())
+	}
+
+	// TTL 4s, default fence margin TTL/4 = 1s: the local validity window
+	// ends at t0+3s, strictly before the arbiter's expiry at t0+4s. In
+	// the gap the coordinator has already fenced itself even though the
+	// arbiter still reports it as the holder — so there is no instant at
+	// which a peer could win the lease while the old owner still admits
+	// writes.
+	clk.Advance(3 * time.Second)
+	for p := 0; p < 8; p++ {
+		if ma.Holds(p) {
+			t.Fatalf("partition %d still un-fenced at TTL-margin", p)
+		}
+		_, _, held := naming.LeaseHolder(shard.LeaseName(p))
+		if !held {
+			t.Fatalf("arbiter already expired partition %d's lease inside the margin", p)
+		}
+	}
+	// Held (the mount view) still lists them: the fence lapsing is what
+	// stops traffic; the next tick is what tears down.
+	if len(ma.Held()) != 8 {
+		t.Fatalf("fence lapse should not unmount by itself: %v", ma.Held())
+	}
+}
+
+// hangingLeases delegates to an in-process lease table but can be made
+// to block inside AcquireLease, emulating a renewal RPC stuck on a
+// partitioned naming service.
+type hangingLeases struct {
+	inner   shard.LocalLeases
+	mu      sync.Mutex
+	hang    bool
+	entered chan struct{} // signalled when a hanging call arrives
+	release chan struct{} // closed to let hanging calls return
+}
+
+func (h *hangingLeases) AcquireLease(name, holder, addr string, ttl time.Duration) (bool, string, string, error) {
+	h.mu.Lock()
+	hang := h.hang
+	h.mu.Unlock()
+	if hang {
+		h.entered <- struct{}{}
+		<-h.release
+		return false, "", "", errors.New("naming unreachable")
+	}
+	return h.inner.AcquireLease(name, holder, addr, ttl)
+}
+
+func (h *hangingLeases) ReleaseLease(name, holder string) (bool, error) {
+	return h.inner.ReleaseLease(name, holder)
+}
+
+func (h *hangingLeases) setHang(v bool) {
+	h.mu.Lock()
+	h.hang = v
+	h.mu.Unlock()
+}
+
+func TestManagerHoldsNotBlockedByHungRenewal(t *testing.T) {
+	clk := timers.NewFakeClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	naming := orb.NewNaming()
+	naming.SetClock(clk.Now)
+	leases := &hangingLeases{
+		inner:   shard.LocalLeases{N: naming},
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	defer close(leases.release)
+	ps := shard.NewPartitionedStore(1)
+	m, err := shard.NewManager(shard.ManagerConfig{
+		ID: "coord-a", Addr: "a:1", Partitions: 1,
+		TTL: 4 * time.Second, Renew: time.Second,
+		Clock: clk, Leases: leases,
+		Peers:     func() ([]string, error) { return []string{"a:1"}, nil },
+		OnAcquire: func(p int) error { ps.Mount(p, store.NewMemStore()); return nil },
+		OnLose:    func(p int) { ps.Unmount(p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Tick()
+	if !m.Holds(0) {
+		t.Fatal("first tick did not acquire partition 0")
+	}
+
+	// The renewal hangs. Pre-fix, the tick held the manager's only mutex
+	// across the blocked RPC, so Holds — and with it every request the
+	// ownership guard vets — deadlocked behind it, and no fencing
+	// deadline could fire because the tick never finished. Now the tick
+	// serializes on its own mutex and each RPC is bounded on the clock.
+	leases.setHang(true)
+	done := make(chan struct{})
+	go func() {
+		m.Tick()
+		close(done)
+	}()
+	<-leases.entered
+
+	// Request path is live mid-hang: Holds answers from the table.
+	if !m.Holds(0) {
+		t.Fatal("Holds went false while the fence window is still open")
+	}
+
+	// Advance past both the RPC bound (500ms) and the fence deadline
+	// (t0+3s): the bounded call gives up, the tick observes the lapsed
+	// window and tears the partition down — while the arbiter, whose
+	// clock says the lease runs to t0+4s, still shows the old holder.
+	clk.Advance(3 * time.Second)
+	<-done
+	if m.Holds(0) || len(m.Held()) != 0 {
+		t.Fatalf("partition survived a hung renewal past its fence: held=%v", m.Held())
+	}
+	if got := ps.Mounted(); len(got) != 0 {
+		t.Fatalf("store still mounted after self-fence: %v", got)
+	}
+	if _, _, held := naming.LeaseHolder(shard.LeaseName(0)); !held {
+		t.Fatal("arbiter lease should still be live; self-fencing must lead its expiry")
+	}
+}
+
+func TestManagerReleasesLeaseWhenMountFails(t *testing.T) {
+	clk := timers.NewFakeClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	naming := orb.NewNaming()
+	naming.SetClock(clk.Now)
+	m, err := shard.NewManager(shard.ManagerConfig{
+		ID: "coord-a", Addr: "a:1", Partitions: 2,
+		TTL: 4 * time.Second, Renew: time.Second,
+		Clock: clk, Leases: shard.LocalLeases{N: naming},
+		Peers:     func() ([]string, error) { return []string{"a:1"}, nil },
+		OnAcquire: func(p int) error { return errors.New("recovery failed") },
+		OnLose:    func(p int) { t.Errorf("OnLose(%d) ran for a partition that never mounted", p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Tick()
+	if got := m.Held(); len(got) != 0 {
+		t.Fatalf("failed mounts left partitions held: %v", got)
+	}
+	// The leases went back to the pool immediately — a healthy peer need
+	// not wait out the TTL.
+	if got := naming.Leases(); len(got) != 0 {
+		t.Fatalf("failed mounts left leases registered: %v", got)
+	}
+}
+
+func TestPartitionedStoreWriteFence(t *testing.T) {
+	const parts = 4
+	ps := shard.NewPartitionedStore(parts)
+	backing := make([]*store.MemStore, parts)
+	for p := 0; p < parts; p++ {
+		backing[p] = store.NewMemStore()
+		ps.Mount(p, backing[p])
+	}
+	var mu sync.Mutex
+	open := map[int]bool{}
+	for p := 0; p < parts; p++ {
+		open[p] = true
+	}
+	ps.SetFence(func(p int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return open[p]
+	})
+
+	inst := "cc"
+	p := shard.PartitionOf(inst, parts)
+	key := store.ID("inst/" + inst + "/meta")
+	if err := ps.Write(key, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fence the partition: every write-path verb must refuse with
+	// ErrFenced, while reads keep serving (stale reads cannot corrupt
+	// what the new owner recovers from).
+	mu.Lock()
+	open[p] = false
+	mu.Unlock()
+	if err := ps.Write(key, []byte("v2")); !errors.Is(err, shard.ErrFenced) {
+		t.Fatalf("fenced Write = %v, want ErrFenced", err)
+	}
+	if err := ps.Delete(key); !errors.Is(err, shard.ErrFenced) {
+		t.Fatalf("fenced Delete = %v, want ErrFenced", err)
+	}
+	if err := ps.ApplyBatch([]store.BatchOp{{ID: key, Data: []byte("v2")}}); !errors.Is(err, shard.ErrFenced) {
+		t.Fatalf("fenced ApplyBatch = %v, want ErrFenced", err)
+	}
+	if data, err := ps.Read(key); err != nil || string(data) != "v1" {
+		t.Fatalf("fenced Read = %q, %v; want the pre-fence state", data, err)
+	}
+
+	// A broadcast decision-record delete skips the fenced partition
+	// instead of erroring: the other partitions' cleanup proceeds.
+	if err := backing[p].Write("txdecision/tx1", []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Delete("txdecision/tx1"); err != nil {
+		t.Fatalf("broadcast delete with a fenced partition: %v", err)
+	}
+	if _, err := backing[p].Read("txdecision/tx1"); err != nil {
+		t.Fatal("broadcast delete wrote through a fence")
+	}
+
+	// Re-opening the fence re-admits writes (a renewed lease).
+	mu.Lock()
+	open[p] = true
+	mu.Unlock()
+	if err := ps.Write(key, []byte("v3")); err != nil {
+		t.Fatalf("write after fence re-opened: %v", err)
+	}
+}
+
+func TestPartitionedStoreBroadcastDeleteAfterHandoff(t *testing.T) {
+	const parts = 4
+	ps := shard.NewPartitionedStore(parts)
+	for p := 0; p < parts; p++ {
+		ps.Mount(p, store.NewMemStore())
+	}
+	// A decision-only batch lands in the lowest mounted partition.
+	if err := ps.ApplyBatch([]store.BatchOp{{ID: "txdecision/tx9", Data: []byte("committed")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Read("txdecision/tx9"); err != nil {
+		t.Fatal(err)
+	}
+
+	// That partition is handed off before the cleanup delete runs. The
+	// record now lives with the new owner, whose recovery garbage-
+	// collects inert decisions; nowhere-found here is success, not
+	// ErrNotFound.
+	ps.Unmount(0)
+	if err := ps.Delete("txdecision/tx9"); err != nil {
+		t.Fatalf("broadcast delete after handoff = %v, want nil", err)
+	}
+	// Even with nothing mounted at all, cleanup of a non-routable record
+	// is a no-op, not an error.
+	for p := 1; p < parts; p++ {
+		ps.Unmount(p)
+	}
+	if err := ps.Delete("txdecision/tx9"); err != nil {
+		t.Fatalf("broadcast delete with nothing mounted = %v, want nil", err)
 	}
 }

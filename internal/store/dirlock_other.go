@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+// lockDir is a no-op where flock(2) is unavailable: the lease protocol
+// above the store remains the only mutual-exclusion guard.
+func lockDir(dir string) (func(), error) {
+	return func() {}, nil
+}

@@ -1,0 +1,37 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir implements LockDir with flock(2). flock locks belong to the
+// open file description, so two opens of the same directory conflict
+// even within one process — exactly the double-mount the sharded tier
+// must refuse.
+func lockDir(dir string) (func(), error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lock store dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, LockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lock store dir: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("store dir %s is locked by another live owner: %w", dir, err)
+	}
+	var done bool
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		_ = f.Close()
+	}, nil
+}

@@ -241,7 +241,7 @@ func (s *FileStore) List(prefix ID) ([]ID, error) {
 			}
 			return err
 		}
-		if d.IsDir() || strings.HasPrefix(d.Name(), ".shadow-") {
+		if d.IsDir() || strings.HasPrefix(d.Name(), ".shadow-") || d.Name() == LockFileName {
 			return nil
 		}
 		raw, err := os.ReadFile(p)

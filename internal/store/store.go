@@ -105,24 +105,39 @@ func ApplyBatch(st Store, ops []BatchOp) error {
 // durable backends' state; sync controls fsync. The returned closer is
 // never nil. It backs cmd/wfexec's -store flag and the benchmark
 // harness, so both select backends identically.
+//
+// The durable backends are opened under an exclusive directory lock
+// (LockDir): both are single-writer, so a second live opener — another
+// process, or another partition mount in this one — is refused instead
+// of silently corrupting the state. The closer releases the lock.
 func Open(backend, dir string, sync bool) (Store, func(), error) {
 	switch backend {
 	case "mem":
 		return NewMemStore(), func() {}, nil
 	case "file":
+		unlock, err := LockDir(dir)
+		if err != nil {
+			return nil, nil, err
+		}
 		fs, err := NewFileStore(dir)
 		if err != nil {
+			unlock()
 			return nil, nil, err
 		}
 		fs.SetSync(sync)
-		return fs, func() {}, nil
+		return fs, unlock, nil
 	case "wal":
-		ws, err := NewWALStore(dir)
+		unlock, err := LockDir(dir)
 		if err != nil {
 			return nil, nil, err
 		}
+		ws, err := NewWALStore(dir)
+		if err != nil {
+			unlock()
+			return nil, nil, err
+		}
 		ws.SetSync(sync)
-		return ws, func() { _ = ws.Close() }, nil
+		return ws, func() { _ = ws.Close(); unlock() }, nil
 	default:
 		return nil, nil, fmt.Errorf("unknown store backend %q (want wal, file or mem)", backend)
 	}
