@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test lint wflint race cover bench bench-baseline bench-gate e2e e2e-shard sim golden
+.PHONY: check fmt vet build test lint wflint race cover bench bench-baseline bench-gate e2e e2e-shard e2e-diskfault gauntlet sim golden
 
 check: lint build test bench
 
@@ -83,6 +83,33 @@ e2e-shard:
 	bash scripts/e2e_shardkill.sh || \
 		{ echo "e2e-shard: retrying once to rule out machine noise"; \
 		  bash scripts/e2e_shardkill.sh; }
+
+# The crash-consistency gauntlet (see docs/INVARIANTS.md, "Storage"):
+# a recorded ≥1k-op WAL workload re-materialized truncated at EVERY
+# record boundary plus hundreds of seeded intra-record cuts (no
+# acknowledged write may be lost, torn tails recover silently), seeded
+# mid-log bit-flips (must fail loudly with ErrCorrupt), and the
+# engine-level recover-from-every-boundary no-double-fire sweep.
+# Verbose output lands in GAUNTLET.log; on failure the log carries the
+# failing byte offset and workload seed — the two numbers that ARE the
+# repro — and the CI gauntlet job uploads it as the artifact.
+gauntlet:
+	@$(GO) test -count=1 -run Gauntlet -v ./internal/store ./internal/engine > GAUNTLET.log 2>&1 \
+		|| { cat GAUNTLET.log; exit 1; }
+	@grep -E "^(--- PASS|ok  )" GAUNTLET.log
+
+# Disk-fault graceful-degradation e2e: two sharded coordinators over
+# one state root, SIGUSR1 wedges every partition store one of them has
+# mounted mid-run (the daemon stays up), and the script asserts the
+# whole chain: quarantine, lease release, healthy-peer takeover and
+# re-materialization, every instance completing, and the sick
+# coordinator's health surface reporting released-due-to-fault. Real
+# daemons and real timing, so one automatic re-run absorbs machine
+# noise (same idiom as e2e-shard).
+e2e-diskfault:
+	bash scripts/e2e_diskfault.sh || \
+		{ echo "e2e-diskfault: retrying once to rule out machine noise"; \
+		  bash scripts/e2e_diskfault.sh; }
 
 # Deterministic simulation: run the golden-trace scenario catalog
 # through wfsim, then the harness's own test suite (scenario replay

@@ -10,6 +10,9 @@
 //	wfadmin -exec ADDR instantiate INST SCHEMA    create an instance
 //	wfadmin -exec ADDR start INST SET k=Class:v.. start with inputs
 //	wfadmin -exec ADDR status INST                status + task table
+//	wfadmin -exec ADDR shardhealth                per-partition store health
+//	                                              of one coordinator (ok /
+//	                                              wedged / released-due-to-fault)
 //	wfadmin -exec ADDR events INST                event trace
 //	wfadmin -exec ADDR watch INST [TIMEOUT]       stream events (incl. timer
 //	                                              arm/fire) until settled
@@ -174,6 +177,18 @@ func run(repoAddr, execAddr string, args []string) error {
 				extra += fmt.Sprintf(" attempt=%d", row.Attempt)
 			}
 			fmt.Printf("  %-55s %-10s set=%-8s outputs=%v%s\n", row.Path, row.State, row.ChosenSet, row.Outputs, extra)
+		}
+	case "shardhealth":
+		rows, err := execC.ShardHealth()
+		if err != nil {
+			return err
+		}
+		if len(rows) == 0 {
+			fmt.Println("no partitions reported (single-coordinator deployment, or nothing held)")
+			return nil
+		}
+		for _, row := range rows {
+			fmt.Printf("partition %03d: %s\n", row.Partition, row.State)
 		}
 	case "events":
 		if err := need(1, "INST"); err != nil {

@@ -56,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/execsvc"
+	"repro/internal/failure"
 	"repro/internal/orb"
 	"repro/internal/persist"
 	"repro/internal/registry"
@@ -83,12 +84,13 @@ func main() {
 	coordID := flag.String("coord-id", "", "stable coordinator identity for lease holding (default: the listen address)")
 	leaseTTL := flag.Duration("lease-ttl", 2*time.Second, "partition lease TTL; a coordinator that misses renewal this long loses its partitions")
 	leaseRenew := flag.Duration("lease-renew", 0, "lease renewal interval (default TTL/3)")
+	wedgeOnUSR1 := flag.Bool("wedge-on-usr1", false, "TESTING (with -shard): SIGUSR1 wedges every mounted partition store, as if the disk died under the WAL — drives the quarantine/degrade path; used by scripts/e2e_diskfault.sh")
 	flag.Parse()
 
 	var err error
 	if *doShard {
 		err = runShard(*addr, *dir, *storeKind, *repoAddr, *naming, *balance, *noSync,
-			*retries, *maxRemote, *partitions, *coordID, *leaseTTL, *leaseRenew, *doRecover)
+			*retries, *maxRemote, *partitions, *coordID, *leaseTTL, *leaseRenew, *doRecover, *wedgeOnUSR1)
 	} else {
 		err = run(*addr, *dir, *storeKind, *repoAddr, *naming, *balance, *doRecover, *noSync, *retries, *maxRemote)
 	}
@@ -235,7 +237,7 @@ func run(addr, dir, storeKind, repoAddr, naming, balance string, doRecover, noSy
 // are tier-global, not partitioned, so scheduling stays on the
 // single-coordinator topology.
 func runShard(addr, dir, storeKind, repoAddr, naming, balance string, noSync bool,
-	retries, maxRemote, partitions int, coordID string, ttl, renew time.Duration, doRecover bool) error {
+	retries, maxRemote, partitions int, coordID string, ttl, renew time.Duration, doRecover, wedgeOnUSR1 bool) error {
 	if naming == "" {
 		return fmt.Errorf("-shard requires -naming (the naming service arbitrates partition leases)")
 	}
@@ -291,9 +293,12 @@ func runShard(addr, dir, storeKind, repoAddr, naming, balance string, noSync boo
 		return func(id string) bool { return shard.PartitionOf(id, partitions) == p }
 	}
 
-	// closers tracks each mounted partition store's close function.
+	// closers tracks each mounted partition store's close function;
+	// views tracks the fault-injection wrapper each partition mounts
+	// through when -wedge-on-usr1 is set.
 	var closersMu sync.Mutex
 	closers := make(map[int]func())
+	views := make(map[int]*failure.WedgeStore)
 
 	mgr, err := shard.NewManager(shard.ManagerConfig{
 		ID:         coordID,
@@ -322,10 +327,16 @@ func runShard(addr, dir, storeKind, repoAddr, naming, balance string, noSync boo
 			} else if n > 0 {
 				fmt.Printf("partition %d: rolled %d in-doubt transactions forward\n", p, n)
 			}
-			ps.Mount(p, st)
+			mount := st
 			closersMu.Lock()
 			closers[p] = closeStore
+			if wedgeOnUSR1 {
+				v := failure.NewWedgeStore(st)
+				views[p] = v
+				mount = v
+			}
 			closersMu.Unlock()
+			ps.Mount(p, mount)
 			ids, err := eng.RecoverMatching(compile, inPartition(p))
 			if err != nil {
 				// A corrupt instance must not bounce the partition between
@@ -341,6 +352,7 @@ func runShard(addr, dir, storeKind, repoAddr, naming, balance string, noSync boo
 			closersMu.Lock()
 			closeStore := closers[p]
 			delete(closers, p)
+			delete(views, p)
 			closersMu.Unlock()
 			if closeStore != nil {
 				closeStore()
@@ -357,6 +369,16 @@ func runShard(addr, dir, storeKind, repoAddr, naming, balance string, noSync boo
 	// instant its window lapses — not a tick later. (The per-partition
 	// store.Open directory lock is the third line of defense.)
 	ps.SetFence(mgr.Holds)
+	// Degradation on durability faults: the first wedged/corrupt write
+	// into a partition quarantines it — the fence closes immediately, the
+	// manager's next round stops its instances, releases its lease and
+	// declares avoidance, and a healthy peer re-materializes the
+	// partition from the shared state root.
+	ps.SetHealthSink(func(p int, err error) {
+		fmt.Fprintf(os.Stderr, "partition %d: store fault, quarantining: %v\n", p, err)
+		mgr.Quarantine(p, err)
+	})
+	svc.SetShardHealth(mgr.Health)
 
 	// Instance-scoped requests are served only for held partitions; for
 	// the rest the guard refuses with a redirect to the current lease
@@ -384,6 +406,29 @@ func runShard(addr, dir, storeKind, repoAddr, naming, balance string, noSync boo
 
 	mgr.Start()
 	defer mgr.Close()
+
+	if wedgeOnUSR1 {
+		// Storage-fault injection for the disk-fault gauntlet: SIGUSR1
+		// wedges every partition view this coordinator has mounted, so
+		// the next flush into each fails with ErrWedged exactly as if
+		// the WAL's disk had died. The health sink above then
+		// quarantines the partitions and the tier degrades them to a
+		// healthy peer.
+		usr1 := make(chan os.Signal, 1)
+		signal.Notify(usr1, syscall.SIGUSR1)
+		go func() {
+			for range usr1 {
+				closersMu.Lock()
+				n := 0
+				for _, v := range views {
+					v.Wedge(nil)
+					n++
+				}
+				closersMu.Unlock()
+				fmt.Fprintf(os.Stderr, "wfexec: SIGUSR1 — wedged %d mounted partition stores\n", n)
+			}
+		}()
+	}
 
 	fmt.Printf("sharded workflow coordinator %s on %s (%d partitions, lease ttl %v, state root %s)\n",
 		coordID, server.Addr(), partitions, ttl, dir)

@@ -1,0 +1,136 @@
+package engine_test
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/failure"
+	"repro/internal/persist"
+	"repro/internal/registry"
+	"repro/internal/script/sema"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+// faultRig is an engine over an injectable store: transitions flow
+// through flushRuns into st, which the test wedges or fences mid-run.
+type faultRig struct {
+	impls *registry.Registry
+	eng   *engine.Engine
+}
+
+func newFaultRig(t *testing.T, st store.Store) *faultRig {
+	t.Helper()
+	preg := persist.NewRegistry(st, txn.NewManager(st), nil)
+	impls := registry.New()
+	eng := engine.New(preg, impls, engine.Config{})
+	t.Cleanup(eng.Close)
+	return &faultRig{impls: impls, eng: eng}
+}
+
+func (r *faultRig) start(t *testing.T, id string) *engine.Instance {
+	t.Helper()
+	schema := sema.MustCompileSource(id+".wf", []byte(fig3Script))
+	inst, err := r.eng.Instantiate(id, schema, "")
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	if err := inst.Start("main", registry.Objects{"seed": val("D", 0)}); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	return inst
+}
+
+// awaitPersistFailure polls until a persist-failure event surfaces.
+func awaitPersistFailure(t *testing.T, inst *engine.Instance) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, e := range inst.Events() {
+			if e.Kind == engine.EventTaskFailed && strings.Contains(e.Err, "persist") {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no persist-failure event surfaced; events: %v", inst.Events())
+}
+
+// runFlushFaultScenario drives the shared script against a store whose
+// write path breaks (via trip) after the first iteration's mark was
+// acknowledged, and asserts the contract at every acknowledgement
+// point: the mark on the broken store is refused with wantErr, failure
+// events surface, and the instance never completes.
+func runFlushFaultScenario(t *testing.T, st store.Store, trip func(), wantErr error) {
+	t.Helper()
+	r := newFaultRig(t, st)
+	var markErr atomic.Pointer[error]
+	done := make(chan struct{})
+	r.impls.Bind("cycler", func(ctx registry.Context) (registry.Result, error) {
+		n := ctx.Inputs()["seed"].Data.(int)
+		if n == 0 {
+			// Healthy round: mark acks, iteration repeats.
+			if err := ctx.Mark("progress", registry.Objects{"snapshot": val("D", n)}); err != nil {
+				return registry.Result{}, err
+			}
+			return registry.Result{Output: "again", Objects: registry.Objects{"counter": val("D", n+1)}}, nil
+		}
+		// Broken round: the store wedges/fences before the mark.
+		trip()
+		err := ctx.Mark("progress", registry.Objects{"snapshot": val("D", n)})
+		markErr.Store(&err)
+		close(done)
+		return registry.Result{Output: "finished", Objects: registry.Objects{"out": val("D", n)}}, nil
+	})
+	inst := r.start(t, "flushfault")
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second iteration never ran")
+	}
+	err := *markErr.Load()
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("mark on broken store acked: err = %v, want %v", err, wantErr)
+	}
+	awaitPersistFailure(t, inst)
+
+	// Exactly one mark was acknowledged (the healthy round); the failed
+	// one was rolled back, not acked, and left no mark event.
+	if got := len(eventsByKind(inst.Events(), engine.EventTaskMarked)); got != 1 {
+		t.Fatalf("mark events = %d, want 1 (failed mark must not be acknowledged)", got)
+	}
+	// The completion the implementation returned cannot become durable:
+	// the instance must not report completed.
+	time.Sleep(50 * time.Millisecond)
+	if st := inst.Status(); st == engine.StatusCompleted {
+		t.Fatalf("instance completed over a broken store (status %s)", st)
+	}
+	if _, ok := inst.Result(); ok {
+		t.Fatal("instance produced a result whose terminal state never became durable")
+	}
+}
+
+// TestWedgedStoreDoesNotAckMarksOrCompletions: store.ErrWedged from a
+// mid-run wedge (failed fsync semantics) propagates through flushRuns
+// to every acknowledgement point.
+func TestWedgedStoreDoesNotAckMarksOrCompletions(t *testing.T) {
+	ws := failure.NewWedgeStore(store.NewMemStore())
+	runFlushFaultScenario(t, ws, func() { ws.Wedge(nil) }, store.ErrWedged)
+}
+
+// TestFencedStoreDoesNotAckMarksOrCompletions: shard.ErrFenced from a
+// lapsed lease fence propagates the same way — a coordinator that can
+// no longer prove ownership must not acknowledge anything.
+func TestFencedStoreDoesNotAckMarksOrCompletions(t *testing.T) {
+	ps := shard.NewPartitionedStore(1)
+	ps.Mount(0, store.NewMemStore())
+	var fenced atomic.Bool
+	ps.SetFence(func(int) bool { return !fenced.Load() })
+	runFlushFaultScenario(t, ps, func() { fenced.Store(true) }, shard.ErrFenced)
+}

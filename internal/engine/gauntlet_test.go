@@ -1,0 +1,260 @@
+package engine_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/persist"
+	"repro/internal/registry"
+	"repro/internal/script/sema"
+	"repro/internal/store"
+	"repro/internal/timers"
+	"repro/internal/txn"
+)
+
+// The engine half of the crash-consistency gauntlet: run a chain of
+// first-class delay tasks to completion over a real WALStore, then
+// re-materialize the WAL truncated at every record boundary — every
+// legal crash point — recover a fresh engine over it, and drive the
+// recovered instance to completion on virtual time. The timer contract
+// under test, at every cut:
+//
+//   - no double-fire: a delay whose terminal state was durable at the
+//     crash never fires again after recovery, and no delay fires more
+//     than once within the recovered run;
+//   - no lost fire: every delay the durable prefix still holds as
+//     executing fires exactly once after recovery, and the instance
+//     completes from any prefix that acknowledged its creation.
+func TestGauntletNoDoubleFire(t *testing.T) {
+	const nDelays = 5
+	src := delayChainScript(nDelays)
+	schema := sema.MustCompileSource("gauntlet.wf", []byte(src))
+
+	// Phase 1: record the workload's WAL byte stream.
+	recDir := t.TempDir()
+	st1, err := store.NewWALStore(recDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1.SetSync(false)
+	st1.SetMaxSegmentBytes(1 << 30)
+	st1.SetCompactThreshold(1 << 30)
+	clock1 := timers.NewFakeClock(epoch)
+	preg1 := persist.NewRegistry(st1, txn.NewManager(st1), nil)
+	eng1 := engine.New(preg1, registry.New(), engine.Config{Clock: clock1})
+	inst1, err := eng1.Instantiate("gauntlet", schema, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst1.Start("main", registry.Objects{"d": val("D", "x")}); err != nil {
+		t.Fatal(err)
+	}
+	driveDelays(t, inst1, clock1)
+	if n := len(eventsByKind(inst1.Events(), engine.EventTimerFired)); n != nDelays {
+		t.Fatalf("recording run fired %d timers, want %d", n, nDelays)
+	}
+	eng1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(recDir, "wal-*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want one recorded segment, got %v (err %v)", segs, err)
+	}
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	segName := filepath.Base(segs[0])
+	ends := walRecordEnds(t, raw)
+
+	// Phase 2: recover from every boundary prefix. Recovery must start
+	// succeeding at some early boundary (the instantiation flush) and
+	// never regress after that.
+	recovered := false
+	for k := 0; k <= len(ends); k++ {
+		var cut int64
+		if k > 0 {
+			cut = ends[k-1]
+		}
+		label := fmt.Sprintf("boundary %d/%d (offset %d)", k, len(ends), cut)
+
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName), raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st2, err := store.NewWALStore(dir)
+		if err != nil {
+			t.Fatalf("%s: torn-tail reopen failed: %v", label, err)
+		}
+		st2.SetSync(false)
+		preg2 := persist.NewRegistry(st2, txn.NewManager(st2), nil)
+		if _, err := preg2.Recover(); err != nil {
+			t.Fatalf("%s: transaction roll-forward: %v", label, err)
+		}
+		clock2 := timers.NewFakeClock(epoch)
+		eng2 := engine.New(preg2, registry.New(), engine.Config{Clock: clock2})
+
+		inst2, err := eng2.Recover("gauntlet", sema.CompileSource)
+		if err != nil {
+			if recovered {
+				t.Fatalf("%s: recovery regressed after succeeding at an earlier boundary: %v", label, err)
+			}
+			// Before the instantiation flush there is nothing durable to
+			// recover — and nothing was acknowledged to anyone either.
+			eng2.Close()
+			st2.Close()
+			continue
+		}
+		recovered = true
+
+		// Which delays does the durable prefix hold as already terminal?
+		// Those fires were acknowledged; recovery must never repeat them.
+		durableDone := map[string]bool{}
+		rows, err := inst2.Snapshot()
+		if err != nil {
+			t.Fatalf("%s: snapshot: %v", label, err)
+		}
+		for _, row := range rows {
+			if row.State == engine.RunCompleted {
+				durableDone[row.Path] = true
+			}
+		}
+
+		// A prefix that holds the instantiation but not the Start flush
+		// recovers as created-not-started: Start was never acknowledged,
+		// so the client's retry re-issues it (at-least-once).
+		if inst2.Status() == engine.StatusCreated {
+			if err := inst2.Start("main", registry.Objects{"d": val("D", "x")}); err != nil {
+				t.Fatalf("%s: re-issued Start: %v", label, err)
+			}
+		}
+		if inst2.Status() != engine.StatusCompleted {
+			driveDelays(t, inst2, clock2)
+		}
+		if got := inst2.Status(); got != engine.StatusCompleted {
+			t.Fatalf("%s: recovered instance finished %v, want completed (events: %v)", label, got, inst2.Events())
+		}
+
+		fires := map[string]int{}
+		for _, ev := range eventsByKind(inst2.Events(), engine.EventTimerFired) {
+			fires[ev.Task]++
+		}
+		for path, n := range fires {
+			if n > 1 {
+				t.Fatalf("%s: %s fired %d times in the recovered run", label, path, n)
+			}
+			if durableDone[path] {
+				t.Fatalf("%s: %s re-fired after its completion was already durable at the crash", label, path)
+			}
+		}
+		eng2.Close()
+		st2.Close()
+	}
+	if !recovered {
+		t.Fatal("no boundary ever recovered the instance; the sweep tested nothing")
+	}
+}
+
+// delayChainScript builds a sequential chain of n first-class 1s delay
+// tasks: t1 seeds from the app input, each t(i+1) from t(i)'s output.
+func delayChainScript(n int) string {
+	var b strings.Builder
+	b.WriteString(`
+class D;
+taskclass TStage
+{
+    inputs { input main { d of class D } };
+    outputs { outcome done { d of class D } }
+};
+taskclass App
+{
+    inputs { input main { d of class D } };
+    outputs { outcome done { d of class D } }
+};
+compoundtask app of taskclass App
+{
+`)
+	for i := 1; i <= n; i++ {
+		src := "{ d of task app if input main }"
+		if i > 1 {
+			src = fmt.Sprintf("{ d of task t%d if output done }", i-1)
+		}
+		fmt.Fprintf(&b, `    task t%d of taskclass TStage
+    {
+        implementation { "delay" is "1s" };
+        inputs { input main { inputobject d from %s } }
+    };
+`, i, src)
+	}
+	fmt.Fprintf(&b, `    outputs { outcome done { outputobject d from { d of task t%d if output done } } }
+};
+`, n)
+	return b.String()
+}
+
+// driveDelays drives the instance to a terminal status on virtual
+// time: whenever the event stream shows an armed delay with no fire
+// yet, the clock jumps straight to the earliest such deadline.
+func driveDelays(t *testing.T, inst *engine.Instance, clock *timers.FakeClock) {
+	t.Helper()
+	wall := time.Now().Add(20 * time.Second)
+	for time.Now().Before(wall) {
+		if inst.Status() != engine.StatusRunning {
+			return
+		}
+		armedAt := map[string]time.Time{}
+		armed := map[string]int{}
+		fired := map[string]int{}
+		for _, ev := range inst.Events() {
+			switch ev.Kind {
+			case engine.EventTimerArmed:
+				armed[ev.Task]++
+				armedAt[ev.Task] = ev.Deadline
+			case engine.EventTimerFired:
+				fired[ev.Task]++
+			}
+		}
+		var next time.Time
+		for task, n := range armed {
+			if n > fired[task] && (next.IsZero() || armedAt[task].Before(next)) {
+				next = armedAt[task]
+			}
+		}
+		if next.IsZero() {
+			// Between a fire and the next task's arm: let the loop run.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if d := next.Sub(clock.Now()); d > 0 {
+			clock.Advance(d)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("instance never finished: status %v (events: %v)", inst.Status(), inst.Events())
+}
+
+// walRecordEnds parses the WAL segment framing ([4B len][4B CRC]
+// [payload], big-endian) and returns the offset just past each record.
+func walRecordEnds(t *testing.T, raw []byte) []int64 {
+	t.Helper()
+	var ends []int64
+	off := 0
+	for off < len(raw) {
+		if off+8 > len(raw) {
+			t.Fatalf("trailing %d bytes are not a record header", len(raw)-off)
+		}
+		n := int(uint32(raw[off])<<24 | uint32(raw[off+1])<<16 | uint32(raw[off+2])<<8 | uint32(raw[off+3]))
+		if off+8+n > len(raw) {
+			t.Fatalf("record at %d claims %d bytes past EOF", off, n)
+		}
+		off += 8 + n
+		ends = append(ends, int64(off))
+	}
+	return ends
+}

@@ -172,8 +172,11 @@ func (i *Instance) evaluate() {
 		}
 	}
 	i.checkQuiescence()
-	// All run-state transitions of this pass become durable together.
-	i.flushRuns()
+	// All run-state transitions of this pass become durable together. A
+	// failed flush already surfaced as per-task failure events; the
+	// in-memory state stays authoritative for the live controller and
+	// recovery replays from the last durable prefix.
+	_ = i.flushRuns()
 }
 
 // evaluateFullRescan is the legacy strategy: satisfaction passes over
@@ -548,7 +551,15 @@ func (i *Instance) finishInstance(r *run) {
 	// Waiters observe the terminal status as soon as it is set: flush the
 	// buffered transitions (including the root's terminal state) so an
 	// acknowledged completion survives a crash.
-	i.flushRuns()
+	if err := i.flushRuns(); err != nil {
+		// The terminal state did not reach the disk (wedged or fenced
+		// store): completing anyway would acknowledge a result a
+		// takeover peer recovers without. Stay un-completed — the
+		// degradation path hands the partition to a healthy owner,
+		// whose recovery resumes from the durable prefix and finishes
+		// the instance there.
+		return
+	}
 	var res Result
 	if rec := r.terminalRec(); rec != nil {
 		res = Result{Output: rec.Output, Kind: rec.Kind, Objects: rec.Objects, State: r.st.State}
@@ -887,8 +898,16 @@ func (i *Instance) handleMark(msg markMsg) error {
 	r.st.Outputs = append(r.st.Outputs, rec)
 	i.persistRun(r)
 	// The reply acknowledges the mark to the implementation, which is
-	// then barred from aborting (Section 4.2): make it durable first.
-	i.flushRuns()
+	// then barred from aborting (Section 4.2): make it durable first. A
+	// mark that failed to persist must NOT be acknowledged — the
+	// implementation would consider itself bar-from-abort on the
+	// strength of a record recovery will never see — so roll it back in
+	// memory and report the failure instead.
+	if err := i.flushRuns(); err != nil {
+		delete(r.st.MarksEmitted, msg.name)
+		r.st.Outputs = r.st.Outputs[:len(r.st.Outputs)-1]
+		return fmt.Errorf("mark %s: persist: %w", msg.name, err)
+	}
 	i.emit(Event{Task: r.st.Path, Kind: EventTaskMarked, Output: out.Name, Objects: objects, Iteration: r.st.Iteration})
 	i.noteOutput(r.st.Path)
 	return nil
@@ -1019,9 +1038,13 @@ func (i *Instance) bufferRun(path string, r *run) {
 // property tests pin. Called on the loop goroutine at the end of every
 // evaluation pass and before externally visible acknowledgements (mark
 // replies, instance completion).
-func (i *Instance) flushRuns() {
+//
+// A commit failure (wedged store, lapsed lease fence) is surfaced twice:
+// as per-task failure events, and as the returned error so
+// acknowledgement points refuse to ack state that never became durable.
+func (i *Instance) flushRuns() error {
 	if len(i.pendingOrder) == 0 && len(i.pendingTimerOrder) == 0 {
-		return
+		return nil
 	}
 	b := i.eng.preg.NewBatch()
 	paths := i.pendingOrder
@@ -1063,7 +1086,9 @@ func (i *Instance) flushRuns() {
 		for _, path := range timerPaths {
 			i.emit(Event{Task: path, Kind: EventTaskFailed, Err: fmt.Sprintf("persist timer: %v", err)})
 		}
+		return err
 	}
+	return nil
 }
 
 // taskCtx implements registry.Context.

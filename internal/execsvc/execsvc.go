@@ -52,6 +52,9 @@ type Service struct {
 	// own gates instance-scoped operations in the sharded topology; nil
 	// (single-coordinator) owns everything. See SetOwnership.
 	own Ownership
+	// health reports per-partition store health in the sharded topology;
+	// nil (single-coordinator) reports nothing. See SetShardHealth.
+	health func() map[int]string
 }
 
 // New returns an execution service over the engine and schema source.

@@ -1,0 +1,38 @@
+package execsvc_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/execsvc"
+)
+
+// TestShardHealthVerb round-trips per-partition store health through
+// the servant: sorted rows against a sharded source, empty against a
+// single-coordinator service (no source installed).
+func TestShardHealthVerb(t *testing.T) {
+	s := newStack(t)
+	rows, err := s.execC.ShardHealth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("single-coordinator service reported partitions: %v", rows)
+	}
+
+	s.exec.SetShardHealth(func() map[int]string {
+		return map[int]string{2: "released-due-to-fault", 0: "ok", 1: "wedged"}
+	})
+	rows, err = s.execC.ShardHealth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []execsvc.PartitionHealth{
+		{Partition: 0, State: "ok"},
+		{Partition: 1, State: "wedged"},
+		{Partition: 2, State: "released-due-to-fault"},
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("ShardHealth = %v, want %v", rows, want)
+	}
+}

@@ -16,6 +16,21 @@ type Ownership func(instance string) (owned bool, ownerAddr string)
 // the servant starts serving.
 func (s *Service) SetOwnership(own Ownership) { s.own = own }
 
+// PartitionHealth is one partition's store health as reported by the
+// shardHealth verb: "ok" for a held partition on a healthy store,
+// "wedged" for a condemned store whose degradation is still in
+// progress, "released-due-to-fault" once the partition's lease has been
+// handed back for a healthy peer to take over.
+type PartitionHealth struct {
+	Partition int
+	State     string
+}
+
+// SetShardHealth installs the per-partition store health source (the
+// lease manager's Health in the sharded topology). Set once at boot;
+// nil (single coordinator) reports nothing.
+func (s *Service) SetShardHealth(health func() map[int]string) { s.health = health }
+
 // notOwnerMarker is the wire-greppable prefix of ownership refusals.
 // The orb transports servant errors as bare strings (AppError), so the
 // routing client recognises a refusal — and extracts the redirect

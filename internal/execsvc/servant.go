@@ -1,6 +1,7 @@
 package execsvc
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -89,6 +90,10 @@ type schedulesResp struct {
 	Schedules []Schedule
 }
 
+type shardHealthResp struct {
+	Partitions []PartitionHealth
+}
+
 // Servant exports the execution service over the orb.
 func (s *Service) Servant() *orb.Servant {
 	sv := orb.NewServant()
@@ -134,6 +139,18 @@ func (s *Service) Servant() *orb.Servant {
 	orb.Method(sv, "schedules", func(struct{}) (schedulesResp, error) {
 		list, err := s.Schedules()
 		return schedulesResp{Schedules: list}, err
+	})
+	orb.Method(sv, "shardHealth", func(struct{}) (shardHealthResp, error) {
+		if s.health == nil {
+			return shardHealthResp{}, nil
+		}
+		m := s.health()
+		rows := make([]PartitionHealth, 0, len(m))
+		for p, state := range m {
+			rows = append(rows, PartitionHealth{Partition: p, State: state})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Partition < rows[j].Partition })
+		return shardHealthResp{Partitions: rows}, nil
 	})
 	return sv
 }
@@ -250,4 +267,11 @@ func (ec *Client) ScheduleRemove(name string) error {
 func (ec *Client) Schedules() ([]Schedule, error) {
 	resp, err := orb.Call[struct{}, schedulesResp](ec.c, ObjectName, "schedules", struct{}{})
 	return resp.Schedules, err
+}
+
+// ShardHealth reports the coordinator's per-partition store health
+// (empty on a single-coordinator deployment).
+func (ec *Client) ShardHealth() ([]PartitionHealth, error) {
+	resp, err := orb.Call[struct{}, shardHealthResp](ec.c, ObjectName, "shardHealth", struct{}{})
+	return resp.Partitions, err
 }

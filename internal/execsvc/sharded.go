@@ -12,6 +12,7 @@ import (
 	"repro/internal/orb"
 	"repro/internal/registry"
 	"repro/internal/shard"
+	"repro/internal/store"
 	"repro/internal/timers"
 )
 
@@ -131,10 +132,12 @@ func transportFailure(err error) bool {
 
 // retryable classifies errors the router keeps retrying (within
 // RouteTimeout): transport failures (coordinator dead or dying),
-// missing lease holders, and not-yet-recovered instances on a fresh
-// owner ("instance not found" during the takeover window). Other
-// application errors — bad schema, duplicate instance, task errors —
-// are the caller's, immediately.
+// missing lease holders, not-yet-recovered instances on a fresh owner
+// ("instance not found" during the takeover window), and storage-fault
+// refusals (a wedged or corrupt partition store is quarantined and its
+// lease handed to a healthy peer — retrying chases the handoff exactly
+// like a lease movement). Other application errors — bad schema,
+// duplicate instance, task errors — are the caller's, immediately.
 func retryable(err error) bool {
 	if err == nil {
 		return false
@@ -146,7 +149,9 @@ func retryable(err error) bool {
 	if _, ok := NotOwnerAddr(err); ok {
 		return true
 	}
-	return strings.Contains(ae.Msg, engine.ErrInstanceNotFound.Error())
+	return strings.Contains(ae.Msg, engine.ErrInstanceNotFound.Error()) ||
+		strings.Contains(ae.Msg, store.ErrWedged.Error()) ||
+		strings.Contains(ae.Msg, store.ErrCorrupt.Error())
 }
 
 // do routes one operation to instance's owning coordinator, retrying

@@ -1,0 +1,34 @@
+package execsvc
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/orb"
+	"repro/internal/store"
+)
+
+// The router's error classification decides whether a degrading
+// coordinator strands its clients: a storage-fault refusal must be
+// chased like a lease movement, while real application errors surface
+// immediately.
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"transport failure", errors.New("dial tcp: connection refused"), true},
+		{"application error", &orb.AppError{Msg: "schema not found"}, false},
+		{"takeover window", &orb.AppError{Msg: "instance not found"}, true},
+		{"wedged partition store", &orb.AppError{Msg: fmt.Sprintf("log decision tx4: apply batch: %v: injected fault", store.ErrWedged)}, true},
+		{"corrupt partition store", &orb.AppError{Msg: fmt.Sprintf("partition 3: %v", store.ErrCorrupt)}, true},
+	}
+	for _, c := range cases {
+		if got := retryable(c.err); got != c.want {
+			t.Errorf("retryable(%v) [%s] = %v, want %v", c.err, c.name, got, c.want)
+		}
+	}
+}

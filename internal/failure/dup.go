@@ -1,0 +1,152 @@
+package failure
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The orb wire protocol is a stream of gob messages: each message is a
+// gob-encoded unsigned length followed by that many payload bytes, and
+// the payload begins with a gob-encoded signed type id — negative for a
+// type-descriptor message, positive for a value message. Frame
+// duplication must respect those boundaries: re-sending a descriptor
+// breaks the peer's decoder (duplicate type definition), so only value
+// messages — the request itself — are duplicated.
+
+// gobUint decodes gob's unsigned-integer wire form from the front of
+// buf: a value < 128 is one byte; otherwise one byte holding the
+// negated byte count, then that many big-endian bytes. Returns the
+// value and bytes consumed; consumed == 0 means buf is too short.
+func gobUint(buf []byte) (val uint64, consumed int) {
+	if len(buf) == 0 {
+		return 0, 0
+	}
+	b := buf[0]
+	if b < 0x80 {
+		return uint64(b), 1
+	}
+	n := int(-int8(b))
+	if n <= 0 || n > 8 || len(buf) < 1+n {
+		return 0, 0
+	}
+	for _, c := range buf[1 : 1+n] {
+		val = val<<8 | uint64(c)
+	}
+	return val, 1 + n
+}
+
+// gobFramer incrementally splits a byte stream into gob messages.
+type gobFramer struct {
+	buf []byte
+}
+
+func (g *gobFramer) feed(p []byte) { g.buf = append(g.buf, p...) }
+
+// next returns the raw bytes of the next complete message (length
+// prefix included) and whether its payload is a value message (positive
+// type id). ok is false while the buffered bytes hold no complete
+// message.
+func (g *gobFramer) next() (msg []byte, value bool, ok bool) {
+	length, hdr := gobUint(g.buf)
+	if hdr == 0 || uint64(len(g.buf)-hdr) < length {
+		return nil, false, false
+	}
+	total := hdr + int(length)
+	msg = g.buf[:total:total]
+	g.buf = g.buf[total:]
+	// The payload's leading signed integer is the type id; gob encodes
+	// signed values with the sign in the low bit.
+	id, n := gobUint(msg[hdr:])
+	value = n > 0 && id&1 == 0
+	return msg, value, true
+}
+
+// dupConn duplicates the first value message written on the connection
+// — the request, once its type descriptors have gone ahead of it — so
+// the servant executes it twice. The extra response desynchronises the
+// stream, exactly like a retransmitted request reaching a server whose
+// reply to the original was lost; the conn therefore severs itself
+// after the first response value message passes back, and the client's
+// redial machinery takes over. Both sides are reframed so the cut never
+// lands inside a message.
+type dupConn struct {
+	net.Conn
+	stats *Stats
+
+	wmu     sync.Mutex
+	wf      gobFramer
+	pending bool // duplicate the next value message written
+
+	rmu   sync.Mutex
+	rf    gobFramer
+	out   []byte // complete messages ready for the reader
+	armed bool   // a duplicate went out; cut after one response value
+	cut   bool
+}
+
+// Write implements net.Conn, forwarding complete messages and
+// duplicating the first value message while armed.
+func (c *dupConn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wf.feed(p)
+	for {
+		msg, value, ok := c.wf.next()
+		if !ok {
+			return len(p), nil
+		}
+		if _, err := c.Conn.Write(msg); err != nil {
+			return 0, err
+		}
+		if value && c.pending {
+			c.pending = false
+			if _, err := c.Conn.Write(msg); err != nil {
+				return 0, err
+			}
+			c.stats.addDuplicated()
+			c.rmu.Lock()
+			c.armed = true
+			c.rmu.Unlock()
+		}
+	}
+}
+
+// Read implements net.Conn, delivering whole messages and severing the
+// stream after the response to a duplicated request.
+func (c *dupConn) Read(p []byte) (int, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	for len(c.out) == 0 {
+		if c.cut {
+			_ = c.Conn.Close()
+			return 0, fmt.Errorf("read: %w: connection severed after duplicated delivery", ErrInjected)
+		}
+		tmp := make([]byte, 4096)
+		c.rmu.Unlock()
+		n, err := c.Conn.Read(tmp)
+		c.rmu.Lock()
+		if n > 0 {
+			c.rf.feed(tmp[:n])
+			for {
+				msg, value, ok := c.rf.next()
+				if !ok {
+					break
+				}
+				c.out = append(c.out, msg...)
+				if value && c.armed {
+					// The reply the client is owed is through; the
+					// duplicate's reply dies with the connection.
+					c.cut = true
+					break
+				}
+			}
+		}
+		if err != nil && len(c.out) == 0 {
+			return 0, err
+		}
+	}
+	n := copy(p, c.out)
+	c.out = c.out[n:]
+	return n, nil
+}

@@ -1,0 +1,130 @@
+package failure_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/orb"
+)
+
+// TestDupDeliversRequestTwice: with duplication armed, the servant
+// executes each request twice while the client still gets exactly one
+// correct reply per call — the shape an at-least-once delivery layer
+// hands to its callers, which is what application-level dedup must
+// absorb.
+func TestDupDeliversRequestTwice(t *testing.T) {
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var hits atomic.Int64
+	sv := orb.NewServant()
+	orb.Method(sv, "echo", func(req string) (string, error) {
+		hits.Add(1)
+		return "echo:" + req, nil
+	})
+	srv.Register("svc", sv)
+
+	d, stats := failure.Lossy(failure.NetConfig{DupProb: 1, Seed: 5})
+	// Per-call connections: each call gets its own duplicated delivery
+	// and its own severed stream, so counts are exact.
+	cl := orb.Dial(srv.Addr(), orb.ClientConfig{Dialer: d, PerCallConn: true, Retries: -1})
+	defer cl.Close()
+
+	const calls = 5
+	for i := 0; i < calls; i++ {
+		var reply string
+		if err := cl.Invoke("svc", "echo", "x", &reply); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if reply != "echo:x" {
+			t.Fatalf("call %d reply = %q", i, reply)
+		}
+	}
+	// The duplicate rides the same connection; the servant sees it even
+	// though the client has already moved on. Give the server a moment
+	// to drain the duplicates.
+	deadline := time.Now().Add(2 * time.Second)
+	for hits.Load() < 2*calls && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := hits.Load(); got != 2*calls {
+		t.Fatalf("servant executed %d times, want %d (each request duplicated)", got, 2*calls)
+	}
+	if got := stats.Duplicated(); got != calls {
+		t.Fatalf("stats.Duplicated() = %d, want %d", got, calls)
+	}
+}
+
+// TestDupSeversPipelinedConnection: on a pipelined client the severed
+// stream surfaces as a transport error the retry machinery heals — no
+// stale duplicate reply is ever delivered to a later call.
+func TestDupSeversPipelinedConnection(t *testing.T) {
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sv := orb.NewServant()
+	orb.Method(sv, "id", func(req int) (int, error) { return req, nil })
+	srv.Register("svc", sv)
+
+	d, _ := failure.Lossy(failure.NetConfig{DupProb: 1, Seed: 5})
+	cl := orb.Dial(srv.Addr(), orb.ClientConfig{Dialer: d, Retries: 5})
+	defer cl.Close()
+
+	for i := 0; i < 8; i++ {
+		var reply int
+		if err := cl.Invoke("svc", "id", i, &reply); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if reply != i {
+			t.Fatalf("call %d got stale reply %d", i, reply)
+		}
+	}
+}
+
+// TestReorderDelaysDials: reordering jitter lets concurrent calls
+// overtake each other but never corrupts any of them.
+func TestReorderDelaysDials(t *testing.T) {
+	srv, err := orb.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sv := orb.NewServant()
+	orb.Method(sv, "id", func(req int) (int, error) { return req, nil })
+	srv.Register("svc", sv)
+
+	d, stats := failure.Lossy(failure.NetConfig{ReorderProb: 1, ReorderMax: 5 * time.Millisecond, Seed: 3})
+	cl := orb.Dial(srv.Addr(), orb.ClientConfig{Dialer: d, PerCallConn: true})
+	defer cl.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 10)
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var reply int
+			if err := cl.Invoke("svc", "id", i, &reply); err != nil {
+				errs[i] = err
+			} else if reply != i {
+				t.Errorf("call %d got %d", i, reply)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if stats.Reordered() == 0 {
+		t.Fatal("no reordering recorded")
+	}
+}

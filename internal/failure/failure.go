@@ -39,6 +39,18 @@ type NetConfig struct {
 	// DropAfter, when positive, closes each connection after a random
 	// number of frames in [1, DropAfter] (mid-call drops).
 	DropAfter int
+	// DupProb is the probability that a connection duplicates its first
+	// request in flight (the servant executes it twice) and then severs
+	// itself once the first reply passes — a retransmission into a
+	// dying connection. Exercises the callers' idempotence/dedup paths.
+	DupProb float64
+	// ReorderProb is the probability that a dial is held back by a
+	// random delay in (0, ReorderMax], letting concurrently issued
+	// calls overtake it (delivery reordering).
+	ReorderProb float64
+	// ReorderMax bounds the reordering delay; zero with ReorderProb set
+	// defaults to 20ms.
+	ReorderMax time.Duration
 	// Delay adds fixed latency before each dial succeeds.
 	Delay time.Duration
 	// Seed makes the fault sequence reproducible.
@@ -65,9 +77,21 @@ func Lossy(cfg NetConfig) (orb.Dialer, *Stats) {
 		if cfg.DropAfter > 0 {
 			dropAt = 1 + rng.Intn(cfg.DropAfter)
 		}
+		dup := cfg.DupProb > 0 && rng.Float64() < cfg.DupProb
+		var reorder time.Duration
+		if cfg.ReorderProb > 0 && rng.Float64() < cfg.ReorderProb {
+			limit := cfg.ReorderMax
+			if limit <= 0 {
+				limit = 20 * time.Millisecond
+			}
+			reorder = time.Duration(1 + rng.Int63n(int64(limit)))
+		}
 		mu.Unlock()
-		if cfg.Delay > 0 {
-			<-clk.Wake(clk.Now().Add(cfg.Delay))
+		if delay := cfg.Delay + reorder; delay > 0 {
+			if reorder > 0 {
+				stats.addReordered()
+			}
+			<-clk.Wake(clk.Now().Add(delay))
 		}
 		if refuse {
 			stats.addRefused()
@@ -76,6 +100,9 @@ func Lossy(cfg NetConfig) (orb.Dialer, *Stats) {
 		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
 		if err != nil {
 			return nil, err
+		}
+		if dup {
+			conn = &dupConn{Conn: conn, stats: stats, pending: true}
 		}
 		if dropAt > 0 {
 			return &droppingConn{Conn: conn, remaining: dropAt, stats: stats}, nil
@@ -86,9 +113,11 @@ func Lossy(cfg NetConfig) (orb.Dialer, *Stats) {
 
 // Stats counts injected faults.
 type Stats struct {
-	mu      sync.Mutex
-	refused int
-	dropped int
+	mu         sync.Mutex
+	refused    int
+	dropped    int
+	duplicated int
+	reordered  int
 }
 
 func (s *Stats) addRefused() {
@@ -115,6 +144,32 @@ func (s *Stats) Dropped() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.dropped
+}
+
+func (s *Stats) addDuplicated() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.duplicated++
+}
+
+// Duplicated reports injected request duplications.
+func (s *Stats) Duplicated() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.duplicated
+}
+
+func (s *Stats) addReordered() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reordered++
+}
+
+// Reordered reports injected delivery reorderings.
+func (s *Stats) Reordered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reordered
 }
 
 // droppingConn closes itself after a budget of writes.

@@ -100,6 +100,52 @@ func (n *Naming) LeaseHolder(name string) (holder, addr string, held bool) {
 	return l.holder, l.addr, true
 }
 
+// AvoidLease records that addr must not be offered the lease for the
+// next ttl — a holder that released name because it can no longer serve
+// it (a wedged partition store) declares itself unfit, so peers exclude
+// it from placement preference instead of handing the lease straight
+// back to the sick node. The declaration is self-scoped: it never evicts
+// a live holder, it only biases future placement, and it lapses at ttl
+// unless refreshed (a node that restarts healthy stops refreshing and
+// becomes eligible again).
+func (n *Naming) AvoidLease(name, addr string, ttl time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ttl <= 0 {
+		ttl = time.Second
+	}
+	m := n.avoids[name]
+	if m == nil {
+		m = make(map[string]time.Time)
+		n.avoids[name] = m
+	}
+	m[addr] = n.now().Add(ttl)
+}
+
+// LeaseAvoiders reports every live avoidance declaration, keyed by lease
+// name, each address set sorted. Expired declarations are dropped.
+func (n *Naming) LeaseAvoiders() map[string][]string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := n.now()
+	out := make(map[string][]string)
+	for name, m := range n.avoids {
+		for addr, exp := range m {
+			if !exp.After(now) {
+				delete(m, addr)
+				continue
+			}
+			out[name] = append(out[name], addr)
+		}
+		if len(m) == 0 {
+			delete(n.avoids, name)
+			continue
+		}
+		sort.Strings(out[name])
+	}
+	return out
+}
+
 // Leases lists every live lease, sorted by name.
 func (n *Naming) Leases() []LeaseInfo {
 	n.mu.Lock()
@@ -156,6 +202,30 @@ type leaseListResp struct {
 	Leases []LeaseInfo
 }
 
+type leaseAvoidReq struct {
+	Name string
+	Addr string
+	// TTLMillis bounds the declaration; the avoider refreshes it while
+	// the condition persists.
+	TTLMillis int64
+}
+
+type leaseAvoidResp struct{}
+
+type leaseAvoidersReq struct{}
+
+// AvoiderSet is one lease's avoidance set on the wire (gob needs a
+// concrete struct; a map of slices round-trips awkwardly across nil/
+// empty).
+type AvoiderSet struct {
+	Name  string
+	Addrs []string
+}
+
+type leaseAvoidersResp struct {
+	Sets []AvoiderSet
+}
+
 // leaseVerbs registers the lease operations on the naming servant.
 func (n *Naming) leaseVerbs(s *Servant) {
 	Method(s, "leaseAcquire", func(req leaseAcquireReq) (leaseAcquireResp, error) {
@@ -171,6 +241,23 @@ func (n *Naming) leaseVerbs(s *Servant) {
 	})
 	Method(s, "leaseList", func(leaseListReq) (leaseListResp, error) {
 		return leaseListResp{Leases: n.Leases()}, nil
+	})
+	Method(s, "leaseAvoid", func(req leaseAvoidReq) (leaseAvoidResp, error) {
+		n.AvoidLease(req.Name, req.Addr, time.Duration(req.TTLMillis)*time.Millisecond)
+		return leaseAvoidResp{}, nil
+	})
+	Method(s, "leaseAvoiders", func(leaseAvoidersReq) (leaseAvoidersResp, error) {
+		avoiders := n.LeaseAvoiders()
+		names := make([]string, 0, len(avoiders))
+		for name := range avoiders {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		sets := make([]AvoiderSet, 0, len(names))
+		for _, name := range names {
+			sets = append(sets, AvoiderSet{Name: name, Addrs: avoiders[name]})
+		}
+		return leaseAvoidersResp{Sets: sets}, nil
 	})
 }
 
@@ -211,4 +298,27 @@ func (nc *NamingClient) Leases() ([]LeaseInfo, error) {
 		return nil, err
 	}
 	return resp.Leases, nil
+}
+
+// AvoidLease declares addr unfit to hold name through a remote naming
+// servant.
+func (nc *NamingClient) AvoidLease(name, addr string, ttl time.Duration) error {
+	_, err := Call[leaseAvoidReq, leaseAvoidResp](nc.c, NamingObject, "leaseAvoid", leaseAvoidReq{
+		Name: name, Addr: addr, TTLMillis: ttl.Milliseconds(),
+	})
+	return err
+}
+
+// LeaseAvoiders fetches the live avoidance sets through a remote naming
+// servant.
+func (nc *NamingClient) LeaseAvoiders() (map[string][]string, error) {
+	resp, err := Call[leaseAvoidersReq, leaseAvoidersResp](nc.c, NamingObject, "leaseAvoiders", leaseAvoidersReq{})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]string, len(resp.Sets))
+	for _, s := range resp.Sets {
+		out[s.Name] = s.Addrs
+	}
+	return out, nil
 }

@@ -36,6 +36,9 @@ type Naming struct {
 	entries map[string][]*binding
 	// leases maps lease names to their current holder; see lease.go.
 	leases map[string]*lease
+	// avoids maps lease names to the addresses that have declared
+	// themselves unfit to hold them (with expiry); see lease.go.
+	avoids map[string]map[string]time.Time
 	// now is the clock, replaceable for expiry tests.
 	now func() time.Time
 }
@@ -45,6 +48,7 @@ func NewNaming() *Naming {
 	return &Naming{
 		entries: make(map[string][]*binding),
 		leases:  make(map[string]*lease),
+		avoids:  make(map[string]map[string]time.Time),
 		now:     timers.WallClock{}.Now,
 	}
 }

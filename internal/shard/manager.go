@@ -17,6 +17,14 @@ import (
 type LeaseAPI interface {
 	AcquireLease(name, holder, addr string, ttl time.Duration) (granted bool, curHolder, curAddr string, err error)
 	ReleaseLease(name, holder string) (released bool, err error)
+	// AvoidLease declares addr unfit to hold name for ttl (refreshed
+	// while the condition persists); LeaseAvoiders fetches the live
+	// declarations, keyed by lease name. Peers subtract a lease's
+	// avoiders from the rendezvous candidate set, so a partition whose
+	// preferred owner quarantined it is re-placed on a healthy peer
+	// instead of orbiting back to the sick one.
+	AvoidLease(name, addr string, ttl time.Duration) error
+	LeaseAvoiders() (map[string][]string, error)
 }
 
 // LocalLeases adapts an in-process naming table to LeaseAPI.
@@ -31,6 +39,17 @@ func (l LocalLeases) AcquireLease(name, holder, addr string, ttl time.Duration) 
 // ReleaseLease implements LeaseAPI.
 func (l LocalLeases) ReleaseLease(name, holder string) (bool, error) {
 	return l.N.ReleaseLease(name, holder), nil
+}
+
+// AvoidLease implements LeaseAPI.
+func (l LocalLeases) AvoidLease(name, addr string, ttl time.Duration) error {
+	l.N.AvoidLease(name, addr, ttl)
+	return nil
+}
+
+// LeaseAvoiders implements LeaseAPI.
+func (l LocalLeases) LeaseAvoiders() (map[string][]string, error) {
+	return l.N.LeaseAvoiders(), nil
 }
 
 // errLeaseRPCTimeout marks a lease RPC that outlived its local bound;
@@ -122,6 +141,14 @@ type Manager struct {
 	held   map[int]time.Time
 	closed bool
 
+	// quar maps quarantined partitions to their state. Quarantine flips
+	// the maps immediately (the partition leaves held, so Holds and the
+	// store fence close at once) and defers the teardown and lease
+	// release to the next protocol round — the health sink fires on the
+	// engine's own flush goroutine, where running OnLose (which stops
+	// that engine's instances) would deadlock.
+	quar map[int]*quarState
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 }
@@ -160,8 +187,130 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	return &Manager{
 		cfg:    cfg,
 		held:   make(map[int]time.Time),
+		quar:   make(map[int]*quarState),
 		stopCh: make(chan struct{}),
 	}, nil
+}
+
+// quarState tracks one quarantined partition.
+type quarState struct {
+	cause error
+	// teardown is set while OnLose + release are still owed (cleared by
+	// the round — or Close — that runs them).
+	teardown bool
+	// released is set once the lease has been handed back to the pool;
+	// Health reports the partition as released-due-to-fault from then on.
+	released bool
+}
+
+// Quarantine marks partition p's store condemned (wedged or corrupt):
+// the partition leaves the held set immediately — Holds(p) turns false,
+// so the ownership guard and the store fence stop admitting work before
+// this call returns — and the next protocol round tears the partition
+// down, releases its lease, and begins refreshing an avoidance
+// declaration so placement prefers a healthy peer. Safe to call from
+// the engine's flush path (it only flips maps); idempotent per
+// partition. The quarantine is permanent for this process — recovering
+// the store requires reopening it from disk, which is a restart.
+func (m *Manager) Quarantine(p int, cause error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || p < 0 || p >= m.cfg.Partitions {
+		return
+	}
+	if _, already := m.quar[p]; already {
+		return
+	}
+	_, was := m.held[p]
+	delete(m.held, p)
+	m.quar[p] = &quarState{cause: cause, teardown: was}
+}
+
+// Health reports per-partition store health for every partition this
+// coordinator holds or has condemned: "ok" (held, un-quarantined),
+// "wedged" (condemned, teardown still pending), or
+// "released-due-to-fault" (condemned and handed back to the pool).
+func (m *Manager) Health() map[int]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]string, len(m.held)+len(m.quar))
+	for p := range m.held {
+		out[p] = "ok"
+	}
+	for p, q := range m.quar {
+		if q.released {
+			out[p] = "released-due-to-fault"
+		} else {
+			out[p] = "wedged"
+		}
+	}
+	return out
+}
+
+// quarantined reports whether p is condemned.
+func (m *Manager) quarantined(p int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.quar[p]
+	return ok
+}
+
+// takeTeardowns claims the quarantined partitions whose teardown is
+// still owed, ascending.
+func (m *Manager) takeTeardowns() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []int
+	for p, q := range m.quar {
+		if q.teardown {
+			q.teardown = false
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// quarantinedParts lists every condemned partition, ascending.
+func (m *Manager) quarantinedParts() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, 0, len(m.quar))
+	for p := range m.quar {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// markReleased records that p's lease went back to the pool.
+func (m *Manager) markReleased(p int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if q, ok := m.quar[p]; ok {
+		q.released = true
+	}
+}
+
+// tickQuarantined runs the deferred degradation work: teardown and
+// lease release for freshly condemned partitions, and an avoidance
+// refresh for every condemned partition (TTL-scoped, so the
+// declaration dies with the process and a healthy restart becomes
+// eligible again).
+func (m *Manager) tickQuarantined() {
+	for _, p := range m.takeTeardowns() {
+		if m.cfg.OnLose != nil {
+			m.cfg.OnLose(p)
+		}
+		m.releaseLease(p)
+		m.markReleased(p)
+	}
+	for _, p := range m.quarantinedParts() {
+		name := LeaseName(p)
+		_ = m.bounded(func() error {
+			return m.cfg.Leases.AvoidLease(name, m.cfg.Addr, m.cfg.TTL)
+		})
+	}
 }
 
 // Held returns the partitions currently held, ascending.
@@ -204,11 +353,16 @@ func (m *Manager) deadlineOf(p int) (time.Time, bool) {
 }
 
 // claim publishes p as held with the given fence deadline; it refuses
-// after Close/Abandon so a grant racing a shutdown is not kept.
+// after Close/Abandon (a grant racing a shutdown is not kept) and for
+// quarantined partitions (a grant racing the quarantine must not re-
+// publish a condemned store as owned).
 func (m *Manager) claim(p int, deadline time.Time) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
+		return false
+	}
+	if _, condemned := m.quar[p]; condemned {
 		return false
 	}
 	m.held[p] = deadline
@@ -299,6 +453,7 @@ func (m *Manager) Tick() {
 	if m.isClosed() {
 		return
 	}
+	m.tickQuarantined()
 	var peers []string
 	err := m.bounded(func() error {
 		p, err := m.cfg.Peers()
@@ -311,17 +466,53 @@ func (m *Manager) Tick() {
 		// deadlines decide — but claim nothing new.
 		peers = nil
 	}
+	// One avoiders fetch covers the whole round; on failure the round
+	// proceeds unfiltered (placement merely loses its health bias).
+	var avoiders map[string][]string
+	_ = m.bounded(func() error {
+		a, err := m.cfg.Leases.LeaseAvoiders()
+		avoiders = a
+		return err
+	})
 	for p := 0; p < m.cfg.Partitions; p++ {
 		if m.isClosed() {
 			return
 		}
-		pref := Preferred(peers, p)
+		pref := Preferred(eligible(peers, avoiders[LeaseName(p)]), p)
 		if deadline, ok := m.deadlineOf(p); ok {
 			m.tickHeld(p, deadline, pref)
-		} else if pref == m.cfg.Addr {
+		} else if pref == m.cfg.Addr && !m.quarantined(p) {
 			m.tryAcquire(p)
 		}
 	}
+}
+
+// eligible subtracts a lease's avoiders from the peer set, so
+// rendezvous preference skips coordinators that have declared
+// themselves unfit for it. An avoidance set covering every live peer
+// yields the unfiltered set: a wrong placement beats an orphaned
+// partition.
+func eligible(peers, avoid []string) []string {
+	if len(avoid) == 0 {
+		return peers
+	}
+	out := make([]string, 0, len(peers))
+	for _, addr := range peers {
+		skip := false
+		for _, a := range avoid {
+			if a == addr {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			out = append(out, addr)
+		}
+	}
+	if len(out) == 0 {
+		return peers
+	}
+	return out
 }
 
 // tickHeld renews, hands off, or fences one held partition.
@@ -443,6 +634,14 @@ func (m *Manager) Close() {
 	held := make([]int, 0, len(m.held))
 	for p := range m.held {
 		held = append(held, p)
+	}
+	// A quarantine whose deferred teardown never got a round still owes
+	// its OnLose and release; run them with the shutdown teardowns.
+	for p, q := range m.quar {
+		if q.teardown {
+			q.teardown = false
+			held = append(held, p)
+		}
 	}
 	m.held = make(map[int]time.Time)
 	m.mu.Unlock()

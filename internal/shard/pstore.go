@@ -63,6 +63,12 @@ type PartitionedStore struct {
 	mu      sync.RWMutex
 	mounted map[int]store.Store
 	fence   func(p int) bool
+
+	// healthMu guards the sink and the per-partition trip latch; it is
+	// separate from mu so firing the sink never holds the routing lock.
+	healthMu sync.Mutex
+	sink     func(p int, err error)
+	tripped  map[int]bool
 }
 
 var (
@@ -77,7 +83,7 @@ func NewPartitionedStore(partitions int) *PartitionedStore {
 	if partitions < 1 {
 		partitions = 1
 	}
-	return &PartitionedStore{parts: partitions, mounted: make(map[int]store.Store)}
+	return &PartitionedStore{parts: partitions, mounted: make(map[int]store.Store), tripped: make(map[int]bool)}
 }
 
 // Partitions returns the topology's partition count.
@@ -94,6 +100,39 @@ func (ps *PartitionedStore) SetFence(fence func(p int) bool) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	ps.fence = fence
+}
+
+// SetHealthSink installs the durability-fault observer: sink(p, err)
+// fires the first time a write into partition p fails with a fault that
+// condemns the whole store — store.ErrWedged (a failed fsync wedged the
+// log) or store.ErrCorrupt — as opposed to a per-op error. The latch is
+// per mount: Unmount re-arms it, so a partition re-mounted on a healthy
+// store reports a fresh fault. The sink runs on the writer's goroutine
+// and must not block; the lease manager's Quarantine (the intended
+// sink) only flips maps.
+func (ps *PartitionedStore) SetHealthSink(sink func(p int, err error)) {
+	ps.healthMu.Lock()
+	defer ps.healthMu.Unlock()
+	ps.sink = sink
+}
+
+// noteErr passes a write-path error through, firing the health sink
+// once per mount when the error condemns the partition's store.
+func (ps *PartitionedStore) noteErr(p int, err error) error {
+	if err == nil || (!errors.Is(err, store.ErrWedged) && !errors.Is(err, store.ErrCorrupt)) {
+		return err
+	}
+	ps.healthMu.Lock()
+	sink := ps.sink
+	fire := sink != nil && !ps.tripped[p]
+	if fire {
+		ps.tripped[p] = true
+	}
+	ps.healthMu.Unlock()
+	if fire {
+		sink(p, err)
+	}
+	return err
 }
 
 // writable reports whether partition p may be written right now.
@@ -119,6 +158,9 @@ func (ps *PartitionedStore) Unmount(p int) store.Store {
 	defer ps.mu.Unlock()
 	st := ps.mounted[p]
 	delete(ps.mounted, p)
+	ps.healthMu.Lock()
+	delete(ps.tripped, p)
+	ps.healthMu.Unlock()
 	return st
 }
 
@@ -214,7 +256,7 @@ func (ps *PartitionedStore) Write(id store.ID, data []byte) error {
 	if !ps.writable(p) {
 		return fmt.Errorf("shard: write %s to partition %d: %w", id, p, ErrFenced)
 	}
-	return st.Write(id, data)
+	return ps.noteErr(p, st.Write(id, data))
 }
 
 // Delete implements store.Store. A non-routable delete (a transaction
@@ -233,14 +275,14 @@ func (ps *PartitionedStore) Delete(id store.ID) error {
 		if !ps.writable(p) {
 			return fmt.Errorf("shard: delete %s from partition %d: %w", id, p, ErrFenced)
 		}
-		return st.Delete(id)
+		return ps.noteErr(p, st.Delete(id))
 	}
 	for _, m := range ps.snapshot() {
 		if !ps.writable(m.p) {
 			continue
 		}
 		if err := m.st.Delete(id); err != nil && !errors.Is(err, store.ErrNotFound) {
-			return err
+			return ps.noteErr(m.p, err)
 		}
 	}
 	return nil
@@ -266,7 +308,7 @@ func (ps *PartitionedStore) List(prefix store.ID) ([]store.ID, error) {
 // one flush, one transaction), and non-routable ops (decision records)
 // inherit that partition. A batch with no routable ops at all has no
 // home and is refused, except the all-deletes case which broadcasts.
-func (ps *PartitionedStore) batchTarget(ops []store.BatchOp) (store.Store, bool, error) {
+func (ps *PartitionedStore) batchTarget(ops []store.BatchOp) (store.Store, int, bool, error) {
 	target, have := -1, false
 	for _, op := range ops {
 		p, routable := ps.route(op.ID)
@@ -274,45 +316,45 @@ func (ps *PartitionedStore) batchTarget(ops []store.BatchOp) (store.Store, bool,
 			continue
 		}
 		if have && p != target {
-			return nil, false, fmt.Errorf("shard: batch spans partitions %d and %d (key %s)", target, p, op.ID)
+			return nil, 0, false, fmt.Errorf("shard: batch spans partitions %d and %d (key %s)", target, p, op.ID)
 		}
 		target, have = p, true
 	}
 	if !have {
-		return nil, false, nil
+		return nil, 0, false, nil
 	}
 	ps.mu.RLock()
 	st := ps.mounted[target]
 	ps.mu.RUnlock()
 	if st == nil {
-		return nil, false, fmt.Errorf("shard: batch routes to partition %d: %w", target, ErrNotMounted)
+		return nil, 0, false, fmt.Errorf("shard: batch routes to partition %d: %w", target, ErrNotMounted)
 	}
 	if !ps.writable(target) {
-		return nil, false, fmt.Errorf("shard: batch routes to partition %d: %w", target, ErrFenced)
+		return nil, 0, false, fmt.Errorf("shard: batch routes to partition %d: %w", target, ErrFenced)
 	}
-	return st, true, nil
+	return st, target, true, nil
 }
 
 // ApplyBatch implements store.Batcher.
 func (ps *PartitionedStore) ApplyBatch(ops []store.BatchOp) error {
-	st, routed, err := ps.batchTarget(ops)
+	st, p, routed, err := ps.batchTarget(ops)
 	if err != nil {
 		return err
 	}
 	if routed {
-		return store.ApplyBatch(st, ops)
+		return ps.noteErr(p, store.ApplyBatch(st, ops))
 	}
 	return ps.unroutedBatch(ops, store.ApplyBatch)
 }
 
 // ApplyBatchLazy implements store.LazyBatcher.
 func (ps *PartitionedStore) ApplyBatchLazy(ops []store.BatchOp) error {
-	st, routed, err := ps.batchTarget(ops)
+	st, p, routed, err := ps.batchTarget(ops)
 	if err != nil {
 		return err
 	}
 	if routed {
-		return store.ApplyBatchBestEffort(st, ops)
+		return ps.noteErr(p, store.ApplyBatchBestEffort(st, ops))
 	}
 	return ps.unroutedBatch(ops, store.ApplyBatchBestEffort)
 }
@@ -342,7 +384,7 @@ func (ps *PartitionedStore) unroutedBatch(ops []store.BatchOp, apply func(store.
 	if allDeletes {
 		for _, m := range writableParts {
 			if err := apply(m.st, ops); err != nil {
-				return err
+				return ps.noteErr(m.p, err)
 			}
 		}
 		return nil
@@ -350,5 +392,5 @@ func (ps *PartitionedStore) unroutedBatch(ops []store.BatchOp, apply func(store.
 	if len(writableParts) == 0 {
 		return fmt.Errorf("shard: batch of non-partitioned keys with no writable partition mounted: %w", ErrNotMounted)
 	}
-	return apply(writableParts[0].st, ops)
+	return ps.noteErr(writableParts[0].p, apply(writableParts[0].st, ops))
 }

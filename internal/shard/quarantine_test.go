@@ -1,0 +1,209 @@
+package shard_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/orb"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/timers"
+)
+
+// wedgeMounts mounts each acquired partition as a WedgeStore view over
+// its own MemStore, so a test can condemn one coordinator's view of a
+// partition while the underlying state stays healthy.
+type wedgeMounts struct {
+	ps *shard.PartitionedStore
+
+	mu    sync.Mutex
+	views map[int]*failure.WedgeStore
+}
+
+func (wm *wedgeMounts) onAcquire(p int) error {
+	ws := failure.NewWedgeStore(store.NewMemStore())
+	wm.mu.Lock()
+	wm.views[p] = ws
+	wm.mu.Unlock()
+	wm.ps.Mount(p, ws)
+	return nil
+}
+
+func (wm *wedgeMounts) onLose(p int) { wm.ps.Unmount(p) }
+
+func (wm *wedgeMounts) view(p int) *failure.WedgeStore {
+	wm.mu.Lock()
+	defer wm.mu.Unlock()
+	return wm.views[p]
+}
+
+func newWedgeManager(t *testing.T, id, addr string, naming *orb.Naming, clk timers.Clock, peers func() ([]string, error)) (*shard.Manager, *shard.PartitionedStore, *wedgeMounts) {
+	t.Helper()
+	ps := shard.NewPartitionedStore(8)
+	wm := &wedgeMounts{ps: ps, views: make(map[int]*failure.WedgeStore)}
+	m, err := shard.NewManager(shard.ManagerConfig{
+		ID: id, Addr: addr, Partitions: 8,
+		TTL: 4 * time.Second, Renew: time.Second,
+		Clock: clk, Leases: shard.LocalLeases{N: naming}, Peers: peers,
+		OnAcquire: wm.onAcquire, OnLose: wm.onLose,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.SetHealthSink(m.Quarantine)
+	return m, ps, wm
+}
+
+// keyInPartition fabricates an instance-scoped key routing to p.
+func keyInPartition(t *testing.T, p int) store.ID {
+	t.Helper()
+	for i := 0; i < 4096; i++ {
+		name := fmt.Sprintf("inst-%d", i)
+		if shard.PartitionOf(name, 8) == p {
+			return store.ID("inst/" + name + "/state")
+		}
+	}
+	t.Fatalf("no instance name found for partition %d", p)
+	return ""
+}
+
+// TestWedgedPartitionHandsOffToHealthyPeer drives the whole degradation
+// chain: a write into a wedged partition store trips the health sink,
+// the sink quarantines the partition (fence closes immediately), the
+// next round releases the lease and declares avoidance, and the healthy
+// peer — no longer seeing the sick node as preferred — takes the
+// partition over. The quarantine then holds: further rounds never hand
+// the partition back.
+func TestWedgedPartitionHandsOffToHealthyPeer(t *testing.T) {
+	clk := timers.NewFakeClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	naming := orb.NewNaming()
+	naming.SetClock(clk.Now)
+	live := func() ([]string, error) { return []string{"a:1", "b:2"}, nil }
+	ma, psa, wma := newWedgeManager(t, "coord-a", "a:1", naming, clk, live)
+	mb, _, _ := newWedgeManager(t, "coord-b", "b:2", naming, clk, live)
+	ma.Tick()
+	mb.Tick()
+	if len(ma.Held()) == 0 {
+		t.Fatal("coordinator a owns nothing; test needs both to own partitions")
+	}
+	p0 := ma.Held()[0]
+	key := keyInPartition(t, p0)
+	if err := psa.Write(key, []byte("acked")); err != nil {
+		t.Fatalf("healthy write: %v", err)
+	}
+
+	// The store wedges (failed fsync). The next write surfaces ErrWedged
+	// AND trips the sink: the partition leaves the held set before the
+	// write call returns.
+	wma.view(p0).Wedge(nil)
+	if err := psa.Write(key, []byte("lost")); !errors.Is(err, store.ErrWedged) {
+		t.Fatalf("write on wedged partition = %v, want ErrWedged", err)
+	}
+	if ma.Holds(p0) {
+		t.Fatal("quarantined partition still reported held — fence did not close")
+	}
+	if got := ma.Health()[p0]; got != "wedged" {
+		t.Fatalf("health before teardown round = %q, want wedged", got)
+	}
+	// The lease is NOT yet released (teardown is deferred to the round),
+	// so the peer cannot have stolen a live lease in the meantime.
+	if holder, _, held := naming.LeaseHolder(shard.LeaseName(p0)); !held || holder != "coord-a" {
+		t.Fatalf("lease holder before teardown round = %q held=%v", holder, held)
+	}
+
+	// a's next round: teardown, release, avoidance declaration.
+	ma.Tick()
+	if got := ma.Health()[p0]; got != "released-due-to-fault" {
+		t.Fatalf("health after teardown round = %q, want released-due-to-fault", got)
+	}
+	for _, p := range psa.Mounted() {
+		if p == p0 {
+			t.Fatal("quarantined partition still mounted after teardown round")
+		}
+	}
+	if _, _, held := naming.LeaseHolder(shard.LeaseName(p0)); held {
+		t.Fatal("lease not released by teardown round")
+	}
+
+	// b's next round: with a:1 avoiding the lease, b is the preferred
+	// owner and takes over immediately — no TTL wait, this is graceful
+	// degradation, not crash failover.
+	mb.Tick()
+	if !mb.Holds(p0) {
+		t.Fatalf("healthy peer did not take over partition %d (held %v)", p0, mb.Held())
+	}
+
+	// No flapping: across several more rounds the sick node never takes
+	// the partition back, even though rendezvous preference would pick
+	// it absent the avoidance declaration.
+	for i := 0; i < 4; i++ {
+		clk.Advance(time.Second)
+		ma.Tick()
+		mb.Tick()
+	}
+	if ma.Holds(p0) {
+		t.Fatal("quarantined partition handed back to the sick node")
+	}
+	if !mb.Holds(p0) {
+		t.Fatalf("healthy peer lost partition %d again (held %v)", p0, mb.Held())
+	}
+	// The healthy partitions on a are untouched throughout.
+	if len(ma.Held()) == 0 {
+		t.Fatal("quarantine of one partition took down the coordinator's healthy partitions")
+	}
+}
+
+// TestHealthSinkLatchesPerMount: the sink fires once per mount, and a
+// remount re-arms it.
+func TestHealthSinkLatchesPerMount(t *testing.T) {
+	ps := shard.NewPartitionedStore(1)
+	var fired []error
+	ps.SetHealthSink(func(p int, err error) { fired = append(fired, err) })
+	ws := failure.NewWedgeStore(store.NewMemStore())
+	ps.Mount(0, ws)
+	ws.Wedge(nil)
+	for i := 0; i < 3; i++ {
+		if err := ps.Write("inst/a/x", []byte("no")); !errors.Is(err, store.ErrWedged) {
+			t.Fatalf("write %d = %v, want ErrWedged", i, err)
+		}
+	}
+	if len(fired) != 1 {
+		t.Fatalf("sink fired %d times, want 1 (latched)", len(fired))
+	}
+	if !errors.Is(fired[0], store.ErrWedged) {
+		t.Fatalf("sink cause = %v, want ErrWedged", fired[0])
+	}
+	// Remount on a healthy store re-arms the latch.
+	ps.Unmount(0)
+	ws2 := failure.NewWedgeStore(store.NewMemStore())
+	ps.Mount(0, ws2)
+	if err := ps.Write("inst/a/x", []byte("ok")); err != nil {
+		t.Fatalf("write after remount: %v", err)
+	}
+	ws2.Wedge(nil)
+	_ = ps.Write("inst/a/y", []byte("no"))
+	if len(fired) != 2 {
+		t.Fatalf("sink fired %d times after remount, want 2", len(fired))
+	}
+}
+
+// TestAvoidLeaseExpires: an avoidance declaration lapses at its TTL
+// unless refreshed, so a node that restarts healthy becomes eligible
+// again without any explicit clear.
+func TestAvoidLeaseExpires(t *testing.T) {
+	clk := timers.NewFakeClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	naming := orb.NewNaming()
+	naming.SetClock(clk.Now)
+	naming.AvoidLease("part-000", "a:1", 2*time.Second)
+	if got := naming.LeaseAvoiders(); len(got["part-000"]) != 1 {
+		t.Fatalf("avoiders = %v, want a:1 recorded", got)
+	}
+	clk.Advance(3 * time.Second)
+	if got := naming.LeaseAvoiders(); len(got) != 0 {
+		t.Fatalf("avoiders after ttl = %v, want empty", got)
+	}
+}

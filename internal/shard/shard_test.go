@@ -425,6 +425,14 @@ func (h *hangingLeases) ReleaseLease(name, holder string) (bool, error) {
 	return h.inner.ReleaseLease(name, holder)
 }
 
+func (h *hangingLeases) AvoidLease(name, addr string, ttl time.Duration) error {
+	return h.inner.AvoidLease(name, addr, ttl)
+}
+
+func (h *hangingLeases) LeaseAvoiders() (map[string][]string, error) {
+	return h.inner.LeaseAvoiders()
+}
+
 func (h *hangingLeases) setHang(v bool) {
 	h.mu.Lock()
 	h.hang = v

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -461,6 +462,7 @@ func (w *World) stopCoordinator(i int) {
 	c.eng = nil
 	c.preg = nil
 	c.ps = nil
+	c.views = nil
 }
 
 // takeoverPartition moves partition p onto coordinator slot idx,
@@ -475,7 +477,10 @@ func (w *World) takeoverPartition(idx, p int) (int, error) {
 		return 0, fmt.Errorf("sim: recover partition %d: %w", p, err)
 	}
 	c := w.coords[idx]
-	c.ps.Mount(p, w.pstores[p])
+	// A fresh (healthy) view: the takeover opens the partition's shared
+	// durable state anew, even when the adopting coordinator has other
+	// wedged mounts.
+	w.mountView(c, p)
 	w.mu.Lock()
 	ids := append([]string(nil), w.order...)
 	w.mu.Unlock()
@@ -602,6 +607,191 @@ func (w *World) RecoverCoordinator(i int) error {
 		w.setInstance(id, inst)
 	}
 	return w.settleAndRecord()
+}
+
+// WedgeDisk fail-stops the write path of every partition-store view
+// live coordinator slot i currently mounts — "this coordinator's disk
+// went bad": reads keep succeeding (the in-memory index survives),
+// every flush fails with store.ErrWedged, and execution keeps running
+// ahead of an increasingly stale durable state. The shared per-
+// partition stores are untouched, so a healthy peer can still
+// re-materialize from them once DegradeCoordinator hands the wedged
+// partitions over.
+func (w *World) WedgeDisk(i int) error {
+	if !w.multi {
+		return errors.New("sim: disk wedging needs a sharded world (coordinators >= 2)")
+	}
+	if i < 0 || i >= len(w.coords) {
+		return fmt.Errorf("sim: no coordinator %d", i)
+	}
+	c := w.coords[i]
+	if !c.alive {
+		return errors.New("sim: coordinator is down")
+	}
+	var parts []int
+	for p, v := range c.views {
+		if v.Wedged() == nil {
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("sim: %s mounts no healthy partition views to wedge", c.name)
+	}
+	sort.Ints(parts)
+	w.action("diskwedge %s (partitions %s)", c.name, joinInts(parts))
+	for _, p := range parts {
+		c.views[p].Wedge(nil)
+	}
+	return w.settleAndRecord()
+}
+
+// DiskWedged reports whether live coordinator slot i still owns at
+// least one partition whose store view is wedged — the condition
+// DegradeCoordinator resolves.
+func (w *World) DiskWedged(i int) bool {
+	if !w.multi || i < 0 || i >= len(w.coords) {
+		return false
+	}
+	c := w.coords[i]
+	if c == nil || !c.alive {
+		return false
+	}
+	for p, v := range c.views {
+		if v.Wedged() != nil && w.owner[p] == i {
+			return true
+		}
+	}
+	return false
+}
+
+// DegradeCoordinator hands every wedged partition of live coordinator
+// slot i over to a healthy peer — the simulation twin of the production
+// quarantine path (PartitionedStore health sink → shard.Manager
+// quarantine → lease release → peer takeover): the sick coordinator
+// stays up and keeps any healthy partitions, but each wedged
+// partition's instances stop, its view unmounts, ownership moves to the
+// rendezvous-preferred healthy peer, and the peer re-materializes the
+// in-flight instances from the shared partition store. Writes the
+// wedge swallowed are gone: a re-materialized instance resumes from its
+// last durable state and may re-run work it already finished in memory
+// (at-least-once) — exactly the contract the production handoff offers.
+// The degrade action lines name the re-materialized instances so trace
+// checkers (see checkInvariants) can scope their exactly-once
+// expectations around the handoff.
+func (w *World) DegradeCoordinator(i int) error {
+	if !w.multi {
+		return errors.New("sim: degrade needs a sharded world (coordinators >= 2)")
+	}
+	if i < 0 || i >= len(w.coords) {
+		return fmt.Errorf("sim: no coordinator %d", i)
+	}
+	c := w.coords[i]
+	if !c.alive {
+		return errors.New("sim: coordinator is down")
+	}
+	var parts []int
+	for p, v := range c.views {
+		if v.Wedged() != nil && w.owner[p] == i {
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("sim: %s has no wedged partitions to degrade (WedgeDisk first)", c.name)
+	}
+	sort.Ints(parts)
+	for _, p := range parts {
+		ids := w.stopPartition(i, p)
+		c.ps.Unmount(p)
+		delete(c.views, p)
+		// Never hand the partition back to the coordinator being degraded
+		// (the production manager's quarantine set refuses re-acquisition
+		// even when every peer is also sick).
+		next := w.preferredOwner(p, func(j int) bool { return j == i })
+		w.owner[p] = next
+		if next < 0 {
+			w.action("degrade %s: partition %d orphaned (no live coordinator) (insts: %s)", c.name, p, joinIDs(ids))
+			continue
+		}
+		if _, err := w.takeoverPartition(next, p); err != nil {
+			return err
+		}
+		w.action("degrade %s: partition %d -> %s (insts: %s)", c.name, p, w.coordName(next), joinIDs(ids))
+	}
+	return w.settleAndRecord()
+}
+
+// stopPartition stops every instance of partition p hosted on
+// coordinator slot i and purges their gate entries and armed-timer
+// index entries, returning the stopped instance IDs sorted. The
+// instances' durable state survives in the shared partition store; the
+// coordinator, its engine and its other partitions keep running.
+func (w *World) stopPartition(i, p int) []string {
+	w.mu.Lock()
+	var ids []string
+	var tracked []*engine.Instance
+	for id, t := range w.insts {
+		if t.host != i || shard.PartitionOf(id, w.parts) != p {
+			continue
+		}
+		ids = append(ids, id)
+		if t.inst != nil {
+			tracked = append(tracked, t.inst)
+		}
+	}
+	for _, id := range ids {
+		delete(w.insts, id)
+		for key := range w.armed {
+			if strings.HasPrefix(key, id+"|") {
+				delete(w.armed, key)
+			}
+		}
+	}
+	w.mu.Unlock()
+	for _, inst := range tracked {
+		inst.Stop()
+	}
+	// Purge the stopped instances' slice of the gated frontier
+	// synchronously, for the same reason stopCoordinator does: local
+	// handlers wake only asynchronously through their cancelled run
+	// contexts, executor-side handlers not at all. Entries of the
+	// coordinator's other instances are untouched.
+	stopped := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		stopped[id] = true
+	}
+	w.mu.Lock()
+	var victims []*gateEntry
+	for k, e := range w.gate {
+		if stopped[k.inst] {
+			delete(w.gate, k)
+			victims = append(victims, e)
+		}
+	}
+	w.activity++
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	for _, e := range victims {
+		e.release <- releaseCmd{err: errors.New("sim: partition degraded")}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// joinInts renders ints as "0,2,3".
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// joinIDs renders instance IDs as "i0,i1", or "none".
+func joinIDs(ids []string) string {
+	if len(ids) == 0 {
+		return "none"
+	}
+	return strings.Join(ids, ",")
 }
 
 // Abort force-aborts a task run (outcome optionally names the abort

@@ -67,7 +67,11 @@ const maxFuzzSteps = 200
 // budget runs out), and checks the trace invariants. Half the worlds
 // are sharded multi-coordinator tiers (2-3 engines over partitioned
 // stores), so coordinator kills also exercise the deterministic
-// partition-failover and re-materialization paths.
+// partition-failover and re-materialization paths, and diskfault
+// actions (WedgeDisk/DegradeCoordinator) interleave with them: a
+// coordinator's store wedges mid-walk and the graceful handoff to a
+// healthy peer must preserve the invariants within each ownership
+// epoch.
 func RunFuzz(seed int64) (*FuzzReport, error) {
 	rng := rand.New(rand.NewSource(seed))
 	execs := 2 + rng.Intn(2)
@@ -104,6 +108,7 @@ func RunFuzz(seed int64) (*FuzzReport, error) {
 	}
 
 	coordCrashes := 0
+	diskWedges := 0
 	for rep.Steps = 0; rep.Steps < maxFuzzSteps; rep.Steps++ {
 		if liveCoordinators(w) > 0 && allTerminal(w, rep.Insts) {
 			break
@@ -112,17 +117,41 @@ func RunFuzz(seed int64) (*FuzzReport, error) {
 		roll := rng.Float64()
 		switch {
 		case roll < 0.04 && coordCrashes < 2 && liveCoordinators(w) > 0:
-			coordCrashes++
-			if err := w.CrashCoordinator(pickLiveCoordinator(w, rng)); err != nil {
-				return nil, fmt.Errorf("seed %d step %d: crash: %w", seed, rep.Steps, err)
+			// Crash only disk-healthy coordinators: a wedged one is on the
+			// degrade path, whose at-least-once re-execution the invariant
+			// checker scopes via the degrade action lines — a plain crash
+			// takeover of its lagging store would replay without leaving
+			// that marker.
+			if i := pickHealthyCoordinator(w, rng); i >= 0 {
+				coordCrashes++
+				if err := w.CrashCoordinator(i); err != nil {
+					return nil, fmt.Errorf("seed %d step %d: crash: %w", seed, rep.Steps, err)
+				}
 			}
 			continue
-		case roll < 0.10:
+		case roll < 0.06 && diskWedges < 1 && liveCoordinators(w) >= 2:
+			// diskfault: wedge a live coordinator's partition stores. Only
+			// with a live peer around, so a degrade can always hand off.
+			if i := pickWedgeTarget(w, rng); i >= 0 {
+				diskWedges++
+				if err := w.WedgeDisk(i); err != nil {
+					return nil, fmt.Errorf("seed %d step %d: diskwedge: %w", seed, rep.Steps, err)
+				}
+			}
+			continue
+		case roll < 0.09 && wedgedCoordinator(w) >= 0 && liveCoordinators(w) >= 2:
+			// diskfault: gracefully degrade the wedged coordinator, handing
+			// its sick partitions to a healthy peer.
+			if err := w.DegradeCoordinator(wedgedCoordinator(w)); err != nil {
+				return nil, fmt.Errorf("seed %d step %d: degrade: %w", seed, rep.Steps, err)
+			}
+			continue
+		case roll < 0.15:
 			if err := toggleExecutor(w, rng, execs); err != nil {
 				return nil, fmt.Errorf("seed %d step %d: executor toggle: %w", seed, rep.Steps, err)
 			}
 			continue
-		case roll < 0.12:
+		case roll < 0.17:
 			var err error
 			if w.NamingUp() {
 				err = w.KillNaming()
@@ -164,6 +193,21 @@ func RunFuzz(seed int64) (*FuzzReport, error) {
 		if i := deadExecutor(w, execs); i >= 0 {
 			if err := w.RecoverExecutor(i); err != nil {
 				return nil, fmt.Errorf("seed %d step %d: recover executor: %w", seed, rep.Steps, err)
+			}
+			continue
+		}
+		if j := deadCoordinator(w); j >= 0 {
+			if err := w.RecoverCoordinator(j); err != nil {
+				return nil, fmt.Errorf("seed %d step %d: recover coordinator: %w", seed, rep.Steps, err)
+			}
+			continue
+		}
+		// A wedged coordinator can wedge the walk itself (a failed flush
+		// drops its delay from the armed index); the degrade is then the
+		// only unsticking move, exactly as in production.
+		if i := wedgedCoordinator(w); i >= 0 && liveCoordinators(w) >= 2 {
+			if err := w.DegradeCoordinator(i); err != nil {
+				return nil, fmt.Errorf("seed %d step %d: stuck degrade: %w", seed, rep.Steps, err)
 			}
 			continue
 		}
@@ -239,6 +283,55 @@ func deadCoordinator(w *World) int {
 	return -1
 }
 
+// pickHealthyCoordinator picks a uniformly random live coordinator
+// whose disk is not wedged, or -1.
+func pickHealthyCoordinator(w *World, rng *rand.Rand) int {
+	var live []int
+	for i := 0; i < w.Coordinators(); i++ {
+		if w.CoordinatorAlive(i) && !w.DiskWedged(i) {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return -1
+	}
+	return live[rng.Intn(len(live))]
+}
+
+// pickWedgeTarget picks a uniformly random live coordinator that mounts
+// at least one healthy partition view (so WedgeDisk has something to
+// break), or -1.
+func pickWedgeTarget(w *World, rng *rand.Rand) int {
+	var cands []int
+	for i := 0; i < w.Coordinators(); i++ {
+		c := w.coords[i]
+		if c == nil || !c.alive {
+			continue
+		}
+		for _, v := range c.views {
+			if v.Wedged() == nil {
+				cands = append(cands, i)
+				break
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	return cands[rng.Intn(len(cands))]
+}
+
+// wedgedCoordinator returns the lowest live coordinator still owning a
+// wedged partition, or -1.
+func wedgedCoordinator(w *World) int {
+	for i := 0; i < w.Coordinators(); i++ {
+		if w.DiskWedged(i) {
+			return i
+		}
+	}
+	return -1
+}
+
 // toggleExecutor kills a random live executor or recovers a random dead
 // one.
 func toggleExecutor(w *World, rng *rand.Rand, execs int) error {
@@ -267,11 +360,35 @@ func deadExecutor(w *World, execs int) int {
 //	I2 — no task run starts again after its terminal event for the same
 //	     (instance, task, iteration). Valid because fuzz workloads are
 //	     repeat-free: an iteration never legitimately recurs.
+//
+// Both are scoped around disk-fault degrades: a wedged store swallows
+// flushes while in-memory execution runs ahead, so when a degrade hands
+// the partition to a healthy peer, the peer re-materializes from the
+// last DURABLE state and legitimately re-runs whatever the wedge
+// swallowed (at-least-once, the production handoff contract). The
+// degrade action line names the re-materialized instances; their I1/I2
+// books reset there, so the invariants still bite within each ownership
+// epoch — and globally for every instance a degrade never touched.
 func checkInvariants(trace []string) []string {
 	var violations []string
 	fired := make(map[string]int)
 	terminal := make(map[string]bool)
 	for _, line := range trace {
+		if strings.HasPrefix(line, "> degrade ") {
+			for _, id := range degradedInsts(line) {
+				for k := range fired {
+					if strings.HasPrefix(k, id+"|") {
+						delete(fired, k)
+					}
+				}
+				for k := range terminal {
+					if strings.HasPrefix(k, id+"|") {
+						delete(terminal, k)
+					}
+				}
+			}
+			continue
+		}
 		if strings.HasPrefix(line, "> ") || strings.HasPrefix(line, "  ~ ") {
 			continue
 		}
@@ -302,4 +419,22 @@ func checkInvariants(trace []string) []string {
 		}
 	}
 	return violations
+}
+
+// degradedInsts parses the re-materialized instance list out of a
+// "> degrade cX: partition P -> cY (insts: i0,i1)" action line.
+func degradedInsts(line string) []string {
+	i := strings.Index(line, "(insts: ")
+	if i < 0 {
+		return nil
+	}
+	list := strings.TrimSuffix(line[i+len("(insts: "):], ")")
+	var ids []string
+	for _, id := range strings.Split(list, ",") {
+		id = strings.TrimSpace(id)
+		if id != "" && id != "none" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
 }

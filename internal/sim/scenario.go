@@ -410,6 +410,23 @@ func (r *scnRun) exec(step scnStep) error {
 			return fmt.Errorf("unknown component %q", words[1])
 		}
 
+	case "diskwedge", "degrade":
+		if len(words) != 3 || words[1] != "coordinator" {
+			return fmt.Errorf("usage: %s coordinator N", words[0])
+		}
+		w, err := r.worldRef()
+		if err != nil {
+			return err
+		}
+		idx, err := strconv.Atoi(words[2])
+		if err != nil {
+			return fmt.Errorf("bad coordinator index %q", words[2])
+		}
+		if words[0] == "diskwedge" {
+			return w.WedgeDisk(idx)
+		}
+		return w.DegradeCoordinator(idx)
+
 	case "abort":
 		if len(words) != 3 && len(words) != 4 {
 			return errors.New("usage: abort INST PATH [OUTCOME]")

@@ -33,6 +33,12 @@
 // makes resolution fail. Each is deterministic by construction: the
 // kill sequence cuts connections *before* unblocking gated handlers, so
 // a peer always observes a transport failure and never a late reply.
+// Sharded worlds additionally inject disk faults: WedgeDisk fail-stops
+// a live coordinator's partition-store write path (execution runs ahead
+// of an increasingly stale durable state) and DegradeCoordinator drives
+// the graceful handoff — the sick coordinator keeps running, its wedged
+// partitions move to a healthy peer, and the peer re-materializes their
+// instances from the shared partition stores.
 //
 // On top of the World API sit the scenario layer (scenario.go: a
 // documented file format with trace assertions and golden traces — see
@@ -49,6 +55,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/failure"
 	"repro/internal/orb"
 	"repro/internal/persist"
 	"repro/internal/registry"
@@ -175,11 +182,16 @@ type executor struct {
 // invoker. Replaced wholesale by CrashCoordinator/RecoverCoordinator.
 // Touched only by the driver goroutine.
 type simCoord struct {
-	name  string
-	preg  *persist.Registry
-	eng   *engine.Engine
-	inv   *taskexec.Invoker
-	ps    *shard.PartitionedStore // nil in single-coordinator worlds
+	name string
+	preg *persist.Registry
+	eng  *engine.Engine
+	inv  *taskexec.Invoker
+	ps   *shard.PartitionedStore // nil in single-coordinator worlds
+	// views are the coordinator's fault-injectable windows onto the
+	// shared per-partition stores, one per mounted partition: WedgeDisk
+	// fail-stops their write paths without disturbing the durable state
+	// a healthy peer recovers from. Nil in single-coordinator worlds.
+	views map[int]*failure.WedgeStore
 	alive bool
 }
 
@@ -332,27 +344,48 @@ func (w *World) coordName(i int) string {
 	return fmt.Sprintf("c%d", i)
 }
 
+// mountView mounts partition p into coordinator c through a fresh
+// fault-injectable view of the shared partition store.
+func (w *World) mountView(c *simCoord, p int) {
+	v := failure.NewWedgeStore(w.pstores[p])
+	c.views[p] = v
+	c.ps.Mount(p, v)
+}
+
 // preferredOwner returns the rendezvous-preferred live coordinator slot
 // for partition p, excluding any slot for which skip returns true. -1
-// if no candidate is live.
+// if no candidate is live. Slots with a wedged disk are avoided as long
+// as a healthy candidate exists — the simulation twin of the avoid-
+// lease verbs the production lease protocol uses to keep a released
+// partition from orbiting back to its sick ex-owner — and chosen only
+// as a last resort (wrong placement beats an orphaned partition).
 func (w *World) preferredOwner(p int, skip func(int) bool) int {
-	var names []string
-	for i := range w.coords {
-		if skip != nil && skip(i) {
-			continue
+	pick := func(avoidWedged bool) int {
+		var names []string
+		for i := range w.coords {
+			if skip != nil && skip(i) {
+				continue
+			}
+			if w.coords[i] != nil && !w.coords[i].alive {
+				continue
+			}
+			if avoidWedged && w.DiskWedged(i) {
+				continue
+			}
+			names = append(names, w.coordName(i))
 		}
-		if w.coords[i] != nil && !w.coords[i].alive {
-			continue
+		best := shard.Preferred(names, p)
+		for i := range w.coords {
+			if w.coordName(i) == best {
+				return i
+			}
 		}
-		names = append(names, w.coordName(i))
+		return -1
 	}
-	best := shard.Preferred(names, p)
-	for i := range w.coords {
-		if w.coordName(i) == best {
-			return i
-		}
+	if o := pick(true); o >= 0 {
+		return o
 	}
-	return -1
+	return pick(false)
 }
 
 // startExecutor (re)starts executor slot i: a fresh orb server on the
@@ -398,9 +431,10 @@ func (w *World) bootCoordinator(i int, recovering bool) error {
 		// production coordinator holding those partitions' leases. A
 		// rejoining coordinator may own nothing; it mounts nothing.
 		c.ps = shard.NewPartitionedStore(w.parts)
+		c.views = make(map[int]*failure.WedgeStore)
 		for p := 0; p < w.parts; p++ {
 			if w.owner[p] == i {
-				c.ps.Mount(p, w.pstores[p])
+				w.mountView(c, p)
 			}
 		}
 		st = c.ps

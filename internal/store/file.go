@@ -25,6 +25,9 @@ import (
 // file's header, so reads and listings are exact for any ID.
 type FileStore struct {
 	dir string
+	// ops is the file-system seam; OSOps in production, a fault
+	// injector in the crash-consistency gauntlet.
+	ops FileOps
 
 	// mu serialises multi-step operations; the OS provides atomicity of
 	// each rename.
@@ -39,13 +42,22 @@ var _ Store = (*FileStore)(nil)
 
 // NewFileStore opens (creating if needed) a file store rooted at dir.
 func NewFileStore(dir string) (*FileStore, error) {
+	return NewFileStoreWith(dir, OSOps{})
+}
+
+// NewFileStoreWith opens a file store whose file traffic goes through
+// ops; the fault-injection gauntlet passes a failure.FaultStore.
+func NewFileStoreWith(dir string, ops FileOps) (*FileStore, error) {
+	if ops == nil {
+		ops = OSOps{}
+	}
 	// Cleaned so ancestor walks (Write's directory syncs) terminate on an
 	// exact match with filepath.Dir results.
 	dir = filepath.Clean(dir)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := ops.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("open file store: %w", err)
 	}
-	return &FileStore{dir: dir, sync: true}, nil
+	return &FileStore{dir: dir, ops: ops, sync: true}, nil
 }
 
 // SetSync controls whether writes fsync before rename (default true).
@@ -118,7 +130,7 @@ func decodeFile(raw []byte) (ID, []byte, error) {
 
 // Read implements Store.
 func (s *FileStore) Read(id ID) ([]byte, error) {
-	raw, err := os.ReadFile(s.path(id))
+	raw, err := s.ops.ReadFile(s.path(id))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, fmt.Errorf("read %s: %w", id, ErrNotFound)
@@ -149,19 +161,19 @@ func (s *FileStore) Write(id ID, data []byte) error {
 	// fresh subtree including the committed object. The store never
 	// removes directories, so an existing parent means existing ancestors
 	// and the common case pays a single Stat.
-	_, statErr := os.Stat(parent)
+	_, statErr := s.ops.Stat(parent)
 	freshDirs := os.IsNotExist(statErr)
-	if err := os.MkdirAll(parent, 0o755); err != nil {
+	if err := s.ops.MkdirAll(parent, 0o755); err != nil {
 		return fmt.Errorf("write %s: %w", id, err)
 	}
-	shadow, err := os.CreateTemp(filepath.Dir(p), ".shadow-*")
+	shadow, err := s.ops.CreateTemp(filepath.Dir(p), ".shadow-*")
 	if err != nil {
 		return fmt.Errorf("write %s: %w", id, err)
 	}
 	shadowName := shadow.Name()
 	defer func() {
 		// Best-effort cleanup if we failed before the rename.
-		_ = os.Remove(shadowName)
+		_ = s.ops.Remove(shadowName)
 	}()
 	if _, err := shadow.Write(encodeFile(id, data)); err != nil {
 		_ = shadow.Close()
@@ -179,7 +191,7 @@ func (s *FileStore) Write(id ID, data []byte) error {
 	if err := shadow.Close(); err != nil {
 		return fmt.Errorf("write %s: %w", id, err)
 	}
-	if err := os.Rename(shadowName, p); err != nil {
+	if err := s.ops.Rename(shadowName, p); err != nil {
 		return fmt.Errorf("write %s: %w", id, err)
 	}
 	// The rename itself lives in the directory: without a directory sync
@@ -188,7 +200,7 @@ func (s *FileStore) Write(id ID, data []byte) error {
 	// the same treatment up to the store root.
 	if s.sync {
 		for dir := parent; ; dir = filepath.Dir(dir) {
-			if err := syncDir(dir); err != nil {
+			if err := s.ops.SyncDir(dir); err != nil {
 				return fmt.Errorf("write %s: sync dir: %w", id, err)
 			}
 			if !freshDirs || dir == s.dir {
@@ -215,7 +227,7 @@ func (s *FileStore) Delete(id ID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := s.path(id)
-	err := os.Remove(p)
+	err := s.ops.Remove(p)
 	if os.IsNotExist(err) {
 		return fmt.Errorf("delete %s: %w", id, ErrNotFound)
 	}
@@ -223,7 +235,7 @@ func (s *FileStore) Delete(id ID) error {
 		return fmt.Errorf("delete %s: %w", id, err)
 	}
 	if s.sync {
-		if err := syncDir(filepath.Dir(p)); err != nil {
+		if err := s.ops.SyncDir(filepath.Dir(p)); err != nil {
 			return fmt.Errorf("delete %s: sync dir: %w", id, err)
 		}
 	}
@@ -244,7 +256,7 @@ func (s *FileStore) List(prefix ID) ([]ID, error) {
 		if d.IsDir() || strings.HasPrefix(d.Name(), ".shadow-") || d.Name() == LockFileName {
 			return nil
 		}
-		raw, err := os.ReadFile(p)
+		raw, err := s.ops.ReadFile(p)
 		if err != nil {
 			if os.IsNotExist(err) {
 				return nil

@@ -32,6 +32,9 @@ import (
 // to disk, and superseded segments are re-deleted on the next open).
 type WALStore struct {
 	dir string
+	// ops is the file-system seam; OSOps in production, a fault
+	// injector in the crash-consistency gauntlet.
+	ops FileOps
 
 	// mu guards the index, the garbage accounting and the commit queue.
 	mu    sync.Mutex
@@ -49,20 +52,32 @@ type WALStore struct {
 	// the index; Delete's existence check folds queue and inflight over
 	// the index so serialisation matches the other Store implementations.
 	inflight []*walCommit
+	// flushing marks an active group-commit leader. Followers never
+	// touch flushMu — they enqueue and wait on their done channel, so
+	// commits pile up in the queue while the leader's fsync is in
+	// flight and the next drain takes them all with one sync. (Having
+	// every committer acquire flushMu and self-drain looks equivalent
+	// but is not: once the mutex enters starvation mode its strict FIFO
+	// handoff marches the writers through in lock-step, every drain
+	// sees exactly one queued commit, and group commit degenerates to
+	// an fsync per write.)
+	flushing bool
 	closed   bool
 
 	// flushMu serialises segment appends and fsyncs; the holder is the
 	// group-commit leader and flushes everyone queued under mu.
 	flushMu    sync.Mutex
-	f          *os.File
+	f          File
 	activeSeq  uint64
 	activeSize int64
-	// wedged (flushMu held) is set when a failed append could not be
-	// rolled back, or an fsync failed: the segment may hold a torn record
-	// that replay would treat as the tail, silently dropping anything
-	// appended after it — so nothing may be appended after it. Commits
-	// fail until the store is reopened (replay truncates the tear).
-	wedged error
+	// wedged is set (only under flushMu; read anywhere) when a failed
+	// append could not be rolled back, or an fsync failed: the segment
+	// may hold a torn record that replay would treat as the tail,
+	// silently dropping anything appended after it — so nothing may be
+	// appended after it, and a failed fsync is never retried as if the
+	// data reached disk. Commits fail with ErrWedged until the store is
+	// reopened (replay truncates the tear).
+	wedged atomic.Pointer[error]
 
 	sync             bool
 	syncs            atomic.Int64
@@ -117,11 +132,21 @@ const (
 // NewWALStore opens (creating if needed) a WAL store rooted at dir,
 // replaying the newest complete snapshot and every later segment.
 func NewWALStore(dir string) (*WALStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return NewWALStoreWith(dir, OSOps{})
+}
+
+// NewWALStoreWith opens a WAL store whose file traffic goes through
+// ops; the fault-injection gauntlet passes a failure.FaultStore.
+func NewWALStoreWith(dir string, ops FileOps) (*WALStore, error) {
+	if ops == nil {
+		ops = OSOps{}
+	}
+	if err := ops.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("open wal store: %w", err)
 	}
 	s := &WALStore{
 		dir:              dir,
+		ops:              ops,
 		index:            make(map[ID][]byte),
 		segIDs:           make(map[ID]struct{}),
 		sync:             true,
@@ -132,6 +157,24 @@ func NewWALStore(dir string) (*WALStore, error) {
 		return nil, fmt.Errorf("open wal store: %w", err)
 	}
 	return s, nil
+}
+
+// Wedged returns the fault that wedged the store, or nil while it is
+// healthy. The returned error matches ErrWedged. Operational surfaces
+// (per-partition health) poll it without blocking on in-flight flushes.
+func (s *WALStore) Wedged() error {
+	if p := s.wedged.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// wedge records the fault that fail-stops the store (flushMu held) and
+// returns the wrapped error handed to every waiter from now on.
+func (s *WALStore) wedge(cause error) error {
+	err := fmt.Errorf("%w: %v", ErrWedged, cause)
+	s.wedged.Store(&err)
+	return err
 }
 
 // SetSync controls whether commits fsync the segment (default true).
@@ -249,33 +292,50 @@ func decodePayload(payload []byte) (BatchOp, byte, error) {
 	}
 }
 
-// scanRecords reads records from path, calling apply for each fully
-// checksummed one, and returns the offset after the last good record and
-// whether a snapshot completion marker ended the scan. Torn or corrupt
-// tails stop the scan without error: a crash mid-append loses only the
-// suffix that never fully reached the disk.
-func scanRecords(path string, apply func(BatchOp) error) (valid int64, complete bool, err error) {
-	raw, err := os.ReadFile(path)
+// scanRecords reads records from path via ops, calling apply for each
+// fully checksummed one, and returns the offset after the last good
+// record and whether a snapshot completion marker ended the scan.
+//
+// A bad record (short, checksum mismatch, undecodable) is classified by
+// what follows it: if no fully checksummed record exists anywhere after
+// the failure point, it is a torn tail — a crash mid-append that lost
+// only a suffix never acknowledged — and the scan stops without error.
+// If a valid record DOES exist after it, acknowledged writes sit beyond
+// the damage: silent truncation would drop them, so the scan fails loud
+// with ErrCorrupt and the store refuses to open.
+func scanRecords(ops FileOps, path string, apply func(BatchOp) error) (valid int64, complete bool, err error) {
+	raw, err := ops.ReadFile(path)
 	if err != nil {
 		return 0, false, err
 	}
 	off := 0
+	bail := func(reason string) (int64, bool, error) {
+		if tear := findRecordAfter(raw, off+1); tear >= 0 {
+			return int64(off), false, fmt.Errorf(
+				"%s at offset %d of %s (%s) but valid record at offset %d: %w",
+				reason, off, path, "mid-log damage, not a torn tail", tear, ErrCorrupt)
+		}
+		return int64(off), false, nil // torn tail
+	}
 	for {
 		if len(raw)-off < 8 {
+			if len(raw)-off > 0 {
+				return bail("short record header")
+			}
 			return int64(off), false, nil
 		}
 		n := int(binary.BigEndian.Uint32(raw[off:]))
 		sum := binary.BigEndian.Uint32(raw[off+4:])
 		if len(raw)-off-8 < n {
-			return int64(off), false, nil // torn tail
+			return bail("record length exceeds file")
 		}
 		payload := raw[off+8 : off+8+n]
 		if crc32.ChecksumIEEE(payload) != sum {
-			return int64(off), false, nil // corrupt tail
+			return bail("record checksum mismatch")
 		}
-		op, kind, err := decodePayload(payload)
-		if err != nil {
-			return int64(off), false, nil // corrupt tail
+		op, kind, derr := decodePayload(payload)
+		if derr != nil {
+			return bail("undecodable record")
 		}
 		off += 8 + n
 		if kind == walOpComplete {
@@ -287,6 +347,34 @@ func scanRecords(path string, apply func(BatchOp) error) (valid int64, complete 
 			}
 		}
 	}
+}
+
+// findRecordAfter searches raw from offset from for any fully
+// checksummed, decodable record, returning its offset or -1. It is the
+// torn-tail/mid-log-corruption discriminator: only damage with a valid
+// record after it can have swallowed acknowledged writes. A coincident
+// CRC match inside torn garbage has probability 2^-32 per offset; the
+// suffix after a genuine torn tail is at most one flush, so the false-
+// positive risk is negligible.
+func findRecordAfter(raw []byte, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	for off := from; off <= len(raw)-8; off++ {
+		n := int(binary.BigEndian.Uint32(raw[off:]))
+		if n < 0 || len(raw)-off-8 < n {
+			continue
+		}
+		payload := raw[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(raw[off+4:]) {
+			continue
+		}
+		if _, _, err := decodePayload(payload); err != nil {
+			continue
+		}
+		return off
+	}
+	return -1
 }
 
 // --- open / replay -----------------------------------------------------
@@ -311,7 +399,7 @@ func parseSeq(name, prefix string) (uint64, bool) {
 // can leave them behind, and replaying them over the snapshot would
 // resurrect deleted objects — so they are skipped and re-deleted.
 func (s *WALStore) load() error {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.ops.ReadDir(s.dir)
 	if err != nil {
 		return err
 	}
@@ -353,7 +441,7 @@ func (s *WALStore) load() error {
 			stale = append(stale, walSnapName(snaps[k]))
 			continue
 		}
-		_, complete, err := scanRecords(filepath.Join(s.dir, walSnapName(snaps[k])), apply)
+		_, complete, err := scanRecords(s.ops, filepath.Join(s.dir, walSnapName(snaps[k])), apply)
 		if err != nil {
 			return err
 		}
@@ -388,12 +476,12 @@ func (s *WALStore) load() error {
 			stale = append(stale, walSegName(seq)) // compaction crash leftover
 			continue
 		}
-		if _, _, err := scanRecords(filepath.Join(s.dir, walSegName(seq)), segApply); err != nil {
+		if _, _, err := scanRecords(s.ops, filepath.Join(s.dir, walSegName(seq)), segApply); err != nil {
 			return err
 		}
 	}
 	for _, name := range stale {
-		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+		if err := s.ops.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
 			return err
 		}
 	}
@@ -402,7 +490,7 @@ func (s *WALStore) load() error {
 	// previous active segment (possibly with a torn tail) is left closed;
 	// replay already ignores its tail, and compaction will collect it.
 	s.activeSeq = maxSeq + 1
-	f, err := os.OpenFile(filepath.Join(s.dir, walSegName(s.activeSeq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := s.ops.OpenFile(filepath.Join(s.dir, walSegName(s.activeSeq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
@@ -420,12 +508,7 @@ func (s *WALStore) syncDir() error {
 	if !s.sync {
 		return nil
 	}
-	d, err := os.Open(s.dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return s.ops.SyncDir(s.dir)
 }
 
 // --- Store implementation ---------------------------------------------
@@ -513,10 +596,11 @@ func (s *WALStore) List(prefix ID) ([]ID, error) {
 	return out, nil
 }
 
-// commit queues the encoded batch and joins the group commit: whoever
-// gets flushMu first drains the whole queue with one write + one fsync;
-// everyone else finds their batch already durable (or becomes the next
-// leader for batches that arrived during the fsync).
+// commit queues the encoded batch and joins the group commit: the first
+// committer to arrive while no flush is active becomes the leader,
+// takes flushMu, and drains the queue — one write + one fsync per
+// drain — until it is empty; everyone else just waits on their done
+// channel and finds their batch made durable by a leader's drain.
 func (s *WALStore) commit(ops []BatchOp) error {
 	return s.commitLazy(ops, false)
 }
@@ -533,21 +617,35 @@ func (s *WALStore) commitLazy(ops []BatchOp, lazy bool) error {
 		return fmt.Errorf("wal store %s is closed", s.dir)
 	}
 	s.queue = append(s.queue, c)
+	leader := !s.flushing
+	s.flushing = true
 	s.mu.Unlock()
+	if !leader {
+		return <-c.done
+	}
 
+	// flushMu (not the flushing flag) is what serialises against
+	// Compact and Close: they may hold it while the leader claim is
+	// made, so the claim and the lock are taken in two steps.
 	s.flushMu.Lock()
-	s.mu.Lock()
-	q := s.queue
-	s.queue = nil
-	s.inflight = q
-	s.mu.Unlock()
-	err := s.appendLocked(q)
-	if err == nil {
-		// A failed compaction must not fail the (already durable) commit:
-		// it costs disk space, not data. Kept for CompactErr and retried
-		// at the next threshold crossing.
-		if cerr := s.maybeCompactLocked(); cerr != nil {
-			s.compactErr.Store(&cerr)
+	for {
+		s.mu.Lock()
+		q := s.queue
+		s.queue = nil
+		if len(q) == 0 {
+			s.flushing = false
+			s.mu.Unlock()
+			break
+		}
+		s.inflight = q
+		s.mu.Unlock()
+		if err := s.appendLocked(q); err == nil {
+			// A failed compaction must not fail the (already durable)
+			// commit: it costs disk space, not data. Kept for CompactErr
+			// and retried at the next threshold crossing.
+			if cerr := s.maybeCompactLocked(); cerr != nil {
+				s.compactErr.Store(&cerr)
+			}
 		}
 	}
 	s.flushMu.Unlock()
@@ -575,8 +673,8 @@ func (s *WALStore) appendLocked(q []*walCommit) error {
 		return nil
 	}
 	var err error
-	if s.wedged != nil {
-		err = fmt.Errorf("wal store wedged: %w", s.wedged)
+	if w := s.Wedged(); w != nil {
+		err = w
 	}
 	start := s.activeSize
 	if err == nil {
@@ -590,8 +688,11 @@ func (s *WALStore) appendLocked(q []*walCommit) error {
 		}
 		if err != nil {
 			// Roll the whole flush back (every waiter in q fails together).
+			// A successful rollback keeps the store healthy: a write
+			// failure with a clean truncate (the ENOSPC case) is
+			// retryable, not fatal. Only an unrollable tear wedges.
 			if terr := s.f.Truncate(start); terr != nil {
-				s.wedged = err
+				err = s.wedge(fmt.Errorf("%v; rollback truncate failed: %v", err, terr))
 			} else {
 				s.activeSize = start
 			}
@@ -600,8 +701,9 @@ func (s *WALStore) appendLocked(q []*walCommit) error {
 	if err == nil && s.sync && !allLazy(q) {
 		if serr := s.f.Sync(); serr != nil {
 			// Post-failure page-cache state is undefined; fail-stop.
-			err = fmt.Errorf("wal sync: %w", serr)
-			s.wedged = err
+			// Never retry-assume-durable: the wedge is permanent until
+			// the store is reopened from what provably reached disk.
+			err = s.wedge(fmt.Errorf("wal sync: %v", serr))
 		}
 		s.syncs.Add(1)
 	}
@@ -657,7 +759,7 @@ func (s *WALStore) rotateLocked() error {
 		return err
 	}
 	s.activeSeq++
-	f, err := os.OpenFile(filepath.Join(s.dir, walSegName(s.activeSeq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := s.ops.OpenFile(filepath.Join(s.dir, walSegName(s.activeSeq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
@@ -701,7 +803,7 @@ func (s *WALStore) compactLocked() error {
 	s.mu.Unlock()
 
 	tmp := filepath.Join(s.dir, walSnapName(snapSeq)+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := s.ops.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -710,20 +812,20 @@ func (s *WALStore) compactLocked() error {
 		buf = encodeOp(buf[:0], op)
 		if _, err := f.Write(buf); err != nil {
 			_ = f.Close()
-			_ = os.Remove(tmp)
+			_ = s.ops.Remove(tmp)
 			return fmt.Errorf("write snapshot: %w", err)
 		}
 	}
 	buf = appendRecord(buf[:0], []byte{walOpComplete})
 	if _, err := f.Write(buf); err != nil {
 		_ = f.Close()
-		_ = os.Remove(tmp)
+		_ = s.ops.Remove(tmp)
 		return fmt.Errorf("write snapshot: %w", err)
 	}
 	if s.sync {
 		if err := f.Sync(); err != nil {
 			_ = f.Close()
-			_ = os.Remove(tmp)
+			_ = s.ops.Remove(tmp)
 			return fmt.Errorf("sync snapshot: %w", err)
 		}
 		s.syncs.Add(1)
@@ -731,7 +833,7 @@ func (s *WALStore) compactLocked() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, walSnapName(snapSeq))); err != nil {
+	if err := s.ops.Rename(tmp, filepath.Join(s.dir, walSnapName(snapSeq))); err != nil {
 		return err
 	}
 	if err := s.syncDir(); err != nil {
@@ -739,18 +841,18 @@ func (s *WALStore) compactLocked() error {
 	}
 
 	// The snapshot is authoritative: drop superseded files.
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.ops.ReadDir(s.dir)
 	if err != nil {
 		return err
 	}
 	for _, e := range entries {
 		if seq, ok := parseSeq(e.Name(), walSegPrefix); ok && seq <= snapSeq {
-			if err := os.Remove(filepath.Join(s.dir, e.Name())); err != nil && !os.IsNotExist(err) {
+			if err := s.ops.Remove(filepath.Join(s.dir, e.Name())); err != nil && !os.IsNotExist(err) {
 				return err
 			}
 		}
 		if seq, ok := parseSeq(e.Name(), walSnapPrefix); ok && seq < snapSeq {
-			if err := os.Remove(filepath.Join(s.dir, e.Name())); err != nil && !os.IsNotExist(err) {
+			if err := s.ops.Remove(filepath.Join(s.dir, e.Name())); err != nil && !os.IsNotExist(err) {
 				return err
 			}
 		}

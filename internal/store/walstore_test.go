@@ -11,7 +11,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/failure"
 	"repro/internal/store"
 )
 
@@ -283,11 +285,19 @@ func TestWALApplyBatchSingleSync(t *testing.T) {
 
 // TestWALGroupCommitCoalesces hammers the store from many goroutines and
 // checks that concurrent commits shared fsyncs: far fewer syncs than
-// writes.
+// writes. The injected disk latency makes the overlap deterministic —
+// on a fast disk with an unlucky scheduler every write could finish its
+// fsync before the next writer queued, and the test would measure
+// scheduling, not group commit. With every write and fsync costing
+// 200µs, writers provably pile up behind the in-flight flush.
 func TestWALGroupCommitCoalesces(t *testing.T) {
-	s := newWAL(t, t.TempDir())
+	ops := failure.NewFaultStore(failure.DiskConfig{Delay: 200 * time.Microsecond})
+	s, err := store.NewWALStoreWith(t.TempDir(), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
-	const writers, perWriter = 32, 64
+	const writers, perWriter = 32, 16
 	var wg sync.WaitGroup
 	errCh := make(chan error, writers)
 	for w := 0; w < writers; w++ {
@@ -309,8 +319,10 @@ func TestWALGroupCommitCoalesces(t *testing.T) {
 		t.Fatal(err)
 	}
 	total := int64(writers * perWriter)
-	if got := s.Syncs(); got >= total {
+	if got := s.Syncs(); got > total/2 {
 		t.Fatalf("no group commit: %d fsyncs for %d writes", got, total)
+	} else {
+		t.Logf("group commit: %d fsyncs for %d writes", got, total)
 	}
 	if got := s.Len(); got != int(total) {
 		t.Fatalf("lost writes: %d objects, want %d", got, total)

@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Disk-fault graceful-degradation gauntlet for the sharded coordinator
+# tier (the daemon twin of scenarios/disk_degrade.scn):
+#
+#   1. boot wfnaming, wfrepo and TWO wfexec -shard coordinators sharing
+#      one state root, partition ownership arbitrated by 1s leases;
+#      coordinator c2 runs with -wedge-on-usr1 (storage-fault injection);
+#   2. drive a closed-loop workload through wfload -sharded;
+#   3. SIGUSR1 c2 mid-run: every partition store it has mounted wedges,
+#      as if the disk died under the WAL — the daemon stays alive;
+#   4. assert the degradation chain end to end: c2 quarantines the
+#      wedged partitions and releases their leases, c1 acquires them and
+#      re-materializes the in-flight instances from the shared state
+#      root, every single instance still completes, and c2's health
+#      surface reports released-due-to-fault.
+#
+# Run directly or as `make e2e-diskfault`. Exits 0 on success.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d /tmp/wf-e2e-diskfault.XXXXXX)"
+BIN="$WORK/bin"
+mkdir -p "$BIN"
+PIDS=()
+
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+say() { echo "e2e-diskfault: $*"; }
+
+# wait_addr LOGFILE PATTERN -> echoes the host:port the daemon printed.
+wait_addr() {
+    local log="$1" pattern="$2" addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n "s/.*$pattern \(127\.0\.0\.1:[0-9]*\).*/\1/p" "$log" 2>/dev/null | head -n1 || true)"
+        if [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "e2e-diskfault: daemon never announced itself in $log:" >&2
+    cat "$log" >&2
+    return 1
+}
+
+say "building binaries"
+go build -o "$BIN" ./cmd/wfnaming ./cmd/wfrepo ./cmd/wfexec ./cmd/wfload ./cmd/wfadmin
+
+say "booting naming + repository"
+"$BIN/wfnaming" -addr 127.0.0.1:0 > "$WORK/naming.log" 2>&1 &
+PIDS+=($!); disown
+NAMING="$(wait_addr "$WORK/naming.log" "naming service on")"
+
+"$BIN/wfrepo" -addr 127.0.0.1:0 -dir "$WORK/repo-state" -naming "$NAMING" > "$WORK/repo.log" 2>&1 &
+PIDS+=($!); disown
+REPO="$(wait_addr "$WORK/repo.log" "workflow repository service on")"
+
+STATE="$WORK/shard-state"
+
+say "booting 2 sharded coordinators over shared state root (1s leases; c2 carries the fault injector)"
+"$BIN/wfexec" -shard -addr 127.0.0.1:0 -coord-id c1 -dir "$STATE" \
+    -repo "$REPO" -naming "$NAMING" -lease-ttl 1s > "$WORK/coord1.log" 2>&1 &
+COORD1=$!
+PIDS+=($COORD1); disown
+"$BIN/wfexec" -shard -addr 127.0.0.1:0 -coord-id c2 -dir "$STATE" \
+    -repo "$REPO" -naming "$NAMING" -lease-ttl 1s -wedge-on-usr1 > "$WORK/coord2.log" 2>&1 &
+COORD2=$!
+PIDS+=($COORD2); disown
+wait_addr "$WORK/coord1.log" "on" > /dev/null
+COORD2ADDR="$(wait_addr "$WORK/coord2.log" "on")"
+
+say "driving 200 instances through the routing client (8 workers)"
+# Not disowned: the script waits on this pid for the verdict.
+"$BIN/wfload" -sharded -naming "$NAMING" -workers 8 -total 200 \
+    -chain 2 -code sleep:50ms:done > "$WORK/load.log" 2>&1 &
+LOAD=$!
+PIDS+=($LOAD)
+
+# Let the run ramp up so instances are in flight on both coordinators,
+# then pull the disk out from under c2 while it is mid-workload.
+sleep 2
+if ! kill -0 "$LOAD" 2>/dev/null; then
+    echo "e2e-diskfault: FAIL — load finished before the fault; nothing was in flight" >&2
+    cat "$WORK/load.log" >&2
+    exit 1
+fi
+ACQUIRED_BEFORE="$(grep -c "lease acquired" "$WORK/coord1.log" || true)"
+say "SIGUSR1 to c2 (pid $COORD2): wedging every partition store it mounts"
+kill -USR1 "$COORD2"
+
+say "waiting for the load to finish across the degradation"
+if ! wait "$LOAD"; then
+    echo "e2e-diskfault: FAIL — not every instance completed after the storage fault" >&2
+    echo "--- load log ---" >&2;   tail -n 30 "$WORK/load.log" >&2 || true
+    echo "--- coord1 log ---" >&2; tail -n 30 "$WORK/coord1.log" >&2 || true
+    echo "--- coord2 log ---" >&2; tail -n 30 "$WORK/coord2.log" >&2 || true
+    exit 1
+fi
+grep "200/200 instances completed" "$WORK/load.log"
+
+# The injector must actually have fired...
+grep -q "SIGUSR1 — wedged" "$WORK/coord2.log" || {
+    echo "e2e-diskfault: FAIL — c2 never wedged its stores" >&2; exit 1; }
+# ...and the first failed flush must have quarantined the partition
+# (the sick daemon detects its own bad disk; nobody SIGKILLs it).
+if ! grep -q "store fault, quarantining" "$WORK/coord2.log"; then
+    echo "e2e-diskfault: FAIL — c2 never quarantined a wedged partition" >&2
+    tail -n 30 "$WORK/coord2.log" >&2
+    exit 1
+fi
+# The quarantine must have torn the partitions down gracefully on the
+# still-running daemon (lease release, instances stopped)...
+if ! grep -q "lease lost" "$WORK/coord2.log"; then
+    echo "e2e-diskfault: FAIL — c2 never released a quarantined partition's lease" >&2
+    tail -n 30 "$WORK/coord2.log" >&2
+    exit 1
+fi
+# ...and the healthy peer must have picked them up AFTER the fault (not
+# just have owned everything from the start).
+ACQUIRED_AFTER="$(grep -c "lease acquired" "$WORK/coord1.log" || true)"
+if [ "${ACQUIRED_AFTER:-0}" -le "${ACQUIRED_BEFORE:-0}" ]; then
+    echo "e2e-diskfault: FAIL — c1 acquired no partition after the fault (before=$ACQUIRED_BEFORE after=$ACQUIRED_AFTER)" >&2
+    exit 1
+fi
+# c2 is still alive and must say so on its health surface.
+if ! kill -0 "$COORD2" 2>/dev/null; then
+    echo "e2e-diskfault: FAIL — c2 died; degradation must keep the daemon up" >&2
+    exit 1
+fi
+if ! "$BIN/wfadmin" -exec "$COORD2ADDR" shardhealth | tee "$WORK/health.log" | grep -q "released-due-to-fault"; then
+    echo "e2e-diskfault: FAIL — c2's health surface never reported released-due-to-fault" >&2
+    cat "$WORK/health.log" >&2
+    exit 1
+fi
+
+say "degradation trace:"
+grep "quarantining\|lease lost" "$WORK/coord2.log" | tail -n 4 || true
+grep "lease acquired" "$WORK/coord1.log" | tail -n 4 || true
+
+say "PASS — disk died under one coordinator mid-run; partitions degraded to the healthy peer and every instance completed"
