@@ -25,6 +25,15 @@
 //	wfadmin -exec ADDR instances                  list live instances
 //	wfadmin -exec ADDR recover INST               recover an instance
 //	wfadmin -exec ADDR stop INST                  stop an instance
+//	wfadmin -exec ADDR metrics                    dump the coordinator's
+//	                                              metrics (Prometheus text)
+//	wfadmin -exec ADDR trace INST                 print the instance's
+//	                                              activation trace as a span
+//	                                              tree (spans recorded by
+//	                                              other processes — executors,
+//	                                              a dead coordinator — appear
+//	                                              stitched under the same
+//	                                              trace ID)
 //
 // Scheduled instantiation (the schedules persist on the execution
 // service and survive restarts via wfexec -recover):
@@ -51,12 +60,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/execsvc"
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/registry"
 	"repro/internal/repository"
@@ -385,10 +396,94 @@ func run(repoAddr, execAddr string, args []string) error {
 			return err
 		}
 		return execC.Stop(rest[0])
+	case "metrics":
+		text, err := execC.Metrics()
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+	case "trace":
+		if err := need(1, "INST"); err != nil {
+			return err
+		}
+		spans, err := execC.Trace(rest[0])
+		if err != nil {
+			return err
+		}
+		if len(spans) == 0 {
+			fmt.Printf("no spans recorded for instance %s on this coordinator\n", rest[0])
+			return nil
+		}
+		printTrace(spans)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 	return nil
+}
+
+// printTrace renders one instance's spans as an indented tree per trace
+// ID, children under parents, siblings in start order. Spans whose
+// parent is not in the set (trimmed from the ring, or recorded by an
+// unreachable process) print as roots so nothing is silently dropped.
+func printTrace(spans []obs.Span) {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	known := make(map[string]bool, len(spans))
+	for _, sp := range spans {
+		known[sp.SpanID] = true
+	}
+	children := make(map[string][]obs.Span)
+	var roots []obs.Span
+	for _, sp := range spans {
+		if sp.Parent != "" && sp.Parent != sp.SpanID && known[sp.Parent] {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	var walk func(sp obs.Span, depth int)
+	walk = func(sp obs.Span, depth int) {
+		indent := strings.Repeat("  ", depth)
+		line := fmt.Sprintf("%s%-10s %s", indent, sp.Name, sp.Start.Format("15:04:05.000"))
+		if sp.Task != "" {
+			line += " task=" + sp.Task
+		}
+		if !sp.End.IsZero() {
+			line += fmt.Sprintf(" dur=%s", sp.End.Sub(sp.Start))
+		}
+		for _, kv := range sortedAttrs(sp.Attrs) {
+			line += " " + kv
+		}
+		if sp.Err != "" {
+			line += " err=" + sp.Err
+		}
+		line += " span=" + sp.SpanID
+		fmt.Println(line)
+		for _, c := range children[sp.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	lastTrace := ""
+	for _, sp := range roots {
+		if sp.TraceID != lastTrace {
+			fmt.Printf("trace %s\n", sp.TraceID)
+			lastTrace = sp.TraceID
+		}
+		walk(sp, 1)
+	}
+}
+
+// sortedAttrs renders span attributes deterministically as k=v strings.
+func sortedAttrs(attrs map[string]string) []string {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k+"="+attrs[k])
+	}
+	return out
 }
 
 // parseInputs turns key=Class:value arguments into start inputs.

@@ -34,6 +34,12 @@
 // can take over. Requests for foreign instances are refused with a
 // redirect to the owner (see execsvc.ShardedClient).
 //
+// With -debug-addr the daemon additionally serves its observability
+// endpoints over HTTP: /metrics (Prometheus text), /metrics.json,
+// /trace?instance=ID (the stitched activation trace) and
+// /debug/pprof/*. The same data is reachable through the orb via
+// `wfadmin metrics` and `wfadmin trace`.
+//
 // Usage:
 //
 //	wfexec -addr 127.0.0.1:7002 -dir ./exec-state -repo 127.0.0.1:7001 [-store wal|file|mem]
@@ -57,6 +63,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/execsvc"
 	"repro/internal/failure"
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/persist"
 	"repro/internal/registry"
@@ -85,7 +92,18 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 2*time.Second, "partition lease TTL; a coordinator that misses renewal this long loses its partitions")
 	leaseRenew := flag.Duration("lease-renew", 0, "lease renewal interval (default TTL/3)")
 	wedgeOnUSR1 := flag.Bool("wedge-on-usr1", false, "TESTING (with -shard): SIGUSR1 wedges every mounted partition store, as if the disk died under the WAL — drives the quarantine/degrade path; used by scripts/e2e_diskfault.sh")
+	debugAddr := flag.String("debug-addr", "", "opt-in observability HTTP listener (/metrics, /metrics.json, /trace, /debug/pprof); empty disables")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		ds, err := obs.StartDebug(*debugAddr, obs.Default(), obs.DefaultTracer())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfexec: debug listener:", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Printf("debug endpoints on http://%s/ (metrics, trace, pprof)\n", ds.Addr())
+	}
 
 	var err error
 	if *doShard {
@@ -97,6 +115,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wfexec:", err)
 		os.Exit(1)
+	}
+}
+
+// wireStoreMetrics points a WAL-backed store at the process metrics
+// registry (fsync count/latency, group-commit coalescing, wedges);
+// other backends are unobserved.
+func wireStoreMetrics(st store.Store) {
+	if ws, ok := st.(*store.WALStore); ok {
+		ws.SetMetrics(obs.Default(), nil)
 	}
 }
 
@@ -141,6 +168,7 @@ func run(addr, dir, storeKind, repoAddr, naming, balance string, doRecover, noSy
 		return err
 	}
 	defer closeStore()
+	wireStoreMetrics(fs)
 	reg := persist.NewRegistry(fs, txn.NewManager(fs), nil)
 	if n, err := reg.Recover(); err != nil {
 		return fmt.Errorf("recover transactions: %w", err)
@@ -165,6 +193,8 @@ func run(addr, dir, storeKind, repoAddr, naming, balance string, doRecover, noSy
 			// Don't pay one naming RPC per dispatch; stale-set fallback
 			// keeps dispatch running across naming-service restarts.
 			ResolveCache: time.Second,
+			Metrics:      obs.Default(),
+			Tracer:       obs.DefaultTracer(),
 		})
 		if err != nil {
 			return err
@@ -263,6 +293,8 @@ func runShard(addr, dir, storeKind, repoAddr, naming, balance string, noSync boo
 	invoker, err := taskexec.NewPoolInvoker(namingClient.ResolveAll, taskexec.PoolConfig{
 		Balance:      balance,
 		ResolveCache: time.Second,
+		Metrics:      obs.Default(),
+		Tracer:       obs.DefaultTracer(),
 	})
 	if err != nil {
 		return err
@@ -307,6 +339,7 @@ func runShard(addr, dir, storeKind, repoAddr, naming, balance string, noSync boo
 		TTL:        ttl,
 		Renew:      renew,
 		Leases:     namingClient,
+		Metrics:    obs.Default(),
 		Peers:      func() ([]string, error) { return namingClient.ResolveAll(shard.CoordTier) },
 		OnAcquire: func(p int) error {
 			pdir := filepath.Join(dir, shard.PartitionDir(p))
@@ -317,6 +350,7 @@ func runShard(addr, dir, storeKind, repoAddr, naming, balance string, noSync boo
 			if err != nil {
 				return fmt.Errorf("partition %d: open store: %w", p, err)
 			}
+			wireStoreMetrics(st)
 			// Scoped roll-forward on the partition's own store, before the
 			// engine can see it: in-doubt transactions the previous owner
 			// left behind are decided first.
@@ -337,11 +371,17 @@ func runShard(addr, dir, storeKind, repoAddr, naming, balance string, noSync boo
 			}
 			closersMu.Unlock()
 			ps.Mount(p, mount)
-			ids, err := eng.RecoverMatching(compile, inPartition(p))
+			// An acquisition that finds persisted instances is a takeover
+			// of state some owner left behind — at boot its own previous
+			// incarnation's, mid-flight a dead peer's: a lease steal.
+			ids, err := eng.RecoverMatchingCause(compile, inPartition(p), "lease-steal")
 			if err != nil {
 				// A corrupt instance must not bounce the partition between
 				// owners forever: keep the lease, serve what recovered.
 				fmt.Fprintf(os.Stderr, "partition %d: recover instances: %v\n", p, err)
+			}
+			if len(ids) > 0 {
+				obs.Default().Counter(obs.MShardLeaseSteals).Inc()
 			}
 			fmt.Printf("partition %d: lease acquired, %d instances re-materialized\n", p, len(ids))
 			return nil

@@ -5,9 +5,12 @@
 // of executor nodes that register themselves with a heartbeat TTL and
 // expire when they stop renewing (see cmd/wftask -ttl).
 //
+// With -debug-addr the daemon serves its observability endpoints over
+// HTTP (/metrics, /debug/pprof/*).
+//
 // Usage:
 //
-//	wfnaming -addr 127.0.0.1:7000
+//	wfnaming -addr 127.0.0.1:7000 [-debug-addr 127.0.0.1:0]
 package main
 
 import (
@@ -17,12 +20,24 @@ import (
 	"os/signal"
 	"syscall"
 
+	"repro/internal/obs"
 	"repro/internal/orb"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7000", "listen address")
+	debugAddr := flag.String("debug-addr", "", "opt-in observability HTTP listener (/metrics, /debug/pprof); empty disables")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		ds, err := obs.StartDebug(*debugAddr, obs.Default(), obs.DefaultTracer())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wfnaming: debug listener:", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Printf("debug endpoints on http://%s/ (metrics, pprof)\n", ds.Addr())
+	}
 
 	if err := run(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "wfnaming:", err)

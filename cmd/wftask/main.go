@@ -11,9 +11,14 @@
 // ("fixed:done", "sleep:50ms:done", "fail:2:done"); embedding
 // applications bind real Go functions (see internal/taskexec).
 //
+// With -debug-addr the node serves its observability endpoints over
+// HTTP: /metrics (executions served, implementation latency), /trace
+// (the execution spans it has recorded) and /debug/pprof/*.
+//
 // Usage:
 //
 //	wftask -addr 127.0.0.1:7003 -location worker-1 [-naming host:port] [-ttl 5s] [-heartbeat 1s]
+//	       [-debug-addr 127.0.0.1:0]
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/registry"
 	"repro/internal/taskexec"
@@ -35,7 +41,18 @@ func main() {
 	naming := flag.String("naming", "", "naming service address to register with (optional)")
 	ttl := flag.Duration("ttl", 0, "registration liveness TTL (0 = permanent, no heartbeat)")
 	heartbeat := flag.Duration("heartbeat", 0, "re-registration interval (default ttl/3)")
+	debugAddr := flag.String("debug-addr", "", "opt-in observability HTTP listener (/metrics, /trace, /debug/pprof); empty disables")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		ds, err := obs.StartDebug(*debugAddr, obs.Default(), obs.DefaultTracer())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wftask: debug listener:", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Printf("debug endpoints on http://%s/ (metrics, trace, pprof)\n", ds.Addr())
+	}
 
 	if err := run(*addr, *location, *naming, *ttl, *heartbeat); err != nil {
 		fmt.Fprintln(os.Stderr, "wftask:", err)

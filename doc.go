@@ -49,12 +49,28 @@
 // paths; seeded fuzz runs replay bit-identically from the seed alone.
 // The scenario format and assertion grammar are docs/SCENARIOS.md.
 //
+// # Observability
+//
+// internal/obs is the stdlib-only observability core every daemon
+// carries: a metrics registry (atomic counters/gauges/histograms,
+// Prometheus-text and JSON encoders, names funneled through
+// obs/names.go) and cross-process activation tracing (a trace ID
+// minted at instantiation and persisted with the instance; spans for
+// activation attempts, remote dispatches, executor-side executions,
+// recoveries and completions, propagated through orb call metadata so
+// coordinator and executor spans stitch into one tree). Exposed via
+// the opt-in -debug-addr HTTP listener (/metrics, /trace,
+// net/http/pprof) on wfexec, wftask and wfnaming, and via `wfadmin
+// metrics` / `wfadmin trace` over the orb. The metric catalogue, span
+// taxonomy and design rules are docs/OBSERVABILITY.md.
+//
 // # Enforced invariants
 //
 // The system-wide contracts behind these subsystems — all time flows
 // through timers.Clock, engine run state commits only via the drain's
 // group-commit batch, lock holders never block, goroutines carry a
-// visible stop mechanism — are enforced mechanically by the wflint
+// visible stop mechanism, metric names come from the obs catalogue —
+// are enforced mechanically by the wflint
 // multichecker (cmd/wflint, analyzers in internal/lint), which runs in
 // `make lint`, in CI, and as a `go vet -vettool`. The invariant
 // registry with rationale and the //wflint:allow escape-hatch

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/registry"
 	"repro/internal/timers"
@@ -105,6 +106,15 @@ type Config struct {
 	// event order is preserved). The simulation harness streams its
 	// cross-instance trace through it; leave nil otherwise.
 	EventTap func(Event)
+	// Metrics receives every counter, gauge and histogram the engine
+	// records (see internal/obs and docs/OBSERVABILITY.md). Nil selects
+	// the process-global obs.Default() registry; deterministic harnesses
+	// inject their own so counters aggregate across simulated
+	// coordinator generations.
+	Metrics *obs.Registry
+	// Tracer receives the engine's activation spans. Nil selects the
+	// process-global obs.DefaultTracer().
+	Tracer *obs.Tracer
 }
 
 // Probe observes instance-controller quiescence (see Config.Probe).
@@ -130,6 +140,11 @@ type RemoteRequest struct {
 	Attempt   int
 	Iteration int
 	Inputs    registry.Objects
+	// TraceID/SpanID identify the activation span dispatching this
+	// request; the invoker propagates them as orb call metadata so the
+	// executor's spans parent into the instance's trace.
+	TraceID string
+	SpanID  string
 }
 
 // RemoteInvoker executes a task activation at req.Location and returns
@@ -156,6 +171,10 @@ type Engine struct {
 	// delays and activation deadlines share one timing wheel.
 	clock  timers.Clock
 	timers *timers.Service
+	// reg/tracer/met are the observability substrate (see obs.go).
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	met    engMetrics
 
 	mu        sync.Mutex
 	instances map[string]*Instance
@@ -170,12 +189,23 @@ func New(preg *persist.Registry, impls *registry.Registry, cfg Config) *Engine {
 	if clock == nil {
 		clock = timers.WallClock{}
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.DefaultTracer()
+	}
 	return &Engine{
 		preg:      preg,
 		impls:     impls,
 		cfg:       cfg,
 		clock:     clock,
 		timers:    timers.New(clock, timers.Config{Tick: cfg.TimerTick}),
+		reg:       reg,
+		tracer:    tracer,
+		met:       newEngMetrics(reg),
 		instances: make(map[string]*Instance),
 	}
 }
@@ -221,7 +251,13 @@ func (e *Engine) Instantiate(id string, schema *core.Schema, rootName string) (*
 		return nil, fmt.Errorf("instantiate %s: %w", id, ErrInstanceExists)
 	}
 	inst := e.newInstance(id, schema, root)
-	meta := instanceMeta{ID: id, SchemaName: schema.Name, SchemaSource: schema.Source, RootName: root.Name}
+	// The trace ID is minted here, once, and persisted in the meta: every
+	// span of this instance's lifetime — across crashes, lease steals and
+	// remote executors — carries it, so the pieces stitch into one tree.
+	meta := instanceMeta{
+		ID: id, SchemaName: schema.Name, SchemaSource: schema.Source,
+		RootName: root.Name, TraceID: obs.NewID(),
+	}
 	if err := inst.saveMeta(meta); err != nil {
 		return nil, err
 	}
@@ -233,7 +269,16 @@ func (e *Engine) Instantiate(id string, schema *core.Schema, rootName string) (*
 	if err := inst.persistRunDirect(rootRun); err != nil {
 		return nil, err
 	}
+	// Root span: SpanID == TraceID by convention, so later spans parent
+	// to it without extra state.
+	now := e.clock.Now()
+	e.tracer.Record(obs.Span{
+		TraceID: meta.TraceID, SpanID: meta.TraceID,
+		Name: "instantiate", Instance: id, Start: now, End: now,
+		Attrs: map[string]string{"schema": schema.Name},
+	})
 	e.instances[id] = inst
+	e.met.instancesLive.Set(int64(len(e.instances)))
 	go inst.loop()
 	return inst, nil
 }
@@ -269,6 +314,7 @@ func (e *Engine) Instances() []string {
 func (e *Engine) drop(id string) {
 	e.mu.Lock()
 	delete(e.instances, id)
+	e.met.instancesLive.Set(int64(len(e.instances)))
 	e.mu.Unlock()
 }
 

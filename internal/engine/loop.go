@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/txn"
 )
@@ -163,6 +164,9 @@ func (i *Instance) resumeExecuting() {
 // declaration order keeps input-set and alternative selection
 // deterministic and identical to the full-rescan baseline.
 func (i *Instance) evaluate() {
+	if n := len(i.dirty); n > 0 {
+		i.eng.met.drainRuns.Observe(float64(n))
+	}
 	if i.eng.cfg.FullRescan {
 		i.evaluateFullRescan()
 	} else {
@@ -369,6 +373,7 @@ func (i *Instance) startRun(r *run, set string, inputs registry.Objects) {
 	r.gen = i.genSeq
 	r.cancel = make(chan struct{})
 	i.persistRun(r)
+	i.eng.met.activations.Inc()
 	i.emit(Event{Task: r.st.Path, Kind: EventTaskStarted, InputSet: set, Attempt: r.st.Attempt, Iteration: r.st.Iteration})
 	i.noteStarted(r.st.Path)
 	if r.task.Compound {
@@ -526,6 +531,7 @@ func (i *Instance) completeRun(r *run, rec OutputRec) {
 		r.st.State = RunCompleted
 	}
 	i.persistRun(r)
+	i.eng.met.completions.Inc()
 	i.emit(Event{Task: r.st.Path, Kind: kind, Output: rec.Output, Objects: rec.Objects, Iteration: r.st.Iteration, Attempt: r.st.Attempt})
 	i.noteOutput(r.st.Path)
 	if r.task == i.root {
@@ -577,6 +583,15 @@ func (i *Instance) finishInstance(r *run) {
 	default:
 		i.setStatus(StatusFailed)
 	}
+	// The completion span closes the trace on whichever coordinator saw
+	// the root terminate; in-memory only — the instance's durable story
+	// is over by here.
+	now := i.eng.clock.Now()
+	i.eng.tracer.Record(obs.Span{
+		TraceID: i.meta.TraceID, SpanID: obs.NewID(), Parent: i.meta.TraceID,
+		Name: "complete", Instance: i.id, Start: now, End: now,
+		Attrs: map[string]string{"status": r.st.State.String(), "output": res.Output},
+	})
 	i.emit(Event{Kind: EventInstanceCompleted, Output: res.Output})
 }
 
@@ -612,6 +627,10 @@ type workerInfo struct {
 	deadlineCh <-chan struct{}
 	deadlineID string
 	cancel     chan struct{}
+	// traceID/spanID identify the attempt's activation span, forwarded
+	// to remote executors so their spans parent into the trace.
+	traceID string
+	spanID  string
 }
 
 // spawnWorker launches the implementation of a plain task run. The
@@ -626,11 +645,22 @@ func (i *Instance) spawnWorker(r *run) {
 			deadline = parsed
 		}
 	}
+	// One span per activation attempt: retries open a fresh span, so the
+	// trace shows each attempt with its own timing and error.
+	r.actSpan = obs.Span{
+		TraceID: i.meta.TraceID, SpanID: obs.NewID(), Parent: i.meta.TraceID,
+		Name: "activate", Instance: i.id, Task: r.st.Path,
+		Start: i.eng.clock.Now(),
+		Attrs: map[string]string{
+			"attempt": fmt.Sprint(r.st.Attempt), "set": r.st.ChosenSet,
+		},
+	}
 	w := workerInfo{
 		path: r.st.Path, gen: r.gen, code: r.task.Code(), atomic: r.task.Atomic(),
 		location: r.task.Implementation["location"],
 		attempt:  r.st.Attempt, iteration: r.st.Iteration, set: r.st.ChosenSet,
 		inputs: r.st.Inputs.Clone(), deadline: deadline, cancel: r.cancel,
+		traceID: r.actSpan.TraceID, spanID: r.actSpan.SpanID,
 	}
 	if deadline > 0 {
 		// The id carries gen AND attempt: retries of one generation must
@@ -673,15 +703,28 @@ func (i *Instance) worker(w workerInfo) {
 			if gate := i.remoteGate; gate != nil {
 				// Backpressure: wide fan-outs queue here instead of
 				// flooding the executor pool with unbounded concurrent
-				// dispatches.
+				// dispatches. The waiting gauge must come back down on
+				// EVERY exit from the wait — including the abandoned
+				// path, where a deadline fired while the activation was
+				// still queued and nobody will ever read its result.
+				met := &i.eng.met
+				met.remoteWaiting.Add(1)
 				select {
 				case gate <- struct{}{}:
-					defer func() { <-gate }()
+					met.remoteWaiting.Add(-1)
+					met.remoteInflight.Add(1)
+					defer func() {
+						<-gate
+						met.remoteInflight.Add(-1)
+					}()
 				case <-w.cancel:
+					met.remoteWaiting.Add(-1)
 					return registry.Result{}, errCancelled
 				case <-abandoned:
+					met.remoteWaiting.Add(-1)
 					return registry.Result{}, errCancelled
 				case <-i.stopCh:
+					met.remoteWaiting.Add(-1)
 					return registry.Result{}, ErrStopped
 				}
 			}
@@ -689,7 +732,8 @@ func (i *Instance) worker(w workerInfo) {
 				Location: w.location, Code: w.code,
 				Instance: i.id, TaskPath: w.path, InputSet: w.set,
 				Attempt: w.attempt, Iteration: w.iteration,
-				Inputs: w.inputs,
+				Inputs:  w.inputs,
+				TraceID: w.traceID, SpanID: w.spanID,
 			})
 		}
 	} else {
@@ -770,6 +814,11 @@ func (i *Instance) handleCompletion(msg completionMsg) {
 	if !ok || r.gen != msg.gen || r.st.State != RunExecuting {
 		return // stale: the run was reset, aborted or reconfigured away
 	}
+	var errText string
+	if msg.err != nil {
+		errText = msg.err.Error()
+	}
+	i.finishActSpan(r, errText)
 	if r.pendingAbort != "" || errors.Is(msg.err, errCancelled) {
 		i.forceAbortNow(r)
 		return
@@ -832,6 +881,7 @@ func (i *Instance) systemFailure(r *run, cause error) {
 	if r.st.Attempt < i.eng.cfg.MaxRetries {
 		r.st.Attempt++
 		i.persistRun(r)
+		i.eng.met.retries.Inc()
 		i.emit(Event{Task: r.st.Path, Kind: EventTaskRetried, Err: cause.Error(), Attempt: r.st.Attempt, Iteration: r.st.Iteration})
 		i.spawnWorker(r)
 		return
@@ -1046,6 +1096,7 @@ func (i *Instance) flushRuns() error {
 	if len(i.pendingOrder) == 0 && len(i.pendingTimerOrder) == 0 {
 		return nil
 	}
+	start := i.eng.clock.Now()
 	b := i.eng.preg.NewBatch()
 	paths := i.pendingOrder
 	timerPaths := i.pendingTimerOrder
@@ -1088,6 +1139,8 @@ func (i *Instance) flushRuns() error {
 		}
 		return err
 	}
+	i.eng.met.flushOps.Observe(float64(len(paths) + len(timerPaths)))
+	i.eng.met.flushSeconds.ObserveSince(i.eng.clock, start)
 	return nil
 }
 

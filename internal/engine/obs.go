@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"repro/internal/obs"
+)
+
+// This file wires the engine into the observability core (internal/obs):
+// the instrument set every hot seam observes through, and the span
+// recording that traces an instance's lifecycle.
+//
+// Two rules govern every site (see docs/OBSERVABILITY.md):
+//
+//   - Instruments are resolved once, here, and observed through struct
+//     pointers: a hot-path observation is a single atomic op, never a
+//     registry lookup, and never under an engine lock.
+//   - Spans are observability, not state: they live in the bounded
+//     in-memory ring only and never touch the durable store — an extra
+//     record per activation in the flush batch would tax every fsync
+//     path for data recovery never reads. Only the trace ID is durable
+//     (it rides the instance meta), so spans recorded before and after
+//     a crash or lease steal still share one trace.
+
+// engMetrics is the engine's pre-resolved instrument set.
+type engMetrics struct {
+	activations     *obs.Counter   // task activations (startRun)
+	completions     *obs.Counter   // terminal task completions
+	retries         *obs.Counter   // automatic system-failure retries
+	drainRuns       *obs.Histogram // dirty-set size per evaluation drain
+	flushOps        *obs.Histogram // records per flush batch
+	flushSeconds    *obs.Histogram // flush batch commit latency
+	timerArms       *obs.Counter   // delay timers armed (incl. recovery re-arms)
+	timerFires      *obs.Counter   // delay timers fired (post-staleness)
+	timerFireLag    *obs.Histogram // fire instant minus armed deadline
+	recoverySeconds *obs.Histogram // per-instance re-materialization time
+	remoteWaiting   *obs.Gauge     // activations queued on the remote gate
+	remoteInflight  *obs.Gauge     // activations holding a remote-gate slot
+	instancesLive   *obs.Gauge     // registered live instances
+}
+
+func newEngMetrics(reg *obs.Registry) engMetrics {
+	return engMetrics{
+		activations:     reg.Counter(obs.MEngineActivations),
+		completions:     reg.Counter(obs.MEngineCompletions),
+		retries:         reg.Counter(obs.MEngineRetries),
+		drainRuns:       reg.Histogram(obs.MEngineDrainRuns, obs.DefSizeBuckets),
+		flushOps:        reg.Histogram(obs.MEngineFlushOps, obs.DefSizeBuckets),
+		flushSeconds:    reg.Histogram(obs.MEngineFlushSeconds, nil),
+		timerArms:       reg.Counter(obs.MEngineTimerArms),
+		timerFires:      reg.Counter(obs.MEngineTimerFires),
+		timerFireLag:    reg.Histogram(obs.MEngineTimerFireLag, nil),
+		recoverySeconds: reg.Histogram(obs.MEngineRecoverySeconds, nil),
+		remoteWaiting:   reg.Gauge(obs.MEngineRemoteWaiting),
+		remoteInflight:  reg.Gauge(obs.MEngineRemoteInflight),
+		instancesLive:   reg.Gauge(obs.MEngineInstancesLive),
+	}
+}
+
+// Metrics returns the registry the engine records into (Config.Metrics,
+// or the process default). Embedding services expose it over their debug
+// and admin surfaces.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
+
+// Tracer returns the span store the engine records into (Config.Tracer,
+// or the process default).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// finishActSpan closes the run's open activation span and records it.
+// errText annotates a failed activation.
+func (i *Instance) finishActSpan(r *run, errText string) {
+	if r.actSpan.SpanID == "" {
+		return
+	}
+	sp := r.actSpan
+	r.actSpan = obs.Span{}
+	sp.End = i.eng.clock.Now()
+	sp.Err = errText
+	i.eng.tracer.Record(sp)
+}

@@ -1,0 +1,86 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/script/sema"
+	"repro/internal/workload"
+)
+
+// waitTotal polls reg.Total(name) until it reaches want; a leaked gauge
+// (the regression this file pins) fails here with the stuck value.
+func waitTotal(t *testing.T, reg *obs.Registry, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Total(name) != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want %d", name, reg.Total(name), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRemoteGateGaugesDecrementOnAbandon pins the abandoned-gate
+// accounting: an activation whose deadline fires while it is still
+// QUEUED on the remote-dispatch gate exits through the abandoned branch
+// of the gate select, and engine_remote_waiting must come back down on
+// that path exactly as on the dispatched one. Before the fix the gauge
+// stayed permanently elevated after every deadline-killed queue wait.
+func TestRemoteGateGaugesDecrementOnAbandon(t *testing.T) {
+	reg := obs.NewRegistry()
+	release := make(chan struct{})
+	invoked := make(chan struct{}, 16)
+	invoke := func(req engine.RemoteRequest) (registry.Result, error) {
+		invoked <- struct{}{}
+		// Hold the single gate slot until the test releases it: every
+		// other activation queues on the gate and dies by deadline there.
+		<-release
+		return registry.Result{Output: "done", Objects: registry.Objects{"out": req.Inputs["in"]}}, nil
+	}
+	env := newRig(t, engine.Config{
+		Ephemeral:         true,
+		RemoteInvoker:     invoke,
+		MaxRemoteInflight: 1,
+		MaxRetries:        1,
+		DefaultDeadline:   300 * time.Millisecond,
+		Metrics:           reg,
+	})
+	workload.Bind(env.impls)
+	schema := sema.MustCompileSource("obsgate", []byte(workload.LocatedFanOut(2, "pool")))
+	inst, err := env.eng.Instantiate("obsgate-1", schema, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start("main", workload.Seed()); err != nil {
+		t.Fatal(err)
+	}
+	// One dispatch occupies the gate slot inside the blocked invoker...
+	<-invoked
+	waitTotal(t, reg, obs.MEngineRemoteInflight, 1)
+	// ...so the second activation queues on the gate.
+	waitTotal(t, reg, obs.MEngineRemoteWaiting, 1)
+
+	// Deadlines fire, retries re-queue and abandon again, the instance
+	// settles (stalled or failed — the slot never frees). The waiting
+	// gauge must be back at zero: every queued wait that died by
+	// deadline decremented on its way out.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	_, _ = inst.Wait(ctx)
+	waitTotal(t, reg, obs.MEngineRemoteWaiting, 0)
+	// Exactly one invocation ever entered the invoker and it still holds
+	// the slot.
+	if got := reg.Total(obs.MEngineRemoteInflight); got != 1 {
+		t.Fatalf("engine_remote_inflight = %d with the invoker still blocked, want 1", got)
+	}
+
+	// Releasing the invoker frees the slot: inflight returns to zero.
+	close(release)
+	waitTotal(t, reg, obs.MEngineRemoteInflight, 0)
+	waitTotal(t, reg, obs.MEngineRemoteWaiting, 0)
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -30,20 +31,35 @@ import (
 func (e *Engine) Recover(id string, compile SchemaCompiler) (*Instance, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.recoverLocked(id, compile)
+	return e.recoverLocked(id, compile, "explicit")
 }
 
 // recoverLocked loads, registers and starts one persisted instance.
-// Callers hold e.mu.
-func (e *Engine) recoverLocked(id string, compile SchemaCompiler) (*Instance, error) {
+// cause labels the recovery counter and span: "restart" (process came
+// back and re-materialized its own state), "lease-steal" (a takeover
+// peer re-materialized a dead owner's partition) or "explicit" (direct
+// Recover call). Callers hold e.mu.
+func (e *Engine) recoverLocked(id string, compile SchemaCompiler, cause string) (*Instance, error) {
 	if _, dup := e.instances[id]; dup {
 		return nil, fmt.Errorf("recover %s: %w", id, ErrInstanceExists)
 	}
+	start := e.clock.Now()
 	inst, err := e.loadInstanceLocked(id, compile)
 	if err != nil {
 		return nil, err
 	}
 	e.instances[id] = inst
+	e.met.instancesLive.Set(int64(len(e.instances)))
+	e.reg.Counter(obs.MEngineRecoveries, "cause", cause).Inc()
+	e.met.recoverySeconds.ObserveSince(e.clock, start)
+	// The recovery span joins the instance's original trace (the trace
+	// ID rode the persisted meta), so a stitched tree shows the steal:
+	// the instance's trace continues on coordinator B under the same ID.
+	e.tracer.Record(obs.Span{
+		TraceID: inst.meta.TraceID, SpanID: obs.NewID(), Parent: inst.meta.TraceID,
+		Name: "recover", Instance: id, Start: start, End: e.clock.Now(),
+		Attrs: map[string]string{"cause": cause},
+	})
 	go inst.loop()
 	inst.resumeExecuting()
 	return inst, nil
@@ -61,6 +77,11 @@ func (e *Engine) loadInstanceLocked(id string, compile SchemaCompiler) (*Instanc
 	var meta instanceMeta
 	if err := e.preg.Object(metaKey(id)).Peek(&meta); err != nil {
 		return nil, fmt.Errorf("recover %s: %w", id, err)
+	}
+	if meta.TraceID == "" {
+		// Meta persisted before activation tracing existed: re-mint so
+		// post-recovery spans still form a (new) tree.
+		meta.TraceID = obs.NewID()
 	}
 	schema, err := compile(meta.SchemaName, []byte(meta.SchemaSource))
 	if err != nil {
@@ -164,8 +185,17 @@ func ListPersisted(st store.Store) ([]string, error) {
 // match that is not already live, returning the IDs recovered. Failures
 // are collected (joined into the returned error) rather than aborting
 // the pass — one corrupt instance must not keep a whole partition's
-// peers from coming back. A nil match recovers everything.
+// peers from coming back. A nil match recovers everything. Recoveries
+// are counted under cause "restart"; takeover paths that know better
+// call RecoverMatchingCause.
 func (e *Engine) RecoverMatching(compile SchemaCompiler, match func(id string) bool) ([]string, error) {
+	return e.RecoverMatchingCause(compile, match, "restart")
+}
+
+// RecoverMatchingCause is RecoverMatching with an explicit recovery
+// cause for the engine_recoveries_total counter and the recovery spans
+// ("restart", "lease-steal", "explicit").
+func (e *Engine) RecoverMatchingCause(compile SchemaCompiler, match func(id string) bool, cause string) ([]string, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	ids, err := ListPersisted(e.preg.Store())
@@ -181,7 +211,7 @@ func (e *Engine) RecoverMatching(compile SchemaCompiler, match func(id string) b
 		if _, live := e.instances[id]; live {
 			continue
 		}
-		if _, err := e.recoverLocked(id, compile); err != nil {
+		if _, err := e.recoverLocked(id, compile, cause); err != nil {
 			errs = append(errs, err)
 			continue
 		}

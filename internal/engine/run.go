@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/store"
 )
@@ -102,6 +103,12 @@ type run struct {
 	// delayArmed reports a pending first-class delay timer on the wheel
 	// (see timers.go); such runs execute without a worker.
 	delayArmed bool
+	// delayDeadline is the armed delay's absolute deadline; handleTimer
+	// derives the fire-lag observation from it.
+	delayDeadline time.Time
+	// actSpan is the open span of the current activation attempt (zero
+	// when none); closed by finishActSpan on completion. See obs.go.
+	actSpan obs.Span
 	// pendingAbort holds the abort outcome requested by AbortTask while
 	// the task was executing.
 	pendingAbort string
@@ -160,6 +167,11 @@ type instanceMeta struct {
 	StartSet     string
 	StartInputs  registry.Objects
 	ReconfigSeq  int
+	// TraceID is the activation-trace identifier minted at
+	// instantiation; it survives crashes with the meta so spans recorded
+	// before and after a takeover share one trace. Metas persisted
+	// before tracing existed decode it empty; recovery re-mints then.
+	TraceID string
 }
 
 // Register payload types commonly carried by Values so run states survive

@@ -102,7 +102,9 @@ func delayOutcome(t *core.Task) *core.Output {
 // map.
 func (i *Instance) armDelay(r *run, deadline time.Time) {
 	r.delayArmed = true
+	r.delayDeadline = deadline
 	i.armedTimers++
+	i.eng.met.timerArms.Inc()
 	i.persistTimerRec(r.st.Path, &delayRec{Path: r.st.Path, Deadline: deadline, Iteration: r.st.Iteration})
 	path, gen := r.st.Path, r.gen
 	i.eng.timers.Arm(delayID(i.id, path), deadline, func() {
@@ -156,6 +158,11 @@ func (i *Instance) handleTimer(msg timerMsg) {
 	r.delayArmed = false
 	i.armedTimers--
 	i.deleteTimerRec(r.st.Path)
+	// The fire counter moves once per surviving (non-stale) fire; with a
+	// shared registry across simulated coordinator generations it is the
+	// exactly-once witness for a delay that straddles a crash.
+	i.eng.met.timerFires.Inc()
+	i.eng.met.timerFireLag.ObserveSince(i.eng.clock, r.delayDeadline)
 	if r.pendingAbort != "" {
 		i.forceAbortNow(r)
 		return

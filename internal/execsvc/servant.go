@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/registry"
 	"repro/internal/script/sema"
@@ -94,53 +95,78 @@ type shardHealthResp struct {
 	Partitions []PartitionHealth
 }
 
+type metricsResp struct {
+	// Text is the registry snapshot in Prometheus text exposition
+	// format (the same bytes the -debug-addr /metrics endpoint serves).
+	Text string
+}
+
+type traceReq struct {
+	Instance string
+}
+
+type traceResp struct {
+	Spans []obs.Span
+}
+
+// method registers a typed servant method with a per-method request
+// counter (execsvc_requests_total{method=...}) resolved once at
+// registration.
+func method[Req, Resp any](s *Service, sv *orb.Servant, name string, f func(Req) (Resp, error)) {
+	hits := s.eng.Metrics().Counter(obs.MExecRequests, "method", name)
+	orb.Method(sv, name, func(req Req) (Resp, error) {
+		hits.Inc()
+		return f(req)
+	})
+}
+
 // Servant exports the execution service over the orb.
 func (s *Service) Servant() *orb.Servant {
 	sv := orb.NewServant()
-	orb.Method(sv, "instantiate", func(req instantiateReq) (struct{}, error) {
+	method(s, sv, "instantiate", func(req instantiateReq) (struct{}, error) {
 		return struct{}{}, s.Instantiate(req.Instance, req.Schema, req.Root)
 	})
-	orb.Method(sv, "start", func(req startReq) (struct{}, error) {
+	method(s, sv, "start", func(req startReq) (struct{}, error) {
 		return struct{}{}, s.Start(req.Instance, req.Set, req.Inputs)
 	})
-	orb.Method(sv, "status", func(req instanceReq) (statusResp, error) {
+	method(s, sv, "status", func(req instanceReq) (statusResp, error) {
 		status, tasks, err := s.Status(req.Instance)
 		return statusResp{Status: status, Tasks: tasks}, err
 	})
-	orb.Method(sv, "events", func(req eventsReq) (eventsResp, error) {
+	method(s, sv, "events", func(req eventsReq) (eventsResp, error) {
 		ev, err := s.Events(req.Instance, req.Since)
 		return eventsResp{Events: ev}, err
 	})
-	orb.Method(sv, "wait", func(req waitReq) (waitResp, error) {
+	method(s, sv, "wait", func(req waitReq) (waitResp, error) {
 		status, res, err := s.WaitSettled(req.Instance, time.Duration(req.TimeoutMS)*time.Millisecond)
 		return waitResp{Status: status, Result: res}, err
 	})
-	orb.Method(sv, "abortTask", func(req abortReq) (struct{}, error) {
+	method(s, sv, "abortTask", func(req abortReq) (struct{}, error) {
 		return struct{}{}, s.AbortTask(req.Instance, req.Path, req.Outcome)
 	})
-	orb.Method(sv, "reconfigure", func(req reconfigReq) (struct{}, error) {
+	method(s, sv, "reconfigure", func(req reconfigReq) (struct{}, error) {
 		return struct{}{}, s.Reconfigure(req.Instance, req.Ops...)
 	})
-	orb.Method(sv, "stop", func(req instanceReq) (struct{}, error) {
+	method(s, sv, "stop", func(req instanceReq) (struct{}, error) {
 		return struct{}{}, s.Stop(req.Instance)
 	})
-	orb.Method(sv, "recover", func(req instanceReq) (struct{}, error) {
+	method(s, sv, "recover", func(req instanceReq) (struct{}, error) {
 		return struct{}{}, s.Recover(req.Instance)
 	})
-	orb.Method(sv, "instances", func(struct{}) (instancesResp, error) {
+	method(s, sv, "instances", func(struct{}) (instancesResp, error) {
 		return instancesResp{Instances: s.Instances()}, nil
 	})
-	orb.Method(sv, "scheduleAdd", func(req scheduleAddReq) (struct{}, error) {
+	method(s, sv, "scheduleAdd", func(req scheduleAddReq) (struct{}, error) {
 		return struct{}{}, s.ScheduleAdd(req.Spec)
 	})
-	orb.Method(sv, "scheduleRemove", func(req scheduleNameReq) (struct{}, error) {
+	method(s, sv, "scheduleRemove", func(req scheduleNameReq) (struct{}, error) {
 		return struct{}{}, s.ScheduleRemove(req.Name)
 	})
-	orb.Method(sv, "schedules", func(struct{}) (schedulesResp, error) {
+	method(s, sv, "schedules", func(struct{}) (schedulesResp, error) {
 		list, err := s.Schedules()
 		return schedulesResp{Schedules: list}, err
 	})
-	orb.Method(sv, "shardHealth", func(struct{}) (shardHealthResp, error) {
+	method(s, sv, "shardHealth", func(struct{}) (shardHealthResp, error) {
 		if s.health == nil {
 			return shardHealthResp{}, nil
 		}
@@ -151,6 +177,15 @@ func (s *Service) Servant() *orb.Servant {
 		}
 		sort.Slice(rows, func(i, j int) bool { return rows[i].Partition < rows[j].Partition })
 		return shardHealthResp{Partitions: rows}, nil
+	})
+	method(s, sv, "metrics", func(struct{}) (metricsResp, error) {
+		return metricsResp{Text: s.eng.Metrics().PrometheusText()}, nil
+	})
+	method(s, sv, "trace", func(req traceReq) (traceResp, error) {
+		// No ownership guard: a trace is observability, and after a
+		// failover the spans of interest live on whichever coordinator
+		// imported them — ask the one you can reach.
+		return traceResp{Spans: s.eng.Tracer().ByInstance(req.Instance)}, nil
 	})
 	return sv
 }
@@ -274,4 +309,17 @@ func (ec *Client) Schedules() ([]Schedule, error) {
 func (ec *Client) ShardHealth() ([]PartitionHealth, error) {
 	resp, err := orb.Call[struct{}, shardHealthResp](ec.c, ObjectName, "shardHealth", struct{}{})
 	return resp.Partitions, err
+}
+
+// Metrics fetches the coordinator's metrics registry in Prometheus text
+// format.
+func (ec *Client) Metrics() (string, error) {
+	resp, err := orb.Call[struct{}, metricsResp](ec.c, ObjectName, "metrics", struct{}{})
+	return resp.Text, err
+}
+
+// Trace fetches the coordinator's recorded spans for one instance.
+func (ec *Client) Trace(instance string) ([]obs.Span, error) {
+	resp, err := orb.Call[traceReq, traceResp](ec.c, ObjectName, "trace", traceReq{Instance: instance})
+	return resp.Spans, err
 }

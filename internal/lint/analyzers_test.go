@@ -22,3 +22,7 @@ func TestLockSafe(t *testing.T) {
 func TestGoroutineStop(t *testing.T) {
 	linttest.Run(t, "testdata", lint.GoroutineStop, "./goroutinestop")
 }
+
+func TestMetricNames(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MetricNames, "./metricnames", "./internal/obs")
+}

@@ -16,6 +16,8 @@
 //     and every Lock has a same-function Unlock.
 //   - goroutinestop: every goroutine launched by library code has a visible
 //     stop mechanism (context, stop channel, or WaitGroup).
+//   - metricnames: metrics register only under constants declared in
+//     internal/obs (names.go), so series names cannot drift or collide.
 //
 // A finding is suppressed by an escape-hatch directive with a mandatory
 // reason (see allow.go):
@@ -81,7 +83,7 @@ func (f Finding) String() string {
 
 // Analyzers returns the full wflint suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{ClockInject, PersistOrder, LockSafe, GoroutineStop}
+	return []*Analyzer{ClockInject, PersistOrder, LockSafe, GoroutineStop, MetricNames}
 }
 
 // Run applies every analyzer to every package, drops findings in _test.go

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// metricRegisterMethods are the obs.Registry instrument constructors
+// whose first argument is the metric name.
+var metricRegisterMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+// MetricNames enforces the observability-layer invariant that every
+// metric registered in non-test code uses a `const` name declared in
+// internal/obs (names.go): ad-hoc string literals and locally computed
+// names drift, collide and duplicate series between call sites, and
+// they escape the docs/OBSERVABILITY.md catalogue. Test files are
+// exempt (like every analyzer), so unit tests may register throwaway
+// names freely.
+var MetricNames = &Analyzer{
+	Name: "metricnames",
+	Doc: "requires every obs.Registry.Counter/Gauge/Histogram registration in non-test code " +
+		"to name its metric with a constant declared in internal/obs (names.go), preventing " +
+		"drifting or duplicated metric names",
+	Run: runMetricNames,
+}
+
+func runMetricNames(pass *Pass) error {
+	// The obs package itself (and its lint-corpus stand-in) is the home
+	// of the constants; its own helpers are exempt.
+	if pathMatches(pass.Path, "internal/obs") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !metricRegisterMethods[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || !isObsRegistryMethod(fn) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			if !isObsConst(pass, call.Args[0]) {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name passed to obs.Registry.%s must be a constant declared in internal/obs/names.go (got a non-registry name)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isObsRegistryMethod reports whether fn is a method on obs.Registry.
+func isObsRegistryMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Registry" && pathMatches(named.Obj().Pkg().Path(), "internal/obs")
+}
+
+// isObsConst reports whether expr resolves to a constant declared in
+// the internal/obs package.
+func isObsConst(pass *Pass, expr ast.Expr) bool {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	c, ok := pass.Info.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil {
+		return false
+	}
+	return pathMatches(c.Pkg().Path(), "internal/obs")
+}

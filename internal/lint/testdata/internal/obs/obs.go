@@ -1,0 +1,39 @@
+// Package obs is the lint corpus's stand-in for repro/internal/obs: the
+// metricnames analyzer matches the package by the "internal/obs" path
+// suffix, so this package exercises the real resolution logic.
+package obs
+
+// Registered metric names (the stand-in for names.go).
+const (
+	MGood      = "good_metric_total"
+	MGoodGauge = "good_gauge"
+	MGoodHist  = "good_hist_seconds"
+)
+
+// Counter, Gauge, Histogram mirror the registry's instrument types.
+type Counter struct{}
+
+func (*Counter) Inc() {}
+
+type Gauge struct{}
+
+func (*Gauge) Set(int64) {}
+
+type Histogram struct{}
+
+func (*Histogram) Observe(float64) {}
+
+// Registry mirrors the real registry's constructor methods; only the
+// shapes matter to the analyzer.
+type Registry struct{}
+
+func (*Registry) Counter(name string, labels ...string) *Counter { return &Counter{} }
+
+func (*Registry) Gauge(name string, labels ...string) *Gauge { return &Gauge{} }
+
+func (*Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	return &Histogram{}
+}
+
+// Default mirrors the process-global registry accessor.
+func Default() *Registry { return &Registry{} }

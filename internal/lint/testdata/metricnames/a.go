@@ -1,0 +1,39 @@
+// Package metricnames is the golden package for the metricnames
+// analyzer: metric registrations must name their metric with a constant
+// from internal/obs; string literals, local constants and computed
+// names are violations.
+package metricnames
+
+import "lintdata/internal/obs"
+
+const localName = "local_metric_total"
+
+var reg = obs.Default()
+
+func registrations() {
+	// Clean: constants declared in internal/obs, through any registry.
+	reg.Counter(obs.MGood).Inc()
+	obs.Default().Gauge(obs.MGoodGauge, "endpoint", "e1").Set(1)
+	r := obs.Default()
+	r.Histogram(obs.MGoodHist, nil).Observe(0.5)
+
+	// Violations: ad-hoc names that escape the names.go catalogue.
+	reg.Counter("adhoc_metric_total").Inc()                  // want `must be a constant declared in internal/obs`
+	reg.Gauge(localName).Set(2)                              // want `must be a constant declared in internal/obs`
+	reg.Histogram("adhoc_"+"hist", nil).Observe(1)           // want `must be a constant declared in internal/obs`
+	obs.Default().Counter(computedName()).Inc()              // want `must be a constant declared in internal/obs`
+	obs.Default().Counter(string(obs.MGood) + "_more").Inc() // want `must be a constant declared in internal/obs`
+}
+
+func computedName() string { return "computed_total" }
+
+// Unrelated methods named Counter/Gauge/Histogram on non-registry
+// receivers stay clean.
+type other struct{}
+
+func (other) Counter(name string) int { return len(name) }
+
+func unrelated() {
+	var o other
+	_ = o.Counter("not a metric")
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+)
+
+// DebugServer is the opt-in HTTP debug listener every daemon can mount
+// with -debug-addr. It serves:
+//
+//	/metrics            Prometheus text exposition of the registry
+//	/metrics.json       the same snapshot as JSON
+//	/trace/<instance>   the tracer's spans for one instance, as JSON
+//	/trace?id=<trace>   the spans of one trace ID, as JSON
+//	/debug/pprof/...    the standard net/http/pprof surface
+//
+// The listener is read-only and unauthenticated: bind it to loopback
+// (or a management network), never the service address.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+	wg  sync.WaitGroup
+}
+
+// StartDebug binds addr and serves reg and tr on it. Close stops the
+// listener and waits the serving goroutine out.
+func StartDebug(addr string, reg *Registry, tr *Tracer) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", traceHandler(tr))
+	mux.HandleFunc("/trace/", traceHandler(tr))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		_ = d.srv.Serve(ln) // returns when Close shuts the listener
+	}()
+	return d, nil
+}
+
+// traceHandler serves /trace/<instance> and /trace?id=<traceID>.
+func traceHandler(tr *Tracer) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var spans []Span
+		switch {
+		case r.URL.Query().Get("id") != "":
+			spans = tr.ByTrace(r.URL.Query().Get("id"))
+		case strings.HasPrefix(r.URL.Path, "/trace/") && len(r.URL.Path) > len("/trace/"):
+			spans = tr.ByInstance(strings.TrimPrefix(r.URL.Path, "/trace/"))
+		default:
+			spans = tr.Spans()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(spans)
+	}
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the listener, drops open connections, and waits for the
+// serving goroutine to exit.
+func (d *DebugServer) Close() {
+	_ = d.srv.Close()
+	d.wg.Wait()
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// labelString renders a sorted label set as {k="v",...}, empty for none.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// withLabel returns labels plus one extra pair, re-rendered (used for
+// histogram `le` labels, which sort after the shared labels).
+func withLabel(labels []Label, key, value string) string {
+	all := make([]Label, 0, len(labels)+1)
+	all = append(all, labels...)
+	all = append(all, Label{Key: key, Value: value})
+	return labelString(all)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per metric name, counters
+// and gauges as single samples, histograms as cumulative `_bucket`
+// samples plus `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastType := ""
+	for _, s := range r.Snapshot() {
+		if s.Name != lastType {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+			lastType = s.Name
+		}
+		switch s.Kind {
+		case kindHistogram:
+			cum := int64(0)
+			for i, b := range s.Buckets {
+				cum += b
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = formatFloat(s.Bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, withLabel(s.Labels, "le", le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, labelString(s.Labels), formatFloat(s.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labelString(s.Labels), s.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", s.Name, labelString(s.Labels), s.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PrometheusText renders WritePrometheus into a string (the wfadmin
+// metrics verb and the execsvc servant ship this over the orb).
+func (r *Registry) PrometheusText() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}
+
+// jsonSeries is the JSON exposition shape of one series.
+type jsonSeries struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Kind    string            `json:"kind"`
+	Value   int64             `json:"value,omitempty"`
+	Bounds  []float64         `json:"bounds,omitempty"`
+	Buckets []int64           `json:"buckets,omitempty"`
+	Count   int64             `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+}
+
+// WriteJSON renders the registry as a JSON array of series.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make([]jsonSeries, 0)
+	for _, s := range r.Snapshot() {
+		js := jsonSeries{
+			Name: s.Name, Kind: s.Kind, Value: s.Value,
+			Bounds: s.Bounds, Buckets: s.Buckets, Count: s.Count, Sum: s.Sum,
+		}
+		if len(s.Labels) > 0 {
+			js.Labels = make(map[string]string, len(s.Labels))
+			for _, l := range s.Labels {
+				js.Labels[l.Key] = l.Value
+			}
+		}
+		out = append(out, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,55 @@
+package obs
+
+// Metric name registry. Every metric the system registers in non-test
+// code MUST use one of these constants — the wflint `metricnames`
+// analyzer enforces it — so names cannot drift or duplicate between
+// call sites, and docs/OBSERVABILITY.md can be the single authoritative
+// catalogue. Naming follows the Prometheus conventions: snake_case,
+// `_total` suffix on counters, `_seconds` on duration histograms, bare
+// nouns on gauges.
+const (
+	// Engine (internal/engine): the instance controllers and their
+	// drain/flush/timer/recovery machinery.
+	MEngineActivations     = "engine_activations_total"      // counter{kind=local|remote}: task activation attempts spawned
+	MEngineCompletions     = "engine_task_completions_total" // counter: task activations that reported back (any outcome)
+	MEngineRetries         = "engine_task_retries_total"     // counter: automatic retries after system-level failures
+	MEngineDrainRuns       = "engine_drain_runs"             // histogram: dirty tasks evaluated per scheduler drain
+	MEngineFlushOps        = "engine_flush_batch_ops"        // histogram: staged records per group-commit flush batch
+	MEngineFlushSeconds    = "engine_flush_seconds"          // histogram: flush batch commit latency
+	MEngineTimerArms       = "engine_timer_arms_total"       // counter: durable delay timers armed (incl. recovery re-arms)
+	MEngineTimerFires      = "engine_timer_fires_total"      // counter: durable delay timers fired
+	MEngineTimerFireLag    = "engine_timer_fire_lag_seconds" // histogram: fire instant minus armed absolute deadline
+	MEngineRecoveries      = "engine_recoveries_total"       // counter{cause=restart|lease-steal|explicit}: instances re-materialized
+	MEngineRecoverySeconds = "engine_recovery_seconds"       // histogram: single-instance re-materialization latency
+	MEngineRemoteWaiting   = "engine_remote_waiting"         // gauge: activations parked at the remote-dispatch gate
+	MEngineRemoteInflight  = "engine_remote_inflight"        // gauge: remote dispatches currently in flight
+	MEngineInstancesLive   = "engine_instances_live"         // gauge: instances with a live controller
+
+	// Store (internal/store WALStore): durability cost and health.
+	MStoreFsyncs        = "store_fsyncs_total"         // counter: fsyncs issued (segment + snapshot)
+	MStoreFsyncSeconds  = "store_fsync_seconds"        // histogram: segment fsync latency
+	MStoreCommitBatches = "store_commit_batches_total" // counter: group-commit drains (fsync-amortization unit)
+	MStoreCommitOps     = "store_commit_ops_total"     // counter: records committed (ops/batches = coalescing ratio)
+	MStoreWedges        = "store_wedges_total"         // counter: fail-stop wedge events (failed fsync / unrollable tear)
+
+	// Task executor pool (internal/taskexec): remote dispatch.
+	MTaskDispatches      = "taskexec_dispatches_total" // counter{endpoint}: dispatches handed to a pool member
+	MTaskFailures        = "taskexec_failures_total"   // counter{endpoint}: dispatches that returned a transport error
+	MTaskInflight        = "taskexec_inflight"         // gauge{endpoint}: dispatches currently in flight per member
+	MTaskDispatchSeconds = "taskexec_dispatch_seconds" // histogram: single-endpoint execute round-trip latency
+	MTaskFailovers       = "taskexec_failovers_total"  // counter: dispatches retried on another member after a failure
+	MTaskExecutions      = "taskexec_executions_total" // counter: executor-side task executions served
+	MTaskExecuteSeconds  = "taskexec_execute_seconds"  // histogram: executor-side task implementation latency
+
+	// Shard manager (internal/shard): the partition-lease protocol.
+	MShardLeaseAcquisitions = "shard_lease_acquisitions_total" // counter: partition leases won
+	MShardLeaseRenewals     = "shard_lease_renewals_total"     // counter: successful lease renewals
+	MShardLeaseRenewSeconds = "shard_lease_renew_seconds"      // histogram: lease renew RPC latency
+	MShardLeaseLosses       = "shard_lease_losses_total"       // counter: held partitions lost (fence lapse, arbiter refusal, handoff)
+	MShardLeaseSteals       = "shard_lease_steals_total"       // counter: acquisitions that re-materialized a dead peer's instances
+	MShardQuarantines       = "shard_quarantines_total"        // counter: partitions condemned by storage faults
+	MShardPartitionsHeld    = "shard_partitions_held"          // gauge: partitions currently held and un-fenced
+
+	// Execution service (internal/execsvc): the client-facing verbs.
+	MExecRequests = "execsvc_requests_total" // counter{method}: servant requests dispatched
+)

@@ -1,0 +1,385 @@
+// Package obs is the observability core: a stdlib-only metrics registry
+// (counters, gauges, fixed-bucket histograms with atomic hot paths and a
+// hand-rolled Prometheus-text/JSON exposition encoder), an activation
+// tracer (bounded in-memory span ring whose context rides orb call
+// metadata so coordinator→executor spans stitch into one tree), and an
+// opt-in HTTP debug listener serving /metrics, /trace/<instance> and
+// net/http/pprof.
+//
+// Design rules, enforced across the call sites (see docs/OBSERVABILITY.md
+// and the INVARIANTS.md observability section):
+//
+//   - Observation never blocks a hot path. Counter/Gauge/Histogram
+//     updates are single atomic operations; no lock is held across an
+//     observation. The registry's mutex guards only instrument lookup
+//     and creation — call sites on hot paths resolve their instruments
+//     once, up front, and hold the pointers.
+//   - Every instrument method is nil-receiver-safe, so optional
+//     instrumentation costs one predictable branch when disabled.
+//   - Time flows through timers.Clock (ObserveSince), never the wall
+//     clock directly, so FakeClock-driven tests and the deterministic
+//     simulator observe latencies without real sleeping.
+//   - Metric names in non-test code are constants from names.go — the
+//     wflint `metricnames` analyzer rejects ad-hoc strings.
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/timers"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count; 0 on a nil counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. A nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by n (negative to decrement).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value; 0 on a nil gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution. An observation lands in the
+// first bucket whose upper bound is >= the value (Prometheus `le`
+// semantics); values above every bound land in the implicit +Inf
+// bucket. All updates are atomic; a nil *Histogram is a no-op.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; implicit +Inf after
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DefLatencyBuckets is the default bound set for `_seconds` histograms:
+// 100µs to 10s, roughly exponential.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// DefSizeBuckets is the default bound set for count-valued histograms
+// (batch sizes, drain sizes): 1 to 16k, powers of four.
+var DefSizeBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed seconds between start and the
+// clock's current instant — the one sanctioned way to observe a latency
+// (time flows through timers.Clock, so FakeClock tests drive it).
+func (h *Histogram) ObserveSince(clk timers.Clock, start time.Time) {
+	if h == nil || clk == nil {
+		return
+	}
+	h.Observe(clk.Now().Sub(start).Seconds())
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations; 0 on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values; 0 on nil.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Label is one name=value dimension of a series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Series is one exported time series in a registry snapshot.
+type Series struct {
+	Name   string
+	Labels []Label
+	Kind   string // "counter", "gauge" or "histogram"
+
+	// Counter/gauge value.
+	Value int64
+
+	// Histogram state (Kind "histogram" only). Buckets[i] counts
+	// observations <= Bounds[i] exclusively of earlier buckets;
+	// Buckets[len(Bounds)] is the +Inf bucket.
+	Bounds  []float64
+	Buckets []int64
+	Count   int64
+	Sum     float64
+}
+
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// instrument is one registered metric with its identity.
+type instrument struct {
+	name   string
+	labels []Label
+	kind   string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds a process's (or a simulated world's) instruments.
+// Lookup/creation is mutex-guarded and deduplicating: the same
+// name+labels always returns the same instrument, so independent call
+// sites — and successive coordinator generations in a simulated crash
+// — aggregate into one series. A nil *Registry returns nil instruments
+// (which no-op), so instrumentation is droppable wholesale.
+type Registry struct {
+	mu   sync.Mutex
+	inst map[string]*instrument
+}
+
+// NewRegistry returns an empty registry. Daemons use Default();
+// deterministic harnesses and tests create their own.
+func NewRegistry() *Registry {
+	return &Registry{inst: make(map[string]*instrument)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default is the process-global registry the daemons expose on their
+// debug listeners.
+func Default() *Registry { return defaultRegistry }
+
+// labelize pairs up a variadic k,v list, sorted by key. A trailing
+// odd element is dropped (never panic on an instrumentation path).
+func labelize(kv []string) []Label {
+	n := len(kv) / 2
+	if n == 0 {
+		return nil
+	}
+	ls := make([]Label, 0, n)
+	for i := 0; i+1 < len(kv); i += 2 {
+		ls = append(ls, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0x1f)
+		b.WriteString(l.Key)
+		b.WriteByte(0x1e)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// lookup returns the instrument for (name, labels), creating it with
+// mk on first use. A same-key instrument of a different kind returns
+// nil rather than corrupting the existing series.
+func (r *Registry) lookup(name, kind string, kv []string, mk func() *instrument) *instrument {
+	if r == nil {
+		return nil
+	}
+	labels := labelize(kv)
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.inst[key]; ok {
+		if in.kind != kind {
+			return nil
+		}
+		return in
+	}
+	in := mk()
+	in.name, in.labels, in.kind = name, labels, kind
+	r.inst[key] = in
+	return in
+}
+
+// Counter returns (creating on first use) the counter named name with
+// the given k,v label pairs. Resolve once and keep the pointer on hot
+// paths: lookup takes the registry mutex, the returned counter does not.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	in := r.lookup(name, kindCounter, labels, func() *instrument { return &instrument{c: &Counter{}} })
+	if in == nil {
+		return nil
+	}
+	return in.c
+}
+
+// Gauge returns (creating on first use) the gauge named name.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	in := r.lookup(name, kindGauge, labels, func() *instrument { return &instrument{g: &Gauge{}} })
+	if in == nil {
+		return nil
+	}
+	return in.g
+}
+
+// Histogram returns (creating on first use) the histogram named name
+// with the given bucket upper bounds (nil means DefLatencyBuckets).
+// Bounds are fixed at creation; later callers inherit the first set.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	in := r.lookup(name, kindHistogram, labels, func() *instrument { return &instrument{h: newHistogram(bounds)} })
+	if in == nil {
+		return nil
+	}
+	return in.h
+}
+
+// Snapshot returns every registered series with consistent point-in-time
+// values, sorted by name then labels — the substrate for the encoders
+// and for scenario assertions.
+func (r *Registry) Snapshot() []Series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ins := make([]*instrument, 0, len(r.inst))
+	for _, in := range r.inst {
+		ins = append(ins, in)
+	}
+	r.mu.Unlock()
+	out := make([]Series, 0, len(ins))
+	for _, in := range ins {
+		s := Series{Name: in.name, Labels: in.labels, Kind: in.kind}
+		switch in.kind {
+		case kindCounter:
+			s.Value = in.c.Value()
+		case kindGauge:
+			s.Value = in.g.Value()
+		case kindHistogram:
+			s.Bounds = append([]float64(nil), in.h.bounds...)
+			s.Buckets = make([]int64, len(in.h.buckets))
+			for i := range in.h.buckets {
+				s.Buckets[i] = in.h.buckets[i].Load()
+			}
+			s.Count = in.h.Count()
+			s.Sum = in.h.Sum()
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelString(out[i].Labels) < labelString(out[j].Labels)
+	})
+	return out
+}
+
+// Total sums the value of every counter/gauge series named name across
+// its label sets (histograms contribute their observation count) —
+// what scenario assertions and the settle barrier read.
+func (r *Registry) Total(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, in := range r.inst {
+		if in.name != name {
+			continue
+		}
+		switch in.kind {
+		case kindCounter:
+			total += in.c.Value()
+		case kindGauge:
+			total += in.g.Value()
+		case kindHistogram:
+			total += in.h.Count()
+		}
+	}
+	return total
+}

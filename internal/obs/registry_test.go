@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/timers"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(MEngineTimerFires)
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // counters only go up; ignored
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter value = %d, want 3", got)
+	}
+	g := r.Gauge(MEngineRemoteInflight)
+	g.Add(4)
+	g.Add(-1)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge value = %d, want 3", got)
+	}
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge after Set = %d, want 7", got)
+	}
+}
+
+func TestRegistryDedupSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter(MTaskDispatches, "endpoint", "e1")
+	b := r.Counter(MTaskDispatches, "endpoint", "e1")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	other := r.Counter(MTaskDispatches, "endpoint", "e2")
+	if a == other {
+		t.Fatal("different labels must return a different counter")
+	}
+	a.Inc()
+	other.Add(2)
+	if got := r.Total(MTaskDispatches); got != 3 {
+		t.Fatalf("Total across label sets = %d, want 3", got)
+	}
+}
+
+func TestRegistryKindMismatchIsNil(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MEngineTimerFires).Inc()
+	if g := r.Gauge(MEngineTimerFires); g != nil {
+		t.Fatal("re-registering a counter name as a gauge must yield nil, not corrupt the series")
+	}
+	// The nil instrument still no-ops safely.
+	r.Gauge(MEngineTimerFires).Set(99)
+	if got := r.Total(MEngineTimerFires); got != 1 {
+		t.Fatalf("Total = %d, want 1 (gauge write must have no-opped)", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x", nil).Observe(1)
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveSince(timers.WallClock{}, time.Time{})
+	if r.Total("x") != 0 || len(r.Snapshot()) != 0 {
+		t.Fatal("nil registry must be empty")
+	}
+	var tr *Tracer
+	tr.Record(Span{})
+	tr.Import([]Span{{SpanID: "s"}})
+	if tr.ByInstance("i") != nil || tr.Spans() != nil {
+		t.Fatal("nil tracer must be empty")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the `le` semantics: a value equal
+// to a bound lands in that bound's bucket, a value just above it in the
+// next, and values past every bound in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(MEngineFlushSeconds, []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.0001, 2, 4, 4.0001, 100} {
+		h.Observe(v)
+	}
+	s := findSeries(t, r, MEngineFlushSeconds)
+	want := []int64{2, 2, 1, 2} // le=1: {0.5,1}; le=2: {1.0001,2}; le=4: {4}; +Inf: {4.0001,100}
+	for i, w := range want {
+		if s.Buckets[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (buckets %v)", i, s.Buckets[i], w, s.Buckets)
+		}
+	}
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if wantSum := 0.5 + 1 + 1.0001 + 2 + 4 + 4.0001 + 100; s.Sum != wantSum {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+// TestHistogramConcurrentRecording hammers one histogram from many
+// goroutines; under -race this doubles as the data-race check, and the
+// final count/sum pin that no observation was lost to the CAS loop.
+func TestHistogramConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(MTaskDispatchSeconds, []float64{0.5})
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	if got := h.Sum(); got != workers*per {
+		t.Fatalf("sum = %v, want %v", got, float64(workers*per))
+	}
+}
+
+// TestHistogramFakeClockLatency observes a latency purely on virtual
+// time: no wall clock, no sleeping.
+func TestHistogramFakeClockLatency(t *testing.T) {
+	clk := timers.NewFakeClock(time.Unix(0, 0))
+	r := NewRegistry()
+	h := r.Histogram(MEngineRecoverySeconds, []float64{0.1, 1, 10})
+	start := clk.Now()
+	clk.Advance(2500 * time.Millisecond)
+	h.ObserveSince(clk, start)
+	s := findSeries(t, r, MEngineRecoverySeconds)
+	if s.Count != 1 || s.Sum != 2.5 {
+		t.Fatalf("count=%d sum=%v, want 1 and 2.5", s.Count, s.Sum)
+	}
+	if s.Buckets[2] != 1 { // 2.5s lands in le=10
+		t.Fatalf("2.5s observation landed in %v, want le=10 bucket", s.Buckets)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MEngineTimerFires).Add(3)
+	r.Gauge(MShardPartitionsHeld).Set(2)
+	r.Counter(MTaskDispatches, "endpoint", `e"1\x`).Inc()
+	r.Histogram(MEngineFlushSeconds, []float64{1, 2}).Observe(1.5)
+	text := r.PrometheusText()
+	for _, want := range []string{
+		"# TYPE engine_timer_fires_total counter\nengine_timer_fires_total 3\n",
+		"# TYPE shard_partitions_held gauge\nshard_partitions_held 2\n",
+		`taskexec_dispatches_total{endpoint="e\"1\\x"} 1`,
+		"# TYPE engine_flush_seconds histogram",
+		`engine_flush_seconds_bucket{le="1"} 0`,
+		`engine_flush_seconds_bucket{le="2"} 1`,
+		`engine_flush_seconds_bucket{le="+Inf"} 1`,
+		"engine_flush_seconds_sum 1.5",
+		"engine_flush_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// One TYPE line per metric name, before its samples.
+	if strings.Count(text, "# TYPE engine_flush_seconds ") != 1 {
+		t.Fatalf("want exactly one TYPE line per name:\n%s", text)
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MEngineTimerFires).Inc()
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"name": "engine_timer_fires_total"`) {
+		t.Fatalf("JSON exposition missing series: %s", b.String())
+	}
+}
+
+func findSeries(t *testing.T, r *Registry, name string) Series {
+	t.Helper()
+	for _, s := range r.Snapshot() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("series %s not found", name)
+	return Series{}
+}

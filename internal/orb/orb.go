@@ -24,10 +24,14 @@ import (
 	"repro/internal/timers"
 )
 
-// request is one invocation frame.
+// request is one invocation frame. Meta carries out-of-band call
+// metadata (trace propagation: "trace-id", "span-id") without touching
+// any method's argument type; gob encodes a nil map as empty, so frames
+// from older clients decode with Meta == nil.
 type request struct {
 	Object string
 	Method string
+	Meta   map[string]string
 	Arg    []byte
 }
 
@@ -54,15 +58,21 @@ func (e *AppError) Error() string { return e.Msg }
 // Handler executes one method of a servant.
 type Handler func(arg []byte) ([]byte, error)
 
+// MetaHandler executes one method of a servant with access to the
+// request's call metadata (trace propagation). meta is nil when the
+// caller sent none.
+type MetaHandler func(meta map[string]string, arg []byte) ([]byte, error)
+
 // Servant is a dispatch table of methods.
 type Servant struct {
-	mu      sync.RWMutex
-	methods map[string]Handler
+	mu          sync.RWMutex
+	methods     map[string]Handler
+	metaMethods map[string]MetaHandler
 }
 
 // NewServant returns an empty servant.
 func NewServant() *Servant {
-	return &Servant{methods: make(map[string]Handler)}
+	return &Servant{methods: make(map[string]Handler), metaMethods: make(map[string]MetaHandler)}
 }
 
 // Handle registers a raw method handler.
@@ -72,11 +82,22 @@ func (s *Servant) Handle(method string, h Handler) {
 	s.methods[method] = h
 }
 
+// HandleMeta registers a raw metadata-aware method handler.
+func (s *Servant) HandleMeta(method string, h MetaHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metaMethods[method] = h
+}
+
 // dispatch runs one method.
-func (s *Servant) dispatch(method string, arg []byte) ([]byte, error) {
+func (s *Servant) dispatch(method string, meta map[string]string, arg []byte) ([]byte, error) {
 	s.mu.RLock()
+	mh, mok := s.metaMethods[method]
 	h, ok := s.methods[method]
 	s.mu.RUnlock()
+	if mok {
+		return mh(meta, arg)
+	}
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoMethod, method)
 	}
@@ -92,6 +113,27 @@ func Method[Req, Resp any](s *Servant, name string, f func(Req) (Resp, error)) {
 			return nil, fmt.Errorf("decode %s request: %w", name, err)
 		}
 		resp, err := f(req)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&resp); err != nil {
+			return nil, fmt.Errorf("encode %s reply: %w", name, err)
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+// MethodMeta registers a typed method that also receives the request's
+// call metadata — the servant-side half of trace propagation (the
+// client sends metadata with InvokeMeta/CallMeta).
+func MethodMeta[Req, Resp any](s *Servant, name string, f func(meta map[string]string, req Req) (Resp, error)) {
+	s.HandleMeta(name, func(meta map[string]string, arg []byte) ([]byte, error) {
+		var req Req
+		if err := gob.NewDecoder(bytes.NewReader(arg)).Decode(&req); err != nil {
+			return nil, fmt.Errorf("decode %s request: %w", name, err)
+		}
+		resp, err := f(meta, req)
 		if err != nil {
 			return nil, err
 		}
@@ -218,7 +260,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if !ok {
 			resp.AppErr = fmt.Sprintf("%v: %s", ErrNoObject, req.Object)
 		} else {
-			reply, err := servant.dispatch(req.Method, req.Arg)
+			reply, err := servant.dispatch(req.Method, req.Meta, req.Arg)
 			if err != nil {
 				resp.AppErr = err.Error()
 			} else {
@@ -354,11 +396,18 @@ func (c *Client) ensureConn() error {
 // into reply (a pointer, or nil to discard). Transport failures are
 // retried per the config; servant errors return as *AppError.
 func (c *Client) Invoke(object, method string, arg, reply any) error {
+	return c.InvokeMeta(object, method, nil, arg, reply)
+}
+
+// InvokeMeta is Invoke with out-of-band call metadata (trace
+// propagation). Servants registered with MethodMeta/HandleMeta receive
+// it; plain handlers ignore it.
+func (c *Client) InvokeMeta(object, method string, meta map[string]string, arg, reply any) error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(arg); err != nil {
 		return fmt.Errorf("encode %s.%s request: %w", object, method, err)
 	}
-	req := request{Object: object, Method: method, Arg: buf.Bytes()}
+	req := request{Object: object, Method: method, Meta: meta, Arg: buf.Bytes()}
 	if c.cfg.PerCallConn {
 		return c.invokePerCall(&req, object, method, reply)
 	}
@@ -478,5 +527,12 @@ func (c *Client) attempt(req *request) (*response, error) {
 func Call[Req, Resp any](c *Client, object, method string, req Req) (Resp, error) {
 	var resp Resp
 	err := c.Invoke(object, method, req, &resp)
+	return resp, err
+}
+
+// CallMeta is a typed convenience wrapper over InvokeMeta.
+func CallMeta[Req, Resp any](c *Client, object, method string, meta map[string]string, req Req) (Resp, error) {
+	var resp Resp
+	err := c.InvokeMeta(object, method, meta, req, &resp)
 	return resp, err
 }

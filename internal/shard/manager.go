@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/timers"
 )
@@ -104,6 +105,12 @@ type ManagerConfig struct {
 	// run outside the manager's locks: a slow mount never blocks Holds.
 	OnAcquire func(p int) error
 	OnLose    func(p int)
+	// Metrics receives the manager's lease-protocol counters
+	// (shard_lease_*). Default: a private registry; daemons pass their
+	// scrape registry. The lease-steal counter is the OnAcquire hook's
+	// to increment — only the mount knows whether the acquisition
+	// re-materialized a dead peer's instances.
+	Metrics *obs.Registry
 }
 
 // Manager runs one coordinator's side of the partition-lease protocol.
@@ -151,6 +158,16 @@ type Manager struct {
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
+
+	// Lease-protocol instruments (resolved once at construction; the
+	// partitions-held gauge is updated under mu at every held-map
+	// mutation, the rest move at their protocol events).
+	mAcquisitions   *obs.Counter
+	mRenewals       *obs.Counter
+	mRenewSeconds   *obs.Histogram
+	mLosses         *obs.Counter
+	mQuarantines    *obs.Counter
+	mPartitionsHeld *obs.Gauge
 }
 
 // NewManager validates cfg and returns an idle manager (no leases held;
@@ -184,11 +201,20 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = timers.WallClock{}
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	return &Manager{
-		cfg:    cfg,
-		held:   make(map[int]time.Time),
-		quar:   make(map[int]*quarState),
-		stopCh: make(chan struct{}),
+		cfg:             cfg,
+		held:            make(map[int]time.Time),
+		quar:            make(map[int]*quarState),
+		stopCh:          make(chan struct{}),
+		mAcquisitions:   cfg.Metrics.Counter(obs.MShardLeaseAcquisitions),
+		mRenewals:       cfg.Metrics.Counter(obs.MShardLeaseRenewals),
+		mRenewSeconds:   cfg.Metrics.Histogram(obs.MShardLeaseRenewSeconds, nil),
+		mLosses:         cfg.Metrics.Counter(obs.MShardLeaseLosses),
+		mQuarantines:    cfg.Metrics.Counter(obs.MShardQuarantines),
+		mPartitionsHeld: cfg.Metrics.Gauge(obs.MShardPartitionsHeld),
 	}, nil
 }
 
@@ -224,6 +250,8 @@ func (m *Manager) Quarantine(p int, cause error) {
 	_, was := m.held[p]
 	delete(m.held, p)
 	m.quar[p] = &quarState{cause: cause, teardown: was}
+	m.mQuarantines.Inc()
+	m.mPartitionsHeld.Set(int64(len(m.held)))
 }
 
 // Health reports per-partition store health for every partition this
@@ -366,6 +394,8 @@ func (m *Manager) claim(p int, deadline time.Time) bool {
 		return false
 	}
 	m.held[p] = deadline
+	m.mAcquisitions.Inc()
+	m.mPartitionsHeld.Set(int64(len(m.held)))
 	return true
 }
 
@@ -388,6 +418,7 @@ func (m *Manager) drop(p int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.held, p)
+	m.mPartitionsHeld.Set(int64(len(m.held)))
 }
 
 // lose drops p and, if it was held, runs the teardown hook — outside
@@ -396,7 +427,11 @@ func (m *Manager) lose(p int) {
 	m.mu.Lock()
 	_, was := m.held[p]
 	delete(m.held, p)
+	m.mPartitionsHeld.Set(int64(len(m.held)))
 	m.mu.Unlock()
+	if was {
+		m.mLosses.Inc()
+	}
 	if was && m.cfg.OnLose != nil {
 		m.cfg.OnLose(p)
 	}
@@ -531,11 +566,14 @@ func (m *Manager) tickHeld(p int, deadline time.Time, pref string) {
 	// ends strictly before the arbiter can re-grant. If the old deadline
 	// passes while the RPC is in flight, Holds and the store fence have
 	// already stopped admitting work — the tick merely catches up.
-	next := m.cfg.Clock.Now().Add(m.cfg.TTL - m.cfg.FenceMargin)
+	renewStart := m.cfg.Clock.Now()
+	next := renewStart.Add(m.cfg.TTL - m.cfg.FenceMargin)
 	granted, err := m.acquireLease(p)
 	switch {
 	case err == nil && granted:
 		m.extend(p, next)
+		m.mRenewals.Inc()
+		m.mRenewSeconds.ObserveSince(m.cfg.Clock, renewStart)
 	case err == nil && !granted:
 		// The arbiter says someone else holds it: we already lost.
 		m.lose(p)
@@ -616,6 +654,7 @@ func (m *Manager) Abandon() {
 	defer m.mu.Unlock()
 	m.closed = true
 	m.held = make(map[int]time.Time)
+	m.mPartitionsHeld.Set(0)
 }
 
 // Close stops Run (if running), waits out any round in flight (bounded,
@@ -644,6 +683,7 @@ func (m *Manager) Close() {
 		}
 	}
 	m.held = make(map[int]time.Time)
+	m.mPartitionsHeld.Set(0)
 	m.mu.Unlock()
 	sort.Ints(held)
 	for _, p := range held {

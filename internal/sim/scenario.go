@@ -467,7 +467,7 @@ func (r *scnRun) expect(words []string) error {
 		return err
 	}
 	if len(words) == 0 {
-		return errors.New("usage: expect status|result|trace ...")
+		return errors.New("usage: expect status|result|trace|metric ...")
 	}
 	switch words[0] {
 	case "status":
@@ -541,6 +541,31 @@ func (r *scnRun) expect(words []string) error {
 		default:
 			return fmt.Errorf("unknown trace assertion %q", words[1])
 		}
+
+	case "metric":
+		// Metric values are read at the settle barrier, so they are as
+		// deterministic as the trace: exact equality is the normal
+		// assertion, >= is for series where a floor is the invariant
+		// (e.g. fsync counts across store implementations).
+		if len(words) != 4 || (words[2] != "==" && words[2] != ">=") {
+			return errors.New("usage: expect metric NAME ==|>= N")
+		}
+		want, err := strconv.ParseInt(words[3], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad metric value %q", words[3])
+		}
+		got := w.Metric(words[1])
+		switch words[2] {
+		case "==":
+			if got != want {
+				return fmt.Errorf("metric %s = %d, want %d", words[1], got, want)
+			}
+		case ">=":
+			if got < want {
+				return fmt.Errorf("metric %s = %d, want >= %d", words[1], got, want)
+			}
+		}
+		return nil
 
 	default:
 		return fmt.Errorf("unknown expectation %q", words[0])

@@ -56,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/failure"
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/persist"
 	"repro/internal/registry"
@@ -107,9 +108,9 @@ type Config struct {
 	// Epoch is the virtual start instant. Zero selects DefaultEpoch.
 	Epoch time.Time
 	// Engine carries extra engine knobs (MaxRetries, MaxRepeats, ...).
-	// Clock, Probe, EventTap and RemoteInvoker are owned by the harness
-	// and must be left nil; Ephemeral, DefaultDeadline and
-	// MaxRemoteInflight must be zero (see New).
+	// Clock, Probe, EventTap, RemoteInvoker, Metrics and Tracer are
+	// owned by the harness and must be left nil; Ephemeral,
+	// DefaultDeadline and MaxRemoteInflight must be zero (see New).
 	Engine engine.Config
 }
 
@@ -207,6 +208,17 @@ type World struct {
 	net   *orb.MemNetwork
 	nam   *orb.Naming
 
+	// reg/tracer are the world's private observability substrate, shared
+	// by every component across its whole life: coordinator crash/recover
+	// rebuilds the engine stack wholesale, but the rebuilt generation
+	// records into the same registry, so a counter like
+	// engine_timer_fires_total aggregates across generations and
+	// "== 1 after a crash" is a real exactly-once witness. Private (not
+	// obs.Default()) so concurrent worlds in one test process never
+	// cross-talk.
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
 	// Coordinator tier. Single-coordinator worlds have exactly one slot
 	// (named "local", backed by w.st directly); sharded worlds have
 	// cfg.Coordinators slots ("c0", "c1", ...) over per-partition
@@ -250,6 +262,9 @@ func New(cfg Config) (*World, error) {
 	if cfg.Engine.Clock != nil || cfg.Engine.Probe != nil || cfg.Engine.EventTap != nil || cfg.Engine.RemoteInvoker != nil {
 		return nil, errors.New("sim: Engine.Clock/Probe/EventTap/RemoteInvoker are owned by the harness; leave them nil")
 	}
+	if cfg.Engine.Metrics != nil || cfg.Engine.Tracer != nil {
+		return nil, errors.New("sim: Engine.Metrics/Tracer are owned by the harness (one registry spanning coordinator generations); leave them nil and read World.Metric")
+	}
 	if cfg.Engine.Ephemeral {
 		return nil, errors.New("sim: Ephemeral engines have no recovery paths to exercise; leave it false")
 	}
@@ -291,6 +306,8 @@ func New(cfg Config) (*World, error) {
 		st:        st,
 		net:       orb.NewMemNetwork(),
 		nam:       orb.NewNaming(),
+		reg:       obs.NewRegistry(),
+		tracer:    obs.NewTracer(4096),
 		coords:    make([]*simCoord, nCoords),
 		multi:     multi,
 		parts:     parts,
@@ -401,7 +418,12 @@ func (w *World) startExecutor(i int) error {
 	reg := registry.New()
 	reg.BindFallback(w.gatedFallback(name))
 	srv := orb.NewServerOn(ln)
-	srv.Register(taskexec.ObjectName, taskexec.NewExecutor(reg).Servant())
+	ex := taskexec.NewExecutor(reg)
+	// Executor-side metrics and spans land in the world's registry and
+	// tracer, timestamped on the fake clock, so they are as deterministic
+	// as the trace itself.
+	ex.SetObservability(w.reg, w.tracer, w.clock)
+	srv.Register(taskexec.ObjectName, ex.Servant())
 	w.execs[i] = &executor{name: name, addr: addr, srv: srv, alive: true}
 	return nil
 }
@@ -453,6 +475,8 @@ func (w *World) bootCoordinator(i int, recovering bool) error {
 	ecfg.Clock = w.clock
 	ecfg.Probe = (*worldProbe)(w)
 	ecfg.EventTap = w.tap
+	ecfg.Metrics = w.reg
+	ecfg.Tracer = w.tracer
 	if w.cfg.Executors > 0 {
 		inv, err := taskexec.NewPoolInvoker(w.resolver, taskexec.PoolConfig{
 			// No orb-level retries (-1): a retry backoff would park on
@@ -471,6 +495,8 @@ func (w *World) bootCoordinator(i int, recovering bool) error {
 			},
 			Balance: taskexec.BalanceHash,
 			Clock:   w.clock,
+			Metrics: w.reg,
+			Tracer:  w.tracer,
 		})
 		if err != nil {
 			return err
@@ -682,6 +708,23 @@ func (w *World) settle() error {
 		}
 	}
 }
+
+// Metric returns the summed value of the named metric series across
+// every label set (histograms contribute their observation count).
+// Every driver method settles the world before returning, so between
+// actions the registry is frozen: a Metric read is a property of the
+// action sequence, not of scheduling — which is what lets scenario
+// files assert on it (`expect metric NAME == N`).
+func (w *World) Metric(name string) int64 { return w.reg.Total(name) }
+
+// MetricsSnapshot returns the full registry snapshot at the last settle
+// barrier (every series with labels, values and histogram buckets).
+func (w *World) MetricsSnapshot() []obs.Series { return w.reg.Snapshot() }
+
+// Spans returns the world's recorded spans for one instance, stitched
+// across coordinators, executors and crash/recover generations (the
+// whole world shares one tracer).
+func (w *World) Spans(instance string) []obs.Span { return w.tracer.ByInstance(instance) }
 
 // Compile registers a schema under name for Instantiate. Schemas using
 // per-activation deadlines are rejected: the engine abandons a

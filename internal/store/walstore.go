@@ -10,6 +10,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/timers"
 )
 
 // WALStore is a log-structured Store with group commit. Every put and
@@ -84,6 +88,16 @@ type WALStore struct {
 	compactErr       atomic.Pointer[error]
 	maxSegmentBytes  int64
 	compactThreshold int
+
+	// Optional instruments, wired by SetMetrics before traffic and read
+	// only under flushMu (the fsync/commit/wedge paths all hold it).
+	// All nil until wired; obs instruments no-op on nil.
+	metClk           timers.Clock
+	metFsyncs        *obs.Counter
+	metFsyncSeconds  *obs.Histogram
+	metCommitBatches *obs.Counter
+	metCommitOps     *obs.Counter
+	metWedges        *obs.Counter
 }
 
 var (
@@ -174,6 +188,7 @@ func (s *WALStore) Wedged() error {
 func (s *WALStore) wedge(cause error) error {
 	err := fmt.Errorf("%w: %v", ErrWedged, cause)
 	s.wedged.Store(&err)
+	s.metWedges.Inc()
 	return err
 }
 
@@ -182,6 +197,25 @@ func (s *WALStore) SetSync(on bool) {
 	s.flushMu.Lock()
 	defer s.flushMu.Unlock()
 	s.sync = on
+}
+
+// SetMetrics wires the store's instruments into reg: fsync count and
+// latency, commit batch/op counts (their ratio is the group-commit
+// coalescing factor) and wedge events. clk stamps fsync latencies (nil
+// selects the wall clock). Call once, before serving traffic; a nil reg
+// leaves the store unobserved.
+func (s *WALStore) SetMetrics(reg *obs.Registry, clk timers.Clock) {
+	if clk == nil {
+		clk = timers.WallClock{}
+	}
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	s.metClk = clk
+	s.metFsyncs = reg.Counter(obs.MStoreFsyncs)
+	s.metFsyncSeconds = reg.Histogram(obs.MStoreFsyncSeconds, nil)
+	s.metCommitBatches = reg.Counter(obs.MStoreCommitBatches)
+	s.metCommitOps = reg.Counter(obs.MStoreCommitOps)
+	s.metWedges = reg.Counter(obs.MStoreWedges)
 }
 
 // SetCompactThreshold overrides the garbage-record count that triggers
@@ -699,6 +733,10 @@ func (s *WALStore) appendLocked(q []*walCommit) error {
 		}
 	}
 	if err == nil && s.sync && !allLazy(q) {
+		var fsyncStart time.Time
+		if s.metClk != nil {
+			fsyncStart = s.metClk.Now()
+		}
 		if serr := s.f.Sync(); serr != nil {
 			// Post-failure page-cache state is undefined; fail-stop.
 			// Never retry-assume-durable: the wedge is permanent until
@@ -706,6 +744,10 @@ func (s *WALStore) appendLocked(q []*walCommit) error {
 			err = s.wedge(fmt.Errorf("wal sync: %v", serr))
 		}
 		s.syncs.Add(1)
+		s.metFsyncs.Inc()
+		if s.metClk != nil {
+			s.metFsyncSeconds.ObserveSince(s.metClk, fsyncStart)
+		}
 	}
 	s.mu.Lock()
 	if err == nil {
@@ -731,6 +773,16 @@ func (s *WALStore) appendLocked(q []*walCommit) error {
 	}
 	s.inflight = nil
 	s.mu.Unlock()
+	if err == nil {
+		// Batches vs ops: their ratio is the group-commit coalescing
+		// factor (ops per durable batch drain).
+		s.metCommitBatches.Add(int64(len(q)))
+		var nops int64
+		for _, c := range q {
+			nops += int64(len(c.ops))
+		}
+		s.metCommitOps.Add(nops)
+	}
 	for _, c := range q {
 		c.done <- err
 	}
@@ -829,6 +881,7 @@ func (s *WALStore) compactLocked() error {
 			return fmt.Errorf("sync snapshot: %w", err)
 		}
 		s.syncs.Add(1)
+		s.metFsyncs.Inc()
 	}
 	if err := f.Close(); err != nil {
 		return err

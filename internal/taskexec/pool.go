@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/timers"
 )
@@ -62,6 +63,14 @@ type PoolConfig struct {
 	// timers.WallClock; the simulation harness injects its shared
 	// timers.FakeClock so endpoint health moves with virtual time.
 	Clock timers.Clock
+	// Metrics receives the dispatcher's per-endpoint counters and
+	// latency histograms. Default: a private registry (daemons pass
+	// their scrape registry; the default keeps unwired invokers from
+	// cross-talking through the process-global one).
+	Metrics *obs.Registry
+	// Tracer records dispatch (rpc) spans and imports the executor-side
+	// execution spans returned in replies. Default obs.DefaultTracer().
+	Tracer *obs.Tracer
 
 	// now is the blacklist clock, derived from Clock.
 	now func() time.Time
@@ -77,6 +86,12 @@ func (c PoolConfig) withDefaults() PoolConfig {
 	if c.Clock == nil {
 		c.Clock = timers.WallClock{}
 	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.DefaultTracer()
+	}
 	if c.now == nil {
 		c.now = c.Clock.Now
 	}
@@ -84,13 +99,17 @@ func (c PoolConfig) withDefaults() PoolConfig {
 }
 
 // endpoint is the per-address dispatch state: the cached client (nil
-// after an eviction), the health view, and the dispatch counters.
+// after an eviction), the health view, and the dispatch instruments.
+// The counters live in the pool's metrics registry (labelled by
+// endpoint address) — Stats() is a snapshot view over them, and a
+// pruned-then-recreated endpoint resumes its counts instead of
+// resetting them.
 type endpoint struct {
 	addr             string
 	client           *orb.Client
-	inflight         int
-	dispatched       int64
-	failures         int64
+	mDispatched      *obs.Counter
+	mFailures        *obs.Counter
+	mInflight        *obs.Gauge
 	blacklistedUntil time.Time
 	// lastSeen is the last time a resolve set contained this address;
 	// entries that drop out of every resolve set (executors restarted
@@ -121,7 +140,10 @@ type EndpointStats struct {
 	Blacklisted bool
 }
 
-// Stats returns a per-endpoint snapshot, sorted by address.
+// Stats returns a per-endpoint snapshot, sorted by address. It is a
+// back-compat view over the pool's metrics registry: the counters
+// themselves live there (taskexec_dispatches_total{endpoint=...} and
+// friends), this just re-shapes the current endpoints' series.
 func (inv *Invoker) Stats() []EndpointStats {
 	inv.mu.Lock()
 	defer inv.mu.Unlock()
@@ -130,9 +152,9 @@ func (inv *Invoker) Stats() []EndpointStats {
 	for _, ep := range inv.endpoints {
 		out = append(out, EndpointStats{
 			Addr:        ep.addr,
-			Dispatched:  ep.dispatched,
-			Failures:    ep.failures,
-			Inflight:    ep.inflight,
+			Dispatched:  ep.mDispatched.Value(),
+			Failures:    ep.mFailures.Value(),
+			Inflight:    int(ep.mInflight.Value()),
 			Connected:   ep.client != nil,
 			Blacklisted: ep.blacklistedUntil.After(now),
 		})
@@ -198,7 +220,7 @@ func (inv *Invoker) plan(addrs []string, key string) []string {
 // band). Callers hold mu.
 func (inv *Invoker) pruneStale(now time.Time) {
 	for addr, ep := range inv.endpoints {
-		if ep.inflight == 0 && !ep.lastSeen.IsZero() && now.Sub(ep.lastSeen) > endpointEvictAfter {
+		if ep.mInflight.Value() == 0 && !ep.lastSeen.IsZero() && now.Sub(ep.lastSeen) > endpointEvictAfter {
 			if ep.client != nil {
 				// Bounded: Close only waits out the client's current
 				// invocation. Detaching keeps the pool lock free.
@@ -215,7 +237,7 @@ func (inv *Invoker) pruneStale(now time.Time) {
 // idle. Callers hold mu.
 func (inv *Invoker) inflightOf(addr string) int {
 	if ep, ok := inv.endpoints[addr]; ok {
-		return ep.inflight
+		return int(ep.mInflight.Value())
 	}
 	return 0
 }
@@ -227,14 +249,21 @@ func (inv *Invoker) acquire(addr string) (*endpoint, *orb.Client) {
 	defer inv.mu.Unlock()
 	ep, ok := inv.endpoints[addr]
 	if !ok {
-		ep = &endpoint{addr: addr, lastSeen: inv.cfg.now()}
+		reg := inv.cfg.Metrics
+		ep = &endpoint{
+			addr:        addr,
+			lastSeen:    inv.cfg.now(),
+			mDispatched: reg.Counter(obs.MTaskDispatches, "endpoint", addr),
+			mFailures:   reg.Counter(obs.MTaskFailures, "endpoint", addr),
+			mInflight:   reg.Gauge(obs.MTaskInflight, "endpoint", addr),
+		}
 		inv.endpoints[addr] = ep
 	}
 	if ep.client == nil {
 		ep.client = orb.Dial(addr, inv.cfg.Client)
 	}
-	ep.inflight++
-	ep.dispatched++
+	ep.mInflight.Add(1)
+	ep.mDispatched.Inc()
 	return ep, ep.client
 }
 
@@ -244,10 +273,10 @@ func (inv *Invoker) acquire(addr string) (*endpoint, *orb.Client) {
 // the next dispatches prefer surviving members.
 func (inv *Invoker) release(ep *endpoint, failed bool) {
 	inv.mu.Lock()
-	ep.inflight--
+	ep.mInflight.Add(-1)
 	var evicted *orb.Client
 	if failed {
-		ep.failures++
+		ep.mFailures.Inc()
 		ep.blacklistedUntil = inv.cfg.now().Add(inv.cfg.BlacklistFor)
 		evicted, ep.client = ep.client, nil
 	}
@@ -287,11 +316,14 @@ func NewPoolInvoker(resolve SetResolver, cfg PoolConfig) (*Invoker, error) {
 	if !validBalance(cfg.Balance) {
 		return nil, fmt.Errorf("taskexec: unknown balance strategy %q (want %s, %s or %s)", cfg.Balance, BalanceRoundRobin, BalanceLeastInflight, BalanceHash)
 	}
+	cfg = cfg.withDefaults()
 	return &Invoker{
-		resolveSet: resolve,
-		cfg:        cfg.withDefaults(),
-		endpoints:  make(map[string]*endpoint),
-		resolved:   make(map[string]*resolvedSet),
+		resolveSet:       resolve,
+		cfg:              cfg,
+		endpoints:        make(map[string]*endpoint),
+		resolved:         make(map[string]*resolvedSet),
+		mDispatchSeconds: cfg.Metrics.Histogram(obs.MTaskDispatchSeconds, nil),
+		mFailovers:       cfg.Metrics.Counter(obs.MTaskFailovers),
 	}, nil
 }
 

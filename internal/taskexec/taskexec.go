@@ -18,8 +18,10 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/orb"
 	"repro/internal/registry"
+	"repro/internal/timers"
 	"repro/internal/txn"
 )
 
@@ -39,11 +41,16 @@ type executeReq struct {
 
 // executeResp carries the implementation's result. SysErr reports a
 // system-level failure (unbound code, panic) distinct from application
-// outcomes.
+// outcomes. Spans carries the executor-side trace spans of this
+// activation back to the dispatching coordinator, where they are
+// imported into its tracer — that is how a cross-process activation
+// reads as one stitched trace (gob decodes a missing field as nil, so
+// older executors interoperate).
 type executeResp struct {
 	Output  string
 	Objects registry.Objects
 	SysErr  string
+	Spans   []obs.Span
 }
 
 // remoteCtx adapts an executeReq to registry.Context on the executor
@@ -73,12 +80,32 @@ func (c *remoteCtx) Mark(name string, _ registry.Objects) error {
 // Executor hosts implementations and serves remote activations.
 type Executor struct {
 	impls *registry.Registry
+
+	clk             timers.Clock
+	tracer          *obs.Tracer
+	mExecutions     *obs.Counter
+	mExecuteSeconds *obs.Histogram
 }
 
 // NewExecutor returns an executor over the given implementation
-// registry.
+// registry, instrumented against the process-default observability
+// (override with SetObservability before Servant).
 func NewExecutor(impls *registry.Registry) *Executor {
-	return &Executor{impls: impls}
+	e := &Executor{impls: impls}
+	e.SetObservability(obs.Default(), obs.DefaultTracer(), nil)
+	return e
+}
+
+// SetObservability re-points the executor's metrics registry, tracer
+// and span clock (nil clk selects wall time). Call before Servant.
+func (e *Executor) SetObservability(reg *obs.Registry, tr *obs.Tracer, clk timers.Clock) {
+	if clk == nil {
+		clk = timers.WallClock{}
+	}
+	e.clk = clk
+	e.tracer = tr
+	e.mExecutions = reg.Counter(obs.MTaskExecutions)
+	e.mExecuteSeconds = reg.Histogram(obs.MTaskExecuteSeconds, nil)
 }
 
 // Impls exposes the executor's registry (for binding implementations).
@@ -87,19 +114,42 @@ func (e *Executor) Impls() *registry.Registry { return e.impls }
 // Servant exports the executor over the orb.
 func (e *Executor) Servant() *orb.Servant {
 	sv := orb.NewServant()
-	orb.Method(sv, "execute", func(req executeReq) (executeResp, error) {
-		f, err := e.impls.Lookup(req.Code)
-		if err != nil {
-			return executeResp{SysErr: err.Error()}, nil
+	orb.MethodMeta(sv, "execute", func(meta map[string]string, req executeReq) (executeResp, error) {
+		start := e.clk.Now()
+		e.mExecutions.Inc()
+		resp := e.execute(req)
+		e.mExecuteSeconds.ObserveSince(e.clk, start)
+		// The execution span joins the dispatching coordinator's trace:
+		// the rpc span's IDs ride the call metadata, and the span rides
+		// the reply back (plus the local tracer, for this process's own
+		// debug endpoint).
+		if tid := meta["trace-id"]; tid != "" {
+			sp := obs.Span{
+				TraceID: tid, SpanID: obs.NewID(), Parent: meta["span-id"],
+				Name: "execute", Instance: req.Instance, Task: req.TaskPath,
+				Start: start, End: e.clk.Now(), Err: resp.SysErr,
+				Attrs: map[string]string{"code": req.Code, "attempt": fmt.Sprint(req.Attempt)},
+			}
+			e.tracer.Record(sp)
+			resp.Spans = append(resp.Spans, sp)
 		}
-		ctx := &remoteCtx{req: req, done: make(chan struct{})}
-		res, err := runSafely(f, ctx)
-		if err != nil {
-			return executeResp{SysErr: err.Error()}, nil
-		}
-		return executeResp{Output: res.Output, Objects: res.Objects}, nil
+		return resp, nil
 	})
 	return sv
+}
+
+// execute runs one remote activation through the bound implementation.
+func (e *Executor) execute(req executeReq) executeResp {
+	f, err := e.impls.Lookup(req.Code)
+	if err != nil {
+		return executeResp{SysErr: err.Error()}
+	}
+	ctx := &remoteCtx{req: req, done: make(chan struct{})}
+	res, err := runSafely(f, ctx)
+	if err != nil {
+		return executeResp{SysErr: err.Error()}
+	}
+	return executeResp{Output: res.Output, Objects: res.Objects}
 }
 
 // runSafely converts implementation panics into errors so a bad remote
@@ -127,6 +177,9 @@ type Resolver func(location string) (string, error)
 type Invoker struct {
 	resolveSet SetResolver
 	cfg        PoolConfig
+
+	mDispatchSeconds *obs.Histogram
+	mFailovers       *obs.Counter
 
 	mu        sync.Mutex
 	endpoints map[string]*endpoint
@@ -187,7 +240,7 @@ func (inv *Invoker) Invoke(req engine.RemoteRequest) (registry.Result, error) {
 		order = order[:inv.cfg.MaxFailover]
 	}
 	var lastErr error
-	for _, addr := range order {
+	for nth, addr := range order {
 		inv.mu.Lock()
 		closed := inv.closed
 		inv.mu.Unlock()
@@ -197,13 +250,42 @@ func (inv *Invoker) Invoke(req engine.RemoteRequest) (registry.Result, error) {
 			}
 			return registry.Result{}, fmt.Errorf("remote execute at %q: invoker closed: %w", req.Location, lastErr)
 		}
+		if nth > 0 {
+			// Reaching a second member means the previous one failed at
+			// the transport level: a pool failover.
+			inv.mFailovers.Inc()
+		}
+		// The rpc span covers one member round-trip and parents the
+		// executor-side execute span; its IDs ride the call metadata.
+		// Untraced dispatches skip span minting entirely.
+		start := inv.cfg.Clock.Now()
+		var sp obs.Span
+		var meta map[string]string
+		if req.TraceID != "" {
+			sp = obs.Span{
+				TraceID: req.TraceID, SpanID: obs.NewID(), Parent: req.SpanID,
+				Name: "rpc", Instance: req.Instance, Task: req.TaskPath,
+				Start: start,
+				Attrs: map[string]string{"endpoint": addr, "code": req.Code},
+			}
+			meta = map[string]string{"trace-id": req.TraceID, "span-id": sp.SpanID}
+		}
 		ep, client := inv.acquire(addr)
-		resp, err := orb.Call[executeReq, executeResp](client, ObjectName, "execute", executeReq{
+		resp, err := orb.CallMeta[executeReq, executeResp](client, ObjectName, "execute", meta, executeReq{
 			Code: req.Code, Instance: req.Instance, TaskPath: req.TaskPath,
 			InputSet: req.InputSet, Attempt: req.Attempt, Iteration: req.Iteration,
 			Inputs: req.Inputs,
 		})
 		inv.release(ep, err != nil)
+		inv.mDispatchSeconds.ObserveSince(inv.cfg.Clock, start)
+		if req.TraceID != "" {
+			sp.End = inv.cfg.Clock.Now()
+			if err != nil {
+				sp.Err = err.Error()
+			}
+			inv.cfg.Tracer.Record(sp)
+			inv.cfg.Tracer.Import(resp.Spans)
+		}
 		if err != nil {
 			lastErr = fmt.Errorf("member %s: %w", addr, err)
 			continue

@@ -9,7 +9,11 @@
 #   3. SIGKILL one coordinator while instances are in flight;
 #   4. assert every single instance still completes — the survivor must
 #      steal the dead coordinator's lapsed leases, re-materialize its
-#      in-flight instances from the shared WAL store, and serve them.
+#      in-flight instances from the shared WAL store, and serve them;
+#   5. scrape the survivor's /metrics debug endpoint and assert the
+#      observability layer witnessed the failover: the lease-steal and
+#      recovery counters moved, and the exposition is a real metrics
+#      surface (>= 20 distinct series in Prometheus text format).
 #
 # Run directly or as `make e2e-shard`. Exits 0 on success.
 set -euo pipefail
@@ -47,6 +51,36 @@ wait_addr() {
     return 1
 }
 
+# wait_debug LOGFILE -> echoes the host:port of the daemon's announced
+# -debug-addr listener ("debug endpoints on http://ADDR/ ...").
+wait_debug() {
+    local log="$1" addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's|.*debug endpoints on http://\(127\.0\.0\.1:[0-9]*\)/.*|\1|p' "$log" 2>/dev/null | head -n1 || true)"
+        if [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "e2e-shard: daemon never announced its debug listener in $log:" >&2
+    cat "$log" >&2
+    return 1
+}
+
+# scrape HOST:PORT PATH -> dumps the HTTP response body. Plain bash over
+# /dev/tcp so the script has no curl/wget dependency.
+scrape() {
+    local addr="$1" path="$2" host port
+    host="${addr%%:*}"
+    port="${addr##*:}"
+    exec 9<>"/dev/tcp/$host/$port"
+    printf 'GET %s HTTP/1.0\r\nHost: %s\r\nConnection: close\r\n\r\n' "$path" "$addr" >&9
+    # Body starts after the first blank line of the response.
+    sed -e '1,/^\r\{0,1\}$/d' <&9
+    exec 9<&- 9>&-
+}
+
 say "building binaries"
 go build -o "$BIN" ./cmd/wfnaming ./cmd/wfrepo ./cmd/wfexec ./cmd/wfload
 
@@ -63,15 +97,18 @@ STATE="$WORK/shard-state"
 
 say "booting 2 sharded coordinators over shared state root (1s leases)"
 "$BIN/wfexec" -shard -addr 127.0.0.1:0 -coord-id c1 -dir "$STATE" \
-    -repo "$REPO" -naming "$NAMING" -lease-ttl 1s > "$WORK/coord1.log" 2>&1 &
+    -repo "$REPO" -naming "$NAMING" -lease-ttl 1s \
+    -debug-addr 127.0.0.1:0 > "$WORK/coord1.log" 2>&1 &
 COORD1=$!
 PIDS+=($COORD1); disown
 "$BIN/wfexec" -shard -addr 127.0.0.1:0 -coord-id c2 -dir "$STATE" \
-    -repo "$REPO" -naming "$NAMING" -lease-ttl 1s > "$WORK/coord2.log" 2>&1 &
+    -repo "$REPO" -naming "$NAMING" -lease-ttl 1s \
+    -debug-addr 127.0.0.1:0 > "$WORK/coord2.log" 2>&1 &
 COORD2=$!
 PIDS+=($COORD2); disown
 wait_addr "$WORK/coord1.log" "on" > /dev/null
 wait_addr "$WORK/coord2.log" "on" > /dev/null
+DEBUG1="$(wait_debug "$WORK/coord1.log")"
 
 say "driving 200 instances through the routing client (8 workers)"
 # Not disowned: the script waits on this pid for the verdict.
@@ -110,4 +147,37 @@ fi
 say "survivor takeover trace:"
 grep "lease acquired\|re-materialized" "$WORK/coord1.log" | tail -n 5 || true
 
-say "PASS — coordinator killed mid-run, every instance completed on the survivor"
+say "scraping survivor metrics from http://$DEBUG1/metrics"
+scrape "$DEBUG1" /metrics > "$WORK/metrics.txt"
+
+# metric NAME -> the summed value of every sample of that series
+# (labeled series contribute one line per label set).
+metric() {
+    awk -v name="$1" '
+        $1 ~ "^"name"(\\{|$)" { sum += $2 }
+        END { printf "%d\n", sum }
+    ' "$WORK/metrics.txt"
+}
+
+STEALS="$(metric shard_lease_steals_total)"
+RECOVERIES="$(metric engine_recoveries_total)"
+SERIES="$(grep -c -v '^#' "$WORK/metrics.txt" || true)"
+say "observability: lease steals=$STEALS recoveries=$RECOVERIES series=$SERIES"
+
+if [ "$STEALS" -lt 1 ]; then
+    echo "e2e-shard: FAIL — survivor's shard_lease_steals_total never moved (takeover invisible to metrics)" >&2
+    cat "$WORK/metrics.txt" >&2
+    exit 1
+fi
+if [ "$RECOVERIES" -lt 1 ]; then
+    echo "e2e-shard: FAIL — survivor's engine_recoveries_total never moved (re-materialization invisible to metrics)" >&2
+    cat "$WORK/metrics.txt" >&2
+    exit 1
+fi
+if [ "$SERIES" -lt 20 ]; then
+    echo "e2e-shard: FAIL — /metrics served only $SERIES series, want >= 20" >&2
+    cat "$WORK/metrics.txt" >&2
+    exit 1
+fi
+
+say "PASS — coordinator killed mid-run, every instance completed on the survivor, metrics witnessed the failover"
